@@ -1,0 +1,72 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. **Key skew** — the paper draws keys uniformly; database index
+//!    traffic is usually zipfian. Hot keys concentrate every conflict on
+//!    a handful of Leap-List nodes, stressing the LT validation/retry
+//!    machinery.
+//! 2. **Operation latency percentiles** — the paper reports throughput
+//!    only; tail latency shows the cost of retry loops under contention.
+
+use leap_bench::driver::{run_latency, run_throughput, RunCfg};
+use leap_bench::scale::Scale;
+use leap_bench::target::{make_target, Algo};
+use leap_bench::workload::{Mix, Workload};
+use leaplist::Params;
+
+fn main() {
+    let scale = std::env::var("LEAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_name(&s))
+        .unwrap_or_else(Scale::quick);
+    let elements = scale.elements;
+    let threads = scale.fixed_threads;
+    let cfg = RunCfg {
+        threads,
+        duration: scale.duration,
+        repeats: scale.repeats,
+        seed: 0xE47,
+    };
+
+    println!("== extension: uniform vs zipfian keys ({} elements, {} threads) ==", elements, threads);
+    println!("{:>14}{:>12}{:>16}{:>16}", "algorithm", "mix", "uniform ops/s", "zipf99 ops/s");
+    for algo in [Algo::LeapLt, Algo::LeapCop, Algo::SkipCas] {
+        for (mix_name, mix) in [("modify", Mix::write_only()), ("40/40/20", Mix::read_dominated())] {
+            let lists = if algo == Algo::SkipCas { 1 } else { 4 };
+            let t = make_target(algo, lists, Params::default());
+            t.prefill(elements);
+            let uni = run_throughput(&t, &Workload::paper(mix, elements.max(2)), &cfg);
+            let zip = run_throughput(
+                &t,
+                &Workload::zipfian(mix, elements.max(2), 0.99),
+                &cfg,
+            );
+            println!(
+                "{:>14}{:>12}{:>16.0}{:>16.0}",
+                algo.label(),
+                mix_name,
+                uni,
+                zip
+            );
+        }
+    }
+
+    println!("\n== extension: latency percentiles (40/40/20 mix) ==");
+    println!(
+        "{:>14}{:>12}{:>12}{:>12}{:>12}",
+        "algorithm", "p50 ns", "p95 ns", "p99 ns", "mean ns"
+    );
+    for algo in [Algo::LeapLt, Algo::LeapTm, Algo::LeapRwlock, Algo::SkipCas] {
+        let lists = if algo == Algo::SkipCas { 1 } else { 4 };
+        let t = make_target(algo, lists, Params::default());
+        t.prefill(elements);
+        let r = run_latency(&t, &Workload::paper(Mix::read_dominated(), elements.max(2)), &cfg);
+        println!(
+            "{:>14}{:>12}{:>12}{:>12}{:>12}",
+            algo.label(),
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.mean_ns
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! `cargo bench` target regenerating Figure 14 (thread sweeps over the
+//! four Leap-List variants). Scale via LEAP_BENCH_SCALE=quick|medium|paper.
+
+use leap_bench::figures::{fig14a, fig14b};
+use leap_bench::scale::Scale;
+
+fn main() {
+    let scale = std::env::var("LEAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_name(&s))
+        .unwrap_or_else(Scale::quick);
+    print!("{}", fig14a(&scale).to_table());
+    print!("{}", fig14b(&scale).to_table());
+}

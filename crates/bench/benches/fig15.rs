@@ -1,0 +1,14 @@
+//! `cargo bench` target regenerating Figure 15 (element-count sweeps at a
+//! fixed thread count). Scale via LEAP_BENCH_SCALE=quick|medium|paper.
+
+use leap_bench::figures::{fig15a, fig15b};
+use leap_bench::scale::Scale;
+
+fn main() {
+    let scale = std::env::var("LEAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_name(&s))
+        .unwrap_or_else(Scale::quick);
+    print!("{}", fig15a(&scale).to_table());
+    print!("{}", fig15b(&scale).to_table());
+}

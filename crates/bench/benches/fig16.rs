@@ -1,0 +1,14 @@
+//! `cargo bench` target regenerating Figure 16 (read-percentage sweeps).
+//! Scale via LEAP_BENCH_SCALE=quick|medium|paper.
+
+use leap_bench::figures::{fig16a, fig16b};
+use leap_bench::scale::Scale;
+
+fn main() {
+    let scale = std::env::var("LEAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_name(&s))
+        .unwrap_or_else(Scale::quick);
+    print!("{}", fig16a(&scale).to_table());
+    print!("{}", fig16b(&scale).to_table());
+}

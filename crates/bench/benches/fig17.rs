@@ -1,0 +1,16 @@
+//! `cargo bench` target regenerating Figure 17 (Leap-LT versus the
+//! skip-list baselines, four workload panels). Scale via
+//! LEAP_BENCH_SCALE=quick|medium|paper.
+
+use leap_bench::figures::fig17_all;
+use leap_bench::scale::Scale;
+
+fn main() {
+    let scale = std::env::var("LEAP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| Scale::from_name(&s))
+        .unwrap_or_else(Scale::quick);
+    for fig in fig17_all(&scale) {
+        print!("{}", fig.to_table());
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks: single-threaded latency of each operation
+//! on every structure (complements the throughput figures with per-op
+//! costs: LT lookups run no transaction, tm lookups instrument every hop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leap_skiplist::{CasSkipList, TmSkipList};
+use leaplist::{LeapListCop, LeapListLt, LeapListRwlock, LeapListTm, Params, RangeMap};
+use std::time::Duration;
+
+const PREFILL: u64 = 10_000;
+const SPAN: u64 = 500;
+
+fn prefill_map(map: &dyn RangeMap<u64>) {
+    for k in 0..PREFILL {
+        map.update(k, k);
+    }
+}
+
+fn bench_variant(c: &mut Criterion, name: &str, map: &dyn RangeMap<u64>) {
+    prefill_map(map);
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new("lookup", name), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(map.lookup(k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("update", name), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(map.update(k, k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("range_query", name), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (PREFILL - SPAN);
+            std::hint::black_box(map.range_query(k, k + SPAN).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_leaplists(c: &mut Criterion) {
+    let p = Params::default();
+    bench_variant(c, "Leap-LT", &LeapListLt::<u64>::new(p.clone()));
+    bench_variant(c, "Leap-COP", &LeapListCop::<u64>::new(p.clone()));
+    bench_variant(c, "Leap-tm", &LeapListTm::<u64>::new(p.clone()));
+    bench_variant(c, "Leap-rwlock", &LeapListRwlock::<u64>::new(p));
+}
+
+fn bench_skiplists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let cas = CasSkipList::new();
+    let tm = TmSkipList::new();
+    for k in 0..PREFILL {
+        cas.insert(k, k);
+        tm.insert(k, k);
+    }
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new("lookup", "Skiplist-cas"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(cas.lookup(k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("lookup", "Skiplist-tm"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(tm.lookup(k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("range_query", "Skiplist-cas"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (PREFILL - SPAN);
+            std::hint::black_box(cas.range_query_inconsistent(k, k + SPAN).len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("range_query", "Skiplist-tm"), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (PREFILL - SPAN);
+            std::hint::black_box(tm.range_query(k, k + SPAN).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaplists, bench_skiplists);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! CLI that regenerates the paper's evaluation figures as text tables.
+//!
+//! ```text
+//! figures [--scale quick|medium|paper] [all | fig14a fig14b fig15a fig15b
+//!          fig16a fig16b fig17a fig17b fig17c fig17d fig17]
+//! ```
+
+use leap_bench::figures as f;
+use leap_bench::scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::medium();
+    let mut panels: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let name = it.next().unwrap_or_default();
+                scale = Scale::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{name}' (quick|medium|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [--scale quick|medium|paper] [all|fig14a|...|fig17d|fig17]"
+                );
+                return;
+            }
+            other => panels.push(other.to_string()),
+        }
+    }
+    if panels.is_empty() {
+        panels.push("all".to_string());
+    }
+    eprintln!(
+        "# scale={} duration={:?} repeats={} threads={:?} (host cores: {})",
+        scale.name,
+        scale.duration,
+        scale.repeats,
+        scale.threads,
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+
+    for panel in panels {
+        match panel.as_str() {
+            "all" => {
+                print!("{}", f::fig14a(&scale).to_table());
+                print!("{}", f::fig14b(&scale).to_table());
+                print!("{}", f::fig15a(&scale).to_table());
+                print!("{}", f::fig15b(&scale).to_table());
+                print!("{}", f::fig16a(&scale).to_table());
+                print!("{}", f::fig16b(&scale).to_table());
+                for fig in f::fig17_all(&scale) {
+                    print!("{}", fig.to_table());
+                }
+            }
+            "fig14a" => print!("{}", f::fig14a(&scale).to_table()),
+            "fig14b" => print!("{}", f::fig14b(&scale).to_table()),
+            "fig15a" => print!("{}", f::fig15a(&scale).to_table()),
+            "fig15b" => print!("{}", f::fig15b(&scale).to_table()),
+            "fig16a" => print!("{}", f::fig16a(&scale).to_table()),
+            "fig16b" => print!("{}", f::fig16b(&scale).to_table()),
+            "fig17a" => print!("{}", f::fig17a(&scale).to_table()),
+            "fig17b" => print!("{}", f::fig17b(&scale).to_table()),
+            "fig17c" => print!("{}", f::fig17c(&scale).to_table()),
+            "fig17d" => print!("{}", f::fig17d(&scale).to_table()),
+            "fig17" => {
+                for fig in f::fig17_all(&scale) {
+                    print!("{}", fig.to_table());
+                }
+            }
+            other => {
+                eprintln!("unknown panel '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Process-wide default collector, mirroring `crossbeam_epoch::pin`.
+
+use crate::collector::Collector;
+use crate::guard::Guard;
+use crate::local::LocalHandle;
+use std::sync::OnceLock;
+
+static DEFAULT: OnceLock<Collector> = OnceLock::new();
+
+thread_local! {
+    static HANDLE: LocalHandle = default_collector().register();
+}
+
+/// The process-wide collector shared by all structures that call [`pin`].
+pub fn default_collector() -> &'static Collector {
+    DEFAULT.get_or_init(Collector::new)
+}
+
+/// Pins the current thread on the default collector.
+///
+/// # Example
+///
+/// ```
+/// let guard = leap_ebr::pin();
+/// guard.defer(|| ());
+/// ```
+pub fn pin() -> Guard {
+    HANDLE.with(|h| h.pin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pin_works_and_nests() {
+        let g1 = pin();
+        let g2 = pin();
+        g1.defer(|| ());
+        drop(g2);
+        drop(g1);
+    }
+
+    #[test]
+    fn default_collector_is_singleton() {
+        let a = default_collector() as *const _;
+        let b = default_collector() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pin_from_multiple_threads() {
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        let g = pin();
+                        g.defer(|| ());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

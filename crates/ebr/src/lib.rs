@@ -1,0 +1,64 @@
+//! # leap-ebr — epoch-based memory reclamation
+//!
+//! Substrate crate for the Leap-List reproduction. The PODC 2013 paper uses
+//! Keir Fraser's "linearizable memory allocation manager" so that nodes
+//! unlinked from a lock-free or lock-based structure are not freed while a
+//! concurrent traversal may still hold a raw reference to them. This crate
+//! provides the same guarantee through classic three-epoch reclamation:
+//!
+//! * Threads **pin** the current global epoch before touching shared nodes
+//!   and unpin when done ([`LocalHandle::pin`], [`pin`]).
+//! * Retired objects are **deferred** with the global epoch observed at
+//!   retirement time ([`Guard::defer`]).
+//! * The global epoch only advances when every pinned thread has observed
+//!   the current epoch, so garbage tagged with epoch `e` can be reclaimed
+//!   once the global epoch reaches `e + 2`.
+//!
+//! # Example
+//!
+//! ```
+//! use leap_ebr::Collector;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let collector = Collector::new();
+//! let handle = collector.register();
+//! let dropped = Arc::new(AtomicUsize::new(0));
+//!
+//! {
+//!     let guard = handle.pin();
+//!     let d = dropped.clone();
+//!     guard.defer(move || {
+//!         d.fetch_add(1, Ordering::SeqCst);
+//!     });
+//! } // guard dropped; the deferred closure runs once two epochs have passed
+//!
+//! handle.advance_until_quiescent();
+//! assert_eq!(dropped.load(Ordering::SeqCst), 1);
+//! ```
+//!
+//! A process-wide default collector is available through [`pin`], which is
+//! what the `leaplist` and `leap-skiplist` crates use.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod collector;
+mod default;
+mod guard;
+mod local;
+mod participant;
+
+pub use collector::Collector;
+pub use default::{default_collector, pin};
+pub use guard::Guard;
+pub use local::LocalHandle;
+
+/// Number of pins between opportunistic collection attempts.
+pub(crate) const PINS_BETWEEN_COLLECT: u32 = 32;
+
+/// Local garbage size that forces a collection attempt on the next defer.
+pub(crate) const COLLECT_THRESHOLD: usize = 128;
+
+/// Epoch distance after which deferred garbage is safe to reclaim.
+pub(crate) const SAFE_EPOCH_DISTANCE: u64 = 2;

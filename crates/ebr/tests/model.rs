@@ -1,0 +1,103 @@
+//! Property test for the core EBR guarantee: a deferred destructor never
+//! runs while any guard that was live at defer time is still held.
+//!
+//! Single-threaded simulation: random interleavings of pin/unpin/defer/
+//! collect across several handles, with each deferral recording the set of
+//! guards live when it was queued and asserting at execution time that all
+//! of them have since been dropped.
+
+use leap_ebr::{Collector, Guard};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const HANDLES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Pin(usize),
+    Unpin(usize),
+    Defer(usize),
+    Collect(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..HANDLES).prop_map(Step::Pin),
+        (0..HANDLES).prop_map(Step::Unpin),
+        (0..HANDLES).prop_map(Step::Defer),
+        (0..HANDLES).prop_map(Step::Collect),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn deferred_never_runs_under_a_live_pin(steps in prop::collection::vec(step_strategy(), 1..80)) {
+        let collector = Collector::new();
+        let handles: Vec<_> = (0..HANDLES).map(|_| collector.register()).collect();
+        // One guard slot per handle (re-pinning replaces the guard).
+        let mut guards: Vec<Option<Guard>> = (0..HANDLES).map(|_| None).collect();
+        // Epoch-of-guard bookkeeping: guard generation counters.
+        let live_gen: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+        let mut gen_of_guard: HashMap<usize, u64> = HashMap::new();
+        // dropped_gens[bit g] set when guard generation g has been dropped.
+        let dropped: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut next_gen = 1u64;
+
+        for step in steps {
+            match step {
+                Step::Pin(h) => {
+                    if guards[h].is_none() {
+                        guards[h] = Some(handles[h].pin());
+                        gen_of_guard.insert(h, next_gen);
+                        live_gen.fetch_add(1, Ordering::SeqCst);
+                        next_gen += 1;
+                    }
+                }
+                Step::Unpin(h) => {
+                    if let Some(g) = guards[h].take() {
+                        drop(g);
+                        let gen = gen_of_guard.remove(&h).unwrap();
+                        dropped.lock().unwrap().push(gen);
+                        live_gen.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Step::Defer(h) => {
+                    if let Some(g) = &guards[h] {
+                        // Record the guards live right now.
+                        let live_now: Vec<u64> = gen_of_guard.values().copied().collect();
+                        let dropped = dropped.clone();
+                        g.defer(move || {
+                            let d = dropped.lock().unwrap();
+                            for gen in &live_now {
+                                assert!(
+                                    d.contains(gen),
+                                    "deferral ran while guard generation {gen} still live"
+                                );
+                            }
+                        });
+                    }
+                }
+                Step::Collect(h) => {
+                    handles[h].collect();
+                }
+            }
+        }
+        // Drain: drop all guards, then collect until quiescent.
+        for (h, g) in guards.iter_mut().enumerate() {
+            if let Some(g) = g.take() {
+                drop(g);
+                if let Some(gen) = gen_of_guard.remove(&h) {
+                    dropped.lock().unwrap().push(gen);
+                }
+            }
+        }
+        handles[0].advance_until_quiescent();
+        for h in &handles {
+            h.collect();
+        }
+    }
+}

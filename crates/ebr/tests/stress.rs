@@ -1,0 +1,126 @@
+//! Multi-threaded stress tests for epoch reclamation: a shared atomic "slot"
+//! whose boxed payload is swapped and retired under load, checked for
+//! use-after-free (via payload canaries) and for leak-freedom (via drop
+//! counting).
+
+use leap_ebr::Collector;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const CANARY: u64 = 0xFEED_FACE_CAFE_BEEF;
+
+struct Payload {
+    canary: u64,
+    value: u64,
+    drops: Arc<AtomicUsize>,
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        assert_eq!(self.canary, CANARY, "double free or corruption");
+        self.canary = 0;
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn swap_and_retire_under_load() {
+    let collector = Collector::new();
+    let drops = Arc::new(AtomicUsize::new(0));
+    let allocs = Arc::new(AtomicUsize::new(1));
+    let slot = Arc::new(AtomicPtr::new(Box::into_raw(Box::new(Payload {
+        canary: CANARY,
+        value: 0,
+        drops: drops.clone(),
+    }))));
+
+    let n_threads = 4;
+    let iters = 3_000;
+    let mut handles = Vec::new();
+    for t in 0..n_threads {
+        let collector = collector.clone();
+        let slot = slot.clone();
+        let drops = drops.clone();
+        let allocs = allocs.clone();
+        handles.push(std::thread::spawn(move || {
+            let local = collector.register();
+            for i in 0..iters {
+                let guard = local.pin();
+                if (i + t) % 3 == 0 {
+                    // Writer: swap in a fresh payload, retire the old one.
+                    let fresh = Box::into_raw(Box::new(Payload {
+                        canary: CANARY,
+                        value: (t * iters + i) as u64,
+                        drops: drops.clone(),
+                    }));
+                    allocs.fetch_add(1, Ordering::SeqCst);
+                    let old = slot.swap(fresh, Ordering::AcqRel);
+                    unsafe { guard.defer_drop_box(old) };
+                } else {
+                    // Reader: the payload must still be intact while pinned.
+                    let p = unsafe { &*slot.load(Ordering::Acquire) };
+                    assert_eq!(p.canary, CANARY, "reader observed freed payload");
+                    std::hint::black_box(p.value);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Drain all garbage, then free the final payload.
+    let local = collector.register();
+    local.advance_until_quiescent();
+    drop(unsafe { Box::from_raw(slot.load(Ordering::Acquire)) });
+
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocs.load(Ordering::SeqCst),
+        "every allocated payload must be dropped exactly once"
+    );
+}
+
+#[test]
+fn many_short_lived_threads_reuse_participants() {
+    let collector = Collector::new();
+    for round in 0..50 {
+        let collector = collector.clone();
+        std::thread::spawn(move || {
+            let local = collector.register();
+            let guard = local.pin();
+            guard.defer(move || {
+                std::hint::black_box(round);
+            });
+        })
+        .join()
+        .unwrap();
+    }
+    let local = collector.register();
+    local.advance_until_quiescent();
+}
+
+#[test]
+fn epoch_advances_under_concurrent_pinning() {
+    let collector = Collector::new();
+    let start = collector.epoch();
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let collector = collector.clone();
+        handles.push(std::thread::spawn(move || {
+            let local = collector.register();
+            for _ in 0..2_000 {
+                let g = local.pin();
+                drop(g);
+            }
+            local.collect();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        collector.epoch() > start,
+        "epoch should advance when threads keep re-pinning"
+    );
+}

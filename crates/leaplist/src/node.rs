@@ -1,0 +1,370 @@
+//! The Leap-List "fat" node (paper Fig. 2) and the pure functions that
+//! derive replacement nodes for updates, removes, splits and merges.
+//!
+//! A node owns up to `K` **immutable** key-value pairs covering the key
+//! range `(pred.high, high]`. Mutation never edits a node in place: the
+//! node is replaced wholesale by one (update / remove / merge) or two
+//! (split) freshly built nodes, which is what makes range queries cheap —
+//! a consistent set of node pointers *is* a consistent set of keys.
+
+use crate::params::Params;
+use crate::trie::Trie;
+use leap_stm::{TPtr, TVar, TaggedPtr};
+use rand::Rng;
+
+/// Hard cap on tower heights (the paper's experiments use 10).
+pub const MAX_LEVEL_CAP: usize = 32;
+
+/// Internal keys are public keys shifted by one so that the head sentinel's
+/// `high == 0` sits below every key and the tail sentinel's
+/// `high == u64::MAX` (the paper's +inf) sits above.
+#[inline]
+pub(crate) fn internal_key(key: u64) -> u64 {
+    debug_assert!(key < u64::MAX);
+    key + 1
+}
+
+#[inline]
+pub(crate) fn public_key(ik: u64) -> u64 {
+    debug_assert!(ik > 0);
+    ik - 1
+}
+
+/// A Leap-List node. All fields except `live` and `next` are immutable
+/// after publication.
+pub(crate) struct Node<V> {
+    /// Upper bound (inclusive) of this node's internal-key range.
+    pub high: u64,
+    /// COP validity mark: false while the node is being replaced or once it
+    /// has been replaced.
+    pub live: TVar<bool>,
+    /// Tower height; `next.len() == level`.
+    pub level: usize,
+    /// Forward pointers, one per level; the low bit is the transactionally
+    /// written mark of the paper's protocol.
+    pub next: Box<[TPtr<Node<V>>]>,
+    /// Sorted, immutable internal-key/value pairs.
+    pub data: Box<[(u64, V)]>,
+    /// Immutable index: internal key -> position in `data`.
+    pub trie: Trie,
+}
+
+impl<V> Node<V> {
+    /// Allocates an unpublished (non-live) node; returns a raw pointer
+    /// owned by the caller until it is wired into the list.
+    pub fn alloc(high: u64, level: usize, data: Vec<(u64, V)>) -> *mut Node<V> {
+        debug_assert!((1..=MAX_LEVEL_CAP).contains(&level));
+        debug_assert!(data.windows(2).all(|w| w[0].0 < w[1].0));
+        let keys: Vec<u64> = data.iter().map(|(k, _)| *k).collect();
+        Box::into_raw(Box::new(Node {
+            high,
+            live: TVar::new(false),
+            level,
+            next: (0..level).map(|_| TVar::new(TaggedPtr::null())).collect(),
+            data: data.into_boxed_slice(),
+            trie: Trie::build(&keys),
+        }))
+    }
+
+    /// Number of key-value pairs stored.
+    pub fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Index of internal key `ik` using the configured intra-node search.
+    pub fn index_of(&self, ik: u64, params: &Params) -> Option<usize> {
+        if params.use_trie {
+            self.trie_index_of(ik)
+        } else {
+            self.data.binary_search_by_key(&ik, |(k, _)| *k).ok()
+        }
+    }
+
+    /// Trie-based index lookup (always available, for the ablation).
+    pub fn trie_index_of(&self, ik: u64) -> Option<usize> {
+        // The trie stores positions in `data`; keys slice view is rebuilt
+        // on the fly — data is `(key, value)` pairs, so probe through a
+        // closure-free comparison path.
+        self.trie.get_by(ik, |i| self.data[i].0, self.data.len())
+    }
+}
+
+/// Frees an unpublished or unlinked node.
+///
+/// # Safety
+///
+/// `ptr` must come from [`Node::alloc`] and be unreachable by other threads
+/// (never published, or unlinked and past its grace period).
+pub(crate) unsafe fn free_node<V>(ptr: *mut Node<V>) {
+    drop(unsafe { Box::from_raw(ptr) });
+}
+
+/// Draws a tower height in `1..=max` (geometric, p = 1/2).
+pub(crate) fn random_level<R: Rng + ?Sized>(max: usize, rng: &mut R) -> usize {
+    let bits: u64 = rng.gen();
+    ((bits.trailing_ones() as usize) + 1).min(max)
+}
+
+/// The data layout for an update's replacement node(s) (paper Fig. 8 /
+/// `CreateNewNodes`).
+pub(crate) struct UpdateBuild<V> {
+    /// Lower (or only) replacement node.
+    pub n0: *mut Node<V>,
+    /// Upper replacement node if the update split.
+    pub n1: Option<*mut Node<V>>,
+    /// Previous value if `ik` was already present.
+    pub old_value: Option<V>,
+    /// Height the wiring must cover: `max(level(n0), level(n1))`.
+    pub max_height: usize,
+}
+
+/// Builds the replacement node(s) for updating `ik -> value` in `n`.
+///
+/// Splits when the node already holds `params.node_size` pairs (paper
+/// Fig. 8 line 82): the lower half receives a fresh random level and a high
+/// bound equal to its largest key; the upper half keeps the old node's
+/// level and high bound.
+pub(crate) fn build_update<V: Clone, R: Rng + ?Sized>(
+    n: &Node<V>,
+    ik: u64,
+    value: V,
+    params: &Params,
+    rng: &mut R,
+) -> UpdateBuild<V> {
+    debug_assert!(ik <= n.high);
+    let mut data: Vec<(u64, V)> = n.data.to_vec();
+    let old_value = match data.binary_search_by_key(&ik, |(k, _)| *k) {
+        Ok(i) => Some(std::mem::replace(&mut data[i], (ik, value)).1),
+        Err(i) => {
+            data.insert(i, (ik, value));
+            None
+        }
+    };
+    if n.count() == params.node_size {
+        // Split (at most one, only at this node — paper §1.2).
+        let mid = data.len() / 2;
+        let upper = data.split_off(mid);
+        let lower = data;
+        let lower_high = lower.last().expect("split halves are non-empty").0;
+        let l0 = random_level(params.max_level, rng);
+        let l1 = n.level;
+        let n0 = Node::alloc(lower_high, l0, lower);
+        let n1 = Node::alloc(n.high, l1, upper);
+        UpdateBuild {
+            n0,
+            n1: Some(n1),
+            old_value,
+            max_height: l0.max(l1),
+        }
+    } else {
+        let n0 = Node::alloc(n.high, n.level, data);
+        UpdateBuild {
+            n0,
+            n1: None,
+            old_value,
+            max_height: n.level,
+        }
+    }
+}
+
+/// The data layout for a remove's replacement node (paper Fig. 11 /
+/// `RemoveAndMerge`).
+pub(crate) struct RemoveBuild<V> {
+    pub n_new: *mut Node<V>,
+    pub old_value: V,
+}
+
+/// Builds the replacement for removing `ik` from `n0`, merging in `n1`'s
+/// contents when `merge` (the combined population fits in one node).
+///
+/// Returns `None` if `ik` is not present in `n0` (the caller treats the
+/// list as unchanged).
+pub(crate) fn build_remove<V: Clone>(
+    n0: &Node<V>,
+    n1: Option<&Node<V>>,
+    ik: u64,
+    merge: bool,
+) -> Option<RemoveBuild<V>> {
+    let pos = n0.data.binary_search_by_key(&ik, |(k, _)| *k).ok()?;
+    let mut data: Vec<(u64, V)> = Vec::with_capacity(
+        n0.count() - 1 + if merge { n1.map_or(0, |n| n.count()) } else { 0 },
+    );
+    data.extend(n0.data.iter().filter(|(k, _)| *k != ik).cloned());
+    let old_value = n0.data[pos].1.clone();
+    let (high, level) = if merge {
+        let n1 = n1.expect("merge requires a successor");
+        data.extend(n1.data.iter().cloned());
+        (n1.high, n0.level.max(n1.level))
+    } else {
+        (n0.high, n0.level)
+    };
+    Some(RemoveBuild {
+        n_new: Node::alloc(high, level, data),
+        old_value,
+    })
+}
+
+impl Trie {
+    /// Variant of [`Trie::get`] that reads keys through an accessor, used
+    /// by [`Node::trie_index_of`] where keys live interleaved with values.
+    pub(crate) fn get_by(&self, key: u64, key_at: impl Fn(usize) -> u64, len: usize) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        let idx = self.descend(key)?;
+        (key_at(idx) == key).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn mk_node(keys: &[u64], level: usize, high: u64) -> *mut Node<u64> {
+        let data: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 10)).collect();
+        Node::alloc(high, level, data)
+    }
+
+    #[test]
+    fn alloc_and_index() {
+        let p = Params::default();
+        let n = mk_node(&[5, 9, 12], 3, 100);
+        let node = unsafe { &*n };
+        assert_eq!(node.count(), 3);
+        assert_eq!(node.index_of(9, &p), Some(1));
+        assert_eq!(node.index_of(10, &p), None);
+        assert_eq!(node.trie_index_of(12), Some(2));
+        assert!(!node.live.naked_load());
+        unsafe { free_node(n) };
+    }
+
+    #[test]
+    fn build_update_inserts_and_replaces() {
+        let p = Params {
+            node_size: 8,
+            ..Params::default()
+        };
+        let mut rng = rand::thread_rng();
+        let n = mk_node(&[2, 4, 6], 2, 100);
+        // Insert new key.
+        let b = build_update(unsafe { &*n }, 5, 50, &p, &mut rng);
+        assert!(b.n1.is_none());
+        assert_eq!(b.old_value, None);
+        let n0 = unsafe { &*b.n0 };
+        assert_eq!(
+            n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2, 4, 5, 6]
+        );
+        assert_eq!(n0.high, 100);
+        assert_eq!(n0.level, 2);
+        // Replace existing key.
+        let b2 = build_update(n0, 4, 999, &p, &mut rng);
+        assert_eq!(b2.old_value, Some(40));
+        let n02 = unsafe { &*b2.n0 };
+        assert_eq!(n02.data[1], (4, 999));
+        unsafe {
+            free_node(n);
+            free_node(b.n0);
+            free_node(b2.n0);
+        }
+    }
+
+    #[test]
+    fn build_update_splits_full_node() {
+        let p = Params {
+            node_size: 4,
+            max_level: 6,
+            ..Params::default()
+        };
+        let mut rng = rand::thread_rng();
+        let n = mk_node(&[10, 20, 30, 40], 3, 1000);
+        let b = build_update(unsafe { &*n }, 25, 1, &p, &mut rng);
+        let n0 = unsafe { &*b.n0 };
+        let n1 = unsafe { &*b.n1.expect("full node must split") };
+        // 5 keys split 2/3.
+        assert_eq!(n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(
+            n1.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![25, 30, 40]
+        );
+        assert_eq!(n0.high, 20, "lower high = its largest key");
+        assert_eq!(n1.high, 1000, "upper keeps the old high");
+        assert_eq!(n1.level, 3, "upper keeps the old level");
+        assert_eq!(b.max_height, n0.level.max(3));
+        unsafe {
+            free_node(n);
+            free_node(b.n0);
+            free_node(b.n1.unwrap());
+        }
+    }
+
+    #[test]
+    fn build_remove_without_merge() {
+        let n = mk_node(&[1, 2, 3], 2, 50);
+        let b = build_remove(unsafe { &*n }, None, 2, false).expect("present");
+        assert_eq!(b.old_value, 20);
+        let nn = unsafe { &*b.n_new };
+        assert_eq!(nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(nn.high, 50);
+        assert_eq!(nn.level, 2);
+        unsafe {
+            free_node(n);
+            free_node(b.n_new);
+        }
+    }
+
+    #[test]
+    fn build_remove_merges_with_successor() {
+        let a = mk_node(&[1, 2], 2, 10);
+        let b_ = mk_node(&[15, 18], 4, 20);
+        let r = build_remove(unsafe { &*a }, Some(unsafe { &*b_ }), 1, true).unwrap();
+        let nn = unsafe { &*r.n_new };
+        assert_eq!(
+            nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2, 15, 18]
+        );
+        assert_eq!(nn.high, 20, "merged node takes the successor's high");
+        assert_eq!(nn.level, 4, "merged node takes the max level");
+        unsafe {
+            free_node(a);
+            free_node(b_);
+            free_node(r.n_new);
+        }
+    }
+
+    #[test]
+    fn build_remove_missing_key_is_none() {
+        let n = mk_node(&[1, 2, 3], 2, 50);
+        assert!(build_remove(unsafe { &*n }, None, 7, false).is_none());
+        unsafe { free_node(n) };
+    }
+
+    #[test]
+    fn build_remove_last_key_leaves_empty_node() {
+        let n = mk_node(&[4], 1, 50);
+        let b = build_remove(unsafe { &*n }, None, 4, false).unwrap();
+        let nn = unsafe { &*b.n_new };
+        assert_eq!(nn.count(), 0, "empty nodes are legal (like the initial tail)");
+        unsafe {
+            free_node(n);
+            free_node(b.n_new);
+        }
+    }
+
+    #[test]
+    fn internal_key_mapping() {
+        assert_eq!(internal_key(0), 1);
+        assert_eq!(public_key(internal_key(12345)), 12345);
+        assert_eq!(internal_key(u64::MAX - 1), u64::MAX);
+    }
+
+    #[test]
+    fn random_level_bounds() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..5_000 {
+            let l = random_level(10, &mut rng);
+            assert!((1..=10).contains(&l));
+        }
+    }
+}

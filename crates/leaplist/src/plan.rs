@@ -1,0 +1,236 @@
+//! The *setup* phase of update and remove (paper Figs. 8 and 11): an
+//! uninstrumented search plus construction of the replacement node(s).
+//! Plans own their freshly built nodes until they are published; dropping
+//! an unpublished plan (an aborted attempt) frees them.
+
+use crate::node::{build_remove, build_update, free_node, Node};
+use crate::raw::{RawLeapList, SearchWindow};
+use std::cell::Cell;
+
+/// Everything an update needs to validate, lock and wire (one list).
+pub(crate) struct UpdatePlan<V> {
+    pub w: SearchWindow<V>,
+    /// The node being replaced (`na[0]`).
+    pub n: *mut Node<V>,
+    /// Lower (or only) replacement.
+    pub n0: *mut Node<V>,
+    /// Upper replacement when splitting, else null.
+    pub n1: *mut Node<V>,
+    pub split: bool,
+    /// Height the predecessor wiring covers.
+    pub max_height: usize,
+    pub old_value: Option<V>,
+    pub(crate) published: Cell<bool>,
+}
+
+impl<V> UpdatePlan<V> {
+    /// Marks the new nodes as reachable so the plan's drop no longer owns
+    /// them.
+    pub fn mark_published(&self) {
+        self.published.set(true);
+    }
+}
+
+impl<V> Drop for UpdatePlan<V> {
+    fn drop(&mut self) {
+        if !self.published.get() {
+            // SAFETY: unpublished nodes are exclusively ours.
+            unsafe {
+                free_node(self.n0);
+                if !self.n1.is_null() {
+                    free_node(self.n1);
+                }
+            }
+        }
+    }
+}
+
+/// Builds an update plan: search for the target node, then derive the
+/// replacement node(s) (split when full).
+///
+/// # Safety
+///
+/// Caller holds an epoch guard and keeps it for as long as the plan's raw
+/// pointers are used.
+pub(crate) unsafe fn plan_update<V: Clone>(
+    raw: &RawLeapList<V>,
+    ik: u64,
+    value: V,
+) -> UpdatePlan<V> {
+    let w = unsafe { raw.search_predecessors(ik) };
+    let n = w.target();
+    // SAFETY: `n` observed live by the search; guard keeps it allocated.
+    let b = build_update(
+        unsafe { &*n },
+        ik,
+        value,
+        &raw.params,
+        &mut rand::thread_rng(),
+    );
+    UpdatePlan {
+        w,
+        n,
+        n0: b.n0,
+        n1: b.n1.unwrap_or(std::ptr::null_mut()),
+        split: b.n1.is_some(),
+        max_height: b.max_height,
+        old_value: b.old_value,
+        published: Cell::new(false),
+    }
+}
+
+/// Everything a remove needs to validate, lock and wire (one list).
+pub(crate) struct RemovePlan<V> {
+    pub w: SearchWindow<V>,
+    /// The node holding the key.
+    pub n0: *mut Node<V>,
+    /// Its level-0 successor (null when `n0` is the tail).
+    pub n1: *mut Node<V>,
+    pub merge: bool,
+    /// Replacement node.
+    pub n_new: *mut Node<V>,
+    pub old_value: V,
+    pub(crate) published: Cell<bool>,
+}
+
+impl<V> RemovePlan<V> {
+    pub fn mark_published(&self) {
+        self.published.set(true);
+    }
+}
+
+impl<V> Drop for RemovePlan<V> {
+    fn drop(&mut self) {
+        if !self.published.get() {
+            // SAFETY: unpublished node is exclusively ours.
+            unsafe { free_node(self.n_new) };
+        }
+    }
+}
+
+/// Builds a remove plan (paper Fig. 11), retrying internally while the
+/// neighbourhood is mid-replacement. Returns `None` when the key is absent
+/// (`changed[j] = false` in the paper — the list is left untouched).
+///
+/// # Safety
+///
+/// Same contract as [`plan_update`].
+pub(crate) unsafe fn plan_remove<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Option<RemovePlan<V>> {
+    let mut retries = 0u32;
+    loop {
+        retries += 1;
+        if retries > 16 {
+            // Some releaser is mid-flight; let it run (see
+            // `search_predecessors`).
+            std::thread::yield_now();
+        }
+        let w = unsafe { raw.search_predecessors(ik) };
+        let n0 = w.target();
+        // SAFETY: observed live; guard held.
+        let n0_ref = unsafe { &*n0 };
+        if n0_ref.data.binary_search_by_key(&ik, |(k, _)| *k).is_err() {
+            return None;
+        }
+        // Read the successor; retry while a committed update is mid-release
+        // on it (paper lines 159-162).
+        let s = n0_ref.next[0].naked_load();
+        if s.is_marked() {
+            std::hint::spin_loop();
+            continue;
+        }
+        let n1 = s.as_ptr();
+        let merge = if n1.is_null() {
+            false
+        } else {
+            // SAFETY: unmarked committed pointer under guard.
+            n0_ref.count() + unsafe { &*n1 }.count() <= raw.params.node_size
+        };
+        // Liveness pre-checks (paper lines 169-170); the LT transaction
+        // re-validates, this just avoids building nodes from dead data.
+        if !n0_ref.live.naked_load() {
+            continue;
+        }
+        if merge && !unsafe { &*n1 }.live.naked_load() {
+            continue;
+        }
+        let n1_opt = if merge {
+            // SAFETY: checked non-null above when merge is true.
+            Some(unsafe { &*n1 })
+        } else {
+            None
+        };
+        let Some(b) = build_remove(n0_ref, n1_opt, ik, merge) else {
+            return None;
+        };
+        return Some(RemovePlan {
+            w,
+            n0,
+            n1,
+            merge,
+            n_new: b.n_new,
+            old_value: b.old_value,
+            published: Cell::new(false),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    fn raw() -> RawLeapList<u64> {
+        RawLeapList::new(Params {
+            node_size: 4,
+            max_level: 4,
+            use_trie: true,
+            ..Params::default()
+        })
+    }
+
+    #[test]
+    fn plan_update_on_empty_list_targets_tail() {
+        let l = raw();
+        let p = unsafe { plan_update(&l, 100, 7u64) };
+        assert!(!p.split);
+        assert_eq!(p.old_value, None);
+        let n0 = unsafe { &*p.n0 };
+        assert_eq!(n0.high, u64::MAX, "replacement of the tail keeps +inf");
+        assert_eq!(n0.data.to_vec(), vec![(100, 7)]);
+        // Dropping the unpublished plan must free n0 (checked by miri/asan
+        // and the leak-count integration tests).
+    }
+
+    #[test]
+    fn plan_remove_absent_key_is_none() {
+        let l = raw();
+        assert!(unsafe { plan_remove(&l, 55) }.is_none());
+    }
+
+    #[test]
+    fn unpublished_plans_free_their_nodes() {
+        // Drop-counting value type: every clone must be dropped again.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        #[derive(Clone)]
+        struct D(#[allow(dead_code)] Arc<()>, Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.1.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let l: RawLeapList<D> = RawLeapList::new(Params {
+            node_size: 4,
+            max_level: 4,
+            use_trie: true,
+            ..Params::default()
+        });
+        {
+            let p = unsafe { plan_update(&l, 9, D(Arc::new(()), drops.clone())) };
+            drop(p);
+        }
+        // The original value plus any clones inside the discarded node.
+        assert!(drops.load(Ordering::SeqCst) >= 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Validation logic shared by the LT and COP variants, plus the COP-style
+//! lookup and range query (paper Figs. 4 and 5) that both use.
+//!
+//! The validations are the transactional re-checks of Figs. 9 and 12: the
+//! read-only COP prefix (search + node construction) ran without any
+//! synchronization, so before acting the transaction must confirm the
+//! window is still exactly what the prefix saw — every node live, every
+//! predecessor pointer unmoved, nothing marked by a competing operation.
+
+use crate::node::{Node, MAX_LEVEL_CAP};
+use crate::plan::{RemovePlan, UpdatePlan};
+use crate::raw::RawLeapList;
+use leap_stm::{TaggedPtr, TxResult, Txn};
+
+/// Captured window pointers: the values read (and validated) inside the
+/// transaction, reused by the marking pass and by the transactional wiring
+/// of the COP variant.
+pub(crate) struct ValidatedUpdate<V> {
+    pub n_next: [TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+    pub pa_next: [TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+}
+
+/// Re-validates an update window inside `tx` (paper Fig. 9 lines 95-104).
+///
+/// # Safety
+///
+/// Plan pointers must be protected by the caller's epoch guard.
+pub(crate) unsafe fn validate_update<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &UpdatePlan<V>,
+) -> TxResult<ValidatedUpdate<V>> {
+    // SAFETY: guard-protected plan pointers throughout.
+    unsafe {
+        let n = &*plan.n;
+        if !tx.read(&n.live)? {
+            return Err(tx.explicit_abort());
+        }
+        let mut out = ValidatedUpdate {
+            n_next: [TaggedPtr::null(); MAX_LEVEL_CAP],
+            pa_next: [TaggedPtr::null(); MAX_LEVEL_CAP],
+        };
+        // The replaced node's outgoing pointers: unmarked, successors live.
+        for i in 0..n.level {
+            if plan.w.na[i] != plan.n {
+                // The search window is internally stale (it raced a
+                // release phase): abort and redo the whole operation.
+                return Err(tx.explicit_abort());
+            }
+            let s = tx.read(&n.next[i])?;
+            if s.is_marked() {
+                return Err(tx.explicit_abort());
+            }
+            if !s.is_null() && !tx.read(&(*s.as_ptr()).live)? {
+                return Err(tx.explicit_abort());
+            }
+            out.n_next[i] = s;
+        }
+        // The predecessor window up to the wiring height: pointers unmoved
+        // and unmarked, endpoints live.
+        for i in 0..plan.max_height {
+            let pa = plan.w.pa[i];
+            let pn = tx.read(&(*pa).next[i])?;
+            if pn.is_marked() || pn.as_ptr() != plan.w.na[i] {
+                return Err(tx.explicit_abort());
+            }
+            if !tx.read(&(*pa).live)? {
+                return Err(tx.explicit_abort());
+            }
+            if !tx.read(&(*plan.w.na[i]).live)? {
+                return Err(tx.explicit_abort());
+            }
+            out.pa_next[i] = pn;
+        }
+        Ok(out)
+    }
+}
+
+/// The LT acquisition pass (Fig. 9 lines 105-113): mark the frozen
+/// pointers and kill the replaced node, all transactionally.
+///
+/// # Safety
+///
+/// Same contract as [`validate_update`].
+pub(crate) unsafe fn mark_update<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &UpdatePlan<V>,
+    v: &ValidatedUpdate<V>,
+) -> TxResult<()> {
+    // SAFETY: guard-protected plan pointers.
+    unsafe {
+        let n = &*plan.n;
+        for i in 0..n.level {
+            tx.write(&n.next[i], v.n_next[i].marked())?;
+        }
+        for i in 0..plan.max_height {
+            tx.write(&(*plan.w.pa[i]).next[i], v.pa_next[i].marked())?;
+        }
+        tx.write(&n.live, false)?;
+    }
+    Ok(())
+}
+
+/// Captured window pointers for a remove.
+pub(crate) struct ValidatedRemove<V> {
+    pub n0_next: [TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+    pub n1_next: [TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+    pub pa_next: [TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+}
+
+/// Re-validates a remove window inside `tx` (paper Fig. 12 lines 175-197).
+///
+/// # Safety
+///
+/// Same contract as [`validate_update`].
+pub(crate) unsafe fn validate_remove<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &RemovePlan<V>,
+) -> TxResult<ValidatedRemove<V>> {
+    // SAFETY: guard-protected plan pointers.
+    unsafe {
+        let n0 = &*plan.n0;
+        if !tx.read(&n0.live)? {
+            return Err(tx.explicit_abort());
+        }
+        if plan.merge && !tx.read(&(*plan.n1).live)? {
+            return Err(tx.explicit_abort());
+        }
+        let mut out = ValidatedRemove {
+            n0_next: [TaggedPtr::null(); MAX_LEVEL_CAP],
+            n1_next: [TaggedPtr::null(); MAX_LEVEL_CAP],
+            pa_next: [TaggedPtr::null(); MAX_LEVEL_CAP],
+        };
+        // n0's window.
+        for i in 0..n0.level {
+            if plan.w.na[i] != plan.n0 {
+                return Err(tx.explicit_abort());
+            }
+            let pa = plan.w.pa[i];
+            let pn = tx.read(&(*pa).next[i])?;
+            if pn.is_marked() || pn.as_ptr() != plan.n0 {
+                return Err(tx.explicit_abort());
+            }
+            if !tx.read(&(*pa).live)? {
+                return Err(tx.explicit_abort());
+            }
+            let s = tx.read(&n0.next[i])?;
+            if s.is_marked() {
+                return Err(tx.explicit_abort());
+            }
+            if !s.is_null() && !tx.read(&(*s.as_ptr()).live)? {
+                return Err(tx.explicit_abort());
+            }
+            out.n0_next[i] = s;
+            out.pa_next[i] = pn;
+        }
+        if plan.merge {
+            let n1 = &*plan.n1;
+            // Still adjacent (Fig. 12 line 183).
+            if out.n0_next[0].as_ptr() != plan.n1 {
+                return Err(tx.explicit_abort());
+            }
+            // Upper window where the successor is taller than n0.
+            for i in n0.level..n1.level {
+                if plan.w.na[i] != plan.n1 {
+                    return Err(tx.explicit_abort());
+                }
+                let pa = plan.w.pa[i];
+                let pn = tx.read(&(*pa).next[i])?;
+                if pn.is_marked() || pn.as_ptr() != plan.n1 {
+                    return Err(tx.explicit_abort());
+                }
+                if !tx.read(&(*pa).live)? {
+                    return Err(tx.explicit_abort());
+                }
+                out.pa_next[i] = pn;
+            }
+            // n1's outgoing pointers: unmarked, successors live.
+            for i in 0..n1.level {
+                let s = tx.read(&n1.next[i])?;
+                if s.is_marked() {
+                    return Err(tx.explicit_abort());
+                }
+                if !s.is_null() && !tx.read(&(*s.as_ptr()).live)? {
+                    return Err(tx.explicit_abort());
+                }
+                out.n1_next[i] = s;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The LT acquisition pass for a remove (Fig. 12 lines 198-212).
+///
+/// # Safety
+///
+/// Same contract as [`validate_update`].
+pub(crate) unsafe fn mark_remove<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &RemovePlan<V>,
+    v: &ValidatedRemove<V>,
+) -> TxResult<()> {
+    // SAFETY: guard-protected plan pointers.
+    unsafe {
+        let n0 = &*plan.n0;
+        if plan.merge {
+            let n1 = &*plan.n1;
+            for i in 0..n1.level {
+                tx.write(&n1.next[i], v.n1_next[i].marked())?;
+            }
+        }
+        for i in 0..n0.level {
+            tx.write(&n0.next[i], v.n0_next[i].marked())?;
+        }
+        let nn_level = (*plan.n_new).level;
+        for i in 0..nn_level {
+            tx.write(&(*plan.w.pa[i]).next[i], v.pa_next[i].marked())?;
+        }
+        tx.write(&n0.live, false)?;
+        if plan.merge {
+            tx.write(&(*plan.n1).live, false)?;
+        }
+    }
+    Ok(())
+}
+
+/// Transactional wiring of an update (used by the COP and TM variants,
+/// which perform the pointer surgery *inside* the transaction rather than
+/// after it). The replacement nodes' own fields are written naked — they
+/// are private until the predecessor writes commit — which is only sound
+/// under a write-back domain (asserted at construction of those variants).
+///
+/// # Safety
+///
+/// Plan pointers guard-protected; `n_next[i]` must hold the validated
+/// (unmarked) outgoing pointers of the replaced node.
+pub(crate) unsafe fn wire_update_tx<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &UpdatePlan<V>,
+    n_next: &[TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+) -> TxResult<()> {
+    // SAFETY: guard-protected plan pointers.
+    unsafe {
+        let n0 = &*plan.n0;
+        if plan.split {
+            let n1 = &*plan.n1;
+            let (l0, l1) = (n0.level, n1.level);
+            for i in 0..l1 {
+                n1.next[i].naked_store(n_next[i]);
+            }
+            for i in 0..l0.min(l1) {
+                n0.next[i].naked_store(TaggedPtr::new(plan.n1));
+            }
+            for i in l1..l0 {
+                n0.next[i].naked_store(TaggedPtr::new(plan.w.na[i]));
+            }
+            n0.live.naked_store(true);
+            n1.live.naked_store(true);
+            for i in 0..l0 {
+                tx.write(&(*plan.w.pa[i]).next[i], TaggedPtr::new(plan.n0))?;
+            }
+            for i in l0..l1 {
+                tx.write(&(*plan.w.pa[i]).next[i], TaggedPtr::new(plan.n1))?;
+            }
+        } else {
+            for i in 0..n0.level {
+                n0.next[i].naked_store(n_next[i]);
+            }
+            n0.live.naked_store(true);
+            for i in 0..n0.level {
+                tx.write(&(*plan.w.pa[i]).next[i], TaggedPtr::new(plan.n0))?;
+            }
+        }
+        tx.write(&(*plan.n).live, false)?;
+    }
+    Ok(())
+}
+
+/// Transactional wiring of a remove (COP and TM variants).
+///
+/// # Safety
+///
+/// As for [`wire_update_tx`]; `n0_next`/`n1_next` hold the validated
+/// outgoing pointers of the removed node(s).
+pub(crate) unsafe fn wire_remove_tx<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    plan: &RemovePlan<V>,
+    n0_next: &[TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+    n1_next: &[TaggedPtr<Node<V>>; MAX_LEVEL_CAP],
+) -> TxResult<()> {
+    // SAFETY: guard-protected plan pointers.
+    unsafe {
+        let nn = &*plan.n_new;
+        if plan.merge {
+            let n1_level = (*plan.n1).level;
+            for i in 0..n1_level.min(nn.level) {
+                nn.next[i].naked_store(n1_next[i]);
+            }
+            for i in n1_level..nn.level {
+                nn.next[i].naked_store(n0_next[i]);
+            }
+        } else {
+            for i in 0..nn.level {
+                nn.next[i].naked_store(n0_next[i]);
+            }
+        }
+        nn.live.naked_store(true);
+        for i in 0..nn.level {
+            tx.write(&(*plan.w.pa[i]).next[i], TaggedPtr::new(plan.n_new))?;
+        }
+        tx.write(&(*plan.n0).live, false)?;
+        if plan.merge {
+            tx.write(&(*plan.n1).live, false)?;
+        }
+    }
+    Ok(())
+}
+
+/// COP lookup (paper Fig. 4): an uninstrumented predecessor search followed
+/// by an intra-node index probe. Linearizable because the search only
+/// traverses committed live nodes and node contents are immutable.
+///
+/// # Safety
+///
+/// Caller holds an epoch guard.
+pub(crate) unsafe fn cop_lookup<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Option<V> {
+    let w = unsafe { raw.search_predecessors(ik) };
+    // SAFETY: observed live under the guard; contents immutable.
+    let n = unsafe { &*w.target() };
+    n.index_of(ik, &raw.params).map(|i| n.data[i].1.clone())
+}
+
+/// COP range query (paper Fig. 5): search uninstrumented, then collect the
+/// node chain inside a transaction that checks liveness of each node and
+/// reads each level-0 pointer transactionally. Returns the collected node
+/// pointers (the caller extracts pairs from their immutable arrays).
+///
+/// # Safety
+///
+/// Caller holds an epoch guard; returned pointers are valid under it.
+pub(crate) unsafe fn collect_range<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    start: *mut Node<V>,
+    ihi: u64,
+) -> TxResult<Vec<*mut Node<V>>> {
+    let mut nodes = Vec::new();
+    let mut n = start;
+    loop {
+        // SAFETY: start observed by the search under the guard; successors
+        // reached through validated transactional reads.
+        let node = unsafe { &*n };
+        if !tx.read(&node.live)? {
+            return Err(tx.explicit_abort());
+        }
+        nodes.push(n);
+        if node.high >= ihi {
+            return Ok(nodes);
+        }
+        let s = tx.read(&node.next[0])?;
+        // Paper line 41: traverse through a partially released pointer by
+        // stripping the mark; the liveness check above decides validity.
+        let next = s.unmarked().as_ptr();
+        debug_assert!(!next.is_null(), "tail.high = +inf terminates the walk");
+        n = next;
+    }
+}
+
+/// Extracts the pairs with internal keys in `[ilo, ihi]` from a collected
+/// node chain.
+///
+/// # Safety
+///
+/// Node pointers must still be guard-protected.
+pub(crate) unsafe fn extract_pairs<V: Clone>(
+    nodes: &[*mut Node<V>],
+    ilo: u64,
+    ihi: u64,
+) -> Vec<(u64, V)> {
+    let mut out = Vec::new();
+    for &n in nodes {
+        // SAFETY: guard-protected; data immutable.
+        let node = unsafe { &*n };
+        let start = node.data.partition_point(|(k, _)| *k < ilo);
+        for (k, v) in &node.data[start..] {
+            if *k > ihi {
+                break;
+            }
+            out.push((crate::node::public_key(*k), v.clone()));
+        }
+    }
+    out
+}

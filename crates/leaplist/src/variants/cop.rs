@@ -1,0 +1,319 @@
+//! **Leap-COP** — consistency-oblivious programming over plain STM: the
+//! read-only prefix (search + node construction) runs uninstrumented, then
+//! a single transaction re-validates the prefix *and performs every write
+//! transactionally* (paper §1.2). Compared with LT, the transaction is
+//! longer (it carries the pointer surgery, not just lock acquisition) and
+//! range queries / lookups behave the same, so the evaluation isolates the
+//! cost of transactional writes.
+
+use crate::node::internal_key;
+use crate::plan::{plan_remove, plan_update, RemovePlan, UpdatePlan};
+use crate::raw::RawLeapList;
+use crate::variants::common;
+use crate::Params;
+use leap_ebr::pin;
+use leap_stm::{Backoff, Mode, StmDomain, TxResult, Txn};
+use std::sync::Arc;
+
+/// A Leap-List synchronized with COP (validation + transactional writes).
+///
+/// # Example
+///
+/// ```
+/// use leaplist::{LeapListCop, Params};
+/// let list: LeapListCop<u64> = LeapListCop::new(Params::default());
+/// list.update(1, 11);
+/// assert_eq!(list.lookup(1), Some(11));
+/// assert_eq!(list.range_query(0, 5), vec![(1, 11)]);
+/// ```
+pub struct LeapListCop<V> {
+    raw: RawLeapList<V>,
+    domain: Arc<StmDomain>,
+}
+
+impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
+    /// Creates an empty list with its own write-back domain.
+    pub fn new(params: Params) -> Self {
+        Self::with_domain(params, Arc::new(StmDomain::new()))
+    }
+
+    /// Creates an empty list on a shared domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is write-through: COP publishes new nodes via
+    /// transactional pointer writes and relies on them being invisible
+    /// until commit.
+    pub fn with_domain(params: Params, domain: Arc<StmDomain>) -> Self {
+        assert_eq!(
+            domain.mode(),
+            Mode::WriteBack,
+            "LeapListCop requires a write-back domain"
+        );
+        LeapListCop {
+            raw: RawLeapList::with_slr_domain(params, Some(domain.clone())),
+            domain,
+        }
+    }
+
+    /// Creates `n` lists sharing one fresh domain.
+    pub fn group(n: usize, params: Params) -> Vec<Self> {
+        let domain = Arc::new(StmDomain::new());
+        (0..n)
+            .map(|_| Self::with_domain(params.clone(), domain.clone()))
+            .collect()
+    }
+
+    /// The transactional domain (statistics, sharing).
+    pub fn domain(&self) -> &Arc<StmDomain> {
+        &self.domain
+    }
+
+    /// Inserts or updates `key -> value`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn update(&self, key: u64, value: V) -> Option<V> {
+        Self::update_batch(&[self], &[key], &[value.clone()])
+            .pop()
+            .expect("one list yields one result")
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        Self::remove_batch(&[self], &[key])
+            .pop()
+            .expect("one list yields one result")
+    }
+
+    /// Composite multi-list update (one transaction across all lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slices differ in length, a key is `u64::MAX`, lists do
+    /// not share a domain, or a list repeats.
+    pub fn update_batch(lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
+        assert_eq!(lists.len(), keys.len());
+        assert_eq!(keys.len(), values.len());
+        let first = lists.first().expect("batch must be non-empty");
+        first.check_batch(lists, keys);
+        let guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let plans: Vec<UpdatePlan<V>> = lists
+                .iter()
+                .zip(keys.iter().zip(values.iter()))
+                .map(|(l, (k, v))| unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
+                .collect();
+            let mut tx = Txn::begin(&first.domain);
+            let done: TxResult<()> = (|| {
+                for plan in &plans {
+                    let v = unsafe { common::validate_update(&mut tx, plan) }?;
+                    unsafe { common::wire_update_tx(&mut tx, plan, &v.n_next) }?;
+                }
+                Ok(())
+            })();
+            if done.is_ok() && tx.commit().is_ok() {
+                let mut out = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    plan.mark_published();
+                    unsafe { guard.defer_drop_box(plan.n) };
+                    out.push(plan.old_value.clone());
+                }
+                return out;
+            }
+            drop(plans);
+            backoff.snooze();
+        }
+    }
+
+    /// Composite multi-list remove (one transaction across all lists).
+    ///
+    /// # Panics
+    ///
+    /// As for [`LeapListCop::update_batch`].
+    pub fn remove_batch(lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
+        assert_eq!(lists.len(), keys.len());
+        let first = lists.first().expect("batch must be non-empty");
+        first.check_batch(lists, keys);
+        let guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let plans: Vec<Option<RemovePlan<V>>> = lists
+                .iter()
+                .zip(keys.iter())
+                .map(|(l, k)| unsafe { plan_remove(&l.raw, internal_key(*k)) })
+                .collect();
+            let mut tx = Txn::begin(&first.domain);
+            let done: TxResult<()> = (|| {
+                for plan in plans.iter().flatten() {
+                    let v = unsafe { common::validate_remove(&mut tx, plan) }?;
+                    unsafe { common::wire_remove_tx(&mut tx, plan, &v.n0_next, &v.n1_next) }?;
+                }
+                Ok(())
+            })();
+            if done.is_ok() && tx.commit().is_ok() {
+                let mut out = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    match plan {
+                        None => out.push(None),
+                        Some(p) => {
+                            p.mark_published();
+                            unsafe {
+                                guard.defer_drop_box(p.n0);
+                                if p.merge {
+                                    guard.defer_drop_box(p.n1);
+                                }
+                            }
+                            out.push(Some(p.old_value.clone()));
+                        }
+                    }
+                }
+                return out;
+            }
+            drop(plans);
+            backoff.snooze();
+        }
+    }
+
+    fn check_batch(&self, lists: &[&Self], keys: &[u64]) {
+        assert!(!lists.is_empty(), "batch must be non-empty");
+        for k in keys {
+            assert!(*k < u64::MAX, "key u64::MAX is reserved");
+        }
+        for (i, l) in lists.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(&l.domain, &self.domain),
+                "batched lists must share one StmDomain"
+            );
+            for m in &lists[..i] {
+                assert!(
+                    !std::ptr::eq(*l as *const Self, *m as *const Self),
+                    "a list may appear only once per batch"
+                );
+            }
+        }
+    }
+
+    /// Linearizable lookup (identical to LT's: COP search, no transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn lookup(&self, key: u64) -> Option<V> {
+        assert!(key < u64::MAX, "key u64::MAX is reserved");
+        let _guard = pin();
+        unsafe { common::cop_lookup(&self.raw, internal_key(key)) }
+    }
+
+    /// Linearizable range query (identical structure to LT's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn range_query(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        if lo > hi {
+            return Vec::new();
+        }
+        let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+        let _guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let w = unsafe { self.raw.search_predecessors(ilo) };
+            let mut tx = Txn::begin(&self.domain);
+            let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
+            if let Ok(nodes) = nodes {
+                if tx.commit().is_ok() {
+                    return unsafe { common::extract_pairs(&nodes, ilo, ihi) };
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Approximate number of keys (naked walk; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let _guard = pin();
+        self.raw.len_unsynced()
+    }
+
+    /// Whether the list holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for LeapListCop<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeapListCop")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params {
+            node_size: 4,
+            max_level: 6,
+            use_trie: true,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_splits() {
+        let l: LeapListCop<u64> = LeapListCop::new(small());
+        for k in 0..80u64 {
+            assert_eq!(l.update(k, k + 1), None);
+        }
+        for k in 0..80u64 {
+            assert_eq!(l.lookup(k), Some(k + 1));
+        }
+        assert_eq!(l.update(5, 99), Some(6));
+        for k in 0..40u64 {
+            assert_eq!(l.remove(k * 2), Some(if k * 2 == 5 { 99 } else { k * 2 + 1 }));
+        }
+        assert_eq!(l.len(), 40);
+    }
+
+    #[test]
+    fn range_query_snapshot_contents() {
+        let l: LeapListCop<u64> = LeapListCop::new(small());
+        for k in 0..30u64 {
+            l.update(k, 1000 + k);
+        }
+        assert_eq!(
+            l.range_query(28, 40),
+            vec![(28, 1028), (29, 1029)]
+        );
+    }
+
+    #[test]
+    fn batch_is_atomic_per_call() {
+        let lists = LeapListCop::<u64>::group(3, small());
+        let refs: Vec<&_> = lists.iter().collect();
+        LeapListCop::update_batch(&refs, &[7, 7, 7], &[1, 2, 3]);
+        assert_eq!(lists[0].lookup(7), Some(1));
+        assert_eq!(lists[1].lookup(7), Some(2));
+        assert_eq!(lists[2].lookup(7), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "write-back")]
+    fn rejects_write_through_domains() {
+        let d = Arc::new(StmDomain::with_config(Mode::WriteThrough, 10));
+        let _l: LeapListCop<u64> = LeapListCop::with_domain(small(), d);
+    }
+}

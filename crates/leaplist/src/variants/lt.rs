@@ -1,0 +1,698 @@
+//! **Leap-LT** — the paper's proposed algorithm (§2): COP searches plus
+//! *Locking Transactions*. The transaction is used only to validate the
+//! uninstrumented prefix and to acquire logical locks (mark the window
+//! pointers, clear the `live` bits); the actual pointer surgery runs after
+//! commit as plain atomic stores, and lookups execute no transaction at
+//! all. Range queries execute one instrumented access per node, i.e. per
+//! `K` keys.
+
+use crate::node::{internal_key, Node};
+use crate::plan::{plan_remove, plan_update, RemovePlan, UpdatePlan};
+use crate::raw::RawLeapList;
+use crate::variants::common;
+use crate::{BatchOp, Params};
+use leap_ebr::pin;
+use leap_stm::{Backoff, StmDomain, TxResult, Txn};
+use std::sync::Arc;
+
+/// One planned component of a mixed batch.
+enum OpPlan<V> {
+    Upd(UpdatePlan<V>),
+    Rem(RemovePlan<V>),
+    /// Remove of an absent key: the list is untouched.
+    Noop,
+}
+
+/// A Leap-List synchronized with the paper's Locking-Transactions scheme.
+///
+/// This is the headline structure: linearizable `update` / `remove` /
+/// `lookup` / `range_query`, with composable multi-list
+/// [`LeapListLt::update_batch`] / [`LeapListLt::remove_batch`] when lists
+/// share a domain (see [`LeapListLt::group`]).
+///
+/// # Example
+///
+/// ```
+/// use leaplist::{LeapListLt, Params};
+/// let list: LeapListLt<u64> = LeapListLt::new(Params::default());
+/// list.update(10, 100);
+/// list.update(20, 200);
+/// assert_eq!(list.lookup(10), Some(100));
+/// assert_eq!(list.range_query(0, 50), vec![(10, 100), (20, 200)]);
+/// assert_eq!(list.remove(20), Some(200));
+/// ```
+pub struct LeapListLt<V> {
+    raw: RawLeapList<V>,
+    domain: Arc<StmDomain>,
+}
+
+impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
+    /// Creates an empty list with its own transactional domain.
+    pub fn new(params: Params) -> Self {
+        Self::with_domain(params, Arc::new(StmDomain::new()))
+    }
+
+    /// Creates an empty list on a shared domain. Lists that participate in
+    /// the same batched updates must share a domain.
+    pub fn with_domain(params: Params, domain: Arc<StmDomain>) -> Self {
+        LeapListLt {
+            raw: RawLeapList::with_slr_domain(params, Some(domain.clone())),
+            domain,
+        }
+    }
+
+    /// Creates `n` lists sharing one fresh domain — the paper's `L`
+    /// Leap-Lists (`L = 4` in the evaluation), e.g. one per table index.
+    pub fn group(n: usize, params: Params) -> Vec<Self> {
+        let domain = Arc::new(StmDomain::new());
+        (0..n)
+            .map(|_| Self::with_domain(params.clone(), domain.clone()))
+            .collect()
+    }
+
+    /// The transactional domain (statistics, sharing).
+    pub fn domain(&self) -> &Arc<StmDomain> {
+        &self.domain
+    }
+
+    /// The structure parameters.
+    pub fn params(&self) -> &Params {
+        &self.raw.params
+    }
+
+    /// Inserts or updates `key -> value`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX` (reserved for the tail sentinel).
+    pub fn update(&self, key: u64, value: V) -> Option<V> {
+        self.update_batch_on(&[self], &[key], &[value.clone()])
+            .pop()
+            .expect("one list yields one result")
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.remove_batch_on(&[self], &[key])
+            .pop()
+            .expect("one list yields one result")
+    }
+
+    /// The paper's composite `Update(ll, k, v, s)`: applies
+    /// `lists[j].update(keys[j], values[j])` for all `j` as **one**
+    /// linearizable action. Returns the previous values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, any key is `u64::MAX`, lists
+    /// do not share one domain, or the same list appears twice.
+    pub fn update_batch(lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
+        let first = lists.first().expect("batch must be non-empty");
+        first.update_batch_on(lists, keys, values)
+    }
+
+    /// The paper's composite `Remove(ll, k, s)`: removes `keys[j]` from
+    /// `lists[j]` for all `j` as one linearizable action.
+    ///
+    /// # Panics
+    ///
+    /// As for [`LeapListLt::update_batch`].
+    pub fn remove_batch(lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
+        let first = lists.first().expect("batch must be non-empty");
+        first.remove_batch_on(lists, keys)
+    }
+
+    fn check_batch(&self, lists: &[&Self], keys: &[u64]) {
+        assert!(!lists.is_empty(), "batch must be non-empty");
+        for k in keys {
+            assert!(*k < u64::MAX, "key u64::MAX is reserved");
+        }
+        for (i, l) in lists.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(&l.domain, &self.domain),
+                "batched lists must share one StmDomain"
+            );
+            for m in &lists[..i] {
+                assert!(
+                    !std::ptr::eq(*l as *const Self, *m as *const Self),
+                    "a list may appear only once per batch"
+                );
+            }
+        }
+    }
+
+    fn update_batch_on(&self, lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
+        assert_eq!(lists.len(), keys.len());
+        assert_eq!(keys.len(), values.len());
+        self.check_batch(lists, keys);
+        let guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            // Setup (Fig. 8): COP searches + replacement construction.
+            let plans: Vec<UpdatePlan<V>> = lists
+                .iter()
+                .zip(keys.iter().zip(values.iter()))
+                .map(|(l, (k, v))| unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
+                .collect();
+            // LT (Fig. 9): one transaction validates and acquires the
+            // whole multi-list window.
+            let mut tx = Txn::begin(&self.domain);
+            let acquired: TxResult<()> = (|| {
+                for plan in &plans {
+                    let v = unsafe { common::validate_update(&mut tx, plan) }?;
+                    unsafe { common::mark_update(&mut tx, plan, &v) }?;
+                }
+                Ok(())
+            })();
+            if acquired.is_ok() && tx.commit().is_ok() {
+                // Release-and-update (Fig. 10), then retire old nodes.
+                let mut out = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    unsafe {
+                        crate::wire::wire_update(plan);
+                        guard.defer_drop_box(plan.n);
+                    }
+                    out.push(plan.old_value.clone());
+                }
+                return out;
+            }
+            drop(plans); // frees the unpublished replacement nodes
+            backoff.snooze();
+        }
+    }
+
+    fn remove_batch_on(&self, lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
+        assert_eq!(lists.len(), keys.len());
+        self.check_batch(lists, keys);
+        let guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            // Setup (Fig. 11); None = key absent = list untouched.
+            let plans: Vec<Option<RemovePlan<V>>> = lists
+                .iter()
+                .zip(keys.iter())
+                .map(|(l, k)| unsafe { plan_remove(&l.raw, internal_key(*k)) })
+                .collect();
+            // LT (Fig. 12).
+            let mut tx = Txn::begin(&self.domain);
+            let acquired: TxResult<()> = (|| {
+                for plan in plans.iter().flatten() {
+                    let v = unsafe { common::validate_remove(&mut tx, plan) }?;
+                    unsafe { common::mark_remove(&mut tx, plan, &v) }?;
+                }
+                Ok(())
+            })();
+            if acquired.is_ok() && tx.commit().is_ok() {
+                // Release-and-update (Fig. 13).
+                let mut out = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    match plan {
+                        None => out.push(None),
+                        Some(p) => {
+                            unsafe {
+                                crate::wire::wire_remove(p);
+                                guard.defer_drop_box(p.n0);
+                                if p.merge {
+                                    guard.defer_drop_box(p.n1);
+                                }
+                            }
+                            out.push(Some(p.old_value.clone()));
+                        }
+                    }
+                }
+                return out;
+            }
+            drop(plans);
+            backoff.snooze();
+        }
+    }
+
+    /// Applies a **mixed** batch — updates and removes interleaved — to the
+    /// given lists as one linearizable action. This generalizes the
+    /// paper's homogeneous `Update`/`Remove` composites (§2) and is what
+    /// an in-memory database needs to move a row between secondary-index
+    /// buckets atomically (the paper's future-work application, §4).
+    ///
+    /// Returns the previous value per component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, any key is `u64::MAX`,
+    /// lists do not share one domain, or the same list appears twice.
+    pub fn apply_batch(lists: &[&Self], ops: &[BatchOp<V>]) -> Vec<Option<V>> {
+        assert_eq!(lists.len(), ops.len());
+        let first = lists.first().expect("batch must be non-empty");
+        let keys: Vec<u64> = ops
+            .iter()
+            .map(|op| match op {
+                BatchOp::Update(k, _) => *k,
+                BatchOp::Remove(k) => *k,
+            })
+            .collect();
+        first.check_batch(lists, &keys);
+        let guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let plans: Vec<OpPlan<V>> = lists
+                .iter()
+                .zip(ops.iter())
+                .map(|(l, op)| match op {
+                    BatchOp::Update(k, v) => OpPlan::Upd(unsafe {
+                        plan_update(&l.raw, internal_key(*k), v.clone())
+                    }),
+                    BatchOp::Remove(k) => {
+                        match unsafe { plan_remove(&l.raw, internal_key(*k)) } {
+                            Some(p) => OpPlan::Rem(p),
+                            None => OpPlan::Noop,
+                        }
+                    }
+                })
+                .collect();
+            let mut tx = Txn::begin(&first.domain);
+            let acquired: TxResult<()> = (|| {
+                for plan in &plans {
+                    match plan {
+                        OpPlan::Upd(p) => {
+                            let v = unsafe { common::validate_update(&mut tx, p) }?;
+                            unsafe { common::mark_update(&mut tx, p, &v) }?;
+                        }
+                        OpPlan::Rem(p) => {
+                            let v = unsafe { common::validate_remove(&mut tx, p) }?;
+                            unsafe { common::mark_remove(&mut tx, p, &v) }?;
+                        }
+                        OpPlan::Noop => {}
+                    }
+                }
+                Ok(())
+            })();
+            if acquired.is_ok() && tx.commit().is_ok() {
+                let mut out = Vec::with_capacity(plans.len());
+                for plan in &plans {
+                    match plan {
+                        OpPlan::Upd(p) => {
+                            unsafe {
+                                crate::wire::wire_update(p);
+                                guard.defer_drop_box(p.n);
+                            }
+                            out.push(p.old_value.clone());
+                        }
+                        OpPlan::Rem(p) => {
+                            unsafe {
+                                crate::wire::wire_remove(p);
+                                guard.defer_drop_box(p.n0);
+                                if p.merge {
+                                    guard.defer_drop_box(p.n1);
+                                }
+                            }
+                            out.push(Some(p.old_value.clone()));
+                        }
+                        OpPlan::Noop => out.push(None),
+                    }
+                }
+                return out;
+            }
+            drop(plans);
+            backoff.snooze();
+        }
+    }
+
+    /// Linearizable lookup (Fig. 4) — **no transaction at all**, the key
+    /// performance property of LT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn lookup(&self, key: u64) -> Option<V> {
+        assert!(key < u64::MAX, "key u64::MAX is reserved");
+        let _guard = pin();
+        unsafe { common::cop_lookup(&self.raw, internal_key(key)) }
+    }
+
+    /// Linearizable range query (Fig. 5): returns every pair with key in
+    /// `[lo, hi]`, from a single consistent snapshot. One instrumented
+    /// access per node, i.e. per up-to-`K` keys.
+    ///
+    /// Returns an empty vector when `lo > hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn range_query(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        if lo > hi {
+            return Vec::new();
+        }
+        let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+        let _guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let w = unsafe { self.raw.search_predecessors(ilo) };
+            let mut tx = Txn::begin(&self.domain);
+            let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
+            if let Ok(nodes) = nodes {
+                if tx.commit().is_ok() {
+                    return unsafe { common::extract_pairs(&nodes, ilo, ihi) };
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Whether `key` is present (linearizable, transaction-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Number of keys in `[lo, hi]` from one consistent snapshot, without
+    /// cloning any values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        if lo > hi {
+            return 0;
+        }
+        let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+        let _guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let w = unsafe { self.raw.search_predecessors(ilo) };
+            let mut tx = Txn::begin(&self.domain);
+            let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
+            if let Ok(nodes) = nodes {
+                if tx.commit().is_ok() {
+                    // SAFETY: nodes collected under the live guard; data
+                    // arrays are immutable.
+                    return nodes
+                        .iter()
+                        .map(|&n| {
+                            let node = unsafe { &*n };
+                            let start = node.data.partition_point(|(k, _)| *k < ilo);
+                            node.data[start..]
+                                .iter()
+                                .take_while(|(k, _)| *k <= ihi)
+                                .count()
+                        })
+                        .sum();
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// The smallest key and its value, from a consistent snapshot.
+    pub fn first_key_value(&self) -> Option<(u64, V)> {
+        // Smallest possible range start: collect nodes from the first one
+        // until a non-empty node appears, all inside one transaction.
+        let _guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            let w = unsafe { self.raw.search_predecessors(1) };
+            let mut tx = Txn::begin(&self.domain);
+            let found: leap_stm::TxResult<Option<(u64, V)>> = (|| {
+                let mut n = w.target();
+                loop {
+                    // SAFETY: reached under guard via validated reads.
+                    let node = unsafe { &*n };
+                    if !tx.read(&node.live)? {
+                        return Err(tx.explicit_abort());
+                    }
+                    if let Some((k, v)) = node.data.first() {
+                        return Ok(Some((crate::node::public_key(*k), v.clone())));
+                    }
+                    if node.high == u64::MAX {
+                        return Ok(None);
+                    }
+                    let s = tx.read(&node.next[0])?;
+                    n = s.unmarked().as_ptr();
+                }
+            })();
+            if let Ok(r) = found {
+                if tx.commit().is_ok() {
+                    return r;
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// The largest key and its value, from a consistent snapshot.
+    ///
+    /// Walks the bottom level from the predecessor of +inf, so it is O(1)
+    /// expected (the last node), falling back to a scan when trailing
+    /// nodes are empty.
+    pub fn last_key_value(&self) -> Option<(u64, V)> {
+        // Simplest consistent implementation: snapshot the full range and
+        // take the maximum of the trailing non-empty node. The collect
+        // walks from the node containing the largest real key.
+        let _guard = pin();
+        let mut backoff = Backoff::new();
+        loop {
+            // Predecessor window of the +inf sentinel: pa[0] is the last
+            // node with high < MAX. Its keys (or an earlier node's, if
+            // it is empty) are the largest — but emptiness forces a
+            // restart from the head for simplicity.
+            let w = unsafe { self.raw.search_predecessors(u64::MAX) };
+            let mut tx = Txn::begin(&self.domain);
+            let found: leap_stm::TxResult<Option<(u64, V)>> = (|| {
+                // The tail (high == +inf) holds the largest keys when it
+                // is non-empty; otherwise its predecessor does. Validate
+                // both nodes and their adjacency so the answer is a
+                // consistent snapshot.
+                let tail = unsafe { &*w.target() };
+                if !tx.read(&tail.live)? {
+                    return Err(tx.explicit_abort());
+                }
+                if let Some((k, v)) = tail.data.last() {
+                    return Ok(Some((crate::node::public_key(*k), v.clone())));
+                }
+                let prev = unsafe { &*w.pa[0] };
+                if !tx.read(&prev.live)? {
+                    return Err(tx.explicit_abort());
+                }
+                let link = tx.read(&prev.next[0])?;
+                if link.is_marked() || link.as_ptr() != w.target() {
+                    return Err(tx.explicit_abort());
+                }
+                if let Some((k, v)) = prev.data.last() {
+                    return Ok(Some((crate::node::public_key(*k), v.clone())));
+                }
+                // Both trailing nodes empty: fall back to a full snapshot
+                // scan (rare — only after removals emptied the tail region).
+                let head_w = unsafe { self.raw.search_predecessors(1) };
+                let nodes =
+                    unsafe { common::collect_range(&mut tx, head_w.target(), u64::MAX) }?;
+                for &n in nodes.iter().rev() {
+                    // SAFETY: under guard; immutable data.
+                    if let Some((k, v)) = unsafe { &*n }.data.last() {
+                        return Ok(Some((crate::node::public_key(*k), v.clone())));
+                    }
+                }
+                Ok(None)
+            })();
+            if let Ok(r) = found {
+                if tx.commit().is_ok() {
+                    return r;
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Approximate number of keys (naked walk; exact when quiescent).
+    pub fn len(&self) -> usize {
+        let _guard = pin();
+        self.raw.len_unsynced()
+    }
+
+    /// Whether the list holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+
+    /// Iterates node populations (diagnostics for split/merge tests).
+    pub fn node_sizes(&self) -> Vec<usize> {
+        let _guard = pin();
+        let mut sizes = Vec::new();
+        // SAFETY: advisory diagnostic under guard.
+        unsafe {
+            self.raw.for_each_node(|n| sizes.push(n.count()));
+        }
+        sizes
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for LeapListLt<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeapListLt")
+            .field("len", &self.len())
+            .field("params", &self.raw.params)
+            .finish()
+    }
+}
+
+// Used by `update`/`remove` delegating through slices of `&Self`.
+#[allow(dead_code)]
+fn _assert_traits<V: Clone + Send + Sync + 'static>() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LeapListLt<V>>();
+    assert_send_sync::<Node<V>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Params {
+        Params {
+            node_size: 4,
+            max_level: 6,
+            use_trie: true,
+            ..Params::default()
+        }
+    }
+
+    #[test]
+    fn update_lookup_remove_roundtrip() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        assert_eq!(l.lookup(7), None);
+        assert_eq!(l.update(7, 70), None);
+        assert_eq!(l.lookup(7), Some(70));
+        assert_eq!(l.update(7, 71), Some(70));
+        assert_eq!(l.lookup(7), Some(71));
+        assert_eq!(l.remove(7), Some(71));
+        assert_eq!(l.remove(7), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn splits_keep_all_keys_reachable() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..100u64 {
+            l.update(k, k * 2);
+        }
+        assert_eq!(l.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(l.lookup(k), Some(k * 2), "key {k}");
+        }
+        // With node_size 4, 100 keys must have split many times.
+        assert!(l.node_sizes().len() > 10);
+        for s in l.node_sizes() {
+            assert!(s <= 4, "node exceeded K");
+        }
+    }
+
+    #[test]
+    fn merges_shrink_node_count() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..64u64 {
+            l.update(k, k);
+        }
+        let before = l.node_sizes().len();
+        for k in 0..56u64 {
+            assert_eq!(l.remove(k), Some(k));
+        }
+        let after = l.node_sizes().len();
+        assert!(after < before, "merges must shrink node count ({before} -> {after})");
+        for k in 56..64u64 {
+            assert_eq!(l.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn range_query_is_sorted_and_inclusive() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in (0..50u64).rev() {
+            l.update(k * 2, k);
+        }
+        let r = l.range_query(10, 20);
+        assert_eq!(r, vec![(10, 5), (12, 6), (14, 7), (16, 8), (18, 9), (20, 10)]);
+        assert_eq!(l.range_query(21, 21), vec![]);
+        assert_eq!(l.range_query(30, 10), vec![], "inverted range is empty");
+    }
+
+    #[test]
+    fn batch_update_applies_to_all_lists() {
+        let lists = LeapListLt::<u64>::group(4, small());
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let old = LeapListLt::update_batch(&refs, &[1, 2, 3, 4], &[10, 20, 30, 40]);
+        assert_eq!(old, vec![None; 4]);
+        for (i, l) in lists.iter().enumerate() {
+            assert_eq!(l.lookup(i as u64 + 1), Some((i as u64 + 1) * 10));
+        }
+        let old = LeapListLt::remove_batch(&refs, &[1, 2, 99, 4]);
+        assert_eq!(old, vec![Some(10), Some(20), None, Some(40)]);
+        assert_eq!(lists[2].lookup(3), Some(30), "absent key leaves list 3 intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "share one StmDomain")]
+    fn batch_rejects_foreign_domains() {
+        let a: LeapListLt<u64> = LeapListLt::new(small());
+        let b: LeapListLt<u64> = LeapListLt::new(small());
+        LeapListLt::update_batch(&[&a, &b], &[1, 2], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only once per batch")]
+    fn batch_rejects_duplicate_lists() {
+        let a: LeapListLt<u64> = LeapListLt::new(small());
+        LeapListLt::update_batch(&[&a, &a], &[1, 2], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn max_key_is_rejected() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        l.update(u64::MAX, 0);
+    }
+
+    #[test]
+    fn update_into_empty_node_after_remove() {
+        let l: LeapListLt<u64> = LeapListLt::new(Params {
+            node_size: 2,
+            ..small()
+        });
+        l.update(5, 1);
+        assert_eq!(l.remove(5), Some(1));
+        l.update(5, 2);
+        assert_eq!(l.lookup(5), Some(2));
+    }
+
+    #[test]
+    fn many_keys_with_tiny_nodes() {
+        let l: LeapListLt<u64> = LeapListLt::new(Params {
+            node_size: 2,
+            max_level: 8,
+            use_trie: true,
+            ..Params::default()
+        });
+        for k in 0..200u64 {
+            l.update(k * 3 % 601, k);
+        }
+        let r = l.range_query(0, 601);
+        assert_eq!(r.len(), 200);
+        for w in r.windows(2) {
+            assert!(w[0].0 < w[1].0, "range out of order");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The four synchronization schemes evaluated by the paper.
+
+pub mod cop;
+pub mod lt;
+pub mod rwlock;
+pub mod tm;
+
+pub(crate) mod common;

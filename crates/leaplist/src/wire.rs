@@ -1,0 +1,94 @@
+//! The *release-and-update* phase (paper Figs. 10 and 13): after the
+//! locking transaction committed (old nodes dead, window pointers marked),
+//! the replacement nodes are wired in with plain (naked) atomic stores and
+//! finally made live.
+//!
+//! Safety of the naked stores rests on the marked-pointer lease: every
+//! `TVar` written here was marked inside the committed LT transaction, so
+//! no concurrent transaction can validate a read of it (the mark is an
+//! explicit-abort trigger and the orec version moved), and no other release
+//! phase can own it (its transaction would have had to mark it first).
+
+use crate::plan::{RemovePlan, UpdatePlan};
+use leap_stm::TaggedPtr;
+
+/// Wires an update's replacement node(s) (Fig. 10).
+///
+/// # Safety
+///
+/// Must only be called once, after the plan's LT transaction committed,
+/// while holding the epoch guard used for the plan.
+pub(crate) unsafe fn wire_update<V>(plan: &UpdatePlan<V>) {
+    // SAFETY: plan pointers valid under the caller's guard; `n`'s outgoing
+    // pointers are frozen (marked) so reading them naked is stable.
+    unsafe {
+        let n = &*plan.n;
+        let n0 = &*plan.n0;
+        if plan.split {
+            let n1 = &*plan.n1;
+            let (l0, l1) = (n0.level, n1.level);
+            // Upper node takes over the old node's outgoing links.
+            for i in 0..l1 {
+                n1.next[i].naked_store(n.next[i].naked_load().unmarked());
+            }
+            // Lower node points at the upper one where both exist...
+            for i in 0..l0.min(l1) {
+                n0.next[i].naked_store(TaggedPtr::new(plan.n1));
+            }
+            // ...and skips it where the lower tower is taller.
+            for i in l1..l0 {
+                n0.next[i].naked_store(TaggedPtr::new(plan.w.na[i]));
+            }
+            // Swing the predecessors; this is what publishes the nodes.
+            for i in 0..l0 {
+                (*plan.w.pa[i]).next[i].naked_store(TaggedPtr::new(plan.n0));
+            }
+            for i in l0..l1 {
+                (*plan.w.pa[i]).next[i].naked_store(TaggedPtr::new(plan.n1));
+            }
+            n0.live.naked_store(true);
+            n1.live.naked_store(true);
+        } else {
+            for i in 0..n0.level {
+                n0.next[i].naked_store(n.next[i].naked_load().unmarked());
+            }
+            for i in 0..n0.level {
+                (*plan.w.pa[i]).next[i].naked_store(TaggedPtr::new(plan.n0));
+            }
+            n0.live.naked_store(true);
+        }
+    }
+    plan.mark_published();
+}
+
+/// Wires a remove's replacement node (Fig. 13).
+///
+/// # Safety
+///
+/// Same contract as [`wire_update`].
+pub(crate) unsafe fn wire_remove<V>(plan: &RemovePlan<V>) {
+    // SAFETY: as in `wire_update`.
+    unsafe {
+        let nn = &*plan.n_new;
+        if plan.merge {
+            let n1 = &*plan.n1;
+            // Outgoing links: the successor's where it exists, the removed
+            // node's own above that.
+            for i in 0..n1.level.min(nn.level) {
+                nn.next[i].naked_store(n1.next[i].naked_load().unmarked());
+            }
+            for i in n1.level..nn.level {
+                nn.next[i].naked_store((*plan.n0).next[i].naked_load().unmarked());
+            }
+        } else {
+            for i in 0..nn.level {
+                nn.next[i].naked_store((*plan.n0).next[i].naked_load().unmarked());
+            }
+        }
+        for i in 0..nn.level {
+            (*plan.w.pa[i]).next[i].naked_store(TaggedPtr::new(plan.n_new));
+        }
+        nn.live.naked_store(true);
+    }
+    plan.mark_published();
+}

@@ -1,0 +1,128 @@
+//! Model-based property tests: all four Leap-List variants must agree with
+//! `BTreeMap` over arbitrary operation sequences, across node sizes that
+//! force frequent splits and merges.
+
+use leaplist::{LeapListCop, LeapListLt, LeapListRwlock, LeapListTm, Params, RangeMap};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 0..96u64;
+    prop_oneof![
+        3 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Update(k, v)),
+        2 => key.clone().prop_map(Op::Remove),
+        1 => key.clone().prop_map(Op::Lookup),
+        1 => (key.clone(), 0..48u64).prop_map(|(a, w)| Op::Range(a, a + w)),
+    ]
+}
+
+fn run_against_model(
+    map: &dyn RangeMap<u64>,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Update(k, v) => {
+                prop_assert_eq!(map.update(k, v), model.insert(k, v), "update {}", k);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(map.remove(k), model.remove(&k), "remove {}", k);
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(map.lookup(k), model.get(&k).copied(), "lookup {}", k);
+            }
+            Op::Range(lo, hi) => {
+                let got = map.range_query(lo, hi);
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want, "range [{}, {}]", lo, hi);
+            }
+        }
+    }
+    prop_assert_eq!(map.len(), model.len());
+    Ok(())
+}
+
+fn params(node_size: usize) -> Params {
+    Params {
+        node_size,
+        max_level: 6,
+        use_trie: true,
+        ..Params::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lt_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
+                           k in 2usize..8) {
+        run_against_model(&LeapListLt::<u64>::new(params(k)), &ops)?;
+    }
+
+    #[test]
+    fn cop_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
+                            k in 2usize..8) {
+        run_against_model(&LeapListCop::<u64>::new(params(k)), &ops)?;
+    }
+
+    #[test]
+    fn tm_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
+                           k in 2usize..8) {
+        run_against_model(&LeapListTm::<u64>::new(params(k)), &ops)?;
+    }
+
+    #[test]
+    fn rwlock_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120),
+                               k in 2usize..8) {
+        run_against_model(&LeapListRwlock::<u64>::new(params(k)), &ops)?;
+    }
+
+    #[test]
+    fn lt_without_trie_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        // Ablation path: binary-search intra-node lookup.
+        let p = Params { node_size: 4, max_level: 6, use_trie: false, ..Params::default() };
+        run_against_model(&LeapListLt::<u64>::new(p), &ops)?;
+    }
+
+    #[test]
+    fn lt_paper_node_size_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        // K = 300 >> key space: everything lives in one or two nodes.
+        run_against_model(&LeapListLt::<u64>::new(Params::default()), &ops)?;
+    }
+
+    #[test]
+    fn lt_batched_ops_match_model(
+        batches in prop::collection::vec(
+            prop::collection::vec((0..64u64, any::<u64>()), 3..=3), 1..40)
+    ) {
+        // Three lists updated atomically per batch; each list j must end up
+        // exactly like a model map receiving the j-th component.
+        let lists = LeapListLt::<u64>::group(3, params(4));
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let mut models: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); 3];
+        for batch in &batches {
+            let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
+            let vals: Vec<u64> = batch.iter().map(|(_, v)| *v).collect();
+            let old = LeapListLt::update_batch(&refs, &keys, &vals);
+            for j in 0..3 {
+                prop_assert_eq!(old[j], models[j].insert(keys[j], vals[j]));
+            }
+        }
+        for j in 0..3 {
+            let got = lists[j].range_query(0, 1000);
+            let want: Vec<(u64, u64)> = models[j].iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

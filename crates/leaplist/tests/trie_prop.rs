@@ -1,0 +1,63 @@
+//! Property tests for the intra-node crit-bit trie (the String-B-tree
+//! index embedded in every Leap-List node).
+
+use leaplist::{binary_search_index, Trie};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every built key is found at its own index.
+    #[test]
+    fn finds_every_member(keys in prop::collection::btree_set(any::<u64>(), 0..200)) {
+        let keys: Vec<u64> = keys.iter().copied().collect();
+        let trie = Trie::build(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(trie.get(&keys, *k), Some(i));
+        }
+    }
+
+    /// Agrees with binary search on arbitrary probes (hits and misses).
+    #[test]
+    fn agrees_with_binary_search(
+        keys in prop::collection::btree_set(any::<u64>(), 0..150),
+        probes in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let keys: Vec<u64> = keys.iter().copied().collect();
+        let trie = Trie::build(&keys);
+        for p in probes {
+            prop_assert_eq!(trie.get(&keys, p), binary_search_index(&keys, p), "probe {}", p);
+        }
+        // Probe near the members too (off-by-one misses).
+        for k in &keys {
+            for p in [k.wrapping_sub(1), k.wrapping_add(1)] {
+                prop_assert_eq!(trie.get(&keys, p), binary_search_index(&keys, p));
+            }
+        }
+    }
+
+    /// A crit-bit trie over n keys has exactly n-1 internal nodes — the
+    /// paper's "minimal number of levels".
+    #[test]
+    fn internal_node_count_is_minimal(keys in prop::collection::btree_set(any::<u64>(), 1..200)) {
+        let keys: Vec<u64> = keys.iter().copied().collect();
+        let trie = Trie::build(&keys);
+        prop_assert_eq!(trie.internal_nodes(), keys.len() - 1);
+    }
+
+    /// Adversarial bit patterns: keys differing only in high bits, only in
+    /// low bits, and dense runs.
+    #[test]
+    fn structured_key_families(shift in 0u32..58, n in 1usize..64) {
+        // n < 64 = 6 bits, shift <= 57: i << shift never overflows.
+        let keys: Vec<u64> = (0..n as u64).map(|i| i << shift).collect();
+        let trie = Trie::build(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert_eq!(trie.get(&keys, *k), Some(i));
+        }
+        // Everything strictly between two members misses.
+        if shift > 0 && n > 1 {
+            prop_assert_eq!(trie.get(&keys, (1u64 << shift) - 1), None);
+        }
+    }
+}

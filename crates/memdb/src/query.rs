@@ -1,0 +1,321 @@
+//! A small query layer over [`Table`]: conjunctive filters with index
+//! selection, projections into aggregates.
+//!
+//! The execution model is exactly what the paper's database pitch implies:
+//! pick one indexed predicate as the *driving* Leap-List range query
+//! (a single consistent snapshot), then evaluate the remaining predicates
+//! against the row copies carried by that snapshot — so the whole result
+//! set is consistent without any further synchronization.
+
+use crate::{DbError, Row, RowId, Table};
+
+/// One conjunct of a query's predicate.
+#[derive(Debug, Clone)]
+enum Filter {
+    /// `lo <= column <= hi`
+    Range { col: usize, lo: u64, hi: u64 },
+    /// `column == value`
+    Eq { col: usize, value: u64 },
+}
+
+impl Filter {
+    fn col(&self) -> usize {
+        match self {
+            Filter::Range { col, .. } | Filter::Eq { col, .. } => *col,
+        }
+    }
+
+    fn matches(&self, row: &Row) -> bool {
+        match *self {
+            Filter::Range { col, lo, hi } => {
+                row.get(col).map_or(false, |v| (lo..=hi).contains(&v))
+            }
+            Filter::Eq { col, value } => row.get(col) == Some(value),
+        }
+    }
+
+    fn bounds(&self) -> (u64, u64) {
+        match *self {
+            Filter::Range { lo, hi, .. } => (lo, hi),
+            Filter::Eq { value, .. } => (value, value),
+        }
+    }
+}
+
+/// A conjunctive query under construction. Build with [`Table::query`],
+/// add filters, then execute with [`Query::rows`], [`Query::count`] or an
+/// aggregate.
+///
+/// # Example
+///
+/// ```
+/// use leap_memdb::{Schema, Table};
+/// let t = Table::new(Schema::new(&["dept", "age", "salary"]).with_index("age"));
+/// t.insert(&[1, 30, 5000]).unwrap();
+/// t.insert(&[1, 45, 9000]).unwrap();
+/// t.insert(&[2, 31, 6500]).unwrap();
+///
+/// let rows = t.query()
+///     .filter_range("age", 25, 40).unwrap()
+///     .filter_eq("dept", 1).unwrap()
+///     .rows().unwrap();
+/// assert_eq!(rows.len(), 1);
+///
+/// let payroll = t.query().filter_eq("dept", 1).unwrap().sum("salary").unwrap();
+/// assert_eq!(payroll, 14_000);
+/// ```
+#[derive(Debug)]
+pub struct Query<'t> {
+    table: &'t Table,
+    filters: Vec<Filter>,
+    limit: Option<usize>,
+    descending: bool,
+}
+
+impl<'t> Query<'t> {
+    pub(crate) fn new(table: &'t Table) -> Self {
+        Query {
+            table,
+            filters: Vec::new(),
+            limit: None,
+            descending: false,
+        }
+    }
+
+    /// Caps the number of returned rows (applied after filtering, in the
+    /// result order).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Reverses the result order (descending by the driving index, or by
+    /// row id on a full scan). Combined with [`Query::limit`] this gives
+    /// "top-N" queries.
+    pub fn descending(mut self) -> Self {
+        self.descending = true;
+        self
+    }
+
+    /// Adds a `lo <= column <= hi` conjunct.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`].
+    pub fn filter_range(mut self, column: &str, lo: u64, hi: u64) -> Result<Self, DbError> {
+        let col = self.table.schema().resolve(column)?;
+        self.filters.push(Filter::Range { col, lo, hi });
+        Ok(self)
+    }
+
+    /// Adds a `column == value` conjunct.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`].
+    pub fn filter_eq(mut self, column: &str, value: u64) -> Result<Self, DbError> {
+        let col = self.table.schema().resolve(column)?;
+        self.filters.push(Filter::Eq { col, value });
+        Ok(self)
+    }
+
+    /// Executes the query: one consistent driving scan plus residual
+    /// filtering. Rows come back ordered by the driving index (or by row
+    /// id when no filter is indexed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema errors from execution.
+    pub fn rows(self) -> Result<Vec<(RowId, Row)>, DbError> {
+        // Index selection: the first conjunct on an indexed column drives.
+        let schema = self.table.schema();
+        let driver = self
+            .filters
+            .iter()
+            .position(|f| schema.is_indexed(f.col()));
+        let candidates = match driver {
+            Some(i) => {
+                let f = &self.filters[i];
+                let (lo, hi) = f.bounds();
+                self.table
+                    .scan_by(schema.column_name(f.col()), lo, hi)?
+            }
+            None => self.table.scan_all(),
+        };
+        let residual: Vec<&Filter> = self
+            .filters
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != driver)
+            .map(|(_, f)| f)
+            .collect();
+        let filtered = candidates
+            .into_iter()
+            .filter(|(_, row)| residual.iter().all(|f| f.matches(row)));
+        let mut rows: Vec<(RowId, Row)> = match (self.descending, self.limit) {
+            (false, None) => filtered.collect(),
+            (false, Some(n)) => filtered.take(n).collect(),
+            (true, _) => filtered.collect(),
+        };
+        if self.descending {
+            rows.reverse();
+            if let Some(n) = self.limit {
+                rows.truncate(n);
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Number of matching rows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Query::rows`].
+    pub fn count(self) -> Result<usize, DbError> {
+        Ok(self.rows()?.len())
+    }
+
+    /// Sum of `column` over matching rows (wrapping arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`] plus execution errors.
+    pub fn sum(self, column: &str) -> Result<u64, DbError> {
+        let col = self.table.schema().resolve(column)?;
+        Ok(self
+            .rows()?
+            .iter()
+            .map(|(_, r)| r.get(col).expect("arity checked on insert"))
+            .fold(0u64, u64::wrapping_add))
+    }
+
+    /// Minimum of `column` over matching rows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Query::sum`].
+    pub fn min(self, column: &str) -> Result<Option<u64>, DbError> {
+        let col = self.table.schema().resolve(column)?;
+        Ok(self.rows()?.iter().map(|(_, r)| r.get(col).unwrap()).min())
+    }
+
+    /// Maximum of `column` over matching rows.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Query::sum`].
+    pub fn max(self, column: &str) -> Result<Option<u64>, DbError> {
+        let col = self.table.schema().resolve(column)?;
+        Ok(self.rows()?.iter().map(|(_, r)| r.get(col).unwrap()).max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Schema, Table};
+
+    fn staff() -> Table {
+        let t = Table::new(
+            Schema::new(&["dept", "age", "salary"])
+                .with_index("age")
+                .with_index("salary"),
+        );
+        // (dept, age, salary)
+        t.insert(&[1, 25, 4000]).unwrap();
+        t.insert(&[1, 35, 6000]).unwrap();
+        t.insert(&[2, 45, 8000]).unwrap();
+        t.insert(&[2, 30, 5000]).unwrap();
+        t.insert(&[3, 35, 7000]).unwrap();
+        t
+    }
+
+    #[test]
+    fn indexed_range_drives_the_scan() {
+        let t = staff();
+        let rows = t.query().filter_range("age", 30, 40).unwrap().rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        // Ordered by the driving index (age, then row id).
+        let ages: Vec<u64> = rows.iter().map(|(_, r)| r.get(1).unwrap()).collect();
+        assert_eq!(ages, vec![30, 35, 35]);
+    }
+
+    #[test]
+    fn residual_filters_apply() {
+        let t = staff();
+        let rows = t
+            .query()
+            .filter_range("age", 30, 40)
+            .unwrap()
+            .filter_eq("dept", 1)
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.columns(), &[1, 35, 6000]);
+    }
+
+    #[test]
+    fn unindexed_only_falls_back_to_full_scan() {
+        let t = staff();
+        let rows = t.query().filter_eq("dept", 2).unwrap().rows().unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = staff();
+        assert_eq!(t.query().count().unwrap(), 5);
+        assert_eq!(
+            t.query().filter_eq("dept", 2).unwrap().sum("salary").unwrap(),
+            13_000
+        );
+        assert_eq!(
+            t.query().filter_range("age", 0, 34).unwrap().min("salary").unwrap(),
+            Some(4000)
+        );
+        assert_eq!(t.query().max("age").unwrap(), Some(45));
+        assert_eq!(
+            t.query().filter_eq("dept", 9).unwrap().max("age").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn limit_and_descending() {
+        let t = staff();
+        let top2 = t
+            .query()
+            .filter_range("salary", 0, 10_000)
+            .unwrap()
+            .descending()
+            .limit(2)
+            .rows()
+            .unwrap();
+        let salaries: Vec<u64> = top2.iter().map(|(_, r)| r.get(2).unwrap()).collect();
+        assert_eq!(salaries, vec![8000, 7000], "top-2 by salary");
+        let first2 = t
+            .query()
+            .filter_range("age", 0, 100)
+            .unwrap()
+            .limit(2)
+            .rows()
+            .unwrap();
+        assert_eq!(first2.len(), 2);
+        assert!(first2[0].1.get(1).unwrap() <= first2[1].1.get(1).unwrap());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = staff();
+        assert!(t.query().filter_eq("ghost", 1).is_err());
+        assert!(t.query().sum("ghost").is_err());
+    }
+
+    #[test]
+    fn eq_on_indexed_column_uses_point_range() {
+        let t = staff();
+        let rows = t.query().filter_eq("salary", 7000).unwrap().rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.get(0), Some(3));
+    }
+}

@@ -1,0 +1,126 @@
+//! Table schemas: named columns, a subset of which carry indexes.
+
+use crate::DbError;
+
+/// A table schema: ordered column names plus the set of indexed columns.
+///
+/// # Example
+///
+/// ```
+/// use leap_memdb::Schema;
+/// let s = Schema::new(&["id", "age"]).with_index("age");
+/// assert_eq!(s.column_index("age"), Some(1));
+/// assert!(s.is_indexed(1));
+/// assert!(!s.is_indexed(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    columns: Vec<String>,
+    indexed: Vec<bool>,
+}
+
+impl Schema {
+    /// Creates a schema with the given column names and no indexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate or empty column names, or an empty column list.
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "schema needs at least one column");
+        for (i, c) in columns.iter().enumerate() {
+            assert!(!c.is_empty(), "empty column name");
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column name '{c}'"
+            );
+        }
+        Schema {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            indexed: vec![false; columns.len()],
+        }
+    }
+
+    /// Declares a secondary index on `column` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist.
+    pub fn with_index(mut self, column: &str) -> Self {
+        let i = self
+            .column_index(column)
+            .unwrap_or_else(|| panic!("unknown column '{column}'"));
+        self.indexed[i] = true;
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a named column.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// Whether the column at `idx` is indexed.
+    pub fn is_indexed(&self, idx: usize) -> bool {
+        self.indexed.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Positions of all indexed columns, in declaration order.
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|&i| self.indexed[i])
+            .collect()
+    }
+
+    /// Column name at `idx`.
+    pub fn column_name(&self, idx: usize) -> &str {
+        &self.columns[idx]
+    }
+
+    /// Resolves a column name, erroring helpfully.
+    pub(crate) fn resolve(&self, column: &str) -> Result<usize, DbError> {
+        self.column_index(column)
+            .ok_or_else(|| DbError::UnknownColumn(column.to_string()))
+    }
+
+    /// Resolves a column that must be indexed.
+    pub(crate) fn resolve_indexed(&self, column: &str) -> Result<usize, DbError> {
+        let i = self.resolve(column)?;
+        if !self.is_indexed(i) {
+            return Err(DbError::NotIndexed(column.to_string()));
+        }
+        Ok(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = Schema::new(&["a", "b", "c"]).with_index("b").with_index("c");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.indexed_columns(), vec![1, 2]);
+        assert_eq!(s.column_name(0), "a");
+        assert_eq!(s.resolve("c").unwrap(), 2);
+        assert!(s.resolve("zz").is_err());
+        assert!(s.resolve_indexed("a").is_err());
+        assert_eq!(s.resolve_indexed("b").unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_columns() {
+        Schema::new(&["x", "x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn rejects_index_on_missing_column() {
+        Schema::new(&["a"]).with_index("b");
+    }
+}

@@ -1,0 +1,390 @@
+//! A concurrent table whose primary and secondary indexes are Leap-Lists
+//! sharing one transactional domain.
+//!
+//! # Index layout
+//!
+//! * List 0 — **primary index**: `row id -> Row`.
+//! * One list per indexed column — **covering secondary index**:
+//!   `(column value << 32 | row id) -> Row`. Storing the full (cheaply
+//!   cloned, `Arc`-backed) row makes every range scan self-contained and
+//!   therefore a single linearizable Leap-List range query.
+//!
+//! # Atomicity
+//!
+//! `insert` and `delete` maintain the primary and *all* secondary indexes
+//! in **one** linearizable action (`LeapListLt::apply_batch` — one locking
+//! transaction across all lists). `update_column` on a non-indexed column
+//! is likewise one atomic action (it rewrites the stored row under the
+//! same keys everywhere). Updating an *indexed* column must move an entry
+//! between two keys of the same list, which the batch primitive cannot
+//! express; it executes as an atomic delete followed by an atomic
+//! re-insert of the same row id (serialized per row), so a concurrent scan
+//! can miss the row in that window — the one documented non-snapshot
+//! operation.
+
+use crate::{DbError, Row, RowId, Schema};
+use leaplist::{BatchOp, LeapListLt, Params};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const STRIPES: usize = 64;
+
+/// Maximum value storable in an indexed column (the composite index key
+/// packs `(value, row id)` into one word).
+pub const MAX_INDEXED_VALUE: u64 = (1 << 32) - 1;
+
+fn composite(value: u64, id: u64) -> u64 {
+    debug_assert!(value <= MAX_INDEXED_VALUE);
+    (value << 32) | (id & 0xFFFF_FFFF)
+}
+
+/// A table with Leap-List indexes (see module docs).
+pub struct Table {
+    schema: Schema,
+    /// `lists[0]` is the primary; `lists[1 + i]` serves
+    /// `schema.indexed_columns()[i]`.
+    lists: Vec<LeapListLt<Row>>,
+    /// Column position -> slot in `lists` (secondary indexes only).
+    slot_of_column: Vec<Option<usize>>,
+    next_row: AtomicU64,
+    /// Per-row mutation serialization (delete / update_column).
+    stripes: Vec<Mutex<()>>,
+}
+
+impl Table {
+    /// Creates an empty table with the paper's default Leap-List
+    /// parameters.
+    pub fn new(schema: Schema) -> Self {
+        Self::with_params(schema, Params::default())
+    }
+
+    /// Creates an empty table with explicit Leap-List parameters.
+    pub fn with_params(schema: Schema, params: Params) -> Self {
+        let indexed = schema.indexed_columns();
+        let lists = LeapListLt::group(1 + indexed.len(), params);
+        let mut slot_of_column = vec![None; schema.arity()];
+        for (slot, col) in indexed.iter().enumerate() {
+            slot_of_column[*col] = Some(1 + slot);
+        }
+        Table {
+            schema,
+            lists,
+            slot_of_column,
+            next_row: AtomicU64::new(1),
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.lists[0].len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check_row(&self, values: &[u64]) -> Result<(), DbError> {
+        if values.len() != self.schema.arity() {
+            return Err(DbError::WrongArity {
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        for col in self.schema.indexed_columns() {
+            if values[col] > MAX_INDEXED_VALUE {
+                return Err(DbError::ValueOutOfRange {
+                    column: self.schema.column_name(col).to_string(),
+                    value: values[col],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn stripe(&self, id: RowId) -> &Mutex<()> {
+        &self.stripes[(id.0 as usize) % STRIPES]
+    }
+
+    /// Batch refs in list order: primary plus every secondary.
+    fn all_lists(&self) -> Vec<&LeapListLt<Row>> {
+        self.lists.iter().collect()
+    }
+
+    /// Inserts a row, updating the primary and every secondary index as
+    /// one linearizable action. Returns the new row id.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::WrongArity`] or [`DbError::ValueOutOfRange`].
+    pub fn insert(&self, values: &[u64]) -> Result<RowId, DbError> {
+        self.check_row(values)?;
+        let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
+        assert!(id.0 <= 0xFFFF_FFFF, "row id space exhausted");
+        let row = Row::new(values);
+        self.write_row(id, &row);
+        Ok(id)
+    }
+
+    /// Writes `row` under `id` into every index atomically.
+    fn write_row(&self, id: RowId, row: &Row) {
+        let mut ops = Vec::with_capacity(self.lists.len());
+        ops.push(BatchOp::Update(id.0, row.clone()));
+        for col in self.schema.indexed_columns() {
+            ops.push(BatchOp::Update(
+                composite(row.get(col).expect("arity checked"), id.0),
+                row.clone(),
+            ));
+        }
+        LeapListLt::apply_batch(&self.all_lists(), &ops);
+    }
+
+    /// Deletes a row from every index as one linearizable action.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchRow`] if the row does not exist.
+    pub fn delete(&self, id: RowId) -> Result<Row, DbError> {
+        let _guard = self.stripe(id).lock();
+        self.delete_locked(id)
+    }
+
+    fn delete_locked(&self, id: RowId) -> Result<Row, DbError> {
+        let row = self.lists[0].lookup(id.0).ok_or(DbError::NoSuchRow(id))?;
+        let mut ops = Vec::with_capacity(self.lists.len());
+        ops.push(BatchOp::Remove(id.0));
+        for col in self.schema.indexed_columns() {
+            ops.push(BatchOp::Remove(composite(
+                row.get(col).expect("stored rows match arity"),
+                id.0,
+            )));
+        }
+        LeapListLt::apply_batch(&self.all_lists(), &ops);
+        Ok(row)
+    }
+
+    /// Point lookup by row id (linearizable, transaction-free).
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        self.lists[0].lookup(id.0)
+    }
+
+    /// Sets one column of an existing row.
+    ///
+    /// Non-indexed columns are updated atomically across all indexes.
+    /// Indexed columns execute as delete + re-insert of the same row id
+    /// (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`], [`DbError::ValueOutOfRange`] or
+    /// [`DbError::NoSuchRow`].
+    pub fn update_column(&self, id: RowId, column: &str, value: u64) -> Result<(), DbError> {
+        let col = self.schema.resolve(column)?;
+        if self.schema.is_indexed(col) && value > MAX_INDEXED_VALUE {
+            return Err(DbError::ValueOutOfRange {
+                column: column.to_string(),
+                value,
+            });
+        }
+        let _guard = self.stripe(id).lock();
+        let old = self.lists[0].lookup(id.0).ok_or(DbError::NoSuchRow(id))?;
+        let new_row = old.with_column(col, value);
+        if !self.schema.is_indexed(col) {
+            // Keys are unchanged everywhere: rewrite the stored row under
+            // the same keys in one atomic batch.
+            self.write_row(id, &new_row);
+            return Ok(());
+        }
+        // Indexed column: the entry moves between keys of ONE list, which
+        // a single batch cannot express — atomic delete, atomic re-insert.
+        self.delete_locked(id)?;
+        self.write_row(id, &new_row);
+        Ok(())
+    }
+
+    /// Linearizable range scan over the index on `column`: every row with
+    /// `column value` in `[lo, hi]`, as one consistent snapshot, ordered
+    /// by `(value, row id)`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`] or [`DbError::NotIndexed`].
+    pub fn scan_by(&self, column: &str, lo: u64, hi: u64) -> Result<Vec<(RowId, Row)>, DbError> {
+        let col = self.schema.resolve_indexed(column)?;
+        let slot = self.slot_of_column[col].expect("indexed column has a slot");
+        let lo_key = composite(lo.min(MAX_INDEXED_VALUE), 0);
+        let hi_key = composite(hi.min(MAX_INDEXED_VALUE), 0xFFFF_FFFF);
+        Ok(self.lists[slot]
+            .range_query(lo_key, hi_key)
+            .into_iter()
+            .map(|(k, row)| (RowId(k & 0xFFFF_FFFF), row))
+            .collect())
+    }
+
+    /// Number of rows whose `column` value lies in `[lo, hi]` (consistent
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Table::scan_by`].
+    pub fn count_by(&self, column: &str, lo: u64, hi: u64) -> Result<usize, DbError> {
+        Ok(self.scan_by(column, lo, hi)?.len())
+    }
+
+    /// Starts building a [`Query`](crate::Query) over this table.
+    pub fn query(&self) -> crate::Query<'_> {
+        crate::Query::new(self)
+    }
+
+    /// Inserts several rows; each insert is individually atomic across all
+    /// indexes. Returns the new row ids.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first invalid row; earlier rows remain inserted.
+    pub fn insert_many(&self, rows: &[&[u64]]) -> Result<Vec<RowId>, DbError> {
+        rows.iter().map(|r| self.insert(r)).collect()
+    }
+
+    /// All rows, ordered by row id (consistent snapshot).
+    pub fn scan_all(&self) -> Vec<(RowId, Row)> {
+        self.lists[0]
+            .range_query(0, 0xFFFF_FFFF)
+            .into_iter()
+            .map(|(k, row)| (RowId(k), row))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("arity", &self.schema.arity())
+            .field("indexes", &self.schema.indexed_columns().len())
+            .field("rows", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::new(
+            Schema::new(&["user", "age", "score"])
+                .with_index("age")
+                .with_index("score"),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let t = people();
+        let id = t.insert(&[7, 30, 99]).unwrap();
+        assert_eq!(t.get(id).unwrap().columns(), &[7, 30, 99]);
+        assert_eq!(t.len(), 1);
+        let old = t.delete(id).unwrap();
+        assert_eq!(old.columns(), &[7, 30, 99]);
+        assert!(t.get(id).is_none());
+        assert!(t.is_empty());
+        assert_eq!(t.delete(id), Err(DbError::NoSuchRow(id)));
+    }
+
+    #[test]
+    fn arity_and_range_validation() {
+        let t = people();
+        assert_eq!(
+            t.insert(&[1, 2]),
+            Err(DbError::WrongArity {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert!(matches!(
+            t.insert(&[1, u64::MAX, 3]),
+            Err(DbError::ValueOutOfRange { .. })
+        ));
+        // Non-indexed columns may hold any u64.
+        t.insert(&[u64::MAX, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn scans_cover_all_indexes() {
+        let t = people();
+        for i in 0..50u64 {
+            t.insert(&[i, i % 10, 100 - i]).unwrap();
+        }
+        let teens = t.scan_by("age", 3, 5).unwrap();
+        assert_eq!(teens.len(), 15);
+        for (_, row) in &teens {
+            assert!((3..=5).contains(&row.get(1).unwrap()));
+        }
+        // scores are 100 - i for i in 0..50, so [90, 100] covers i = 0..=10.
+        assert_eq!(t.count_by("score", 90, 100).unwrap(), 11);
+        assert!(t.scan_by("user", 0, 10).is_err(), "user is not indexed");
+        assert!(t.scan_by("nope", 0, 10).is_err());
+        assert_eq!(t.scan_all().len(), 50);
+    }
+
+    #[test]
+    fn delete_removes_from_every_index() {
+        let t = people();
+        let id = t.insert(&[1, 40, 70]).unwrap();
+        t.insert(&[2, 40, 71]).unwrap();
+        assert_eq!(t.count_by("age", 40, 40).unwrap(), 2);
+        t.delete(id).unwrap();
+        assert_eq!(t.count_by("age", 40, 40).unwrap(), 1);
+        assert_eq!(t.count_by("score", 70, 70).unwrap(), 0);
+    }
+
+    #[test]
+    fn update_nonindexed_column_is_visible_everywhere() {
+        let t = people();
+        let id = t.insert(&[5, 20, 30]).unwrap();
+        t.update_column(id, "user", 999).unwrap();
+        assert_eq!(t.get(id).unwrap().get(0), Some(999));
+        // The covering index entries must carry the new row too.
+        let hits = t.scan_by("age", 20, 20).unwrap();
+        assert_eq!(hits[0].1.get(0), Some(999));
+    }
+
+    #[test]
+    fn update_indexed_column_moves_between_buckets() {
+        let t = people();
+        let id = t.insert(&[5, 20, 30]).unwrap();
+        t.update_column(id, "age", 60).unwrap();
+        assert_eq!(t.count_by("age", 20, 20).unwrap(), 0);
+        assert_eq!(t.count_by("age", 60, 60).unwrap(), 1);
+        assert_eq!(t.get(id).unwrap().get(1), Some(60));
+        // Score index entry must also carry the updated row.
+        let hits = t.scan_by("score", 30, 30).unwrap();
+        assert_eq!(hits[0].1.get(1), Some(60));
+    }
+
+    #[test]
+    fn update_column_errors() {
+        let t = people();
+        let id = t.insert(&[1, 2, 3]).unwrap();
+        assert!(t.update_column(id, "ghost", 1).is_err());
+        assert!(t.update_column(RowId(999), "age", 1).is_err());
+        assert!(matches!(
+            t.update_column(id, "age", u64::MAX),
+            Err(DbError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn row_ids_are_unique_and_monotone() {
+        let t = people();
+        let a = t.insert(&[1, 1, 1]).unwrap();
+        let b = t.insert(&[2, 2, 2]).unwrap();
+        assert!(b.0 > a.0);
+    }
+}

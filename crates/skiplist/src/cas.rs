@@ -1,0 +1,487 @@
+//! *Skip-cas*: a lock-free skip-list with one mutable key-value pair per
+//! node, in the style of Fraser's *Practical lock-freedom* (the paper's
+//! reference [8]) and the Herlihy–Shavit lock-free skip-list.
+//!
+//! Deletion is logical-then-physical: a remover marks every `next` pointer
+//! of the victim (top level down to level 0 last — the level-0 mark is the
+//! linearization point), then re-runs `find`, which physically snips marked
+//! nodes off the search path.
+//!
+//! # Reclamation protocol
+//!
+//! Nodes are freed through [`leap_ebr`], and the EBR contract requires a
+//! node to be unreachable *before* it is retired. An insert that is still
+//! lazily linking upper levels can re-link a node that a concurrent remover
+//! has already unlinked, so retirement is handed off with a per-node state
+//! machine: `INSERTING -> DONE` (by the inserter) or `-> DELETED` (by the
+//! remover). Whichever side loses the race to set its terminal state runs
+//! the final unlinking `find` and retires the node; the node is therefore
+//! retired exactly once, by the last party that could have re-linked it.
+
+use crate::level::{random_level, MAX_LEVEL};
+use leap_ebr::pin;
+use leap_stm::{TaggedPtr, TVar};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const INSERTING: u8 = 0;
+const DONE: u8 = 1;
+const DELETED: u8 = 2;
+
+pub(crate) struct Node {
+    key: u64,
+    value: TVar<u64>,
+    state: AtomicU8,
+    next: Box<[TVar<TaggedPtr<Node>>]>,
+}
+
+impl Node {
+    fn new(key: u64, value: u64, height: usize, state: u8) -> Box<Node> {
+        Box::new(Node {
+            key,
+            value: TVar::new(value),
+            state: AtomicU8::new(state),
+            next: (0..height).map(|_| TVar::new(TaggedPtr::null())).collect(),
+        })
+    }
+
+    fn height(&self) -> usize {
+        self.next.len()
+    }
+
+    /// A node is logically deleted once its level-0 next pointer is marked.
+    fn is_deleted(&self) -> bool {
+        self.next[0].naked_load().is_marked()
+    }
+}
+
+/// A lock-free skip-list map from `u64` keys to `u64` values — the paper's
+/// *Skip-cas* baseline.
+///
+/// Values are mutable in place (an insert of an existing key updates it);
+/// [`CasSkipList::range_query_inconsistent`] walks the bottom level with no
+/// atomicity guarantee, exactly like the baseline the paper measures
+/// against.
+///
+/// # Example
+///
+/// ```
+/// use leap_skiplist::CasSkipList;
+/// let m = CasSkipList::new();
+/// assert!(m.insert(1, 10));
+/// assert!(!m.insert(1, 11), "second insert updates in place");
+/// assert_eq!(m.lookup(1), Some(11));
+/// ```
+pub struct CasSkipList {
+    head: Box<Node>,
+    max_level: usize,
+}
+
+impl CasSkipList {
+    /// Creates an empty list with the default maximum tower height.
+    pub fn new() -> Self {
+        Self::with_max_level(MAX_LEVEL)
+    }
+
+    /// Creates an empty list with towers capped at `max_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_level` is 0 or exceeds [`MAX_LEVEL`].
+    pub fn with_max_level(max_level: usize) -> Self {
+        assert!((1..=MAX_LEVEL).contains(&max_level));
+        CasSkipList {
+            head: Node::new(0, 0, max_level, DONE),
+            max_level,
+        }
+    }
+
+    /// Searches for `key`, filling `preds`/`succs` for levels below
+    /// `max_level` and physically unlinking any marked node encountered.
+    /// Returns the node with `key` if it is present and not logically
+    /// deleted.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold an epoch guard for the duration of the call and for
+    /// as long as it uses the returned pointers.
+    unsafe fn find(
+        &self,
+        key: u64,
+        preds: &mut [*const Node; MAX_LEVEL],
+        succs: &mut [TaggedPtr<Node>; MAX_LEVEL],
+    ) -> Option<*mut Node> {
+        'retry: loop {
+            let mut pred: *const Node = &*self.head;
+            for l in (0..self.max_level).rev() {
+                // SAFETY: pred is head or a node reached under the guard.
+                let mut curr = unsafe { &*pred }.next[l].naked_load();
+                if curr.is_marked() {
+                    // pred was deleted under us; restart from the head.
+                    continue 'retry;
+                }
+                loop {
+                    if curr.is_null() {
+                        break;
+                    }
+                    let c = curr.as_ptr();
+                    // SAFETY: c was reachable and we hold the guard.
+                    let succ = unsafe { &*c }.next[l].naked_load();
+                    if succ.is_marked() {
+                        // c is logically deleted at this level: snip it.
+                        let clean = TaggedPtr::new(succ.as_ptr());
+                        match unsafe { &*pred }.next[l].naked_compare_exchange(curr, clean) {
+                            Ok(_) => {
+                                curr = clean;
+                                continue;
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    }
+                    if unsafe { &*c }.key < key {
+                        pred = c;
+                        curr = succ;
+                    } else {
+                        break;
+                    }
+                }
+                preds[l] = pred;
+                succs[l] = curr;
+            }
+            let f = succs[0];
+            return if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
+                Some(f.as_ptr())
+            } else {
+                None
+            };
+        }
+    }
+
+    /// Inserts `key -> value`; if the key is already present, updates the
+    /// value in place (the paper's "mutable objects"). Returns `true` if a
+    /// new node was inserted, `false` if an existing one was updated.
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        let guard = pin();
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let mut rng = rand::thread_rng();
+        loop {
+            if let Some(n) = unsafe { self.find(key, &mut preds, &mut succs) } {
+                // SAFETY: returned under our guard.
+                let node = unsafe { &*n };
+                if !node.is_deleted() {
+                    node.value.naked_store(value);
+                    return false;
+                }
+                // Deletion in flight: retry until find stops returning it.
+                continue;
+            }
+            let top = random_level(self.max_level, &mut rng);
+            let node = Node::new(key, value, top, INSERTING);
+            for (l, nxt) in node.next.iter().enumerate() {
+                nxt.naked_store(succs[l]);
+            }
+            let node_ptr = Box::into_raw(node);
+            let linked = unsafe { &*preds[0] }.next[0]
+                .naked_compare_exchange(succs[0], TaggedPtr::new(node_ptr))
+                .is_ok();
+            if !linked {
+                // Not yet published: safe to free directly.
+                drop(unsafe { Box::from_raw(node_ptr) });
+                continue;
+            }
+            unsafe { self.link_upper_levels(node_ptr, top, &mut preds, &mut succs) };
+            // Reclamation handshake (see module docs): if a remover beat us
+            // to the terminal state, the final unlink and retirement are
+            // ours.
+            let node = unsafe { &*node_ptr };
+            if node
+                .state
+                .compare_exchange(INSERTING, DONE, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                unsafe {
+                    self.find(key, &mut preds, &mut succs);
+                    guard.defer_drop_box(node_ptr);
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Lazily links `node` at levels `1..top`.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the caller's freshly level-0-linked node and the
+    /// caller must hold a guard.
+    unsafe fn link_upper_levels(
+        &self,
+        node: *mut Node,
+        top: usize,
+        preds: &mut [*const Node; MAX_LEVEL],
+        succs: &mut [TaggedPtr<Node>; MAX_LEVEL],
+    ) {
+        let node_ref = unsafe { &*node };
+        'levels: for l in 1..top {
+            loop {
+                let nl = node_ref.next[l].naked_load();
+                if nl.is_marked() {
+                    // A remover claimed the node: stop linking; the state
+                    // handshake decides who retires it.
+                    break 'levels;
+                }
+                if nl != succs[l] {
+                    // Refresh our forward pointer before exposing it; a
+                    // failure means a remover marked it concurrently.
+                    if node_ref.next[l].naked_compare_exchange(nl, succs[l]).is_err() {
+                        continue;
+                    }
+                }
+                if unsafe { &*preds[l] }.next[l]
+                    .naked_compare_exchange(succs[l], TaggedPtr::new(node))
+                    .is_ok()
+                {
+                    break;
+                }
+                // The predecessor moved: recompute the insertion window.
+                let f = unsafe { self.find(node_ref.key, preds, succs) };
+                if f != Some(node) {
+                    // The node vanished (removed) or was superseded.
+                    break 'levels;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value.
+    ///
+    /// The linearization point is the successful mark of the level-0 next
+    /// pointer.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let guard = pin();
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let n = unsafe { self.find(key, &mut preds, &mut succs) }?;
+        // SAFETY: under guard.
+        let node = unsafe { &*n };
+        // Mark upper levels, top down.
+        for l in (1..node.height()).rev() {
+            loop {
+                let s = node.next[l].naked_load();
+                if s.is_marked() {
+                    break;
+                }
+                if node.next[l].naked_compare_exchange(s, s.marked()).is_ok() {
+                    break;
+                }
+            }
+        }
+        // Level 0 decides ownership of the removal.
+        loop {
+            let s = node.next[0].naked_load();
+            if s.is_marked() {
+                // Another remover won; for this caller the key is gone.
+                return None;
+            }
+            if node.next[0].naked_compare_exchange(s, s.marked()).is_ok() {
+                let value = node.value.naked_load();
+                // Terminal-state handshake before the unlinking find: if the
+                // inserter is still running it may re-link the node, so it
+                // must be the one to retire it (after its own find).
+                let prev = node.state.swap(DELETED, Ordering::AcqRel);
+                unsafe {
+                    self.find(key, &mut preds, &mut succs);
+                    if prev == DONE {
+                        guard.defer_drop_box(n);
+                    }
+                }
+                return Some(value);
+            }
+        }
+    }
+
+    /// Looks up `key` without helping (read-only traversal).
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let _guard = pin();
+        let mut pred: *const Node = &*self.head;
+        for l in (0..self.max_level).rev() {
+            // SAFETY: nodes reachable under the guard; marked pointers are
+            // stripped, which is fine for a read-only traversal.
+            let mut curr = unsafe { &*pred }.next[l].naked_load().as_ptr();
+            while !curr.is_null() && unsafe { &*curr }.key < key {
+                pred = curr;
+                curr = unsafe { &*curr }.next[l].naked_load().as_ptr();
+            }
+            if !curr.is_null() {
+                let c = unsafe { &*curr };
+                if c.key == key {
+                    if c.is_deleted() {
+                        return None;
+                    }
+                    return Some(c.value.naked_load());
+                }
+            }
+        }
+        None
+    }
+
+    /// The paper's Skip-cas range query: walks the bottom level collecting
+    /// keys in `[lo, hi]` with **no consistency validation** — concurrent
+    /// updates can produce a result that never existed as a snapshot
+    /// (explicitly called out as non-atomic in §3.1).
+    pub fn range_query_inconsistent(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let _guard = pin();
+        let mut out = Vec::new();
+        let mut pred: *const Node = &*self.head;
+        for l in (0..self.max_level).rev() {
+            let mut curr = unsafe { &*pred }.next[l].naked_load().as_ptr();
+            while !curr.is_null() && unsafe { &*curr }.key < lo {
+                pred = curr;
+                curr = unsafe { &*curr }.next[l].naked_load().as_ptr();
+            }
+        }
+        let mut curr = unsafe { &*pred }.next[0].naked_load().as_ptr();
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if c.key > hi {
+                break;
+            }
+            if c.key >= lo && !c.is_deleted() {
+                out.push((c.key, c.value.naked_load()));
+            }
+            curr = c.next[0].naked_load().as_ptr();
+        }
+        out
+    }
+
+    /// Number of live keys (O(n); test/diagnostic helper).
+    pub fn len(&self) -> usize {
+        let _guard = pin();
+        let mut n = 0;
+        let mut curr = self.head.next[0].naked_load().as_ptr();
+        while !curr.is_null() {
+            let c = unsafe { &*curr };
+            if !c.is_deleted() {
+                n += 1;
+            }
+            curr = c.next[0].naked_load().as_ptr();
+        }
+        n
+    }
+
+    /// Whether the list holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for CasSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for CasSkipList {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still linked at level 0.
+        // Unlinked nodes are owned by the EBR queues.
+        let mut curr = self.head.next[0].naked_load().as_ptr();
+        while !curr.is_null() {
+            let next = unsafe { &*curr }.next[0].naked_load().as_ptr();
+            drop(unsafe { Box::from_raw(curr) });
+            curr = next;
+        }
+    }
+}
+
+impl std::fmt::Debug for CasSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CasSkipList")
+            .field("max_level", &self.max_level)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let m = CasSkipList::new();
+        assert_eq!(m.lookup(5), None);
+        assert!(m.insert(5, 50));
+        assert_eq!(m.lookup(5), Some(50));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.lookup(5), Some(51));
+        assert_eq!(m.remove(5), Some(51));
+        assert_eq!(m.remove(5), None);
+        assert_eq!(m.lookup(5), None);
+    }
+
+    #[test]
+    fn ordered_bottom_level() {
+        let m = CasSkipList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        let all = m.range_query_inconsistent(0, u64::MAX);
+        let keys: Vec<u64> = all.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn range_query_bounds_inclusive() {
+        let m = CasSkipList::new();
+        for k in 1..=10u64 {
+            m.insert(k, k);
+        }
+        let r = m.range_query_inconsistent(3, 7);
+        assert_eq!(
+            r.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn len_counts_live_keys() {
+        let m = CasSkipList::new();
+        assert!(m.is_empty());
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.len(), 100);
+        for k in 0..50u64 {
+            m.remove((k * 2) % 100);
+        }
+        assert_eq!(m.len(), 50);
+    }
+
+    #[test]
+    fn keys_at_extremes() {
+        let m = CasSkipList::new();
+        m.insert(0, 1);
+        m.insert(u64::MAX, 2);
+        assert_eq!(m.lookup(0), Some(1));
+        assert_eq!(m.lookup(u64::MAX), Some(2));
+        assert_eq!(
+            m.range_query_inconsistent(0, u64::MAX).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn single_level_list_works() {
+        let m = CasSkipList::with_max_level(1);
+        for k in 0..64u64 {
+            m.insert(k, k + 1);
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.lookup(k), Some(k + 1));
+        }
+        for k in (0..64u64).step_by(2) {
+            assert_eq!(m.remove(k), Some(k + 1));
+        }
+        assert_eq!(m.len(), 32);
+    }
+}

@@ -1,0 +1,62 @@
+//! Geometric level generation shared by the skip-list baselines.
+
+use rand::Rng;
+
+/// Maximum tower height for the skip-list baselines. 2^32 expected elements
+/// is far beyond the evaluation's 10M maximum.
+pub const MAX_LEVEL: usize = 32;
+
+/// Draws a tower height in `1..=max` with the classic geometric
+/// distribution (p = 1/2), as in Pugh's original skip-list.
+///
+/// # Example
+///
+/// ```
+/// use leap_skiplist::random_level;
+/// let mut rng = rand::thread_rng();
+/// let h = random_level(8, &mut rng);
+/// assert!((1..=8).contains(&h));
+/// ```
+pub fn random_level<R: Rng + ?Sized>(max: usize, rng: &mut R) -> usize {
+    debug_assert!(max >= 1);
+    let bits: u64 = rng.gen();
+    // trailing_ones of a uniform word is geometric(1/2).
+    let h = bits.trailing_ones() as usize + 1;
+    h.min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_in_bounds() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..10_000 {
+            let h = random_level(12, &mut rng);
+            assert!((1..=12).contains(&h));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_geometric() {
+        let mut rng = rand::thread_rng();
+        let n = 100_000;
+        let ones = (0..n)
+            .filter(|_| random_level(MAX_LEVEL, &mut rng) == 1)
+            .count();
+        // P(h = 1) = 1/2; allow generous slack.
+        assert!(
+            (40_000..60_000).contains(&ones),
+            "h=1 frequency {ones} out of expected ~50000"
+        );
+    }
+
+    #[test]
+    fn max_caps_height() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..1000 {
+            assert_eq!(random_level(1, &mut rng), 1);
+        }
+    }
+}

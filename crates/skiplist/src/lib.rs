@@ -1,0 +1,41 @@
+//! # leap-skiplist — the evaluation's skip-list baselines
+//!
+//! The Leap-List paper (PODC 2013, §3.1) compares its structure against two
+//! conventional skip-lists, both rebuilt here:
+//!
+//! * [`CasSkipList`] — *Skip-cas*: a lock-free skip-list in the style of
+//!   Fraser's *Practical lock-freedom*, with one key-value pair per node,
+//!   mutable (in-place updated) values, logical deletion via marked next
+//!   pointers, and a **non-linearizable** range query that simply walks the
+//!   bottom level with no consistency validation.
+//! * [`TmSkipList`] — *Skip-tm*: the same abstract map with every operation
+//!   (traversal included) wrapped in one `leap-stm` transaction, showing
+//!   the cost of a fully instrumented traversal.
+//!
+//! Keys and values are `u64` words (as in the paper's C implementation).
+//! Node memory is reclaimed through [`leap_ebr`].
+//!
+//! # Example
+//!
+//! ```
+//! use leap_skiplist::CasSkipList;
+//! let map = CasSkipList::new();
+//! map.insert(10, 100);
+//! map.insert(20, 200);
+//! assert_eq!(map.lookup(10), Some(100));
+//! assert_eq!(map.remove(10), Some(100));
+//! assert_eq!(map.lookup(10), None);
+//! let pairs = map.range_query_inconsistent(0, 100);
+//! assert_eq!(pairs, vec![(20, 200)]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod cas;
+mod level;
+mod tm;
+
+pub use cas::CasSkipList;
+pub use level::{random_level, MAX_LEVEL};
+pub use tm::TmSkipList;

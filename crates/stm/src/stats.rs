@@ -1,0 +1,84 @@
+//! Commit/abort statistics, used by the evaluation harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct Stats {
+    pub(crate) commits: AtomicU64,
+    pub(crate) read_only_commits: AtomicU64,
+    pub(crate) conflict_aborts: AtomicU64,
+    pub(crate) explicit_aborts: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
+            explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a domain's transaction counters.
+///
+/// Retrieved with [`StmDomain::stats`](crate::StmDomain::stats). Counters
+/// are updated with relaxed atomics; totals are exact once all transactions
+/// have finished, and advisory while they run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Transactions that committed after performing at least one write.
+    pub commits: u64,
+    /// Transactions that committed without writing.
+    pub read_only_commits: u64,
+    /// Aborts caused by conflicts (locked or too-new ownership records).
+    pub conflict_aborts: u64,
+    /// Aborts requested by the program (`tx_abort` in the paper's
+    /// pseudocode, e.g. a COP validation failure).
+    pub explicit_aborts: u64,
+}
+
+impl StatsSnapshot {
+    /// Total commit count (writing + read-only).
+    pub fn total_commits(&self) -> u64 {
+        self.commits + self.read_only_commits
+    }
+
+    /// Total abort count (conflict + explicit).
+    pub fn total_aborts(&self) -> u64 {
+        self.conflict_aborts + self.explicit_aborts
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "commits={} (ro={}) aborts={} (conflict={}, explicit={})",
+            self.total_commits(),
+            self.read_only_commits,
+            self.total_aborts(),
+            self.conflict_aborts,
+            self.explicit_aborts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sums() {
+        let s = StatsSnapshot {
+            commits: 3,
+            read_only_commits: 2,
+            conflict_aborts: 4,
+            explicit_aborts: 1,
+        };
+        assert_eq!(s.total_commits(), 5);
+        assert_eq!(s.total_aborts(), 5);
+        assert!(format!("{s}").contains("commits=5"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Tagged (markable) pointers.
+//!
+//! The Leap-List writes *marked* pointers inside a transaction and removes
+//! the mark after a successful commit (paper §2). A mark is the low bit of
+//! the pointer word, which is always available because node allocations are
+//! at least 2-byte aligned.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A raw pointer carrying a one-bit mark in its lowest bit.
+///
+/// `TaggedPtr` is a plain value (it implements [`Word`](crate::Word)); store
+/// it in a [`TPtr`](crate::TPtr) cell for shared use.
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::TaggedPtr;
+/// let b = Box::into_raw(Box::new(7u64));
+/// let p = TaggedPtr::new(b);
+/// assert!(!p.is_marked());
+/// let m = p.marked();
+/// assert!(m.is_marked());
+/// assert_eq!(m.unmarked(), p);
+/// assert_eq!(p.as_ptr(), b);
+/// # drop(unsafe { Box::from_raw(b) });
+/// ```
+pub struct TaggedPtr<T> {
+    raw: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> TaggedPtr<T> {
+    const MARK: usize = 1;
+
+    /// Wraps an (unmarked) raw pointer.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the pointer is at least 2-byte aligned so the mark
+    /// bit is free.
+    #[inline]
+    pub fn new(ptr: *mut T) -> Self {
+        debug_assert_eq!(ptr as usize & Self::MARK, 0, "pointer not aligned");
+        TaggedPtr {
+            raw: ptr as usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The null pointer (unmarked).
+    #[inline]
+    pub fn null() -> Self {
+        TaggedPtr {
+            raw: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Rebuilds from a raw word (pointer bits plus mark bit).
+    #[inline]
+    pub fn from_raw(raw: usize) -> Self {
+        TaggedPtr {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The raw word including the mark bit.
+    #[inline]
+    pub fn into_raw(self) -> usize {
+        self.raw
+    }
+
+    /// The pointer with the mark bit stripped.
+    #[inline]
+    pub fn as_ptr(self) -> *mut T {
+        (self.raw & !Self::MARK) as *mut T
+    }
+
+    /// Whether the mark bit is set.
+    #[inline]
+    pub fn is_marked(self) -> bool {
+        self.raw & Self::MARK != 0
+    }
+
+    /// Whether the pointer (ignoring the mark) is null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.raw & !Self::MARK == 0
+    }
+
+    /// This pointer with the mark bit set.
+    #[inline]
+    pub fn marked(self) -> Self {
+        Self::from_raw(self.raw | Self::MARK)
+    }
+
+    /// This pointer with the mark bit cleared (the paper's `UNMARK`).
+    #[inline]
+    pub fn unmarked(self) -> Self {
+        Self::from_raw(self.raw & !Self::MARK)
+    }
+}
+
+impl<T> Clone for TaggedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TaggedPtr<T> {}
+
+impl<T> PartialEq for TaggedPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for TaggedPtr<T> {}
+
+impl<T> std::hash::Hash for TaggedPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+
+impl<T> fmt::Debug for TaggedPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TaggedPtr({:p}{})",
+            self.as_ptr(),
+            if self.is_marked() { ", marked" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_roundtrip() {
+        let b = Box::into_raw(Box::new(1u32));
+        let p = TaggedPtr::new(b);
+        assert!(!p.is_marked());
+        assert!(p.marked().is_marked());
+        assert_eq!(p.marked().unmarked(), p);
+        assert_eq!(p.marked().as_ptr(), b);
+        drop(unsafe { Box::from_raw(b) });
+    }
+
+    #[test]
+    fn null_handling() {
+        let p = TaggedPtr::<u64>::null();
+        assert!(p.is_null());
+        assert!(p.marked().is_null(), "mark must not affect nullness");
+        assert!(p.marked().as_ptr().is_null(), "mark stripped for deref");
+    }
+
+    #[test]
+    fn equality_includes_mark() {
+        let b = Box::into_raw(Box::new(1u8));
+        let p = TaggedPtr::new(b);
+        assert_ne!(p, p.marked());
+        assert_eq!(p, p.marked().unmarked());
+        drop(unsafe { Box::from_raw(b) });
+    }
+}

@@ -1,0 +1,638 @@
+//! Transactions: TL2-style write-back and GCC-TM-style write-through.
+
+use crate::domain::{orec_is_locked, orec_version, Mode, StmDomain};
+use crate::tvar::TVar;
+use crate::word::Word;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Why a transactional operation could not proceed.
+///
+/// An `Abort` is not an error in the application sense: the enclosing retry
+/// loop ([`atomically`](crate::atomically) or a hand-written one, as in the
+/// Leap-List operations) re-executes the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// A conflicting transaction owns or has updated a location we touched.
+    Conflict,
+    /// The program requested an abort (the paper's `tx_abort`, e.g. when a
+    /// COP validation discovers the read-only prefix is stale).
+    Explicit,
+}
+
+impl std::fmt::Display for Abort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Abort::Conflict => write!(f, "transaction aborted: conflict"),
+            Abort::Explicit => write!(f, "transaction aborted: explicit"),
+        }
+    }
+}
+
+impl std::error::Error for Abort {}
+
+/// Result type of transactional operations.
+pub type TxResult<T> = Result<T, Abort>;
+
+struct WriteEntry {
+    addr: usize,
+    cell: *const AtomicUsize,
+    val: usize,
+    orec: u32,
+}
+
+struct WtLock {
+    orec: u32,
+    old: u64,
+}
+
+struct UndoEntry {
+    cell: *const AtomicUsize,
+    old: usize,
+}
+
+/// How many times commit spins on a locked orec before giving up.
+const LOCK_SPIN_LIMIT: u32 = 64;
+
+/// An in-flight transaction on some [`StmDomain`].
+///
+/// Create with [`Txn::begin`], finish with [`Txn::commit`]. Dropping a
+/// transaction without committing rolls it back (relevant in
+/// [write-through](Mode::WriteThrough) mode, where writes are eager).
+///
+/// The paper's operations use hand-written retry loops around `begin` /
+/// `commit` because the non-transactional COP prefix must also be
+/// re-executed on abort; [`atomically`](crate::atomically) packages the
+/// common case.
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::{StmDomain, TVar, Txn};
+/// let d = StmDomain::new();
+/// let v = TVar::new(10u64);
+/// loop {
+///     let mut tx = Txn::begin(&d);
+///     let body = (|| {
+///         let x = tx.read(&v)?;
+///         tx.write(&v, x * 2)
+///     })();
+///     if body.is_ok() && tx.commit().is_ok() {
+///         break;
+///     }
+/// }
+/// assert_eq!(v.naked_load(), 20);
+/// ```
+pub struct Txn<'d> {
+    domain: &'d StmDomain,
+    rv: u64,
+    read_set: Vec<u32>,
+    write_set: Vec<WriteEntry>,
+    wt_locks: Vec<WtLock>,
+    undo: Vec<UndoEntry>,
+    completed: bool,
+    explicit: bool,
+    poisoned: bool,
+}
+
+impl<'d> Txn<'d> {
+    /// Starts a transaction: samples the global clock as the read version.
+    pub fn begin(domain: &'d StmDomain) -> Self {
+        Txn {
+            domain,
+            rv: domain.clock_load(),
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            wt_locks: Vec::new(),
+            undo: Vec::new(),
+            completed: false,
+            explicit: false,
+            poisoned: false,
+        }
+    }
+
+    /// The domain this transaction runs on.
+    pub fn domain(&self) -> &'d StmDomain {
+        self.domain
+    }
+
+    /// Requests an explicit abort (the paper's `tx_abort`). Returns the
+    /// [`Abort::Explicit`] value so call sites can write
+    /// `return Err(tx.explicit_abort());`.
+    pub fn explicit_abort(&mut self) -> Abort {
+        self.explicit = true;
+        self.poisoned = true;
+        Abort::Explicit
+    }
+
+    fn conflict(&mut self) -> Abort {
+        self.poisoned = true;
+        Abort::Conflict
+    }
+
+    fn is_my_wt_lock(&self, orec: u32) -> bool {
+        self.wt_locks.iter().any(|l| l.orec == orec)
+    }
+
+    /// Transactional read.
+    ///
+    /// In write-back mode, returns the buffered value if this transaction
+    /// already wrote `var`. The borrow of `var` must outlive the
+    /// transaction's lifetime `'d` — in the Leap-List this is guaranteed by
+    /// epoch pinning.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] if `var`'s ownership record is locked by another
+    /// transaction or has advanced past this transaction's (extensible)
+    /// read snapshot.
+    pub fn read<T: Word>(&mut self, var: &'d TVar<T>) -> TxResult<T> {
+        if self.poisoned {
+            return Err(Abort::Conflict);
+        }
+        let addr = var.addr();
+        if self.domain.mode() == Mode::WriteBack {
+            // Read-after-write: serve from the redo buffer.
+            if let Some(e) = self.write_set.iter().rev().find(|e| e.addr == addr) {
+                return Ok(T::from_word(e.val));
+            }
+        }
+        let oi = self.domain.orec_index(addr);
+        if self.domain.mode() == Mode::WriteThrough && self.is_my_wt_lock(oi) {
+            // We own the stripe: the in-place value is ours and stable.
+            return Ok(T::from_word(var.cell.load(Ordering::Acquire)));
+        }
+        let o1 = self.domain.orec_load(oi);
+        if orec_is_locked(o1) {
+            return Err(self.conflict());
+        }
+        let v = var.cell.load(Ordering::Acquire);
+        let o2 = self.domain.orec_load(oi);
+        if o2 != o1 {
+            return Err(self.conflict());
+        }
+        if orec_version(o1) > self.rv {
+            self.extend()?;
+            // The stripe must not have moved while we extended.
+            if self.domain.orec_load(oi) != o1 {
+                return Err(self.conflict());
+            }
+        }
+        self.read_set.push(oi);
+        Ok(T::from_word(v))
+    }
+
+    /// Transactional write.
+    ///
+    /// Write-back buffers the value until commit; write-through locks the
+    /// ownership record, logs the old value and stores in place (naked
+    /// readers may observe it before commit — GCC-TM's weak isolation).
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] under contention on `var`'s ownership record.
+    pub fn write<T: Word>(&mut self, var: &'d TVar<T>, value: T) -> TxResult<()> {
+        if self.poisoned {
+            return Err(Abort::Conflict);
+        }
+        let addr = var.addr();
+        let oi = self.domain.orec_index(addr);
+        match self.domain.mode() {
+            Mode::WriteBack => {
+                let val = value.to_word();
+                if let Some(e) = self.write_set.iter_mut().find(|e| e.addr == addr) {
+                    e.val = val;
+                } else {
+                    self.write_set.push(WriteEntry {
+                        addr,
+                        cell: &var.cell,
+                        val,
+                        orec: oi,
+                    });
+                }
+                Ok(())
+            }
+            Mode::WriteThrough => {
+                if !self.is_my_wt_lock(oi) {
+                    let o = self.domain.orec_load(oi);
+                    if orec_is_locked(o) {
+                        return Err(self.conflict());
+                    }
+                    if orec_version(o) > self.rv {
+                        self.extend()?;
+                        if orec_version(o) > self.rv {
+                            return Err(self.conflict());
+                        }
+                    }
+                    if !self.domain.orec_try_lock(oi, o) {
+                        return Err(self.conflict());
+                    }
+                    self.wt_locks.push(WtLock { orec: oi, old: o });
+                }
+                self.undo.push(UndoEntry {
+                    cell: &var.cell,
+                    old: var.cell.load(Ordering::Relaxed),
+                });
+                var.cell.store(value.to_word(), Ordering::Release);
+                Ok(())
+            }
+        }
+    }
+
+    /// Attempts to move the read snapshot forward (lazy snapshot extension):
+    /// succeeds iff nothing read so far has changed.
+    fn extend(&mut self) -> TxResult<()> {
+        let new_rv = self.domain.clock_load();
+        for &oi in &self.read_set {
+            let o = self.domain.orec_load(oi);
+            if orec_is_locked(o) {
+                if !self.is_my_wt_lock(oi) {
+                    return Err(self.conflict());
+                }
+            } else if orec_version(o) > self.rv {
+                return Err(self.conflict());
+            }
+        }
+        self.rv = new_rv;
+        Ok(())
+    }
+
+    /// Validates the read set against snapshot `rv`. `mine` lists orecs this
+    /// transaction has locked, sorted, together with their *pre-lock* words:
+    /// for those we must validate the version as it was before we locked it
+    /// (the lock itself does not vouch for the reads made earlier).
+    fn validate_reads(&self, mine: &[(u32, u64)]) -> bool {
+        for &oi in &self.read_set {
+            let o = self.domain.orec_load(oi);
+            let version = if orec_is_locked(o) {
+                match mine.binary_search_by_key(&oi, |(i, _)| *i) {
+                    Ok(k) => orec_version(mine[k].1),
+                    Err(_) => return false,
+                }
+            } else {
+                orec_version(o)
+            };
+            if version > self.rv {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Attempts to commit.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] if commit-time locking or read validation fails;
+    /// the transaction is rolled back and all its effects discarded.
+    pub fn commit(mut self) -> Result<(), Abort> {
+        if self.poisoned {
+            // Drop impl performs the rollback and stats accounting.
+            return Err(Abort::Conflict);
+        }
+        match self.domain.mode() {
+            Mode::WriteBack => self.commit_wb(),
+            Mode::WriteThrough => self.commit_wt(),
+        }
+    }
+
+    fn commit_wb(&mut self) -> Result<(), Abort> {
+        if self.write_set.is_empty() {
+            self.completed = true;
+            self.domain
+                .stats
+                .read_only_commits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        // Lock the write stripes in sorted order (deadlock avoidance with
+        // bounded spinning as a safety net).
+        let mut locks: Vec<(u32, u64)> = self
+            .write_set
+            .iter()
+            .map(|e| (e.orec, 0))
+            .collect();
+        locks.sort_unstable_by_key(|(oi, _)| *oi);
+        locks.dedup_by_key(|(oi, _)| *oi);
+        let mut acquired = 0usize;
+        'locking: for i in 0..locks.len() {
+            let oi = locks[i].0;
+            let mut spins = 0;
+            loop {
+                let o = self.domain.orec_load(oi);
+                if !orec_is_locked(o) && self.domain.orec_try_lock(oi, o) {
+                    locks[i].1 = o;
+                    acquired = i + 1;
+                    continue 'locking;
+                }
+                spins += 1;
+                if spins > LOCK_SPIN_LIMIT {
+                    for &(oj, old) in &locks[..acquired] {
+                        self.domain.orec_restore(oj, old);
+                    }
+                    self.record_abort();
+                    return Err(Abort::Conflict);
+                }
+                std::hint::spin_loop();
+            }
+        }
+        let wv = self.domain.clock_bump();
+        if self.rv + 1 != wv && !self.validate_reads(&locks) {
+            for &(oi, old) in &locks {
+                self.domain.orec_restore(oi, old);
+            }
+            self.record_abort();
+            return Err(Abort::Conflict);
+        }
+        // Publish the redo buffer, then release stripes at the new version.
+        for e in &self.write_set {
+            // SAFETY: `cell` points into a TVar the caller kept alive for
+            // 'd (enforced by `read`/`write` borrow lifetimes).
+            unsafe { (*e.cell).store(e.val, Ordering::Release) };
+        }
+        for &(oi, _) in &locks {
+            self.domain.orec_unlock_to(oi, wv);
+        }
+        self.completed = true;
+        self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn commit_wt(&mut self) -> Result<(), Abort> {
+        if self.wt_locks.is_empty() {
+            self.completed = true;
+            self.domain
+                .stats
+                .read_only_commits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let wv = self.domain.clock_bump();
+        let mut mine: Vec<(u32, u64)> = self.wt_locks.iter().map(|l| (l.orec, l.old)).collect();
+        mine.sort_unstable_by_key(|(oi, _)| *oi);
+        if self.rv + 1 != wv && !self.validate_reads(&mine) {
+            self.rollback_wt();
+            self.record_abort();
+            return Err(Abort::Conflict);
+        }
+        for l in &self.wt_locks {
+            self.domain.orec_unlock_to(l.orec, wv);
+        }
+        self.wt_locks.clear();
+        self.undo.clear();
+        self.completed = true;
+        self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Undoes in-place writes (reverse order) and restores orec words.
+    fn rollback_wt(&mut self) {
+        for u in self.undo.drain(..).rev() {
+            // SAFETY: same liveness argument as in `commit_wb`.
+            unsafe { (*u.cell).store(u.old, Ordering::Release) };
+        }
+        for l in self.wt_locks.drain(..) {
+            self.domain.orec_restore(l.orec, l.old);
+        }
+    }
+
+    fn record_abort(&mut self) {
+        self.completed = true;
+        let ctr = if self.explicit {
+            &self.domain.stats.explicit_aborts
+        } else {
+            &self.domain.stats.conflict_aborts
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.rollback_wt();
+            self.record_abort();
+        }
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("rv", &self.rv)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .field("wt_locks", &self.wt_locks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Mode;
+
+    fn both_modes() -> Vec<StmDomain> {
+        vec![
+            StmDomain::with_config(Mode::WriteBack, 10),
+            StmDomain::with_config(Mode::WriteThrough, 10),
+        ]
+    }
+
+    #[test]
+    fn read_own_write() {
+        for d in both_modes() {
+            let v = TVar::new(1u64);
+            let mut tx = Txn::begin(&d);
+            tx.write(&v, 5).unwrap();
+            assert_eq!(tx.read(&v).unwrap(), 5, "mode {:?}", d.mode());
+            tx.commit().unwrap();
+            assert_eq!(v.naked_load(), 5);
+        }
+    }
+
+    #[test]
+    fn write_skew_on_same_var_is_detected() {
+        for d in both_modes() {
+            let v = TVar::new(0u64);
+            let mut t1 = Txn::begin(&d);
+            let _ = t1.read(&v).unwrap();
+
+            // t2 commits an update to v while t1 is live.
+            let mut t2 = Txn::begin(&d);
+            let x = t2.read(&v).unwrap();
+            t2.write(&v, x + 1).unwrap();
+            t2.commit().unwrap();
+
+            // t1 read v before t2's commit; writing based on it must fail.
+            let r = t1.write(&v, 99).and_then(|_| t1.commit());
+            assert_eq!(r, Err(Abort::Conflict), "mode {:?}", d.mode());
+            assert_eq!(v.naked_load(), 1, "t1 must not clobber t2's update");
+        }
+    }
+
+    #[test]
+    fn wt_write_write_conflict_immediate() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(0u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 1).unwrap();
+        let mut t2 = Txn::begin(&d);
+        assert_eq!(t2.write(&v, 2), Err(Abort::Conflict));
+        t1.commit().unwrap();
+        assert_eq!(v.naked_load(), 1);
+    }
+
+    #[test]
+    fn wt_read_of_locked_var_conflicts() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(0u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 1).unwrap();
+        let mut t2 = Txn::begin(&d);
+        assert_eq!(t2.read(&v), Err(Abort::Conflict));
+        drop(t1); // rollback
+        assert_eq!(v.naked_load(), 0, "rollback must restore the old value");
+    }
+
+    #[test]
+    fn wt_naked_reader_sees_tentative_then_rollback() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(7u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 1234).unwrap();
+        // Weak isolation: tentative value visible to naked reads.
+        assert_eq!(v.naked_load(), 1234);
+        drop(t1);
+        assert_eq!(v.naked_load(), 7);
+    }
+
+    #[test]
+    fn wb_naked_reader_never_sees_uncommitted() {
+        let d = StmDomain::with_config(Mode::WriteBack, 10);
+        let v = TVar::new(7u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 1234).unwrap();
+        assert_eq!(v.naked_load(), 7, "write-back must buffer until commit");
+        drop(t1);
+        assert_eq!(v.naked_load(), 7);
+    }
+
+    #[test]
+    fn snapshot_extension_allows_reading_newer_vars() {
+        for d in both_modes() {
+            let a = TVar::new(0u64);
+            let b = TVar::new(0u64);
+            let mut t1 = Txn::begin(&d);
+            // Another transaction commits to b after t1 began.
+            let mut t2 = Txn::begin(&d);
+            t2.write(&b, 42).unwrap();
+            t2.commit().unwrap();
+            // t1 has an empty read set, so extension succeeds.
+            assert_eq!(t1.read(&b).unwrap(), 42, "mode {:?}", d.mode());
+            assert_eq!(t1.read(&a).unwrap(), 0);
+            t1.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_extension_fails_when_reads_are_stale() {
+        for d in both_modes() {
+            let a = TVar::new(0u64);
+            let b = TVar::new(0u64);
+            let mut t1 = Txn::begin(&d);
+            assert_eq!(t1.read(&a).unwrap(), 0);
+            // t2 commits to BOTH a and b: t1's read of a is now stale.
+            let mut t2 = Txn::begin(&d);
+            t2.write(&a, 1).unwrap();
+            t2.write(&b, 1).unwrap();
+            t2.commit().unwrap();
+            assert_eq!(
+                t1.read(&b),
+                Err(Abort::Conflict),
+                "mode {:?}: extension must fail, a changed",
+                d.mode()
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_abort_counts_and_poisons() {
+        for d in both_modes() {
+            let v = TVar::new(0u64);
+            let mut tx = Txn::begin(&d);
+            tx.write(&v, 9).unwrap();
+            let a = tx.explicit_abort();
+            assert_eq!(a, Abort::Explicit);
+            assert_eq!(tx.read(&v), Err(Abort::Conflict), "poisoned tx");
+            drop(tx);
+            assert_eq!(v.naked_load(), 0, "mode {:?}", d.mode());
+            assert_eq!(d.stats().explicit_aborts, 1);
+        }
+    }
+
+    #[test]
+    fn read_only_commit_counted() {
+        for d in both_modes() {
+            let v = TVar::new(3u64);
+            let mut tx = Txn::begin(&d);
+            assert_eq!(tx.read(&v).unwrap(), 3);
+            tx.commit().unwrap();
+            assert_eq!(d.stats().read_only_commits, 1);
+            assert_eq!(d.stats().commits, 0);
+        }
+    }
+
+    #[test]
+    fn wt_rollback_restores_multiple_writes_in_order() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(1u64);
+        let mut tx = Txn::begin(&d);
+        tx.write(&v, 2).unwrap();
+        tx.write(&v, 3).unwrap();
+        assert_eq!(v.naked_load(), 3);
+        drop(tx);
+        assert_eq!(v.naked_load(), 1, "reverse-order undo must restore v=1");
+    }
+
+    #[test]
+    fn orec_collisions_are_safe() {
+        // 2 orecs: nearly everything collides. Transactions must still be
+        // serializable (no lost updates), just with more false conflicts.
+        for mode in [Mode::WriteBack, Mode::WriteThrough] {
+            let d = StmDomain::with_config(mode, 1);
+            let vars: Vec<TVar<u64>> = (0..8).map(|_| TVar::new(0)).collect();
+            for i in 0..64u64 {
+                let vi = (i % 8) as usize;
+                loop {
+                    let mut tx = Txn::begin(&d);
+                    let body = (|| {
+                        let x = tx.read(&vars[vi])?;
+                        tx.write(&vars[vi], x + 1)
+                    })();
+                    if body.is_ok() && tx.commit().is_ok() {
+                        break;
+                    }
+                }
+            }
+            let total: u64 = vars.iter().map(|v| v.naked_load()).sum();
+            assert_eq!(total, 64, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn commit_after_poison_fails_and_rolls_back() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(5u64);
+        let w = TVar::new(5u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 6).unwrap();
+        // Force a conflict: another tx owns w.
+        let mut t2 = Txn::begin(&d);
+        t2.write(&w, 7).unwrap();
+        assert_eq!(t1.write(&w, 8), Err(Abort::Conflict));
+        assert_eq!(t1.commit(), Err(Abort::Conflict));
+        t2.commit().unwrap();
+        assert_eq!(v.naked_load(), 5, "poisoned t1 must roll back v");
+        assert_eq!(w.naked_load(), 7);
+    }
+}

