@@ -14,7 +14,10 @@ use std::time::Duration;
 
 const PREFILL: u64 = 20_000;
 
-fn group_cfg<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group_cfg<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name.to_string());
     g.sample_size(15)
         .warm_up_time(Duration::from_millis(200))
@@ -37,12 +40,15 @@ fn trie_vs_binary_search(c: &mut Criterion) {
                 l.update(k, k);
             }
             let mut k = 0u64;
-            g.bench_function(BenchmarkId::new(format!("lookup_{label}"), node_size), |b| {
-                b.iter(|| {
-                    k = (k + 7919) % PREFILL;
-                    std::hint::black_box(l.lookup(k))
-                })
-            });
+            g.bench_function(
+                BenchmarkId::new(format!("lookup_{label}"), node_size),
+                |b| {
+                    b.iter(|| {
+                        k = (k + 7919) % PREFILL;
+                        std::hint::black_box(l.lookup(k))
+                    })
+                },
+            );
         }
     }
     g.finish();
@@ -80,7 +86,10 @@ fn node_size_sweep(c: &mut Criterion) {
 
 fn write_back_vs_write_through(c: &mut Criterion) {
     let mut g = group_cfg(c, "ablation_stm_mode");
-    for (label, mode) in [("write_back", Mode::WriteBack), ("write_through", Mode::WriteThrough)] {
+    for (label, mode) in [
+        ("write_back", Mode::WriteBack),
+        ("write_through", Mode::WriteThrough),
+    ] {
         let domain = Arc::new(StmDomain::with_config(mode, 16));
         let l: LeapListLt<u64> = LeapListLt::with_domain(Params::default(), domain);
         for k in 0..PREFILL {

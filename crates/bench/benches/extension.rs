@@ -27,19 +27,24 @@ fn main() {
         seed: 0xE47,
     };
 
-    println!("== extension: uniform vs zipfian keys ({} elements, {} threads) ==", elements, threads);
-    println!("{:>14}{:>12}{:>16}{:>16}", "algorithm", "mix", "uniform ops/s", "zipf99 ops/s");
+    println!(
+        "== extension: uniform vs zipfian keys ({} elements, {} threads) ==",
+        elements, threads
+    );
+    println!(
+        "{:>14}{:>12}{:>16}{:>16}",
+        "algorithm", "mix", "uniform ops/s", "zipf99 ops/s"
+    );
     for algo in [Algo::LeapLt, Algo::LeapCop, Algo::SkipCas] {
-        for (mix_name, mix) in [("modify", Mix::write_only()), ("40/40/20", Mix::read_dominated())] {
+        for (mix_name, mix) in [
+            ("modify", Mix::write_only()),
+            ("40/40/20", Mix::read_dominated()),
+        ] {
             let lists = if algo == Algo::SkipCas { 1 } else { 4 };
             let t = make_target(algo, lists, Params::default());
             t.prefill(elements);
             let uni = run_throughput(&t, &Workload::paper(mix, elements.max(2)), &cfg);
-            let zip = run_throughput(
-                &t,
-                &Workload::zipfian(mix, elements.max(2), 0.99),
-                &cfg,
-            );
+            let zip = run_throughput(&t, &Workload::zipfian(mix, elements.max(2), 0.99), &cfg);
             println!(
                 "{:>14}{:>12}{:>16.0}{:>16.0}",
                 algo.label(),
@@ -59,7 +64,11 @@ fn main() {
         let lists = if algo == Algo::SkipCas { 1 } else { 4 };
         let t = make_target(algo, lists, Params::default());
         t.prefill(elements);
-        let r = run_latency(&t, &Workload::paper(Mix::read_dominated(), elements.max(2)), &cfg);
+        let r = run_latency(
+            &t,
+            &Workload::paper(Mix::read_dominated(), elements.max(2)),
+            &cfg,
+        );
         println!(
             "{:>14}{:>12}{:>12}{:>12}{:>12}",
             algo.label(),

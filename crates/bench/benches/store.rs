@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for the LeapStore service layer:
+//! single-key ops, cross-shard batches and cross-shard range queries,
+//! under both partitioning modes — the per-op cost companion to the
+//! `leapstore` throughput panel (`cargo run -p leap-bench --bin figures
+//! -- leapstore`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leap_store::{LeapStore, Partitioning, StoreConfig};
+use std::time::Duration;
+
+const PREFILL: u64 = 10_000;
+const SPAN: u64 = 500;
+const SHARDS: usize = 4;
+
+fn store(mode: Partitioning) -> LeapStore<u64> {
+    let s = LeapStore::new(StoreConfig::new(SHARDS, mode).with_key_space(PREFILL));
+    for k in 0..PREFILL {
+        s.put(k, k);
+    }
+    s
+}
+
+fn bench_mode(c: &mut Criterion, label: &str, mode: Partitioning) {
+    let s = store(mode);
+    let mut group = c.benchmark_group("leapstore");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let mut k = 0u64;
+    group.bench_function(BenchmarkId::new("get", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(s.get(k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("put", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % PREFILL;
+            std::hint::black_box(s.put(k, k))
+        })
+    });
+    group.bench_function(BenchmarkId::new("range", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (PREFILL - SPAN);
+            std::hint::black_box(s.range(k, k + SPAN).len())
+        })
+    });
+    // One key per shard: the fast-path cross-shard transaction.
+    let stride = PREFILL / SHARDS as u64;
+    group.bench_function(BenchmarkId::new("multi_put_4shard", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % stride;
+            let entries: Vec<(u64, u64)> =
+                (0..SHARDS as u64).map(|sh| (sh * stride + k, k)).collect();
+            std::hint::black_box(s.multi_put(&entries))
+        })
+    });
+    // Three keys on one shard: the multi-round slow path (range mode
+    // guarantees the collision; under hash mode adjacency usually spreads,
+    // so this doubles as the mixed fast/slow comparison).
+    group.bench_function(BenchmarkId::new("multi_put_collide", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (stride - 3);
+            std::hint::black_box(s.multi_put(&[(k, 1), (k + 1, 2), (k + 2, 3)]))
+        })
+    });
+    group.finish();
+}
+
+fn bench_leapstore(c: &mut Criterion) {
+    bench_mode(c, "hash", Partitioning::Hash);
+    bench_mode(c, "range", Partitioning::Range);
+}
+
+criterion_group!(benches, bench_leapstore);
+criterion_main!(benches);

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! figures [--scale quick|medium|paper] [all | fig14a fig14b fig15a fig15b
-//!          fig16a fig16b fig17a fig17b fig17c fig17d fig17]
+//!          fig16a fig16b fig17a fig17b fig17c fig17d fig17 | leapstore]
 //! ```
+//!
+//! The `leapstore` panel additionally emits one `stats <series> <json>`
+//! line per series with shard-level operation counts and the shared
+//! domain's abort rate, for `BENCH_*.json` post-processing.
 
 use leap_bench::figures as f;
 use leap_bench::scale::Scale;
@@ -55,6 +59,7 @@ fn main() {
                 for fig in f::fig17_all(&scale) {
                     print!("{}", fig.to_table());
                 }
+                print!("{}", f::leapstore(&scale).to_table());
             }
             "fig14a" => print!("{}", f::fig14a(&scale).to_table()),
             "fig14b" => print!("{}", f::fig14b(&scale).to_table()),
@@ -71,6 +76,7 @@ fn main() {
                     print!("{}", fig.to_table());
                 }
             }
+            "leapstore" => print!("{}", f::leapstore(&scale).to_table()),
             other => {
                 eprintln!("unknown panel '{other}'");
                 std::process::exit(2);

@@ -71,8 +71,8 @@ fn run_once(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg, seed: u6
                             target.update(&keys, &values);
                         }
                         OpKind::Remove => {
-                            for j in 0..lists {
-                                keys[j] = wl.sample_key(&mut rng);
+                            for k in keys.iter_mut() {
+                                *k = wl.sample_key(&mut rng);
                             }
                             target.remove(&keys);
                         }
@@ -155,7 +155,7 @@ pub fn run_latency(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg) -
             while !stop.load(Ordering::Relaxed) {
                 for _ in 0..16 {
                     i += 1;
-                    let probe = i % 16 == 0;
+                    let probe = i.is_multiple_of(16);
                     let start = probe.then(Instant::now);
                     match wl.sample_kind(&mut rng) {
                         OpKind::Update => {
@@ -166,8 +166,8 @@ pub fn run_latency(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg) -
                             target.update(&keys, &values);
                         }
                         OpKind::Remove => {
-                            for j in 0..lists {
-                                keys[j] = wl.sample_key(&mut rng);
+                            for k in keys.iter_mut() {
+                                *k = wl.sample_key(&mut rng);
                             }
                             target.remove(&keys);
                         }
@@ -291,6 +291,42 @@ mod tests {
         assert!(r.samples > 10, "too few samples: {r}");
         assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns, "{r}");
         assert!(r.mean_ns > 0);
+    }
+
+    #[test]
+    fn driver_runs_leapstore_mixed_scenario() {
+        // The LeapStore service scenario: point gets, cross-shard ranges,
+        // and multi-shard transactions, against the sharded store target.
+        let t = make_target(
+            Algo::LeapStore,
+            4,
+            Params {
+                node_size: 16,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            },
+        );
+        t.prefill(500);
+        let wl = Workload {
+            mix: Mix::store_mixed(),
+            key_range: 1_000,
+            span_min: 10,
+            span_max: 50,
+            key_dist: Default::default(),
+        };
+        let cfg = RunCfg {
+            threads: 2,
+            duration: Duration::from_millis(60),
+            repeats: 1,
+            seed: 23,
+        };
+        assert!(run_throughput(&t, &wl, &cfg) > 100.0);
+        let json = t.stats_json().expect("store target exposes stats");
+        assert!(
+            json.contains("\"stm\""),
+            "stats carry domain counters: {json}"
+        );
     }
 
     #[test]

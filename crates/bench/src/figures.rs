@@ -4,8 +4,9 @@
 
 use crate::driver::{run_throughput, RunCfg};
 use crate::scale::Scale;
-use crate::target::{make_target, Algo, BenchTarget};
+use crate::target::{make_store_target, make_target, Algo, BenchTarget};
 use crate::workload::{Mix, Workload};
+use leap_store::Partitioning;
 use leaplist::Params;
 use std::sync::Arc;
 
@@ -83,6 +84,7 @@ fn cfg(scale: &Scale, threads: usize) -> RunCfg {
 /// prefilling each algorithm's structure once and reusing it across the
 /// sweep (updates and removes balance, so the population stays near its
 /// initial size).
+#[allow(clippy::too_many_arguments)] // one parameter per figure knob
 fn sweep_threads(
     id: &'static str,
     title: String,
@@ -315,7 +317,13 @@ fn fig17_targets(scale: &Scale) -> Vec<(Algo, Arc<dyn BenchTarget>)> {
 
 /// Fig. 17(a): 100% modify, Leap-LT vs the skip-list baselines.
 pub fn fig17a(scale: &Scale) -> Figure {
-    fig17_panel("fig17a", Mix::write_only(), "100% modify", scale, &fig17_targets(scale))
+    fig17_panel(
+        "fig17a",
+        Mix::write_only(),
+        "100% modify",
+        scale,
+        &fig17_targets(scale),
+    )
 }
 
 /// Fig. 17(b): 40% lookup / 40% range-query / 20% modify.
@@ -331,12 +339,91 @@ pub fn fig17b(scale: &Scale) -> Figure {
 
 /// Fig. 17(c): 100% lookup.
 pub fn fig17c(scale: &Scale) -> Figure {
-    fig17_panel("fig17c", Mix::lookup_only(), "100% lookup", scale, &fig17_targets(scale))
+    fig17_panel(
+        "fig17c",
+        Mix::lookup_only(),
+        "100% lookup",
+        scale,
+        &fig17_targets(scale),
+    )
 }
 
 /// Fig. 17(d): 100% range-query — the paper's headline panel.
 pub fn fig17d(scale: &Scale) -> Figure {
-    fig17_panel("fig17d", Mix::range_only(), "100% range-query", scale, &fig17_targets(scale))
+    fig17_panel(
+        "fig17d",
+        Mix::range_only(),
+        "100% range-query",
+        scale,
+        &fig17_targets(scale),
+    )
+}
+
+/// A figure panel plus per-series machine-readable statistics lines —
+/// the LeapStore extension output: future `BENCH_*.json` runs parse the
+/// `stats` entries to track shard-level op counts and abort rates.
+#[derive(Debug, Clone)]
+pub struct StoreFigure {
+    /// Throughput sweep (threads on x, one series per partitioning mode).
+    pub figure: Figure,
+    /// `(series label, stats JSON object)` captured after each series'
+    /// sweep finished; the JSON carries per-shard op counters, the shared
+    /// domain's commit/abort counters and the derived abort rate.
+    pub stats: Vec<(&'static str, String)>,
+}
+
+impl StoreFigure {
+    /// The throughput table followed by one `stats <label> <json>` line
+    /// per series (grep-able by benchmark post-processing).
+    pub fn to_table(&self) -> String {
+        let mut out = self.figure.to_table();
+        for (label, json) in &self.stats {
+            out.push_str(&format!("stats {label} {json}\n"));
+        }
+        out
+    }
+}
+
+/// LeapStore extension panel: the store scenario ([`Mix::store_mixed`] —
+/// gets, cross-shard ranges, multi-shard transactions) swept over threads
+/// for both partitioning modes, with shard-level statistics captured per
+/// series.
+pub fn leapstore(scale: &Scale) -> StoreFigure {
+    let shards = 4;
+    let key_space = scale.elements.max(2);
+    let wl = Workload::paper(Mix::store_mixed(), key_space);
+    let mut series = Vec::new();
+    let mut stats = Vec::new();
+    for (label, mode) in [
+        ("Store-hash", Partitioning::Hash),
+        ("Store-range", Partitioning::Range),
+    ] {
+        let target = make_store_target(shards, mode, key_space, paper_params());
+        target.prefill(scale.elements);
+        let mut points = Vec::new();
+        for &t in &scale.threads {
+            let ops = run_throughput(&target, &wl, &cfg(scale, t));
+            points.push((t as f64, ops));
+        }
+        series.push(Series { label, points });
+        stats.push((
+            label,
+            target.stats_json().expect("store target always has stats"),
+        ));
+    }
+    StoreFigure {
+        figure: Figure {
+            id: "leapstore",
+            title: format!(
+                "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
+                 {shards} shards, {} elements ({})",
+                scale.elements, scale.name
+            ),
+            x_label: "threads",
+            series,
+        },
+        stats,
+    }
 }
 
 /// All four Fig. 17 panels sharing one prefill per algorithm (the paper
@@ -353,7 +440,13 @@ pub fn fig17_all(scale: &Scale) -> Vec<Figure> {
             &targets,
         ),
         fig17_panel("fig17c", Mix::lookup_only(), "100% lookup", scale, &targets),
-        fig17_panel("fig17d", Mix::range_only(), "100% range-query", scale, &targets),
+        fig17_panel(
+            "fig17d",
+            Mix::range_only(),
+            "100% range-query",
+            scale,
+            &targets,
+        ),
     ]
 }
 
@@ -405,5 +498,24 @@ mod tests {
         assert!(labels.contains(&"Skiplist-tm"));
         assert!(labels.contains(&"Skiplist-cas"));
         assert!(labels.contains(&"Leap-LT"));
+    }
+
+    #[test]
+    fn leapstore_panel_carries_shard_stats() {
+        let f = leapstore(&tiny());
+        assert_eq!(f.figure.series.len(), 2, "hash and range partitionings");
+        for s in &f.figure.series {
+            for (_, ops) in &s.points {
+                assert!(*ops > 0.0, "{} produced zero throughput", s.label);
+            }
+        }
+        assert_eq!(f.stats.len(), 2);
+        for (label, json) in &f.stats {
+            assert!(json.contains("\"shards\":["), "{label}: {json}");
+            assert!(json.contains("abort_rate"), "{label}");
+        }
+        let table = f.to_table();
+        assert!(table.contains("stats Store-hash {"));
+        assert!(table.contains("stats Store-range {"));
     }
 }

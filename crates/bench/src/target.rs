@@ -2,10 +2,12 @@
 //! interface, so the driver and figure sweeps are algorithm-agnostic.
 
 use leap_skiplist::{CasSkipList, TmSkipList};
+use leap_store::{LeapStore, Partitioning, StoreConfig};
 use leaplist::{LeapListCop, LeapListLt, LeapListRwlock, LeapListTm, Params};
 use std::sync::Arc;
 
-/// The algorithms measured in the paper's evaluation.
+/// The algorithms measured in the paper's evaluation, plus the LeapStore
+/// service layer built on top of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     /// Leap-LT (the paper's proposal).
@@ -20,6 +22,9 @@ pub enum Algo {
     SkipCas,
     /// Skip-tm (transaction-wrapped skip-list).
     SkipTm,
+    /// LeapStore: range-partitioned shards over Leap-LT, with cross-shard
+    /// atomic batches and linearizable cross-shard range queries.
+    LeapStore,
 }
 
 impl Algo {
@@ -32,6 +37,7 @@ impl Algo {
             Algo::LeapRwlock => "Leap-rwlock",
             Algo::SkipCas => "Skiplist-cas",
             Algo::SkipTm => "Skiplist-tm",
+            Algo::LeapStore => "LeapStore",
         }
     }
 
@@ -67,6 +73,11 @@ pub trait BenchTarget: Send + Sync {
     fn lookup(&self, list: usize, key: u64) -> bool;
     /// Single-list range query; returns the number of pairs collected.
     fn range_query(&self, list: usize, lo: u64, hi: u64) -> usize;
+    /// Target-specific statistics as one JSON object (shard-level abort
+    /// rates for LeapStore); `None` for targets without a stats surface.
+    fn stats_json(&self) -> Option<String> {
+        None
+    }
 }
 
 macro_rules! leap_target {
@@ -173,8 +184,69 @@ impl BenchTarget for SkipTmTarget {
     }
 }
 
+/// LeapStore as a bench target: `lists` is the shard count; the keyspace
+/// is one logical dictionary, not `L` replicas. A composite "update" is a
+/// cross-shard `multi_put`, a composite "remove" a cross-shard
+/// `multi_delete` — the store's multi-shard transactions. Lookups and
+/// range queries ignore the `list` argument (the router decides placement).
+struct StoreTarget {
+    store: LeapStore<u64>,
+    shards: usize,
+}
+
+impl BenchTarget for StoreTarget {
+    fn name(&self) -> &'static str {
+        "LeapStore"
+    }
+    fn lists(&self) -> usize {
+        self.shards
+    }
+    fn prefill(&self, elements: u64) {
+        for k in 0..elements {
+            self.store.put(k, k);
+        }
+    }
+    fn update(&self, keys: &[u64], values: &[u64]) {
+        let entries: Vec<(u64, u64)> = keys.iter().copied().zip(values.iter().copied()).collect();
+        self.store.multi_put(&entries);
+    }
+    fn remove(&self, keys: &[u64]) {
+        self.store.multi_delete(keys);
+    }
+    fn lookup(&self, _list: usize, key: u64) -> bool {
+        self.store.get(key).is_some()
+    }
+    fn range_query(&self, _list: usize, lo: u64, hi: u64) -> usize {
+        self.store.range(lo, hi).len()
+    }
+    fn stats_json(&self) -> Option<String> {
+        Some(self.store.stats().to_json())
+    }
+}
+
+/// Builds a LeapStore target with explicit placement configuration: use
+/// this when the workload's key range is known, so range partitioning can
+/// slice it evenly (`make_target` defaults to hash partitioning, which
+/// needs no key-space knowledge).
+pub fn make_store_target(
+    shards: usize,
+    partitioning: Partitioning,
+    key_space: u64,
+    params: Params,
+) -> Arc<dyn BenchTarget> {
+    Arc::new(StoreTarget {
+        store: LeapStore::new(
+            StoreConfig::new(shards, partitioning)
+                .with_key_space(key_space)
+                .with_params(params),
+        ),
+        shards,
+    })
+}
+
 /// Builds a target of `lists` lists with the given Leap-List parameters
-/// (skip-list targets ignore `params` and always have one list).
+/// (skip-list targets ignore `params` and always have one list; the
+/// LeapStore target interprets `lists` as its shard count).
 pub fn make_target(algo: Algo, lists: usize, params: Params) -> Arc<dyn BenchTarget> {
     match algo {
         Algo::LeapLt => Arc::new(LtTarget {
@@ -195,6 +267,10 @@ pub fn make_target(algo: Algo, lists: usize, params: Params) -> Arc<dyn BenchTar
         Algo::SkipTm => Arc::new(SkipTmTarget {
             list: TmSkipList::new(),
         }),
+        Algo::LeapStore => Arc::new(StoreTarget {
+            store: LeapStore::new(StoreConfig::new(lists, Partitioning::Hash).with_params(params)),
+            shards: lists,
+        }),
     }
 }
 
@@ -211,6 +287,7 @@ mod tests {
             Algo::LeapRwlock,
             Algo::SkipCas,
             Algo::SkipTm,
+            Algo::LeapStore,
         ] {
             let lists = if matches!(algo, Algo::SkipCas | Algo::SkipTm) {
                 1
@@ -237,6 +314,33 @@ mod tests {
             assert!(t.range_query(0, 0, 200) >= 51, "{}", t.name());
             t.remove(&keys);
             assert!(!t.lookup(0, 100), "{}", t.name());
+            let expect_stats = algo == Algo::LeapStore;
+            assert_eq!(t.stats_json().is_some(), expect_stats, "{}", t.name());
         }
+    }
+
+    #[test]
+    fn store_target_reports_shard_stats() {
+        let t = make_store_target(
+            4,
+            Partitioning::Range,
+            1_000,
+            Params {
+                node_size: 8,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            },
+        );
+        t.prefill(100);
+        t.update(&[10, 300, 600, 900], &[1, 2, 3, 4]);
+        assert!(t.lookup(0, 600));
+        assert!(t.range_query(0, 0, 999) >= 100);
+        let json = t.stats_json().expect("store target has stats");
+        assert!(
+            json.contains("\"shard\":3"),
+            "all four shards reported: {json}"
+        );
+        assert!(json.contains("abort_rate"));
     }
 }

@@ -78,6 +78,16 @@ impl Mix {
     pub fn range_only() -> Self {
         Mix::new(0, 100, 0)
     }
+
+    /// The LeapStore service mix: 40% point gets, 10% cross-shard range
+    /// queries, 50% modifications — and every modification is a
+    /// **multi-shard transaction** (the driver draws one key per
+    /// list/shard, which the store target applies as `multi_put` /
+    /// `multi_delete`). This is the OLTP-with-scans shape the paper's
+    /// in-memory-database application (§4) implies.
+    pub fn store_mixed() -> Self {
+        Mix::new(40, 10, 50)
+    }
 }
 
 /// Key distribution for a workload.
@@ -179,10 +189,26 @@ mod tests {
             }
         }
         let pct = |c: usize| c * 100 / n;
-        assert!((8..=12).contains(&pct(counts[0])), "updates {}", pct(counts[0]));
-        assert!((8..=12).contains(&pct(counts[1])), "removes {}", pct(counts[1]));
-        assert!((37..=43).contains(&pct(counts[2])), "lookups {}", pct(counts[2]));
-        assert!((37..=43).contains(&pct(counts[3])), "ranges {}", pct(counts[3]));
+        assert!(
+            (8..=12).contains(&pct(counts[0])),
+            "updates {}",
+            pct(counts[0])
+        );
+        assert!(
+            (8..=12).contains(&pct(counts[1])),
+            "removes {}",
+            pct(counts[1])
+        );
+        assert!(
+            (37..=43).contains(&pct(counts[2])),
+            "lookups {}",
+            pct(counts[2])
+        );
+        assert!(
+            (37..=43).contains(&pct(counts[3])),
+            "ranges {}",
+            pct(counts[3])
+        );
     }
 
     #[test]
@@ -201,5 +227,12 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn bad_mix_rejected() {
         Mix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn store_mix_sums_and_modifies_half() {
+        let m = Mix::store_mixed();
+        assert_eq!(m.lookup_pct + m.range_pct + m.modify_pct, 100);
+        assert_eq!(m.modify_pct, 50, "half the ops are multi-shard txns");
     }
 }

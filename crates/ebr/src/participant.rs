@@ -77,8 +77,7 @@ impl Registry {
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
             let p = unsafe { &*cur };
-            if p
-                .owned
+            if p.owned
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
@@ -124,12 +123,9 @@ impl Registry {
         }
         // Everyone has caught up; move the epoch forward. A failed CAS means
         // someone else advanced concurrently, which is just as good.
-        let _ = self.epoch.compare_exchange(
-            global,
-            global + 1,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        let _ = self
+            .epoch
+            .compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst);
         self.epoch.load(Ordering::SeqCst)
     }
 }

@@ -187,7 +187,12 @@ pub(crate) fn build_remove<V: Clone>(
 ) -> Option<RemoveBuild<V>> {
     let pos = n0.data.binary_search_by_key(&ik, |(k, _)| *k).ok()?;
     let mut data: Vec<(u64, V)> = Vec::with_capacity(
-        n0.count() - 1 + if merge { n1.map_or(0, |n| n.count()) } else { 0 },
+        n0.count() - 1
+            + if merge {
+                n1.map_or(0, |n| n.count())
+            } else {
+                0
+            },
     );
     data.extend(n0.data.iter().filter(|(k, _)| *k != ik).cloned());
     let old_value = n0.data[pos].1.clone();
@@ -207,7 +212,12 @@ pub(crate) fn build_remove<V: Clone>(
 impl Trie {
     /// Variant of [`Trie::get`] that reads keys through an accessor, used
     /// by [`Node::trie_index_of`] where keys live interleaved with values.
-    pub(crate) fn get_by(&self, key: u64, key_at: impl Fn(usize) -> u64, len: usize) -> Option<usize> {
+    pub(crate) fn get_by(
+        &self,
+        key: u64,
+        key_at: impl Fn(usize) -> u64,
+        len: usize,
+    ) -> Option<usize> {
         if len == 0 {
             return None;
         }
@@ -283,7 +293,10 @@ mod tests {
         let n0 = unsafe { &*b.n0 };
         let n1 = unsafe { &*b.n1.expect("full node must split") };
         // 5 keys split 2/3.
-        assert_eq!(n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![10, 20]);
+        assert_eq!(
+            n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
         assert_eq!(
             n1.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
             vec![25, 30, 40]
@@ -305,7 +318,10 @@ mod tests {
         let b = build_remove(unsafe { &*n }, None, 2, false).expect("present");
         assert_eq!(b.old_value, 20);
         let nn = unsafe { &*b.n_new };
-        assert_eq!(nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         assert_eq!(nn.high, 50);
         assert_eq!(nn.level, 2);
         unsafe {
@@ -345,7 +361,11 @@ mod tests {
         let n = mk_node(&[4], 1, 50);
         let b = build_remove(unsafe { &*n }, None, 4, false).unwrap();
         let nn = unsafe { &*b.n_new };
-        assert_eq!(nn.count(), 0, "empty nodes are legal (like the initial tail)");
+        assert_eq!(
+            nn.count(),
+            0,
+            "empty nodes are legal (like the initial tail)"
+        );
         unsafe {
             free_node(n);
             free_node(b.n_new);

@@ -159,9 +159,7 @@ pub(crate) unsafe fn plan_remove<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Opt
         } else {
             None
         };
-        let Some(b) = build_remove(n0_ref, n1_opt, ik, merge) else {
-            return None;
-        };
+        let b = build_remove(n0_ref, n1_opt, ik, merge)?;
         return Some(RemovePlan {
             w,
             n0,

@@ -234,6 +234,9 @@ pub(crate) unsafe fn mark_remove<'t, V: 'static>(
 ///
 /// Plan pointers guard-protected; `n_next[i]` must hold the validated
 /// (unmarked) outgoing pointers of the replaced node.
+// Lock-step level-indexed walks over fixed-size pointer arrays: the
+// index couples several arrays, so iterator rewrites obscure the wiring.
+#[allow(clippy::needless_range_loop)]
 pub(crate) unsafe fn wire_update_tx<'t, V: 'static>(
     tx: &mut Txn<'t>,
     plan: &UpdatePlan<V>,
@@ -282,6 +285,9 @@ pub(crate) unsafe fn wire_update_tx<'t, V: 'static>(
 ///
 /// As for [`wire_update_tx`]; `n0_next`/`n1_next` hold the validated
 /// outgoing pointers of the removed node(s).
+// Lock-step level-indexed walks over fixed-size pointer arrays: the
+// index couples several arrays, so iterator rewrites obscure the wiring.
+#[allow(clippy::needless_range_loop)]
 pub(crate) unsafe fn wire_remove_tx<'t, V: 'static>(
     tx: &mut Txn<'t>,
     plan: &RemovePlan<V>,

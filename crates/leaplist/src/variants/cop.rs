@@ -75,7 +75,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn update(&self, key: u64, value: V) -> Option<V> {
-        Self::update_batch(&[self], &[key], &[value.clone()])
+        Self::update_batch(&[self], &[key], std::slice::from_ref(&value))
             .pop()
             .expect("one list yields one result")
     }
@@ -283,7 +283,10 @@ mod tests {
         }
         assert_eq!(l.update(5, 99), Some(6));
         for k in 0..40u64 {
-            assert_eq!(l.remove(k * 2), Some(if k * 2 == 5 { 99 } else { k * 2 + 1 }));
+            assert_eq!(
+                l.remove(k * 2),
+                Some(if k * 2 == 5 { 99 } else { k * 2 + 1 })
+            );
         }
         assert_eq!(l.len(), 40);
     }
@@ -294,10 +297,7 @@ mod tests {
         for k in 0..30u64 {
             l.update(k, 1000 + k);
         }
-        assert_eq!(
-            l.range_query(28, 40),
-            vec![(28, 1028), (29, 1029)]
-        );
+        assert_eq!(l.range_query(28, 40), vec![(28, 1028), (29, 1029)]);
     }
 
     #[test]

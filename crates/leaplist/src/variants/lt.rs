@@ -86,7 +86,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// Panics if `key == u64::MAX` (reserved for the tail sentinel).
     pub fn update(&self, key: u64, value: V) -> Option<V> {
-        self.update_batch_on(&[self], &[key], &[value.clone()])
+        self.update_batch_on(&[self], &[key], std::slice::from_ref(&value))
             .pop()
             .expect("one list yields one result")
     }
@@ -261,15 +261,13 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 .iter()
                 .zip(ops.iter())
                 .map(|(l, op)| match op {
-                    BatchOp::Update(k, v) => OpPlan::Upd(unsafe {
-                        plan_update(&l.raw, internal_key(*k), v.clone())
-                    }),
-                    BatchOp::Remove(k) => {
-                        match unsafe { plan_remove(&l.raw, internal_key(*k)) } {
-                            Some(p) => OpPlan::Rem(p),
-                            None => OpPlan::Noop,
-                        }
+                    BatchOp::Update(k, v) => {
+                        OpPlan::Upd(unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
                     }
+                    BatchOp::Remove(k) => match unsafe { plan_remove(&l.raw, internal_key(*k)) } {
+                        Some(p) => OpPlan::Rem(p),
+                        None => OpPlan::Noop,
+                    },
                 })
                 .collect();
             let mut tx = Txn::begin(&first.domain);
@@ -342,20 +340,117 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn range_query(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
-        assert!(hi < u64::MAX, "key u64::MAX is reserved");
-        if lo > hi {
-            return Vec::new();
+        Self::range_query_group(&[self], &[(lo, hi)])
+            .pop()
+            .expect("one list yields one result")
+    }
+
+    /// Linearizable **multi-list** range query: collects `ranges[j]` over
+    /// `lists[j]` with every node-chain walk inside **one** transaction on
+    /// the shared domain, so the combined result is a single consistent
+    /// snapshot across all lists. This is the group-snapshot primitive a
+    /// sharded store needs: a cross-shard range assembled from per-shard
+    /// snapshots taken at one linearization point can never observe half
+    /// of a committed multi-list batch.
+    ///
+    /// `ranges[j] = (lo, hi)` is inclusive; an inverted range yields an
+    /// empty vector for that list. The same list may appear more than once
+    /// (the query is read-only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, the group is empty, any
+    /// `hi == u64::MAX`, or the lists do not share one domain.
+    pub fn range_query_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<Vec<(u64, V)>> {
+        // SAFETY (closure): node pointers are guard-protected by
+        // `group_snapshot` for the closure's whole call.
+        Self::group_snapshot(lists, ranges, |nodes, ilo, ihi| unsafe {
+            common::extract_pairs(nodes, ilo, ihi)
+        })
+    }
+
+    /// Like [`LeapListLt::range_query_group`] but returns only the number
+    /// of pairs per list, cloning no values.
+    ///
+    /// # Panics
+    ///
+    /// As for [`LeapListLt::range_query_group`].
+    pub fn count_range_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<usize> {
+        Self::group_snapshot(lists, ranges, |nodes, ilo, ihi| {
+            nodes
+                .iter()
+                .map(|&n| {
+                    // SAFETY: guard-protected node; data immutable.
+                    let node = unsafe { &*n };
+                    let start = node.data.partition_point(|(k, _)| *k < ilo);
+                    node.data[start..]
+                        .iter()
+                        .take_while(|(k, _)| *k <= ihi)
+                        .count()
+                })
+                .sum()
+        })
+    }
+
+    /// Shared engine of the group queries: collect every list's node chain
+    /// inside one transaction, then run `extract` over each chain (still
+    /// under the epoch guard) once the snapshot committed. `extract`
+    /// receives `(nodes, ilo, ihi)` in internal-key space; it must only
+    /// dereference the given nodes.
+    fn group_snapshot<R: Default>(
+        lists: &[&Self],
+        ranges: &[(u64, u64)],
+        extract: impl Fn(&[*mut Node<V>], u64, u64) -> R,
+    ) -> Vec<R> {
+        assert_eq!(lists.len(), ranges.len());
+        let first = lists.first().expect("group must be non-empty");
+        for l in lists {
+            assert!(
+                Arc::ptr_eq(&l.domain, &first.domain),
+                "grouped lists must share one StmDomain"
+            );
         }
-        let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+        for (_, hi) in ranges {
+            assert!(*hi < u64::MAX, "key u64::MAX is reserved");
+        }
         let _guard = pin();
         let mut backoff = Backoff::new();
         loop {
-            let w = unsafe { self.raw.search_predecessors(ilo) };
-            let mut tx = Txn::begin(&self.domain);
-            let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
-            if let Ok(nodes) = nodes {
+            // COP prefix: uninstrumented predecessor search per list.
+            let starts: Vec<Option<(*mut Node<V>, u64, u64)>> = lists
+                .iter()
+                .zip(ranges.iter())
+                .map(|(l, &(lo, hi))| {
+                    if lo > hi {
+                        return None;
+                    }
+                    let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+                    let w = unsafe { l.raw.search_predecessors(ilo) };
+                    Some((w.target(), ilo, ihi))
+                })
+                .collect();
+            // One transaction validates every list's node chain; its commit
+            // is the snapshot's linearization point.
+            let mut tx = Txn::begin(&first.domain);
+            let collected: TxResult<Vec<Option<Vec<*mut Node<V>>>>> = starts
+                .iter()
+                .map(|s| match s {
+                    None => Ok(None),
+                    Some((start, _, ihi)) => {
+                        unsafe { common::collect_range(&mut tx, *start, *ihi) }.map(Some)
+                    }
+                })
+                .collect();
+            if let Ok(per_list) = collected {
                 if tx.commit().is_ok() {
-                    return unsafe { common::extract_pairs(&nodes, ilo, ihi) };
+                    return per_list
+                        .iter()
+                        .zip(starts.iter())
+                        .map(|(nodes, s)| match (nodes, s) {
+                            (Some(nodes), Some((_, ilo, ihi))) => extract(nodes, *ilo, *ihi),
+                            _ => R::default(),
+                        })
+                        .collect();
                 }
             } else {
                 drop(tx);
@@ -380,38 +475,9 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn count_range(&self, lo: u64, hi: u64) -> usize {
-        assert!(hi < u64::MAX, "key u64::MAX is reserved");
-        if lo > hi {
-            return 0;
-        }
-        let (ilo, ihi) = (internal_key(lo), internal_key(hi));
-        let _guard = pin();
-        let mut backoff = Backoff::new();
-        loop {
-            let w = unsafe { self.raw.search_predecessors(ilo) };
-            let mut tx = Txn::begin(&self.domain);
-            let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
-            if let Ok(nodes) = nodes {
-                if tx.commit().is_ok() {
-                    // SAFETY: nodes collected under the live guard; data
-                    // arrays are immutable.
-                    return nodes
-                        .iter()
-                        .map(|&n| {
-                            let node = unsafe { &*n };
-                            let start = node.data.partition_point(|(k, _)| *k < ilo);
-                            node.data[start..]
-                                .iter()
-                                .take_while(|(k, _)| *k <= ihi)
-                                .count()
-                        })
-                        .sum();
-                }
-            } else {
-                drop(tx);
-            }
-            backoff.snooze();
-        }
+        Self::count_range_group(&[self], &[(lo, hi)])
+            .pop()
+            .expect("one list yields one result")
     }
 
     /// The smallest key and its value, from a consistent snapshot.
@@ -496,8 +562,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 // Both trailing nodes empty: fall back to a full snapshot
                 // scan (rare — only after removals emptied the tail region).
                 let head_w = unsafe { self.raw.search_predecessors(1) };
-                let nodes =
-                    unsafe { common::collect_range(&mut tx, head_w.target(), u64::MAX) }?;
+                let nodes = unsafe { common::collect_range(&mut tx, head_w.target(), u64::MAX) }?;
                 for &n in nodes.iter().rev() {
                     // SAFETY: under guard; immutable data.
                     if let Some((k, v)) = unsafe { &*n }.data.last() {
@@ -527,7 +592,6 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-
 
     /// Iterates node populations (diagnostics for split/merge tests).
     pub fn node_sizes(&self) -> Vec<usize> {
@@ -612,7 +676,10 @@ mod tests {
             assert_eq!(l.remove(k), Some(k));
         }
         let after = l.node_sizes().len();
-        assert!(after < before, "merges must shrink node count ({before} -> {after})");
+        assert!(
+            after < before,
+            "merges must shrink node count ({before} -> {after})"
+        );
         for k in 56..64u64 {
             assert_eq!(l.lookup(k), Some(k));
         }
@@ -625,7 +692,10 @@ mod tests {
             l.update(k * 2, k);
         }
         let r = l.range_query(10, 20);
-        assert_eq!(r, vec![(10, 5), (12, 6), (14, 7), (16, 8), (18, 9), (20, 10)]);
+        assert_eq!(
+            r,
+            vec![(10, 5), (12, 6), (14, 7), (16, 8), (18, 9), (20, 10)]
+        );
         assert_eq!(l.range_query(21, 21), vec![]);
         assert_eq!(l.range_query(30, 10), vec![], "inverted range is empty");
     }
@@ -641,7 +711,54 @@ mod tests {
         }
         let old = LeapListLt::remove_batch(&refs, &[1, 2, 99, 4]);
         assert_eq!(old, vec![Some(10), Some(20), None, Some(40)]);
-        assert_eq!(lists[2].lookup(3), Some(30), "absent key leaves list 3 intact");
+        assert_eq!(
+            lists[2].lookup(3),
+            Some(30),
+            "absent key leaves list 3 intact"
+        );
+    }
+
+    #[test]
+    fn group_range_query_spans_lists() {
+        let lists = LeapListLt::<u64>::group(3, small());
+        for (i, l) in lists.iter().enumerate() {
+            for k in 0..10u64 {
+                l.update(k + i as u64 * 100, k);
+            }
+        }
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let out = LeapListLt::range_query_group(&refs, &[(0, 5), (100, 105), (300, 400)]);
+        assert_eq!(out[0], (0..=5).map(|k| (k, k)).collect::<Vec<_>>());
+        assert_eq!(out[1].len(), 6);
+        assert!(out[2].is_empty(), "list 2 holds 200..209 only");
+        // Inverted ranges are empty; duplicates of one list are allowed.
+        let out = LeapListLt::range_query_group(&refs[..2], &[(5, 0), (201, 200)]);
+        assert!(out[0].is_empty() && out[1].is_empty());
+        let dup = LeapListLt::range_query_group(&[&lists[0], &lists[0]], &[(0, 2), (3, 5)]);
+        assert_eq!(dup[0].len() + dup[1].len(), 6);
+    }
+
+    #[test]
+    fn group_count_matches_group_range() {
+        let lists = LeapListLt::<u64>::group(2, small());
+        for k in 0..30u64 {
+            lists[0].update(k, k);
+            lists[1].update(k * 2, k);
+        }
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let ranges = [(5, 20), (40, 10)];
+        let pairs = LeapListLt::range_query_group(&refs, &ranges);
+        let counts = LeapListLt::count_range_group(&refs, &ranges);
+        assert_eq!(counts, vec![pairs[0].len(), pairs[1].len()]);
+        assert_eq!(counts, vec![16, 0], "inverted range counts zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "share one StmDomain")]
+    fn group_range_rejects_foreign_domains() {
+        let a: LeapListLt<u64> = LeapListLt::new(small());
+        let b: LeapListLt<u64> = LeapListLt::new(small());
+        LeapListLt::range_query_group(&[&a, &b], &[(0, 1), (0, 1)]);
     }
 
     #[test]

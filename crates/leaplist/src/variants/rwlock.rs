@@ -138,9 +138,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListRwlock<V> {
             .collect()
     }
 
-    fn lock_all<'a>(
-        lists: &[&'a Self],
-    ) -> Vec<parking_lot::RwLockWriteGuard<'a, RawLeapList<V>>> {
+    fn lock_all<'a>(lists: &[&'a Self]) -> Vec<parking_lot::RwLockWriteGuard<'a, RawLeapList<V>>> {
         let mut order: Vec<&'a Self> = lists.to_vec();
         order.sort_by_key(|l| *l as *const Self as usize);
         for w in order.windows(2) {

@@ -38,7 +38,7 @@ fn churn_and_snapshot_check(map: Arc<dyn RangeMap<u64>>, threads: usize, iters: 
                 let mut rng = 0xABCDu64 + t as u64 * 77;
                 for i in 0..iters {
                     let k = xorshift(&mut rng) % 256;
-                    if xorshift(&mut rng) % 4 == 0 {
+                    if xorshift(&mut rng).is_multiple_of(4) {
                         map.remove(k);
                     } else {
                         map.update(k, i);
@@ -74,29 +74,17 @@ fn churn_and_snapshot_check(map: Arc<dyn RangeMap<u64>>, threads: usize, iters: 
 
 #[test]
 fn lt_snapshots_stay_consistent_under_churn() {
-    churn_and_snapshot_check(
-        Arc::new(LeapListLt::<u64>::new(small_params())),
-        3,
-        4_000,
-    );
+    churn_and_snapshot_check(Arc::new(LeapListLt::<u64>::new(small_params())), 3, 4_000);
 }
 
 #[test]
 fn cop_snapshots_stay_consistent_under_churn() {
-    churn_and_snapshot_check(
-        Arc::new(LeapListCop::<u64>::new(small_params())),
-        3,
-        2_500,
-    );
+    churn_and_snapshot_check(Arc::new(LeapListCop::<u64>::new(small_params())), 3, 2_500);
 }
 
 #[test]
 fn tm_snapshots_stay_consistent_under_churn() {
-    churn_and_snapshot_check(
-        Arc::new(LeapListTm::<u64>::new(small_params())),
-        3,
-        1_500,
-    );
+    churn_and_snapshot_check(Arc::new(LeapListTm::<u64>::new(small_params())), 3, 1_500);
 }
 
 #[test]
@@ -142,7 +130,10 @@ fn lt_range_query_never_inverts_writer_order() {
         assert_eq!(snap.len(), 2, "a key vanished from the snapshot: {snap:?}");
         let (v10, v20) = (snap[0].1, snap[1].1);
         assert!(v10 >= v20, "snapshot inverted writer order: {v10} < {v20}");
-        assert!(v10 - v20 <= 1, "snapshot skipped a generation: {v10} vs {v20}");
+        assert!(
+            v10 - v20 <= 1,
+            "snapshot skipped a generation: {v10} vs {v20}"
+        );
         assert!(v10 >= last.0 && v20 >= last.1, "non-monotonic snapshots");
         last = (v10, v20);
     }

@@ -30,7 +30,10 @@ fn tiny_params() -> Params {
 #[test]
 fn lt_survives_pathological_orec_collisions() {
     let domain = Arc::new(StmDomain::with_config(Mode::WriteBack, 1));
-    let map = Arc::new(LeapListLt::<u64>::with_domain(tiny_params(), domain.clone()));
+    let map = Arc::new(LeapListLt::<u64>::with_domain(
+        tiny_params(),
+        domain.clone(),
+    ));
     let handles: Vec<_> = (0..3u64)
         .map(|t| {
             let map = map.clone();
@@ -50,10 +53,14 @@ fn lt_survives_pathological_orec_collisions() {
     for h in handles {
         h.join().unwrap();
     }
-    // Conflicts must have happened (sanity that the injection bites)...
+    // Conflicts must have happened (sanity that the injection bites) — but
+    // only when the host can actually run the writers in parallel. On a
+    // single hardware thread, transactions conflict only if the scheduler
+    // preempts one mid-flight, so zero aborts is a legitimate outcome.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     assert!(
-        domain.stats().total_aborts() > 0,
-        "a 2-orec table should cause aborts"
+        cores == 1 || domain.stats().total_aborts() > 0,
+        "a 2-orec table should cause aborts on a {cores}-core host"
     );
     // ...and the structure must still be coherent.
     let snap = map.range_query(0, 100);

@@ -24,10 +24,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn run_against_model(
-    map: &dyn RangeMap<u64>,
-    ops: &[Op],
-) -> Result<(), TestCaseError> {
+fn run_against_model(map: &dyn RangeMap<u64>, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
         match *op {
@@ -42,8 +39,7 @@ fn run_against_model(
             }
             Op::Range(lo, hi) => {
                 let got = map.range_query(lo, hi);
-                let want: Vec<(u64, u64)> =
-                    model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
                 prop_assert_eq!(got, want, "range [{}, {}]", lo, hi);
             }
         }

@@ -66,6 +66,8 @@ mod tests {
         }
         .to_string()
         .contains("3"));
-        assert!(DbError::NoSuchRow(crate::RowId(9)).to_string().contains('9'));
+        assert!(DbError::NoSuchRow(crate::RowId(9))
+            .to_string()
+            .contains('9'));
     }
 }

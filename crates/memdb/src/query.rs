@@ -27,9 +27,7 @@ impl Filter {
 
     fn matches(&self, row: &Row) -> bool {
         match *self {
-            Filter::Range { col, lo, hi } => {
-                row.get(col).map_or(false, |v| (lo..=hi).contains(&v))
-            }
+            Filter::Range { col, lo, hi } => row.get(col).is_some_and(|v| (lo..=hi).contains(&v)),
             Filter::Eq { col, value } => row.get(col) == Some(value),
         }
     }
@@ -129,16 +127,12 @@ impl<'t> Query<'t> {
     pub fn rows(self) -> Result<Vec<(RowId, Row)>, DbError> {
         // Index selection: the first conjunct on an indexed column drives.
         let schema = self.table.schema();
-        let driver = self
-            .filters
-            .iter()
-            .position(|f| schema.is_indexed(f.col()));
+        let driver = self.filters.iter().position(|f| schema.is_indexed(f.col()));
         let candidates = match driver {
             Some(i) => {
                 let f = &self.filters[i];
                 let (lo, hi) = f.bounds();
-                self.table
-                    .scan_by(schema.column_name(f.col()), lo, hi)?
+                self.table.scan_by(schema.column_name(f.col()), lo, hi)?
             }
             None => self.table.scan_all(),
         };
@@ -232,7 +226,12 @@ mod tests {
     #[test]
     fn indexed_range_drives_the_scan() {
         let t = staff();
-        let rows = t.query().filter_range("age", 30, 40).unwrap().rows().unwrap();
+        let rows = t
+            .query()
+            .filter_range("age", 30, 40)
+            .unwrap()
+            .rows()
+            .unwrap();
         assert_eq!(rows.len(), 3);
         // Ordered by the driving index (age, then row id).
         let ages: Vec<u64> = rows.iter().map(|(_, r)| r.get(1).unwrap()).collect();
@@ -266,11 +265,19 @@ mod tests {
         let t = staff();
         assert_eq!(t.query().count().unwrap(), 5);
         assert_eq!(
-            t.query().filter_eq("dept", 2).unwrap().sum("salary").unwrap(),
+            t.query()
+                .filter_eq("dept", 2)
+                .unwrap()
+                .sum("salary")
+                .unwrap(),
             13_000
         );
         assert_eq!(
-            t.query().filter_range("age", 0, 34).unwrap().min("salary").unwrap(),
+            t.query()
+                .filter_range("age", 0, 34)
+                .unwrap()
+                .min("salary")
+                .unwrap(),
             Some(4000)
         );
         assert_eq!(t.query().max("age").unwrap(), Some(45));

@@ -29,10 +29,7 @@ impl Schema {
         assert!(!columns.is_empty(), "schema needs at least one column");
         for (i, c) in columns.iter().enumerate() {
             assert!(!c.is_empty(), "empty column name");
-            assert!(
-                !columns[..i].contains(c),
-                "duplicate column name '{c}'"
-            );
+            assert!(!columns[..i].contains(c), "duplicate column name '{c}'");
         }
         Schema {
             columns: columns.iter().map(|c| c.to_string()).collect(),
@@ -102,7 +99,9 @@ mod tests {
 
     #[test]
     fn schema_roundtrip() {
-        let s = Schema::new(&["a", "b", "c"]).with_index("b").with_index("c");
+        let s = Schema::new(&["a", "b", "c"])
+            .with_index("b")
+            .with_index("c");
         assert_eq!(s.arity(), 3);
         assert_eq!(s.indexed_columns(), vec![1, 2]);
         assert_eq!(s.column_name(0), "a");

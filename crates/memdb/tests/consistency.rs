@@ -34,7 +34,7 @@ fn insert_delete_atomic_across_indexes() {
             let mut rng = 0xDBu64;
             let mut live: Vec<RowId> = Vec::new();
             for i in 0..6_000u64 {
-                if live.len() > 200 || (xorshift(&mut rng) % 3 == 0 && !live.is_empty()) {
+                if live.len() > 200 || (xorshift(&mut rng).is_multiple_of(3) && !live.is_empty()) {
                     let idx = (xorshift(&mut rng) as usize) % live.len();
                     let id = live.swap_remove(idx);
                     table.delete(id).unwrap();
@@ -237,7 +237,7 @@ fn errors_are_well_typed() {
         t.scan_by("user", 0, 1),
         Err(DbError::NotIndexed("user".into()))
     );
-    assert!(matches!(t.get(RowId(42)), None));
+    assert!(t.get(RowId(42)).is_none());
     let r = Row::new(&[1, 2, 3]);
     assert_eq!(r.columns().len(), 3);
 }

@@ -20,7 +20,7 @@
 
 use crate::level::{random_level, MAX_LEVEL};
 use leap_ebr::pin;
-use leap_stm::{TaggedPtr, TVar};
+use leap_stm::{TVar, TaggedPtr};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 const INSERTING: u8 = 0;
@@ -233,7 +233,10 @@ impl CasSkipList {
                 if nl != succs[l] {
                     // Refresh our forward pointer before exposing it; a
                     // failure means a remover marked it concurrently.
-                    if node_ref.next[l].naked_compare_exchange(nl, succs[l]).is_err() {
+                    if node_ref.next[l]
+                        .naked_compare_exchange(nl, succs[l])
+                        .is_err()
+                    {
                         continue;
                     }
                 }
@@ -464,10 +467,7 @@ mod tests {
         m.insert(u64::MAX, 2);
         assert_eq!(m.lookup(0), Some(1));
         assert_eq!(m.lookup(u64::MAX), Some(2));
-        assert_eq!(
-            m.range_query_inconsistent(0, u64::MAX).len(),
-            2
-        );
+        assert_eq!(m.range_query_inconsistent(0, u64::MAX).len(), 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::level::{random_level, MAX_LEVEL};
 use leap_ebr::pin;
-use leap_stm::{Backoff, StmDomain, TaggedPtr, TVar, TxResult, Txn};
+use leap_stm::{Backoff, StmDomain, TVar, TaggedPtr, TxResult, Txn};
 
 struct Node {
     key: u64,
@@ -104,13 +104,11 @@ impl TmSkipList {
             succs[l] = curr;
         }
         let f = succs[0];
-        Ok(
-            if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
-                Some(f.as_ptr())
-            } else {
-                None
-            },
-        )
+        Ok(if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
+            Some(f.as_ptr())
+        } else {
+            None
+        })
     }
 
     /// Inserts or updates `key -> value` atomically. Returns `true` if a
@@ -138,6 +136,9 @@ impl TmSkipList {
                             nxt.naked_store(succs[l]);
                         }
                         let node_ptr = Box::into_raw(node);
+                        // `l` indexes preds and the node's levels in
+                        // lock-step; an iterator rewrite obscures that.
+                        #[allow(clippy::needless_range_loop)]
                         for l in 0..top {
                             let slot = unsafe { &(*preds[l]).next[l] };
                             if let Err(e) = tx.write(slot, TaggedPtr::new(node_ptr)) {
@@ -217,12 +218,11 @@ impl TmSkipList {
         let mut backoff = Backoff::new();
         loop {
             let mut tx = Txn::begin(&self.domain);
-            let body: TxResult<Option<u64>> = (|| {
-                match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
+            let body: TxResult<Option<u64>> =
+                (|| match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
                     None => Ok(None),
                     Some(n) => Ok(Some(tx.read(unsafe { &(*n).value })?)),
-                }
-            })();
+                })();
             if let Ok(v) = body {
                 if tx.commit().is_ok() {
                     return v;

@@ -49,8 +49,7 @@ fn check_against_model<M>(
             }
             Op::Range(lo, hi) => {
                 let got = range(&map, lo, hi);
-                let want: Vec<(u64, u64)> =
-                    model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
                 prop_assert_eq!(got, want, "range [{}, {}]", lo, hi);
             }
         }

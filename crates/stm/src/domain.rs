@@ -75,10 +75,7 @@ impl StmDomain {
     ///
     /// Panics if `orec_bits` is 0 or greater than 28.
     pub fn with_config(mode: Mode, orec_bits: u32) -> Self {
-        assert!(
-            (1..=28).contains(&orec_bits),
-            "orec_bits must be in 1..=28"
-        );
+        assert!((1..=28).contains(&orec_bits), "orec_bits must be in 1..=28");
         let n = 1usize << orec_bits;
         let orecs = (0..n).map(|_| AtomicU64::new(0)).collect();
         StmDomain {

@@ -62,16 +62,16 @@ mod domain;
 mod retry;
 mod stats;
 mod tagged;
-mod txn;
 mod tvar;
+mod txn;
 mod word;
 
 pub use domain::{Mode, StmDomain, DEFAULT_OREC_BITS};
 pub use retry::{atomically, Backoff};
 pub use stats::StatsSnapshot;
 pub use tagged::TaggedPtr;
-pub use txn::{Abort, TxResult, Txn};
 pub use tvar::TVar;
+pub use txn::{Abort, TxResult, Txn};
 pub use word::Word;
 
 /// A transactional tagged-pointer cell: the building block for the

@@ -306,11 +306,7 @@ impl<'d> Txn<'d> {
         }
         // Lock the write stripes in sorted order (deadlock avoidance with
         // bounded spinning as a safety net).
-        let mut locks: Vec<(u32, u64)> = self
-            .write_set
-            .iter()
-            .map(|e| (e.orec, 0))
-            .collect();
+        let mut locks: Vec<(u32, u64)> = self.write_set.iter().map(|e| (e.orec, 0)).collect();
         locks.sort_unstable_by_key(|(oi, _)| *oi);
         locks.dedup_by_key(|(oi, _)| *oi);
         let mut acquired = 0usize;

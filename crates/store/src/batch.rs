@@ -1,0 +1,329 @@
+//! The batching front-end: a flat-combining funnel that coalesces
+//! independent single-key operations arriving on many worker threads into
+//! grouped [`LeapStore::apply`] calls, so `k` concurrent puts to `k`
+//! distinct shards cost one multi-list transaction instead of `k`.
+
+use crate::store::LeapStore;
+use leaplist::BatchOp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a combined op ended.
+enum Outcome<V> {
+    /// The grouped `apply` committed; this is the op's previous value.
+    Done(Option<V>),
+    /// The combiner panicked mid-batch (e.g. a panicking `V::Clone`): the
+    /// op's fate is unknown, so the waiting submitter re-raises.
+    Aborted,
+}
+
+/// One submitted op's result slot, filled by whichever thread combines it.
+struct Slot<V> {
+    result: Mutex<Option<Outcome<V>>>,
+}
+
+struct Pending<V> {
+    op: BatchOp<V>,
+    slot: Arc<Slot<V>>,
+}
+
+/// Locks a slot, recovering from poison (a panicking peer must not wedge
+/// the batcher for everyone else).
+fn lock_slot<V>(slot: &Slot<V>) -> std::sync::MutexGuard<'_, Option<Outcome<V>>> {
+    slot.result
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Point-in-time counters for a [`Batcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatcherStats {
+    /// Combined `apply` calls issued.
+    pub batches: u64,
+    /// Operations carried by those calls.
+    pub ops: u64,
+    /// Largest single combined batch.
+    pub max_batch: u64,
+}
+
+impl BatcherStats {
+    /// Mean ops per combined call (1.0 means no coalescing happened).
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A flat-combining batcher over a shared [`LeapStore`].
+///
+/// Threads call [`Batcher::put`] / [`Batcher::delete`] as if they were the
+/// store's own methods; internally each call enqueues the op and then
+/// either *combines* (drains every queued op into one grouped
+/// [`LeapStore::apply`]) or finds its op already combined by another
+/// thread. Under contention this turns `k` single-key transactions into
+/// one `k`-list transaction — the multi-list composite the paper builds.
+///
+/// # Example
+///
+/// ```
+/// use leap_store::{Batcher, LeapStore, StoreConfig};
+/// use std::sync::Arc;
+///
+/// let store = Arc::new(LeapStore::<u64>::new(StoreConfig::default()));
+/// let batcher = Batcher::new(store.clone());
+/// assert_eq!(batcher.put(5, 50), None);
+/// assert_eq!(batcher.put(5, 51), Some(50));
+/// assert_eq!(batcher.delete(5), Some(51));
+/// assert!(batcher.stats().batches >= 3);
+/// ```
+pub struct Batcher<V> {
+    store: Arc<LeapStore<V>>,
+    queue: Mutex<Vec<Pending<V>>>,
+    combiner: Mutex<()>,
+    batches: AtomicU64,
+    ops: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl<V: Clone + Send + Sync + 'static> Batcher<V> {
+    /// Creates a batcher front-end for `store`.
+    pub fn new(store: Arc<LeapStore<V>>) -> Self {
+        Batcher {
+            store,
+            queue: Mutex::new(Vec::new()),
+            combiner: Mutex::new(()),
+            batches: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<LeapStore<V>> {
+        &self.store
+    }
+
+    /// Inserts or updates `key -> value` (possibly batched with other
+    /// threads' ops); returns the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn put(&self, key: u64, value: V) -> Option<V> {
+        self.submit(BatchOp::Update(key, value))
+    }
+
+    /// Removes `key` (possibly batched); returns its value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn delete(&self, key: u64) -> Option<V> {
+        self.submit(BatchOp::Remove(key))
+    }
+
+    /// Coalescing counters.
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            batches: self.batches.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    fn submit(&self, op: BatchOp<V>) -> Option<V> {
+        // Validate before enqueueing: a documented caller error must panic
+        // here, in the caller's frame, not inside a combiner that is
+        // carrying other threads' ops (whose slots would never be filled).
+        let key = match &op {
+            BatchOp::Update(k, _) => *k,
+            BatchOp::Remove(k) => *k,
+        };
+        assert!(key < u64::MAX, "key u64::MAX is reserved");
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+        });
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Pending {
+                op,
+                slot: slot.clone(),
+            });
+        // While another thread holds the combiner lock it is (or soon will
+        // be) draining the queue — ops pile up behind it and the next
+        // holder combines them all. Blocking here is the coalescing.
+        let _c = self
+            .combiner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match lock_slot(&slot).take() {
+            Some(Outcome::Done(r)) => return r, // a combiner carried our op
+            Some(Outcome::Aborted) => {
+                panic!("a combining peer panicked mid-batch; this op's fate is unknown")
+            }
+            None => {}
+        }
+        let drained: Vec<Pending<V>> = {
+            let mut q = self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *q)
+        };
+        debug_assert!(!drained.is_empty(), "our own op must still be queued");
+        let (ops, slots): (Vec<BatchOp<V>>, Vec<Arc<Slot<V>>>) =
+            drained.into_iter().map(|p| (p.op, p.slot)).unzip();
+        // If apply itself panics (it cannot from key validation — that
+        // happened in every submitter's own frame — but e.g. a panicking
+        // V::Clone could), tell every drained peer before re-raising, so
+        // none of them waits on a slot that will never be filled.
+        let results =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.store.apply(&ops)))
+                .unwrap_or_else(|payload| {
+                    for p in &slots {
+                        *lock_slot(p) = Some(Outcome::Aborted);
+                    }
+                    std::panic::resume_unwind(payload);
+                });
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+        self.max_batch
+            .fetch_max(ops.len() as u64, Ordering::Relaxed);
+        let mut own = None;
+        for (p, r) in slots.into_iter().zip(results) {
+            if Arc::ptr_eq(&p, &slot) {
+                own = Some(r);
+            } else {
+                *lock_slot(&p) = Some(Outcome::Done(r));
+            }
+        }
+        own.expect("the drain carried our own op")
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for Batcher<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Batcher")
+            .field("batches", &s.batches)
+            .field("ops", &s.ops)
+            .field("avg_batch", &s.avg_batch())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Partitioning;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn sequential_ops_behave_like_the_store() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            4,
+            Partitioning::Hash,
+        )));
+        let b = Batcher::new(store.clone());
+        assert_eq!(b.put(1, 10), None);
+        assert_eq!(b.put(1, 11), Some(10));
+        assert_eq!(b.delete(1), Some(11));
+        assert_eq!(b.delete(1), None);
+        assert_eq!(store.get(1), None);
+        let s = b.stats();
+        assert_eq!(s.ops, 4);
+        assert!(
+            (s.avg_batch() - 1.0).abs() < 1e-9,
+            "no contention, no coalescing"
+        );
+        assert_eq!(BatcherStats::default().avg_batch(), 0.0);
+    }
+
+    #[test]
+    fn reserved_key_panic_does_not_wedge_the_batcher() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Arc::new(Batcher::new(store.clone()));
+        let panicked = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                b.put(u64::MAX, 1);
+            })
+            .join()
+        };
+        assert!(panicked.is_err(), "reserved key must panic");
+        // The panic happened before any lock was taken: the batcher (and
+        // its combiner mutex) must still serve every other thread.
+        assert_eq!(b.put(7, 70), None);
+        assert_eq!(b.delete(7), Some(70));
+        assert_eq!(b.stats().ops, 2, "the rejected op was never enqueued");
+    }
+
+    #[test]
+    fn combiner_panic_is_reraised_and_batcher_survives() {
+        // A value whose Clone panics when armed: the only way apply itself
+        // can panic after up-front key validation.
+        #[derive(Debug, PartialEq)]
+        struct Bomb(u64, bool);
+        impl Clone for Bomb {
+            fn clone(&self) -> Self {
+                assert!(!self.1, "armed bomb cloned");
+                Bomb(self.0, false)
+            }
+        }
+        let store = Arc::new(LeapStore::<Bomb>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Arc::new(Batcher::new(store.clone()));
+        let panicked = {
+            let b = b.clone();
+            std::thread::spawn(move || {
+                b.put(3, Bomb(30, true));
+            })
+            .join()
+        };
+        assert!(panicked.is_err(), "armed bomb must panic inside apply");
+        // The combiner marked affected slots and re-raised; the batcher
+        // still serves subsequent ops.
+        assert!(b.put(4, Bomb(40, false)).is_none());
+        assert_eq!(store.get(4), Some(Bomb(40, false)));
+    }
+
+    #[test]
+    fn concurrent_ops_all_land_and_coalesce() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            8,
+            Partitioning::Hash,
+        )));
+        let b = Arc::new(Batcher::new(store.clone()));
+        let threads = 4;
+        let per = 200u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let k = t * per + i;
+                        assert_eq!(b.put(k, k + 1), None, "keys are disjoint per thread");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for k in 0..threads * per {
+            assert_eq!(store.get(k), Some(k + 1));
+        }
+        let s = b.stats();
+        assert_eq!(s.ops, threads * per);
+        assert!(s.batches <= s.ops, "combined calls never exceed ops");
+    }
+}

@@ -1,0 +1,57 @@
+//! # leap-store — LeapStore, a sharded range-store over Leap-List shards
+//!
+//! The paper's closing ambition (§4) is an in-memory database whose index
+//! structures are Leap-Lists; its headline primitive is a transaction that
+//! spans *multiple* lists atomically. This crate builds the service layer
+//! between the data structure and that goal: a store that partitions the
+//! `u64` keyspace across `N` [`leaplist::LeapListLt`] shards sharing **one
+//! transactional domain**, and keeps the paper's guarantees at store
+//! scope:
+//!
+//! * **Cross-shard atomic batches** — [`LeapStore::multi_put`] /
+//!   [`LeapStore::apply`] commit through one multi-list transaction
+//!   (`apply_batch`), so concurrent readers see all of a batch or none of
+//!   it.
+//! * **Linearizable cross-shard range queries** — [`LeapStore::range`]
+//!   assembles per-shard snapshots *inside one transaction*
+//!   ([`leaplist::LeapListLt::range_query_group`]): the merged result is a
+//!   single consistent snapshot of the whole keyspace.
+//! * **Configurable placement** — [`Router`] supports hash and
+//!   contiguous-range partitioning; range mode lets a range query visit
+//!   only the overlapping shards.
+//! * **Operation batching** — [`Batcher`] flat-combines single-key ops
+//!   from many threads into grouped multi-list transactions.
+//! * **Observability** — [`LeapStore::stats`] exposes per-shard op
+//!   counters plus the shared domain's commit/abort counters
+//!   ([`leap_stm::StatsSnapshot`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use leap_store::{LeapStore, Partitioning, StoreConfig};
+//!
+//! let store: LeapStore<String> =
+//!     LeapStore::new(StoreConfig::new(4, Partitioning::Range).with_key_space(10_000));
+//! store.put(1001, "alice".into());
+//! store.put(7002, "bob".into());
+//! store.multi_put(&[(1002, "carol".into()), (7003, "dave".into())]); // atomic
+//! let page = store.range(1000, 2000); // one consistent snapshot
+//! assert_eq!(page.len(), 2);
+//! assert_eq!(store.stats().shards.len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod batch;
+mod router;
+mod stats;
+mod store;
+
+pub use batch::{Batcher, BatcherStats};
+pub use router::{Partitioning, Router};
+pub use stats::{ShardStats, StoreStats};
+pub use store::{LeapStore, StoreConfig};
+
+// Re-exported so store users can build mixed batches without importing
+// leaplist directly.
+pub use leaplist::BatchOp;

@@ -1,0 +1,177 @@
+//! The shard router: deterministic key → shard placement plus the inverse
+//! question a range query asks — *which shards can hold keys in `[lo, hi]`?*
+
+/// How the keyspace is partitioned across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Keys scatter by a Fibonacci hash: uniform load under any key
+    /// distribution, but every range query must visit every shard.
+    Hash,
+    /// Contiguous slices of `[0, key_space)`: a range query visits only the
+    /// shards whose slice overlaps it, at the cost of load skew when the
+    /// workload is skewed.
+    Range,
+}
+
+/// Routes keys to shards.
+///
+/// # Example
+///
+/// ```
+/// use leap_store::{Partitioning, Router};
+/// let r = Router::new(Partitioning::Range, 4, 1000);
+/// assert_eq!(r.shard_of(0), 0);
+/// assert_eq!(r.shard_of(999), 3);
+/// assert_eq!(r.shards_for_range(0, 249), vec![0]);
+/// assert_eq!(r.shards_for_range(200, 600), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    mode: Partitioning,
+    shards: usize,
+    /// Width of each contiguous slice (range mode).
+    stride: u64,
+}
+
+impl Router {
+    /// Creates a router over `shards` shards. `key_space` bounds the keys
+    /// the contiguous mode slices evenly; keys at or beyond it fall in the
+    /// trailing shards (exactly the last shard whenever
+    /// `key_space >= shards`, the non-degenerate configuration). Hash mode
+    /// ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `key_space` is zero.
+    pub fn new(mode: Partitioning, shards: usize, key_space: u64) -> Self {
+        assert!(shards > 0, "a store needs at least one shard");
+        assert!(key_space > 0, "key_space must be non-zero");
+        Router {
+            mode,
+            shards,
+            stride: (key_space / shards as u64).max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The partitioning mode.
+    pub fn mode(&self) -> Partitioning {
+        self.mode
+    }
+
+    /// The shard owning `key`. Total: every key maps to exactly one shard.
+    pub fn shard_of(&self, key: u64) -> usize {
+        match self.mode {
+            Partitioning::Hash => {
+                // Fibonacci multiply then fold the high bits in, so both
+                // low- and high-entropy keys spread.
+                let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h ^ (h >> 32)) % self.shards as u64) as usize
+            }
+            Partitioning::Range => ((key / self.stride) as usize).min(self.shards - 1),
+        }
+    }
+
+    /// Every shard that may hold a key in `[lo, hi]`, ascending. Empty when
+    /// `lo > hi`; otherwise exactly the overlapping shards — no more, no
+    /// fewer (hash mode scatters, so every shard overlaps every range).
+    pub fn shards_for_range(&self, lo: u64, hi: u64) -> Vec<usize> {
+        if lo > hi {
+            return Vec::new();
+        }
+        match self.mode {
+            Partitioning::Hash => (0..self.shards).collect(),
+            Partitioning::Range => (self.shard_of(lo)..=self.shard_of(hi)).collect(),
+        }
+    }
+
+    /// The inclusive key interval shard `s` owns in range mode (`None` in
+    /// hash mode, where ownership is scattered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn shard_interval(&self, s: usize) -> Option<(u64, u64)> {
+        assert!(s < self.shards, "shard {s} out of bounds");
+        match self.mode {
+            Partitioning::Hash => None,
+            Partitioning::Range => {
+                let lo = self.stride * s as u64;
+                let hi = if s == self.shards - 1 {
+                    u64::MAX - 1
+                } else {
+                    self.stride * (s as u64 + 1) - 1
+                };
+                Some((lo, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_mode_is_contiguous_and_total() {
+        let r = Router::new(Partitioning::Range, 8, 1 << 20);
+        let mut last = 0;
+        for k in (0..(1u64 << 20)).step_by(997) {
+            let s = r.shard_of(k);
+            assert!(s < 8);
+            assert!(s >= last, "shard ids must be monotone in the key");
+            last = s;
+        }
+        // Keys beyond the declared key space clamp to the last shard.
+        assert_eq!(r.shard_of(u64::MAX - 1), 7);
+    }
+
+    #[test]
+    fn hash_mode_spreads_sequential_keys() {
+        let r = Router::new(Partitioning::Hash, 8, 1 << 20);
+        let mut hit = [false; 8];
+        for k in 0..64u64 {
+            hit[r.shard_of(k)] = true;
+        }
+        assert!(
+            hit.iter().all(|h| *h),
+            "64 sequential keys must touch all 8 shards"
+        );
+    }
+
+    #[test]
+    fn range_queries_visit_overlapping_shards_only() {
+        let r = Router::new(Partitioning::Range, 4, 1000);
+        assert_eq!(r.shards_for_range(0, 999), vec![0, 1, 2, 3]);
+        assert_eq!(r.shards_for_range(250, 499), vec![1]);
+        assert_eq!(r.shards_for_range(5, 3), Vec::<usize>::new());
+        let rh = Router::new(Partitioning::Hash, 4, 1000);
+        assert_eq!(rh.shards_for_range(250, 499), vec![0, 1, 2, 3]);
+        assert_eq!(rh.shards_for_range(5, 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn intervals_tile_the_keyspace() {
+        let r = Router::new(Partitioning::Range, 5, 100);
+        let mut next = 0u64;
+        for s in 0..5 {
+            let (lo, hi) = r.shard_interval(s).unwrap();
+            assert_eq!(lo, next);
+            assert!(hi >= lo);
+            next = hi + 1;
+        }
+        assert!(Router::new(Partitioning::Hash, 5, 100)
+            .shard_interval(2)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        Router::new(Partitioning::Hash, 0, 100);
+    }
+}

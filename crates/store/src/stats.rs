@@ -1,0 +1,176 @@
+//! The per-shard statistics surface: operation counters kept by the store,
+//! plus the transaction commit/abort counters re-exported from the shared
+//! `leap_stm` domain.
+
+use leap_stm::StatsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live operation counters for one shard (relaxed atomics; advisory while
+/// operations run, exact at quiescence).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub gets: AtomicU64,
+    pub puts: AtomicU64,
+    pub deletes: AtomicU64,
+    pub ranges: AtomicU64,
+    /// Components of multi-key batches applied to this shard.
+    pub batch_parts: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            ranges: self.ranges.load(Ordering::Relaxed),
+            batch_parts: self.batch_parts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Point lookups routed here.
+    pub gets: u64,
+    /// Single-key puts routed here.
+    pub puts: u64,
+    /// Single-key deletes routed here.
+    pub deletes: u64,
+    /// Range queries that visited this shard.
+    pub ranges: u64,
+    /// Multi-key batch components applied to this shard.
+    pub batch_parts: u64,
+}
+
+impl ShardStats {
+    /// All operations that touched this shard.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.ranges + self.batch_parts
+    }
+}
+
+/// A point-in-time statistics snapshot for a whole store.
+///
+/// `stm` aggregates the **shared** transactional domain: cross-shard
+/// atomicity requires every shard to run on one domain, so commit/abort
+/// counts are store-wide by construction (a per-shard abort count would
+/// claim a precision the substrate cannot provide).
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Per-shard operation counters.
+    pub shards: Vec<ShardStats>,
+    /// Commit/abort counters of the shared STM domain.
+    pub stm: StatsSnapshot,
+    /// Batches that contained at least two keys for one shard and were
+    /// therefore applied through the serialized slow path.
+    pub slow_batches: u64,
+}
+
+impl StoreStats {
+    /// Aborts per committed transaction (0.0 when nothing committed) — the
+    /// contention signal the evaluation tracks.
+    pub fn abort_rate(&self) -> f64 {
+        let commits = self.stm.total_commits();
+        if commits == 0 {
+            0.0
+        } else {
+            self.stm.total_aborts() as f64 / commits as f64
+        }
+    }
+
+    /// Renders one `{...}` JSON object per line, machine-parseable for the
+    /// benchmark harness's `BENCH_*.json` outputs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"shards\":[");
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"gets\":{},\"puts\":{},\"deletes\":{},\"ranges\":{},\"batch_parts\":{}}}",
+                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts
+            ));
+        }
+        out.push_str(&format!(
+            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"slow_batches\":{},\"abort_rate\":{:.6}}}",
+            self.stm.commits,
+            self.stm.read_only_commits,
+            self.stm.conflict_aborts,
+            self.stm.explicit_aborts,
+            self.slow_batches,
+            self.abort_rate(),
+        ));
+        out
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "shard", "gets", "puts", "deletes", "ranges", "batch_parts"
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts
+            )?;
+        }
+        write!(
+            f,
+            "stm: {} | slow_batches={} | abort_rate={:.4}",
+            self.stm,
+            self.slow_batches,
+            self.abort_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_rates_divide() {
+        let stats = StoreStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    gets: 1,
+                    puts: 2,
+                    deletes: 3,
+                    ranges: 4,
+                    batch_parts: 5,
+                },
+                ShardStats::default(),
+            ],
+            stm: StatsSnapshot {
+                commits: 8,
+                read_only_commits: 2,
+                conflict_aborts: 4,
+                explicit_aborts: 1,
+            },
+            slow_batches: 7,
+        };
+        assert_eq!(stats.shards[0].total_ops(), 15);
+        assert!((stats.abort_rate() - 0.5).abs() < 1e-9);
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"shard\":").count(), 2);
+        assert!(json.contains("\"slow_batches\":7"));
+        assert_eq!(StoreStats::default().abort_rate(), 0.0);
+        let text = format!("{stats}");
+        assert!(text.contains("abort_rate=0.5000"));
+    }
+}

@@ -1,0 +1,578 @@
+//! The store proper: N Leap-List shards on one transactional domain, a
+//! router deciding placement, and a seqlock that keeps even multi-round
+//! batches invisible-in-part to readers.
+
+use crate::router::{Partitioning, Router};
+use crate::stats::{ShardCounters, StoreStats};
+use leap_stm::StmDomain;
+use leaplist::{BatchOp, LeapListLt, Params};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Construction parameters for a [`LeapStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of Leap-List shards.
+    pub shards: usize,
+    /// How keys map to shards.
+    pub partitioning: Partitioning,
+    /// Expected key upper bound (exclusive) — range partitioning slices
+    /// `[0, key_space)` into equal strides; keys at or beyond it fall in
+    /// the trailing shards (exactly the last shard whenever
+    /// `key_space >= shards`). Hash partitioning ignores it.
+    pub key_space: u64,
+    /// Per-shard Leap-List structure parameters.
+    pub params: Params,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 8,
+            partitioning: Partitioning::Hash,
+            key_space: u64::MAX,
+            params: Params::default(),
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A config with the given shard count and partitioning mode.
+    pub fn new(shards: usize, partitioning: Partitioning) -> Self {
+        StoreConfig {
+            shards,
+            partitioning,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the expected key upper bound (exclusive).
+    pub fn with_key_space(mut self, key_space: u64) -> Self {
+        self.key_space = key_space;
+        self
+    }
+
+    /// Sets the per-shard Leap-List parameters.
+    pub fn with_params(mut self, params: Params) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// A sharded, concurrent range-store over Leap-List shards sharing one
+/// transactional domain.
+///
+/// * [`LeapStore::get`] / [`LeapStore::put`] / [`LeapStore::delete`] —
+///   single-key operations routed to one shard.
+/// * [`LeapStore::multi_put`] / [`LeapStore::apply`] — cross-shard batches
+///   applied as **one linearizable action**.
+/// * [`LeapStore::range`] — a cross-shard range query assembled from
+///   per-shard snapshots taken inside **one** transaction
+///   ([`LeapListLt::range_query_group`]), so the combined result is a
+///   single consistent snapshot: it can never observe part of a batch.
+///
+/// # Batch atomicity
+///
+/// A batch with at most one key per shard commits through one multi-list
+/// `apply_batch` transaction (the fast path). A batch that maps two or
+/// more keys to one shard cannot — Leap-List plans are one-op-per-list —
+/// so it is applied in rounds, hidden behind two mechanisms: a sequence
+/// lock makes readers retry rather than observe the gap between rounds,
+/// and an exclusive writer-phase lock keeps other writers (whose
+/// previous-value returns would expose intermediate state) out for the
+/// batch's duration. Single-key ops and fast-path batches hold the
+/// writer-phase lock shared, so they run concurrently with each other.
+///
+/// # Example
+///
+/// ```
+/// use leap_store::{LeapStore, Partitioning, StoreConfig};
+///
+/// let store: LeapStore<u64> =
+///     LeapStore::new(StoreConfig::new(4, Partitioning::Range).with_key_space(1000));
+/// store.put(10, 100);
+/// store.put(600, 900);
+/// // Atomic across shards:
+/// store.multi_put(&[(20, 1), (400, 2), (800, 3)]);
+/// assert_eq!(store.get(400), Some(2));
+/// assert_eq!(store.range(0, 999).len(), 5);
+/// ```
+pub struct LeapStore<V> {
+    shards: Vec<LeapListLt<V>>,
+    router: Router,
+    domain: Arc<StmDomain>,
+    counters: Vec<ShardCounters>,
+    /// Sequence lock: odd while a multi-round (slow-path) batch is
+    /// mid-flight. Readers retry around odd values and around observed
+    /// transitions.
+    seq: AtomicU64,
+    /// Writer-phase lock: every writer holds it shared (single-key ops
+    /// and fast-path batches run concurrently); a slow-path batch holds
+    /// it exclusively, so no other write can land between its rounds and
+    /// observe — or expose, via previous-value returns — the gap.
+    write_phase: RwLock<()>,
+    slow_batches: AtomicU64,
+}
+
+/// Restores the seqlock to even if a slow-path round panics; without it
+/// a panicking batch would leave `seq` odd and spin every future reader.
+struct SeqGuard<'a>(&'a AtomicU64);
+
+impl Drop for SeqGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Shared (writer) acquisition of the write-phase lock; a panic in some
+/// other writer must not poison the store.
+fn read_phase(lock: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Exclusive (slow-batch) acquisition of the write-phase lock.
+fn write_phase(lock: &RwLock<()>) -> std::sync::RwLockWriteGuard<'_, ()> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
+    /// Creates an empty store: `config.shards` Leap-Lists sharing one
+    /// fresh transactional domain.
+    pub fn new(config: StoreConfig) -> Self {
+        // The router owns the shard-count validation; build it first so a
+        // zero-shard config panics with the router's diagnostic.
+        let router = Router::new(config.partitioning, config.shards, config.key_space);
+        let shards = LeapListLt::group(config.shards, config.params.clone());
+        let domain = shards
+            .first()
+            .expect("router rejected shards == 0 above")
+            .domain()
+            .clone();
+        let counters = (0..config.shards)
+            .map(|_| ShardCounters::default())
+            .collect();
+        LeapStore {
+            shards,
+            router,
+            domain,
+            counters,
+            seq: AtomicU64::new(0),
+            write_phase: RwLock::new(()),
+            slow_batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The router (placement inspection).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's Leap-List (diagnostics and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of bounds.
+    pub fn shard(&self, s: usize) -> &LeapListLt<V> {
+        &self.shards[s]
+    }
+
+    /// The shared transactional domain.
+    pub fn domain(&self) -> &Arc<StmDomain> {
+        &self.domain
+    }
+
+    /// Point lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let s = self.router.shard_of(key);
+        ShardCounters::bump(&self.counters[s].gets);
+        loop {
+            let s1 = self.read_enter();
+            let v = self.shards[s].lookup(key);
+            if self.read_exit(s1) {
+                return v;
+            }
+        }
+    }
+
+    /// Inserts or updates `key -> value`; returns the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn put(&self, key: u64, value: V) -> Option<V> {
+        let s = self.router.shard_of(key);
+        ShardCounters::bump(&self.counters[s].puts);
+        let _w = read_phase(&self.write_phase);
+        self.shards[s].update(key, value)
+    }
+
+    /// Removes `key`; returns its value if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn delete(&self, key: u64) -> Option<V> {
+        let s = self.router.shard_of(key);
+        ShardCounters::bump(&self.counters[s].deletes);
+        let _w = read_phase(&self.write_phase);
+        self.shards[s].remove(key)
+    }
+
+    /// Inserts all `(key, value)` pairs as **one linearizable action**
+    /// across their shards; returns previous values in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX`.
+    pub fn multi_put(&self, entries: &[(u64, V)]) -> Vec<Option<V>> {
+        let ops: Vec<BatchOp<V>> = entries
+            .iter()
+            .map(|(k, v)| BatchOp::Update(*k, v.clone()))
+            .collect();
+        self.apply(&ops)
+    }
+
+    /// Removes all `keys` as one linearizable action; returns the removed
+    /// values in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX`.
+    pub fn multi_delete(&self, keys: &[u64]) -> Vec<Option<V>> {
+        let ops: Vec<BatchOp<V>> = keys.iter().map(|k| BatchOp::Remove(*k)).collect();
+        self.apply(&ops)
+    }
+
+    /// Applies a mixed put/delete batch as one linearizable action;
+    /// returns previous values in input order. Ops sharing a shard apply
+    /// in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX`.
+    pub fn apply(&self, ops: &[BatchOp<V>]) -> Vec<Option<V>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let key_of = |op: &BatchOp<V>| match op {
+            BatchOp::Update(k, _) => *k,
+            BatchOp::Remove(k) => *k,
+        };
+        // Validate every key before touching any lock or shard, so a
+        // documented caller error cannot panic mid-batch with the seqlock
+        // odd or part of the batch applied.
+        for op in ops {
+            assert!(key_of(op) < u64::MAX, "key u64::MAX is reserved");
+        }
+        // Single-op batches (the Batcher's uncontended hot path) route
+        // straight to their shard: no queues, no round vectors.
+        if let [op] = ops {
+            let shard = self.router.shard_of(key_of(op));
+            self.counters[shard]
+                .batch_parts
+                .fetch_add(1, Ordering::Relaxed);
+            let _w = read_phase(&self.write_phase);
+            return vec![match op {
+                BatchOp::Update(k, v) => self.shards[shard].update(*k, v.clone()),
+                BatchOp::Remove(k) => self.shards[shard].remove(*k),
+            }];
+        }
+        // FIFO of input indexes per shard, preserving per-shard op order.
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.shards.len()];
+        for (i, op) in ops.iter().enumerate() {
+            queues[self.router.shard_of(key_of(op))].push_back(i);
+        }
+        for (s, q) in queues.iter().enumerate() {
+            self.counters[s]
+                .batch_parts
+                .fetch_add(q.len() as u64, Ordering::Relaxed);
+        }
+        let mut out: Vec<Option<V>> = vec![None; ops.len()];
+        if queues.iter().all(|q| q.len() <= 1) {
+            // Fast path: one op per shard — a single multi-list
+            // transaction, running concurrently with other writers.
+            let _w = read_phase(&self.write_phase);
+            self.apply_round(&mut queues, ops, &mut out);
+            return out;
+        }
+        // Slow path: some shard holds several keys; Leap-List plans are
+        // one-op-per-list, so apply in rounds. The exclusive write-phase
+        // lock keeps other writers (whose previous-value returns would
+        // otherwise expose the gap between rounds) out, and the sequence
+        // lock makes readers retry instead of observing it.
+        let _w = write_phase(&self.write_phase);
+        self.slow_batches.fetch_add(1, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::SeqCst); // -> odd: readers hold off
+        let _even_again = SeqGuard(&self.seq); // -> even on exit OR panic
+        while queues.iter().any(|q| !q.is_empty()) {
+            self.apply_round(&mut queues, ops, &mut out);
+        }
+        out
+    }
+
+    /// Pops the front op of every non-empty queue and commits them as one
+    /// multi-list transaction.
+    fn apply_round(
+        &self,
+        queues: &mut [VecDeque<usize>],
+        ops: &[BatchOp<V>],
+        out: &mut [Option<V>],
+    ) {
+        let mut lists = Vec::new();
+        let mut round_ops = Vec::new();
+        let mut idxs = Vec::new();
+        for (s, q) in queues.iter_mut().enumerate() {
+            if let Some(i) = q.pop_front() {
+                lists.push(&self.shards[s]);
+                round_ops.push(ops[i].clone());
+                idxs.push(i);
+            }
+        }
+        for (i, r) in idxs
+            .into_iter()
+            .zip(LeapListLt::apply_batch(&lists, &round_ops))
+        {
+            out[i] = r;
+        }
+    }
+
+    /// Linearizable cross-shard range query: all pairs with keys in
+    /// `[lo, hi]`, ascending, from **one** consistent snapshot (one
+    /// transaction spans every visited shard).
+    ///
+    /// Returns an empty vector when `lo > hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        if lo > hi {
+            return Vec::new();
+        }
+        let (lists, ranges) = self.visit_plan(lo, hi);
+        loop {
+            let s1 = self.read_enter();
+            let per_shard = LeapListLt::range_query_group(&lists, &ranges);
+            if !self.read_exit(s1) {
+                continue;
+            }
+            let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
+            if self.router.mode() == Partitioning::Hash {
+                // Contiguous shards concatenate in order; hashed shards
+                // interleave and need the merge sort.
+                merged.sort_unstable_by_key(|(k, _)| *k);
+            }
+            return merged;
+        }
+    }
+
+    /// Number of keys in `[lo, hi]` from one consistent cross-shard
+    /// snapshot, without cloning values
+    /// ([`LeapListLt::count_range_group`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        if lo > hi {
+            return 0;
+        }
+        let (lists, ranges) = self.visit_plan(lo, hi);
+        loop {
+            let s1 = self.read_enter();
+            let per_shard = LeapListLt::count_range_group(&lists, &ranges);
+            if self.read_exit(s1) {
+                return per_shard.iter().sum();
+            }
+        }
+    }
+
+    /// The shards a `[lo, hi]` query must visit, with per-shard range
+    /// arguments, bumping each visited shard's range counter.
+    fn visit_plan(&self, lo: u64, hi: u64) -> (Vec<&LeapListLt<V>>, Vec<(u64, u64)>) {
+        let visit = self.router.shards_for_range(lo, hi);
+        for &s in &visit {
+            ShardCounters::bump(&self.counters[s].ranges);
+        }
+        let lists: Vec<&LeapListLt<V>> = visit.iter().map(|&s| &self.shards[s]).collect();
+        let ranges = vec![(lo, hi); lists.len()];
+        (lists, ranges)
+    }
+
+    /// Approximate number of keys (exact when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(LeapListLt::len).sum()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time statistics snapshot: per-shard op counters plus the
+    /// shared domain's commit/abort counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            shards: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(s, c)| c.snapshot(s))
+                .collect(),
+            stm: self.domain.stats(),
+            slow_batches: self.slow_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Seqlock read-side entry: waits out any in-flight slow batch and
+    /// returns the even sequence observed.
+    fn read_enter(&self) -> u64 {
+        loop {
+            let s = self.seq.load(Ordering::Acquire);
+            if s & 1 == 0 {
+                return s;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Seqlock read-side exit: true iff no slow batch intervened. The
+    /// acquire fence keeps the preceding data reads from sinking below the
+    /// validation load (an acquire *load* alone only orders later accesses,
+    /// so on weakly-ordered hardware the load could be hoisted above the
+    /// data reads and validate a stale sequence).
+    fn read_exit(&self, entered: u64) -> bool {
+        std::sync::atomic::fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == entered
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for LeapStore<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeapStore")
+            .field("shards", &self.shards.len())
+            .field("partitioning", &self.router.mode())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shards: usize, mode: Partitioning) -> StoreConfig {
+        StoreConfig::new(shards, mode)
+            .with_key_space(1_000)
+            .with_params(Params {
+                node_size: 4,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            })
+    }
+
+    #[test]
+    fn single_key_roundtrip_both_modes() {
+        for mode in [Partitioning::Hash, Partitioning::Range] {
+            let store: LeapStore<u64> = LeapStore::new(cfg(4, mode));
+            assert!(store.is_empty());
+            assert_eq!(store.put(7, 70), None);
+            assert_eq!(store.put(7, 71), Some(70));
+            assert_eq!(store.get(7), Some(71));
+            assert_eq!(store.delete(7), Some(71));
+            assert_eq!(store.get(7), None);
+            assert_eq!(store.delete(7), None);
+        }
+    }
+
+    #[test]
+    fn range_merges_across_shards_sorted() {
+        for mode in [Partitioning::Hash, Partitioning::Range] {
+            let store: LeapStore<u64> = LeapStore::new(cfg(4, mode));
+            for k in (0..100u64).rev() {
+                store.put(k * 10, k);
+            }
+            let r = store.range(100, 200);
+            assert_eq!(
+                r,
+                (10..=20).map(|k| (k * 10, k)).collect::<Vec<_>>(),
+                "mode {mode:?}"
+            );
+            assert_eq!(store.range(5, 3), vec![]);
+            assert_eq!(store.count_range(100, 200), 11);
+            assert_eq!(store.len(), 100);
+        }
+    }
+
+    #[test]
+    fn fast_path_batch_hits_each_shard_once() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(4, Partitioning::Range));
+        // key_space 1000 over 4 shards: strides of 250.
+        let old = store.multi_put(&[(10, 1), (260, 2), (510, 3), (760, 4)]);
+        assert_eq!(old, vec![None; 4]);
+        assert_eq!(store.stats().slow_batches, 0, "distinct shards → fast path");
+        let old = store.multi_delete(&[10, 260, 999]);
+        assert_eq!(old, vec![Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn slow_path_handles_same_shard_collisions_in_order() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(4, Partitioning::Range));
+        // All four keys land in shard 0 (0..250).
+        let old = store.multi_put(&[(1, 10), (2, 20), (1, 11), (3, 30)]);
+        assert_eq!(old, vec![None, None, Some(10), None]);
+        assert_eq!(store.get(1), Some(11), "later op on same key wins");
+        assert_eq!(store.stats().slow_batches, 1);
+        // Mixed put+delete of one key, in order: delete sees the put.
+        let old = store.apply(&[BatchOp::Update(9, 90), BatchOp::Remove(9)]);
+        assert_eq!(old, vec![None, Some(90)]);
+        assert_eq!(store.get(9), None);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2, Partitioning::Hash));
+        assert_eq!(store.multi_put(&[]), vec![]);
+        assert_eq!(store.stats().slow_batches, 0);
+    }
+
+    #[test]
+    fn stats_count_routed_ops() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2, Partitioning::Range));
+        store.put(1, 1);
+        store.put(600, 2);
+        store.get(1);
+        store.delete(600);
+        store.range(0, 999);
+        let st = store.stats();
+        assert_eq!(st.shards.iter().map(|s| s.puts).sum::<u64>(), 2);
+        assert_eq!(st.shards.iter().map(|s| s.gets).sum::<u64>(), 1);
+        assert_eq!(st.shards.iter().map(|s| s.deletes).sum::<u64>(), 1);
+        assert_eq!(st.shards.iter().map(|s| s.ranges).sum::<u64>(), 2);
+        assert!(st.stm.total_commits() > 0, "ops commit through the domain");
+        assert!(st.to_json().contains("\"stm\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn max_key_rejected_in_batches() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2, Partitioning::Hash));
+        store.multi_put(&[(u64::MAX, 1)]);
+    }
+}

@@ -17,7 +17,10 @@ fn main() {
     list.update(250, "second".to_string());
     list.update(4000, "third".to_string());
     assert_eq!(list.lookup(250).as_deref(), Some("second"));
-    assert_eq!(list.update(250, "second-v2".to_string()).as_deref(), Some("second"));
+    assert_eq!(
+        list.update(250, "second-v2".to_string()).as_deref(),
+        Some("second")
+    );
 
     // The headline operation: a linearizable range query. The returned
     // pairs are a consistent snapshot — no concurrent update can tear it.

@@ -83,7 +83,10 @@ fn run_bank(mode: Mode) {
     let final_total: u64 = accounts.iter().map(|a| a.naked_load()).sum();
     let stats = domain.stats();
     println!("--- {mode:?} ---");
-    println!("final total  : {final_total} (expected {})", ACCOUNTS as u64 * INITIAL);
+    println!(
+        "final total  : {final_total} (expected {})",
+        ACCOUNTS as u64 * INITIAL
+    );
     println!("stats        : {stats}");
     println!(
         "abort ratio  : {:.2}%",
@@ -105,8 +108,14 @@ fn main() {
     let v = TVar::new(1u64);
     let mut tx = leap_stm::Txn::begin(&domain);
     tx.write(&v, 999).unwrap();
-    println!("\nwrite-through, naked read mid-transaction: {}", v.naked_load());
+    println!(
+        "\nwrite-through, naked read mid-transaction: {}",
+        v.naked_load()
+    );
     drop(tx); // roll back
-    println!("after rollback                            : {}", v.naked_load());
+    println!(
+        "after rollback                            : {}",
+        v.naked_load()
+    );
     assert_eq!(v.naked_load(), 1);
 }

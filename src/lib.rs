@@ -7,6 +7,10 @@
 //! * [`stm`] — the word-based STM substrate (`leap-stm`).
 //! * [`ebr`] — epoch-based reclamation (`leap-ebr`).
 //! * [`skiplist`] — the evaluation's skip-list baselines (`leap-skiplist`).
+//! * [`store`] — LeapStore, the sharded range-store service layer
+//!   (`leap-store`).
+//! * [`memdb`] — the in-memory table store with Leap-List indexes
+//!   (`leap-memdb`).
 //! * [`mod@bench`] — workload generator and figure harness (`leap-bench`).
 //!
 //! See the repository README for the architecture overview, DESIGN.md for
@@ -24,4 +28,5 @@ pub use leap_ebr as ebr;
 pub use leap_memdb as memdb;
 pub use leap_skiplist as skiplist;
 pub use leap_stm as stm;
+pub use leap_store as store;
 pub use leaplist;

@@ -81,7 +81,7 @@ fn variants_agree_on_identical_histories() {
     let mut rng = 0x5151u64;
     for i in 0..3_000u64 {
         let k = xorshift(&mut rng) % 128;
-        if xorshift(&mut rng) % 3 == 0 {
+        if xorshift(&mut rng).is_multiple_of(3) {
             for m in &maps {
                 m.remove(k);
             }

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the benchmark-harness subset it uses: [`Criterion::benchmark_group`],
+//! group configuration (`sample_size`, `warm_up_time`, `measurement_time`),
+//! [`BenchmarkId`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Results are printed as
+//! `group/function/param  median  mean  (samples)` lines; there is no
+//! statistical regression analysis or HTML report.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement backends (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (`from_parameter` in real criterion).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id, so `bench_function` accepts both
+/// strings and [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Median and mean ns/iter plus sample count, filled by [`Bencher::iter`].
+    result: Option<(f64, f64, usize)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating during the warm-up period, then
+    /// taking `sample_size` samples spread over the measurement period.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as calibration: count how many iterations fit.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.result = Some((median, mean, samples.len()));
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Calibration period before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget spread across the samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its result line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.into_id(), b.result);
+        self
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], passing `input` through.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op beyond matching real criterion's API).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, result: Option<(f64, f64, usize)>) {
+    match result {
+        Some((median, mean, n)) => println!(
+            "{group}/{id}{:>width$.1} ns/iter (median)  {mean:.1} ns/iter (mean)  n={n}",
+            median,
+            width = 50usize.saturating_sub(group.len() + id.len() + 1).max(12),
+        ),
+        None => println!("{group}/{id}  <no measurement: closure never called iter()>"),
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores CLI arguments (`cargo bench -- <filter>`),
+    /// matching real criterion's builder signature.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a configured benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran > 0, "routine never executed");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the subset it uses: [`Mutex`] / [`RwLock`] with parking_lot's
+//! non-poisoning, `Result`-free guard API plus [`RwLock::data_ptr`]. Locks
+//! are backed by `std::sync` primitives guarding a separate
+//! [`UnsafeCell`], which is what makes `data_ptr` expressible.
+
+#![deny(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion lock (subset of `parking_lot::Mutex`).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    lock: std::sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard container justification — the lock serializes access to
+// the cell, so the wrapper is as thread-safe as T allows.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            lock: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until available. Never poisons: a
+    /// panicking holder simply releases.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.lock.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        MutexGuard {
+            _guard: guard,
+            data: self.data.get(),
+        }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.lock.try_lock() {
+            Ok(g) => Some(MutexGuard {
+                _guard: g,
+                data: self.data.get(),
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                _guard: p.into_inner(),
+                data: self.data.get(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    _guard: std::sync::MutexGuard<'a, ()>,
+    data: *mut T,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the embedded std guard proves exclusive ownership.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in deref.
+        unsafe { &mut *self.data }
+    }
+}
+
+/// A reader-writer lock (subset of `parking_lot::RwLock`).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    lock: std::sync::RwLock<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: as for Mutex; shared read access additionally requires T: Sync
+// through the Sync bound's `Send + Sync` conjunction used below.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            lock: std::sync::RwLock::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires shared read access. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = match self.lock.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockReadGuard {
+            _guard: guard,
+            data: self.data.get(),
+        }
+    }
+
+    /// Acquires exclusive write access. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = match self.lock.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        RwLockWriteGuard {
+            _guard: guard,
+            data: self.data.get(),
+        }
+    }
+
+    /// Raw pointer to the protected data, usable while a guard obtained
+    /// elsewhere proves the needed access (parking_lot's escape hatch for
+    /// multi-lock algorithms).
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    _guard: std::sync::RwLockReadGuard<'a, ()>,
+    data: *mut T,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the embedded std read guard proves shared ownership.
+        unsafe { &*self.data }
+    }
+}
+
+/// Guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    _guard: std::sync::RwLockWriteGuard<'a, ()>,
+    data: *mut T,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the embedded std write guard proves exclusive ownership.
+        unsafe { &*self.data }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in deref.
+        unsafe { &mut *self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip_and_try_lock() {
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "held lock must not re-acquire");
+        }
+        assert_eq!(*m.try_lock().unwrap(), 6);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(0u64));
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 0);
+        }
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(unsafe { *l.data_ptr() }, 9);
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1, "lock must stay usable after a panic");
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialized() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+}
