@@ -57,13 +57,23 @@ fn bench_mode(c: &mut Criterion, label: &str, mode: Partitioning) {
             std::hint::black_box(s.multi_put(&entries))
         })
     });
-    // Three keys on one shard: the multi-round slow path (range mode
-    // guarantees the collision; under hash mode adjacency usually spreads,
-    // so this doubles as the mixed fast/slow comparison).
+    // Three keys on one shard: the collision path — a single multi-op
+    // chain-rebuild transaction (range mode guarantees the collision;
+    // under hash mode adjacency usually spreads, so this doubles as the
+    // mixed comparison). The seed applied these in seqlock-guarded rounds.
     group.bench_function(BenchmarkId::new("multi_put_collide", label), |b| {
         b.iter(|| {
             k = (k + 7919) % (stride - 3);
             std::hint::black_box(s.multi_put(&[(k, 1), (k + 1, 2), (k + 2, 3)]))
+        })
+    });
+    // Eight keys on one shard: deeper chains per commit, where the
+    // single-transaction path amortizes best.
+    group.bench_function(BenchmarkId::new("multi_put_collide8", label), |b| {
+        b.iter(|| {
+            k = (k + 7919) % (stride - 8);
+            let entries: Vec<(u64, u64)> = (0..8u64).map(|i| (k + i, i)).collect();
+            std::hint::black_box(s.multi_put(&entries))
         })
     });
     group.finish();

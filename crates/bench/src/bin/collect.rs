@@ -1,0 +1,202 @@
+//! Collector: parses benchmark output into a `BENCH_leapstore.json`
+//! trajectory file, so successive runs accumulate a machine-readable
+//! history (format documented in the repository README).
+//!
+//! ```text
+//! collect [--label NAME] [--out FILE] [INPUT...]
+//! ```
+//!
+//! Reads the given files (or stdin when none are given) and extracts:
+//!
+//! * `stats <series> <json>` lines, as emitted by the `leapstore` figures
+//!   panel (`cargo run -p leap-bench --bin figures -- leapstore`);
+//! * vendored-criterion result lines
+//!   (`group/bench/param  X ns/iter (median)  Y ns/iter (mean)  n=N`), as
+//!   emitted by `cargo bench --bench store`.
+//!
+//! Each invocation appends one run object to the output array (default
+//! `BENCH_leapstore.json` in the current directory), creating the file
+//! when missing. The stats JSON objects are passed through verbatim; no
+//! JSON parser is needed on either side.
+
+use std::io::Read;
+
+/// One `stats <series> <json>` line.
+fn parse_stats_line(line: &str) -> Option<(String, String)> {
+    let rest = line.strip_prefix("stats ")?;
+    let (label, json) = rest.split_once(' ')?;
+    let json = json.trim();
+    if !(json.starts_with('{') && json.ends_with('}')) {
+        return None;
+    }
+    Some((label.to_string(), json.to_string()))
+}
+
+/// One vendored-criterion result line:
+/// `leapstore/get/hash  77.6 ns/iter (median)  79.5 ns/iter (mean)  n=20`.
+fn parse_criterion_line(line: &str) -> Option<(String, f64, f64, u64)> {
+    let t: Vec<&str> = line.split_whitespace().collect();
+    if t.len() < 8 || !t[0].contains('/') || t[2] != "ns/iter" || t[3] != "(median)" {
+        return None;
+    }
+    let median: f64 = t[1].parse().ok()?;
+    let mean: f64 = t[4].parse().ok()?;
+    let n: u64 = t.last()?.strip_prefix("n=")?.parse().ok()?;
+    Some((t[0].to_string(), median, mean, n))
+}
+
+/// Renders one run entry from the parsed lines (pass-through JSON).
+fn render_entry(
+    label: &str,
+    stats: &[(String, String)],
+    bench: &[(String, f64, f64, u64)],
+) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"label\":\"{}\"", label.replace('"', "'")));
+    out.push_str(",\"figures\":{");
+    for (i, (series, json)) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", series.replace('"', "'"), json));
+    }
+    out.push_str("},\"criterion\":{");
+    for (i, (id, median, mean, n)) in bench.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"median_ns\":{median},\"mean_ns\":{mean},\"samples\":{n}}}",
+            id.replace('"', "'")
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Appends `entry` to the JSON array in `existing` (textual splice — the
+/// file only ever holds what this tool wrote). Malformed or missing
+/// content starts a fresh array.
+fn splice_into_trajectory(existing: Option<&str>, entry: &str) -> String {
+    if let Some(prev) = existing {
+        let trimmed = prev.trim_end();
+        if let Some(body) = trimmed.strip_suffix(']') {
+            let body = body.trim_end();
+            if body.ends_with('[') {
+                return format!("{body}\n  {entry}\n]\n");
+            }
+            let body = body.strip_suffix(',').unwrap_or(body);
+            return format!("{body},\n  {entry}\n]\n");
+        }
+    }
+    format!("[\n  {entry}\n]\n")
+}
+
+fn main() {
+    let mut label = String::from("run");
+    let mut out_path = String::from("BENCH_leapstore.json");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => label = it.next().unwrap_or_else(|| "run".into()),
+            "--out" => out_path = it.next().unwrap_or(out_path),
+            "--help" | "-h" => {
+                eprintln!("usage: collect [--label NAME] [--out FILE] [INPUT...]");
+                return;
+            }
+            other => inputs.push(other.to_string()),
+        }
+    }
+    let mut text = String::new();
+    if inputs.is_empty() {
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .expect("read stdin");
+    } else {
+        for path in &inputs {
+            let content =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+            text.push_str(&content);
+            text.push('\n');
+        }
+    }
+    let mut stats = Vec::new();
+    let mut bench = Vec::new();
+    for line in text.lines() {
+        if let Some(s) = parse_stats_line(line) {
+            stats.push(s);
+        } else if let Some(b) = parse_criterion_line(line) {
+            bench.push(b);
+        }
+    }
+    if stats.is_empty() && bench.is_empty() {
+        eprintln!("collect: no `stats` or criterion lines found in input");
+        std::process::exit(1);
+    }
+    let entry = render_entry(&label, &stats, &bench);
+    let existing = std::fs::read_to_string(&out_path).ok();
+    let updated = splice_into_trajectory(existing.as_deref(), &entry);
+    std::fs::write(&out_path, &updated).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!(
+        "collect: appended run '{label}' ({} figure series, {} criterion rows) -> {out_path}",
+        stats.len(),
+        bench.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_lines_round_trip() {
+        let (label, json) =
+            parse_stats_line("stats Store-hash {\"store\":{\"shards\":[]},\"latency\":{}}")
+                .expect("well-formed stats line");
+        assert_eq!(label, "Store-hash");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(parse_stats_line("statsStore-hash {}").is_none());
+        assert!(parse_stats_line("stats Store-hash notjson").is_none());
+        assert!(parse_stats_line("== leapstore: title ==").is_none());
+    }
+
+    #[test]
+    fn criterion_lines_round_trip() {
+        let (id, median, mean, n) = parse_criterion_line(
+            "leapstore/multi_put_collide/range       10707.5 ns/iter (median)  10864.2 ns/iter (mean)  n=20",
+        )
+        .expect("well-formed criterion line");
+        assert_eq!(id, "leapstore/multi_put_collide/range");
+        assert!((median - 10707.5).abs() < 1e-9);
+        assert!((mean - 10864.2).abs() < 1e-9);
+        assert_eq!(n, 20);
+        assert!(parse_criterion_line("   1024       12          14").is_none());
+        assert!(parse_criterion_line("# scale=quick duration=1s").is_none());
+    }
+
+    #[test]
+    fn trajectory_splice_appends_and_bootstraps() {
+        let e1 = render_entry("base", &[("A".into(), "{\"x\":1}".into())], &[]);
+        let t1 = splice_into_trajectory(None, &e1);
+        assert!(t1.starts_with("[\n"));
+        assert!(t1.trim_end().ends_with(']'));
+        assert!(t1.contains("\"label\":\"base\""));
+        assert!(t1.contains("\"A\":{\"x\":1}"));
+        let e2 = render_entry(
+            "next",
+            &[],
+            &[("leapstore/get/hash".into(), 77.6, 79.5, 20)],
+        );
+        let t2 = splice_into_trajectory(Some(&t1), &e2);
+        assert_eq!(t2.matches("\"label\":").count(), 2, "both runs present");
+        assert!(t2.contains("\"median_ns\":77.6"));
+        assert_eq!(
+            t2.matches('[').count() - t2.matches("\"shards\":[").count(),
+            1
+        );
+        // Garbage starts fresh rather than corrupting the trajectory.
+        let t3 = splice_into_trajectory(Some("not json"), &e1);
+        assert!(t3.starts_with("[\n") && t3.trim_end().ends_with(']'));
+    }
+}

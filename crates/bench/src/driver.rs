@@ -64,16 +64,14 @@ fn run_once(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg, seed: u6
                 for _ in 0..32 {
                     match wl.sample_kind(&mut rng) {
                         OpKind::Update => {
-                            for j in 0..lists {
-                                keys[j] = wl.sample_key(&mut rng);
-                                values[j] = rng.next_u64();
+                            wl.sample_batch_keys(&mut rng, &mut keys);
+                            for v in values.iter_mut() {
+                                *v = rng.next_u64();
                             }
                             target.update(&keys, &values);
                         }
                         OpKind::Remove => {
-                            for k in keys.iter_mut() {
-                                *k = wl.sample_key(&mut rng);
-                            }
+                            wl.sample_batch_keys(&mut rng, &mut keys);
                             target.remove(&keys);
                         }
                         OpKind::Lookup => {
@@ -159,16 +157,14 @@ pub fn run_latency(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg) -
                     let start = probe.then(Instant::now);
                     match wl.sample_kind(&mut rng) {
                         OpKind::Update => {
-                            for j in 0..lists {
-                                keys[j] = wl.sample_key(&mut rng);
-                                values[j] = rng.next_u64();
+                            wl.sample_batch_keys(&mut rng, &mut keys);
+                            for v in values.iter_mut() {
+                                *v = rng.next_u64();
                             }
                             target.update(&keys, &values);
                         }
                         OpKind::Remove => {
-                            for k in keys.iter_mut() {
-                                *k = wl.sample_key(&mut rng);
-                            }
+                            wl.sample_batch_keys(&mut rng, &mut keys);
                             target.remove(&keys);
                         }
                         OpKind::Lookup => {
@@ -245,6 +241,7 @@ mod tests {
             span_min: 10,
             span_max: 50,
             key_dist: Default::default(),
+            batch_keys: Default::default(),
         };
         let cfg = RunCfg {
             threads: 2,
@@ -266,6 +263,7 @@ mod tests {
             span_min: 10,
             span_max: 20,
             key_dist: Default::default(),
+            batch_keys: Default::default(),
         };
         let cfg = RunCfg {
             threads: 2,
@@ -314,6 +312,7 @@ mod tests {
             span_min: 10,
             span_max: 50,
             key_dist: Default::default(),
+            batch_keys: Default::default(),
         };
         let cfg = RunCfg {
             threads: 2,
@@ -327,6 +326,41 @@ mod tests {
             json.contains("\"stm\""),
             "stats carry domain counters: {json}"
         );
+    }
+
+    #[test]
+    fn colliding_workload_drives_collision_batches() {
+        // Adjacent-key batches on range partitioning: essentially every
+        // multi-shard txn collides onto one shard, exercising the
+        // multi-op chain-rebuild path end to end.
+        let t = crate::target::make_store_target(
+            4,
+            leap_store::Partitioning::Range,
+            1_000,
+            Params {
+                node_size: 16,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            },
+        );
+        t.prefill(500);
+        let wl = Workload::colliding(Mix::write_only(), 1_000);
+        let cfg = RunCfg {
+            threads: 2,
+            duration: Duration::from_millis(60),
+            repeats: 1,
+            seed: 17,
+        };
+        assert!(run_throughput(&t, &wl, &cfg) > 100.0);
+        let json = t.stats_json().expect("store target exposes stats");
+        let collisions: u64 = json
+            .split("\"collision_batches\":")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse().ok())
+            .expect("stats carry collision_batches");
+        assert!(collisions > 0, "adjacent keys must collide: {json}");
     }
 
     #[test]

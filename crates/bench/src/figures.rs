@@ -360,15 +360,17 @@ pub fn fig17d(scale: &Scale) -> Figure {
 }
 
 /// A figure panel plus per-series machine-readable statistics lines —
-/// the LeapStore extension output: future `BENCH_*.json` runs parse the
-/// `stats` entries to track shard-level op counts and abort rates.
+/// the LeapStore extension output: `crates/bench/src/bin/collect.rs`
+/// parses the `stats` entries into `BENCH_leapstore.json` to track
+/// shard-level op counts, abort rates and latency percentiles.
 #[derive(Debug, Clone)]
 pub struct StoreFigure {
-    /// Throughput sweep (threads on x, one series per partitioning mode).
+    /// Throughput sweep (threads on x, one series per store scenario).
     pub figure: Figure,
     /// `(series label, stats JSON object)` captured after each series'
-    /// sweep finished; the JSON carries per-shard op counters, the shared
-    /// domain's commit/abort counters and the derived abort rate.
+    /// sweep finished; the JSON carries the store's per-shard op counters
+    /// and commit/abort counters (`"store"`) plus per-op latency
+    /// percentiles sampled at the fixed thread count (`"latency"`).
     pub stats: Vec<(&'static str, String)>,
 }
 
@@ -386,18 +388,45 @@ impl StoreFigure {
 
 /// LeapStore extension panel: the store scenario ([`Mix::store_mixed`] —
 /// gets, cross-shard ranges, multi-shard transactions) swept over threads
-/// for both partitioning modes, with shard-level statistics captured per
-/// series.
+/// for both partitioning modes, under uniform and zipfian (θ = 0.99) key
+/// distributions, plus the `batch_collide` scenario (adjacent-key batches
+/// on range partitioning: nearly every transaction piles its keys onto
+/// one shard, the multi-op chain-rebuild path). Each series additionally
+/// captures p50/p95/p99 per-op latency at the fixed thread count.
 pub fn leapstore(scale: &Scale) -> StoreFigure {
     let shards = 4;
     let key_space = scale.elements.max(2);
-    let wl = Workload::paper(Mix::store_mixed(), key_space);
+    let mix = Mix::store_mixed();
+    let scenarios: [(&'static str, Partitioning, Workload); 5] = [
+        (
+            "Store-hash",
+            Partitioning::Hash,
+            Workload::paper(mix, key_space),
+        ),
+        (
+            "Store-range",
+            Partitioning::Range,
+            Workload::paper(mix, key_space),
+        ),
+        (
+            "Store-hash-zipf",
+            Partitioning::Hash,
+            Workload::zipfian(mix, key_space, 0.99),
+        ),
+        (
+            "Store-range-zipf",
+            Partitioning::Range,
+            Workload::zipfian(mix, key_space, 0.99),
+        ),
+        (
+            "Store-collide",
+            Partitioning::Range,
+            Workload::colliding(mix, key_space),
+        ),
+    ];
     let mut series = Vec::new();
     let mut stats = Vec::new();
-    for (label, mode) in [
-        ("Store-hash", Partitioning::Hash),
-        ("Store-range", Partitioning::Range),
-    ] {
+    for (label, mode, wl) in scenarios {
         let target = make_store_target(shards, mode, key_space, paper_params());
         target.prefill(scale.elements);
         let mut points = Vec::new();
@@ -405,10 +434,17 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             let ops = run_throughput(&target, &wl, &cfg(scale, t));
             points.push((t as f64, ops));
         }
+        // Snapshot the sweep's counters before the latency pass so the
+        // recorded op counts and abort rate describe the sweep alone.
+        let store_json = target.stats_json().expect("store target always has stats");
+        let lat = crate::driver::run_latency(&target, &wl, &cfg(scale, scale.fixed_threads));
         series.push(Series { label, points });
         stats.push((
             label,
-            target.stats_json().expect("store target always has stats"),
+            format!(
+                "{{\"store\":{store_json},\"latency\":{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\"samples\":{}}}}}",
+                lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.mean_ns, lat.samples
+            ),
         ));
     }
     StoreFigure {
@@ -416,7 +452,7 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             id: "leapstore",
             title: format!(
                 "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
-                 {shards} shards, {} elements ({})",
+                 {shards} shards, {} elements, uniform/zipf/collide ({})",
                 scale.elements, scale.name
             ),
             x_label: "threads",
@@ -501,21 +537,31 @@ mod tests {
     }
 
     #[test]
-    fn leapstore_panel_carries_shard_stats() {
+    fn leapstore_panel_carries_shard_stats_and_latency() {
         let f = leapstore(&tiny());
-        assert_eq!(f.figure.series.len(), 2, "hash and range partitionings");
+        assert_eq!(
+            f.figure.series.len(),
+            5,
+            "hash/range × uniform/zipf plus collide"
+        );
         for s in &f.figure.series {
             for (_, ops) in &s.points {
                 assert!(*ops > 0.0, "{} produced zero throughput", s.label);
             }
         }
-        assert_eq!(f.stats.len(), 2);
+        assert_eq!(f.stats.len(), 5);
         for (label, json) in &f.stats {
+            assert!(json.contains("\"store\":{"), "{label}: {json}");
             assert!(json.contains("\"shards\":["), "{label}: {json}");
             assert!(json.contains("abort_rate"), "{label}");
+            assert!(json.contains("\"latency\":{"), "{label}: {json}");
+            assert!(json.contains("\"p50_ns\":"), "{label}");
+            assert!(json.contains("\"p99_ns\":"), "{label}");
         }
         let table = f.to_table();
         assert!(table.contains("stats Store-hash {"));
         assert!(table.contains("stats Store-range {"));
+        assert!(table.contains("stats Store-hash-zipf {"));
+        assert!(table.contains("stats Store-collide {"));
     }
 }

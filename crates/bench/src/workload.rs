@@ -100,6 +100,20 @@ pub enum KeyDist {
     Zipfian(std::sync::Arc<crate::zipf::Zipf>),
 }
 
+/// How a composite modification draws its per-list (per-shard) keys.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BatchKeys {
+    /// One independent key per list — the paper's composite `Update` /
+    /// `Remove` (under a sharded store, keys usually spread over shards).
+    #[default]
+    PerList,
+    /// One base key plus its successors (`base, base+1, ...`) — under
+    /// range partitioning almost every batch piles all its keys onto one
+    /// shard, the collision-heavy load that exercises the multi-op
+    /// chain-rebuild path (`batch_collide` mix).
+    CollideAdjacent,
+}
+
 /// A complete workload description.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -113,6 +127,8 @@ pub struct Workload {
     pub span_max: u64,
     /// How keys are drawn.
     pub key_dist: KeyDist,
+    /// How composite modifications draw their key vectors.
+    pub batch_keys: BatchKeys,
 }
 
 impl Workload {
@@ -124,6 +140,7 @@ impl Workload {
             span_min: 1000,
             span_max: 2000,
             key_dist: KeyDist::Uniform,
+            batch_keys: BatchKeys::PerList,
         }
     }
 
@@ -136,6 +153,34 @@ impl Workload {
                 theta,
             ))),
             ..Self::paper(mix, key_range)
+        }
+    }
+
+    /// The `batch_collide` mix: the paper's settings, but every composite
+    /// modification draws **adjacent** keys, so under range partitioning
+    /// batches collide onto one shard.
+    pub fn colliding(mix: Mix, key_range: u64) -> Self {
+        Workload {
+            batch_keys: BatchKeys::CollideAdjacent,
+            ..Self::paper(mix, key_range)
+        }
+    }
+
+    /// Fills `keys` with one key per list according to
+    /// [`Workload::batch_keys`].
+    pub fn sample_batch_keys(&self, rng: &mut Rng64, keys: &mut [u64]) {
+        match self.batch_keys {
+            BatchKeys::PerList => {
+                for k in keys.iter_mut() {
+                    *k = self.sample_key(rng);
+                }
+            }
+            BatchKeys::CollideAdjacent => {
+                let base = self.sample_key(rng);
+                for (j, k) in keys.iter_mut().enumerate() {
+                    *k = (base + j as u64) % self.key_range.max(1);
+                }
+            }
         }
     }
 
@@ -227,6 +272,37 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn bad_mix_rejected() {
         Mix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn colliding_batches_draw_adjacent_keys() {
+        let wl = Workload::colliding(Mix::write_only(), 1_000);
+        assert_eq!(wl.batch_keys, BatchKeys::CollideAdjacent);
+        let mut rng = Rng64::new(3);
+        let mut keys = [0u64; 4];
+        for _ in 0..1_000 {
+            wl.sample_batch_keys(&mut rng, &mut keys);
+            for w in keys.windows(2) {
+                assert!(
+                    w[1] == w[0] + 1 || w[1] == (w[0] + 1) % 1_000,
+                    "keys not adjacent: {keys:?}"
+                );
+            }
+            for k in keys {
+                assert!(k < 1_000);
+            }
+        }
+        // The default draws independent keys.
+        let wl = Workload::paper(Mix::write_only(), 1_000);
+        assert_eq!(wl.batch_keys, BatchKeys::PerList);
+        let mut distinct = false;
+        for _ in 0..100 {
+            wl.sample_batch_keys(&mut rng, &mut keys);
+            if keys.windows(2).any(|w| w[1] != w[0] + 1) {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "independent draws must not always be adjacent");
     }
 
     #[test]

@@ -2,8 +2,51 @@
 //! uninstrumented search plus construction of the replacement node(s).
 //! Plans own their freshly built nodes until they are published; dropping
 //! an unpublished plan (an aborted attempt) frees them.
+//!
+//! # Multi-op plans: the chain rebuild
+//!
+//! The paper's plans are one-op-per-list; [`plan_multi`] generalizes them
+//! to **k operations against one list, committed in a single locking
+//! transaction**. The algorithm:
+//!
+//! 1. **Locate** — sort the batch's keys and run one uninstrumented
+//!    predecessor search per distinct key, grouping ops by the node whose
+//!    range contains them ("affected" nodes).
+//! 2. **Segment** — affected nodes that are adjacent on the level-0 chain
+//!    form one *segment*; each segment keeps the search window of its
+//!    smallest key. Segments are the unit of replacement.
+//! 3. **Interference substitution** — same-commit segments can interfere:
+//!    a tall dying node of one segment may be the level-i predecessor of a
+//!    later segment, and two segments may share one *live* predecessor
+//!    slot at a level (when the earlier chain grows taller than its old
+//!    run). Wiring them independently would publish pointers into
+//!    just-retired nodes, or let the later swing orphan the earlier chain.
+//!    Instead the later segment's wiring *substitutes*: its predecessor
+//!    swing at that level targets the earlier segment's replacement chain
+//!    (the last new node taller than the level), which the single wiring
+//!    thread has already wired by the time the later segment swings
+//!    (segments wire in key order). The transaction still validates and
+//!    marks the *old* window pointers, in two passes (validate everything,
+//!    then mark everything) so a shared window TVar is never read after
+//!    another segment marked it.
+//! 4. **Rebuild** — per segment, concatenate the old nodes' immutable data,
+//!    apply the segment's ops *in batch input order* (duplicate keys keep
+//!    sequential semantics), and re-chunk the result into a fresh chain of
+//!    `ceil(total / K)` balanced nodes: every node but the last takes a
+//!    fresh random level and a high bound equal to its largest key; the
+//!    last keeps the old segment's high bound and its maximum level, so
+//!    chains covering the tail sentinel preserve full-height termination.
+//!    This is the general form of the paper's split (1 node -> 2) and
+//!    merge (2 nodes -> 1); a segment whose ops are all absent-key removes
+//!    is dropped, leaving the list untouched.
+//!
+//! All of the above runs *outside* any transaction — the paper's central
+//! lesson. The transaction (`validate_segment` / `mark_segment` in
+//! `variants::common`) only re-validates each segment's window, marks the
+//! frozen pointers and kills the dying nodes; the pointer surgery
+//! (`wire::wire_segment`) runs after commit as plain atomic stores.
 
-use crate::node::{build_remove, build_update, free_node, Node};
+use crate::node::{build_remove, build_update, free_node, random_level, Node};
 use crate::raw::{RawLeapList, SearchWindow};
 use std::cell::Cell;
 
@@ -172,6 +215,507 @@ pub(crate) unsafe fn plan_remove<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Opt
     }
 }
 
+/// One component of a multi-op batch against a single list, in internal
+/// key space. Values are borrowed: they are cloned into replacement nodes
+/// once per planning attempt, exactly like the single-op plans.
+pub(crate) enum ListOp<'a, V> {
+    /// Insert or update `ik -> value`.
+    Put(u64, &'a V),
+    /// Remove `ik`.
+    Del(u64),
+}
+
+impl<V> ListOp<'_, V> {
+    fn ik(&self) -> u64 {
+        match self {
+            ListOp::Put(ik, _) => *ik,
+            ListOp::Del(ik) => *ik,
+        }
+    }
+}
+
+/// One contiguous run of nodes being replaced by a freshly built chain.
+pub(crate) struct ChainSegment<V> {
+    /// Window of the segment's smallest op key; `w.na[0] == old[0]`.
+    pub w: SearchWindow<V>,
+    /// The adjacent nodes being replaced, in chain order (non-empty).
+    pub old: Vec<*mut Node<V>>,
+    /// The replacement chain, in key order (non-empty).
+    pub new: Vec<*mut Node<V>>,
+    /// Maximum tower height among `old`.
+    pub old_max: usize,
+    /// Maximum tower height among `new` (`>= old_max` by construction:
+    /// the last chain node keeps `old_max`), which is the height the
+    /// predecessor wiring covers.
+    pub wire_height: usize,
+    /// Wiring target per level `i < wire_height`: normally `w.pa[i]`, but
+    /// substituted with an **earlier segment's replacement node** when
+    /// `w.pa[i]` (or that segment's exit into this one) is a node dying in
+    /// the same commit. Validation and marking always use the old window
+    /// (`w.pa`); only the post-commit swing uses `pa_wire`.
+    pub pa_wire: Vec<*mut Node<V>>,
+}
+
+/// Everything a k-op batch against one list needs to validate, lock and
+/// wire: the segments to replace plus the per-op previous values computed
+/// during the rebuild.
+pub(crate) struct MultiUpdatePlan<V> {
+    /// Segments in key order; empty when every op was an absent-key remove.
+    pub segments: Vec<ChainSegment<V>>,
+    /// Previous value per op, in batch input order.
+    pub results: Vec<Option<V>>,
+    published: Cell<bool>,
+}
+
+impl<V> MultiUpdatePlan<V> {
+    /// Marks every segment's new chain as reachable so the plan's drop no
+    /// longer owns the nodes.
+    pub fn mark_published(&self) {
+        self.published.set(true);
+    }
+}
+
+impl<V> Drop for MultiUpdatePlan<V> {
+    fn drop(&mut self) {
+        if !self.published.get() {
+            for seg in &self.segments {
+                for &c in &seg.new {
+                    // SAFETY: unpublished nodes are exclusively ours.
+                    unsafe { free_node(c) };
+                }
+            }
+        }
+    }
+}
+
+/// Lean single-op plan: wraps the paper-shaped [`plan_update`] /
+/// [`plan_remove`] builders (split and remove-and-merge included) into a
+/// one-segment [`MultiUpdatePlan`], so the hottest case — one op against
+/// one list — pays exactly the original setup cost, while still
+/// committing through the same segment validation/marking/wiring as any
+/// k-op batch.
+///
+/// # Safety
+///
+/// Same contract as [`plan_multi`].
+unsafe fn plan_single<V: Clone>(raw: &RawLeapList<V>, op: &ListOp<'_, V>) -> MultiUpdatePlan<V> {
+    match op {
+        ListOp::Put(ik, v) => {
+            let p = unsafe { plan_update(raw, *ik, (*v).clone()) };
+            // The segment takes ownership of the freshly built nodes.
+            p.mark_published();
+            // SAFETY: guard-protected plan pointers; immutable fields.
+            let old_max = unsafe { &*p.n }.level;
+            let seg = ChainSegment {
+                w: SearchWindow {
+                    pa: p.w.pa,
+                    na: p.w.na,
+                },
+                old: vec![p.n],
+                new: if p.split {
+                    vec![p.n0, p.n1]
+                } else {
+                    vec![p.n0]
+                },
+                old_max,
+                wire_height: p.max_height,
+                pa_wire: p.w.pa[..p.max_height].to_vec(),
+            };
+            MultiUpdatePlan {
+                segments: vec![seg],
+                results: vec![p.old_value.clone()],
+                published: Cell::new(false),
+            }
+        }
+        ListOp::Del(ik) => match unsafe { plan_remove(raw, *ik) } {
+            None => MultiUpdatePlan {
+                segments: Vec::new(),
+                results: vec![None],
+                published: Cell::new(false),
+            },
+            Some(p) => {
+                p.mark_published();
+                // SAFETY: guard-protected plan pointers; immutable fields.
+                let wire_height = unsafe { &*p.n_new }.level;
+                let seg = ChainSegment {
+                    w: SearchWindow {
+                        pa: p.w.pa,
+                        na: p.w.na,
+                    },
+                    old: if p.merge {
+                        vec![p.n0, p.n1]
+                    } else {
+                        vec![p.n0]
+                    },
+                    new: vec![p.n_new],
+                    // `n_new` keeps the tallest dying tower in both the
+                    // merge and plain cases.
+                    old_max: wire_height,
+                    wire_height,
+                    pa_wire: p.w.pa[..wire_height].to_vec(),
+                };
+                MultiUpdatePlan {
+                    segments: vec![seg],
+                    results: vec![Some(p.old_value.clone())],
+                    published: Cell::new(false),
+                }
+            }
+        },
+    }
+}
+
+/// The last replacement-chain node taller than level `i` — the node that
+/// owns the segment's level-`i` exit after wiring, and therefore the
+/// substitution target for a later segment swinging at that level.
+fn last_new_above<V>(seg: &ChainSegment<V>, i: usize) -> *mut Node<V> {
+    *seg.new
+        .iter()
+        .rev()
+        // SAFETY (deref): plan-owned unpublished node, immutable level.
+        .find(|&&c| unsafe { &*c }.level > i)
+        .expect("a taller chain node exists below wire_height")
+}
+
+/// An affected-node run still under construction.
+struct SegDraft<V> {
+    nodes: Vec<*mut Node<V>>,
+    w: SearchWindow<V>,
+    /// Planned population after this segment's ops apply.
+    count: usize,
+    /// Planned replacement-chain levels (last entry = the old chain's
+    /// maximum level); `max(levels)` is the wiring height the
+    /// interference check must respect.
+    levels: Vec<usize>,
+}
+
+impl<V> SegDraft<V> {
+    fn wire_height(&self) -> usize {
+        *self.levels.iter().max().expect("chains are non-empty")
+    }
+}
+
+/// Draws the replacement chain's shape for a segment holding `count`
+/// pairs: `ceil(count / K)` nodes, every one but the last at a fresh
+/// random level, the last keeping the old chain's maximum level. Drawing
+/// the levels *before* the interference check pins the wiring height, so
+/// the check can be scoped to levels the wiring will actually touch.
+fn plan_shape<V, R: rand::Rng + ?Sized>(
+    nodes: &[*mut Node<V>],
+    count: usize,
+    node_size: usize,
+    max_level: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    // SAFETY contract inherited from plan_multi: nodes guard-protected.
+    let old_max = nodes
+        .iter()
+        .map(|&o| unsafe { &*o }.level)
+        .max()
+        .expect("segments are non-empty");
+    let r = if count <= node_size {
+        1
+    } else {
+        count.div_ceil(node_size)
+    };
+    let mut levels = Vec::with_capacity(r);
+    for _ in 0..r - 1 {
+        levels.push(random_level(max_level, rng));
+    }
+    levels.push(old_max);
+    levels
+}
+
+/// Builds a multi-op plan for one list: locate, segment, merge
+/// interference, rebuild (see the module docs). Retries internally while
+/// the observed neighbourhood is mid-replacement; the returned plan may
+/// still be stale, in which case the LT validation aborts and the caller
+/// re-plans.
+///
+/// # Safety
+///
+/// Caller holds an epoch guard and keeps it for as long as the plan's raw
+/// pointers are used.
+pub(crate) unsafe fn plan_multi<V: Clone>(
+    raw: &RawLeapList<V>,
+    ops: &[ListOp<'_, V>],
+) -> MultiUpdatePlan<V> {
+    // One op per list is the hottest case by far (every `update`/`remove`
+    // and most Batcher traffic): skip the grouping machinery entirely.
+    if let [op] = ops {
+        return unsafe { plan_single(raw, op) };
+    }
+    let mut retries = 0u32;
+    'retry: loop {
+        retries += 1;
+        if retries > 16 {
+            // Some releaser is mid-flight; let it run.
+            std::thread::yield_now();
+        }
+        // 1. Locate the target node of every distinct key, ascending, so
+        //    affected nodes come out in chain order (torn observations are
+        //    caught by the transactional validation).
+        let mut keys: Vec<u64> = ops.iter().map(ListOp::ik).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut key_node: Vec<(u64, *mut Node<V>)> = Vec::with_capacity(keys.len());
+        let mut segs: Vec<SegDraft<V>> = Vec::new();
+        for &ik in &keys {
+            let w = unsafe { raw.search_predecessors(ik) };
+            let n = w.target();
+            // SAFETY: observed live by the search; guard keeps it allocated.
+            if !unsafe { &*n }.live.naked_load() {
+                continue 'retry;
+            }
+            key_node.push((ik, n));
+            // 2. Segment: extend the last run when this key lands in the
+            //    same node or in its immediate level-0 successor.
+            if let Some(s) = segs.last_mut() {
+                let last = *s.nodes.last().expect("runs are non-empty");
+                if last == n {
+                    continue;
+                }
+                let nxt = unsafe { &*last }.next[0].naked_load();
+                if nxt.is_marked() {
+                    continue 'retry;
+                }
+                if nxt.as_ptr() == n {
+                    s.nodes.push(n);
+                    continue;
+                }
+            }
+            segs.push(SegDraft {
+                nodes: vec![n],
+                w,
+                count: 0,
+                levels: Vec::new(),
+            });
+        }
+        // Each op's target node, in op order (keys ascend in `key_node`).
+        let op_nodes: Vec<*mut Node<V>> = ops
+            .iter()
+            .map(|op| {
+                let i = key_node
+                    .binary_search_by_key(&op.ik(), |(k, _)| *k)
+                    .expect("every op key was located");
+                key_node[i].1
+            })
+            .collect();
+        // 2b. Plan each segment's population and chain shape. The
+        //     population comes from a presence simulation over the op keys
+        //     alone (one intra-node probe per distinct key — no data
+        //     cloning). When the ops shrink the segment and the residual
+        //     plus its level-0 successor fits one node, the successor is
+        //     absorbed so the rebuild merges them — the k-op
+        //     generalization of the paper's remove-and-merge (Fig. 11),
+        //     skipped (it is only an optimization) whenever the successor
+        //     cannot be read cleanly.
+        let mut rng = rand::thread_rng();
+        for s in segs.iter_mut() {
+            // SAFETY: guard-protected; counts and data immutable.
+            let mut count: usize = s.nodes.iter().map(|&o| unsafe { &*o }.count()).sum();
+            let mut present: Vec<(u64, bool)> = Vec::new();
+            let mut shrank = false;
+            for (op, &n) in ops.iter().zip(&op_nodes) {
+                if !s.nodes.contains(&n) {
+                    continue;
+                }
+                let ik = op.ik();
+                let slot = match present.iter().position(|(k, _)| *k == ik) {
+                    Some(i) => i,
+                    None => {
+                        let here = unsafe { &*n }
+                            .data
+                            .binary_search_by_key(&ik, |(k, _)| *k)
+                            .is_ok();
+                        present.push((ik, here));
+                        present.len() - 1
+                    }
+                };
+                match op {
+                    ListOp::Put(..) => {
+                        if !present[slot].1 {
+                            present[slot].1 = true;
+                            count += 1;
+                        }
+                    }
+                    ListOp::Del(..) => {
+                        if present[slot].1 {
+                            present[slot].1 = false;
+                            count -= 1;
+                            shrank = true;
+                        }
+                    }
+                }
+            }
+            if shrank {
+                let last = *s.nodes.last().expect("segments are non-empty");
+                // SAFETY: guard-protected pointers.
+                let nxt = unsafe { &*last }.next[0].naked_load();
+                if !nxt.is_marked() && !nxt.as_ptr().is_null() {
+                    let succ = nxt.as_ptr();
+                    let succ_ref = unsafe { &*succ };
+                    if succ_ref.live.naked_load()
+                        && count + succ_ref.count() <= raw.params.node_size
+                    {
+                        // The successor is unaffected by construction (an
+                        // affected immediate successor would already be in
+                        // this segment).
+                        s.nodes.push(succ);
+                        count += succ_ref.count();
+                    }
+                }
+            }
+            s.count = count;
+            s.levels = plan_shape(
+                &s.nodes,
+                count,
+                raw.params.node_size,
+                raw.params.max_level,
+                &mut rng,
+            );
+        }
+        // A torn observation can land one node in two segments; replacing
+        // a node twice in one commit is never sound, so start over.
+        {
+            let mut all: Vec<*mut Node<V>> =
+                segs.iter().flat_map(|s| s.nodes.iter().copied()).collect();
+            let n_all = all.len();
+            all.sort_unstable();
+            all.dedup();
+            if all.len() != n_all {
+                continue 'retry;
+            }
+        }
+        // 4. Rebuild each segment's chain (to the planned shape) and
+        //    compute per-op results.
+        let mut results: Vec<Option<V>> = Vec::new();
+        results.resize_with(ops.len(), || None);
+        let mut segments: Vec<ChainSegment<V>> = Vec::with_capacity(segs.len());
+        for sd in segs {
+            // SAFETY: guard-protected node pointers; data arrays immutable.
+            let mut data: Vec<(u64, V)> = Vec::with_capacity(sd.count);
+            for &o in &sd.nodes {
+                data.extend(unsafe { &*o }.data.iter().cloned());
+            }
+            // Apply this segment's ops in batch input order so duplicate
+            // keys keep sequential semantics.
+            let mut changed = false;
+            for (i, (op, &node)) in ops.iter().zip(&op_nodes).enumerate() {
+                if !sd.nodes.contains(&node) {
+                    continue;
+                }
+                match op {
+                    ListOp::Put(ik, v) => {
+                        match data.binary_search_by_key(ik, |(k, _)| *k) {
+                            Ok(p) => {
+                                results[i] =
+                                    Some(std::mem::replace(&mut data[p], (*ik, (*v).clone())).1);
+                            }
+                            Err(p) => {
+                                data.insert(p, (*ik, (*v).clone()));
+                                results[i] = None;
+                            }
+                        }
+                        changed = true;
+                    }
+                    ListOp::Del(ik) => match data.binary_search_by_key(ik, |(k, _)| *k) {
+                        Ok(p) => {
+                            results[i] = Some(data.remove(p).1);
+                            changed = true;
+                        }
+                        Err(_) => results[i] = None,
+                    },
+                }
+            }
+            if !changed {
+                // Only absent-key removes hit this segment: the list is
+                // left untouched (the paper's `changed[j] = false`).
+                continue;
+            }
+            if data.len() != sd.count {
+                // The interference analysis ran against a shape this data
+                // no longer matches (a racing op moved keys between the
+                // probes): redo the whole plan rather than adapt, so the
+                // wiring height the check cleared stays the one built.
+                continue 'retry;
+            }
+            let r = sd.levels.len();
+            // SAFETY: guard-protected; `level`/`high` immutable.
+            let old_max = *sd.levels.last().expect("chains are non-empty");
+            let last_high = unsafe { &**sd.nodes.last().expect("non-empty") }.high;
+            let wire_height = sd.wire_height();
+            let mut new_nodes = Vec::with_capacity(r);
+            if r == 1 {
+                // Common case: the whole segment collapses into one node;
+                // hand the rebuilt data over without re-chunking.
+                new_nodes.push(Node::alloc(last_high, old_max, data));
+            } else {
+                let total = data.len();
+                let (base, extra) = (total / r, total % r);
+                let mut rest = data;
+                for (j, &level) in sd.levels.iter().enumerate() {
+                    let len = base + usize::from(j < extra);
+                    let tail = rest.split_off(len.min(rest.len()));
+                    let chunk = rest;
+                    rest = tail;
+                    let high = if j == r - 1 {
+                        // The last chain node keeps the segment's upper
+                        // bound (and, via plan_shape, its tallest tower),
+                        // so the wiring height covers every incoming
+                        // pointer and tail chains stay full-height.
+                        last_high
+                    } else {
+                        chunk.last().expect("non-last chunks are non-empty").0
+                    };
+                    new_nodes.push(Node::alloc(high, level, chunk));
+                }
+            }
+            let pa_wire = sd.w.pa[..wire_height].to_vec();
+            segments.push(ChainSegment {
+                w: sd.w,
+                old: sd.nodes,
+                new: new_nodes,
+                old_max,
+                wire_height,
+                pa_wire,
+            });
+        }
+        // 5. Interference substitution (see the module docs). Segments are
+        //    in key order, which is also wiring order, so an earlier
+        //    segment's chain is always in place by the time a later
+        //    segment swings into it. Scanning `a` in ascending order makes
+        //    the nearest earlier segment win when several could own a
+        //    level (P -> a_new -> b_new -> c_new threads through each).
+        for a in 0..segments.len() {
+            for b in a + 1..segments.len() {
+                for i in 0..segments[b].wire_height {
+                    // The later segment must swing into the earlier one's
+                    // replacement chain when (1) its level-i predecessor
+                    // is one of the earlier segment's dying nodes, or
+                    // (2) both segments would swing the *same live*
+                    // predecessor slot — the earlier chain owns the level
+                    // after its swing, and writing the shared slot twice
+                    // would orphan it (and with it every key it holds:
+                    // later window validations against the orphan would
+                    // abort forever).
+                    let redirect = segments[a].old.contains(&segments[b].w.pa[i])
+                        || (i < segments[a].wire_height
+                            && segments[b].w.pa[i] == segments[a].w.pa[i]);
+                    if redirect {
+                        let sub = last_new_above(&segments[a], i);
+                        segments[b].pa_wire[i] = sub;
+                    }
+                }
+            }
+        }
+        return MultiUpdatePlan {
+            segments,
+            results,
+            published: Cell::new(false),
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +774,121 @@ mod tests {
         }
         // The original value plus any clones inside the discarded node.
         assert!(drops.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn plan_multi_groups_ops_into_one_tail_segment() {
+        let l = raw();
+        let ops = [
+            ListOp::Put(10, &1u64),
+            ListOp::Put(30, &3),
+            ListOp::Put(20, &2),
+        ];
+        let p = unsafe { plan_multi(&l, &ops) };
+        assert_eq!(p.results, vec![None, None, None]);
+        assert_eq!(p.segments.len(), 1, "empty list: everything hits the tail");
+        let seg = &p.segments[0];
+        assert_eq!(seg.old.len(), 1);
+        assert_eq!(seg.new.len(), 1, "3 keys fit one K=4 node");
+        let n = unsafe { &*seg.new[0] };
+        assert_eq!(
+            n.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 20, 30],
+            "rebuilt data is sorted regardless of op order"
+        );
+        assert_eq!(n.high, u64::MAX, "tail replacement keeps +inf");
+        assert_eq!(seg.wire_height, seg.old_max);
+    }
+
+    #[test]
+    fn plan_multi_duplicate_keys_keep_sequential_semantics() {
+        let l = raw();
+        let v = [7u64, 8, 9];
+        let ops = [
+            ListOp::Put(5, &v[0]),
+            ListOp::Put(5, &v[1]),
+            ListOp::Del(5),
+            ListOp::Put(5, &v[2]),
+        ];
+        let p = unsafe { plan_multi(&l, &ops) };
+        assert_eq!(p.results, vec![None, Some(7), Some(8), None]);
+        let n = unsafe { &*p.segments[0].new[0] };
+        assert_eq!(n.data.to_vec(), vec![(5, 9)], "last op wins");
+    }
+
+    #[test]
+    fn plan_multi_absent_removes_touch_nothing() {
+        let l = raw();
+        let ops: [ListOp<u64>; 2] = [ListOp::Del(4), ListOp::Del(9)];
+        let p = unsafe { plan_multi(&l, &ops) };
+        assert!(p.segments.is_empty(), "no change, no replacement");
+        assert_eq!(p.results, vec![None, None]);
+    }
+
+    #[test]
+    fn plan_multi_rechunks_overflow_into_a_balanced_chain() {
+        let l = raw(); // node_size 4
+        let vals: Vec<u64> = (0..10).collect();
+        let ops: Vec<ListOp<u64>> = (0..10)
+            .map(|i| ListOp::Put(i * 2 + 1, &vals[i as usize]))
+            .collect();
+        let p = unsafe { plan_multi(&l, &ops) };
+        assert_eq!(p.segments.len(), 1);
+        let seg = &p.segments[0];
+        assert_eq!(seg.new.len(), 3, "10 keys / K=4 -> 3 nodes");
+        let mut collected = Vec::new();
+        let mut prev_high = 0u64;
+        for (j, &c) in seg.new.iter().enumerate() {
+            let n = unsafe { &*c };
+            assert!(n.count() <= 4, "chunk exceeds K");
+            assert!(n.count() >= 3, "chunks are balanced");
+            for (k, _) in n.data.iter() {
+                assert!(*k > prev_high, "keys below a previous high bound");
+                assert!(*k <= n.high);
+                collected.push(*k);
+            }
+            prev_high = n.high;
+            if j + 1 == seg.new.len() {
+                assert_eq!(n.high, u64::MAX, "last chain node keeps old high");
+                assert_eq!(n.level, seg.old_max);
+            }
+        }
+        assert_eq!(collected, (0..10u64).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unpublished_multi_plans_free_their_chains() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        #[derive(Clone)]
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let l: RawLeapList<D> = RawLeapList::new(Params {
+            node_size: 4,
+            max_level: 4,
+            use_trie: true,
+            ..Params::default()
+        });
+        let vals: Vec<D> = (0..6).map(|_| D(drops.clone())).collect();
+        {
+            let ops: Vec<ListOp<D>> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, v)| ListOp::Put(i as u64 + 1, v))
+                .collect();
+            let p = unsafe { plan_multi(&l, &ops) };
+            assert!(!p.segments.is_empty());
+            drop(p);
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            6,
+            "every clone inside the discarded chain was freed"
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! predecessor pointer unmoved, nothing marked by a competing operation.
 
 use crate::node::{Node, MAX_LEVEL_CAP};
-use crate::plan::{RemovePlan, UpdatePlan};
+use crate::plan::{ChainSegment, RemovePlan, UpdatePlan};
 use crate::raw::RawLeapList;
 use leap_stm::{TaggedPtr, TxResult, Txn};
 
@@ -73,31 +73,6 @@ pub(crate) unsafe fn validate_update<'t, V: 'static>(
         }
         Ok(out)
     }
-}
-
-/// The LT acquisition pass (Fig. 9 lines 105-113): mark the frozen
-/// pointers and kill the replaced node, all transactionally.
-///
-/// # Safety
-///
-/// Same contract as [`validate_update`].
-pub(crate) unsafe fn mark_update<'t, V: 'static>(
-    tx: &mut Txn<'t>,
-    plan: &UpdatePlan<V>,
-    v: &ValidatedUpdate<V>,
-) -> TxResult<()> {
-    // SAFETY: guard-protected plan pointers.
-    unsafe {
-        let n = &*plan.n;
-        for i in 0..n.level {
-            tx.write(&n.next[i], v.n_next[i].marked())?;
-        }
-        for i in 0..plan.max_height {
-            tx.write(&(*plan.w.pa[i]).next[i], v.pa_next[i].marked())?;
-        }
-        tx.write(&n.live, false)?;
-    }
-    Ok(())
 }
 
 /// Captured window pointers for a remove.
@@ -190,35 +165,124 @@ pub(crate) unsafe fn validate_remove<'t, V: 'static>(
     }
 }
 
-/// The LT acquisition pass for a remove (Fig. 12 lines 198-212).
+/// Captured window and chain pointers of a validated [`ChainSegment`].
+pub(crate) struct ValidatedSegment<V> {
+    /// The validated (unmarked) outgoing pointers of the dying nodes,
+    /// flattened in (node, level) order — node `j`'s `level` entries
+    /// follow node `j-1`'s (the marking pass replays the same order).
+    pub old_next: Vec<TaggedPtr<Node<V>>>,
+    /// `pa_next[i]` — the validated value of `pa[i].next[i]` for every
+    /// level below the wiring height.
+    pub pa_next: Vec<TaggedPtr<Node<V>>>,
+}
+
+/// Re-validates a multi-op segment inside `tx`: every dying node is still
+/// live with unmarked outgoing pointers, the level-0 chain is still exactly
+/// the planned run, and each predecessor-window pointer still leads to the
+/// segment's first node of that level (or, above the old chain's height,
+/// to the live external successor the new chain will exit to). This is the
+/// k-op generalization of [`validate_update`] / [`validate_remove`].
 ///
 /// # Safety
 ///
-/// Same contract as [`validate_update`].
-pub(crate) unsafe fn mark_remove<'t, V: 'static>(
+/// Segment pointers must be protected by the caller's epoch guard.
+pub(crate) unsafe fn validate_segment<'t, V: 'static>(
     tx: &mut Txn<'t>,
-    plan: &RemovePlan<V>,
-    v: &ValidatedRemove<V>,
-) -> TxResult<()> {
-    // SAFETY: guard-protected plan pointers.
+    seg: &ChainSegment<V>,
+) -> TxResult<ValidatedSegment<V>> {
+    // SAFETY: guard-protected segment pointers throughout.
     unsafe {
-        let n0 = &*plan.n0;
-        if plan.merge {
-            let n1 = &*plan.n1;
-            for i in 0..n1.level {
-                tx.write(&n1.next[i], v.n1_next[i].marked())?;
+        let olds = &seg.old;
+        for &o in olds {
+            if !tx.read(&(*o).live)? {
+                return Err(tx.explicit_abort());
             }
         }
-        for i in 0..n0.level {
-            tx.write(&n0.next[i], v.n0_next[i].marked())?;
+        // The window still targets the segment's first node.
+        if seg.w.na[0] != olds[0] {
+            return Err(tx.explicit_abort());
         }
-        let nn_level = (*plan.n_new).level;
-        for i in 0..nn_level {
-            tx.write(&(*plan.w.pa[i]).next[i], v.pa_next[i].marked())?;
+        let total_levels: usize = olds.iter().map(|&o| (*o).level).sum();
+        let mut out = ValidatedSegment {
+            old_next: Vec::with_capacity(total_levels),
+            pa_next: Vec::with_capacity(seg.wire_height),
+        };
+        // Outgoing pointers of every dying node: unmarked, level-0
+        // adjacency intact, external successors live.
+        for (j, &op) in olds.iter().enumerate() {
+            let o = &*op;
+            for i in 0..o.level {
+                let s = tx.read(&o.next[i])?;
+                if s.is_marked() {
+                    return Err(tx.explicit_abort());
+                }
+                if i == 0 && j + 1 < olds.len() && s.as_ptr() != olds[j + 1] {
+                    return Err(tx.explicit_abort());
+                }
+                let p = s.as_ptr();
+                if !p.is_null() && !olds.contains(&p) && !tx.read(&(*p).live)? {
+                    return Err(tx.explicit_abort());
+                }
+                out.old_next.push(s);
+            }
         }
-        tx.write(&n0.live, false)?;
-        if plan.merge {
-            tx.write(&(*plan.n1).live, false)?;
+        // The predecessor window up to the wiring height.
+        for i in 0..seg.wire_height {
+            let expected: *mut Node<V> = if i < seg.old_max {
+                *olds
+                    .iter()
+                    .find(|&&o| (*o).level > i)
+                    .expect("old_max is the maximum old level")
+            } else {
+                seg.w.na[i]
+            };
+            let pa = seg.w.pa[i];
+            let pn = tx.read(&(*pa).next[i])?;
+            if pn.is_marked() || pn.as_ptr() != expected {
+                return Err(tx.explicit_abort());
+            }
+            if !tx.read(&(*pa).live)? {
+                return Err(tx.explicit_abort());
+            }
+            // Above the old chain, `na[i]` is the new chain's exit target:
+            // it must still be live (below it, `expected` is a dying node
+            // already live-checked above).
+            if i >= seg.old_max && !tx.read(&(*expected).live)? {
+                return Err(tx.explicit_abort());
+            }
+            out.pa_next.push(pn);
+        }
+        Ok(out)
+    }
+}
+
+/// The LT acquisition pass for a multi-op segment: mark every dying node's
+/// outgoing pointers and the predecessor window, then kill the dying
+/// nodes, all transactionally.
+///
+/// # Safety
+///
+/// Same contract as [`validate_segment`].
+pub(crate) unsafe fn mark_segment<'t, V: 'static>(
+    tx: &mut Txn<'t>,
+    seg: &ChainSegment<V>,
+    v: &ValidatedSegment<V>,
+) -> TxResult<()> {
+    // SAFETY: guard-protected segment pointers.
+    unsafe {
+        let mut flat = v.old_next.iter();
+        for &op in &seg.old {
+            let o = &*op;
+            for i in 0..o.level {
+                let val = flat.next().expect("one validated value per level");
+                tx.write(&o.next[i], val.marked())?;
+            }
+        }
+        for i in 0..seg.wire_height {
+            tx.write(&(*seg.w.pa[i]).next[i], v.pa_next[i].marked())?;
+        }
+        for &o in &seg.old {
+            tx.write(&(*o).live, false)?;
         }
     }
     Ok(())

@@ -7,21 +7,13 @@
 //! `K` keys.
 
 use crate::node::{internal_key, Node};
-use crate::plan::{plan_remove, plan_update, RemovePlan, UpdatePlan};
+use crate::plan::{plan_multi, ListOp, MultiUpdatePlan};
 use crate::raw::RawLeapList;
 use crate::variants::common;
 use crate::{BatchOp, Params};
 use leap_ebr::pin;
 use leap_stm::{Backoff, StmDomain, TxResult, Txn};
 use std::sync::Arc;
-
-/// One planned component of a mixed batch.
-enum OpPlan<V> {
-    Upd(UpdatePlan<V>),
-    Rem(RemovePlan<V>),
-    /// Remove of an absent key: the list is untouched.
-    Noop,
-}
 
 /// A Leap-List synchronized with the paper's Locking-Transactions scheme.
 ///
@@ -86,9 +78,12 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// Panics if `key == u64::MAX` (reserved for the tail sentinel).
     pub fn update(&self, key: u64, value: V) -> Option<V> {
-        self.update_batch_on(&[self], &[key], std::slice::from_ref(&value))
+        let ops = [BatchOp::Update(key, value)];
+        self.apply_grouped_on(&[self], &[&ops])
             .pop()
             .expect("one list yields one result")
+            .pop()
+            .expect("one op yields one result")
     }
 
     /// Removes `key`, returning its value if present.
@@ -97,33 +92,47 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn remove(&self, key: u64) -> Option<V> {
-        self.remove_batch_on(&[self], &[key])
+        let ops = [BatchOp::Remove(key)];
+        self.apply_grouped_on(&[self], &[&ops])
             .pop()
             .expect("one list yields one result")
+            .pop()
+            .expect("one op yields one result")
     }
 
     /// The paper's composite `Update(ll, k, v, s)`: applies
     /// `lists[j].update(keys[j], values[j])` for all `j` as **one**
     /// linearizable action. Returns the previous values.
     ///
+    /// Delegates to [`LeapListLt::apply_batch`].
+    ///
     /// # Panics
     ///
     /// Panics if the slices differ in length, any key is `u64::MAX`, lists
     /// do not share one domain, or the same list appears twice.
     pub fn update_batch(lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
-        let first = lists.first().expect("batch must be non-empty");
-        first.update_batch_on(lists, keys, values)
+        assert_eq!(lists.len(), keys.len());
+        assert_eq!(keys.len(), values.len());
+        let ops: Vec<BatchOp<V>> = keys
+            .iter()
+            .zip(values.iter())
+            .map(|(k, v)| BatchOp::Update(*k, v.clone()))
+            .collect();
+        Self::apply_batch(lists, &ops)
     }
 
     /// The paper's composite `Remove(ll, k, s)`: removes `keys[j]` from
     /// `lists[j]` for all `j` as one linearizable action.
     ///
+    /// Delegates to [`LeapListLt::apply_batch`].
+    ///
     /// # Panics
     ///
     /// As for [`LeapListLt::update_batch`].
     pub fn remove_batch(lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
-        let first = lists.first().expect("batch must be non-empty");
-        first.remove_batch_on(lists, keys)
+        assert_eq!(lists.len(), keys.len());
+        let ops: Vec<BatchOp<V>> = keys.iter().map(|k| BatchOp::Remove(*k)).collect();
+        Self::apply_batch(lists, &ops)
     }
 
     fn check_batch(&self, lists: &[&Self], keys: &[u64]) {
@@ -145,99 +154,15 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         }
     }
 
-    fn update_batch_on(&self, lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
-        assert_eq!(lists.len(), keys.len());
-        assert_eq!(keys.len(), values.len());
-        self.check_batch(lists, keys);
-        let guard = pin();
-        let mut backoff = Backoff::new();
-        loop {
-            // Setup (Fig. 8): COP searches + replacement construction.
-            let plans: Vec<UpdatePlan<V>> = lists
-                .iter()
-                .zip(keys.iter().zip(values.iter()))
-                .map(|(l, (k, v))| unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
-                .collect();
-            // LT (Fig. 9): one transaction validates and acquires the
-            // whole multi-list window.
-            let mut tx = Txn::begin(&self.domain);
-            let acquired: TxResult<()> = (|| {
-                for plan in &plans {
-                    let v = unsafe { common::validate_update(&mut tx, plan) }?;
-                    unsafe { common::mark_update(&mut tx, plan, &v) }?;
-                }
-                Ok(())
-            })();
-            if acquired.is_ok() && tx.commit().is_ok() {
-                // Release-and-update (Fig. 10), then retire old nodes.
-                let mut out = Vec::with_capacity(plans.len());
-                for plan in &plans {
-                    unsafe {
-                        crate::wire::wire_update(plan);
-                        guard.defer_drop_box(plan.n);
-                    }
-                    out.push(plan.old_value.clone());
-                }
-                return out;
-            }
-            drop(plans); // frees the unpublished replacement nodes
-            backoff.snooze();
-        }
-    }
-
-    fn remove_batch_on(&self, lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
-        assert_eq!(lists.len(), keys.len());
-        self.check_batch(lists, keys);
-        let guard = pin();
-        let mut backoff = Backoff::new();
-        loop {
-            // Setup (Fig. 11); None = key absent = list untouched.
-            let plans: Vec<Option<RemovePlan<V>>> = lists
-                .iter()
-                .zip(keys.iter())
-                .map(|(l, k)| unsafe { plan_remove(&l.raw, internal_key(*k)) })
-                .collect();
-            // LT (Fig. 12).
-            let mut tx = Txn::begin(&self.domain);
-            let acquired: TxResult<()> = (|| {
-                for plan in plans.iter().flatten() {
-                    let v = unsafe { common::validate_remove(&mut tx, plan) }?;
-                    unsafe { common::mark_remove(&mut tx, plan, &v) }?;
-                }
-                Ok(())
-            })();
-            if acquired.is_ok() && tx.commit().is_ok() {
-                // Release-and-update (Fig. 13).
-                let mut out = Vec::with_capacity(plans.len());
-                for plan in &plans {
-                    match plan {
-                        None => out.push(None),
-                        Some(p) => {
-                            unsafe {
-                                crate::wire::wire_remove(p);
-                                guard.defer_drop_box(p.n0);
-                                if p.merge {
-                                    guard.defer_drop_box(p.n1);
-                                }
-                            }
-                            out.push(Some(p.old_value.clone()));
-                        }
-                    }
-                }
-                return out;
-            }
-            drop(plans);
-            backoff.snooze();
-        }
-    }
-
     /// Applies a **mixed** batch — updates and removes interleaved — to the
-    /// given lists as one linearizable action. This generalizes the
-    /// paper's homogeneous `Update`/`Remove` composites (§2) and is what
-    /// an in-memory database needs to move a row between secondary-index
-    /// buckets atomically (the paper's future-work application, §4).
+    /// given lists as one linearizable action, one op per list. This
+    /// generalizes the paper's homogeneous `Update`/`Remove` composites
+    /// (§2) and is what an in-memory database needs to move a row between
+    /// secondary-index buckets atomically (the paper's future-work
+    /// application, §4).
     ///
-    /// Returns the previous value per component.
+    /// Delegates to [`LeapListLt::apply_batch_grouped`] with one-op
+    /// groups. Returns the previous value per component.
     ///
     /// # Panics
     ///
@@ -245,75 +170,114 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     /// lists do not share one domain, or the same list appears twice.
     pub fn apply_batch(lists: &[&Self], ops: &[BatchOp<V>]) -> Vec<Option<V>> {
         assert_eq!(lists.len(), ops.len());
+        let groups: Vec<&[BatchOp<V>]> = ops.iter().map(std::slice::from_ref).collect();
+        Self::apply_batch_grouped(lists, &groups)
+            .into_iter()
+            .map(|mut r| r.pop().expect("one op per list yields one result"))
+            .collect()
+    }
+
+    /// Applies **k operations per list** — updates and removes interleaved,
+    /// duplicate keys allowed — across multiple lists as **one**
+    /// linearizable action: a single locking transaction validates and
+    /// acquires every affected node chain in every list, and the chains
+    /// are wired after commit. `ops[j]` is the op group for `lists[j]`,
+    /// applied in group order (so `[Update(k, 1), Update(k, 2)]` leaves
+    /// `k -> 2` and returns `[None, Some(1)]`).
+    ///
+    /// This is the primitive a sharded store needs to commit a batch that
+    /// maps several keys to one shard without serializing writers: the
+    /// per-list chain rebuild (see `plan.rs`) runs outside the
+    /// transaction, keeping the paper's wiring-only-transaction property
+    /// at any batch size.
+    ///
+    /// Returns the previous values per list, in group order. Empty groups
+    /// yield empty result vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, the batch is empty, any key
+    /// is `u64::MAX`, lists do not share one domain, or the same list
+    /// appears twice.
+    pub fn apply_batch_grouped(lists: &[&Self], ops: &[&[BatchOp<V>]]) -> Vec<Vec<Option<V>>> {
         let first = lists.first().expect("batch must be non-empty");
+        first.apply_grouped_on(lists, ops)
+    }
+
+    fn apply_grouped_on(&self, lists: &[&Self], ops: &[&[BatchOp<V>]]) -> Vec<Vec<Option<V>>> {
+        assert_eq!(lists.len(), ops.len());
         let keys: Vec<u64> = ops
             .iter()
-            .map(|op| match op {
-                BatchOp::Update(k, _) => *k,
-                BatchOp::Remove(k) => *k,
+            .flat_map(|g| {
+                g.iter().map(|op| match op {
+                    BatchOp::Update(k, _) => *k,
+                    BatchOp::Remove(k) => *k,
+                })
             })
             .collect();
-        first.check_batch(lists, &keys);
+        self.check_batch(lists, &keys);
+        let groups: Vec<Vec<ListOp<'_, V>>> = ops
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|op| match op {
+                        BatchOp::Update(k, v) => ListOp::Put(internal_key(*k), v),
+                        BatchOp::Remove(k) => ListOp::Del(internal_key(*k)),
+                    })
+                    .collect()
+            })
+            .collect();
         let guard = pin();
         let mut backoff = Backoff::new();
         loop {
-            let plans: Vec<OpPlan<V>> = lists
+            // Setup: per-list chain rebuild (COP searches + replacement
+            // chain construction), entirely outside the transaction.
+            let plans: Vec<MultiUpdatePlan<V>> = lists
                 .iter()
-                .zip(ops.iter())
-                .map(|(l, op)| match op {
-                    BatchOp::Update(k, v) => {
-                        OpPlan::Upd(unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
-                    }
-                    BatchOp::Remove(k) => match unsafe { plan_remove(&l.raw, internal_key(*k)) } {
-                        Some(p) => OpPlan::Rem(p),
-                        None => OpPlan::Noop,
-                    },
-                })
+                .zip(groups.iter())
+                .map(|(l, g)| unsafe { plan_multi(&l.raw, g) })
                 .collect();
-            let mut tx = Txn::begin(&first.domain);
+            // LT: one transaction validates and acquires every segment of
+            // every list — in two passes, validation before any marking,
+            // because same-commit segments may share window TVars (a tall
+            // dying node of one segment can be another's level-i
+            // predecessor): a validation reading a pointer the previous
+            // segment already marked would abort forever.
+            let mut tx = Txn::begin(&self.domain);
             let acquired: TxResult<()> = (|| {
+                let mut validated = Vec::new();
                 for plan in &plans {
-                    match plan {
-                        OpPlan::Upd(p) => {
-                            let v = unsafe { common::validate_update(&mut tx, p) }?;
-                            unsafe { common::mark_update(&mut tx, p, &v) }?;
-                        }
-                        OpPlan::Rem(p) => {
-                            let v = unsafe { common::validate_remove(&mut tx, p) }?;
-                            unsafe { common::mark_remove(&mut tx, p, &v) }?;
-                        }
-                        OpPlan::Noop => {}
+                    for seg in &plan.segments {
+                        validated.push(unsafe { common::validate_segment(&mut tx, seg) }?);
+                    }
+                }
+                let mut v = validated.iter();
+                for plan in &plans {
+                    for seg in &plan.segments {
+                        let vs = v.next().expect("one validation per segment");
+                        unsafe { common::mark_segment(&mut tx, seg, vs) }?;
                     }
                 }
                 Ok(())
             })();
             if acquired.is_ok() && tx.commit().is_ok() {
+                // Release-and-update: wire every chain, retire old nodes.
                 let mut out = Vec::with_capacity(plans.len());
-                for plan in &plans {
-                    match plan {
-                        OpPlan::Upd(p) => {
-                            unsafe {
-                                crate::wire::wire_update(p);
-                                guard.defer_drop_box(p.n);
+                for mut plan in plans {
+                    for seg in &plan.segments {
+                        unsafe {
+                            crate::wire::wire_segment(seg);
+                            for &o in &seg.old {
+                                guard.defer_drop_box(o);
                             }
-                            out.push(p.old_value.clone());
                         }
-                        OpPlan::Rem(p) => {
-                            unsafe {
-                                crate::wire::wire_remove(p);
-                                guard.defer_drop_box(p.n0);
-                                if p.merge {
-                                    guard.defer_drop_box(p.n1);
-                                }
-                            }
-                            out.push(Some(p.old_value.clone()));
-                        }
-                        OpPlan::Noop => out.push(None),
                     }
+                    plan.mark_published();
+                    out.push(std::mem::take(&mut plan.results));
                 }
                 return out;
             }
-            drop(plans);
+            drop(plans); // frees the unpublished replacement chains
             backoff.snooze();
         }
     }
@@ -751,6 +715,100 @@ mod tests {
         let counts = LeapListLt::count_range_group(&refs, &ranges);
         assert_eq!(counts, vec![pairs[0].len(), pairs[1].len()]);
         assert_eq!(counts, vec![16, 0], "inverted range counts zero");
+    }
+
+    #[test]
+    fn grouped_batch_commits_k_ops_per_list_atomically() {
+        let lists = LeapListLt::<u64>::group(2, small());
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        // Seed list 1 so the grouped batch exercises updates and removes.
+        lists[1].update(500, 1);
+        let g0: Vec<BatchOp<u64>> = (0..10u64).map(|k| BatchOp::Update(k, k * 10)).collect();
+        let g1 = vec![
+            BatchOp::Update(500, 2),
+            BatchOp::Remove(500),
+            BatchOp::Remove(777),
+        ];
+        let out = LeapListLt::apply_batch_grouped(&refs, &[&g0, &g1]);
+        assert_eq!(out[0], vec![None; 10]);
+        assert_eq!(out[1], vec![Some(1), Some(2), None]);
+        for k in 0..10u64 {
+            assert_eq!(lists[0].lookup(k), Some(k * 10));
+        }
+        assert!(lists[1].is_empty());
+        // With node_size 4, ten keys into an empty list must have produced
+        // a multi-node chain in one commit.
+        assert!(lists[0].node_sizes().len() >= 3);
+        for s in lists[0].node_sizes() {
+            assert!(s <= 4, "chain rebuild exceeded K");
+        }
+    }
+
+    #[test]
+    fn grouped_batch_duplicate_keys_apply_in_order() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        let ops = vec![
+            BatchOp::Update(5, 10),
+            BatchOp::Update(5, 11),
+            BatchOp::Update(6, 60),
+        ];
+        let out = LeapListLt::apply_batch_grouped(&[&l], &[&ops]);
+        assert_eq!(out, vec![vec![None, Some(10), None]]);
+        assert_eq!(l.lookup(5), Some(11), "later op on the same key wins");
+        assert_eq!(l.lookup(6), Some(60));
+    }
+
+    #[test]
+    fn grouped_batch_spanning_many_nodes_stays_consistent() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..100u64 {
+            l.update(k, k);
+        }
+        // Keys spread across distant nodes plus a dense cluster: multiple
+        // segments, some multi-node.
+        let ops: Vec<BatchOp<u64>> = vec![
+            BatchOp::Update(0, 1000),
+            BatchOp::Remove(1),
+            BatchOp::Update(50, 1050),
+            BatchOp::Update(51, 1051),
+            BatchOp::Update(52, 1052),
+            BatchOp::Remove(53),
+            BatchOp::Update(99, 1099),
+            BatchOp::Update(200, 1200),
+        ];
+        let out = LeapListLt::apply_batch_grouped(&[&l], &[&ops]);
+        assert_eq!(
+            out,
+            vec![vec![
+                Some(0),
+                Some(1),
+                Some(50),
+                Some(51),
+                Some(52),
+                Some(53),
+                Some(99),
+                None,
+            ]]
+        );
+        assert_eq!(l.lookup(0), Some(1000));
+        assert_eq!(l.lookup(1), None);
+        assert_eq!(l.lookup(53), None);
+        assert_eq!(l.lookup(200), Some(1200));
+        assert_eq!(l.len(), 99);
+        let r = l.range_query(0, 300);
+        assert_eq!(r.len(), 99);
+        assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "range out of order");
+    }
+
+    #[test]
+    fn grouped_batch_with_empty_group_is_fine() {
+        let lists = LeapListLt::<u64>::group(2, small());
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let g0 = vec![BatchOp::Update(1, 10)];
+        let g1: Vec<BatchOp<u64>> = Vec::new();
+        let out = LeapListLt::apply_batch_grouped(&refs, &[&g0, &g1]);
+        assert_eq!(out, vec![vec![None], vec![]]);
+        assert_eq!(lists[0].lookup(1), Some(10));
     }
 
     #[test]

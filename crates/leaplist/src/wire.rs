@@ -9,7 +9,8 @@
 //! explicit-abort trigger and the orec version moved), and no other release
 //! phase can own it (its transaction would have had to mark it first).
 
-use crate::plan::{RemovePlan, UpdatePlan};
+use crate::node::Node;
+use crate::plan::{ChainSegment, RemovePlan, UpdatePlan};
 use leap_stm::TaggedPtr;
 
 /// Wires an update's replacement node(s) (Fig. 10).
@@ -59,6 +60,60 @@ pub(crate) unsafe fn wire_update<V>(plan: &UpdatePlan<V>) {
         }
     }
     plan.mark_published();
+}
+
+/// Wires a multi-op segment's replacement chain: the k-op generalization
+/// of [`wire_update`] (split) and [`wire_remove`] (merge). The dying run
+/// and the predecessor window were marked by the committed transaction, so
+/// every store below runs under the marked-pointer lease.
+///
+/// Level-`i` layout after wiring: `pa[i]` points at the first chain node
+/// taller than `i`; each chain node points at the next taller-than-`i`
+/// chain node, and the last one exits to the segment's old external
+/// successor — read from the frozen dying nodes below the old chain's
+/// height, and from the validated window (`na[i]`) above it.
+///
+/// # Safety
+///
+/// Must only be called once, after the segment's LT transaction committed,
+/// while holding the epoch guard used for the plan.
+pub(crate) unsafe fn wire_segment<V>(seg: &ChainSegment<V>) {
+    // SAFETY: segment pointers valid under the caller's guard; the dying
+    // nodes' outgoing pointers are frozen (marked), so naked reads are
+    // stable.
+    unsafe {
+        let exit = |i: usize| -> TaggedPtr<Node<V>> {
+            match seg.old.iter().rev().find(|&&o| (*o).level > i) {
+                Some(&o) => (*o).next[i].naked_load().unmarked(),
+                None => TaggedPtr::new(seg.w.na[i]),
+            }
+        };
+        for (j, &c) in seg.new.iter().enumerate() {
+            let cn = &*c;
+            for i in 0..cn.level {
+                let ptr = match seg.new[j + 1..].iter().find(|&&d| (*d).level > i) {
+                    Some(&d) => TaggedPtr::new(d),
+                    None => exit(i),
+                };
+                cn.next[i].naked_store(ptr);
+            }
+        }
+        // Swing the predecessors; this is what publishes the chain. The
+        // swing target is `pa_wire[i]` — the window's `pa[i]` unless the
+        // plan substituted an earlier same-commit segment's replacement
+        // node for it (already wired: segments wire in key order).
+        for i in 0..seg.wire_height {
+            let first = seg
+                .new
+                .iter()
+                .find(|&&d| (*d).level > i)
+                .expect("wire_height is the chain's maximum level");
+            (*seg.pa_wire[i]).next[i].naked_store(TaggedPtr::new(*first));
+        }
+        for &c in &seg.new {
+            (*c).live.naked_store(true);
+        }
+    }
 }
 
 /// Wires a remove's replacement node (Fig. 13).

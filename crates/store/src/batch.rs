@@ -1,19 +1,73 @@
 //! The batching front-end: a flat-combining funnel that coalesces
 //! independent single-key operations arriving on many worker threads into
-//! grouped [`LeapStore::apply`] calls, so `k` concurrent puts to `k`
-//! distinct shards cost one multi-list transaction instead of `k`.
+//! grouped [`LeapStore::apply`] calls, so `k` concurrent puts cost one
+//! multi-list transaction instead of `k` — and, with the multi-op chain
+//! rebuild underneath, even `k` puts to the *same* shard form one
+//! transaction.
+//!
+//! Under lock contention the combiner lock itself creates batches (ops
+//! pile up behind the holder). On hosts with few cores, threads interleave
+//! instead of contending, so the combiner additionally waits an **adaptive
+//! window** before draining: the window doubles whenever waiting actually
+//! coalesced ops and halves toward zero when the combiner found itself
+//! alone, so an idle caller never pays latency for company that is not
+//! coming.
 
 use crate::store::LeapStore;
 use leaplist::BatchOp;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Smallest non-zero combining window.
+const WINDOW_BASE_NS: u64 = 1_000;
+/// Largest combining window (well under any op's transaction cost at
+/// contention levels that reach it).
+const WINDOW_MAX_NS: u64 = 20_000;
+/// Queue population at which the combiner stops waiting and drains.
+const COALESCE_CAP: usize = 8;
+
+/// Next combining window: double (from at least the base) whenever the
+/// drain actually coalesced, decay toward zero when the combiner was
+/// alone.
+fn next_window(cur: u64, batch: usize) -> u64 {
+    if batch >= 2 {
+        cur.saturating_mul(2).clamp(WINDOW_BASE_NS, WINDOW_MAX_NS)
+    } else {
+        cur / 2
+    }
+}
+
+/// Panic payload re-raised to the submitter of an op that poisoned a
+/// combined batch (its `V: Clone` panicked while the combiner probed it):
+/// carries the op's index within the combined batch plus the original
+/// panic payload, so the owner knows exactly which op died — and every
+/// other op in the batch proceeds unharmed.
+pub struct PoisonedOp {
+    /// The op's position in the combined batch that the combiner drained.
+    pub index: usize,
+    /// The original panic payload from the poisoned clone.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for PoisonedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoisonedOp")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
 
 /// How a combined op ended.
 enum Outcome<V> {
     /// The grouped `apply` committed; this is the op's previous value.
     Done(Option<V>),
-    /// The combiner panicked mid-batch (e.g. a panicking `V::Clone`): the
-    /// op's fate is unknown, so the waiting submitter re-raises.
+    /// This op's value poisoned the batch probe; the rest of the batch
+    /// ran without it. The owner re-raises with the op's batch index.
+    Poisoned(PoisonedOp),
+    /// The combiner panicked mid-`apply` (after the probe): the op's fate
+    /// is unknown, so the waiting submitter re-raises.
     Aborted,
 }
 
@@ -44,6 +98,9 @@ pub struct BatcherStats {
     pub ops: u64,
     /// Largest single combined batch.
     pub max_batch: u64,
+    /// Current adaptive combining window in nanoseconds (0 = drain
+    /// immediately).
+    pub window_ns: u64,
 }
 
 impl BatcherStats {
@@ -64,7 +121,8 @@ impl BatcherStats {
 /// either *combines* (drains every queued op into one grouped
 /// [`LeapStore::apply`]) or finds its op already combined by another
 /// thread. Under contention this turns `k` single-key transactions into
-/// one `k`-list transaction — the multi-list composite the paper builds.
+/// one `k`-op transaction — the multi-list composite the paper builds,
+/// including several ops per shard.
 ///
 /// # Example
 ///
@@ -82,7 +140,11 @@ impl BatcherStats {
 pub struct Batcher<V> {
     store: Arc<LeapStore<V>>,
     queue: Mutex<Vec<Pending<V>>>,
+    /// Approximate queue population, readable without the queue lock (the
+    /// adaptive wait polls it).
+    queue_len: AtomicUsize,
     combiner: Mutex<()>,
+    window_ns: AtomicU64,
     batches: AtomicU64,
     ops: AtomicU64,
     max_batch: AtomicU64,
@@ -94,7 +156,9 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         Batcher {
             store,
             queue: Mutex::new(Vec::new()),
+            queue_len: AtomicUsize::new(0),
             combiner: Mutex::new(()),
+            window_ns: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
@@ -111,7 +175,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
     ///
     /// # Panics
     ///
-    /// Panics if `key == u64::MAX`.
+    /// Panics if `key == u64::MAX`, or with a [`PoisonedOp`] payload if
+    /// this op's `V: Clone` panicked inside a combined batch.
     pub fn put(&self, key: u64, value: V) -> Option<V> {
         self.submit(BatchOp::Update(key, value))
     }
@@ -131,6 +196,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             batches: self.batches.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
+            window_ns: self.window_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -153,6 +219,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 op,
                 slot: slot.clone(),
             });
+        self.queue_len.fetch_add(1, Ordering::Relaxed);
         // While another thread holds the combiner lock it is (or soon will
         // be) draining the queue — ops pile up behind it and the next
         // holder combines them all. Blocking here is the coalescing.
@@ -162,10 +229,24 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         match lock_slot(&slot).take() {
             Some(Outcome::Done(r)) => return r, // a combiner carried our op
+            Some(Outcome::Poisoned(p)) => std::panic::panic_any(p),
             Some(Outcome::Aborted) => {
                 panic!("a combining peer panicked mid-batch; this op's fate is unknown")
             }
             None => {}
+        }
+        // Wait-a-little: when recent drains coalesced, give stragglers a
+        // moment to enqueue before draining (see the module docs). The
+        // wait yields rather than pure-spins: on the few-core hosts this
+        // window exists for, the stragglers need this CPU to enqueue at
+        // all.
+        let window = self.window_ns.load(Ordering::Relaxed);
+        if window > 0 {
+            let deadline = Instant::now() + Duration::from_nanos(window);
+            while self.queue_len.load(Ordering::Relaxed) < COALESCE_CAP && Instant::now() < deadline
+            {
+                std::thread::yield_now();
+            }
         }
         let drained: Vec<Pending<V>> = {
             let mut q = self
@@ -175,31 +256,64 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             std::mem::take(&mut *q)
         };
         debug_assert!(!drained.is_empty(), "our own op must still be queued");
-        let (ops, slots): (Vec<BatchOp<V>>, Vec<Arc<Slot<V>>>) =
-            drained.into_iter().map(|p| (p.op, p.slot)).unzip();
-        // If apply itself panics (it cannot from key validation — that
-        // happened in every submitter's own frame — but e.g. a panicking
-        // V::Clone could), tell every drained peer before re-raising, so
-        // none of them waits on a slot that will never be filled.
-        let results =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.store.apply(&ops)))
-                .unwrap_or_else(|payload| {
-                    for p in &slots {
-                        *lock_slot(p) = Some(Outcome::Aborted);
-                    }
-                    std::panic::resume_unwind(payload);
-                });
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
-        self.max_batch
-            .fetch_max(ops.len() as u64, Ordering::Relaxed);
-        let mut own = None;
-        for (p, r) in slots.into_iter().zip(results) {
-            if Arc::ptr_eq(&p, &slot) {
-                own = Some(r);
-            } else {
-                *lock_slot(&p) = Some(Outcome::Done(r));
+        self.queue_len.fetch_sub(drained.len(), Ordering::Relaxed);
+        self.window_ns
+            .store(next_window(window, drained.len()), Ordering::Relaxed);
+        // Probe every op's clone before combining a multi-op batch: a
+        // panicking `V::Clone` (the only way `apply` can panic pre-commit
+        // after up-front key validation) is caught here with its batch
+        // index, poisons only its own slot, and the rest of the batch
+        // proceeds without it. Solo drains skip the probe — the combiner
+        // IS the submitter, so a panicking clone inside `apply` already
+        // unwinds to the right thread with no peers to protect.
+        let probe = drained.len() > 1;
+        let mut ops: Vec<BatchOp<V>> = Vec::with_capacity(drained.len());
+        let mut slots: Vec<Arc<Slot<V>>> = Vec::with_capacity(drained.len());
+        let mut own_poison: Option<PoisonedOp> = None;
+        for (index, p) in drained.into_iter().enumerate() {
+            let poisoned = probe
+                && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.op.clone()))
+                    .map_err(|payload| {
+                        let poisoned = PoisonedOp { index, payload };
+                        if Arc::ptr_eq(&p.slot, &slot) {
+                            own_poison = Some(poisoned);
+                        } else {
+                            *lock_slot(&p.slot) = Some(Outcome::Poisoned(poisoned));
+                        }
+                    })
+                    .is_err();
+            if !poisoned {
+                ops.push(p.op);
+                slots.push(p.slot);
             }
+        }
+        let mut own = None;
+        if !ops.is_empty() {
+            // If apply still panics (e.g. a clone that fails only on its
+            // second call), tell every carried peer before re-raising, so
+            // none of them waits on a slot that will never be filled.
+            let results =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.store.apply(&ops)))
+                    .unwrap_or_else(|payload| {
+                        for p in &slots {
+                            *lock_slot(p) = Some(Outcome::Aborted);
+                        }
+                        std::panic::resume_unwind(payload);
+                    });
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+            self.max_batch
+                .fetch_max(ops.len() as u64, Ordering::Relaxed);
+            for (p, r) in slots.into_iter().zip(results) {
+                if Arc::ptr_eq(&p, &slot) {
+                    own = Some(r);
+                } else {
+                    *lock_slot(&p) = Some(Outcome::Done(r));
+                }
+            }
+        }
+        if let Some(poisoned) = own_poison {
+            std::panic::panic_any(poisoned);
         }
         own.expect("the drain carried our own op")
     }
@@ -212,6 +326,7 @@ impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for Batcher<V> {
             .field("batches", &s.batches)
             .field("ops", &s.ops)
             .field("avg_batch", &s.avg_batch())
+            .field("window_ns", &s.window_ns)
             .finish()
     }
 }
@@ -240,7 +355,27 @@ mod tests {
             (s.avg_batch() - 1.0).abs() < 1e-9,
             "no contention, no coalescing"
         );
+        assert_eq!(
+            s.window_ns, 0,
+            "solo drains must keep the adaptive window closed"
+        );
         assert_eq!(BatcherStats::default().avg_batch(), 0.0);
+    }
+
+    #[test]
+    fn window_doubles_on_coalescing_and_decays_alone() {
+        // Growth: any coalesced drain opens the window from zero…
+        assert_eq!(next_window(0, 2), WINDOW_BASE_NS);
+        // …then doubles…
+        assert_eq!(next_window(WINDOW_BASE_NS, 3), 2 * WINDOW_BASE_NS);
+        // …up to the cap.
+        assert_eq!(next_window(WINDOW_MAX_NS, 9), WINDOW_MAX_NS);
+        assert_eq!(next_window(u64::MAX, 2), WINDOW_MAX_NS);
+        // Decay: solo drains halve toward zero and stay there.
+        assert_eq!(next_window(WINDOW_BASE_NS, 1), WINDOW_BASE_NS / 2);
+        assert_eq!(next_window(1, 1), 0);
+        assert_eq!(next_window(0, 1), 0);
+        assert_eq!(next_window(0, 0), 0);
     }
 
     #[test]
@@ -265,18 +400,19 @@ mod tests {
         assert_eq!(b.stats().ops, 2, "the rejected op was never enqueued");
     }
 
-    #[test]
-    fn combiner_panic_is_reraised_and_batcher_survives() {
-        // A value whose Clone panics when armed: the only way apply itself
-        // can panic after up-front key validation.
-        #[derive(Debug, PartialEq)]
-        struct Bomb(u64, bool);
-        impl Clone for Bomb {
-            fn clone(&self) -> Self {
-                assert!(!self.1, "armed bomb cloned");
-                Bomb(self.0, false)
-            }
+    /// A value whose Clone panics when armed: the only way a combined
+    /// batch can die after up-front key validation.
+    #[derive(Debug, PartialEq)]
+    struct Bomb(u64, bool);
+    impl Clone for Bomb {
+        fn clone(&self) -> Self {
+            assert!(!self.1, "armed bomb cloned");
+            Bomb(self.0, false)
         }
+    }
+
+    #[test]
+    fn solo_bomb_panics_in_its_own_frame_and_batcher_survives() {
         let store = Arc::new(LeapStore::<Bomb>::new(StoreConfig::new(
             2,
             Partitioning::Hash,
@@ -289,11 +425,54 @@ mod tests {
             })
             .join()
         };
-        assert!(panicked.is_err(), "armed bomb must panic inside apply");
-        // The combiner marked affected slots and re-raised; the batcher
-        // still serves subsequent ops.
+        // A solo drain has no peers to protect: the original panic payload
+        // reaches the submitter unwrapped (no probe ran).
+        let payload = panicked.expect_err("armed bomb must panic");
+        assert!(
+            payload.downcast_ref::<PoisonedOp>().is_none(),
+            "solo drains skip the probe"
+        );
+        // The combiner marked no stray slots; the batcher still serves.
         assert!(b.put(4, Bomb(40, false)).is_none());
         assert_eq!(store.get(4), Some(Bomb(40, false)));
+    }
+
+    #[test]
+    fn poisoned_op_does_not_take_down_its_batch_peers() {
+        let store = Arc::new(LeapStore::<Bomb>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Batcher::new(store.clone());
+        // Plant a peer's armed op directly in the queue (as if a thread
+        // had enqueued it and were waiting on the combiner lock), then
+        // combine via a healthy own op: the drain carries both.
+        let peer_slot = Arc::new(Slot {
+            result: Mutex::new(None),
+        });
+        b.queue.lock().unwrap().push(Pending {
+            op: BatchOp::Update(9, Bomb(90, true)),
+            slot: peer_slot.clone(),
+        });
+        b.queue_len.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(b.put(5, Bomb(50, false)), None, "healthy op lands");
+        assert_eq!(store.get(5), Some(Bomb(50, false)));
+        assert_eq!(store.get(9), None, "poisoned op was never applied");
+        match lock_slot(&peer_slot).take() {
+            Some(Outcome::Poisoned(p)) => {
+                assert_eq!(p.index, 0, "the planted bomb was first in the drain");
+                assert!(
+                    p.payload.downcast_ref::<String>().is_some()
+                        || p.payload.downcast_ref::<&str>().is_some(),
+                    "original panic payload is preserved"
+                );
+                assert!(format!("{p:?}").contains("index: 0"));
+            }
+            _ => panic!("peer slot must carry the poisoned-op report"),
+        }
+        let s = b.stats();
+        assert_eq!(s.ops, 1, "only the healthy op counted");
+        assert!(s.max_batch >= 1);
     }
 
     #[test]

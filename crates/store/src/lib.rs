@@ -10,8 +10,10 @@
 //!
 //! * **Cross-shard atomic batches** — [`LeapStore::multi_put`] /
 //!   [`LeapStore::apply`] commit through one multi-list transaction
-//!   (`apply_batch`), so concurrent readers see all of a batch or none of
-//!   it.
+//!   (`apply_batch_grouped`), so concurrent readers see all of a batch or
+//!   none of it — **including batches that map several keys to one shard**:
+//!   each shard's ops become one multi-op chain-rebuild plan, so there is
+//!   no serialized slow path.
 //! * **Linearizable cross-shard range queries** — [`LeapStore::range`]
 //!   assembles per-shard snapshots *inside one transaction*
 //!   ([`leaplist::LeapListLt::range_query_group`]): the merged result is a
@@ -47,7 +49,7 @@ mod router;
 mod stats;
 mod store;
 
-pub use batch::{Batcher, BatcherStats};
+pub use batch::{Batcher, BatcherStats, PoisonedOp};
 pub use router::{Partitioning, Router};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{LeapStore, StoreConfig};

@@ -70,9 +70,11 @@ pub struct StoreStats {
     pub shards: Vec<ShardStats>,
     /// Commit/abort counters of the shared STM domain.
     pub stm: StatsSnapshot,
-    /// Batches that contained at least two keys for one shard and were
-    /// therefore applied through the serialized slow path.
-    pub slow_batches: u64,
+    /// Batches that mapped at least two keys to one shard. These commit
+    /// through the same single multi-list transaction as any other batch
+    /// (the multi-op chain rebuild); the counter tracks how collision-heavy
+    /// the workload is.
+    pub collision_batches: u64,
 }
 
 impl StoreStats {
@@ -101,12 +103,12 @@ impl StoreStats {
             ));
         }
         out.push_str(&format!(
-            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"slow_batches\":{},\"abort_rate\":{:.6}}}",
+            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6}}}",
             self.stm.commits,
             self.stm.read_only_commits,
             self.stm.conflict_aborts,
             self.stm.explicit_aborts,
-            self.slow_batches,
+            self.collision_batches,
             self.abort_rate(),
         ));
         out
@@ -129,9 +131,9 @@ impl std::fmt::Display for StoreStats {
         }
         write!(
             f,
-            "stm: {} | slow_batches={} | abort_rate={:.4}",
+            "stm: {} | collision_batches={} | abort_rate={:.4}",
             self.stm,
-            self.slow_batches,
+            self.collision_batches,
             self.abort_rate()
         )
     }
@@ -161,16 +163,17 @@ mod tests {
                 conflict_aborts: 4,
                 explicit_aborts: 1,
             },
-            slow_batches: 7,
+            collision_batches: 7,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
         assert!((stats.abort_rate() - 0.5).abs() < 1e-9);
         let json = stats.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches("\"shard\":").count(), 2);
-        assert!(json.contains("\"slow_batches\":7"));
+        assert!(json.contains("\"collision_batches\":7"));
         assert_eq!(StoreStats::default().abort_rate(), 0.0);
         let text = format!("{stats}");
         assert!(text.contains("abort_rate=0.5000"));
+        assert!(text.contains("collision_batches=7"));
     }
 }

@@ -1,14 +1,15 @@
-//! The store proper: N Leap-List shards on one transactional domain, a
-//! router deciding placement, and a seqlock that keeps even multi-round
-//! batches invisible-in-part to readers.
+//! The store proper: N Leap-List shards on one transactional domain and a
+//! router deciding placement. Every batch — including one mapping several
+//! keys to a single shard — commits through **one** multi-list transaction
+//! (`LeapListLt::apply_batch_grouped`), so there is no slow path, no
+//! writer serialization and no reader retry protocol.
 
 use crate::router::{Partitioning, Router};
 use crate::stats::{ShardCounters, StoreStats};
 use leap_stm::StmDomain;
 use leaplist::{BatchOp, LeapListLt, Params};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Construction parameters for a [`LeapStore`].
 #[derive(Debug, Clone)]
@@ -74,15 +75,14 @@ impl StoreConfig {
 ///
 /// # Batch atomicity
 ///
-/// A batch with at most one key per shard commits through one multi-list
-/// `apply_batch` transaction (the fast path). A batch that maps two or
-/// more keys to one shard cannot — Leap-List plans are one-op-per-list —
-/// so it is applied in rounds, hidden behind two mechanisms: a sequence
-/// lock makes readers retry rather than observe the gap between rounds,
-/// and an exclusive writer-phase lock keeps other writers (whose
-/// previous-value returns would expose intermediate state) out for the
-/// batch's duration. Single-key ops and fast-path batches hold the
-/// writer-phase lock shared, so they run concurrently with each other.
+/// Every batch commits through a single multi-list transaction
+/// ([`LeapListLt::apply_batch_grouped`]): ops are grouped per shard in
+/// input order, each shard's group becomes one chain-rebuild plan, and one
+/// locking transaction validates and acquires every affected chain across
+/// every shard. A batch mapping two or more keys to one shard therefore
+/// costs the same protocol as the one-key-per-shard case — there is no
+/// seqlock, no writer-phase lock and no multi-round fallback; readers and
+/// other writers proceed concurrently throughout.
 ///
 /// # Example
 ///
@@ -103,39 +103,10 @@ pub struct LeapStore<V> {
     router: Router,
     domain: Arc<StmDomain>,
     counters: Vec<ShardCounters>,
-    /// Sequence lock: odd while a multi-round (slow-path) batch is
-    /// mid-flight. Readers retry around odd values and around observed
-    /// transitions.
-    seq: AtomicU64,
-    /// Writer-phase lock: every writer holds it shared (single-key ops
-    /// and fast-path batches run concurrently); a slow-path batch holds
-    /// it exclusively, so no other write can land between its rounds and
-    /// observe — or expose, via previous-value returns — the gap.
-    write_phase: RwLock<()>,
-    slow_batches: AtomicU64,
-}
-
-/// Restores the seqlock to even if a slow-path round panics; without it
-/// a panicking batch would leave `seq` odd and spin every future reader.
-struct SeqGuard<'a>(&'a AtomicU64);
-
-impl Drop for SeqGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_add(1, Ordering::SeqCst);
-    }
-}
-
-/// Shared (writer) acquisition of the write-phase lock; a panic in some
-/// other writer must not poison the store.
-fn read_phase(lock: &RwLock<()>) -> std::sync::RwLockReadGuard<'_, ()> {
-    lock.read()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// Exclusive (slow-batch) acquisition of the write-phase lock.
-fn write_phase(lock: &RwLock<()>) -> std::sync::RwLockWriteGuard<'_, ()> {
-    lock.write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Batches that mapped at least two keys to one shard — the load that
+    /// the seed's seqlock slow path serialized and that now commits in a
+    /// single transaction.
+    collision_batches: AtomicU64,
 }
 
 impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
@@ -159,9 +130,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             router,
             domain,
             counters,
-            seq: AtomicU64::new(0),
-            write_phase: RwLock::new(()),
-            slow_batches: AtomicU64::new(0),
+            collision_batches: AtomicU64::new(0),
         }
     }
 
@@ -197,13 +166,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     pub fn get(&self, key: u64) -> Option<V> {
         let s = self.router.shard_of(key);
         ShardCounters::bump(&self.counters[s].gets);
-        loop {
-            let s1 = self.read_enter();
-            let v = self.shards[s].lookup(key);
-            if self.read_exit(s1) {
-                return v;
-            }
-        }
+        self.shards[s].lookup(key)
     }
 
     /// Inserts or updates `key -> value`; returns the previous value.
@@ -214,7 +177,6 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     pub fn put(&self, key: u64, value: V) -> Option<V> {
         let s = self.router.shard_of(key);
         ShardCounters::bump(&self.counters[s].puts);
-        let _w = read_phase(&self.write_phase);
         self.shards[s].update(key, value)
     }
 
@@ -226,7 +188,6 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     pub fn delete(&self, key: u64) -> Option<V> {
         let s = self.router.shard_of(key);
         ShardCounters::bump(&self.counters[s].deletes);
-        let _w = read_phase(&self.write_phase);
         self.shards[s].remove(key)
     }
 
@@ -257,7 +218,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
 
     /// Applies a mixed put/delete batch as one linearizable action;
     /// returns previous values in input order. Ops sharing a shard apply
-    /// in input order.
+    /// in input order within the single commit (so a batch may put and
+    /// then delete the same key).
     ///
     /// # Panics
     ///
@@ -270,82 +232,59 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             BatchOp::Update(k, _) => *k,
             BatchOp::Remove(k) => *k,
         };
-        // Validate every key before touching any lock or shard, so a
-        // documented caller error cannot panic mid-batch with the seqlock
-        // odd or part of the batch applied.
+        // Validate every key before touching any shard, so a documented
+        // caller error cannot panic with part of the batch planned.
         for op in ops {
             assert!(key_of(op) < u64::MAX, "key u64::MAX is reserved");
         }
         // Single-op batches (the Batcher's uncontended hot path) route
-        // straight to their shard: no queues, no round vectors.
+        // straight to their shard: no grouping vectors.
         if let [op] = ops {
             let shard = self.router.shard_of(key_of(op));
             self.counters[shard]
                 .batch_parts
                 .fetch_add(1, Ordering::Relaxed);
-            let _w = read_phase(&self.write_phase);
             return vec![match op {
                 BatchOp::Update(k, v) => self.shards[shard].update(*k, v.clone()),
                 BatchOp::Remove(k) => self.shards[shard].remove(*k),
             }];
         }
-        // FIFO of input indexes per shard, preserving per-shard op order.
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.shards.len()];
+        // Group ops per shard, preserving input order within each group.
+        let mut groups: Vec<Vec<BatchOp<V>>> = vec![Vec::new(); self.shards.len()];
+        let mut origin: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, op) in ops.iter().enumerate() {
-            queues[self.router.shard_of(key_of(op))].push_back(i);
+            let s = self.router.shard_of(key_of(op));
+            groups[s].push(op.clone());
+            origin[s].push(i);
         }
-        for (s, q) in queues.iter().enumerate() {
+        for (s, g) in groups.iter().enumerate() {
             self.counters[s]
                 .batch_parts
-                .fetch_add(q.len() as u64, Ordering::Relaxed);
+                .fetch_add(g.len() as u64, Ordering::Relaxed);
         }
-        let mut out: Vec<Option<V>> = vec![None; ops.len()];
-        if queues.iter().all(|q| q.len() <= 1) {
-            // Fast path: one op per shard — a single multi-list
-            // transaction, running concurrently with other writers.
-            let _w = read_phase(&self.write_phase);
-            self.apply_round(&mut queues, ops, &mut out);
-            return out;
+        if groups.iter().any(|g| g.len() >= 2) {
+            self.collision_batches.fetch_add(1, Ordering::Relaxed);
         }
-        // Slow path: some shard holds several keys; Leap-List plans are
-        // one-op-per-list, so apply in rounds. The exclusive write-phase
-        // lock keeps other writers (whose previous-value returns would
-        // otherwise expose the gap between rounds) out, and the sequence
-        // lock makes readers retry instead of observing it.
-        let _w = write_phase(&self.write_phase);
-        self.slow_batches.fetch_add(1, Ordering::Relaxed);
-        self.seq.fetch_add(1, Ordering::SeqCst); // -> odd: readers hold off
-        let _even_again = SeqGuard(&self.seq); // -> even on exit OR panic
-        while queues.iter().any(|q| !q.is_empty()) {
-            self.apply_round(&mut queues, ops, &mut out);
-        }
-        out
-    }
-
-    /// Pops the front op of every non-empty queue and commits them as one
-    /// multi-list transaction.
-    fn apply_round(
-        &self,
-        queues: &mut [VecDeque<usize>],
-        ops: &[BatchOp<V>],
-        out: &mut [Option<V>],
-    ) {
-        let mut lists = Vec::new();
-        let mut round_ops = Vec::new();
-        let mut idxs = Vec::new();
-        for (s, q) in queues.iter_mut().enumerate() {
-            if let Some(i) = q.pop_front() {
+        // One multi-list transaction over every touched shard, regardless
+        // of key -> shard collisions.
+        let mut lists: Vec<&LeapListLt<V>> = Vec::new();
+        let mut shard_ops: Vec<&[BatchOp<V>]> = Vec::new();
+        let mut shard_origin: Vec<&[usize]> = Vec::new();
+        for (s, g) in groups.iter().enumerate() {
+            if !g.is_empty() {
                 lists.push(&self.shards[s]);
-                round_ops.push(ops[i].clone());
-                idxs.push(i);
+                shard_ops.push(g);
+                shard_origin.push(&origin[s]);
             }
         }
-        for (i, r) in idxs
-            .into_iter()
-            .zip(LeapListLt::apply_batch(&lists, &round_ops))
-        {
-            out[i] = r;
+        let results = LeapListLt::apply_batch_grouped(&lists, &shard_ops);
+        let mut out: Vec<Option<V>> = vec![None; ops.len()];
+        for (res, orig) in results.into_iter().zip(shard_origin) {
+            for (r, &i) in res.into_iter().zip(orig) {
+                out[i] = r;
+            }
         }
+        out
     }
 
     /// Linearizable cross-shard range query: all pairs with keys in
@@ -363,20 +302,14 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return Vec::new();
         }
         let (lists, ranges) = self.visit_plan(lo, hi);
-        loop {
-            let s1 = self.read_enter();
-            let per_shard = LeapListLt::range_query_group(&lists, &ranges);
-            if !self.read_exit(s1) {
-                continue;
-            }
-            let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
-            if self.router.mode() == Partitioning::Hash {
-                // Contiguous shards concatenate in order; hashed shards
-                // interleave and need the merge sort.
-                merged.sort_unstable_by_key(|(k, _)| *k);
-            }
-            return merged;
+        let per_shard = LeapListLt::range_query_group(&lists, &ranges);
+        let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
+        if self.router.mode() == Partitioning::Hash {
+            // Contiguous shards concatenate in order; hashed shards
+            // interleave and need the merge sort.
+            merged.sort_unstable_by_key(|(k, _)| *k);
         }
+        merged
     }
 
     /// Number of keys in `[lo, hi]` from one consistent cross-shard
@@ -392,13 +325,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return 0;
         }
         let (lists, ranges) = self.visit_plan(lo, hi);
-        loop {
-            let s1 = self.read_enter();
-            let per_shard = LeapListLt::count_range_group(&lists, &ranges);
-            if self.read_exit(s1) {
-                return per_shard.iter().sum();
-            }
-        }
+        LeapListLt::count_range_group(&lists, &ranges).iter().sum()
     }
 
     /// The shards a `[lo, hi]` query must visit, with per-shard range
@@ -434,31 +361,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 .map(|(s, c)| c.snapshot(s))
                 .collect(),
             stm: self.domain.stats(),
-            slow_batches: self.slow_batches.load(Ordering::Relaxed),
+            collision_batches: self.collision_batches.load(Ordering::Relaxed),
         }
-    }
-
-    /// Seqlock read-side entry: waits out any in-flight slow batch and
-    /// returns the even sequence observed.
-    fn read_enter(&self) -> u64 {
-        loop {
-            let s = self.seq.load(Ordering::Acquire);
-            if s & 1 == 0 {
-                return s;
-            }
-            std::hint::spin_loop();
-            std::thread::yield_now();
-        }
-    }
-
-    /// Seqlock read-side exit: true iff no slow batch intervened. The
-    /// acquire fence keeps the preceding data reads from sinking below the
-    /// validation load (an acquire *load* alone only orders later accesses,
-    /// so on weakly-ordered hardware the load could be hoisted above the
-    /// data reads and validate a stale sequence).
-    fn read_exit(&self, entered: u64) -> bool {
-        std::sync::atomic::fence(Ordering::Acquire);
-        self.seq.load(Ordering::Relaxed) == entered
     }
 }
 
@@ -521,24 +425,34 @@ mod tests {
     }
 
     #[test]
-    fn fast_path_batch_hits_each_shard_once() {
+    fn distinct_shard_batch_hits_each_shard_once() {
         let store: LeapStore<u64> = LeapStore::new(cfg(4, Partitioning::Range));
         // key_space 1000 over 4 shards: strides of 250.
         let old = store.multi_put(&[(10, 1), (260, 2), (510, 3), (760, 4)]);
         assert_eq!(old, vec![None; 4]);
-        assert_eq!(store.stats().slow_batches, 0, "distinct shards → fast path");
+        assert_eq!(
+            store.stats().collision_batches,
+            0,
+            "distinct shards → no collision"
+        );
         let old = store.multi_delete(&[10, 260, 999]);
         assert_eq!(old, vec![Some(1), Some(2), None]);
     }
 
     #[test]
-    fn slow_path_handles_same_shard_collisions_in_order() {
+    fn same_shard_collisions_commit_in_one_transaction_in_order() {
         let store: LeapStore<u64> = LeapStore::new(cfg(4, Partitioning::Range));
+        let commits_before = store.stats().stm.total_commits();
         // All four keys land in shard 0 (0..250).
         let old = store.multi_put(&[(1, 10), (2, 20), (1, 11), (3, 30)]);
         assert_eq!(old, vec![None, None, Some(10), None]);
         assert_eq!(store.get(1), Some(11), "later op on same key wins");
-        assert_eq!(store.stats().slow_batches, 1);
+        assert_eq!(store.stats().collision_batches, 1);
+        assert_eq!(
+            store.stats().stm.total_commits(),
+            commits_before + 1,
+            "a collision batch is exactly one transaction, not rounds"
+        );
         // Mixed put+delete of one key, in order: delete sees the put.
         let old = store.apply(&[BatchOp::Update(9, 90), BatchOp::Remove(9)]);
         assert_eq!(old, vec![None, Some(90)]);
@@ -546,10 +460,27 @@ mod tests {
     }
 
     #[test]
+    fn collision_batch_overflowing_one_node_still_lands_whole() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(4, Partitioning::Range));
+        // 20 keys in shard 0 with node_size 4: the chain rebuild must
+        // split into several nodes inside one commit.
+        let entries: Vec<(u64, u64)> = (0..20u64).map(|k| (k, k * 2)).collect();
+        let old = store.multi_put(&entries);
+        assert_eq!(old, vec![None; 20]);
+        for k in 0..20u64 {
+            assert_eq!(store.get(k), Some(k * 2));
+        }
+        assert_eq!(store.range(0, 999).len(), 20);
+        for s in store.shard(0).node_sizes() {
+            assert!(s <= 4, "chain rebuild exceeded K");
+        }
+    }
+
+    #[test]
     fn empty_batch_is_a_noop() {
         let store: LeapStore<u64> = LeapStore::new(cfg(2, Partitioning::Hash));
         assert_eq!(store.multi_put(&[]), vec![]);
-        assert_eq!(store.stats().slow_batches, 0);
+        assert_eq!(store.stats().collision_batches, 0);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Concurrency and linearizability tests for LeapStore: concurrent
 //! cross-shard batch writers versus cross-shard range readers must never
-//! expose a torn batch, on either the fast (one-op-per-shard transaction)
-//! or the slow (multi-round seqlock) path.
+//! expose a torn batch — whether the batch maps one key per shard or
+//! piles several keys onto one shard (the multi-op chain-rebuild path,
+//! which commits in a single transaction; the seed's seqlock rounds are
+//! gone).
 
 use leap_store::{Batcher, LeapStore, Partitioning, StoreConfig};
 use leaplist::Params;
@@ -92,11 +94,15 @@ fn cross_shard_batches_are_never_torn_fast_path() {
     }
 }
 
-/// Slow path: every batch deliberately maps several keys to ONE shard
-/// (forcing the multi-round seqlock path) plus one key on another shard.
-/// Readers must still never see a torn batch.
+/// Collision path: every batch deliberately maps several keys to ONE
+/// shard (a multi-op chain rebuild on that shard) plus one key on another
+/// shard. The whole batch commits in a single transaction, so readers
+/// must never see a partially applied same-shard chain: any snapshot
+/// shows one version across every present key. This replaces the seed's
+/// seqlock torn-batch test — the invariant survives the seqlock's removal
+/// because atomicity now comes from the transaction itself.
 #[test]
-fn same_shard_collisions_are_never_torn_slow_path() {
+fn same_shard_collisions_are_never_torn() {
     let store = Arc::new(LeapStore::<u64>::new(cfg(4, Partitioning::Range, 1_000)));
     // Keys 1, 2, 3 all in shard 0; key 700 in shard 2.
     let keys = [1u64, 2, 3, 700];
@@ -124,10 +130,10 @@ fn same_shard_collisions_are_never_torn_slow_path() {
                 let versions: Vec<u64> = snap.iter().map(|(_, v)| *v).collect();
                 assert!(
                     versions.windows(2).all(|w| w[0] == w[1]),
-                    "slow-path batch torn: {snap:?}"
+                    "collision batch torn: {snap:?}"
                 );
-                // get() must agree with the seqlock too: a key read right
-                // after the range is from version >= the snapshot's.
+                // get() must agree with the snapshot order: a key read
+                // right after the range is from version >= the snapshot's.
                 if let (Some((_, snap_v)), Some(got)) = (snap.first(), store.get(keys[0])) {
                     assert!(got >= *snap_v, "get went backwards: {got} < {snap_v}");
                     seen_any = true;
@@ -144,8 +150,8 @@ fn same_shard_collisions_are_never_torn_slow_path() {
     assert!(reader.join().unwrap(), "reader observed data");
     let stats = store.stats();
     assert!(
-        stats.slow_batches > 0,
-        "collisions must have taken the slow path"
+        stats.collision_batches > 0,
+        "collisions must have been counted"
     );
     assert_eq!(store.range(0, 999).len(), keys.len());
 }
@@ -205,12 +211,14 @@ fn mixed_churn_keeps_structure_coherent() {
     }
 }
 
-/// Writer-vs-slow-batch linearizability: a duplicate-key batch
-/// `[Put(k,10), Put(k,11)]` applies in two rounds; a concurrent single
-/// `put(k, 99)` must never return the batch's intermediate value
-/// `Some(10)` — only states some sequential order explains (`None`
-/// before any batch, `Some(11)` after a batch, or `Some(99)` after a
-/// previous put).
+/// Writer-vs-collision-batch linearizability: a duplicate-key batch
+/// `[Put(k,10), Put(k,11)]` resolves inside one chain rebuild; a
+/// concurrent single `put(k, 99)` must never return the batch's internal
+/// intermediate value `Some(10)` — only states some sequential order
+/// explains (`None` before any batch, `Some(11)` after a batch, or
+/// `Some(99)` after a previous put). The seed enforced this with an
+/// exclusive writer-phase lock; now it follows from the batch being one
+/// transaction, with no writer serialization at all.
 #[test]
 fn single_key_put_never_observes_batch_intermediate() {
     let store = Arc::new(LeapStore::<u64>::new(cfg(4, Partitioning::Range, 1_000)));
@@ -221,7 +229,7 @@ fn single_key_put_never_observes_batch_intermediate() {
         std::thread::spawn(move || {
             let mut batches = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                // Duplicate key -> same shard -> slow path, two rounds.
+                // Duplicate key -> same shard -> multi-op chain rebuild.
                 store.multi_put(&[(k, 10), (k, 11)]);
                 batches += 1;
             }
@@ -247,12 +255,12 @@ fn single_key_put_never_observes_batch_intermediate() {
     stop.store(true, Ordering::Relaxed);
     assert!(batcher_thread.join().unwrap() > 0);
     assert!(putter.join().unwrap() > 0);
-    assert!(store.stats().slow_batches > 0);
+    assert!(store.stats().collision_batches > 0);
 }
 
-/// A documented caller error (`u64::MAX` key) in a would-be slow-path
-/// batch must panic *before* any lock or shard mutation: the store stays
-/// fully usable from other threads afterwards.
+/// A documented caller error (`u64::MAX` key) in a collision batch must
+/// panic *before* any shard mutation: the store stays fully usable from
+/// other threads afterwards.
 #[test]
 fn reserved_key_batch_panic_does_not_wedge_the_store() {
     let store = Arc::new(LeapStore::<u64>::new(cfg(4, Partitioning::Range, 1_000)));
@@ -261,7 +269,7 @@ fn reserved_key_batch_panic_does_not_wedge_the_store() {
         let store = store.clone();
         std::thread::spawn(move || {
             // Two reserved keys on one shard: without up-front validation
-            // this would reach the slow path and die mid-rounds.
+            // this would die mid-planning with peers' results unknown.
             store.multi_put(&[(u64::MAX, 1), (u64::MAX, 2)]);
         })
         .join()
@@ -272,7 +280,11 @@ fn reserved_key_batch_panic_does_not_wedge_the_store() {
     assert_eq!(store.put(2, 2), None);
     assert_eq!(store.range(0, 999), vec![(1, 1), (2, 2)]);
     assert_eq!(store.multi_put(&[(3, 3), (3, 4)]), vec![None, Some(3)]);
-    assert_eq!(store.stats().slow_batches, 1, "only the valid batch ran");
+    assert_eq!(
+        store.stats().collision_batches,
+        1,
+        "only the valid batch ran"
+    );
 }
 
 /// The batcher front-end under concurrency: results must match what the

@@ -244,6 +244,7 @@ fn bench_harness_smoke() {
             span_min: 5,
             span_max: 25,
             key_dist: Default::default(),
+            batch_keys: Default::default(),
         };
         let cfg = RunCfg {
             threads: 2,

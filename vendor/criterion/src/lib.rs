@@ -72,6 +72,7 @@ pub struct Bencher {
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
+    smoke: bool,
     /// Median and mean ns/iter plus sample count, filled by [`Bencher::iter`].
     result: Option<(f64, f64, usize)>,
 }
@@ -79,7 +80,16 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, first calibrating during the warm-up period, then
     /// taking `sample_size` samples spread over the measurement period.
+    ///
+    /// In smoke mode (`--test`, matching real criterion) the routine runs
+    /// exactly once with no timing — just enough to prove the benchmark
+    /// target still works.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            self.result = Some((0.0, 0.0, 1));
+            return;
+        }
         // Warm-up doubles as calibration: count how many iterations fit.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -112,6 +122,7 @@ pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    smoke: bool,
     _criterion: &'a mut Criterion,
     _marker: std::marker::PhantomData<M>,
 }
@@ -150,6 +161,7 @@ impl<M> BenchmarkGroup<'_, M> {
             warm_up: self.warm_up,
             measurement: self.measurement,
             sample_size: self.sample_size,
+            smoke: self.smoke,
             result: None,
         };
         f(&mut b);
@@ -193,12 +205,17 @@ pub enum Throughput {
 
 /// The benchmark harness entry point.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    smoke: bool,
+}
 
 impl Criterion {
-    /// Accepts and ignores CLI arguments (`cargo bench -- <filter>`),
-    /// matching real criterion's builder signature.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads CLI arguments (`cargo bench -- <flags>`). Only `--test` is
+    /// honoured (run every benchmark routine once, untimed — real
+    /// criterion's smoke mode, used by CI to keep bench targets from
+    /// rotting); all other flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -212,6 +229,7 @@ impl Criterion {
             sample_size: 20,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_millis(800),
+            smoke: self.smoke,
             _criterion: self,
             _marker: std::marker::PhantomData,
         }
@@ -270,6 +288,19 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0, "routine never executed");
+    }
+
+    #[test]
+    fn smoke_mode_runs_routine_exactly_once() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0u64;
+        c.benchmark_group("t").bench_function("s", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert_eq!(ran, 1, "smoke mode must run one untimed iteration");
     }
 
     #[test]
