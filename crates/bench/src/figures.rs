@@ -4,10 +4,11 @@
 
 use crate::driver::{run_throughput, RunCfg};
 use crate::scale::Scale;
-use crate::target::{make_store_target, make_target, Algo, BenchTarget};
+use crate::target::{make_reshard_store_target, make_store_target, make_target, Algo, BenchTarget};
 use crate::workload::{Mix, Workload};
 use leap_store::Partitioning;
 use leaplist::Params;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One plotted line.
@@ -391,44 +392,76 @@ impl StoreFigure {
 /// for both partitioning modes, under uniform and zipfian (θ = 0.99) key
 /// distributions, plus the `batch_collide` scenario (adjacent-key batches
 /// on range partitioning: nearly every transaction piles its keys onto
-/// one shard, the multi-op chain-rebuild path). Each series additionally
-/// captures p50/p95/p99 per-op latency at the fixed thread count.
+/// one shard, the multi-op chain-rebuild path), plus `Store-reshard`
+/// (zipfian load on range partitioning **with a background rebalancer**
+/// splitting the hot shard and merging cold pairs mid-measurement). Each
+/// series additionally captures p50/p95/p99 per-op latency at the fixed
+/// thread count.
 pub fn leapstore(scale: &Scale) -> StoreFigure {
     let shards = 4;
     let key_space = scale.elements.max(2);
     let mix = Mix::store_mixed();
-    let scenarios: [(&'static str, Partitioning, Workload); 5] = [
+    let scenarios: [(&'static str, Partitioning, Workload, bool); 6] = [
         (
             "Store-hash",
             Partitioning::Hash,
             Workload::paper(mix, key_space),
+            false,
         ),
         (
             "Store-range",
             Partitioning::Range,
             Workload::paper(mix, key_space),
+            false,
         ),
         (
             "Store-hash-zipf",
             Partitioning::Hash,
             Workload::zipfian(mix, key_space, 0.99),
+            false,
         ),
         (
             "Store-range-zipf",
             Partitioning::Range,
             Workload::zipfian(mix, key_space, 0.99),
+            false,
         ),
         (
             "Store-collide",
             Partitioning::Range,
             Workload::colliding(mix, key_space),
+            false,
+        ),
+        (
+            "Store-reshard",
+            Partitioning::Range,
+            Workload::zipfian(mix, key_space, 0.99),
+            true,
         ),
     ];
     let mut series = Vec::new();
     let mut stats = Vec::new();
-    for (label, mode, wl) in scenarios {
-        let target = make_store_target(shards, mode, key_space, paper_params());
+    for (label, mode, wl, reshard) in scenarios {
+        let target = if reshard {
+            make_reshard_store_target(shards, key_space, paper_params())
+        } else {
+            make_store_target(shards, mode, key_space, paper_params())
+        };
         target.prefill(scale.elements);
+        // The reshard series runs a background driver for its whole
+        // measurement (sweep and latency pass): the store splits and
+        // merges shards while the measured threads hammer it.
+        let stop = Arc::new(AtomicBool::new(false));
+        let driver = reshard.then(|| {
+            let (t, stop) = (target.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !t.rebalance_step() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            })
+        });
         let mut points = Vec::new();
         for &t in &scale.threads {
             let ops = run_throughput(&target, &wl, &cfg(scale, t));
@@ -438,6 +471,10 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
         // recorded op counts and abort rate describe the sweep alone.
         let store_json = target.stats_json().expect("store target always has stats");
         let lat = crate::driver::run_latency(&target, &wl, &cfg(scale, scale.fixed_threads));
+        stop.store(true, Ordering::Relaxed);
+        if let Some(d) = driver {
+            d.join().expect("rebalance driver panicked");
+        }
         series.push(Series { label, points });
         stats.push((
             label,
@@ -452,7 +489,7 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             id: "leapstore",
             title: format!(
                 "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
-                 {shards} shards, {} elements, uniform/zipf/collide ({})",
+                 {shards} shards, {} elements, uniform/zipf/collide/reshard ({})",
                 scale.elements, scale.name
             ),
             x_label: "threads",
@@ -541,15 +578,15 @@ mod tests {
         let f = leapstore(&tiny());
         assert_eq!(
             f.figure.series.len(),
-            5,
-            "hash/range × uniform/zipf plus collide"
+            6,
+            "hash/range × uniform/zipf plus collide plus reshard"
         );
         for s in &f.figure.series {
             for (_, ops) in &s.points {
                 assert!(*ops > 0.0, "{} produced zero throughput", s.label);
             }
         }
-        assert_eq!(f.stats.len(), 5);
+        assert_eq!(f.stats.len(), 6);
         for (label, json) in &f.stats {
             assert!(json.contains("\"store\":{"), "{label}: {json}");
             assert!(json.contains("\"shards\":["), "{label}: {json}");
@@ -563,5 +600,16 @@ mod tests {
         assert!(table.contains("stats Store-range {"));
         assert!(table.contains("stats Store-hash-zipf {"));
         assert!(table.contains("stats Store-collide {"));
+        assert!(table.contains("stats Store-reshard {"));
+        let (_, reshard_json) = f
+            .stats
+            .iter()
+            .find(|(l, _)| *l == "Store-reshard")
+            .expect("reshard series present");
+        assert!(
+            reshard_json.contains("\"epoch\":"),
+            "reshard stats carry the routing epoch: {reshard_json}"
+        );
+        assert!(reshard_json.contains("\"migrations_completed\":"));
     }
 }

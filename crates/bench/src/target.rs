@@ -2,7 +2,7 @@
 //! interface, so the driver and figure sweeps are algorithm-agnostic.
 
 use leap_skiplist::{CasSkipList, TmSkipList};
-use leap_store::{LeapStore, Partitioning, StoreConfig};
+use leap_store::{LeapStore, Partitioning, RebalanceAction, RebalancePolicy, StoreConfig};
 use leaplist::{LeapListCop, LeapListLt, LeapListRwlock, LeapListTm, Params};
 use std::sync::Arc;
 
@@ -77,6 +77,13 @@ pub trait BenchTarget: Send + Sync {
     /// rates for LeapStore); `None` for targets without a stats surface.
     fn stats_json(&self) -> Option<String> {
         None
+    }
+    /// Advances the target's shard rebalancer by one bounded action;
+    /// returns whether anything happened. `false` for targets without
+    /// online resharding — a background driver can poll this and sleep
+    /// when idle.
+    fn rebalance_step(&self) -> bool {
+        false
     }
 }
 
@@ -222,6 +229,9 @@ impl BenchTarget for StoreTarget {
     fn stats_json(&self) -> Option<String> {
         Some(self.store.stats().to_json())
     }
+    fn rebalance_step(&self) -> bool {
+        self.store.rebalance_step() != RebalanceAction::Idle
+    }
 }
 
 /// Builds a LeapStore target with explicit placement configuration: use
@@ -239,6 +249,35 @@ pub fn make_store_target(
             StoreConfig::new(shards, partitioning)
                 .with_key_space(key_space)
                 .with_params(params),
+        ),
+        shards,
+    })
+}
+
+/// Builds a range-partitioned LeapStore target with an **aggressive
+/// rebalancing policy**, for the resharding benchmark series. The
+/// declared key space is `shards ×` the workload's key range, so the
+/// initial table concentrates the whole workload (prefill and all
+/// sampled keys) on shard 0 — the hot-shard scenario a background thread
+/// driving [`BenchTarget::rebalance_step`] must repair, splitting the hot
+/// shard (and re-merging cold pairs) while the measured threads run.
+pub fn make_reshard_store_target(
+    shards: usize,
+    key_space: u64,
+    params: Params,
+) -> Arc<dyn BenchTarget> {
+    Arc::new(StoreTarget {
+        store: LeapStore::new(
+            StoreConfig::new(shards, Partitioning::Range)
+                .with_key_space(key_space.saturating_mul(shards as u64))
+                .with_params(params)
+                .with_rebalancing(RebalancePolicy {
+                    chunk: 256,
+                    split_ratio: 1.5,
+                    merge_ratio: 0.4,
+                    min_split_keys: 128,
+                    max_shards: 32,
+                }),
         ),
         shards,
     })

@@ -326,45 +326,91 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     /// Panics if the slices differ in length, the group is empty, any
     /// `hi == u64::MAX`, or the lists do not share one domain.
     pub fn range_query_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<Vec<(u64, V)>> {
-        // SAFETY (closure): node pointers are guard-protected by
-        // `group_snapshot` for the closure's whole call.
-        Self::group_snapshot(lists, ranges, |nodes, ilo, ihi| unsafe {
-            common::extract_pairs(nodes, ilo, ihi)
-        })
+        // SAFETY (closures): node pointers are guard-protected by
+        // `group_snapshot` for both closures' whole calls.
+        Self::group_snapshot(
+            lists,
+            ranges,
+            |tx, start, _ilo, ihi| unsafe { common::collect_range(tx, start, ihi) },
+            |nodes, ilo, ihi| unsafe { common::extract_pairs(&nodes, ilo, ihi) },
+        )
+    }
+
+    /// A bounded **page** of a linearizable multi-list range query: like
+    /// [`LeapListLt::range_query_group`] but each list yields at most
+    /// `limit` pairs, and the transactional walk stops as soon as the page
+    /// is full — a page over a million-key range costs `O(limit / K)`
+    /// instrumented node accesses per list, not `O(range / K)`. The caller
+    /// resumes from `last_key + 1`; each page is its own consistent
+    /// snapshot (the cursor contract a store scan needs).
+    ///
+    /// # Panics
+    ///
+    /// As for [`LeapListLt::range_query_group`], plus if `limit` is zero
+    /// (an empty page cannot carry a resume key).
+    pub fn range_page_group(
+        lists: &[&Self],
+        ranges: &[(u64, u64)],
+        limit: usize,
+    ) -> Vec<Vec<(u64, V)>> {
+        assert!(limit > 0, "a page must hold at least one pair");
+        // SAFETY (closures): as for `range_query_group`.
+        Self::group_snapshot(
+            lists,
+            ranges,
+            |tx, start, ilo, ihi| unsafe {
+                common::collect_range_bounded(tx, start, ilo, ihi, limit)
+            },
+            |nodes, ilo, ihi| {
+                let mut pairs = unsafe { common::extract_pairs(&nodes, ilo, ihi) };
+                pairs.truncate(limit);
+                pairs
+            },
+        )
+    }
+
+    /// Single-list page: up to `limit` pairs with keys in `[lo, hi]`,
+    /// ascending, from one consistent snapshot. See
+    /// [`LeapListLt::range_page_group`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX` or `limit` is zero.
+    pub fn range_page(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
+        Self::range_page_group(&[self], &[(lo, hi)], limit)
+            .pop()
+            .expect("one list yields one result")
     }
 
     /// Like [`LeapListLt::range_query_group`] but returns only the number
-    /// of pairs per list, cloning no values.
+    /// of pairs per list: the count accumulates inside the transactional
+    /// walk itself — no value clones and no node buffer.
     ///
     /// # Panics
     ///
     /// As for [`LeapListLt::range_query_group`].
     pub fn count_range_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<usize> {
-        Self::group_snapshot(lists, ranges, |nodes, ilo, ihi| {
-            nodes
-                .iter()
-                .map(|&n| {
-                    // SAFETY: guard-protected node; data immutable.
-                    let node = unsafe { &*n };
-                    let start = node.data.partition_point(|(k, _)| *k < ilo);
-                    node.data[start..]
-                        .iter()
-                        .take_while(|(k, _)| *k <= ihi)
-                        .count()
-                })
-                .sum()
-        })
+        // SAFETY (closure): as for `range_query_group`.
+        Self::group_snapshot(
+            lists,
+            ranges,
+            |tx, start, ilo, ihi| unsafe { common::count_range_tx(tx, start, ilo, ihi) },
+            |count, _, _| count,
+        )
     }
 
-    /// Shared engine of the group queries: collect every list's node chain
-    /// inside one transaction, then run `extract` over each chain (still
-    /// under the epoch guard) once the snapshot committed. `extract`
-    /// receives `(nodes, ilo, ihi)` in internal-key space; it must only
-    /// dereference the given nodes.
-    fn group_snapshot<R: Default>(
+    /// Shared engine of the group queries: run `collect` over every list
+    /// inside one transaction (its commit is the snapshot's linearization
+    /// point), then map each list's collected state through `extract`,
+    /// still under the epoch guard. Arguments after the transaction /
+    /// start node are `(ilo, ihi)` in internal-key space; `collect` must
+    /// only traverse validated pointers and `extract` must only
+    /// dereference nodes `collect` captured.
+    fn group_snapshot<C, R: Default>(
         lists: &[&Self],
         ranges: &[(u64, u64)],
-        extract: impl Fn(&[*mut Node<V>], u64, u64) -> R,
+        collect: impl for<'t> Fn(&mut Txn<'t>, *mut Node<V>, u64, u64) -> TxResult<C>,
+        extract: impl Fn(C, u64, u64) -> R,
     ) -> Vec<R> {
         assert_eq!(lists.len(), ranges.len());
         let first = lists.first().expect("group must be non-empty");
@@ -396,22 +442,20 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             // One transaction validates every list's node chain; its commit
             // is the snapshot's linearization point.
             let mut tx = Txn::begin(&first.domain);
-            let collected: TxResult<Vec<Option<Vec<*mut Node<V>>>>> = starts
+            let collected: TxResult<Vec<Option<C>>> = starts
                 .iter()
                 .map(|s| match s {
                     None => Ok(None),
-                    Some((start, _, ihi)) => {
-                        unsafe { common::collect_range(&mut tx, *start, *ihi) }.map(Some)
-                    }
+                    Some((start, ilo, ihi)) => collect(&mut tx, *start, *ilo, *ihi).map(Some),
                 })
                 .collect();
             if let Ok(per_list) = collected {
                 if tx.commit().is_ok() {
                     return per_list
-                        .iter()
+                        .into_iter()
                         .zip(starts.iter())
-                        .map(|(nodes, s)| match (nodes, s) {
-                            (Some(nodes), Some((_, ilo, ihi))) => extract(nodes, *ilo, *ihi),
+                        .map(|(c, s)| match (c, s) {
+                            (Some(c), Some((_, ilo, ihi))) => extract(c, *ilo, *ihi),
                             _ => R::default(),
                         })
                         .collect();
@@ -715,6 +759,46 @@ mod tests {
         let counts = LeapListLt::count_range_group(&refs, &ranges);
         assert_eq!(counts, vec![pairs[0].len(), pairs[1].len()]);
         assert_eq!(counts, vec![16, 0], "inverted range counts zero");
+    }
+
+    #[test]
+    fn range_page_bounds_and_resumes() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..100u64 {
+            l.update(k * 2, k);
+        }
+        // Pages tile the full range when resumed from last_key + 1.
+        let mut collected = Vec::new();
+        let mut lo = 0u64;
+        loop {
+            let page = l.range_page(lo, 198, 7);
+            assert!(page.len() <= 7, "page overflowed its limit");
+            let Some(&(last, _)) = page.last() else { break };
+            collected.extend(page);
+            lo = last + 1;
+        }
+        assert_eq!(collected, l.range_query(0, 198));
+        // A page over a huge range still returns promptly and bounded.
+        assert_eq!(l.range_page(0, u64::MAX - 1, 3).len(), 3);
+        assert_eq!(l.range_page(50, 40, 5), vec![], "inverted range is empty");
+        // Group form: per-list limits apply independently.
+        let lists = LeapListLt::<u64>::group(2, small());
+        for k in 0..20u64 {
+            lists[0].update(k, k);
+            lists[1].update(k + 100, k);
+        }
+        let refs: Vec<&LeapListLt<u64>> = lists.iter().collect();
+        let pages = LeapListLt::range_page_group(&refs, &[(0, 99), (0, 999)], 4);
+        assert_eq!(pages[0].len(), 4);
+        assert_eq!(pages[1].len(), 4);
+        assert_eq!(pages[1][0].0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn zero_limit_page_rejected() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        l.range_page(0, 10, 0);
     }
 
     #[test]

@@ -12,6 +12,13 @@
 //! coalesced ops and halves toward zero when the combiner found itself
 //! alone, so an idle caller never pays latency for company that is not
 //! coming.
+//!
+//! The window is additionally **latency-aware**: the combiner times every
+//! drain, and a coalesced drain only doubles the window when its latency
+//! did not degrade against the previous drain's — batching that makes the
+//! underlying transactions slower (e.g. chain rebuilds colliding on one
+//! node) stops growing instead of compounding. [`BatcherStats::p99_ns`]
+//! exposes the p99 drain latency over a sliding window of recent drains.
 
 use crate::store::LeapStore;
 use leaplist::BatchOp;
@@ -27,16 +34,37 @@ const WINDOW_BASE_NS: u64 = 1_000;
 const WINDOW_MAX_NS: u64 = 20_000;
 /// Queue population at which the combiner stops waiting and drains.
 const COALESCE_CAP: usize = 8;
+/// Drain latencies kept for the sliding p99 window.
+const LAT_WINDOW: usize = 64;
 
 /// Next combining window: double (from at least the base) whenever the
-/// drain actually coalesced, decay toward zero when the combiner was
-/// alone.
-fn next_window(cur: u64, batch: usize) -> u64 {
-    if batch >= 2 {
-        cur.saturating_mul(2).clamp(WINDOW_BASE_NS, WINDOW_MAX_NS)
-    } else {
-        cur / 2
+/// drain actually coalesced **and** did not run slower than the previous
+/// drain (25% tolerance — waiting longer to build batches that commit
+/// slower is a loss on both axes); hold when coalescing degraded latency;
+/// decay toward zero when the combiner was alone.
+fn next_window(cur: u64, batch: usize, drain_ns: u64, prev_drain_ns: u64) -> u64 {
+    if batch < 2 {
+        return cur / 2;
     }
+    let degraded = prev_drain_ns > 0 && drain_ns > prev_drain_ns.saturating_add(prev_drain_ns / 4);
+    if degraded {
+        cur
+    } else {
+        cur.saturating_mul(2).clamp(WINDOW_BASE_NS, WINDOW_MAX_NS)
+    }
+}
+
+/// p99 over the recorded drain latencies (0 when none recorded):
+/// nearest-rank, i.e. the smallest value with at least 99% of samples at
+/// or below it — for small sample counts this is the maximum, never an
+/// underestimate of the tail.
+fn p99(lats: &[u64]) -> u64 {
+    if lats.is_empty() {
+        return 0;
+    }
+    let mut sorted = lats.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() * 99).div_ceil(100) - 1]
 }
 
 /// Panic payload re-raised to the submitter of an op that poisoned a
@@ -101,6 +129,9 @@ pub struct BatcherStats {
     /// Current adaptive combining window in nanoseconds (0 = drain
     /// immediately).
     pub window_ns: u64,
+    /// p99 drain latency in nanoseconds over a sliding window of recent
+    /// drains (0 until the first drain).
+    pub p99_ns: u64,
 }
 
 impl BatcherStats {
@@ -148,6 +179,11 @@ pub struct Batcher<V> {
     batches: AtomicU64,
     ops: AtomicU64,
     max_batch: AtomicU64,
+    /// Latency of the most recent drain (the doubling guard's baseline).
+    prev_drain_ns: AtomicU64,
+    /// Sliding window of recent drain latencies (ring buffer + write
+    /// cursor); only the combiner writes, so the lock is uncontended.
+    drain_lats: Mutex<(Vec<u64>, usize)>,
 }
 
 impl<V: Clone + Send + Sync + 'static> Batcher<V> {
@@ -162,6 +198,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             batches: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            prev_drain_ns: AtomicU64::new(0),
+            drain_lats: Mutex::new((Vec::with_capacity(LAT_WINDOW), 0)),
         }
     }
 
@@ -192,12 +230,37 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
 
     /// Coalescing counters.
     pub fn stats(&self) -> BatcherStats {
+        let p99_ns = {
+            let lats = self
+                .drain_lats
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            p99(&lats.0)
+        };
         BatcherStats {
             batches: self.batches.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             window_ns: self.window_ns.load(Ordering::Relaxed),
+            p99_ns,
         }
+    }
+
+    /// Records one drain's latency into the sliding window and the
+    /// previous-drain baseline.
+    fn record_drain(&self, drain_ns: u64) {
+        self.prev_drain_ns.store(drain_ns, Ordering::Relaxed);
+        let mut lats = self
+            .drain_lats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cursor = lats.1;
+        if lats.0.len() < LAT_WINDOW {
+            lats.0.push(drain_ns);
+        } else {
+            lats.0[cursor % LAT_WINDOW] = drain_ns;
+        }
+        lats.1 = cursor.wrapping_add(1);
     }
 
     fn submit(&self, op: BatchOp<V>) -> Option<V> {
@@ -257,8 +320,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         };
         debug_assert!(!drained.is_empty(), "our own op must still be queued");
         self.queue_len.fetch_sub(drained.len(), Ordering::Relaxed);
-        self.window_ns
-            .store(next_window(window, drained.len()), Ordering::Relaxed);
+        let drain_size = drained.len();
         // Probe every op's clone before combining a multi-op batch: a
         // panicking `V::Clone` (the only way `apply` can panic pre-commit
         // after up-front key validation) is caught here with its batch
@@ -292,6 +354,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             // If apply still panics (e.g. a clone that fails only on its
             // second call), tell every carried peer before re-raising, so
             // none of them waits on a slot that will never be filled.
+            let drain_started = Instant::now();
             let results =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.store.apply(&ops)))
                     .unwrap_or_else(|payload| {
@@ -300,6 +363,16 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                         }
                         std::panic::resume_unwind(payload);
                     });
+            // Latency-aware window adaptation: a coalesced drain that ran
+            // slower than the previous one holds the window instead of
+            // doubling it (see `next_window`).
+            let drain_ns = drain_started.elapsed().as_nanos() as u64;
+            let prev_ns = self.prev_drain_ns.load(Ordering::Relaxed);
+            self.window_ns.store(
+                next_window(window, drain_size, drain_ns, prev_ns),
+                Ordering::Relaxed,
+            );
+            self.record_drain(drain_ns);
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
             self.max_batch
@@ -311,6 +384,12 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                     *lock_slot(&p) = Some(Outcome::Done(r));
                 }
             }
+        }
+        if ops.is_empty() {
+            // Every drained op was poisoned: no apply ran, so there is no
+            // latency signal; decay as if the combiner were alone.
+            self.window_ns
+                .store(next_window(window, 1, 0, 0), Ordering::Relaxed);
         }
         if let Some(poisoned) = own_poison {
             std::panic::panic_any(poisoned);
@@ -365,17 +444,62 @@ mod tests {
     #[test]
     fn window_doubles_on_coalescing_and_decays_alone() {
         // Growth: any coalesced drain opens the window from zero…
-        assert_eq!(next_window(0, 2), WINDOW_BASE_NS);
+        assert_eq!(next_window(0, 2, 100, 100), WINDOW_BASE_NS);
         // …then doubles…
-        assert_eq!(next_window(WINDOW_BASE_NS, 3), 2 * WINDOW_BASE_NS);
+        assert_eq!(next_window(WINDOW_BASE_NS, 3, 100, 100), 2 * WINDOW_BASE_NS);
         // …up to the cap.
-        assert_eq!(next_window(WINDOW_MAX_NS, 9), WINDOW_MAX_NS);
-        assert_eq!(next_window(u64::MAX, 2), WINDOW_MAX_NS);
+        assert_eq!(next_window(WINDOW_MAX_NS, 9, 100, 100), WINDOW_MAX_NS);
+        assert_eq!(next_window(u64::MAX, 2, 100, 100), WINDOW_MAX_NS);
         // Decay: solo drains halve toward zero and stay there.
-        assert_eq!(next_window(WINDOW_BASE_NS, 1), WINDOW_BASE_NS / 2);
-        assert_eq!(next_window(1, 1), 0);
-        assert_eq!(next_window(0, 1), 0);
-        assert_eq!(next_window(0, 0), 0);
+        assert_eq!(next_window(WINDOW_BASE_NS, 1, 100, 100), WINDOW_BASE_NS / 2);
+        assert_eq!(next_window(1, 1, 100, 100), 0);
+        assert_eq!(next_window(0, 1, 100, 100), 0);
+        assert_eq!(next_window(0, 0, 100, 100), 0);
+    }
+
+    #[test]
+    fn window_holds_when_latency_degrades() {
+        // A coalesced drain 25%+ slower than the previous one holds the
+        // window instead of doubling.
+        assert_eq!(next_window(WINDOW_BASE_NS, 4, 126, 100), WINDOW_BASE_NS);
+        // Within tolerance (or faster): doubling proceeds.
+        assert_eq!(next_window(WINDOW_BASE_NS, 4, 125, 100), 2 * WINDOW_BASE_NS);
+        assert_eq!(next_window(WINDOW_BASE_NS, 4, 60, 100), 2 * WINDOW_BASE_NS);
+        // No baseline yet: doubling proceeds.
+        assert_eq!(next_window(WINDOW_BASE_NS, 4, 500, 0), 2 * WINDOW_BASE_NS);
+        // Degradation never blocks the solo decay path.
+        assert_eq!(next_window(WINDOW_BASE_NS, 1, 900, 100), WINDOW_BASE_NS / 2);
+    }
+
+    #[test]
+    fn p99_percentile_over_recent_drains() {
+        assert_eq!(p99(&[]), 0);
+        assert_eq!(p99(&[7]), 7);
+        let lats: Vec<u64> = (1..=100).collect();
+        assert_eq!(p99(&lats), 99, "nearest rank: ceil(0.99 × 100) = 99th");
+        assert_eq!(
+            p99(&[5, 1_000]),
+            1_000,
+            "few samples: the tail is the maximum, never underestimated"
+        );
+        assert_eq!(p99(&(1..=64).collect::<Vec<u64>>()), 64);
+    }
+
+    #[test]
+    fn stats_expose_drain_p99() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Batcher::new(store);
+        assert_eq!(b.stats().p99_ns, 0, "no drains yet");
+        for k in 0..20u64 {
+            b.put(k, k);
+        }
+        assert!(b.stats().p99_ns > 0, "drains recorded a latency");
+        // The ring stays bounded.
+        let lats = b.drain_lats.lock().unwrap();
+        assert!(lats.0.len() <= LAT_WINDOW);
     }
 
     #[test]

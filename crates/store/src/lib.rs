@@ -21,11 +21,21 @@
 //! * **Configurable placement** — [`Router`] supports hash and
 //!   contiguous-range partitioning; range mode lets a range query visit
 //!   only the overlapping shards.
+//! * **Live resharding** — range-mode placement is an epoch-versioned
+//!   routing table ([`RoutingEpoch`]): [`LeapStore::split_shard`] /
+//!   [`LeapStore::merge_shards`] migrate key sub-ranges between shards in
+//!   bounded single-transaction chunks while reads and writes proceed,
+//!   driven deterministically ([`LeapStore::rebalance_step`]) or by a
+//!   background [`Rebalancer`] acting on a [`RebalancePolicy`].
+//! * **Paged scans** — [`LeapStore::scan`] returns a [`Cursor`] yielding
+//!   bounded pages, each one linearizable transaction with a resume key:
+//!   huge scans without huge transactions, stable across resharding.
 //! * **Operation batching** — [`Batcher`] flat-combines single-key ops
-//!   from many threads into grouped multi-list transactions.
-//! * **Observability** — [`LeapStore::stats`] exposes per-shard op
-//!   counters plus the shared domain's commit/abort counters
-//!   ([`leap_stm::StatsSnapshot`]).
+//!   from many threads into grouped multi-list transactions, with a
+//!   latency-aware adaptive window.
+//! * **Observability** — [`LeapStore::stats`] exposes per-shard op and
+//!   key counters, routing epoch and migration progress, plus the shared
+//!   domain's commit/abort counters ([`leap_stm::StatsSnapshot`]).
 //!
 //! # Quickstart
 //!
@@ -45,12 +55,16 @@
 #![deny(missing_docs)]
 
 mod batch;
+mod cursor;
+mod rebalance;
 mod router;
 mod stats;
 mod store;
 
 pub use batch::{Batcher, BatcherStats, PoisonedOp};
-pub use router::{Partitioning, Router};
+pub use cursor::{Cursor, DEFAULT_PAGE_SIZE};
+pub use rebalance::{RebalanceAction, RebalanceError, RebalancePolicy, Rebalancer};
+pub use router::{MigrationView, Partitioning, Router, RoutingEpoch};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{LeapStore, StoreConfig};
 

@@ -1,0 +1,579 @@
+//! Online shard migration: splitting hot shards, merging cold ones, and
+//! the bounded-chunk driver that moves keys while the store serves reads
+//! and writes.
+//!
+//! # Protocol
+//!
+//! A migration moves a **suffix** `[lo, hi]` of the source shard's owned
+//! interval into a destination shard (a fresh slot for a split, the
+//! adjacent neighbour for a merge). It proceeds in three phases:
+//!
+//! 1. **Begin** — the router installs a [`crate::MigrationView`] overlay
+//!    under its exclusive writer gate: once `begin` returns, every write
+//!    routes through the overlay. Table ownership does *not* change yet.
+//! 2. **Drain** — [`LeapStore::rebalance_step`] moves up to
+//!    `policy.chunk` keys per call: one page read off the source
+//!    ([`leaplist::LeapListLt::range_page`]) followed by **one**
+//!    cross-list transaction deleting the page from the source and
+//!    inserting it into the destination. Readers therefore never observe
+//!    a key absent or doubled; writers to the migrating range hold the
+//!    same per-migration lock as the chunk mover and commit their own
+//!    cross-list transactions (remove-from-source + write-destination), so
+//!    a racing write can neither be clobbered by a stale chunk nor strand
+//!    a second copy in the source.
+//! 3. **Complete** — when a page comes back empty the range is drained;
+//!    the router installs the next [`crate::RoutingEpoch`] (ownership
+//!    flips to the destination) and clears the overlay, again under the
+//!    exclusive writer gate. A source emptied entirely (merge) parks in
+//!    the free-slot pool for the next split to reuse.
+//!
+//! Linearizable multi-shard reads do not lock anything: they capture the
+//! overlay identity before planning, include **both** sides of an
+//! overlapping migration in their single snapshot transaction, and retry
+//! if a migration began or completed in between (rare lifecycle events,
+//! not per-chunk events).
+
+use crate::router::Partitioning;
+use crate::store::LeapStore;
+use leaplist::{BatchOp, LeapListLt};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+/// Why a split, merge or rebalance step could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// Hash partitioning scatters keys; there are no contiguous
+    /// sub-ranges to migrate.
+    HashPartitioning,
+    /// Another migration is already in flight (at most one at a time).
+    MigrationInFlight,
+    /// A shard index was out of bounds, or source equals destination.
+    BadShard,
+    /// The split key is outside the source shard's owned interval.
+    BadSplitKey,
+    /// The destination's owned interval is not adjacent to the migrating
+    /// range (the table keeps each shard's key set contiguous).
+    NonAdjacent,
+    /// The source shard owns no interval (already merged away).
+    NothingToMove,
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            RebalanceError::HashPartitioning => "hash partitioning cannot be resharded",
+            RebalanceError::MigrationInFlight => "a migration is already in flight",
+            RebalanceError::BadShard => "shard index out of bounds or source == destination",
+            RebalanceError::BadSplitKey => "split key outside the source shard's interval",
+            RebalanceError::NonAdjacent => "destination interval not adjacent to the range",
+            RebalanceError::NothingToMove => "source shard owns no interval",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+/// Tuning for [`LeapStore::rebalance_step`]'s automatic decisions and for
+/// the chunked drain.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// Maximum keys moved per [`LeapStore::rebalance_step`] call — the
+    /// bound on how long the per-migration write lock is held.
+    pub chunk: usize,
+    /// Auto-split a shard whose key count exceeds `split_ratio ×` the
+    /// mean over interval-owning shards.
+    pub split_ratio: f64,
+    /// Auto-merge two adjacent shards whose combined key count is below
+    /// `merge_ratio ×` the mean.
+    pub merge_ratio: f64,
+    /// Never auto-split a shard holding fewer keys than this.
+    pub min_split_keys: usize,
+    /// Never auto-split once this many shards own intervals.
+    pub max_shards: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            chunk: 128,
+            split_ratio: 2.0,
+            merge_ratio: 0.5,
+            min_split_keys: 64,
+            max_shards: 64,
+        }
+    }
+}
+
+/// What one [`LeapStore::rebalance_step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceAction {
+    /// Nothing to do: no migration in flight and the load is balanced
+    /// (or the store is hash-partitioned).
+    Idle,
+    /// Started splitting `shard` at key `at`; keys `>= at` will migrate
+    /// into `dst`.
+    SplitStarted {
+        /// The hot shard being split.
+        shard: usize,
+        /// First key of the migrating upper half.
+        at: u64,
+        /// Destination slot.
+        dst: usize,
+    },
+    /// Started merging `src`'s whole interval into its neighbour `dst`.
+    MergeStarted {
+        /// The cold shard being drained.
+        src: usize,
+        /// The adjacent shard absorbing it.
+        dst: usize,
+    },
+    /// Moved `keys` keys of the in-flight migration in one transaction.
+    Moved {
+        /// Migration source.
+        src: usize,
+        /// Migration destination.
+        dst: usize,
+        /// Keys moved by this chunk.
+        keys: usize,
+    },
+    /// The in-flight migration drained; routing epoch `epoch` installed.
+    Completed {
+        /// The new routing-table version.
+        epoch: u64,
+    },
+}
+
+impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
+    /// Begins splitting `shard`: keys at or above `at` (a key strictly
+    /// inside the shard's owned interval) will migrate to a fresh slot,
+    /// whose index is returned. The split is **online**: keys move in
+    /// bounded chunks as [`LeapStore::rebalance_step`] is driven; reads
+    /// and writes proceed throughout. Range partitioning only.
+    pub fn split_shard(&self, shard: usize, at: u64) -> Result<usize, RebalanceError> {
+        let _step = self
+            .step_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.split_locked(shard, at)
+    }
+
+    fn split_locked(&self, shard: usize, at: u64) -> Result<usize, RebalanceError> {
+        if self.router().mode() != Partitioning::Range {
+            return Err(RebalanceError::HashPartitioning);
+        }
+        if shard >= self.shards() {
+            return Err(RebalanceError::BadShard);
+        }
+        let (lo, hi) = self
+            .router()
+            .shard_interval(shard)
+            .ok_or(RebalanceError::NothingToMove)?;
+        // A split must leave both sides non-empty intervals.
+        if !(lo + 1..=hi).contains(&at) {
+            return Err(RebalanceError::BadSplitKey);
+        }
+        let dst = self.allocate_slot();
+        match self.router().begin_migration(shard, dst, at) {
+            Ok(_) => Ok(dst),
+            Err(e) => {
+                // The freshly allocated slot owns nothing and is empty:
+                // park it for reuse.
+                self.free_slots
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(dst);
+                Err(e)
+            }
+        }
+    }
+
+    /// Begins merging `src`'s whole owned interval into `dst`, which must
+    /// own the adjacent interval. Online, like [`LeapStore::split_shard`];
+    /// when the drain completes `src` owns nothing and its slot is
+    /// recycled for future splits.
+    pub fn merge_shards(&self, src: usize, dst: usize) -> Result<(), RebalanceError> {
+        let _step = self
+            .step_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.merge_locked(src, dst)
+    }
+
+    fn merge_locked(&self, src: usize, dst: usize) -> Result<(), RebalanceError> {
+        if self.router().mode() != Partitioning::Range {
+            return Err(RebalanceError::HashPartitioning);
+        }
+        if src >= self.shards() || dst >= self.shards() {
+            return Err(RebalanceError::BadShard);
+        }
+        let (lo, _hi) = self
+            .router()
+            .shard_interval(src)
+            .ok_or(RebalanceError::NothingToMove)?;
+        self.router().begin_migration(src, dst, lo).map(|_| ())
+    }
+
+    /// Advances resharding by one bounded action and reports it:
+    ///
+    /// * a migration is in flight → move one chunk (`policy.chunk` keys,
+    ///   one cross-list transaction), or complete the migration if the
+    ///   range has drained;
+    /// * otherwise → consult the [`RebalancePolicy`] against per-shard key
+    ///   counts and start a split of the hottest shard or a merge of the
+    ///   coldest adjacent pair, if either threshold trips;
+    /// * otherwise → [`RebalanceAction::Idle`].
+    ///
+    /// Deterministic and re-entrant: concurrent callers serialize, so a
+    /// test can interleave steps with its own ops one at a time.
+    pub fn rebalance_step(&self) -> RebalanceAction {
+        let _step = self
+            .step_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(m) = self.router().migration_state() {
+            let (src, dst) = (self.list(m.src), self.list(m.dst));
+            let chunk = self.policy.chunk.max(1);
+            let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+            let frontier = m.frontier.load(Ordering::Relaxed);
+            let page = src.range_page(frontier, m.hi, chunk);
+            if page.is_empty() {
+                // Drained. In-range writes go to dst (they hold the same
+                // write lock and commit cross-list), so the source range
+                // stays empty after we release the lock; ownership can
+                // flip safely.
+                drop(guard);
+                let epoch = self.router().complete_migration(&m);
+                if self.router().shard_interval(m.src).is_none() {
+                    self.free_slots
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(m.src);
+                }
+                self.migrations_completed.fetch_add(1, Ordering::Relaxed);
+                return RebalanceAction::Completed { epoch };
+            }
+            // One transaction: the page leaves src and lands in dst, so a
+            // concurrent snapshot (which visits both lists in one
+            // transaction of its own) sees each key exactly once.
+            let rm: Vec<BatchOp<V>> = page.iter().map(|(k, _)| BatchOp::Remove(*k)).collect();
+            let ins: Vec<BatchOp<V>> = page
+                .iter()
+                .map(|(k, v)| BatchOp::Update(*k, v.clone()))
+                .collect();
+            LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &ins]);
+            let last = page.last().expect("non-empty page").0;
+            m.frontier.store(last + 1, Ordering::Relaxed);
+            m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
+            return RebalanceAction::Moved {
+                src: m.src,
+                dst: m.dst,
+                keys: page.len(),
+            };
+        }
+        if self.router().mode() != Partitioning::Range {
+            return RebalanceAction::Idle;
+        }
+        // Load census over interval-owning shards, in key order.
+        let loads: Vec<(usize, u64, u64, u64)> = self
+            .router()
+            .routing()
+            .intervals()
+            .into_iter()
+            .map(|(s, lo, hi)| (s, lo, hi, self.list(s).len() as u64))
+            .collect();
+        let mean = loads.iter().map(|l| l.3).sum::<u64>() as f64 / loads.len() as f64;
+        // Split the hottest shard when it dominates the mean.
+        if loads.len() < self.policy.max_shards {
+            if let Some(&(s, lo, hi, keys)) = loads.iter().max_by_key(|l| l.3) {
+                if keys as f64 > self.policy.split_ratio * mean
+                    && keys as usize >= self.policy.min_split_keys.max(2)
+                    && lo < hi
+                {
+                    // Split at the median key: the last key of the first
+                    // half, found with one bounded page.
+                    let half = (keys as usize / 2).max(1);
+                    let page = self.list(s).range_page(lo, hi, half);
+                    if let Some(&(median, _)) = page.last() {
+                        let at = (median + 1).clamp(lo + 1, hi);
+                        if let Ok(dst) = self.split_locked(s, at) {
+                            return RebalanceAction::SplitStarted { shard: s, at, dst };
+                        }
+                    }
+                }
+            }
+        }
+        // Merge the coldest adjacent pair when both are near-empty.
+        if loads.len() >= 2 {
+            if let Some(w) = loads
+                .windows(2)
+                .min_by_key(|w| w[0].3 + w[1].3)
+                .filter(|w| ((w[0].3 + w[1].3) as f64) < self.policy.merge_ratio * mean)
+            {
+                // Drain the smaller half into the bigger one.
+                let (src, dst) = if w[0].3 <= w[1].3 {
+                    (w[0].0, w[1].0)
+                } else {
+                    (w[1].0, w[0].0)
+                };
+                if self.merge_locked(src, dst).is_ok() {
+                    return RebalanceAction::MergeStarted { src, dst };
+                }
+            }
+        }
+        RebalanceAction::Idle
+    }
+
+    /// Drives [`LeapStore::rebalance_step`] until it reports
+    /// [`RebalanceAction::Idle`]; returns the number of migrations
+    /// completed. Intended for deterministic tests and quiesce points —
+    /// a live system runs a [`Rebalancer`] instead.
+    pub fn rebalance_until_idle(&self) -> u64 {
+        let mut completed = 0;
+        loop {
+            match self.rebalance_step() {
+                RebalanceAction::Idle => return completed,
+                RebalanceAction::Completed { .. } => completed += 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A background thread driving [`LeapStore::rebalance_step`]: sleeps
+/// `interval` whenever the store reports [`RebalanceAction::Idle`],
+/// otherwise steps again immediately. Stopped (and joined) explicitly via
+/// [`Rebalancer::stop`] or implicitly on drop.
+///
+/// # Example
+///
+/// ```
+/// use leap_store::{LeapStore, Partitioning, Rebalancer, StoreConfig};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let store = Arc::new(LeapStore::<u64>::new(
+///     StoreConfig::new(2, Partitioning::Range).with_key_space(1_000),
+/// ));
+/// let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
+/// store.put(5, 50);
+/// let steps = rebalancer.stop();
+/// assert_eq!(store.get(5), Some(50));
+/// assert!(steps < u64::MAX);
+/// ```
+pub struct Rebalancer {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Rebalancer {
+    /// Spawns the driver thread over `store`.
+    pub fn spawn<V: Clone + Send + Sync + 'static>(
+        store: Arc<LeapStore<V>>,
+        interval: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut actions = 0u64;
+            while !flag.load(Ordering::Relaxed) {
+                match store.rebalance_step() {
+                    RebalanceAction::Idle => std::thread::sleep(interval),
+                    _ => actions += 1,
+                }
+            }
+            actions
+        });
+        Rebalancer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread and joins it; returns how many non-idle actions
+    /// (chunks moved, splits/merges started, completions) it performed.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("handle present until stop/drop")
+            .join()
+            .expect("rebalancer thread panicked")
+    }
+}
+
+impl Drop for Rebalancer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use leaplist::Params;
+
+    fn cfg(shards: usize) -> StoreConfig {
+        StoreConfig::new(shards, Partitioning::Range)
+            .with_key_space(1_000)
+            .with_params(Params {
+                node_size: 4,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            })
+            .with_rebalancing(RebalancePolicy {
+                chunk: 16,
+                ..RebalancePolicy::default()
+            })
+    }
+
+    #[test]
+    fn split_migrates_and_flips_ownership() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2));
+        for k in 0..100u64 {
+            store.put(k, k * 3);
+        }
+        // All 100 keys sit in shard 0 ([0, 499]).
+        assert_eq!(store.shard(0).len(), 100);
+        let dst = store.split_shard(0, 50).expect("valid split");
+        assert_eq!(dst, 2, "fresh slot appended");
+        assert_eq!(store.router().migration().unwrap().lo, 50);
+        // Reads and writes work mid-migration, chunk by chunk.
+        let mut moved_some = false;
+        loop {
+            match store.rebalance_step() {
+                RebalanceAction::Moved { keys, .. } => {
+                    moved_some = true;
+                    assert!(keys <= 16, "chunk bound respected");
+                    assert_eq!(store.get(75), Some(225), "mid-migration read");
+                    assert_eq!(store.range(0, 999).len(), 100);
+                }
+                RebalanceAction::Completed { epoch } => {
+                    assert_eq!(epoch, 1);
+                    break;
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert!(moved_some);
+        assert_eq!(store.router().epoch(), 1);
+        assert_eq!(store.router().shard_of(75), 2);
+        assert_eq!(store.router().shard_of(25), 0);
+        assert_eq!(store.shard(0).len(), 50);
+        assert_eq!(store.shard(2).len(), 50);
+        assert_eq!(store.range(0, 999).len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(store.get(k), Some(k * 3), "key {k}");
+        }
+        let st = store.stats();
+        assert_eq!(st.migrations_completed, 1);
+        assert_eq!(st.epoch, 1);
+    }
+
+    #[test]
+    fn writes_during_migration_land_in_the_destination() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2));
+        for k in 0..64u64 {
+            store.put(k, 1);
+        }
+        store.split_shard(0, 32).expect("split");
+        // One chunk only: the migration stays in flight.
+        assert!(matches!(
+            store.rebalance_step(),
+            RebalanceAction::Moved { .. }
+        ));
+        // Overwrite a migrating-range key and insert a fresh one: both
+        // must route through the overlay into the destination.
+        assert_eq!(store.put(40, 2), Some(1));
+        assert_eq!(store.delete(45), Some(1));
+        assert_eq!(store.put(460, 9), None, "fresh in-range key");
+        assert_eq!(store.get(40), Some(2));
+        assert_eq!(store.get(45), None);
+        let before = store.range(0, 999);
+        store.rebalance_until_idle();
+        assert_eq!(store.range(0, 999), before, "completion moves no data");
+        assert_eq!(store.get(40), Some(2));
+        assert_eq!(store.get(460), Some(9));
+        assert_eq!(store.shard(0).range_query(32, 499), vec![], "src drained");
+    }
+
+    #[test]
+    fn merge_drains_into_neighbour_and_recycles_the_slot() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(4));
+        for k in 0..200u64 {
+            store.put(k * 5 % 1000, k);
+        }
+        let len_before = store.len();
+        store.merge_shards(1, 0).expect("adjacent merge");
+        store.rebalance_until_idle();
+        assert_eq!(store.router().shard_interval(1), None);
+        assert_eq!(store.len(), len_before);
+        assert!(store.shard(1).is_empty());
+        // The freed slot is reused by the next split.
+        let dst = store.split_shard(0, 250).expect("resplit");
+        assert_eq!(dst, 1, "merge-emptied slot recycled");
+        store.rebalance_until_idle();
+        assert_eq!(store.len(), len_before);
+        assert_eq!(store.router().shard_of(300), 1);
+    }
+
+    #[test]
+    fn policy_splits_hot_and_merges_cold() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(4));
+        // Pile 300 keys into shard 0's interval, 2 into shard 1's.
+        for k in 0..240u64 {
+            store.put(k, k);
+        }
+        store.put(300, 1);
+        store.put(600, 1);
+        let spread_before = store.stats().key_spread();
+        let completed = store.rebalance_until_idle();
+        assert!(completed >= 1, "policy must have acted");
+        let st = store.stats();
+        assert!(
+            st.key_spread() < spread_before,
+            "spread must narrow: {} -> {}",
+            spread_before,
+            st.key_spread()
+        );
+        assert_eq!(store.len(), 242);
+        assert_eq!(store.range(0, 999).len(), 242);
+    }
+
+    #[test]
+    fn rebalance_errors_are_reported() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2));
+        assert_eq!(store.split_shard(9, 10), Err(RebalanceError::BadShard));
+        assert_eq!(store.split_shard(0, 0), Err(RebalanceError::BadSplitKey));
+        assert_eq!(
+            store.split_shard(0, 700),
+            Err(RebalanceError::BadSplitKey),
+            "split key inside shard 1's interval"
+        );
+        assert_eq!(store.merge_shards(9, 0), Err(RebalanceError::BadShard));
+        assert_eq!(store.merge_shards(0, 9), Err(RebalanceError::BadShard));
+        let hash: LeapStore<u64> = LeapStore::new(StoreConfig::new(2, Partitioning::Hash));
+        assert_eq!(
+            hash.split_shard(0, 10),
+            Err(RebalanceError::HashPartitioning)
+        );
+        assert_eq!(
+            hash.merge_shards(0, 1),
+            Err(RebalanceError::HashPartitioning)
+        );
+        assert_eq!(hash.rebalance_step(), RebalanceAction::Idle);
+        store.split_shard(0, 100).expect("valid");
+        assert_eq!(
+            store.split_shard(1, 600),
+            Err(RebalanceError::MigrationInFlight)
+        );
+        store.rebalance_until_idle();
+        assert!(format!("{}", RebalanceError::NonAdjacent).contains("adjacent"));
+    }
+}

@@ -1,19 +1,214 @@
 //! The shard router: deterministic key → shard placement plus the inverse
 //! question a range query asks — *which shards can hold keys in `[lo, hi]`?*
+//!
+//! Since live resharding landed, range-mode placement is no longer a fixed
+//! arithmetic function but an **epoch-versioned routing table**
+//! ([`RoutingEpoch`]): a sorted list of interval starts with one owning
+//! shard slot per interval. Splitting a hot shard or merging a cold pair
+//! installs a new table (epoch + 1) *after* the keys have migrated; while a
+//! migration is in flight the router carries an **overlay**
+//! ([`MigrationState`]) naming the source, destination and migrating
+//! sub-range, so the store can consult source-then-destination for keys
+//! whose new home is still filling up.
+
+use crate::rebalance::RebalanceError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// How the keyspace is partitioned across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Partitioning {
     /// Keys scatter by a Fibonacci hash: uniform load under any key
-    /// distribution, but every range query must visit every shard.
+    /// distribution, but every range query must visit every shard and the
+    /// placement cannot be resharded (there are no contiguous sub-ranges
+    /// to migrate).
     Hash,
-    /// Contiguous slices of `[0, key_space)`: a range query visits only the
+    /// Contiguous slices of the keyspace: a range query visits only the
     /// shards whose slice overlaps it, at the cost of load skew when the
-    /// workload is skewed.
+    /// workload is skewed — which live resharding repairs online.
     Range,
 }
 
-/// Routes keys to shards.
+/// One version of the range-mode routing table: interval `i` is
+/// `[starts[i], starts[i+1])` (the last interval extends to the end of the
+/// keyspace) and is owned by shard slot `owners[i]`.
+///
+/// Tables are immutable; resharding installs a whole new table with
+/// `epoch + 1`. Every live slot owns **at most one contiguous interval**
+/// (slots emptied by a merge own none until a later split reuses them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingEpoch {
+    /// Version counter; bumped by every completed split or merge.
+    pub epoch: u64,
+    /// Ascending interval starts; `starts[0] == 0`.
+    starts: Vec<u64>,
+    /// Owning shard slot per interval.
+    owners: Vec<usize>,
+}
+
+impl RoutingEpoch {
+    fn initial(shards: usize, key_space: u64) -> Self {
+        // Stride >= 1 keeps the starts strictly ascending even in the
+        // degenerate key_space < shards geometry, matching the arithmetic
+        // router this table replaced.
+        let stride = (key_space / shards as u64).max(1);
+        RoutingEpoch {
+            epoch: 0,
+            starts: (0..shards as u64).map(|s| s * stride).collect(),
+            owners: (0..shards).collect(),
+        }
+    }
+
+    /// Index of the interval holding `key`.
+    fn interval_index(&self, key: u64) -> usize {
+        self.starts.partition_point(|s| *s <= key) - 1
+    }
+
+    /// The slot owning `key`.
+    pub fn owner_of(&self, key: u64) -> usize {
+        self.owners[self.interval_index(key)]
+    }
+
+    /// The inclusive end of interval `i` (the last interval runs to
+    /// `u64::MAX - 1`; `u64::MAX` is the reserved sentinel key).
+    fn interval_end(&self, i: usize) -> u64 {
+        if i + 1 < self.starts.len() {
+            self.starts[i + 1] - 1
+        } else {
+            u64::MAX - 1
+        }
+    }
+
+    /// The contiguous interval slot `s` owns, if any.
+    pub fn interval_of(&self, s: usize) -> Option<(u64, u64)> {
+        self.owners
+            .iter()
+            .position(|&o| o == s)
+            .map(|i| (self.starts[i], self.interval_end(i)))
+    }
+
+    /// `(slot, lo, hi)` for every interval overlapping `[lo, hi]`, in key
+    /// order, each clipped to the query.
+    pub fn overlapping(&self, lo: u64, hi: u64) -> Vec<(usize, u64, u64)> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let first = self.interval_index(lo);
+        let last = self.interval_index(hi);
+        (first..=last)
+            .map(|i| {
+                (
+                    self.owners[i],
+                    self.starts[i].max(lo),
+                    self.interval_end(i).min(hi),
+                )
+            })
+            .collect()
+    }
+
+    /// All `(slot, lo, hi)` intervals, in key order (diagnostics).
+    pub fn intervals(&self) -> Vec<(usize, u64, u64)> {
+        (0..self.starts.len())
+            .map(|i| (self.owners[i], self.starts[i], self.interval_end(i)))
+            .collect()
+    }
+
+    /// The table after moving ownership of `[lo, hi]` — a suffix of
+    /// `src`'s interval — to `dst`, with adjacent same-owner intervals
+    /// coalesced and the epoch bumped.
+    fn transferred(&self, lo: u64, hi: u64, src: usize, dst: usize) -> Self {
+        let i = self.interval_index(lo);
+        debug_assert_eq!(self.owners[i], src, "migration source must own lo");
+        debug_assert_eq!(self.interval_end(i), hi, "migrations move suffixes");
+        let mut starts = self.starts.clone();
+        let mut owners = self.owners.clone();
+        if starts[i] == lo {
+            owners[i] = dst;
+        } else {
+            starts.insert(i + 1, lo);
+            owners.insert(i + 1, dst);
+        }
+        // Coalesce: a transfer can make neighbours share an owner.
+        let mut cs: Vec<u64> = Vec::with_capacity(starts.len());
+        let mut co: Vec<usize> = Vec::with_capacity(owners.len());
+        for (s, o) in starts.into_iter().zip(owners) {
+            if co.last() == Some(&o) {
+                continue;
+            }
+            cs.push(s);
+            co.push(o);
+        }
+        RoutingEpoch {
+            epoch: self.epoch + 1,
+            starts: cs,
+            owners: co,
+        }
+    }
+}
+
+/// An in-flight key migration: the overlay the router superimposes on the
+/// current [`RoutingEpoch`] while `[lo, hi]` moves from `src` to `dst`.
+///
+/// Invariant maintained by the store: at every instant each key in
+/// `[lo, hi]` is present in **exactly one** of the two lists (moves and
+/// in-range writes are single cross-list transactions), so readers that
+/// consult source-then-destination never see a key absent or doubled.
+#[derive(Debug)]
+pub struct MigrationState {
+    /// Slot keys migrate out of (the current table owner of `[lo, hi]`).
+    pub src: usize,
+    /// Slot keys migrate into (owner once the next epoch installs).
+    pub dst: usize,
+    /// First key of the migrating sub-range.
+    pub lo: u64,
+    /// Last key (inclusive) of the migrating sub-range.
+    pub hi: u64,
+    /// Keys at or above `lo` and below the frontier have been drained from
+    /// `src` (advisory — routing correctness never depends on it).
+    pub(crate) frontier: AtomicU64,
+    /// Keys moved so far.
+    pub(crate) moved: AtomicU64,
+    /// Serializes the chunk mover against writers targeting `[lo, hi]`:
+    /// both read the source's current state and commit a cross-list
+    /// transaction, which must not interleave (a chunk move committing a
+    /// stale value over a racing write would lose the write).
+    pub(crate) write_lock: Mutex<()>,
+}
+
+/// A read-only snapshot of an in-flight migration (stats, tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationView {
+    /// Source slot.
+    pub src: usize,
+    /// Destination slot.
+    pub dst: usize,
+    /// Migrating sub-range start.
+    pub lo: u64,
+    /// Migrating sub-range end (inclusive).
+    pub hi: u64,
+    /// Keys moved so far.
+    pub moved: u64,
+}
+
+/// Where a write must go: its table owner, or — for a key inside an
+/// in-flight migration — the source/destination pair it must update as one
+/// cross-list transaction.
+pub(crate) enum WriteRoute {
+    Direct(usize),
+    Migrating(Arc<MigrationState>),
+}
+
+/// The overlay identity a linearizable multi-shard read captures before
+/// planning and re-checks after committing: equal stamps mean no migration
+/// began or completed in between, so the planned list set was exhaustive
+/// for the whole read.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub(crate) struct OverlayStamp {
+    epoch: u64,
+    migration: Option<(usize, usize, u64, u64)>,
+}
+
+/// Routes keys to shard slots.
 ///
 /// # Example
 ///
@@ -24,13 +219,22 @@ pub enum Partitioning {
 /// assert_eq!(r.shard_of(999), 3);
 /// assert_eq!(r.shards_for_range(0, 249), vec![0]);
 /// assert_eq!(r.shards_for_range(200, 600), vec![0, 1, 2]);
+/// assert_eq!(r.epoch(), 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Router {
     mode: Partitioning,
-    shards: usize,
-    /// Width of each contiguous slice (range mode).
-    stride: u64,
+    /// Total shard slots (grows when a split allocates a new shard).
+    slots: AtomicUsize,
+    /// Current routing table (range mode; hash mode routes arithmetically).
+    table: RwLock<Arc<RoutingEpoch>>,
+    /// In-flight migration overlay, if any (at most one at a time).
+    migration: RwLock<Option<Arc<MigrationState>>>,
+    /// Writer gate: every write holds it shared for the whole op; starting
+    /// or completing a migration holds it exclusively for the instant the
+    /// overlay or table flips. This drains writes that routed under the
+    /// old view before the migration driver trusts the new one.
+    gate: RwLock<()>,
 }
 
 impl Router {
@@ -48,14 +252,17 @@ impl Router {
         assert!(key_space > 0, "key_space must be non-zero");
         Router {
             mode,
-            shards,
-            stride: (key_space / shards as u64).max(1),
+            slots: AtomicUsize::new(shards),
+            table: RwLock::new(Arc::new(RoutingEpoch::initial(shards, key_space))),
+            migration: RwLock::new(None),
+            gate: RwLock::new(()),
         }
     }
 
-    /// Number of shards.
+    /// Number of shard slots (including any emptied by merges and not yet
+    /// reused by splits).
     pub fn shards(&self) -> usize {
-        self.shards
+        self.slots.load(Ordering::Acquire)
     }
 
     /// The partitioning mode.
@@ -63,52 +270,210 @@ impl Router {
         self.mode
     }
 
-    /// The shard owning `key`. Total: every key maps to exactly one shard.
+    /// The current routing-table version (0 until the first completed
+    /// split or merge; hash mode never reshards).
+    pub fn epoch(&self) -> u64 {
+        self.routing().epoch
+    }
+
+    /// A snapshot of the current routing table.
+    pub fn routing(&self) -> Arc<RoutingEpoch> {
+        self.table
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// A snapshot of the in-flight migration, if one is running.
+    pub fn migration(&self) -> Option<MigrationView> {
+        self.migration_state().map(|m| MigrationView {
+            src: m.src,
+            dst: m.dst,
+            lo: m.lo,
+            hi: m.hi,
+            moved: m.moved.load(Ordering::Relaxed),
+        })
+    }
+
+    pub(crate) fn migration_state(&self) -> Option<Arc<MigrationState>> {
+        self.migration
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The shard owning `key` **per the current table** (an in-flight
+    /// migration does not change ownership until it completes). Total:
+    /// every key maps to exactly one slot.
     pub fn shard_of(&self, key: u64) -> usize {
         match self.mode {
             Partitioning::Hash => {
                 // Fibonacci multiply then fold the high bits in, so both
                 // low- and high-entropy keys spread.
                 let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                ((h ^ (h >> 32)) % self.shards as u64) as usize
+                ((h ^ (h >> 32)) % self.shards() as u64) as usize
             }
-            Partitioning::Range => ((key / self.stride) as usize).min(self.shards - 1),
+            Partitioning::Range => self.routing().owner_of(key),
         }
     }
 
-    /// Every shard that may hold a key in `[lo, hi]`, ascending. Empty when
-    /// `lo > hi`; otherwise exactly the overlapping shards — no more, no
-    /// fewer (hash mode scatters, so every shard overlaps every range).
+    /// Every shard that may hold a key in `[lo, hi]` per the current
+    /// table, in key order (which is ascending slot order until the first
+    /// reshard permutes interval ownership). Empty when `lo > hi`; hash
+    /// mode scatters, so every slot overlaps every range. Does **not**
+    /// include an in-flight migration's destination — linearizable reads
+    /// use the store's overlay-aware visit plan.
     pub fn shards_for_range(&self, lo: u64, hi: u64) -> Vec<usize> {
         if lo > hi {
             return Vec::new();
         }
         match self.mode {
-            Partitioning::Hash => (0..self.shards).collect(),
-            Partitioning::Range => (self.shard_of(lo)..=self.shard_of(hi)).collect(),
+            Partitioning::Hash => (0..self.shards()).collect(),
+            Partitioning::Range => self
+                .routing()
+                .overlapping(lo, hi)
+                .into_iter()
+                .map(|(s, _, _)| s)
+                .collect(),
         }
     }
 
-    /// The inclusive key interval shard `s` owns in range mode (`None` in
-    /// hash mode, where ownership is scattered).
+    /// The inclusive key interval slot `s` owns per the current table.
+    /// `None` in hash mode (ownership is scattered) and for range-mode
+    /// slots that currently own no interval (emptied by a merge).
     ///
     /// # Panics
     ///
     /// Panics if `s` is out of bounds.
     pub fn shard_interval(&self, s: usize) -> Option<(u64, u64)> {
-        assert!(s < self.shards, "shard {s} out of bounds");
+        assert!(s < self.shards(), "shard {s} out of bounds");
         match self.mode {
             Partitioning::Hash => None,
-            Partitioning::Range => {
-                let lo = self.stride * s as u64;
-                let hi = if s == self.shards - 1 {
-                    u64::MAX - 1
-                } else {
-                    self.stride * (s as u64 + 1) - 1
-                };
-                Some((lo, hi))
+            Partitioning::Range => self.routing().interval_of(s),
+        }
+    }
+
+    /// Registers a new (initially interval-less) shard slot; returns its
+    /// index. The store grows its shard vector in lock step.
+    pub(crate) fn add_slot(&self) -> usize {
+        self.slots.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Where a write to `key` must go right now. The caller must hold the
+    /// writer gate ([`Router::enter_write`]) across both this decision and
+    /// the write itself.
+    pub(crate) fn write_route(&self, key: u64) -> WriteRoute {
+        if let Some(m) = self.migration_state() {
+            if (m.lo..=m.hi).contains(&key) {
+                return WriteRoute::Migrating(m);
             }
         }
+        WriteRoute::Direct(self.shard_of(key))
+    }
+
+    /// Shared hold on the writer gate for the duration of one write.
+    pub(crate) fn enter_write(&self) -> std::sync::RwLockReadGuard<'_, ()> {
+        self.gate
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The overlay identity for linearizable multi-shard reads (see
+    /// [`OverlayStamp`]).
+    pub(crate) fn overlay_stamp(&self) -> OverlayStamp {
+        OverlayStamp {
+            epoch: self.routing().epoch,
+            migration: self.migration_state().map(|m| (m.src, m.dst, m.lo, m.hi)),
+        }
+    }
+
+    /// Installs a migration overlay for `[lo, hi]`, a suffix of `src`'s
+    /// owned interval, headed for `dst`. Fails in hash mode, when another
+    /// migration is in flight, when the geometry is wrong, or when the
+    /// transfer would leave `dst` owning a non-contiguous key set.
+    pub(crate) fn begin_migration(
+        &self,
+        src: usize,
+        dst: usize,
+        lo: u64,
+    ) -> Result<Arc<MigrationState>, RebalanceError> {
+        if self.mode != Partitioning::Range {
+            return Err(RebalanceError::HashPartitioning);
+        }
+        let slots = self.shards();
+        if src >= slots || dst >= slots || src == dst {
+            return Err(RebalanceError::BadShard);
+        }
+        // Exclusive gate: after this returns, every in-flight write that
+        // routed under the no-overlay view has committed, so the chunk
+        // mover can trust that all in-range writes go through the overlay.
+        let _g = self
+            .gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut mig = self
+            .migration
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if mig.is_some() {
+            return Err(RebalanceError::MigrationInFlight);
+        }
+        let table = self.routing();
+        let (slo, shi) = table
+            .interval_of(src)
+            .ok_or(RebalanceError::NothingToMove)?;
+        if !(slo..=shi).contains(&lo) {
+            return Err(RebalanceError::BadSplitKey);
+        }
+        // dst must stay contiguous: it owns nothing, or its interval abuts
+        // the migrating range (shi <= u64::MAX - 1, so shi + 1 is safe).
+        if let Some((dlo, dhi)) = table.interval_of(dst) {
+            let abuts = dlo == shi + 1 || (lo > 0 && dhi == lo - 1);
+            if !abuts {
+                return Err(RebalanceError::NonAdjacent);
+            }
+        }
+        let m = Arc::new(MigrationState {
+            src,
+            dst,
+            lo,
+            hi: shi,
+            frontier: AtomicU64::new(lo),
+            moved: AtomicU64::new(0),
+            write_lock: Mutex::new(()),
+        });
+        *mig = Some(m.clone());
+        Ok(m)
+    }
+
+    /// Installs the post-migration table (epoch + 1) and clears the
+    /// overlay. The caller must have fully drained `[m.lo, m.hi]` out of
+    /// the source list first. Returns the new epoch.
+    pub(crate) fn complete_migration(&self, m: &Arc<MigrationState>) -> u64 {
+        // Exclusive gate: writes that routed under the overlay have
+        // committed before ownership flips; later writes route directly
+        // to the destination.
+        let _g = self
+            .gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut mig = self
+            .migration
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        debug_assert!(
+            mig.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, m)),
+            "only the installed migration can complete"
+        );
+        let mut table = self
+            .table
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let next = table.transferred(m.lo, m.hi, m.src, m.dst);
+        let epoch = next.epoch;
+        *table = Arc::new(next);
+        *mig = None;
+        epoch
     }
 }
 
@@ -173,5 +538,80 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         Router::new(Partitioning::Hash, 0, 100);
+    }
+
+    #[test]
+    fn split_then_merge_roundtrips_the_table() {
+        let r = Router::new(Partitioning::Range, 2, 1000);
+        assert_eq!(r.epoch(), 0);
+        // Split shard 0's [0, 499] at 250 into a fresh slot.
+        let s = r.add_slot();
+        assert_eq!(s, 2);
+        let m = r.begin_migration(0, 2, 250).expect("valid split");
+        assert_eq!((m.lo, m.hi), (250, 499));
+        assert_eq!(r.shard_of(300), 0, "ownership flips only at completion");
+        assert!(r.migration().is_some());
+        assert_eq!(r.complete_migration(&m), 1);
+        assert_eq!(r.shard_of(300), 2);
+        assert_eq!(r.shard_of(200), 0);
+        assert_eq!(r.shard_of(700), 1);
+        assert_eq!(r.shards_for_range(0, 999), vec![0, 2, 1]);
+        assert!(r.migration().is_none());
+        // Merge slot 2 back into slot 0 (adjacent on the left).
+        let m = r.begin_migration(2, 0, 250).expect("valid merge");
+        assert_eq!(r.complete_migration(&m), 2);
+        assert_eq!(r.shard_of(300), 0);
+        assert_eq!(r.shard_interval(2), None, "slot 2 owns nothing now");
+        assert_eq!(
+            r.routing().intervals(),
+            vec![(0, 0, 499), (1, 500, u64::MAX - 1)],
+            "coalesced back to two intervals"
+        );
+    }
+
+    #[test]
+    fn migration_rejects_bad_geometry() {
+        let r = Router::new(Partitioning::Range, 4, 1000);
+        assert!(matches!(
+            r.begin_migration(0, 0, 10),
+            Err(RebalanceError::BadShard)
+        ));
+        assert!(matches!(
+            r.begin_migration(0, 9, 10),
+            Err(RebalanceError::BadShard)
+        ));
+        assert!(matches!(
+            r.begin_migration(0, 2, 100),
+            Err(RebalanceError::NonAdjacent),
+        ));
+        assert!(matches!(
+            r.begin_migration(0, 1, 900),
+            Err(RebalanceError::BadSplitKey)
+        ));
+        let m = r.begin_migration(0, 1, 100).expect("suffix into neighbour");
+        assert!(matches!(
+            r.begin_migration(2, 3, 600),
+            Err(RebalanceError::MigrationInFlight)
+        ));
+        r.complete_migration(&m);
+        assert_eq!(r.shard_of(150), 1);
+        let rh = Router::new(Partitioning::Hash, 4, 1000);
+        assert!(matches!(
+            rh.begin_migration(0, 1, 10),
+            Err(RebalanceError::HashPartitioning)
+        ));
+    }
+
+    #[test]
+    fn degenerate_key_space_still_tiles() {
+        // key_space < shards: stride clamps to 1, keys 0..7 spread over
+        // the slots one apiece, the tail clamps to the last slot — the
+        // arithmetic router's historical behavior.
+        let r = Router::new(Partitioning::Range, 8, 3);
+        for s in 0..8 {
+            assert!(r.shard_interval(s).is_some());
+        }
+        assert_eq!(r.shard_of(5), 5);
+        assert_eq!(r.shard_of(u64::MAX - 1), 7);
     }
 }

@@ -1,7 +1,9 @@
 //! The per-shard statistics surface: operation counters kept by the store,
-//! plus the transaction commit/abort counters re-exported from the shared
-//! `leap_stm` domain.
+//! per-shard key counts and interval ownership (the signals the rebalancer
+//! acts on), routing-epoch and migration progress, plus the transaction
+//! commit/abort counters re-exported from the shared `leap_stm` domain.
 
+use crate::router::MigrationView;
 use leap_stm::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,7 +24,7 @@ impl ShardCounters {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self, shard: usize) -> ShardStats {
+    pub(crate) fn snapshot(&self, shard: usize, keys: u64, owned: bool) -> ShardStats {
         ShardStats {
             shard,
             gets: self.gets.load(Ordering::Relaxed),
@@ -30,11 +32,13 @@ impl ShardCounters {
             deletes: self.deletes.load(Ordering::Relaxed),
             ranges: self.ranges.load(Ordering::Relaxed),
             batch_parts: self.batch_parts.load(Ordering::Relaxed),
+            keys,
+            owned,
         }
     }
 }
 
-/// A point-in-time copy of one shard's operation counters.
+/// A point-in-time copy of one shard's operation counters and load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ShardStats {
     /// Shard index.
@@ -49,6 +53,12 @@ pub struct ShardStats {
     pub ranges: u64,
     /// Multi-key batch components applied to this shard.
     pub batch_parts: u64,
+    /// Keys currently held (approximate while operations run).
+    pub keys: u64,
+    /// Whether the shard owns a key interval in the current routing
+    /// epoch (always true under hash partitioning; false for range-mode
+    /// slots a merge emptied that no split has reused yet).
+    pub owned: bool,
 }
 
 impl ShardStats {
@@ -66,7 +76,7 @@ impl ShardStats {
 /// claim a precision the substrate cannot provide).
 #[derive(Debug, Clone, Default)]
 pub struct StoreStats {
-    /// Per-shard operation counters.
+    /// Per-shard operation counters and key counts.
     pub shards: Vec<ShardStats>,
     /// Commit/abort counters of the shared STM domain.
     pub stm: StatsSnapshot,
@@ -75,6 +85,13 @@ pub struct StoreStats {
     /// (the multi-op chain rebuild); the counter tracks how collision-heavy
     /// the workload is.
     pub collision_batches: u64,
+    /// Current routing-table version (0 until the first completed split
+    /// or merge).
+    pub epoch: u64,
+    /// The in-flight migration, if one is running.
+    pub migration: Option<MigrationView>,
+    /// Migrations (splits and merges) completed since construction.
+    pub migrations_completed: u64,
 }
 
 impl StoreStats {
@@ -89,6 +106,20 @@ impl StoreStats {
         }
     }
 
+    /// Key-count spread over interval-owning shards: `max keys − min
+    /// keys`. The balance signal the rebalancer narrows; 0 when fewer
+    /// than two shards own intervals.
+    pub fn key_spread(&self) -> u64 {
+        let owned = self.shards.iter().filter(|s| s.owned);
+        match (
+            owned.clone().map(|s| s.keys).max(),
+            owned.map(|s| s.keys).min(),
+        ) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+
     /// Renders one `{...}` JSON object per line, machine-parseable for the
     /// benchmark harness's `BENCH_*.json` outputs.
     pub fn to_json(&self) -> String {
@@ -98,18 +129,21 @@ impl StoreStats {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"shard\":{},\"gets\":{},\"puts\":{},\"deletes\":{},\"ranges\":{},\"batch_parts\":{}}}",
-                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts
+                "{{\"shard\":{},\"gets\":{},\"puts\":{},\"deletes\":{},\"ranges\":{},\"batch_parts\":{},\"keys\":{},\"owned\":{}}}",
+                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts, s.keys, s.owned
             ));
         }
         out.push_str(&format!(
-            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6}}}",
+            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6},\"epoch\":{},\"migrations_completed\":{},\"key_spread\":{}}}",
             self.stm.commits,
             self.stm.read_only_commits,
             self.stm.conflict_aborts,
             self.stm.explicit_aborts,
             self.collision_batches,
             self.abort_rate(),
+            self.epoch,
+            self.migrations_completed,
+            self.key_spread(),
         ));
         out
     }
@@ -119,22 +153,32 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
-            "shard", "gets", "puts", "deletes", "ranges", "batch_parts"
+            "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>6}",
+            "shard", "gets", "puts", "deletes", "ranges", "batch_parts", "keys", "owned"
         )?;
         for s in &self.shards {
             writeln!(
                 f,
-                "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
-                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts
+                "{:>6} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>6}",
+                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts, s.keys, s.owned
+            )?;
+        }
+        if let Some(m) = &self.migration {
+            writeln!(
+                f,
+                "migrating [{}, {}] shard {} -> {} ({} keys moved)",
+                m.lo, m.hi, m.src, m.dst, m.moved
             )?;
         }
         write!(
             f,
-            "stm: {} | collision_batches={} | abort_rate={:.4}",
+            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} | key_spread={}",
             self.stm,
             self.collision_batches,
-            self.abort_rate()
+            self.abort_rate(),
+            self.epoch,
+            self.migrations_completed,
+            self.key_spread(),
         )
     }
 }
@@ -154,8 +198,21 @@ mod tests {
                     deletes: 3,
                     ranges: 4,
                     batch_parts: 5,
+                    keys: 40,
+                    owned: true,
                 },
-                ShardStats::default(),
+                ShardStats {
+                    keys: 10,
+                    owned: true,
+                    shard: 1,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    keys: 0,
+                    owned: false,
+                    shard: 2,
+                    ..ShardStats::default()
+                },
             ],
             stm: StatsSnapshot {
                 commits: 8,
@@ -164,16 +221,38 @@ mod tests {
                 explicit_aborts: 1,
             },
             collision_batches: 7,
+            epoch: 3,
+            migration: Some(MigrationView {
+                src: 0,
+                dst: 2,
+                lo: 100,
+                hi: 199,
+                moved: 12,
+            }),
+            migrations_completed: 3,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
         assert!((stats.abort_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(
+            stats.key_spread(),
+            30,
+            "unowned slots must not drag the spread"
+        );
         let json = stats.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert_eq!(json.matches("\"shard\":").count(), 2);
+        assert_eq!(json.matches("\"shard\":").count(), 3);
         assert!(json.contains("\"collision_batches\":7"));
+        assert!(json.contains("\"keys\":40"));
+        assert!(json.contains("\"owned\":false"));
+        assert!(json.contains("\"epoch\":3"));
+        assert!(json.contains("\"migrations_completed\":3"));
+        assert!(json.contains("\"key_spread\":30"));
         assert_eq!(StoreStats::default().abort_rate(), 0.0);
+        assert_eq!(StoreStats::default().key_spread(), 0);
         let text = format!("{stats}");
         assert!(text.contains("abort_rate=0.5000"));
         assert!(text.contains("collision_batches=7"));
+        assert!(text.contains("migrating [100, 199] shard 0 -> 2"));
+        assert!(text.contains("key_spread=30"));
     }
 }

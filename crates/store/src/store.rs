@@ -1,20 +1,23 @@
-//! The store proper: N Leap-List shards on one transactional domain and a
-//! router deciding placement. Every batch — including one mapping several
-//! keys to a single shard — commits through **one** multi-list transaction
-//! (`LeapListLt::apply_batch_grouped`), so there is no slow path, no
-//! writer serialization and no reader retry protocol.
+//! The store proper: Leap-List shards on one transactional domain and an
+//! epoch-versioned router deciding placement. Every batch — including one
+//! mapping several keys to a single shard — commits through **one**
+//! multi-list transaction (`LeapListLt::apply_batch_grouped`), and the
+//! shard set itself can change online: a [`crate::Rebalancer`] migrates
+//! key sub-ranges between shards in bounded cross-list transactions while
+//! readers and writers proceed (see `rebalance.rs` for the protocol).
 
-use crate::router::{Partitioning, Router};
-use crate::stats::{ShardCounters, StoreStats};
+use crate::rebalance::RebalancePolicy;
+use crate::router::{Partitioning, Router, WriteRoute};
+use crate::stats::{ShardCounters, ShardStats, StoreStats};
 use leap_stm::StmDomain;
 use leaplist::{BatchOp, LeapListLt, Params};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Construction parameters for a [`LeapStore`].
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
-    /// Number of Leap-List shards.
+    /// Number of Leap-List shards at construction (splits may add more).
     pub shards: usize,
     /// How keys map to shards.
     pub partitioning: Partitioning,
@@ -25,6 +28,9 @@ pub struct StoreConfig {
     pub key_space: u64,
     /// Per-shard Leap-List structure parameters.
     pub params: Params,
+    /// Policy driving [`LeapStore::rebalance_step`] (chunk size, split and
+    /// merge thresholds).
+    pub rebalance: RebalancePolicy,
 }
 
 impl Default for StoreConfig {
@@ -34,6 +40,7 @@ impl Default for StoreConfig {
             partitioning: Partitioning::Hash,
             key_space: u64::MAX,
             params: Params::default(),
+            rebalance: RebalancePolicy::default(),
         }
     }
 }
@@ -59,19 +66,48 @@ impl StoreConfig {
         self.params = params;
         self
     }
+
+    /// Sets the rebalancing policy (see [`RebalancePolicy`]). The policy
+    /// only acts when [`LeapStore::rebalance_step`] is driven — explicitly
+    /// or by a [`crate::Rebalancer`] thread.
+    pub fn with_rebalancing(mut self, rebalance: RebalancePolicy) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+}
+
+/// One multi-shard read plan: the lists to visit in one snapshot
+/// transaction, their (clipped) per-list key ranges, and whether the
+/// merged result needs sorting.
+type VisitPlan<V> = (Vec<Arc<LeapListLt<V>>>, Vec<(u64, u64)>, bool);
+
+/// One shard slot: the Leap-List and its op counters, kept side by side
+/// so the hot paths reach both with a single lock acquisition.
+struct ShardSlot<V> {
+    list: Arc<LeapListLt<V>>,
+    counters: Arc<ShardCounters>,
 }
 
 /// A sharded, concurrent range-store over Leap-List shards sharing one
-/// transactional domain.
+/// transactional domain, with **online resharding**.
 ///
 /// * [`LeapStore::get`] / [`LeapStore::put`] / [`LeapStore::delete`] —
-///   single-key operations routed to one shard.
+///   single-key operations routed to one shard (or, mid-migration, to the
+///   source/destination pair as one cross-list transaction).
 /// * [`LeapStore::multi_put`] / [`LeapStore::apply`] — cross-shard batches
 ///   applied as **one linearizable action**.
 /// * [`LeapStore::range`] — a cross-shard range query assembled from
 ///   per-shard snapshots taken inside **one** transaction
 ///   ([`LeapListLt::range_query_group`]), so the combined result is a
-///   single consistent snapshot: it can never observe part of a batch.
+///   single consistent snapshot: it can never observe part of a batch —
+///   or half of a shard migration.
+/// * [`LeapStore::scan`] — a paged cursor over a range: each page is one
+///   bounded linearizable transaction with a resume key, so scanning a
+///   million keys never materializes them in one transaction.
+/// * [`LeapStore::split_shard`] / [`LeapStore::merge_shards`] /
+///   [`LeapStore::rebalance_step`] — online shard migration (range
+///   partitioning), driven deterministically or by a background
+///   [`crate::Rebalancer`].
 ///
 /// # Batch atomicity
 ///
@@ -99,14 +135,22 @@ impl StoreConfig {
 /// assert_eq!(store.range(0, 999).len(), 5);
 /// ```
 pub struct LeapStore<V> {
-    shards: Vec<LeapListLt<V>>,
+    /// Shard slots; grows when a split allocates a new slot, never
+    /// shrinks (merged-away slots are recycled through `free_slots`).
+    slots: RwLock<Vec<ShardSlot<V>>>,
     router: Router,
     domain: Arc<StmDomain>,
-    counters: Vec<ShardCounters>,
+    params: Params,
+    pub(crate) policy: RebalancePolicy,
+    /// Slots emptied by completed merges, reusable by the next split.
+    pub(crate) free_slots: Mutex<Vec<usize>>,
+    /// Serializes rebalance steps and split/merge initiation.
+    pub(crate) step_lock: Mutex<()>,
     /// Batches that mapped at least two keys to one shard — the load that
     /// the seed's seqlock slow path serialized and that now commits in a
     /// single transaction.
     collision_batches: AtomicU64,
+    pub(crate) migrations_completed: AtomicU64,
 }
 
 impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
@@ -116,32 +160,41 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         // The router owns the shard-count validation; build it first so a
         // zero-shard config panics with the router's diagnostic.
         let router = Router::new(config.partitioning, config.shards, config.key_space);
-        let shards = LeapListLt::group(config.shards, config.params.clone());
-        let domain = shards
+        let slots: Vec<ShardSlot<V>> = LeapListLt::group(config.shards, config.params.clone())
+            .into_iter()
+            .map(|list| ShardSlot {
+                list: Arc::new(list),
+                counters: Arc::new(ShardCounters::default()),
+            })
+            .collect();
+        let domain = slots
             .first()
             .expect("router rejected shards == 0 above")
+            .list
             .domain()
             .clone();
-        let counters = (0..config.shards)
-            .map(|_| ShardCounters::default())
-            .collect();
         LeapStore {
-            shards,
+            slots: RwLock::new(slots),
             router,
             domain,
-            counters,
+            params: config.params,
+            policy: config.rebalance,
+            free_slots: Mutex::new(Vec::new()),
+            step_lock: Mutex::new(()),
             collision_batches: AtomicU64::new(0),
+            migrations_completed: AtomicU64::new(0),
         }
     }
 
-    /// The router (placement inspection).
+    /// The router (placement inspection: epochs, intervals, migrations).
     pub fn router(&self) -> &Router {
         &self.router
     }
 
-    /// Number of shards.
+    /// Number of shard slots (including any emptied by merges and not yet
+    /// reused by splits).
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.router.shards()
     }
 
     /// Read access to one shard's Leap-List (diagnostics and tests).
@@ -149,8 +202,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// # Panics
     ///
     /// Panics if `s` is out of bounds.
-    pub fn shard(&self, s: usize) -> &LeapListLt<V> {
-        &self.shards[s]
+    pub fn shard(&self, s: usize) -> Arc<LeapListLt<V>> {
+        self.list(s)
     }
 
     /// The shared transactional domain.
@@ -158,15 +211,80 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         &self.domain
     }
 
-    /// Point lookup.
+    fn slots_read(&self) -> std::sync::RwLockReadGuard<'_, Vec<ShardSlot<V>>> {
+        self.slots.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn list(&self, s: usize) -> Arc<LeapListLt<V>> {
+        self.slots_read()[s].list.clone()
+    }
+
+    /// Bumps `bump` on slot `s`'s counters and returns its list — one
+    /// lock acquisition for the single-key hot paths.
+    fn routed(&self, s: usize, bump: impl FnOnce(&ShardCounters)) -> Arc<LeapListLt<V>> {
+        let slots = self.slots_read();
+        bump(&slots[s].counters);
+        slots[s].list.clone()
+    }
+
+    /// Allocates a shard slot for a split destination: reuses a slot a
+    /// completed merge emptied, or grows the slot vector (and the
+    /// router's slot count) by one. Returns the slot index.
+    pub(crate) fn allocate_slot(&self) -> usize {
+        if let Some(s) = self
+            .free_slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+        {
+            debug_assert!(self.list(s).is_empty(), "free slots must be drained");
+            return s;
+        }
+        let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+        let slot = self.router.add_slot();
+        debug_assert_eq!(slot, slots.len(), "router and slot vector in lock step");
+        slots.push(ShardSlot {
+            list: Arc::new(LeapListLt::with_domain(
+                self.params.clone(),
+                self.domain.clone(),
+            )),
+            counters: Arc::new(ShardCounters::default()),
+        });
+        slot
+    }
+
+    /// Point lookup. During a migration of the key's sub-range the lookup
+    /// consults source-then-destination; a miss re-checks that no
+    /// migration began or completed mid-lookup (and retries if one did),
+    /// so the result is always explained by some linearization.
     ///
     /// # Panics
     ///
     /// Panics if `key == u64::MAX`.
     pub fn get(&self, key: u64) -> Option<V> {
-        let s = self.router.shard_of(key);
-        ShardCounters::bump(&self.counters[s].gets);
-        self.shards[s].lookup(key)
+        loop {
+            let stamp = self.router.overlay_stamp();
+            let res = match self.router.migration_state() {
+                Some(m) if (m.lo..=m.hi).contains(&key) => {
+                    let (src, dst) = {
+                        let slots = self.slots_read();
+                        ShardCounters::bump(&slots[m.src].counters.gets);
+                        (slots[m.src].list.clone(), slots[m.dst].list.clone())
+                    };
+                    // Keys only move src -> dst, atomically: a src miss
+                    // means "absent or already in dst", and the dst lookup
+                    // happens after, so a present key is always found.
+                    src.lookup(key).or_else(|| dst.lookup(key))
+                }
+                _ => {
+                    let s = self.router.shard_of(key);
+                    self.routed(s, |c| ShardCounters::bump(&c.gets)).lookup(key)
+                }
+            };
+            if res.is_some() || self.router.overlay_stamp() == stamp {
+                return res;
+            }
+        }
     }
 
     /// Inserts or updates `key -> value`; returns the previous value.
@@ -175,9 +293,31 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn put(&self, key: u64, value: V) -> Option<V> {
-        let s = self.router.shard_of(key);
-        ShardCounters::bump(&self.counters[s].puts);
-        self.shards[s].update(key, value)
+        assert!(key < u64::MAX, "key u64::MAX is reserved");
+        let _w = self.router.enter_write();
+        match self.router.write_route(key) {
+            WriteRoute::Direct(s) => self
+                .routed(s, |c| ShardCounters::bump(&c.puts))
+                .update(key, value),
+            WriteRoute::Migrating(m) => {
+                let (src, dst) = {
+                    let slots = self.slots_read();
+                    ShardCounters::bump(&slots[m.src].counters.puts);
+                    (slots[m.src].list.clone(), slots[m.dst].list.clone())
+                };
+                // One cross-list transaction removes any source copy and
+                // writes the destination: the key's single home is dst
+                // from here on, and the chunk mover (which holds the same
+                // lock) can never clobber this write with a stale value.
+                let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let rm = [BatchOp::Remove(key)];
+                let up = [BatchOp::Update(key, value)];
+                let mut res = LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &up]);
+                let dst_prev = res[1].pop().expect("one op in dst group");
+                let src_prev = res[0].pop().expect("one op in src group");
+                src_prev.or(dst_prev)
+            }
+        }
     }
 
     /// Removes `key`; returns its value if present.
@@ -186,9 +326,26 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn delete(&self, key: u64) -> Option<V> {
-        let s = self.router.shard_of(key);
-        ShardCounters::bump(&self.counters[s].deletes);
-        self.shards[s].remove(key)
+        assert!(key < u64::MAX, "key u64::MAX is reserved");
+        let _w = self.router.enter_write();
+        match self.router.write_route(key) {
+            WriteRoute::Direct(s) => self
+                .routed(s, |c| ShardCounters::bump(&c.deletes))
+                .remove(key),
+            WriteRoute::Migrating(m) => {
+                let (src, dst) = {
+                    let slots = self.slots_read();
+                    ShardCounters::bump(&slots[m.src].counters.deletes);
+                    (slots[m.src].list.clone(), slots[m.dst].list.clone())
+                };
+                let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let rm = [BatchOp::Remove(key)];
+                let mut res = LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &rm]);
+                let dst_prev = res[1].pop().expect("one op in dst group");
+                let src_prev = res[0].pop().expect("one op in src group");
+                src_prev.or(dst_prev)
+            }
+        }
     }
 
     /// Inserts all `(key, value)` pairs as **one linearizable action**
@@ -219,7 +376,9 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// Applies a mixed put/delete batch as one linearizable action;
     /// returns previous values in input order. Ops sharing a shard apply
     /// in input order within the single commit (so a batch may put and
-    /// then delete the same key).
+    /// then delete the same key). Ops on keys inside an in-flight
+    /// migration re-group onto the source/destination pair — still within
+    /// the same single transaction.
     ///
     /// # Panics
     ///
@@ -237,59 +396,116 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         for op in ops {
             assert!(key_of(op) < u64::MAX, "key u64::MAX is reserved");
         }
+        let _w = self.router.enter_write();
+        let mig = self.router.migration_state();
+        let in_migration = |k: u64| mig.as_ref().is_some_and(|m| (m.lo..=m.hi).contains(&k));
         // Single-op batches (the Batcher's uncontended hot path) route
         // straight to their shard: no grouping vectors.
         if let [op] = ops {
-            let shard = self.router.shard_of(key_of(op));
-            self.counters[shard]
-                .batch_parts
-                .fetch_add(1, Ordering::Relaxed);
-            return vec![match op {
-                BatchOp::Update(k, v) => self.shards[shard].update(*k, v.clone()),
-                BatchOp::Remove(k) => self.shards[shard].remove(*k),
-            }];
+            if !in_migration(key_of(op)) {
+                let shard = self.router.shard_of(key_of(op));
+                let list = self.routed(shard, |c| {
+                    c.batch_parts.fetch_add(1, Ordering::Relaxed);
+                });
+                return vec![match op {
+                    BatchOp::Update(k, v) => list.update(*k, v.clone()),
+                    BatchOp::Remove(k) => list.remove(*k),
+                }];
+            }
         }
-        // Group ops per shard, preserving input order within each group.
-        let mut groups: Vec<Vec<BatchOp<V>>> = vec![Vec::new(); self.shards.len()];
-        let mut origin: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (i, op) in ops.iter().enumerate() {
-            let s = self.router.shard_of(key_of(op));
-            groups[s].push(op.clone());
-            origin[s].push(i);
+        // Group ops per shard slot, preserving input order within each
+        // group. A migrating key contributes a Remove to the source group
+        // and its op to the destination group: the batch stays one
+        // transaction, and the key's previous value is whichever of the
+        // two groups saw it (exactly one can, by the migration invariant).
+        let slots = self.shards();
+        let mut groups: Vec<Vec<BatchOp<V>>> = vec![Vec::new(); slots];
+        // Where each op's previous value comes from:
+        // (slot, index) plus, for migrating keys, the source-remove slot.
+        struct OpSource {
+            slot: usize,
+            idx: usize,
+            src: Option<(usize, usize)>,
         }
-        for (s, g) in groups.iter().enumerate() {
-            self.counters[s]
-                .batch_parts
-                .fetch_add(g.len() as u64, Ordering::Relaxed);
+        let mut sources: Vec<OpSource> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let k = key_of(op);
+            if in_migration(k) {
+                let m = mig.as_ref().expect("in_migration implies overlay");
+                groups[m.src].push(BatchOp::Remove(k));
+                let src = Some((m.src, groups[m.src].len() - 1));
+                groups[m.dst].push(op.clone());
+                sources.push(OpSource {
+                    slot: m.dst,
+                    idx: groups[m.dst].len() - 1,
+                    src,
+                });
+            } else {
+                let s = self.router.shard_of(k);
+                groups[s].push(op.clone());
+                sources.push(OpSource {
+                    slot: s,
+                    idx: groups[s].len() - 1,
+                    src: None,
+                });
+            }
+        }
+        {
+            let slots_guard = self.slots_read();
+            for (s, g) in groups.iter().enumerate() {
+                if !g.is_empty() {
+                    slots_guard[s]
+                        .counters
+                        .batch_parts
+                        .fetch_add(g.len() as u64, Ordering::Relaxed);
+                }
+            }
         }
         if groups.iter().any(|g| g.len() >= 2) {
             self.collision_batches.fetch_add(1, Ordering::Relaxed);
         }
         // One multi-list transaction over every touched shard, regardless
-        // of key -> shard collisions.
+        // of key -> shard collisions. Batches touching a migrating range
+        // serialize against the chunk mover (see `put`). Lock order: the
+        // migration lock strictly before the slot-vector read lock.
+        let _l = mig
+            .as_ref()
+            .filter(|m| sources.iter().any(|s| s.src.is_some() || s.slot == m.dst))
+            .map(|m| m.write_lock.lock().unwrap_or_else(PoisonError::into_inner));
+        let slots_guard = self.slots_read();
         let mut lists: Vec<&LeapListLt<V>> = Vec::new();
         let mut shard_ops: Vec<&[BatchOp<V>]> = Vec::new();
-        let mut shard_origin: Vec<&[usize]> = Vec::new();
+        // results_of[slot] = index into `results` for that slot's group.
+        let mut results_of: Vec<Option<usize>> = vec![None; slots];
         for (s, g) in groups.iter().enumerate() {
             if !g.is_empty() {
-                lists.push(&self.shards[s]);
+                results_of[s] = Some(lists.len());
+                lists.push(&slots_guard[s].list);
                 shard_ops.push(g);
-                shard_origin.push(&origin[s]);
             }
         }
         let results = LeapListLt::apply_batch_grouped(&lists, &shard_ops);
-        let mut out: Vec<Option<V>> = vec![None; ops.len()];
-        for (res, orig) in results.into_iter().zip(shard_origin) {
-            for (r, &i) in res.into_iter().zip(orig) {
-                out[i] = r;
-            }
-        }
-        out
+        sources
+            .iter()
+            .map(|src| {
+                let own =
+                    results[results_of[src.slot].expect("op slot has a group")][src.idx].clone();
+                match src.src {
+                    None => own,
+                    Some((s, i)) => {
+                        let removed =
+                            results[results_of[s].expect("src slot has a group")][i].clone();
+                        removed.or(own)
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Linearizable cross-shard range query: all pairs with keys in
     /// `[lo, hi]`, ascending, from **one** consistent snapshot (one
-    /// transaction spans every visited shard).
+    /// transaction spans every visited shard — including both sides of an
+    /// in-flight migration).
     ///
     /// Returns an empty vector when `lo > hi`.
     ///
@@ -301,19 +517,55 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if lo > hi {
             return Vec::new();
         }
-        let (lists, ranges) = self.visit_plan(lo, hi);
-        let per_shard = LeapListLt::range_query_group(&lists, &ranges);
-        let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
-        if self.router.mode() == Partitioning::Hash {
-            // Contiguous shards concatenate in order; hashed shards
-            // interleave and need the merge sort.
-            merged.sort_unstable_by_key(|(k, _)| *k);
+        loop {
+            let stamp = self.router.overlay_stamp();
+            let (lists, ranges, sort) = self.visit_plan(lo, hi);
+            let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
+            let per_shard = LeapListLt::range_query_group(&refs, &ranges);
+            if self.router.overlay_stamp() != stamp {
+                // A migration began or completed mid-plan: the visited
+                // list set may not have been exhaustive. Retry.
+                continue;
+            }
+            let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
+            if sort {
+                // Contiguous shards concatenate in key order; hashed
+                // shards (and migration overlays) interleave.
+                merged.sort_unstable_by_key(|(k, _)| *k);
+            }
+            return merged;
         }
-        merged
+    }
+
+    /// One bounded page of `[lo, hi]`: the first at-most-`limit` pairs, in
+    /// one linearizable transaction. The engine under [`LeapStore::scan`].
+    pub(crate) fn range_page_merged(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        assert!(limit > 0, "a page must hold at least one pair");
+        if lo > hi {
+            return Vec::new();
+        }
+        loop {
+            let stamp = self.router.overlay_stamp();
+            let (lists, ranges, sort) = self.visit_plan(lo, hi);
+            let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
+            let per_shard = LeapListLt::range_page_group(&refs, &ranges, limit);
+            if self.router.overlay_stamp() != stamp {
+                continue;
+            }
+            let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
+            if sort {
+                merged.sort_unstable_by_key(|(k, _)| *k);
+            }
+            // Each list returned its first `limit` pairs, so the globally
+            // first `limit` pairs are all present in the merge.
+            merged.truncate(limit);
+            return merged;
+        }
     }
 
     /// Number of keys in `[lo, hi]` from one consistent cross-shard
-    /// snapshot, without cloning values
+    /// snapshot, with no value clones and no node buffering
     /// ([`LeapListLt::count_range_group`]).
     ///
     /// # Panics
@@ -324,25 +576,52 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if lo > hi {
             return 0;
         }
-        let (lists, ranges) = self.visit_plan(lo, hi);
-        LeapListLt::count_range_group(&lists, &ranges).iter().sum()
-    }
-
-    /// The shards a `[lo, hi]` query must visit, with per-shard range
-    /// arguments, bumping each visited shard's range counter.
-    fn visit_plan(&self, lo: u64, hi: u64) -> (Vec<&LeapListLt<V>>, Vec<(u64, u64)>) {
-        let visit = self.router.shards_for_range(lo, hi);
-        for &s in &visit {
-            ShardCounters::bump(&self.counters[s].ranges);
+        loop {
+            let stamp = self.router.overlay_stamp();
+            let (lists, ranges, _) = self.visit_plan(lo, hi);
+            let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
+            let counts = LeapListLt::count_range_group(&refs, &ranges);
+            if self.router.overlay_stamp() == stamp {
+                return counts.iter().sum();
+            }
         }
-        let lists: Vec<&LeapListLt<V>> = visit.iter().map(|&s| &self.shards[s]).collect();
-        let ranges = vec![(lo, hi); lists.len()];
-        (lists, ranges)
     }
 
-    /// Approximate number of keys (exact when quiescent).
+    /// The shards a `[lo, hi]` query must visit — per the current table,
+    /// plus the destination of an overlapping in-flight migration (clipped
+    /// to the migrating sub-range) — with per-shard range arguments,
+    /// bumping each visited shard's range counter. The third component is
+    /// whether the caller must sort the merged result (hash interleaving
+    /// or an overlay, whose destination keys interleave with the source
+    /// interval's).
+    fn visit_plan(&self, lo: u64, hi: u64) -> VisitPlan<V> {
+        let mut plan: Vec<(usize, u64, u64)> = match self.router.mode() {
+            Partitioning::Hash => (0..self.shards()).map(|s| (s, lo, hi)).collect(),
+            Partitioning::Range => self.router.routing().overlapping(lo, hi),
+        };
+        let mut sort = self.router.mode() == Partitioning::Hash;
+        if let Some(m) = self.router.migration_state() {
+            let (mlo, mhi) = (m.lo.max(lo), m.hi.min(hi));
+            if mlo <= mhi {
+                plan.push((m.dst, mlo, mhi));
+                sort = true;
+            }
+        }
+        let slots_guard = self.slots_read();
+        let mut lists = Vec::with_capacity(plan.len());
+        let mut ranges = Vec::with_capacity(plan.len());
+        for (s, l, h) in plan {
+            ShardCounters::bump(&slots_guard[s].counters.ranges);
+            lists.push(slots_guard[s].list.clone());
+            ranges.push((l, h));
+        }
+        (lists, ranges, sort)
+    }
+
+    /// Number of keys, from one consistent snapshot (routed through the
+    /// count-only transactional walk — no value clones).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(LeapListLt::len).sum()
+        self.count_range(0, u64::MAX - 1)
     }
 
     /// Whether the store holds no keys.
@@ -350,28 +629,44 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         self.len() == 0
     }
 
-    /// A point-in-time statistics snapshot: per-shard op counters plus the
-    /// shared domain's commit/abort counters.
+    /// A point-in-time statistics snapshot: per-shard op counters and key
+    /// counts, routing epoch and migration progress, plus the shared
+    /// domain's commit/abort counters.
     pub fn stats(&self) -> StoreStats {
+        let slots_guard = self.slots_read();
+        let shards: Vec<ShardStats> = slots_guard
+            .iter()
+            .enumerate()
+            .map(|(s, slot)| {
+                let owned = match self.router.mode() {
+                    Partitioning::Hash => true,
+                    Partitioning::Range => self.router.shard_interval(s).is_some(),
+                };
+                slot.counters.snapshot(s, slot.list.len() as u64, owned)
+            })
+            .collect();
         StoreStats {
-            shards: self
-                .counters
-                .iter()
-                .enumerate()
-                .map(|(s, c)| c.snapshot(s))
-                .collect(),
+            shards,
             stm: self.domain.stats(),
             collision_batches: self.collision_batches.load(Ordering::Relaxed),
+            epoch: self.router.epoch(),
+            migration: self.router.migration(),
+            migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
         }
     }
 }
 
 impl<V: Clone + Send + Sync + 'static> std::fmt::Debug for LeapStore<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Cheap per-shard length sum, NOT the exact transactional count:
+        // debug-printing a large store must not walk a snapshot
+        // transaction (which can retry under write contention).
+        let approx_len: usize = self.slots_read().iter().map(|s| s.list.len()).sum();
         f.debug_struct("LeapStore")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards())
             .field("partitioning", &self.router.mode())
-            .field("len", &self.len())
+            .field("epoch", &self.router.epoch())
+            .field("approx_len", &approx_len)
             .finish()
     }
 }
@@ -496,6 +791,10 @@ mod tests {
         assert_eq!(st.shards.iter().map(|s| s.gets).sum::<u64>(), 1);
         assert_eq!(st.shards.iter().map(|s| s.deletes).sum::<u64>(), 1);
         assert_eq!(st.shards.iter().map(|s| s.ranges).sum::<u64>(), 2);
+        assert_eq!(st.shards.iter().map(|s| s.keys).sum::<u64>(), 1);
+        assert!(st.shards.iter().all(|s| s.owned));
+        assert_eq!(st.epoch, 0);
+        assert!(st.migration.is_none());
         assert!(st.stm.total_commits() > 0, "ops commit through the domain");
         assert!(st.to_json().contains("\"stm\""));
     }

@@ -1,0 +1,166 @@
+//! Property test for live resharding: **any** interleaving of migration
+//! steps (explicit splits and merges, policy-driven steps, partial chunk
+//! drains) with random `apply` batches, puts and deletes preserves the
+//! key → value map exactly, compared against a `BTreeMap` model replayed
+//! sequentially. After every action the store's linearizable `range` must
+//! equal the model; at the end, `get`, paged `Cursor` scans, `count_range`
+//! and `len` must all agree with the model too.
+
+use leap_store::{BatchOp, LeapStore, Partitioning, RebalancePolicy, StoreConfig};
+use leaplist::Params;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const KEYS: u64 = 64;
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// One atomic mixed batch: (key, value, is_put) per component.
+    Apply(Vec<(u64, u64, bool)>),
+    Put(u64, u64),
+    Delete(u64),
+    /// One bounded rebalance step (chunk move, completion, or a
+    /// policy-initiated split/merge).
+    Step,
+    /// Split a (selected) owning shard somewhere inside its interval.
+    Split(usize, u64),
+    /// Merge an adjacent interval pair (selected by index).
+    Merge(usize),
+}
+
+fn store() -> LeapStore<u64> {
+    LeapStore::new(
+        StoreConfig::new(4, Partitioning::Range)
+            .with_key_space(KEYS)
+            .with_params(Params {
+                node_size: 4,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            })
+            // Tiny chunks: most migrations stay in flight across several
+            // interleaved ops, which is the interesting schedule.
+            .with_rebalancing(RebalancePolicy {
+                chunk: 3,
+                ..RebalancePolicy::default()
+            }),
+    )
+}
+
+/// Applies one action to the store; mirrors mutations into the model.
+fn run(store: &LeapStore<u64>, model: &mut BTreeMap<u64, u64>, action: &Action) {
+    match action {
+        Action::Apply(parts) => {
+            let batch: Vec<BatchOp<u64>> = parts
+                .iter()
+                .map(|&(k, v, put)| {
+                    if put {
+                        BatchOp::Update(k, v)
+                    } else {
+                        BatchOp::Remove(k)
+                    }
+                })
+                .collect();
+            let got = store.apply(&batch);
+            let want: Vec<Option<u64>> = parts
+                .iter()
+                .map(|&(k, v, put)| {
+                    if put {
+                        model.insert(k, v)
+                    } else {
+                        model.remove(&k)
+                    }
+                })
+                .collect();
+            assert_eq!(got, want, "batch previous values diverged");
+        }
+        Action::Put(k, v) => {
+            assert_eq!(store.put(*k, *v), model.insert(*k, *v), "put prev");
+        }
+        Action::Delete(k) => {
+            assert_eq!(store.delete(*k), model.remove(k), "delete prev");
+        }
+        Action::Step => {
+            store.rebalance_step();
+        }
+        Action::Split(sel, at_raw) => {
+            // Target a currently-owning shard and a key inside its
+            // interval, so most generated splits actually begin.
+            let intervals = store.router().routing().intervals();
+            let (s, lo, hi) = intervals[sel % intervals.len()];
+            if lo < hi {
+                let at = lo + 1 + at_raw % (hi - lo);
+                let _ = store.split_shard(s, at);
+            }
+        }
+        Action::Merge(sel) => {
+            let intervals = store.router().routing().intervals();
+            if intervals.len() >= 2 {
+                let i = sel % (intervals.len() - 1);
+                let _ = store.merge_shards(intervals[i].0, intervals[i + 1].0);
+            }
+        }
+    }
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => prop::collection::vec((0u64..KEYS, 0u64..1_000, any::<bool>()), 1..6)
+            .prop_map(Action::Apply),
+        2 => (0u64..KEYS, 0u64..1_000).prop_map(|(k, v)| Action::Put(k, v)),
+        1 => (0u64..KEYS).prop_map(Action::Delete),
+        4 => Just(Action::Step),
+        1 => (0usize..8, 1u64..KEYS).prop_map(|(s, at)| Action::Split(s, at)),
+        1 => (0usize..8).prop_map(Action::Merge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn resharding_interleaved_with_batches_preserves_the_map(
+        prefill in prop::collection::vec((0u64..KEYS, 0u64..1_000), 0..32),
+        actions in prop::collection::vec(action_strategy(), 1..40),
+    ) {
+        let store = store();
+        let mut model = BTreeMap::new();
+        for &(k, v) in &prefill {
+            store.put(k, v);
+            model.insert(k, v);
+        }
+        for action in &actions {
+            run(&store, &mut model, action);
+            // The linearizable range must equal the model after every
+            // action — including mid-migration, where some keys live in
+            // the destination and some still in the source.
+            let snapshot = store.range(0, KEYS);
+            let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(&snapshot, &want, "after {:?}", action);
+        }
+        // Quiesce any in-flight migration, then check every read surface.
+        store.rebalance_until_idle();
+        prop_assert!(store.router().migration().is_none());
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(store.range(0, KEYS), want.clone());
+        prop_assert_eq!(store.len(), model.len());
+        prop_assert_eq!(store.count_range(0, KEYS), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(store.get(k), Some(v), "key {}", k);
+        }
+        let paged: Vec<(u64, u64)> = store.scan_pages(0, KEYS, 5).flatten().collect();
+        prop_assert_eq!(paged, want);
+        // Structural invariants survive arbitrary resharding.
+        let st = store.stats();
+        prop_assert_eq!(
+            st.shards.iter().map(|s| s.keys as usize).sum::<usize>(),
+            model.len(),
+            "shard key counts must add up"
+        );
+        for s in 0..store.shards() {
+            for size in store.shard(s).node_sizes() {
+                prop_assert!(size <= 4, "shard {} node exceeds K", s);
+            }
+        }
+    }
+}
