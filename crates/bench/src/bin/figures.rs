@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! figures [--scale quick|medium|paper] [all | fig14a fig14b fig15a fig15b
-//!          fig16a fig16b fig17a fig17b fig17c fig17d fig17 | leapstore]
+//!          fig16a fig16b fig17a fig17b fig17c fig17d fig17 | leapstore |
+//!          memdb]
 //! ```
 //!
-//! The `leapstore` panel additionally emits one `stats <series> <json>`
-//! line per series with shard-level operation counts and the shared
-//! domain's abort rate, for `BENCH_*.json` post-processing.
+//! The `leapstore` and `memdb` panels additionally emit one
+//! `stats <series> <json>` line per series with per-op latency
+//! percentiles plus (for store-backed series) shard-level operation
+//! counts and the shared domain's abort rate, for `BENCH_*.json`
+//! post-processing.
 
 use leap_bench::figures as f;
 use leap_bench::scale::Scale;
@@ -60,6 +63,7 @@ fn main() {
                     print!("{}", fig.to_table());
                 }
                 print!("{}", f::leapstore(&scale).to_table());
+                print!("{}", f::memdb(&scale).to_table());
             }
             "fig14a" => print!("{}", f::fig14a(&scale).to_table()),
             "fig14b" => print!("{}", f::fig14b(&scale).to_table()),
@@ -77,6 +81,7 @@ fn main() {
                 }
             }
             "leapstore" => print!("{}", f::leapstore(&scale).to_table()),
+            "memdb" => print!("{}", f::memdb(&scale).to_table()),
             other => {
                 eprintln!("unknown panel '{other}'");
                 std::process::exit(2);

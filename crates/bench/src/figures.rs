@@ -4,7 +4,9 @@
 
 use crate::driver::{run_throughput, RunCfg};
 use crate::scale::Scale;
-use crate::target::{make_reshard_store_target, make_store_target, make_target, Algo, BenchTarget};
+use crate::target::{
+    make_memdb_target, make_reshard_store_target, make_store_target, make_target, Algo, BenchTarget,
+};
 use crate::workload::{Mix, Workload};
 use leap_store::Partitioning;
 use leaplist::Params;
@@ -387,6 +389,80 @@ impl StoreFigure {
     }
 }
 
+/// One scenario of a stats-carrying panel: its legend label, the (not
+/// yet prefilled) target, the workload, and whether a background
+/// rebalance driver runs for the whole measurement.
+struct StatScenario {
+    label: &'static str,
+    target: Arc<dyn BenchTarget>,
+    workload: Workload,
+    reshard: bool,
+}
+
+/// The shared measurement protocol of the stats-carrying panels
+/// (`leapstore`, `memdb`): prefill each scenario's target, optionally run
+/// a background rebalance driver across the whole measurement (thread
+/// sweep **and** latency pass), sweep throughput over the scale's thread
+/// counts, snapshot the target's counters **before** the latency pass
+/// (so the recorded op counts and abort rate describe the sweep alone),
+/// then sample p50/p95/p99 per-op latency at the fixed thread count.
+/// Targets without a stats surface record `"store":null`.
+fn sweep_stat_scenarios(
+    id: &'static str,
+    title: String,
+    scenarios: Vec<StatScenario>,
+    scale: &Scale,
+) -> StoreFigure {
+    let mut series = Vec::new();
+    let mut stats = Vec::new();
+    for sc in scenarios {
+        sc.target.prefill(scale.elements);
+        let stop = Arc::new(AtomicBool::new(false));
+        let driver = sc.reshard.then(|| {
+            let (t, stop) = (sc.target.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if !t.rebalance_step() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            })
+        });
+        let mut points = Vec::new();
+        for &t in &scale.threads {
+            let ops = run_throughput(&sc.target, &sc.workload, &cfg(scale, t));
+            points.push((t as f64, ops));
+        }
+        let store_json = sc.target.stats_json().unwrap_or_else(|| "null".into());
+        let lat =
+            crate::driver::run_latency(&sc.target, &sc.workload, &cfg(scale, scale.fixed_threads));
+        stop.store(true, Ordering::Relaxed);
+        if let Some(d) = driver {
+            d.join().expect("rebalance driver panicked");
+        }
+        series.push(Series {
+            label: sc.label,
+            points,
+        });
+        stats.push((
+            sc.label,
+            format!(
+                "{{\"store\":{store_json},\"latency\":{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\"samples\":{}}}}}",
+                lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.mean_ns, lat.samples
+            ),
+        ));
+    }
+    StoreFigure {
+        figure: Figure {
+            id,
+            title,
+            x_label: "threads",
+            series,
+        },
+        stats,
+    }
+}
+
 /// LeapStore extension panel: the store scenario ([`Mix::store_mixed`] —
 /// gets, cross-shard ranges, multi-shard transactions) swept over threads
 /// for both partitioning modes, under uniform and zipfian (θ = 0.99) key
@@ -439,64 +515,81 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             true,
         ),
     ];
-    let mut series = Vec::new();
-    let mut stats = Vec::new();
-    for (label, mode, wl, reshard) in scenarios {
-        let target = if reshard {
-            make_reshard_store_target(shards, key_space, paper_params())
-        } else {
-            make_store_target(shards, mode, key_space, paper_params())
-        };
-        target.prefill(scale.elements);
-        // The reshard series runs a background driver for its whole
-        // measurement (sweep and latency pass): the store splits and
-        // merges shards while the measured threads hammer it.
-        let stop = Arc::new(AtomicBool::new(false));
-        let driver = reshard.then(|| {
-            let (t, stop) = (target.clone(), stop.clone());
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    if !t.rebalance_step() {
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                }
-            })
-        });
-        let mut points = Vec::new();
-        for &t in &scale.threads {
-            let ops = run_throughput(&target, &wl, &cfg(scale, t));
-            points.push((t as f64, ops));
-        }
-        // Snapshot the sweep's counters before the latency pass so the
-        // recorded op counts and abort rate describe the sweep alone.
-        let store_json = target.stats_json().expect("store target always has stats");
-        let lat = crate::driver::run_latency(&target, &wl, &cfg(scale, scale.fixed_threads));
-        stop.store(true, Ordering::Relaxed);
-        if let Some(d) = driver {
-            d.join().expect("rebalance driver panicked");
-        }
-        series.push(Series { label, points });
-        stats.push((
+    let scenarios = scenarios
+        .into_iter()
+        .map(|(label, mode, workload, reshard)| StatScenario {
             label,
-            format!(
-                "{{\"store\":{store_json},\"latency\":{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\"samples\":{}}}}}",
-                lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.mean_ns, lat.samples
-            ),
-        ));
-    }
-    StoreFigure {
-        figure: Figure {
-            id: "leapstore",
-            title: format!(
-                "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
-                 {shards} shards, {} elements, uniform/zipf/collide/reshard ({})",
-                scale.elements, scale.name
-            ),
-            x_label: "threads",
-            series,
-        },
-        stats,
-    }
+            target: if reshard {
+                make_reshard_store_target(shards, key_space, paper_params())
+            } else {
+                make_store_target(shards, mode, key_space, paper_params())
+            },
+            workload,
+            reshard,
+        })
+        .collect();
+    sweep_stat_scenarios(
+        "leapstore",
+        format!(
+            "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
+             {shards} shards, {} elements, uniform/zipf/collide/reshard ({})",
+            scale.elements, scale.name
+        ),
+        scenarios,
+        scale,
+    )
+}
+
+/// The memdb application panel: the paper's §4 in-memory database on
+/// both table backends, swept over threads.
+///
+/// * `Memdb-raw-update` / `Memdb-sharded-update` — 100% modifications,
+///   split between **indexed-column updates** (the covering entry moves
+///   between age buckets, one transaction) and non-indexed rewrites.
+/// * `Memdb-raw-scan` / `Memdb-sharded-scan` — the scan mix: 60%
+///   `scan_by` index scans (odd windows run through the paged
+///   `scan_by_pages` cursor), 20% point gets, 20% modifications.
+/// * `Memdb-reshard` — the sharded update mix with a **background
+///   rebalancer** splitting and merging index-heavy shards
+///   mid-measurement.
+///
+/// Each series captures p50/p95/p99 per-op latency at the fixed thread
+/// count plus (for the sharded backend) the backing store's stats JSON,
+/// in the same `stats <series> <json>` format the `collect` bin appends
+/// to `BENCH_leapstore.json`.
+pub fn memdb(scale: &Scale) -> StoreFigure {
+    let age_domain = scale.elements.max(2);
+    let update_mix = Mix::write_only();
+    let scan_mix = Mix::new(20, 60, 20);
+    let scenarios: [(&'static str, bool, Mix, bool); 5] = [
+        ("Memdb-raw-update", false, update_mix, false),
+        ("Memdb-sharded-update", true, update_mix, false),
+        ("Memdb-raw-scan", false, scan_mix, false),
+        ("Memdb-sharded-scan", true, scan_mix, false),
+        ("Memdb-reshard", true, update_mix, true),
+    ];
+    let scenarios = scenarios
+        .into_iter()
+        .map(|(label, sharded, mix, reshard)| StatScenario {
+            label,
+            // The reshard series starts on a deliberately skewed 4-shard
+            // layout (each subspace's live keys piled on one shard) that
+            // the background rebalancer must repair mid-measurement.
+            target: make_memdb_target(sharded, reshard.then_some(4), age_domain, paper_params()),
+            workload: Workload::paper(mix, age_domain),
+            reshard,
+        })
+        .collect();
+    sweep_stat_scenarios(
+        "memdb",
+        format!(
+            "leap-memdb table (raw vs sharded backend): indexed-update and \
+             scan_by mixes, {} rows, age domain {} ({})",
+            scale.elements, age_domain, scale.name
+        ),
+        scenarios,
+        scale,
+    )
 }
 
 /// All four Fig. 17 panels sharing one prefill per algorithm (the paper
@@ -571,6 +664,43 @@ mod tests {
         assert!(labels.contains(&"Skiplist-tm"));
         assert!(labels.contains(&"Skiplist-cas"));
         assert!(labels.contains(&"Leap-LT"));
+    }
+
+    #[test]
+    fn memdb_panel_carries_latency_and_sharded_store_stats() {
+        let f = memdb(&tiny());
+        assert_eq!(
+            f.figure.series.len(),
+            5,
+            "raw/sharded × update/scan + reshard"
+        );
+        for s in &f.figure.series {
+            for (_, ops) in &s.points {
+                assert!(*ops > 0.0, "{} produced zero throughput", s.label);
+            }
+        }
+        assert_eq!(f.stats.len(), 5);
+        for (label, json) in &f.stats {
+            assert!(json.contains("\"latency\":{"), "{label}: {json}");
+            assert!(json.contains("\"p50_ns\":"), "{label}");
+            assert!(json.contains("\"p95_ns\":"), "{label}");
+            assert!(json.contains("\"p99_ns\":"), "{label}");
+            if label.contains("raw") {
+                assert!(json.contains("\"store\":null"), "{label}: {json}");
+            } else {
+                assert!(json.contains("\"store\":{"), "{label}: {json}");
+                assert!(json.contains("\"shards\":["), "{label}: {json}");
+            }
+        }
+        let (_, reshard_json) = f
+            .stats
+            .iter()
+            .find(|(l, _)| *l == "Memdb-reshard")
+            .expect("reshard series present");
+        assert!(reshard_json.contains("\"epoch\":"));
+        let table = f.to_table();
+        assert!(table.contains("stats Memdb-sharded-update {"));
+        assert!(table.contains("stats Memdb-reshard {"));
     }
 
     #[test]

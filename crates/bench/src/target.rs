@@ -1,9 +1,11 @@
 //! Adapters exposing each evaluated algorithm through one dyn-safe
 //! interface, so the driver and figure sweeps are algorithm-agnostic.
 
+use leap_memdb::{Backend, RowId, Schema, Table};
 use leap_skiplist::{CasSkipList, TmSkipList};
 use leap_store::{LeapStore, Partitioning, RebalanceAction, RebalancePolicy, StoreConfig};
 use leaplist::{LeapListCop, LeapListLt, LeapListRwlock, LeapListTm, Params};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The algorithms measured in the paper's evaluation, plus the LeapStore
@@ -232,6 +234,138 @@ impl BenchTarget for StoreTarget {
     fn rebalance_step(&self) -> bool {
         self.store.rebalance_step() != RebalanceAction::Idle
     }
+}
+
+/// The paper's closing application as a bench target: a `leap-memdb`
+/// [`Table`] (`["user", "age"]`, age indexed) on either backend. The
+/// driver's abstract ops map onto table operations:
+///
+/// * composite "update" — `update_column` of the **indexed** `age`
+///   column on the row derived from the first key (the index-move path:
+///   remove + insert + primary rewrite, one transaction);
+/// * composite "remove" — `update_column` of the non-indexed `user`
+///   column (covering-entry rewrite, one transaction), so the population
+///   stays fixed while "modify" splits 50/50 between the two shapes;
+/// * lookup — primary-key `get`;
+/// * range query — `scan_by` over the age index (odd-numbered windows
+///   run through the paged `scan_by_pages` cursor instead).
+struct MemdbTarget {
+    table: Table,
+    /// Ages are drawn modulo this domain (the workload's key range).
+    age_domain: u64,
+    /// Rows created by prefill (ids `1..=rows`); 0 until prefilled.
+    rows: AtomicU64,
+    name: &'static str,
+}
+
+impl MemdbTarget {
+    fn row(&self, key: u64) -> RowId {
+        let rows = self.rows.load(Ordering::Relaxed).max(1);
+        RowId(1 + key % rows)
+    }
+}
+
+impl BenchTarget for MemdbTarget {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn lists(&self) -> usize {
+        1
+    }
+    fn prefill(&self, elements: u64) {
+        for i in 0..elements {
+            self.table
+                .insert(&[i, i % self.age_domain])
+                .expect("valid row");
+        }
+        self.rows.fetch_add(elements, Ordering::Relaxed);
+    }
+    fn update(&self, keys: &[u64], values: &[u64]) {
+        // Indexed-column update: the covering entry moves between age
+        // buckets inside ONE transaction (a no-op move when the drawn age
+        // equals the current one — still a full index-maintenance batch).
+        let _ = self
+            .table
+            .update_column(self.row(keys[0]), "age", values[0] % self.age_domain);
+    }
+    fn remove(&self, keys: &[u64]) {
+        // Non-indexed rewrite: all covering entries carry the new row.
+        let _ = self.table.update_column(self.row(keys[0]), "user", keys[0]);
+    }
+    fn lookup(&self, _list: usize, key: u64) -> bool {
+        self.table.get(self.row(key)).is_some()
+    }
+    fn range_query(&self, _list: usize, lo: u64, hi: u64) -> usize {
+        let lo = lo.min(self.table.max_indexed_value());
+        if hi % 2 == 1 {
+            // The paged route: each page is one bounded transaction.
+            self.table
+                .scan_by_pages("age", lo, hi, 128)
+                .expect("age is indexed")
+                .map(|page| page.len())
+                .sum()
+        } else {
+            self.table
+                .scan_by("age", lo, hi)
+                .expect("age is indexed")
+                .len()
+        }
+    }
+    fn stats_json(&self) -> Option<String> {
+        self.table.store().map(|s| s.stats().to_json())
+    }
+    fn rebalance_step(&self) -> bool {
+        self.table
+            .store()
+            .is_some_and(|s| s.rebalance_step() != RebalanceAction::Idle)
+    }
+}
+
+/// Builds a memdb table target. `sharded` selects the LeapStore backend
+/// (prefix-tagged subspaces, aggressive rebalance policy so a background
+/// driver polling [`BenchTarget::rebalance_step`] splits index-heavy
+/// shards); otherwise the raw per-index Leap-List backend. `age_domain`
+/// should match the workload's key range so scans and updates hit the
+/// populated part of the index.
+///
+/// `shards` (sharded backend only): `None` places each subspace on its
+/// own shard — balanced from the start; `Some(n)` slices the tagged
+/// keyspace into `n` even strides, which **concentrates** each
+/// subspace's populated low end onto one shard (live keys sit far below
+/// a stride boundary) — the skewed layout the `Memdb-reshard` series
+/// hands a background rebalancer to repair via median-key splits.
+pub fn make_memdb_target(
+    sharded: bool,
+    shards: Option<usize>,
+    age_domain: u64,
+    params: Params,
+) -> Arc<dyn BenchTarget> {
+    let schema = Schema::new(&["user", "age"]).with_index("age");
+    let backend = if sharded {
+        Backend::Sharded {
+            params,
+            shards,
+            rebalance: RebalancePolicy {
+                chunk: 256,
+                split_ratio: 1.5,
+                merge_ratio: 0.4,
+                min_split_keys: 128,
+                max_shards: 32,
+            },
+        }
+    } else {
+        Backend::RawLists(params)
+    };
+    Arc::new(MemdbTarget {
+        table: Table::with_backend(schema, backend),
+        age_domain: age_domain.max(1),
+        rows: AtomicU64::new(0),
+        name: if sharded {
+            "Memdb-sharded"
+        } else {
+            "Memdb-raw"
+        },
+    })
 }
 
 /// Builds a LeapStore target with explicit placement configuration: use

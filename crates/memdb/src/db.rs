@@ -1,6 +1,6 @@
 //! A named collection of tables.
 
-use crate::{DbError, Schema, Table};
+use crate::{Backend, DbError, Schema, Table};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,11 +36,35 @@ impl Db {
     ///
     /// [`DbError::TableExists`] if the name is taken.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>, DbError> {
+        self.create_table_with(name, schema, Backend::default())
+    }
+
+    /// Creates a table on the sharded [`Backend`]: every index lives in a
+    /// prefix-tagged subspace of one `LeapStore` (see [`Table::sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] if the name is taken.
+    pub fn create_sharded_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>, DbError> {
+        self.create_table_with(name, schema, Backend::sharded())
+    }
+
+    /// Creates a table on an explicit storage [`Backend`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] if the name is taken.
+    pub fn create_table_with(
+        &self,
+        name: &str,
+        schema: Schema,
+        backend: Backend,
+    ) -> Result<Arc<Table>, DbError> {
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        let table = Arc::new(Table::new(schema));
+        let table = Arc::new(Table::with_backend(schema, backend));
         tables.insert(name.to_string(), table.clone());
         Ok(table)
     }

@@ -17,13 +17,16 @@ pub enum DbError {
         /// Columns the caller supplied.
         got: usize,
     },
-    /// An indexed column value exceeds the 32-bit bound imposed by the
-    /// composite `(value, row id)` index keys.
+    /// An indexed column value exceeds the bound imposed by the backend's
+    /// composite `(value, row id)` index keys (32 bits on raw lists,
+    /// 28 bits under the sharded backend's subspace tags).
     ValueOutOfRange {
         /// The offending column.
         column: String,
         /// The offending value.
         value: u64,
+        /// The backend's largest representable indexed value.
+        bound: u64,
     },
     /// The referenced row does not exist (anymore).
     NoSuchRow(crate::RowId),
@@ -41,8 +44,15 @@ impl fmt::Display for DbError {
             DbError::WrongArity { expected, got } => {
                 write!(f, "expected {expected} columns, got {got}")
             }
-            DbError::ValueOutOfRange { column, value } => {
-                write!(f, "indexed column '{column}' value {value} exceeds 2^32-1")
+            DbError::ValueOutOfRange {
+                column,
+                value,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "indexed column '{column}' value {value} exceeds the backend bound {bound}"
+                )
             }
             DbError::NoSuchRow(id) => write!(f, "row {} does not exist", id.0),
             DbError::NoSuchTable(t) => write!(f, "no table named '{t}'"),

@@ -15,6 +15,14 @@
 //! range scan over an index needs no second lookup and is linearizable
 //! end to end.
 //!
+//! Tables run on one of two storage [`Backend`]s: the default keeps one
+//! Leap-List per index (the paper's layout), while [`Table::sharded`]
+//! packs every index into a prefix-tagged subspace of **one**
+//! range-partitioned `leap_store::LeapStore` — index maintenance becomes
+//! a single cross-shard `Store::apply` transaction, index scans page
+//! through the store's `Cursor`, and a `leap_store::Rebalancer` can
+//! split index-heavy shards while the table serves traffic.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +56,7 @@ mod error;
 mod query;
 mod row;
 mod schema;
+mod storage;
 mod table;
 
 pub use db::Db;
@@ -55,4 +64,5 @@ pub use error::DbError;
 pub use query::Query;
 pub use row::{Row, RowId};
 pub use schema::Schema;
-pub use table::{Table, MAX_INDEXED_VALUE};
+pub use storage::Backend;
+pub use table::{Table, TableScan, MAX_INDEXED_VALUE};

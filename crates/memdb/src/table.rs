@@ -1,50 +1,61 @@
-//! A concurrent table whose primary and secondary indexes are Leap-Lists
-//! sharing one transactional domain.
+//! A concurrent table whose primary and secondary indexes share one
+//! transactional domain, behind a pluggable storage backend.
 //!
 //! # Index layout
 //!
-//! * List 0 — **primary index**: `row id -> Row`.
-//! * One list per indexed column — **covering secondary index**:
-//!   `(column value << 32 | row id) -> Row`. Storing the full (cheaply
-//!   cloned, `Arc`-backed) row makes every range scan self-contained and
-//!   therefore a single linearizable Leap-List range query.
+//! Entries live in numbered **subspaces**:
+//!
+//! * Subspace 0 — **primary index**: `row id -> Row`.
+//! * Subspace `1 + i` — **covering secondary index** for the `i`-th
+//!   indexed column: `(column value, row id) -> Row`. Storing the full
+//!   (cheaply cloned, `Arc`-backed) row makes every range scan
+//!   self-contained and therefore a single linearizable range query.
+//!
+//! How subspaces map onto lists is the backend's business
+//! ([`crate::Backend`]): the default keeps one Leap-List per subspace
+//! (the paper's §4 layout); the **sharded** backend packs every subspace
+//! into one range-partitioned [`leap_store::LeapStore`] under prefix
+//! tags, so indexes spread over shards, scans page through the store's
+//! `Cursor`, and a `Rebalancer` can split index-heavy shards while the
+//! table serves traffic.
 //!
 //! # Atomicity
 //!
-//! `insert` and `delete` maintain the primary and *all* secondary indexes
-//! in **one** linearizable action (`LeapListLt::apply_batch` — one locking
-//! transaction across all lists). `update_column` on a non-indexed column
-//! is likewise one atomic action (it rewrites the stored row under the
-//! same keys everywhere). Updating an *indexed* column must move an entry
-//! between two keys of the same list, which the batch primitive cannot
-//! express; it executes as an atomic delete followed by an atomic
-//! re-insert of the same row id (serialized per row), so a concurrent scan
-//! can miss the row in that window — the one documented non-snapshot
-//! operation.
+//! Every row mutation — `insert`, `delete`, and `update_column` on *any*
+//! column, indexed or not — maintains the primary and **all** secondary
+//! indexes as **one** linearizable action: the mutation's per-subspace
+//! ops commit through a single multi-list transaction
+//! (`LeapListLt::apply_batch_grouped` directly, or `LeapStore::apply` on
+//! the sharded backend — one cross-shard transaction even mid-
+//! migration). An indexed-column update moves the entry between two keys
+//! of one subspace inside that same single transaction, so no scan can
+//! ever observe the row absent from, or doubled in, an index.
 
+use crate::storage::{Backend, IndexOp, TableStorage};
 use crate::{DbError, Row, RowId, Schema};
-use leaplist::{BatchOp, LeapListLt, Params};
+use leap_store::{LeapStore, Subspace, SubspaceStats};
+use leaplist::Params;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const STRIPES: usize = 64;
 
-/// Maximum value storable in an indexed column (the composite index key
-/// packs `(value, row id)` into one word).
+/// Maximum value storable in an indexed column under the default
+/// raw-list backend (the composite index key packs `(value, row id)`
+/// into one 32/32 word). The sharded backend reserves 8 bits for the
+/// subspace tag and allows 28/28 — ask [`Table::max_indexed_value`] for
+/// the live bound.
 pub const MAX_INDEXED_VALUE: u64 = (1 << 32) - 1;
-
-fn composite(value: u64, id: u64) -> u64 {
-    debug_assert!(value <= MAX_INDEXED_VALUE);
-    (value << 32) | (id & 0xFFFF_FFFF)
-}
 
 /// A table with Leap-List indexes (see module docs).
 pub struct Table {
     schema: Schema,
-    /// `lists[0]` is the primary; `lists[1 + i]` serves
-    /// `schema.indexed_columns()[i]`.
-    lists: Vec<LeapListLt<Row>>,
-    /// Column position -> slot in `lists` (secondary indexes only).
+    storage: Box<dyn TableStorage>,
+    /// Composite-key geometry, from the backend: value/id bit widths.
+    value_bits: u32,
+    id_bits: u32,
+    /// Column position -> subspace (secondary indexes only).
     slot_of_column: Vec<Option<usize>>,
     next_row: AtomicU64,
     /// Per-row mutation serialization (delete / update_column).
@@ -52,23 +63,40 @@ pub struct Table {
 }
 
 impl Table {
-    /// Creates an empty table with the paper's default Leap-List
-    /// parameters.
+    /// Creates an empty table on the default raw-list backend with the
+    /// paper's default Leap-List parameters.
     pub fn new(schema: Schema) -> Self {
         Self::with_params(schema, Params::default())
     }
 
-    /// Creates an empty table with explicit Leap-List parameters.
+    /// Creates an empty raw-list table with explicit Leap-List
+    /// parameters.
     pub fn with_params(schema: Schema, params: Params) -> Self {
+        Self::with_backend(schema, Backend::RawLists(params))
+    }
+
+    /// Creates an empty table on the **sharded** backend: one
+    /// [`LeapStore`] holding every index in a prefix-tagged subspace,
+    /// one shard per subspace initially, default rebalancing policy.
+    pub fn sharded(schema: Schema) -> Self {
+        Self::with_backend(schema, Backend::sharded())
+    }
+
+    /// Creates an empty table on an explicit [`Backend`].
+    pub fn with_backend(schema: Schema, backend: Backend) -> Self {
         let indexed = schema.indexed_columns();
-        let lists = LeapListLt::group(1 + indexed.len(), params);
+        let subspaces = 1 + indexed.len();
+        let storage = backend.build(subspaces);
+        let (value_bits, id_bits) = storage.key_bits();
         let mut slot_of_column = vec![None; schema.arity()];
         for (slot, col) in indexed.iter().enumerate() {
             slot_of_column[*col] = Some(1 + slot);
         }
         Table {
             schema,
-            lists,
+            storage,
+            value_bits,
+            id_bits,
             slot_of_column,
             next_row: AtomicU64::new(1),
             stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
@@ -80,14 +108,52 @@ impl Table {
         &self.schema
     }
 
+    /// Largest value an indexed column can hold on this table's backend.
+    pub fn max_indexed_value(&self) -> u64 {
+        (1 << self.value_bits) - 1
+    }
+
+    /// The row-id mask of this table's backend — an **exclusive** bound
+    /// on allocatable ids: the last id allocated before the table panics
+    /// with "row id space exhausted" is `max_row_id() - 1` (the top id is
+    /// reserved so the largest index composite can never collide with
+    /// the store's reserved key `u64::MAX`).
+    pub fn max_row_id(&self) -> u64 {
+        (1 << self.id_bits) - 1
+    }
+
+    /// The backing [`LeapStore`] when this table runs on the sharded
+    /// backend (`None` on raw lists) — the handle for driving
+    /// `split_shard` / `rebalance_step` / a `Rebalancer`, and for store
+    /// statistics.
+    pub fn store(&self) -> Option<&Arc<LeapStore<Row>>> {
+        self.storage.store()
+    }
+
+    /// Per-subspace key counts and shard placement (sharded backend
+    /// only): entry 0 is the primary index, entry `1 + i` the `i`-th
+    /// indexed column's subspace.
+    pub fn subspace_stats(&self) -> Option<Vec<SubspaceStats>> {
+        let store = self.storage.store()?;
+        let tags: Vec<Subspace> = (0..1 + self.schema.indexed_columns().len())
+            .map(|t| Subspace::new(t as u8))
+            .collect();
+        Some(store.subspace_stats(&tags))
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.lists[0].len()
+        self.storage.count(0, 0, self.max_row_id())
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    fn composite(&self, value: u64, id: u64) -> u64 {
+        debug_assert!(value <= self.max_indexed_value());
+        (value << self.id_bits) | (id & self.max_row_id())
     }
 
     fn check_row(&self, values: &[u64]) -> Result<(), DbError> {
@@ -98,10 +164,11 @@ impl Table {
             });
         }
         for col in self.schema.indexed_columns() {
-            if values[col] > MAX_INDEXED_VALUE {
+            if values[col] > self.max_indexed_value() {
                 return Err(DbError::ValueOutOfRange {
                     column: self.schema.column_name(col).to_string(),
                     value: values[col],
+                    bound: self.max_indexed_value(),
                 });
             }
         }
@@ -112,11 +179,6 @@ impl Table {
         &self.stripes[(id.0 as usize) % STRIPES]
     }
 
-    /// Batch refs in list order: primary plus every secondary.
-    fn all_lists(&self) -> Vec<&LeapListLt<Row>> {
-        self.lists.iter().collect()
-    }
-
     /// Inserts a row, updating the primary and every secondary index as
     /// one linearizable action. Returns the new row id.
     ///
@@ -125,24 +187,31 @@ impl Table {
     /// [`DbError::WrongArity`] or [`DbError::ValueOutOfRange`].
     pub fn insert(&self, values: &[u64]) -> Result<RowId, DbError> {
         self.check_row(values)?;
+        // Strictly below the mask: the very last id would make the top
+        // index composite collide with the reserved key u64::MAX.
         let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
-        assert!(id.0 <= 0xFFFF_FFFF, "row id space exhausted");
+        assert!(id.0 < self.max_row_id(), "row id space exhausted");
         let row = Row::new(values);
-        self.write_row(id, &row);
+        self.storage.apply(&self.write_ops(id, &row));
         Ok(id)
     }
 
-    /// Writes `row` under `id` into every index atomically.
-    fn write_row(&self, id: RowId, row: &Row) {
-        let mut ops = Vec::with_capacity(self.lists.len());
-        ops.push(BatchOp::Update(id.0, row.clone()));
+    /// The put batch writing `row` under `id` into every index.
+    fn write_ops(&self, id: RowId, row: &Row) -> Vec<IndexOp> {
+        let mut ops = Vec::with_capacity(1 + self.schema.indexed_columns().len());
+        ops.push(IndexOp::Put {
+            subspace: 0,
+            key: id.0,
+            row: row.clone(),
+        });
         for col in self.schema.indexed_columns() {
-            ops.push(BatchOp::Update(
-                composite(row.get(col).expect("arity checked"), id.0),
-                row.clone(),
-            ));
+            ops.push(IndexOp::Put {
+                subspace: self.slot_of_column[col].expect("indexed column has a slot"),
+                key: self.composite(row.get(col).expect("arity checked"), id.0),
+                row: row.clone(),
+            });
         }
-        LeapListLt::apply_batch(&self.all_lists(), &ops);
+        ops
     }
 
     /// Deletes a row from every index as one linearizable action.
@@ -156,56 +225,68 @@ impl Table {
     }
 
     fn delete_locked(&self, id: RowId) -> Result<Row, DbError> {
-        let row = self.lists[0].lookup(id.0).ok_or(DbError::NoSuchRow(id))?;
-        let mut ops = Vec::with_capacity(self.lists.len());
-        ops.push(BatchOp::Remove(id.0));
+        let row = self.storage.lookup(0, id.0).ok_or(DbError::NoSuchRow(id))?;
+        let mut ops = Vec::with_capacity(1 + self.schema.indexed_columns().len());
+        ops.push(IndexOp::Remove {
+            subspace: 0,
+            key: id.0,
+        });
         for col in self.schema.indexed_columns() {
-            ops.push(BatchOp::Remove(composite(
-                row.get(col).expect("stored rows match arity"),
-                id.0,
-            )));
+            ops.push(IndexOp::Remove {
+                subspace: self.slot_of_column[col].expect("indexed column has a slot"),
+                key: self.composite(row.get(col).expect("stored rows match arity"), id.0),
+            });
         }
-        LeapListLt::apply_batch(&self.all_lists(), &ops);
+        self.storage.apply(&ops);
         Ok(row)
     }
 
     /// Point lookup by row id (linearizable, transaction-free).
     pub fn get(&self, id: RowId) -> Option<Row> {
-        self.lists[0].lookup(id.0)
+        self.storage.lookup(0, id.0)
     }
 
-    /// Sets one column of an existing row.
+    /// Sets one column of an existing row and returns the updated row.
     ///
-    /// Non-indexed columns are updated atomically across all indexes.
-    /// Indexed columns execute as delete + re-insert of the same row id
-    /// (see module docs).
+    /// The primary and **every** secondary index update as one
+    /// linearizable action — including an indexed column, whose entry
+    /// moves between two keys of its subspace *inside the same single
+    /// transaction* (remove old key + insert new key + rewrite the other
+    /// covering entries).
     ///
     /// # Errors
     ///
     /// [`DbError::UnknownColumn`], [`DbError::ValueOutOfRange`] or
     /// [`DbError::NoSuchRow`].
-    pub fn update_column(&self, id: RowId, column: &str, value: u64) -> Result<(), DbError> {
+    pub fn update_column(&self, id: RowId, column: &str, value: u64) -> Result<Row, DbError> {
         let col = self.schema.resolve(column)?;
-        if self.schema.is_indexed(col) && value > MAX_INDEXED_VALUE {
+        if self.schema.is_indexed(col) && value > self.max_indexed_value() {
             return Err(DbError::ValueOutOfRange {
                 column: column.to_string(),
                 value,
+                bound: self.max_indexed_value(),
             });
         }
         let _guard = self.stripe(id).lock();
-        let old = self.lists[0].lookup(id.0).ok_or(DbError::NoSuchRow(id))?;
+        let old = self.storage.lookup(0, id.0).ok_or(DbError::NoSuchRow(id))?;
         let new_row = old.with_column(col, value);
-        if !self.schema.is_indexed(col) {
-            // Keys are unchanged everywhere: rewrite the stored row under
-            // the same keys in one atomic batch.
-            self.write_row(id, &new_row);
-            return Ok(());
+        let mut ops = self.write_ops(id, &new_row);
+        if self.schema.is_indexed(col) {
+            let slot = self.slot_of_column[col].expect("indexed column has a slot");
+            let old_key = self.composite(old.get(col).expect("stored rows match arity"), id.0);
+            let new_key = self.composite(value, id.0);
+            if old_key != new_key {
+                // The entry moves between keys of ONE subspace; the
+                // remove rides in the same atomic batch. (`write_ops`
+                // already put the new key.)
+                ops.push(IndexOp::Remove {
+                    subspace: slot,
+                    key: old_key,
+                });
+            }
         }
-        // Indexed column: the entry moves between keys of ONE list, which
-        // a single batch cannot express — atomic delete, atomic re-insert.
-        self.delete_locked(id)?;
-        self.write_row(id, &new_row);
-        Ok(())
+        self.storage.apply(&ops);
+        Ok(new_row)
     }
 
     /// Linearizable range scan over the index on `column`: every row with
@@ -216,25 +297,72 @@ impl Table {
     ///
     /// [`DbError::UnknownColumn`] or [`DbError::NotIndexed`].
     pub fn scan_by(&self, column: &str, lo: u64, hi: u64) -> Result<Vec<(RowId, Row)>, DbError> {
-        let col = self.schema.resolve_indexed(column)?;
-        let slot = self.slot_of_column[col].expect("indexed column has a slot");
-        let lo_key = composite(lo.min(MAX_INDEXED_VALUE), 0);
-        let hi_key = composite(hi.min(MAX_INDEXED_VALUE), 0xFFFF_FFFF);
-        Ok(self.lists[slot]
-            .range_query(lo_key, hi_key)
+        let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
+        Ok(self
+            .storage
+            .scan(slot, lo_key, hi_key)
             .into_iter()
-            .map(|(k, row)| (RowId(k & 0xFFFF_FFFF), row))
+            .map(|(k, row)| (RowId(k & self.max_row_id()), row))
             .collect())
     }
 
+    /// A paged scan over the index on `column`: each page is one bounded
+    /// linearizable transaction of at most `page_size` rows with a resume
+    /// key (on the sharded backend this routes through
+    /// [`LeapStore::scan`]'s `Cursor`). Between pages the table runs
+    /// free — the usual cursor contract: each page is internally
+    /// consistent, the scan as a whole is not one snapshot (use
+    /// [`Table::scan_by`] for that).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownColumn`] or [`DbError::NotIndexed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn scan_by_pages(
+        &self,
+        column: &str,
+        lo: u64,
+        hi: u64,
+        page_size: usize,
+    ) -> Result<TableScan<'_>, DbError> {
+        assert!(page_size > 0, "a page must hold at least one row");
+        let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
+        Ok(TableScan {
+            table: self,
+            subspace: slot,
+            hi: hi_key,
+            next: Some(lo_key),
+            page_size,
+        })
+    }
+
+    /// Resolves an indexed column and clamps `[lo, hi]` to its composite
+    /// key interval.
+    fn index_range(&self, column: &str, lo: u64, hi: u64) -> Result<(usize, u64, u64), DbError> {
+        let col = self.schema.resolve_indexed(column)?;
+        let slot = self.slot_of_column[col].expect("indexed column has a slot");
+        let lo_key = self.composite(lo.min(self.max_indexed_value()), 0);
+        // Clamp below the reserved sentinel key: the raw backend's full
+        // 32/32 geometry puts its very top composite at u64::MAX (ids
+        // stop one short of the mask, so no row can live there).
+        let hi_key = self
+            .composite(hi.min(self.max_indexed_value()), self.max_row_id())
+            .min(u64::MAX - 1);
+        Ok((slot, lo_key, hi_key))
+    }
+
     /// Number of rows whose `column` value lies in `[lo, hi]` (consistent
-    /// snapshot).
+    /// snapshot; no row clones).
     ///
     /// # Errors
     ///
     /// As for [`Table::scan_by`].
     pub fn count_by(&self, column: &str, lo: u64, hi: u64) -> Result<usize, DbError> {
-        Ok(self.scan_by(column, lo, hi)?.len())
+        let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
+        Ok(self.storage.count(slot, lo_key, hi_key))
     }
 
     /// Starts building a [`Query`](crate::Query) over this table.
@@ -254,11 +382,51 @@ impl Table {
 
     /// All rows, ordered by row id (consistent snapshot).
     pub fn scan_all(&self) -> Vec<(RowId, Row)> {
-        self.lists[0]
-            .range_query(0, 0xFFFF_FFFF)
+        self.storage
+            .scan(0, 0, self.max_row_id())
             .into_iter()
             .map(|(k, row)| (RowId(k), row))
             .collect()
+    }
+}
+
+/// A paged index scan (see [`Table::scan_by_pages`]): iterates pages of
+/// `(row id, row)`, each page one bounded linearizable transaction,
+/// ordered by `(column value, row id)` across the whole scan.
+pub struct TableScan<'t> {
+    table: &'t Table,
+    subspace: usize,
+    hi: u64,
+    next: Option<u64>,
+    page_size: usize,
+}
+
+impl TableScan<'_> {
+    /// The next page, or `None` when the index range is exhausted. Never
+    /// returns an empty page.
+    pub fn next_page(&mut self) -> Option<Vec<(RowId, Row)>> {
+        let lo = self.next?;
+        let page = self
+            .table
+            .storage
+            .scan_page(self.subspace, lo, self.hi, self.page_size);
+        self.next = match page.last() {
+            Some(&(last, _)) if page.len() == self.page_size && last < self.hi => Some(last + 1),
+            _ => None,
+        };
+        (!page.is_empty()).then(|| {
+            page.into_iter()
+                .map(|(k, row)| (RowId(k & self.table.max_row_id()), row))
+                .collect()
+        })
+    }
+}
+
+impl Iterator for TableScan<'_> {
+    type Item = Vec<(RowId, Row)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_page()
     }
 }
 
@@ -268,6 +436,7 @@ impl std::fmt::Debug for Table {
             .field("arity", &self.schema.arity())
             .field("indexes", &self.schema.indexed_columns().len())
             .field("rows", &self.len())
+            .field("sharded", &self.storage.store().is_some())
             .finish()
     }
 }
@@ -276,115 +445,218 @@ impl std::fmt::Debug for Table {
 mod tests {
     use super::*;
 
-    fn people() -> Table {
-        Table::new(
-            Schema::new(&["user", "age", "score"])
-                .with_index("age")
-                .with_index("score"),
-        )
+    fn people_schema() -> Schema {
+        Schema::new(&["user", "age", "score"])
+            .with_index("age")
+            .with_index("score")
+    }
+
+    fn backends() -> [(&'static str, Table); 2] {
+        [
+            ("raw", Table::new(people_schema())),
+            ("sharded", Table::sharded(people_schema())),
+        ]
     }
 
     #[test]
     fn insert_get_delete_roundtrip() {
-        let t = people();
-        let id = t.insert(&[7, 30, 99]).unwrap();
-        assert_eq!(t.get(id).unwrap().columns(), &[7, 30, 99]);
-        assert_eq!(t.len(), 1);
-        let old = t.delete(id).unwrap();
-        assert_eq!(old.columns(), &[7, 30, 99]);
-        assert!(t.get(id).is_none());
-        assert!(t.is_empty());
-        assert_eq!(t.delete(id), Err(DbError::NoSuchRow(id)));
+        for (name, t) in backends() {
+            let id = t.insert(&[7, 30, 99]).unwrap();
+            assert_eq!(t.get(id).unwrap().columns(), &[7, 30, 99], "{name}");
+            assert_eq!(t.len(), 1, "{name}");
+            let old = t.delete(id).unwrap();
+            assert_eq!(old.columns(), &[7, 30, 99], "{name}");
+            assert!(t.get(id).is_none(), "{name}");
+            assert!(t.is_empty(), "{name}");
+            assert_eq!(t.delete(id), Err(DbError::NoSuchRow(id)), "{name}");
+        }
     }
 
     #[test]
     fn arity_and_range_validation() {
-        let t = people();
+        for (name, t) in backends() {
+            assert_eq!(
+                t.insert(&[1, 2]),
+                Err(DbError::WrongArity {
+                    expected: 3,
+                    got: 2
+                }),
+                "{name}"
+            );
+            assert!(
+                matches!(
+                    t.insert(&[1, u64::MAX, 3]),
+                    Err(DbError::ValueOutOfRange { .. })
+                ),
+                "{name}"
+            );
+            // Non-indexed columns may hold any u64.
+            t.insert(&[u64::MAX, 2, 3]).unwrap();
+            // The largest indexed value the backend allows round-trips.
+            let id = t.insert(&[1, t.max_indexed_value(), 3]).unwrap();
+            assert_eq!(
+                t.count_by("age", t.max_indexed_value(), u64::MAX).unwrap(),
+                1,
+                "{name}"
+            );
+            t.delete(id).unwrap();
+        }
+        // The two backends grant different composite-key geometry.
         assert_eq!(
-            t.insert(&[1, 2]),
-            Err(DbError::WrongArity {
-                expected: 3,
-                got: 2
-            })
+            Table::new(people_schema()).max_indexed_value(),
+            (1 << 32) - 1
         );
-        assert!(matches!(
-            t.insert(&[1, u64::MAX, 3]),
-            Err(DbError::ValueOutOfRange { .. })
-        ));
-        // Non-indexed columns may hold any u64.
-        t.insert(&[u64::MAX, 2, 3]).unwrap();
+        assert_eq!(
+            Table::sharded(people_schema()).max_indexed_value(),
+            (1 << 28) - 1
+        );
     }
 
     #[test]
     fn scans_cover_all_indexes() {
-        let t = people();
-        for i in 0..50u64 {
-            t.insert(&[i, i % 10, 100 - i]).unwrap();
+        for (name, t) in backends() {
+            for i in 0..50u64 {
+                t.insert(&[i, i % 10, 100 - i]).unwrap();
+            }
+            let teens = t.scan_by("age", 3, 5).unwrap();
+            assert_eq!(teens.len(), 15, "{name}");
+            for (_, row) in &teens {
+                assert!((3..=5).contains(&row.get(1).unwrap()), "{name}");
+            }
+            // scores are 100 - i for i in 0..50: [90, 100] covers i = 0..=10.
+            assert_eq!(t.count_by("score", 90, 100).unwrap(), 11, "{name}");
+            assert!(t.scan_by("user", 0, 10).is_err(), "user is not indexed");
+            assert!(t.scan_by("nope", 0, 10).is_err(), "{name}");
+            assert_eq!(t.scan_all().len(), 50, "{name}");
         }
-        let teens = t.scan_by("age", 3, 5).unwrap();
-        assert_eq!(teens.len(), 15);
-        for (_, row) in &teens {
-            assert!((3..=5).contains(&row.get(1).unwrap()));
+    }
+
+    #[test]
+    fn paged_scans_tile_the_index() {
+        for (name, t) in backends() {
+            for i in 0..40u64 {
+                t.insert(&[i, i % 8, i]).unwrap();
+            }
+            for page_size in [1usize, 3, 64] {
+                let mut seen = Vec::new();
+                for page in t.scan_by_pages("age", 2, 5, page_size).unwrap() {
+                    assert!(page.len() <= page_size, "{name}");
+                    seen.extend(page);
+                }
+                let whole = t.scan_by("age", 2, 5).unwrap();
+                assert_eq!(seen, whole, "{name} page_size {page_size}");
+            }
+            assert!(t.scan_by_pages("user", 0, 1, 4).is_err(), "{name}");
         }
-        // scores are 100 - i for i in 0..50, so [90, 100] covers i = 0..=10.
-        assert_eq!(t.count_by("score", 90, 100).unwrap(), 11);
-        assert!(t.scan_by("user", 0, 10).is_err(), "user is not indexed");
-        assert!(t.scan_by("nope", 0, 10).is_err());
-        assert_eq!(t.scan_all().len(), 50);
     }
 
     #[test]
     fn delete_removes_from_every_index() {
-        let t = people();
-        let id = t.insert(&[1, 40, 70]).unwrap();
-        t.insert(&[2, 40, 71]).unwrap();
-        assert_eq!(t.count_by("age", 40, 40).unwrap(), 2);
-        t.delete(id).unwrap();
-        assert_eq!(t.count_by("age", 40, 40).unwrap(), 1);
-        assert_eq!(t.count_by("score", 70, 70).unwrap(), 0);
+        for (name, t) in backends() {
+            let id = t.insert(&[1, 40, 70]).unwrap();
+            t.insert(&[2, 40, 71]).unwrap();
+            assert_eq!(t.count_by("age", 40, 40).unwrap(), 2, "{name}");
+            t.delete(id).unwrap();
+            assert_eq!(t.count_by("age", 40, 40).unwrap(), 1, "{name}");
+            assert_eq!(t.count_by("score", 70, 70).unwrap(), 0, "{name}");
+        }
     }
 
     #[test]
     fn update_nonindexed_column_is_visible_everywhere() {
-        let t = people();
-        let id = t.insert(&[5, 20, 30]).unwrap();
-        t.update_column(id, "user", 999).unwrap();
-        assert_eq!(t.get(id).unwrap().get(0), Some(999));
-        // The covering index entries must carry the new row too.
-        let hits = t.scan_by("age", 20, 20).unwrap();
-        assert_eq!(hits[0].1.get(0), Some(999));
+        for (name, t) in backends() {
+            let id = t.insert(&[5, 20, 30]).unwrap();
+            let row = t.update_column(id, "user", 999).unwrap();
+            assert_eq!(row.columns(), &[999, 20, 30], "{name}");
+            assert_eq!(t.get(id).unwrap().get(0), Some(999), "{name}");
+            // The covering index entries must carry the new row too.
+            let hits = t.scan_by("age", 20, 20).unwrap();
+            assert_eq!(hits[0].1.get(0), Some(999), "{name}");
+        }
     }
 
     #[test]
     fn update_indexed_column_moves_between_buckets() {
-        let t = people();
-        let id = t.insert(&[5, 20, 30]).unwrap();
-        t.update_column(id, "age", 60).unwrap();
-        assert_eq!(t.count_by("age", 20, 20).unwrap(), 0);
-        assert_eq!(t.count_by("age", 60, 60).unwrap(), 1);
-        assert_eq!(t.get(id).unwrap().get(1), Some(60));
-        // Score index entry must also carry the updated row.
-        let hits = t.scan_by("score", 30, 30).unwrap();
-        assert_eq!(hits[0].1.get(1), Some(60));
+        for (name, t) in backends() {
+            let id = t.insert(&[5, 20, 30]).unwrap();
+            t.update_column(id, "age", 60).unwrap();
+            assert_eq!(t.count_by("age", 20, 20).unwrap(), 0, "{name}");
+            assert_eq!(t.count_by("age", 60, 60).unwrap(), 1, "{name}");
+            assert_eq!(t.get(id).unwrap().get(1), Some(60), "{name}");
+            // Score index entry must also carry the updated row.
+            let hits = t.scan_by("score", 30, 30).unwrap();
+            assert_eq!(hits[0].1.get(1), Some(60), "{name}");
+            // Same-value "move": remove and re-put of one key stays put.
+            t.update_column(id, "age", 60).unwrap();
+            assert_eq!(t.count_by("age", 60, 60).unwrap(), 1, "{name}");
+        }
     }
 
     #[test]
     fn update_column_errors() {
-        let t = people();
-        let id = t.insert(&[1, 2, 3]).unwrap();
-        assert!(t.update_column(id, "ghost", 1).is_err());
-        assert!(t.update_column(RowId(999), "age", 1).is_err());
-        assert!(matches!(
-            t.update_column(id, "age", u64::MAX),
-            Err(DbError::ValueOutOfRange { .. })
-        ));
+        for (name, t) in backends() {
+            let id = t.insert(&[1, 2, 3]).unwrap();
+            assert!(t.update_column(id, "ghost", 1).is_err(), "{name}");
+            assert!(t.update_column(RowId(999), "age", 1).is_err(), "{name}");
+            assert!(
+                matches!(
+                    t.update_column(id, "age", u64::MAX),
+                    Err(DbError::ValueOutOfRange { .. })
+                ),
+                "{name}"
+            );
+        }
     }
 
     #[test]
     fn row_ids_are_unique_and_monotone() {
-        let t = people();
-        let a = t.insert(&[1, 1, 1]).unwrap();
-        let b = t.insert(&[2, 2, 2]).unwrap();
-        assert!(b.0 > a.0);
+        for (_, t) in backends() {
+            let a = t.insert(&[1, 1, 1]).unwrap();
+            let b = t.insert(&[2, 2, 2]).unwrap();
+            assert!(b.0 > a.0);
+        }
+    }
+
+    #[test]
+    fn sharded_backend_exposes_its_store() {
+        let raw = Table::new(people_schema());
+        assert!(raw.store().is_none());
+        assert!(raw.subspace_stats().is_none());
+
+        let t = Table::sharded(people_schema());
+        let store = t.store().expect("sharded backend has a store");
+        // One shard per subspace: primary + two indexes.
+        assert_eq!(store.shards(), 3);
+        for i in 0..20u64 {
+            t.insert(&[i, i % 4, i % 7]).unwrap();
+        }
+        let ss = t.subspace_stats().expect("sharded stats");
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss[0].keys, 20, "primary holds every row");
+        assert_eq!(ss[1].keys, 20, "age index covers every row");
+        assert_eq!(ss[2].keys, 20, "score index covers every row");
+        assert!(ss.iter().all(|s| !s.shards.is_empty()));
+        assert_eq!(store.len(), 60, "3 subspaces x 20 rows");
+    }
+
+    #[test]
+    fn sharded_indexed_update_is_one_store_transaction() {
+        let t = Table::sharded(people_schema());
+        let id = t.insert(&[1, 10, 20]).unwrap();
+        let store = t.store().unwrap();
+        let before = store.stats();
+        // Touches 4 keys (primary rewrite, score rewrite, age remove+put,
+        // with the age pair colliding on one subspace) — still ONE txn.
+        t.update_column(id, "age", 11).unwrap();
+        let after = store.stats();
+        assert_eq!(
+            after.stm.total_commits(),
+            before.stm.total_commits() + 1,
+            "an indexed-column update must be exactly one transaction"
+        );
+        assert!(
+            after.collision_batches > before.collision_batches,
+            "the remove+put pair collides on the age subspace's shard"
+        );
     }
 }

@@ -60,6 +60,7 @@ mod rebalance;
 mod router;
 mod stats;
 mod store;
+mod subspace;
 
 pub use batch::{Batcher, BatcherStats, PoisonedOp};
 pub use cursor::{Cursor, DEFAULT_PAGE_SIZE};
@@ -67,6 +68,7 @@ pub use rebalance::{RebalanceAction, RebalanceError, RebalancePolicy, Rebalancer
 pub use router::{MigrationView, Partitioning, Router, RoutingEpoch};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{LeapStore, StoreConfig};
+pub use subspace::{Subspace, SubspaceStats, MAX_PAYLOAD, PAYLOAD_BITS, TAG_BITS};
 
 // Re-exported so store users can build mixed batches without importing
 // leaplist directly.

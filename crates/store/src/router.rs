@@ -338,6 +338,13 @@ impl Router {
         }
     }
 
+    /// Every shard a scan of `subspace` visits per the current table — the
+    /// placement question a prefix-tagged index asks. Equivalent to
+    /// [`Router::shards_for_range`] over the subspace's key interval.
+    pub fn shards_for_subspace(&self, subspace: &crate::Subspace) -> Vec<usize> {
+        self.shards_for_range(subspace.lo(), subspace.hi())
+    }
+
     /// The inclusive key interval slot `s` owns per the current table.
     /// `None` in hash mode (ownership is scattered) and for range-mode
     /// slots that currently own no interval (emptied by a merge).

@@ -629,6 +629,23 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         self.len() == 0
     }
 
+    /// Per-subspace load view for stores carving their keyspace into
+    /// prefix-tagged subspaces ([`crate::Subspace`]): each entry reports
+    /// the subspace's key count (one consistent snapshot per subspace)
+    /// and the shard slots a scan of it visits under the current routing
+    /// table — the signal for judging whether an index subspace has grown
+    /// shard-heavy and is worth a targeted split.
+    pub fn subspace_stats(&self, subspaces: &[crate::Subspace]) -> Vec<crate::SubspaceStats> {
+        subspaces
+            .iter()
+            .map(|ss| crate::SubspaceStats {
+                tag: ss.tag(),
+                keys: self.count_range(ss.lo(), ss.hi()),
+                shards: self.router.shards_for_subspace(ss),
+            })
+            .collect()
+    }
+
     /// A point-in-time statistics snapshot: per-shard op counters and key
     /// counts, routing epoch and migration progress, plus the shared
     /// domain's commit/abort counters.
@@ -797,6 +814,32 @@ mod tests {
         assert!(st.migration.is_none());
         assert!(st.stm.total_commits() > 0, "ops commit through the domain");
         assert!(st.to_json().contains("\"stm\""));
+    }
+
+    #[test]
+    fn subspace_stats_count_tagged_regions() {
+        use crate::Subspace;
+        let (a, b) = (Subspace::new(0), Subspace::new(1));
+        let store: LeapStore<u64> = LeapStore::new(
+            StoreConfig::new(4, Partitioning::Range).with_key_space(Subspace::key_space(2)),
+        );
+        // Two shards per subspace: the boundary halves the tagged region.
+        for p in 0..10u64 {
+            store.put(a.key(p), p);
+        }
+        for p in 0..4u64 {
+            store.put(b.key(p), p);
+        }
+        let st = store.subspace_stats(&[a, b]);
+        assert_eq!(st[0].tag, 0);
+        assert_eq!(st[0].keys, 10);
+        assert_eq!(st[1].keys, 4);
+        assert_eq!(st[0].shards, vec![0, 1], "subspace 0 spans slots 0-1");
+        assert_eq!(st[1].shards, vec![2, 3]);
+        assert_eq!(store.router().shards_for_subspace(&a), vec![0, 1]);
+        // Range over one subspace never leaks the neighbour's keys.
+        let (lo, hi) = a.range(0, u64::MAX);
+        assert_eq!(store.range(lo, hi).len(), 10);
     }
 
     #[test]

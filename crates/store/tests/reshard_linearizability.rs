@@ -1,42 +1,54 @@
-//! Threaded linearizability tests for live resharding: concurrent
-//! `put`/`apply`/`range`/`Cursor` traffic while shards split and merge
-//! underneath.
+//! History-checked linearizability tests for live resharding: concurrent
+//! `put`/`delete`/`multi_put`/`range`/`Cursor` traffic while shards split
+//! and merge underneath.
 //!
-//! Invariants checked while migrations run:
+//! Every worker records each operation's invocation and response through
+//! a `leap_history::Session`; after the run, the offline checker searches
+//! for a real-time-respecting serialization of the **complete history**
+//! against a sequential map model — the dbcop methodology. A lost or
+//! doubled key, a torn batch inside any snapshot, or a stale read under
+//! the migration overlay all surface as "no serialization exists",
+//! without hand-picked sentinel invariants.
 //!
-//! * **No key lost or duplicated** — a set of immortal keys (written once,
-//!   never churned) must appear exactly once, with its original value, in
-//!   every range snapshot and every paged scan covering it.
-//! * **Page-internal consistency** — a writer rewrites a sentinel key set
-//!   with one version per atomic batch; any snapshot or page containing
-//!   two or more sentinels must show a single version (each page is one
-//!   transaction).
-//! * **Spread narrows** — after the rebalance (hot-shard split + cold-pair
-//!   merge) the per-shard key-count spread is strictly smaller.
+//! Cursor pages map exactly onto range events: a page is the *complete*
+//! content of `[resume key, last returned key]` (a full page) or of
+//! `[resume key, hi]` (the final short page) from one linearizable
+//! transaction, so each page is recorded as a `Range` over the interval
+//! it proves.
+//!
+//! Structural rebalance effects (epochs advancing, the key-count spread
+//! narrowing) stay asserted directly.
 
+use leap_history::{check, Op, Recorder, Ret, Session};
 use leap_store::{
     LeapStore, Partitioning, RebalanceAction, RebalancePolicy, Rebalancer, StoreConfig,
 };
 use leaplist::Params;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-const KEY_SPACE: u64 = 10_000;
-/// Immortal keys: k % 10 == 0. Written at prefill with value = key,
-/// never written again.
-fn immortal(k: u64) -> bool {
-    k.is_multiple_of(10)
-}
-/// Sentinels: rewritten atomically as one batch, one version per batch.
-/// Two sit inside the hot shard's interval, the rest spread out.
-const SENTINELS: [u64; 6] = [15, 1_205, 2_405, 4_005, 6_005, 9_005];
-/// Churn keys avoid immortals and sentinels.
-fn churnable(k: u64) -> bool {
-    !immortal(k) && k % 10 != 5
+const KEY_SPACE: u64 = 4_000;
+/// Keys a worker may touch (draws skew toward the hot shard-0 interval).
+fn draw_key(x: u64) -> u64 {
+    if x.is_multiple_of(3) {
+        x % KEY_SPACE
+    } else {
+        x % 1_000
+    }
 }
 
-fn build_store() -> Arc<LeapStore<u64>> {
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Builds the store and prefills it: shard 0's interval `[0, 999]` fully
+/// populated (the hot pile), the rest sparse. Returns the initial model.
+fn build_store(chunk: usize) -> (Arc<LeapStore<u64>>, BTreeMap<u64, u64>) {
     let store = Arc::new(LeapStore::<u64>::new(
         StoreConfig::new(4, Partitioning::Range)
             .with_key_space(KEY_SPACE)
@@ -47,175 +59,151 @@ fn build_store() -> Arc<LeapStore<u64>> {
                 ..Params::default()
             })
             .with_rebalancing(RebalancePolicy {
-                chunk: 64,
+                chunk,
+                split_ratio: 1.5,
+                min_split_keys: 256,
                 ..RebalancePolicy::default()
             }),
     ));
-    // Immortal skeleton over the whole keyspace…
-    for k in (0..KEY_SPACE).step_by(10) {
+    let mut initial = BTreeMap::new();
+    for k in (0..1_000u64).chain((1_000..KEY_SPACE).step_by(5)) {
         store.put(k, k);
+        initial.insert(k, k);
     }
-    // …plus a hot pile in shard 0's interval [0, 2499].
-    for k in 0..2_500u64 {
-        if churnable(k) {
-            store.put(k, 1);
-        }
-    }
-    // Sentinels start at version 0.
-    let v0: Vec<(u64, u64)> = SENTINELS.iter().map(|&k| (k, 0)).collect();
-    store.multi_put(&v0);
-    store
+    (store, initial)
 }
 
-/// Checks one snapshot (a full range result or a single cursor page):
-/// strictly sorted, immortals exact, sentinel versions unanimous.
-fn check_snapshot(snap: &[(u64, u64)], lo: u64, hi: u64, full_coverage: bool) {
-    assert!(
-        snap.windows(2).all(|w| w[0].0 < w[1].0),
-        "snapshot not strictly sorted: duplicate or disorder in [{lo}, {hi}]"
-    );
-    for &(k, v) in snap {
-        if immortal(k) {
-            assert_eq!(v, k, "immortal key {k} mutated");
+/// A put/delete/batch writer: runs until `stop` (but at least `min_ops`
+/// and at most `max_ops` operations, keeping the history bounded).
+fn writer(
+    store: Arc<LeapStore<u64>>,
+    mut session: Session,
+    stop: Arc<AtomicBool>,
+    t: u64,
+    min_ops: usize,
+    max_ops: usize,
+) {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t + 1) | 1;
+    for i in 0..max_ops {
+        if i >= min_ops && stop.load(Ordering::Relaxed) {
+            break;
         }
-    }
-    if full_coverage {
-        let mut expect = (lo..=hi).filter(|&k| immortal(k));
-        let mut got = snap.iter().map(|&(k, _)| k).filter(|&k| immortal(k));
-        loop {
-            match (expect.next(), got.next()) {
-                (None, None) => break,
-                (e, g) => assert_eq!(e, g, "immortal key lost or doubled in [{lo}, {hi}]"),
+        // Unique written values let the checker identify writers exactly.
+        let v = (t + 1) << 40 | i as u64;
+        let a = draw_key(xorshift(&mut x));
+        match xorshift(&mut x) % 3 {
+            0 => {
+                session.put(a, v, || store.put(a, v));
+            }
+            1 => {
+                session.delete(a, || store.delete(a));
+            }
+            _ => {
+                let b = draw_key(xorshift(&mut x));
+                let c = draw_key(xorshift(&mut x));
+                let mut entries: Vec<(u64, u64)> = vec![(a, v), (b, v), (c, v)];
+                entries.dedup_by_key(|e| e.0);
+                let parts = entries.iter().map(|&(k, v)| (k, Some(v))).collect();
+                session.batch(parts, || store.multi_put(&entries));
             }
         }
     }
-    let versions: Vec<u64> = snap
-        .iter()
-        .filter(|(k, _)| SENTINELS.contains(k))
-        .map(|&(_, v)| v)
-        .collect();
-    assert!(
-        versions.windows(2).all(|w| w[0] == w[1]),
-        "torn sentinel batch within one snapshot: {versions:?}"
-    );
 }
 
-/// The acceptance scenario: concurrent put/apply/range/Cursor traffic
-/// while the driver splits the hot shard and merges a cold pair; every
-/// page internally consistent, no key lost or duplicated, spread strictly
-/// narrowed.
+/// A snapshot reader: windowed `range` queries.
+fn range_reader(
+    store: Arc<LeapStore<u64>>,
+    mut session: Session,
+    stop: Arc<AtomicBool>,
+    t: u64,
+    min_ops: usize,
+    max_ops: usize,
+) {
+    let mut x = 0xA076_1D64_78BD_642Fu64.wrapping_mul(t + 3) | 1;
+    for i in 0..max_ops {
+        if i >= min_ops && stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let lo = xorshift(&mut x) % (KEY_SPACE - 500);
+        let hi = lo + 499;
+        session.range(lo, hi, || store.range(lo, hi));
+    }
+}
+
+/// A paged reader: each cursor page is one linearizable transaction over
+/// the interval it proves — recorded as a `Range` of that interval.
+fn cursor_reader(
+    store: Arc<LeapStore<u64>>,
+    mut session: Session,
+    stop: Arc<AtomicBool>,
+    min_scans: usize,
+    max_scans: usize,
+) {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..max_scans {
+        if i >= min_scans && stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let lo = xorshift(&mut x) % (KEY_SPACE - 1_000);
+        let hi = lo + 999;
+        let mut cursor = store.scan_pages(lo, hi, 128);
+        let mut resume = lo;
+        loop {
+            let page_start = resume;
+            // Two-phase recording: the invocation stamp must precede the
+            // page's transaction, and the claimed interval is only known
+            // from the page's content afterwards.
+            let inv = session.invoke();
+            let Some(page) = cursor.next_page() else {
+                // Exhausted: an empty FIRST page proves [lo, hi] empty
+                // (a short page already proved its own tail empty).
+                if page_start == lo {
+                    session.resolve(inv, Op::Range(lo, hi), Ret::Snapshot(Vec::new()));
+                }
+                break;
+            };
+            let full = page.len() == 128;
+            let last = page.last().expect("pages are never empty").0;
+            let proved_hi = if full { last } else { hi };
+            session.resolve(inv, Op::Range(page_start, proved_hi), Ret::Snapshot(page));
+            match cursor.resume_key() {
+                Some(r) => resume = r,
+                None => break,
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: concurrent put/delete/batch/range/Cursor
+/// traffic while the driver splits the hot shard and merges a cold
+/// adjacent pair, chunk by chunk; the full recorded history must be
+/// strictly serializable, the epoch must advance twice, and the
+/// key-count spread must strictly narrow.
 #[test]
 fn concurrent_traffic_survives_split_and_merge() {
-    let store = build_store();
+    let (store, initial) = build_store(64);
     let spread_before = store.stats().key_spread();
+    let rec = Recorder::new();
     let stop = Arc::new(AtomicBool::new(false));
     let mut workers = Vec::new();
-
-    // Sentinel writer: one version per atomic cross-shard batch.
-    {
-        let (store, stop) = (store.clone(), stop.clone());
-        workers.push(std::thread::spawn(move || {
-            let mut version = 1u64;
-            while !stop.load(Ordering::Relaxed) {
-                let batch: Vec<(u64, u64)> = SENTINELS.iter().map(|&k| (k, version)).collect();
-                store.multi_put(&batch);
-                version += 1;
-            }
-        }));
-    }
-    // Churn writers: puts, deletes and mixed multi-shard batches.
     for t in 0..2u64 {
-        let (store, stop) = (store.clone(), stop.clone());
-        workers.push(std::thread::spawn(move || {
-            let mut x = 0x9E3779B97F4A7C15u64.wrapping_mul(t + 1) | 1;
-            let mut step = || {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                x
-            };
-            while !stop.load(Ordering::Relaxed) {
-                // Skew toward the hot interval, like the load that made
-                // the shard hot in the first place.
-                let draw = |s: u64| {
-                    if s.is_multiple_of(3) {
-                        s % KEY_SPACE
-                    } else {
-                        s % 2_500
-                    }
-                };
-                let a = draw(step());
-                let b = draw(step());
-                let c = draw(step());
-                match step() % 3 {
-                    0 if churnable(a) => {
-                        store.put(a, t + 2);
-                    }
-                    1 if churnable(a) => {
-                        store.delete(a);
-                    }
-                    _ => {
-                        let batch: Vec<(u64, u64)> = [a, b, c]
-                            .into_iter()
-                            .filter(|&k| churnable(k))
-                            .map(|k| (k, t + 2))
-                            .collect();
-                        store.multi_put(&batch);
-                    }
-                }
-            }
-        }));
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || writer(s, ses, st, t, 40, 150)));
     }
-    // Range readers: full-coverage snapshots over random windows.
     for t in 0..2u64 {
-        let (store, stop) = (store.clone(), stop.clone());
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
         workers.push(std::thread::spawn(move || {
-            let mut x = 0xA076_1D64_78BD_642Fu64.wrapping_mul(t + 3) | 1;
-            while !stop.load(Ordering::Relaxed) {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let lo = x % (KEY_SPACE - 1_000);
-                let hi = lo + 999;
-                let snap = store.range(lo, hi);
-                check_snapshot(&snap, lo, hi, true);
-            }
+            range_reader(s, ses, st, t, 10, 40)
         }));
     }
-    // Cursor readers: paged scans; each page one transaction, pages tile.
     {
-        let (store, stop) = (store.clone(), stop.clone());
-        workers.push(std::thread::spawn(move || {
-            let mut x = 0x2545F4914F6CDD1Du64;
-            while !stop.load(Ordering::Relaxed) {
-                x ^= x << 13;
-                x ^= x >> 7;
-                x ^= x << 17;
-                let lo = x % (KEY_SPACE - 2_000);
-                let hi = lo + 1_999;
-                let mut pages = 0usize;
-                let mut last_key = None;
-                for page in store.scan_pages(lo, hi, 128) {
-                    assert!(page.len() <= 128);
-                    // Pages are disjoint and ascending across the scan.
-                    if let (Some(prev), Some(&(first, _))) = (last_key, page.first()) {
-                        assert!(first > prev, "pages overlap: {first} after {prev}");
-                    }
-                    last_key = page.last().map(|&(k, _)| k);
-                    // Immortal coverage cannot be asserted per page (a
-                    // page is a bounded prefix), but sortedness, immortal
-                    // values and sentinel unanimity must hold within it.
-                    check_snapshot(&page, lo, hi, false);
-                    pages += 1;
-                }
-                assert!(pages > 0, "non-empty window yielded no pages");
-            }
-        }));
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || cursor_reader(s, ses, st, 3, 12)));
     }
 
-    // The rebalance driver: split the hot shard, then merge the coldest
-    // adjacent pair — chunk by chunk, racing all of the traffic above.
-    std::thread::sleep(Duration::from_millis(50));
+    // The rebalance driver (unrecorded — shard moves are not map ops):
+    // split the hot shard, then merge the coldest adjacent pair, pacing
+    // the chunked drain so worker traffic interleaves with the overlay.
     let hot = {
         let st = store.stats();
         st.shards
@@ -242,7 +230,6 @@ fn concurrent_traffic_survives_split_and_merge() {
         }
     }
     assert!(!store.shard(dst).is_empty(), "split moved keys into {dst}");
-    // Merge the coldest adjacent interval pair.
     let intervals = store.router().routing().intervals();
     let (i, _) = intervals
         .windows(2)
@@ -260,18 +247,32 @@ fn concurrent_traffic_survives_split_and_merge() {
                 completions += 1;
                 break;
             }
-            RebalanceAction::Moved { .. } => {}
+            RebalanceAction::Moved { .. } => std::thread::sleep(Duration::from_millis(1)),
             other => panic!("unexpected action during merge drain: {other:?}"),
         }
     }
-    std::thread::sleep(Duration::from_millis(50));
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         w.join().unwrap();
     }
 
-    // Post-rebalance: the epoch advanced twice, the emptied slot parked,
-    // and the key-count spread strictly narrowed.
+    // A final quiescent full snapshot joins the history: the checker then
+    // certifies totality, not just windowed views.
+    {
+        let mut session = rec.session();
+        session.range(0, KEY_SPACE - 1, || store.range(0, KEY_SPACE - 1));
+        // At quiescence a whole paged scan is one snapshot too.
+        session.range(0, KEY_SPACE - 1, || {
+            store.scan_pages(0, KEY_SPACE - 1, 333).flatten().collect()
+        });
+    }
+    let history = rec.history();
+    assert!(history.len() > 150, "history too small: {}", history.len());
+    let report = check(&history, &initial)
+        .unwrap_or_else(|v| panic!("reshard history is not serializable:\n{v}"));
+    assert_eq!(report.events, history.len());
+
+    // Structural rebalance assertions.
     assert_eq!(completions, 2);
     let st = store.stats();
     assert_eq!(st.migrations_completed, 2);
@@ -284,75 +285,46 @@ fn concurrent_traffic_survives_split_and_merge() {
         spread_before,
         st.key_spread()
     );
-    // Quiescent full check: immortals all present exactly once.
-    let snap = store.range(0, KEY_SPACE - 1);
-    check_snapshot(&snap, 0, KEY_SPACE - 1, true);
-    assert_eq!(snap.len(), store.len());
-    // And the paged scan agrees with the one-shot snapshot at rest.
-    let paged: Vec<(u64, u64)> = store.scan_pages(0, KEY_SPACE - 1, 333).flatten().collect();
-    assert_eq!(paged, snap);
 }
 
 /// The background [`Rebalancer`] under skewed load: policy-driven splits
-/// must fire on their own and every invariant must hold throughout.
+/// must fire on their own while every recorded read and write stays
+/// strictly serializable.
 #[test]
 fn background_rebalancer_balances_skewed_load() {
-    let store = Arc::new(LeapStore::<u64>::new(
-        StoreConfig::new(4, Partitioning::Range)
-            .with_key_space(KEY_SPACE)
-            .with_params(Params {
-                node_size: 8,
-                max_level: 8,
-                use_trie: true,
-                ..Params::default()
-            })
-            .with_rebalancing(RebalancePolicy {
-                chunk: 128,
-                split_ratio: 1.5,
-                min_split_keys: 256,
-                ..RebalancePolicy::default()
-            }),
-    ));
-    for k in 0..2_000u64 {
-        store.put(k, k);
-    }
+    let (store, initial) = build_store(128);
     let spread_before = store.stats().key_spread();
-    let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
+    let rec = Recorder::new();
     let stop = Arc::new(AtomicBool::new(false));
-    let reader = {
-        let (store, stop) = (store.clone(), stop.clone());
-        std::thread::spawn(move || {
-            let mut snaps = 0u64;
-            // Do-while: at least one full snapshot completes even if the
-            // rebalancer finishes before this thread gets scheduled.
-            loop {
-                let snap = store.range(0, KEY_SPACE - 1);
-                assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
-                assert_eq!(snap.len(), 2_000, "reads racing the rebalancer");
-                snaps += 1;
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            snaps
-        })
-    };
+    let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
+    let mut workers = Vec::new();
+    for t in 0..2u64 {
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || writer(s, ses, st, t, 40, 150)));
+    }
+    {
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || {
+            range_reader(s, ses, st, 7, 10, 40)
+        }));
+    }
     // Give the rebalancer time to split the hot shard at least once.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while store.stats().migrations_completed == 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     stop.store(true, Ordering::Relaxed);
-    assert!(reader.join().unwrap() > 0);
+    for w in workers {
+        w.join().unwrap();
+    }
     let actions = rebalancer.stop();
+    let history = rec.history();
+    check(&history, &initial)
+        .unwrap_or_else(|v| panic!("rebalancer history is not serializable:\n{v}"));
     let st = store.stats();
     assert!(
         st.migrations_completed >= 1,
         "policy never split the hot shard (actions: {actions})"
     );
     assert!(st.key_spread() < spread_before);
-    assert_eq!(store.len(), 2_000);
-    for k in 0..2_000u64 {
-        assert_eq!(store.get(k), Some(k), "key {k}");
-    }
 }
