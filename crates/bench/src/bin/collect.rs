@@ -21,12 +21,74 @@
 
 use std::io::Read;
 
-/// One `stats <series> <json>` line.
+/// Whether `s` is one balanced JSON object: `{` ... `}` with every brace
+/// and bracket matched outside string literals and every string closed.
+/// Not a full JSON parser — but enough that a truncated or over-closed
+/// `stats` line (the only way this tool's pass-through splicing could
+/// corrupt the trajectory array) is refused instead of appended.
+fn balanced_json_object(s: &str) -> bool {
+    let mut depth: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut seen_any = false;
+    // char_indices: `i` must be a BYTE offset for the trailing-garbage
+    // slice below — a char count would split multibyte input.
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                if i == 0 && c != '{' {
+                    return false;
+                }
+                depth.push(c as u8);
+                seen_any = true;
+            }
+            '}' => {
+                if depth.pop() != Some(b'{') {
+                    return false;
+                }
+                // A closed top-level object must end the line.
+                if depth.is_empty() && !s[i + c.len_utf8()..].trim().is_empty() {
+                    return false;
+                }
+            }
+            ']' => {
+                if depth.pop() != Some(b'[') {
+                    return false;
+                }
+            }
+            _ => {
+                if depth.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    seen_any && depth.is_empty() && !in_string
+}
+
+/// One `stats <series> <json>` line. Malformed JSON (unbalanced braces,
+/// an unterminated string, trailing garbage) is refused: a bad line
+/// appended verbatim would poison the whole `BENCH_leapstore.json` array
+/// for every later run.
 fn parse_stats_line(line: &str) -> Option<(String, String)> {
     let rest = line.strip_prefix("stats ")?;
     let (label, json) = rest.split_once(' ')?;
     let json = json.trim();
     if !(json.starts_with('{') && json.ends_with('}')) {
+        return None;
+    }
+    if !balanced_json_object(json) {
+        eprintln!("collect: refusing malformed stats line for '{label}'");
         return None;
     }
     Some((label.to_string(), json.to_string()))
@@ -159,6 +221,46 @@ mod tests {
         assert!(parse_stats_line("statsStore-hash {}").is_none());
         assert!(parse_stats_line("stats Store-hash notjson").is_none());
         assert!(parse_stats_line("== leapstore: title ==").is_none());
+    }
+
+    /// A malformed stats line must be refused, not appended — pass-through
+    /// splicing would otherwise corrupt `BENCH_leapstore.json` for every
+    /// later run.
+    #[test]
+    fn malformed_stats_lines_are_refused() {
+        // Over-closed / under-closed braces that still satisfy the naive
+        // starts-with/ends-with check.
+        for bad in [
+            "stats S {\"a\":1}}",             // extra closer
+            "stats S {{\"a\":1}",             // extra opener
+            "stats S {\"a\":[1,2}",           // bracket closed by brace
+            "stats S {\"a\":\"un}",           // unterminated string
+            "stats S {\"a\":1} {\"b\":2}",    // trailing second object
+            "stats S {\"a\":1}]}",            // stray closers
+            "stats S {\"a\":\"}\"} garbage}", // text after the object
+            "stats S {\"日本\":1} {}",        // multibyte + trailing object
+        ] {
+            assert!(parse_stats_line(bad).is_none(), "{bad}");
+        }
+        // Well-formed objects — including braces inside strings, escaped
+        // quotes, and multibyte characters (byte-offset regression: a
+        // char-counted index once made these reject or panic) — pass.
+        for good in [
+            "stats S {}",
+            "stats S {\"a\":{\"b\":[1,2,{}]},\"c\":\"}{\"}",
+            "stats S {\"a\":\"esc\\\"}\"}",
+            "stats S {\"label\":\"débit-日本\"}",
+            "stats S {\"日\":{\"本\":[1]}}",
+            "stats Store-reshard {\"store\":{\"shards\":[]},\"latency\":{}}",
+        ] {
+            assert!(parse_stats_line(good).is_some(), "{good}");
+        }
+        assert!(balanced_json_object("{\"x\":1}"));
+        assert!(
+            !balanced_json_object("[1,2]"),
+            "top level must be an object"
+        );
+        assert!(!balanced_json_object(""));
     }
 
     #[test]

@@ -741,5 +741,14 @@ mod tests {
             "reshard stats carry the routing epoch: {reshard_json}"
         );
         assert!(reshard_json.contains("\"migrations_completed\":"));
+        assert!(
+            reshard_json.contains("\"concurrent_migrations\":"),
+            "reshard stats report the in-flight migration count: {reshard_json}"
+        );
+        assert!(
+            reshard_json.contains("\"peak_concurrent_migrations\":"),
+            "reshard stats report the peak migration concurrency: {reshard_json}"
+        );
+        assert!(reshard_json.contains("\"key_spread_ratio\":"));
     }
 }

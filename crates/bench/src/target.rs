@@ -351,6 +351,7 @@ pub fn make_memdb_target(
                 merge_ratio: 0.4,
                 min_split_keys: 128,
                 max_shards: 32,
+                ..RebalancePolicy::default()
             },
         }
     } else {
@@ -411,6 +412,7 @@ pub fn make_reshard_store_target(
                     merge_ratio: 0.4,
                     min_split_keys: 128,
                     max_shards: 32,
+                    ..RebalancePolicy::default()
                 }),
         ),
         shards,

@@ -295,7 +295,10 @@ impl Table {
     ///
     /// # Errors
     ///
-    /// [`DbError::UnknownColumn`] or [`DbError::NotIndexed`].
+    /// [`DbError::UnknownColumn`], [`DbError::NotIndexed`], or
+    /// [`DbError::ValueOutOfRange`] when `lo` exceeds the backend's
+    /// [`Table::max_indexed_value`] (no stored value could match; `hi`
+    /// merely clamps so open-ended scans stay valid).
     pub fn scan_by(&self, column: &str, lo: u64, hi: u64) -> Result<Vec<(RowId, Row)>, DbError> {
         let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
         Ok(self
@@ -316,7 +319,7 @@ impl Table {
     ///
     /// # Errors
     ///
-    /// [`DbError::UnknownColumn`] or [`DbError::NotIndexed`].
+    /// As for [`Table::scan_by`].
     ///
     /// # Panics
     ///
@@ -339,12 +342,26 @@ impl Table {
         })
     }
 
-    /// Resolves an indexed column and clamps `[lo, hi]` to its composite
+    /// Resolves an indexed column and maps `[lo, hi]` to its composite
     /// key interval.
+    ///
+    /// A `lo` beyond the backend's representable bound is an error, not a
+    /// clamp: no stored value can satisfy it, and clamping used to fold
+    /// the query onto the boundary value itself — returning phantom rows
+    /// whose column value *is* the bound instead of either the empty set
+    /// or a diagnostic. `hi` still clamps, so open-ended scans like
+    /// `[x, u64::MAX]` keep meaning "everything at or above x".
     fn index_range(&self, column: &str, lo: u64, hi: u64) -> Result<(usize, u64, u64), DbError> {
         let col = self.schema.resolve_indexed(column)?;
         let slot = self.slot_of_column[col].expect("indexed column has a slot");
-        let lo_key = self.composite(lo.min(self.max_indexed_value()), 0);
+        if lo > self.max_indexed_value() {
+            return Err(DbError::ValueOutOfRange {
+                column: self.schema.column_name(col).to_string(),
+                value: lo,
+                bound: self.max_indexed_value(),
+            });
+        }
+        let lo_key = self.composite(lo, 0);
         // Clamp below the reserved sentinel key: the raw backend's full
         // 32/32 geometry puts its very top composite at u64::MAX (ids
         // stop one short of the mask, so no row can live there).
@@ -502,6 +519,81 @@ mod tests {
             t.delete(id).unwrap();
         }
         // The two backends grant different composite-key geometry.
+        assert_eq!(
+            Table::new(people_schema()).max_indexed_value(),
+            (1 << 32) - 1
+        );
+        assert_eq!(
+            Table::sharded(people_schema()).max_indexed_value(),
+            (1 << 28) - 1
+        );
+    }
+
+    /// Bound parity at the exact boundary, per backend: the reported
+    /// `ValueOutOfRange.bound` matches [`Table::max_indexed_value`]
+    /// (32-bit raw vs 28-bit sharded), a row AT the bound is scannable,
+    /// and a scan whose `lo` lies beyond it errors instead of silently
+    /// clamping onto the boundary value (the old behavior returned the
+    /// boundary row as a phantom match).
+    #[test]
+    fn scan_bound_parity_at_the_exact_boundary() {
+        for (name, t) in backends() {
+            let bound = t.max_indexed_value();
+            assert_eq!(
+                bound,
+                if name == "raw" {
+                    (1 << 32) - 1
+                } else {
+                    (1 << 28) - 1
+                },
+                "{name}"
+            );
+            let id = t.insert(&[9, bound, 5]).unwrap();
+            // The boundary value itself scans and counts on both surfaces.
+            let hits = t.scan_by("age", bound, bound).unwrap();
+            assert_eq!(hits.len(), 1, "{name}");
+            assert_eq!(hits[0].0, id, "{name}");
+            assert_eq!(t.count_by("age", bound, u64::MAX).unwrap(), 1, "{name}");
+            // One past the bound: an error carrying the backend's bound —
+            // NOT a silent clamp that would re-surface the boundary row.
+            for (lo, hi) in [(bound + 1, bound + 1), (bound + 1, u64::MAX)] {
+                match t.scan_by("age", lo, hi) {
+                    Err(DbError::ValueOutOfRange {
+                        column,
+                        value,
+                        bound: b,
+                    }) => {
+                        assert_eq!(column, "age", "{name}");
+                        assert_eq!(value, lo, "{name}");
+                        assert_eq!(b, bound, "{name}: error reports the live bound");
+                    }
+                    other => panic!("{name}: expected ValueOutOfRange, got {other:?}"),
+                }
+                assert!(
+                    matches!(
+                        t.count_by("age", lo, hi),
+                        Err(DbError::ValueOutOfRange { .. })
+                    ),
+                    "{name}"
+                );
+                assert!(
+                    matches!(
+                        t.scan_by_pages("age", lo, hi, 4),
+                        Err(DbError::ValueOutOfRange { .. })
+                    ),
+                    "{name}"
+                );
+            }
+            // The insert-side rejection reports the same bound.
+            match t.insert(&[1, bound + 1, 2]) {
+                Err(DbError::ValueOutOfRange { bound: b, .. }) => assert_eq!(b, bound, "{name}"),
+                other => panic!("{name}: expected ValueOutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backend_geometry_is_reported() {
         assert_eq!(
             Table::new(people_schema()).max_indexed_value(),
             (1 << 32) - 1

@@ -3,8 +3,12 @@
 //! ([`leaplist::LeapListLt::range_page_group`]) with a resume key — so a
 //! million-key scan never materializes in one transaction, never holds a
 //! transaction open between pages, and keeps working while a
-//! [`crate::Rebalancer`] moves the very keys it is scanning. This is also
-//! the primitive the migration driver itself pages with.
+//! [`crate::Rebalancer`] moves the very keys it is scanning — including
+//! pages that straddle **several concurrent disjoint migrations**: each
+//! page's plan includes both sides of every overlay it overlaps, and its
+//! range-scoped stamp ignores overlays elsewhere, so a disjoint range
+//! rebalancing never forces a page to retry. This is also the primitive
+//! the migration driver itself pages with.
 
 use crate::store::LeapStore;
 

@@ -6,7 +6,11 @@
 //!
 //! A migration moves a **suffix** `[lo, hi]` of the source shard's owned
 //! interval into a destination shard (a fresh slot for a split, the
-//! adjacent neighbour for a merge). It proceeds in three phases:
+//! adjacent neighbour for a merge). Several migrations may be in flight
+//! at once provided they share no shard slot (which makes their key
+//! ranges disjoint by construction — see `router.rs`); the step driver
+//! round-robins one bounded chunk over the in-flight set, so k disjoint
+//! hot ranges drain in parallel. Each migration proceeds in three phases:
 //!
 //! 1. **Begin** — the router installs a [`crate::MigrationView`] overlay
 //!    under its exclusive writer gate: once `begin` returns, every write
@@ -28,10 +32,11 @@
 //!    the free-slot pool for the next split to reuse.
 //!
 //! Linearizable multi-shard reads do not lock anything: they capture the
-//! overlay identity before planning, include **both** sides of an
-//! overlapping migration in their single snapshot transaction, and retry
-//! if a migration began or completed in between (rare lifecycle events,
-//! not per-chunk events).
+//! **range-scoped** overlay stamp before planning, include both sides of
+//! every migration overlapping their range in their single snapshot
+//! transaction, and retry only if a migration *overlapping their range*
+//! began or completed in between (rare lifecycle events, not per-chunk
+//! events — and never events of a disjoint migration).
 
 use crate::router::Partitioning;
 use crate::store::LeapStore;
@@ -46,8 +51,10 @@ pub enum RebalanceError {
     /// Hash partitioning scatters keys; there are no contiguous
     /// sub-ranges to migrate.
     HashPartitioning,
-    /// Another migration is already in flight (at most one at a time).
-    MigrationInFlight,
+    /// The source or destination slot already participates in an
+    /// in-flight migration (concurrent migrations must be slot-disjoint,
+    /// which keeps their key ranges disjoint by construction).
+    SlotBusy,
     /// A shard index was out of bounds, or source equals destination.
     BadShard,
     /// The split key is outside the source shard's owned interval.
@@ -57,17 +64,21 @@ pub enum RebalanceError {
     NonAdjacent,
     /// The source shard owns no interval (already merged away).
     NothingToMove,
+    /// A [`RebalancePolicy`] field combination is rejected (see
+    /// [`RebalancePolicy::validate`]); the message names the offence.
+    InvalidPolicy(&'static str),
 }
 
 impl std::fmt::Display for RebalanceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let msg = match self {
             RebalanceError::HashPartitioning => "hash partitioning cannot be resharded",
-            RebalanceError::MigrationInFlight => "a migration is already in flight",
+            RebalanceError::SlotBusy => "shard slot already participates in a migration",
             RebalanceError::BadShard => "shard index out of bounds or source == destination",
             RebalanceError::BadSplitKey => "split key outside the source shard's interval",
             RebalanceError::NonAdjacent => "destination interval not adjacent to the range",
             RebalanceError::NothingToMove => "source shard owns no interval",
+            RebalanceError::InvalidPolicy(why) => return write!(f, "invalid policy: {why}"),
         };
         f.write_str(msg)
     }
@@ -77,21 +88,38 @@ impl std::error::Error for RebalanceError {}
 
 /// Tuning for [`LeapStore::rebalance_step`]'s automatic decisions and for
 /// the chunked drain.
+///
+/// The split/merge thresholds act on a per-shard **load score**, not the
+/// raw key count: `score = keys + op_weight × op_rate`, where `op_rate`
+/// is a decaying average of the operations (gets, puts, deletes, range
+/// visits, batch parts) the shard served since the previous policy
+/// census. A read-hot shard therefore splits even when its key count is
+/// unremarkable — the signal [`crate::ShardStats`] always carried but
+/// the policy previously ignored.
 #[derive(Debug, Clone)]
 pub struct RebalancePolicy {
     /// Maximum keys moved per [`LeapStore::rebalance_step`] call — the
     /// bound on how long the per-migration write lock is held.
     pub chunk: usize,
-    /// Auto-split a shard whose key count exceeds `split_ratio ×` the
-    /// mean over interval-owning shards.
+    /// Auto-split a shard whose load score exceeds `split_ratio ×` the
+    /// mean over interval-owning shards. Must exceed both `1.0` and
+    /// `2 × merge_ratio` (see [`RebalancePolicy::validate`]).
     pub split_ratio: f64,
-    /// Auto-merge two adjacent shards whose combined key count is below
+    /// Auto-merge two adjacent shards whose combined load score is below
     /// `merge_ratio ×` the mean.
     pub merge_ratio: f64,
     /// Never auto-split a shard holding fewer keys than this.
     pub min_split_keys: usize,
     /// Never auto-split once this many shards own intervals.
     pub max_shards: usize,
+    /// Weight of the op-rate term in the load score (`0.0` restores the
+    /// pure key-count policy).
+    pub op_weight: f64,
+    /// Most migrations the policy keeps in flight at once; the drain
+    /// round-robins over them. Explicit [`LeapStore::split_shard`] /
+    /// [`LeapStore::merge_shards`] calls are not bounded by this — only
+    /// by slot-disjointness.
+    pub max_concurrent_migrations: usize,
 }
 
 impl Default for RebalancePolicy {
@@ -102,7 +130,63 @@ impl Default for RebalancePolicy {
             merge_ratio: 0.5,
             min_split_keys: 64,
             max_shards: 64,
+            op_weight: 0.25,
+            max_concurrent_migrations: 4,
         }
+    }
+}
+
+impl RebalancePolicy {
+    /// Checks the field combination for configurations that cannot
+    /// converge. [`LeapStore::new`] calls this and panics on `Err`, so a
+    /// store can never be constructed with a thrash-prone policy.
+    ///
+    /// The load-bearing rule is `split_ratio > 2 × merge_ratio`: a merged
+    /// pair's score is below `merge_ratio × mean`, so under the rule it
+    /// can never immediately exceed `split_ratio × mean'` again, and a
+    /// split shard's halves (whose combined score *exceeded*
+    /// `split_ratio × mean`) can never immediately re-qualify as a merge
+    /// pair — the split/merge cycle that livelocks
+    /// [`LeapStore::rebalance_until_idle`] on borderline layouts.
+    ///
+    /// # Errors
+    ///
+    /// [`RebalanceError::InvalidPolicy`] naming the offending rule.
+    pub fn validate(&self) -> Result<(), RebalanceError> {
+        if self.chunk == 0 {
+            return Err(RebalanceError::InvalidPolicy("chunk must be at least 1"));
+        }
+        if !self.split_ratio.is_finite() || self.split_ratio <= 1.0 {
+            return Err(RebalanceError::InvalidPolicy(
+                "split_ratio must be finite and greater than 1.0",
+            ));
+        }
+        if !self.merge_ratio.is_finite() || self.merge_ratio < 0.0 {
+            return Err(RebalanceError::InvalidPolicy(
+                "merge_ratio must be finite and non-negative",
+            ));
+        }
+        if self.split_ratio <= 2.0 * self.merge_ratio {
+            return Err(RebalanceError::InvalidPolicy(
+                "split_ratio must exceed 2 * merge_ratio (split/merge thresholds overlap)",
+            ));
+        }
+        if !self.op_weight.is_finite() || self.op_weight < 0.0 {
+            return Err(RebalanceError::InvalidPolicy(
+                "op_weight must be finite and non-negative",
+            ));
+        }
+        if self.max_shards == 0 {
+            return Err(RebalanceError::InvalidPolicy(
+                "max_shards must be at least 1",
+            ));
+        }
+        if self.max_concurrent_migrations == 0 {
+            return Err(RebalanceError::InvalidPolicy(
+                "max_concurrent_migrations must be at least 1",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -217,12 +301,16 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
 
     /// Advances resharding by one bounded action and reports it:
     ///
-    /// * a migration is in flight → move one chunk (`policy.chunk` keys,
-    ///   one cross-list transaction), or complete the migration if the
-    ///   range has drained;
-    /// * otherwise → consult the [`RebalancePolicy`] against per-shard key
-    ///   counts and start a split of the hottest shard or a merge of the
-    ///   coldest adjacent pair, if either threshold trips;
+    /// * fewer migrations in flight than the policy's
+    ///   `max_concurrent_migrations` → consult the [`RebalancePolicy`]
+    ///   against per-shard load scores (key counts plus a decaying op
+    ///   rate) and start a split of the hottest eligible shard or a merge
+    ///   of the coldest adjacent pair, provided neither slot already
+    ///   participates in a migration;
+    /// * otherwise, migrations in flight → pick one **round-robin** and
+    ///   move one chunk (`policy.chunk` keys, one cross-list transaction),
+    ///   or complete it if its range has drained — k disjoint hot ranges
+    ///   drain in parallel instead of queueing behind one another;
     /// * otherwise → [`RebalanceAction::Idle`].
     ///
     /// Deterministic and re-entrant: concurrent callers serialize, so a
@@ -232,50 +320,89 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .step_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some(m) = self.router().migration_state() {
-            let (src, dst) = (self.list(m.src), self.list(m.dst));
-            let chunk = self.policy.chunk.max(1);
-            let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
-            let frontier = m.frontier.load(Ordering::Relaxed);
-            let page = src.range_page(frontier, m.hi, chunk);
-            if page.is_empty() {
-                // Drained. In-range writes go to dst (they hold the same
-                // write lock and commit cross-list), so the source range
-                // stays empty after we release the lock; ownership can
-                // flip safely.
-                drop(guard);
-                let epoch = self.router().complete_migration(&m);
-                if self.router().shard_interval(m.src).is_none() {
-                    self.free_slots
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push(m.src);
-                }
-                self.migrations_completed.fetch_add(1, Ordering::Relaxed);
-                return RebalanceAction::Completed { epoch };
+        let inflight = self.router().overlay_states();
+        if self.router().mode() == Partitioning::Range
+            && inflight.len() < self.policy.max_concurrent_migrations
+        {
+            if let Some(action) = self.policy_action(&inflight) {
+                return action;
             }
-            // One transaction: the page leaves src and lands in dst, so a
-            // concurrent snapshot (which visits both lists in one
-            // transaction of its own) sees each key exactly once.
-            let rm: Vec<BatchOp<V>> = page.iter().map(|(k, _)| BatchOp::Remove(*k)).collect();
-            let ins: Vec<BatchOp<V>> = page
-                .iter()
-                .map(|(k, v)| BatchOp::Update(*k, v.clone()))
-                .collect();
-            LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &ins]);
-            let last = page.last().expect("non-empty page").0;
-            m.frontier.store(last + 1, Ordering::Relaxed);
-            m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
-            return RebalanceAction::Moved {
-                src: m.src,
-                dst: m.dst,
-                keys: page.len(),
-            };
         }
-        if self.router().mode() != Partitioning::Range {
+        if inflight.is_empty() {
             return RebalanceAction::Idle;
         }
-        // Load census over interval-owning shards, in key order.
+        let pick = self.rebalance_rr.fetch_add(1, Ordering::Relaxed) % inflight.len();
+        self.drain_step(&inflight[pick])
+    }
+
+    /// One bounded drain action on migration `m`: move a chunk, or
+    /// complete it when the range has drained.
+    fn drain_step(&self, m: &Arc<crate::router::MigrationState>) -> RebalanceAction {
+        let (src, dst) = (self.list(m.src), self.list(m.dst));
+        let chunk = self.policy.chunk.max(1);
+        let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let frontier = m.frontier.load(Ordering::Relaxed);
+        let page = src.range_page(frontier, m.hi, chunk);
+        if page.is_empty() {
+            // Drained. In-range writes go to dst (they hold the same
+            // write lock and commit cross-list), so the source range
+            // stays empty after we release the lock; ownership can
+            // flip safely.
+            drop(guard);
+            let epoch = self.router().complete_migration(m);
+            let done = self.migrations_completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.router().shard_interval(m.src).is_none() {
+                // The source emptied entirely: this was a merge; park the
+                // slot for the next split to reuse.
+                self.free_slots
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(m.src);
+            } else {
+                // The source kept its lower half: this was a split. Shield
+                // the fresh pair from immediate re-merging (hysteresis —
+                // see `policy_action`); the shield expires once other
+                // migrations complete, so a pair that later goes genuinely
+                // cold can still merge.
+                let pair = (m.src.min(m.dst), m.src.max(m.dst));
+                let mut recent = self
+                    .recent_splits
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                recent.retain(|(p, _)| *p != pair);
+                recent.push_front((pair, done));
+                recent.truncate(8);
+            }
+            return RebalanceAction::Completed { epoch };
+        }
+        // One transaction: the page leaves src and lands in dst, so a
+        // concurrent snapshot (which visits both lists in one
+        // transaction of its own) sees each key exactly once.
+        let rm: Vec<BatchOp<V>> = page.iter().map(|(k, _)| BatchOp::Remove(*k)).collect();
+        let ins: Vec<BatchOp<V>> = page
+            .iter()
+            .map(|(k, v)| BatchOp::Update(*k, v.clone()))
+            .collect();
+        LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &ins]);
+        let last = page.last().expect("non-empty page").0;
+        m.frontier.store(last + 1, Ordering::Relaxed);
+        m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
+        RebalanceAction::Moved {
+            src: m.src,
+            dst: m.dst,
+            keys: page.len(),
+        }
+    }
+
+    /// Consults the policy for a new migration to start, skipping shards
+    /// already involved in one. Returns `None` when no threshold trips.
+    fn policy_action(
+        &self,
+        inflight: &[Arc<crate::router::MigrationState>],
+    ) -> Option<RebalanceAction> {
+        let involved = |s: usize| inflight.iter().any(|m| m.src == s || m.dst == s);
+        // Load census over interval-owning shards, in key order: keys plus
+        // the decaying op rate (see `RebalancePolicy` docs).
         let loads: Vec<(usize, u64, u64, u64)> = self
             .router()
             .routing()
@@ -283,14 +410,21 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .into_iter()
             .map(|(s, lo, hi)| (s, lo, hi, self.list(s).len() as u64))
             .collect();
-        let mean = loads.iter().map(|l| l.3).sum::<u64>() as f64 / loads.len() as f64;
-        // Split the hottest shard when it dominates the mean.
+        let rates = self.op_rate_census();
+        let score = |&(s, _, _, keys): &(usize, u64, u64, u64)| {
+            keys as f64 + self.policy.op_weight * rates[s]
+        };
+        let mean = loads.iter().map(score).sum::<f64>() / loads.len() as f64;
+        // Split the hottest eligible shard when it dominates the mean.
         if loads.len() < self.policy.max_shards {
-            if let Some(&(s, lo, hi, keys)) = loads.iter().max_by_key(|l| l.3) {
-                if keys as f64 > self.policy.split_ratio * mean
-                    && keys as usize >= self.policy.min_split_keys.max(2)
-                    && lo < hi
-                {
+            let candidate = loads
+                .iter()
+                .filter(|&&(s, lo, hi, keys)| {
+                    !involved(s) && lo < hi && keys as usize >= self.policy.min_split_keys.max(2)
+                })
+                .max_by(|a, b| score(a).total_cmp(&score(b)));
+            if let Some(&(s, lo, hi, keys)) = candidate {
+                if score(&(s, lo, hi, keys)) > self.policy.split_ratio * mean {
                     // Split at the median key: the last key of the first
                     // half, found with one bounded page.
                     let half = (keys as usize / 2).max(1);
@@ -298,18 +432,38 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     if let Some(&(median, _)) = page.last() {
                         let at = (median + 1).clamp(lo + 1, hi);
                         if let Ok(dst) = self.split_locked(s, at) {
-                            return RebalanceAction::SplitStarted { shard: s, at, dst };
+                            return Some(RebalanceAction::SplitStarted { shard: s, at, dst });
                         }
                     }
                 }
             }
         }
-        // Merge the coldest adjacent pair when both are near-empty.
+        // Merge the coldest adjacent pair when both are near-empty —
+        // unless the pair was just created by a split (hysteresis: a
+        // borderline layout must not thrash split-then-merge forever).
+        // "Just" means no two other migrations have completed since, so
+        // the shield cannot starve a pair that later goes cold for good.
         if loads.len() >= 2 {
-            if let Some(w) = loads
+            let done = self.migrations_completed.load(Ordering::Relaxed);
+            let recent: Vec<(usize, usize)> = self
+                .recent_splits
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .filter(|&&(_, at)| done.saturating_sub(at) < 2)
+                .map(|&(p, _)| p)
+                .collect();
+            let candidate = loads
                 .windows(2)
-                .min_by_key(|w| w[0].3 + w[1].3)
-                .filter(|w| ((w[0].3 + w[1].3) as f64) < self.policy.merge_ratio * mean)
+                .filter(|w| {
+                    let pair = (w[0].0.min(w[1].0), w[0].0.max(w[1].0));
+                    !involved(w[0].0) && !involved(w[1].0) && !recent.contains(&pair)
+                })
+                .min_by(|a, b| {
+                    (score(&a[0]) + score(&a[1])).total_cmp(&(score(&b[0]) + score(&b[1])))
+                });
+            if let Some(w) =
+                candidate.filter(|w| score(&w[0]) + score(&w[1]) < self.policy.merge_ratio * mean)
             {
                 // Drain the smaller half into the bigger one.
                 let (src, dst) = if w[0].3 <= w[1].3 {
@@ -318,11 +472,11 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     (w[1].0, w[0].0)
                 };
                 if self.merge_locked(src, dst).is_ok() {
-                    return RebalanceAction::MergeStarted { src, dst };
+                    return Some(RebalanceAction::MergeStarted { src, dst });
                 }
             }
         }
-        RebalanceAction::Idle
+        None
     }
 
     /// Drives [`LeapStore::rebalance_step`] until it reports
@@ -570,10 +724,171 @@ mod tests {
         assert_eq!(hash.rebalance_step(), RebalanceAction::Idle);
         store.split_shard(0, 100).expect("valid");
         assert_eq!(
-            store.split_shard(1, 600),
-            Err(RebalanceError::MigrationInFlight)
+            store.split_shard(0, 200),
+            Err(RebalanceError::SlotBusy),
+            "the source is already migrating"
         );
+        // A slot-disjoint split runs concurrently instead of failing.
+        store.split_shard(1, 600).expect("disjoint split");
+        assert_eq!(store.router().migrations().len(), 2);
         store.rebalance_until_idle();
+        assert!(store.router().migrations().is_empty());
         assert!(format!("{}", RebalanceError::NonAdjacent).contains("adjacent"));
+        assert!(format!("{}", RebalanceError::SlotBusy).contains("slot"));
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected_at_construction() {
+        assert!(RebalancePolicy::default().validate().is_ok());
+        let bad = [
+            RebalancePolicy {
+                chunk: 0,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                split_ratio: 1.0,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                split_ratio: f64::NAN,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                merge_ratio: -0.1,
+                ..RebalancePolicy::default()
+            },
+            // The thrash overlap: a merged pair could immediately
+            // re-qualify for splitting.
+            RebalancePolicy {
+                split_ratio: 1.2,
+                merge_ratio: 0.7,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                op_weight: -1.0,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                max_shards: 0,
+                ..RebalancePolicy::default()
+            },
+            RebalancePolicy {
+                max_concurrent_migrations: 0,
+                ..RebalancePolicy::default()
+            },
+        ];
+        for p in bad {
+            let err = p.validate().expect_err("policy must be rejected");
+            assert!(matches!(err, RebalanceError::InvalidPolicy(_)), "{p:?}");
+            assert!(err.to_string().contains("invalid policy"), "{err}");
+        }
+        let caught = std::panic::catch_unwind(|| {
+            LeapStore::<u64>::new(StoreConfig::new(2, Partitioning::Range).with_rebalancing(
+                RebalancePolicy {
+                    split_ratio: 1.2,
+                    merge_ratio: 0.7,
+                    ..RebalancePolicy::default()
+                },
+            ))
+        });
+        assert!(
+            caught.is_err(),
+            "the store must refuse a thrash-prone policy"
+        );
+    }
+
+    /// The borderline layout that livelocked `rebalance_until_idle` when
+    /// split and merge thresholds could overlap: with validated ratios
+    /// plus the just-split hysteresis, the pass must terminate (bounded
+    /// action count) and leave the map intact.
+    #[test]
+    fn rebalance_until_idle_terminates_on_borderline_layouts() {
+        // The tightest legal ratio pair around the default: merge just
+        // under split / 2.
+        let store: LeapStore<u64> = LeapStore::new(
+            StoreConfig::new(2, Partitioning::Range)
+                .with_key_space(1_000)
+                .with_params(Params {
+                    node_size: 4,
+                    max_level: 6,
+                    use_trie: true,
+                    ..Params::default()
+                })
+                .with_rebalancing(RebalancePolicy {
+                    chunk: 8,
+                    split_ratio: 1.02,
+                    merge_ratio: 0.5,
+                    min_split_keys: 2,
+                    max_shards: 64,
+                    op_weight: 0.0,
+                    max_concurrent_migrations: 4,
+                }),
+        );
+        // Everything on shard 0, nothing on shard 1: shard 0's count sits
+        // just above split_ratio x mean, and after any split the cold
+        // remainder pairs hover around merge_ratio x mean.
+        for k in 0..128u64 {
+            store.put(k, k);
+        }
+        let mut actions = 0u64;
+        loop {
+            match store.rebalance_step() {
+                RebalanceAction::Idle => break,
+                _ => actions += 1,
+            }
+            assert!(
+                actions < 10_000,
+                "rebalance livelocked on a borderline layout"
+            );
+        }
+        assert!(store.router().migrations().is_empty());
+        assert_eq!(store.len(), 128);
+        assert_eq!(store.range(0, 999).len(), 128);
+    }
+
+    /// Op-rate awareness: a shard that is read-hot but key-light must
+    /// split once its op rate dominates, even though its key count alone
+    /// never crosses the threshold.
+    #[test]
+    fn policy_splits_read_hot_shard() {
+        let store: LeapStore<u64> = LeapStore::new(
+            StoreConfig::new(4, Partitioning::Range)
+                .with_key_space(1_000)
+                .with_params(Params {
+                    node_size: 4,
+                    max_level: 6,
+                    use_trie: true,
+                    ..Params::default()
+                })
+                .with_rebalancing(RebalancePolicy {
+                    chunk: 16,
+                    split_ratio: 2.0,
+                    merge_ratio: 0.0,
+                    min_split_keys: 8,
+                    max_shards: 8,
+                    op_weight: 1.0,
+                    max_concurrent_migrations: 1,
+                }),
+        );
+        // Perfectly even key placement: 16 keys per shard.
+        for k in 0..64u64 {
+            store.put(k * 15, k);
+        }
+        // Drain the prefill deltas so the op census starts level.
+        while store.rebalance_step() != RebalanceAction::Idle {}
+        let epoch = store.router().epoch();
+        // Hammer shard 1's interval with reads: keys alone would never
+        // trip split_ratio (every shard holds 1/4 of the keys).
+        for _ in 0..4_000 {
+            store.get(300);
+            store.range(260, 400);
+        }
+        let acted = (0..64)
+            .map(|_| store.rebalance_step())
+            .any(|a| matches!(a, RebalanceAction::SplitStarted { shard: 1, .. }));
+        assert!(acted, "read-hot shard 1 must split on op rate");
+        store.rebalance_until_idle();
+        assert!(store.router().epoch() > epoch);
+        assert_eq!(store.len(), 64, "splits move keys, never lose them");
     }
 }

@@ -5,15 +5,28 @@
 //! arithmetic function but an **epoch-versioned routing table**
 //! ([`RoutingEpoch`]): a sorted list of interval starts with one owning
 //! shard slot per interval. Splitting a hot shard or merging a cold pair
-//! installs a new table (epoch + 1) *after* the keys have migrated; while a
-//! migration is in flight the router carries an **overlay**
-//! ([`MigrationState`]) naming the source, destination and migrating
-//! sub-range, so the store can consult source-then-destination for keys
-//! whose new home is still filling up.
+//! installs a new table (epoch + 1) *after* the keys have migrated; while
+//! migrations are in flight the router carries an **overlay set**
+//! ([`MigrationState`], one per migration) naming each source, destination
+//! and migrating sub-range, so the store can consult source-then-
+//! destination for keys whose new home is still filling up.
+//!
+//! Overlays are **pairwise disjoint**: every in-flight migration moves a
+//! suffix of a distinct source interval, and no shard slot participates in
+//! two migrations at once ([`RebalanceError::SlotBusy`]), which makes the
+//! ranges disjoint by construction. Linearizable reads therefore stamp
+//! only the overlays *overlapping their own range* ([`OverlayStamp`]):
+//! a migration of some other key range beginning or completing never
+//! forces a retry.
 
 use crate::rebalance::RebalanceError;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Completed-range log entries the router keeps before coalescing the two
+/// closest ones. Bounds stamp cost and memory; coalescing is conservative
+/// (it can only cause a spurious retry, never a missed one).
+const COMPLETED_LOG_CAP: usize = 32;
 
 /// How the keyspace is partitioned across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,8 +159,9 @@ impl RoutingEpoch {
     }
 }
 
-/// An in-flight key migration: the overlay the router superimposes on the
-/// current [`RoutingEpoch`] while `[lo, hi]` moves from `src` to `dst`.
+/// An in-flight key migration: one member of the overlay set the router
+/// superimposes on the current [`RoutingEpoch`] while `[lo, hi]` moves
+/// from `src` to `dst`.
 ///
 /// Invariant maintained by the store: at every instant each key in
 /// `[lo, hi]` is present in **exactly one** of the two lists (moves and
@@ -155,6 +169,9 @@ impl RoutingEpoch {
 /// consult source-then-destination never see a key absent or doubled.
 #[derive(Debug)]
 pub struct MigrationState {
+    /// Unique, monotone overlay identity (never reused, so a stamp can
+    /// never confuse a completed migration with a later identical one).
+    pub(crate) id: u64,
     /// Slot keys migrate out of (the current table owner of `[lo, hi]`).
     pub src: usize,
     /// Slot keys migrate into (owner once the next epoch installs).
@@ -198,14 +215,91 @@ pub(crate) enum WriteRoute {
     Migrating(Arc<MigrationState>),
 }
 
-/// The overlay identity a linearizable multi-shard read captures before
-/// planning and re-checks after committing: equal stamps mean no migration
-/// began or completed in between, so the planned list set was exhaustive
-/// for the whole read.
-#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+/// The **range-scoped** overlay identity a linearizable read of `[lo, hi]`
+/// captures before planning and re-checks after committing: equal stamps
+/// mean no migration *overlapping the read's range* began or completed in
+/// between, so the planned list set was exhaustive for the whole read.
+///
+/// Two monotone-protected components make equality sound:
+///
+/// * `overlays` — the unique ids of in-flight migrations overlapping the
+///   range. Ids are never reused, so "the same overlay set" really means
+///   the same overlays (no ABA through complete-then-identical-rebegin).
+/// * `completed` — the newest completion sequence number among logged
+///   completed migrations overlapping the range. Completions only append
+///   with increasing sequence numbers, so any overlapping completion
+///   between the two stamps raises it.
+///
+/// A migration of a *disjoint* range changes neither component — its
+/// begin/complete bumps the global epoch but cannot change where the
+/// read's own keys live (a transfer only reassigns ownership inside the
+/// migrated range; clipped to any disjoint range the table is unchanged).
+#[derive(PartialEq, Eq, Clone, Debug)]
 pub(crate) struct OverlayStamp {
-    epoch: u64,
-    migration: Option<(usize, usize, u64, u64)>,
+    overlays: Vec<u64>,
+    completed: u64,
+}
+
+/// The migration overlay set plus the completion log, guarded together so
+/// a stamp sees a consistent pair.
+#[derive(Debug, Default)]
+struct OverlaySet {
+    /// In-flight migrations, sorted by `lo`; pairwise disjoint ranges and
+    /// pairwise disjoint `{src, dst}` slot sets.
+    inflight: Vec<Arc<MigrationState>>,
+    /// Disjoint `(lo, hi, seq)` ranges of completed migrations, sorted by
+    /// `lo`; overlapping or adjacent entries coalesce to the newest seq
+    /// (conservative — see [`OverlayStamp`]).
+    completed: Vec<(u64, u64, u64)>,
+    /// Monotone id source for new migrations.
+    next_id: u64,
+    /// Monotone completion sequence (1 for the first completion).
+    completed_seq: u64,
+    /// Most concurrent in-flight migrations ever observed.
+    peak_inflight: u64,
+}
+
+impl OverlaySet {
+    /// Records a completed migration's range, coalescing overlapping or
+    /// adjacent entries to the new (maximal) sequence number and bounding
+    /// the log by merging the two closest entries when it overflows.
+    fn log_completion(&mut self, lo: u64, hi: u64) {
+        self.completed_seq += 1;
+        let seq = self.completed_seq;
+        let (mut lo, mut hi) = (lo, hi);
+        self.completed.retain(|&(clo, chi, _)| {
+            // Adjacency (saturating: hi == u64::MAX-1 at most) merges too,
+            // keeping neighbouring completions as one entry.
+            let overlaps = clo <= hi.saturating_add(1) && lo <= chi.saturating_add(1);
+            if overlaps {
+                lo = lo.min(clo);
+                hi = hi.max(chi);
+            }
+            !overlaps
+        });
+        let at = self.completed.partition_point(|&(clo, _, _)| clo < lo);
+        self.completed.insert(at, (lo, hi, seq));
+        if self.completed.len() > COMPLETED_LOG_CAP {
+            // Merge the pair with the smallest gap, spanning the gap with
+            // the newer seq — still conservative.
+            let i = (0..self.completed.len() - 1)
+                .min_by_key(|&i| self.completed[i + 1].0 - self.completed[i].1)
+                .expect("len > 1");
+            let (alo, _, aseq) = self.completed[i];
+            let (_, bhi, bseq) = self.completed.remove(i + 1);
+            self.completed[i] = (alo, bhi, aseq.max(bseq));
+        }
+    }
+
+    /// The newest completion sequence overlapping `[lo, hi]` (0 if none).
+    fn completed_overlapping(&self, lo: u64, hi: u64) -> u64 {
+        self.completed
+            .iter()
+            .filter(|&&(clo, chi, _)| clo <= hi && lo <= chi)
+            .map(|&(_, _, seq)| seq)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Routes keys to shard slots.
@@ -228,8 +322,8 @@ pub struct Router {
     slots: AtomicUsize,
     /// Current routing table (range mode; hash mode routes arithmetically).
     table: RwLock<Arc<RoutingEpoch>>,
-    /// In-flight migration overlay, if any (at most one at a time).
-    migration: RwLock<Option<Arc<MigrationState>>>,
+    /// The in-flight migration overlay set plus the completion log.
+    overlays: RwLock<OverlaySet>,
     /// Writer gate: every write holds it shared for the whole op; starting
     /// or completing a migration holds it exclusively for the instant the
     /// overlay or table flips. This drains writes that routed under the
@@ -254,7 +348,7 @@ impl Router {
             mode,
             slots: AtomicUsize::new(shards),
             table: RwLock::new(Arc::new(RoutingEpoch::initial(shards, key_space))),
-            migration: RwLock::new(None),
+            overlays: RwLock::new(OverlaySet::default()),
             gate: RwLock::new(()),
         }
     }
@@ -284,22 +378,60 @@ impl Router {
             .clone()
     }
 
-    /// A snapshot of the in-flight migration, if one is running.
+    /// A snapshot of one in-flight migration (the lowest-keyed one), if
+    /// any is running. See [`Router::migrations`] for the full overlay
+    /// set.
     pub fn migration(&self) -> Option<MigrationView> {
-        self.migration_state().map(|m| MigrationView {
-            src: m.src,
-            dst: m.dst,
-            lo: m.lo,
-            hi: m.hi,
-            moved: m.moved.load(Ordering::Relaxed),
-        })
+        self.migrations().into_iter().next()
     }
 
-    pub(crate) fn migration_state(&self) -> Option<Arc<MigrationState>> {
-        self.migration
+    /// Snapshots of every in-flight migration, in key order.
+    pub fn migrations(&self) -> Vec<MigrationView> {
+        self.overlay_states()
+            .iter()
+            .map(|m| MigrationView {
+                src: m.src,
+                dst: m.dst,
+                lo: m.lo,
+                hi: m.hi,
+                moved: m.moved.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Most concurrent in-flight migrations ever observed.
+    pub fn peak_concurrent_migrations(&self) -> u64 {
+        self.overlays_read().peak_inflight
+    }
+
+    fn overlays_read(&self) -> std::sync::RwLockReadGuard<'_, OverlaySet> {
+        self.overlays
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+    }
+
+    /// The whole in-flight overlay set, sorted by `lo`.
+    pub(crate) fn overlay_states(&self) -> Vec<Arc<MigrationState>> {
+        self.overlays_read().inflight.clone()
+    }
+
+    /// The in-flight overlay covering `key`, if any.
+    pub(crate) fn overlay_for(&self, key: u64) -> Option<Arc<MigrationState>> {
+        self.overlays_read()
+            .inflight
+            .iter()
+            .find(|m| (m.lo..=m.hi).contains(&key))
+            .cloned()
+    }
+
+    /// Every in-flight overlay overlapping `[lo, hi]`, in key order.
+    pub(crate) fn overlays_overlapping(&self, lo: u64, hi: u64) -> Vec<Arc<MigrationState>> {
+        self.overlays_read()
+            .inflight
+            .iter()
+            .filter(|m| m.lo <= hi && lo <= m.hi)
+            .cloned()
+            .collect()
     }
 
     /// The shard owning `key` **per the current table** (an in-flight
@@ -370,10 +502,8 @@ impl Router {
     /// writer gate ([`Router::enter_write`]) across both this decision and
     /// the write itself.
     pub(crate) fn write_route(&self, key: u64) -> WriteRoute {
-        if let Some(m) = self.migration_state() {
-            if (m.lo..=m.hi).contains(&key) {
-                return WriteRoute::Migrating(m);
-            }
+        if let Some(m) = self.overlay_for(key) {
+            return WriteRoute::Migrating(m);
         }
         WriteRoute::Direct(self.shard_of(key))
     }
@@ -385,19 +515,33 @@ impl Router {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// The overlay identity for linearizable multi-shard reads (see
-    /// [`OverlayStamp`]).
-    pub(crate) fn overlay_stamp(&self) -> OverlayStamp {
+    /// The overlay identity of `[lo, hi]` for linearizable multi-shard
+    /// reads (see [`OverlayStamp`]). Capture it **before** planning the
+    /// visit (it must precede the table read the plan derives from) and
+    /// compare after the snapshot transaction.
+    pub(crate) fn overlay_stamp(&self, lo: u64, hi: u64) -> OverlayStamp {
+        let set = self.overlays_read();
         OverlayStamp {
-            epoch: self.routing().epoch,
-            migration: self.migration_state().map(|m| (m.src, m.dst, m.lo, m.hi)),
+            overlays: set
+                .inflight
+                .iter()
+                .filter(|m| m.lo <= hi && lo <= m.hi)
+                .map(|m| m.id)
+                .collect(),
+            completed: set.completed_overlapping(lo, hi),
         }
     }
 
     /// Installs a migration overlay for `[lo, hi]`, a suffix of `src`'s
-    /// owned interval, headed for `dst`. Fails in hash mode, when another
-    /// migration is in flight, when the geometry is wrong, or when the
-    /// transfer would leave `dst` owning a non-contiguous key set.
+    /// owned interval, headed for `dst`. Fails in hash mode, when either
+    /// slot already participates in an in-flight migration, when the
+    /// geometry is wrong, or when the transfer would leave `dst` owning a
+    /// non-contiguous key set.
+    ///
+    /// Disjointness: in-flight migrations move suffixes of **distinct**
+    /// source intervals (the slot-busy check rejects a shared source or
+    /// destination), so their key ranges can never overlap — which is
+    /// what lets reads stamp only the overlays over their own range.
     pub(crate) fn begin_migration(
         &self,
         src: usize,
@@ -412,18 +556,23 @@ impl Router {
             return Err(RebalanceError::BadShard);
         }
         // Exclusive gate: after this returns, every in-flight write that
-        // routed under the no-overlay view has committed, so the chunk
-        // mover can trust that all in-range writes go through the overlay.
+        // routed under the previous overlay view has committed, so the
+        // chunk mover can trust that all in-range writes go through the
+        // new overlay.
         let _g = self
             .gate
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut mig = self
-            .migration
+        let mut set = self
+            .overlays
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if mig.is_some() {
-            return Err(RebalanceError::MigrationInFlight);
+        if set
+            .inflight
+            .iter()
+            .any(|m| [m.src, m.dst].iter().any(|&s| s == src || s == dst))
+        {
+            return Err(RebalanceError::SlotBusy);
         }
         let table = self.routing();
         let (slo, shi) = table
@@ -440,7 +589,13 @@ impl Router {
                 return Err(RebalanceError::NonAdjacent);
             }
         }
+        debug_assert!(
+            set.inflight.iter().all(|m| shi < m.lo || m.hi < lo),
+            "slot-disjoint migrations must be range-disjoint"
+        );
+        set.next_id += 1;
         let m = Arc::new(MigrationState {
+            id: set.next_id,
             src,
             dst,
             lo,
@@ -449,13 +604,16 @@ impl Router {
             moved: AtomicU64::new(0),
             write_lock: Mutex::new(()),
         });
-        *mig = Some(m.clone());
+        let at = set.inflight.partition_point(|o| o.lo < lo);
+        set.inflight.insert(at, m.clone());
+        set.peak_inflight = set.peak_inflight.max(set.inflight.len() as u64);
         Ok(m)
     }
 
-    /// Installs the post-migration table (epoch + 1) and clears the
-    /// overlay. The caller must have fully drained `[m.lo, m.hi]` out of
-    /// the source list first. Returns the new epoch.
+    /// Installs the post-migration table (epoch + 1), removes `m` from
+    /// the overlay set and logs its range in the completion log. The
+    /// caller must have fully drained `[m.lo, m.hi]` out of the source
+    /// list first. Returns the new epoch.
     pub(crate) fn complete_migration(&self, m: &Arc<MigrationState>) -> u64 {
         // Exclusive gate: writes that routed under the overlay have
         // committed before ownership flips; later writes route directly
@@ -464,14 +622,17 @@ impl Router {
             .gate
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let mut mig = self
-            .migration
+        let mut set = self
+            .overlays
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        debug_assert!(
-            mig.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, m)),
-            "only the installed migration can complete"
-        );
+        let at = set
+            .inflight
+            .iter()
+            .position(|cur| Arc::ptr_eq(cur, m))
+            .expect("only an installed migration can complete");
+        set.inflight.remove(at);
+        set.log_completion(m.lo, m.hi);
         let mut table = self
             .table
             .write()
@@ -479,7 +640,6 @@ impl Router {
         let next = table.transferred(m.lo, m.hi, m.src, m.dst);
         let epoch = next.epoch;
         *table = Arc::new(next);
-        *mig = None;
         epoch
     }
 }
@@ -596,17 +756,77 @@ mod tests {
             Err(RebalanceError::BadSplitKey)
         ));
         let m = r.begin_migration(0, 1, 100).expect("suffix into neighbour");
-        assert!(matches!(
-            r.begin_migration(2, 3, 600),
-            Err(RebalanceError::MigrationInFlight)
-        ));
+        // A second migration sharing either slot is refused...
+        for (src, dst, lo) in [(1, 2, 300), (0, 3, 100)] {
+            assert!(matches!(
+                r.begin_migration(src, dst, lo),
+                Err(RebalanceError::SlotBusy)
+            ));
+        }
+        // ...but a slot-disjoint one runs concurrently.
+        let m2 = r.begin_migration(2, 3, 600).expect("disjoint migration");
+        assert_eq!(r.migrations().len(), 2);
+        assert_eq!(r.peak_concurrent_migrations(), 2);
         r.complete_migration(&m);
+        r.complete_migration(&m2);
         assert_eq!(r.shard_of(150), 1);
+        assert_eq!(r.shard_of(650), 3);
         let rh = Router::new(Partitioning::Hash, 4, 1000);
         assert!(matches!(
             rh.begin_migration(0, 1, 10),
             Err(RebalanceError::HashPartitioning)
         ));
+    }
+
+    /// The acceptance property of the range-scoped stamp: a read over one
+    /// overlay's range must not retry when a *disjoint* overlay begins or
+    /// completes — only events overlapping its own range move the stamp.
+    #[test]
+    fn stamp_ignores_disjoint_overlay_flips() {
+        let r = Router::new(Partitioning::Range, 4, 1000);
+        let a = r.begin_migration(0, 1, 100).expect("overlay A [100,249]");
+        let before = r.overlay_stamp(120, 200);
+        // Overlay B over a disjoint range begins and completes: the
+        // A-range stamp must not move.
+        let b = r.begin_migration(2, 3, 600).expect("overlay B [600,749]");
+        assert_eq!(r.overlay_stamp(120, 200), before, "B began: no move");
+        r.complete_migration(&b);
+        assert_eq!(r.overlay_stamp(120, 200), before, "B completed: no move");
+        // A stamp straddling B's range does see both events.
+        assert_ne!(r.overlay_stamp(120, 700), r.overlay_stamp(120, 200));
+        // Completing A moves the A-range stamp (overlay gone AND the
+        // completion log now overlaps).
+        r.complete_migration(&a);
+        let after = r.overlay_stamp(120, 200);
+        assert_ne!(after, before);
+        // Re-beginning an identical-looking migration yields a fresh id:
+        // no ABA back to any earlier stamp.
+        let a2 = r.begin_migration(1, 0, 100).expect("merge back");
+        r.complete_migration(&a2);
+        let a3 = r.begin_migration(0, 1, 100).expect("same shape as A");
+        assert_ne!(r.overlay_stamp(120, 200), before);
+        r.complete_migration(&a3);
+    }
+
+    #[test]
+    fn completion_log_coalesces_and_stays_bounded() {
+        let mut set = OverlaySet::default();
+        set.log_completion(10, 19);
+        set.log_completion(30, 39);
+        assert_eq!(set.completed.len(), 2);
+        // Adjacent on the left entry: coalesces, keeps the newest seq.
+        set.log_completion(20, 25);
+        assert_eq!(set.completed, vec![(10, 25, 3), (30, 39, 2)]);
+        assert_eq!(set.completed_overlapping(0, 9), 0);
+        assert_eq!(set.completed_overlapping(25, 28), 3);
+        // Overflow merges the closest pair instead of growing.
+        for i in 0..2 * COMPLETED_LOG_CAP as u64 {
+            set.log_completion(1000 + 10 * i, 1005 + 10 * i);
+        }
+        assert!(set.completed.len() <= COMPLETED_LOG_CAP);
+        // Monotone: every logged seq survives as some entry's max.
+        let newest = set.completed.iter().map(|&(_, _, s)| s).max().unwrap();
+        assert_eq!(newest, set.completed_seq);
     }
 
     #[test]

@@ -88,8 +88,12 @@ pub struct StoreStats {
     /// Current routing-table version (0 until the first completed split
     /// or merge).
     pub epoch: u64,
-    /// The in-flight migration, if one is running.
-    pub migration: Option<MigrationView>,
+    /// Every in-flight migration, in key order (disjoint ranges; empty
+    /// when no reshard is running).
+    pub migrations: Vec<MigrationView>,
+    /// Most concurrent in-flight migrations ever observed — `>= 2` proves
+    /// disjoint hot ranges actually rebalanced in parallel.
+    pub peak_concurrent_migrations: u64,
     /// Migrations (splits and merges) completed since construction.
     pub migrations_completed: u64,
 }
@@ -120,6 +124,34 @@ impl StoreStats {
         }
     }
 
+    /// Relative key-count spread over interval-owning shards: the hottest
+    /// shard's key count divided by the mean (`1.0` = perfectly even).
+    ///
+    /// Defined on every input — no `NaN` and no division by zero: an
+    /// empty store (every owned shard at 0 keys), a store with no owned
+    /// slots at all, and a layout whose only populated slot was emptied
+    /// by a merge (`owned == false`, excluded from the census) all
+    /// report `1.0`, the "nothing to narrow" value.
+    pub fn key_spread_ratio(&self) -> f64 {
+        let owned: Vec<u64> = self
+            .shards
+            .iter()
+            .filter(|s| s.owned)
+            .map(|s| s.keys)
+            .collect();
+        let total: u64 = owned.iter().sum();
+        if owned.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let max = *owned.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / owned.len() as f64)
+    }
+
+    /// Number of migrations currently in flight.
+    pub fn concurrent_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
     /// Renders one `{...}` JSON object per line, machine-parseable for the
     /// benchmark harness's `BENCH_*.json` outputs.
     pub fn to_json(&self) -> String {
@@ -134,7 +166,7 @@ impl StoreStats {
             ));
         }
         out.push_str(&format!(
-            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6},\"epoch\":{},\"migrations_completed\":{},\"key_spread\":{}}}",
+            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6},\"epoch\":{},\"migrations_completed\":{},\"concurrent_migrations\":{},\"peak_concurrent_migrations\":{},\"key_spread\":{},\"key_spread_ratio\":{:.4}}}",
             self.stm.commits,
             self.stm.read_only_commits,
             self.stm.conflict_aborts,
@@ -143,7 +175,10 @@ impl StoreStats {
             self.abort_rate(),
             self.epoch,
             self.migrations_completed,
+            self.concurrent_migrations(),
+            self.peak_concurrent_migrations,
             self.key_spread(),
+            self.key_spread_ratio(),
         ));
         out
     }
@@ -163,7 +198,7 @@ impl std::fmt::Display for StoreStats {
                 s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts, s.keys, s.owned
             )?;
         }
-        if let Some(m) = &self.migration {
+        for m in &self.migrations {
             writeln!(
                 f,
                 "migrating [{}, {}] shard {} -> {} ({} keys moved)",
@@ -172,13 +207,16 @@ impl std::fmt::Display for StoreStats {
         }
         write!(
             f,
-            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} | key_spread={}",
+            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} (in flight {}, peak {}) | key_spread={} ({:.2}x mean)",
             self.stm,
             self.collision_batches,
             self.abort_rate(),
             self.epoch,
             self.migrations_completed,
+            self.concurrent_migrations(),
+            self.peak_concurrent_migrations,
             self.key_spread(),
+            self.key_spread_ratio(),
         )
     }
 }
@@ -222,13 +260,23 @@ mod tests {
             },
             collision_batches: 7,
             epoch: 3,
-            migration: Some(MigrationView {
-                src: 0,
-                dst: 2,
-                lo: 100,
-                hi: 199,
-                moved: 12,
-            }),
+            migrations: vec![
+                MigrationView {
+                    src: 0,
+                    dst: 2,
+                    lo: 100,
+                    hi: 199,
+                    moved: 12,
+                },
+                MigrationView {
+                    src: 1,
+                    dst: 3,
+                    lo: 600,
+                    hi: 699,
+                    moved: 4,
+                },
+            ],
+            peak_concurrent_migrations: 2,
             migrations_completed: 3,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
@@ -238,6 +286,7 @@ mod tests {
             30,
             "unowned slots must not drag the spread"
         );
+        assert_eq!(stats.concurrent_migrations(), 2);
         let json = stats.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches("\"shard\":").count(), 3);
@@ -246,13 +295,77 @@ mod tests {
         assert!(json.contains("\"owned\":false"));
         assert!(json.contains("\"epoch\":3"));
         assert!(json.contains("\"migrations_completed\":3"));
+        assert!(json.contains("\"concurrent_migrations\":2"));
+        assert!(json.contains("\"peak_concurrent_migrations\":2"));
         assert!(json.contains("\"key_spread\":30"));
+        assert!(json.contains("\"key_spread_ratio\":1.6000"));
         assert_eq!(StoreStats::default().abort_rate(), 0.0);
         assert_eq!(StoreStats::default().key_spread(), 0);
         let text = format!("{stats}");
         assert!(text.contains("abort_rate=0.5000"));
         assert!(text.contains("collision_batches=7"));
         assert!(text.contains("migrating [100, 199] shard 0 -> 2"));
+        assert!(text.contains("migrating [600, 699] shard 1 -> 3"));
         assert!(text.contains("key_spread=30"));
+    }
+
+    /// The division path of the relative spread: every degenerate census
+    /// — empty store, no owned slot, a merge-emptied slot (`owned ==
+    /// false`) holding stale keys — must yield a defined finite value,
+    /// never `NaN` or a panic.
+    #[test]
+    fn key_spread_ratio_is_defined_on_degenerate_stores() {
+        // Zero shards at all (Default).
+        assert_eq!(StoreStats::default().key_spread_ratio(), 1.0);
+        // All-empty owned shards (a fresh store).
+        let fresh = StoreStats {
+            shards: (0..4)
+                .map(|s| ShardStats {
+                    shard: s,
+                    owned: true,
+                    ..ShardStats::default()
+                })
+                .collect(),
+            ..StoreStats::default()
+        };
+        assert_eq!(fresh.key_spread_ratio(), 1.0);
+        assert!(fresh.to_json().contains("\"key_spread_ratio\":1.0000"));
+        // No slot owns an interval at all.
+        let unowned = StoreStats {
+            shards: vec![ShardStats {
+                keys: 9,
+                owned: false,
+                ..ShardStats::default()
+            }],
+            ..StoreStats::default()
+        };
+        assert_eq!(unowned.key_spread_ratio(), 1.0);
+        // A merge emptied slot 1 (owned == false): excluded, so the two
+        // live shards with 10 and 30 keys give max/mean = 30/20.
+        let merged = StoreStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    keys: 10,
+                    owned: true,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    keys: 0,
+                    owned: false,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 2,
+                    keys: 30,
+                    owned: true,
+                    ..ShardStats::default()
+                },
+            ],
+            ..StoreStats::default()
+        };
+        assert!((merged.key_spread_ratio() - 1.5).abs() < 1e-9);
+        assert!(merged.key_spread_ratio().is_finite());
     }
 }

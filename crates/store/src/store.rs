@@ -11,8 +11,9 @@ use crate::router::{Partitioning, Router, WriteRoute};
 use crate::stats::{ShardCounters, ShardStats, StoreStats};
 use leap_stm::StmDomain;
 use leaplist::{BatchOp, LeapListLt, Params};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// Construction parameters for a [`LeapStore`].
 #[derive(Debug, Clone)]
@@ -146,6 +147,17 @@ pub struct LeapStore<V> {
     pub(crate) free_slots: Mutex<Vec<usize>>,
     /// Serializes rebalance steps and split/merge initiation.
     pub(crate) step_lock: Mutex<()>,
+    /// Round-robin cursor over the in-flight migration set (the drain
+    /// picks `rr % inflight.len()` each step).
+    pub(crate) rebalance_rr: AtomicUsize,
+    /// Pairs created by recently completed splits with the completion
+    /// count at the time, shielded from immediate auto-merging (policy
+    /// hysteresis; the shield expires after later completions); newest
+    /// first, capped.
+    pub(crate) recent_splits: Mutex<VecDeque<((usize, usize), u64)>>,
+    /// Per-slot op-rate state for the policy's load score: the op totals
+    /// seen at the last census and the decaying average of the deltas.
+    op_census: Mutex<(Vec<u64>, Vec<f64>)>,
     /// Batches that mapped at least two keys to one shard — the load that
     /// the seed's seqlock slow path serialized and that now commits in a
     /// single transaction.
@@ -156,7 +168,18 @@ pub struct LeapStore<V> {
 impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// Creates an empty store: `config.shards` Leap-Lists sharing one
     /// fresh transactional domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.key_space` is zero, or if
+    /// `config.rebalance` fails [`RebalancePolicy::validate`] — a
+    /// thrash-prone policy (e.g. overlapping split/merge thresholds) is
+    /// rejected at construction rather than livelocking
+    /// [`LeapStore::rebalance_until_idle`] later.
     pub fn new(config: StoreConfig) -> Self {
+        if let Err(e) = config.rebalance.validate() {
+            panic!("rejected rebalance policy: {e}");
+        }
         // The router owns the shard-count validation; build it first so a
         // zero-shard config panics with the router's diagnostic.
         let router = Router::new(config.partitioning, config.shards, config.key_space);
@@ -181,6 +204,9 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             policy: config.rebalance,
             free_slots: Mutex::new(Vec::new()),
             step_lock: Mutex::new(()),
+            rebalance_rr: AtomicUsize::new(0),
+            recent_splits: Mutex::new(VecDeque::new()),
+            op_census: Mutex::new((Vec::new(), Vec::new())),
             collision_batches: AtomicU64::new(0),
             migrations_completed: AtomicU64::new(0),
         }
@@ -253,19 +279,42 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         slot
     }
 
+    /// The per-slot op-rate signal for the rebalance policy: a decaying
+    /// average (halved each census, then fed the new delta) of the
+    /// operations each slot served since the previous census.
+    pub(crate) fn op_rate_census(&self) -> Vec<f64> {
+        let slots = self.slots_read();
+        let mut census = self
+            .op_census
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (last, ema) = &mut *census;
+        last.resize(slots.len(), 0);
+        ema.resize(slots.len(), 0.0);
+        for (s, slot) in slots.iter().enumerate() {
+            let total = slot.counters.snapshot(s, 0, true).total_ops();
+            let delta = total.saturating_sub(last[s]);
+            last[s] = total;
+            ema[s] = ema[s] / 2.0 + delta as f64;
+        }
+        ema.clone()
+    }
+
     /// Point lookup. During a migration of the key's sub-range the lookup
     /// consults source-then-destination; a miss re-checks that no
-    /// migration began or completed mid-lookup (and retries if one did),
-    /// so the result is always explained by some linearization.
+    /// migration **of that key's range** began or completed mid-lookup
+    /// (and retries if one did), so the result is always explained by
+    /// some linearization. Migrations of disjoint ranges never force a
+    /// retry.
     ///
     /// # Panics
     ///
     /// Panics if `key == u64::MAX`.
     pub fn get(&self, key: u64) -> Option<V> {
         loop {
-            let stamp = self.router.overlay_stamp();
-            let res = match self.router.migration_state() {
-                Some(m) if (m.lo..=m.hi).contains(&key) => {
+            let stamp = self.router.overlay_stamp(key, key);
+            let res = match self.router.overlay_for(key) {
+                Some(m) => {
                     let (src, dst) = {
                         let slots = self.slots_read();
                         ShardCounters::bump(&slots[m.src].counters.gets);
@@ -276,12 +325,12 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     // happens after, so a present key is always found.
                     src.lookup(key).or_else(|| dst.lookup(key))
                 }
-                _ => {
+                None => {
                     let s = self.router.shard_of(key);
                     self.routed(s, |c| ShardCounters::bump(&c.gets)).lookup(key)
                 }
             };
-            if res.is_some() || self.router.overlay_stamp() == stamp {
+            if res.is_some() || self.router.overlay_stamp(key, key) == stamp {
                 return res;
             }
         }
@@ -376,9 +425,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// Applies a mixed put/delete batch as one linearizable action;
     /// returns previous values in input order. Ops sharing a shard apply
     /// in input order within the single commit (so a batch may put and
-    /// then delete the same key). Ops on keys inside an in-flight
-    /// migration re-group onto the source/destination pair — still within
-    /// the same single transaction.
+    /// then delete the same key). Ops on migrating keys re-group onto
+    /// **whichever** in-flight migration's source/destination pair covers
+    /// them — a batch may straddle several disjoint migrations and still
+    /// commits as one transaction.
     ///
     /// # Panics
     ///
@@ -397,12 +447,14 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             assert!(key_of(op) < u64::MAX, "key u64::MAX is reserved");
         }
         let _w = self.router.enter_write();
-        let mig = self.router.migration_state();
-        let in_migration = |k: u64| mig.as_ref().is_some_and(|m| (m.lo..=m.hi).contains(&k));
+        // The overlay set, sorted by lo (disjoint ranges, so at most one
+        // can cover any key).
+        let migs = self.router.overlay_states();
+        let overlay_of = |k: u64| migs.iter().find(|m| (m.lo..=m.hi).contains(&k));
         // Single-op batches (the Batcher's uncontended hot path) route
         // straight to their shard: no grouping vectors.
         if let [op] = ops {
-            if !in_migration(key_of(op)) {
+            if overlay_of(key_of(op)).is_none() {
                 let shard = self.router.shard_of(key_of(op));
                 let list = self.routed(shard, |c| {
                     c.batch_parts.fetch_add(1, Ordering::Relaxed);
@@ -414,10 +466,11 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             }
         }
         // Group ops per shard slot, preserving input order within each
-        // group. A migrating key contributes a Remove to the source group
-        // and its op to the destination group: the batch stays one
-        // transaction, and the key's previous value is whichever of the
-        // two groups saw it (exactly one can, by the migration invariant).
+        // group. A migrating key contributes a Remove to its overlay's
+        // source group and its op to the destination group: the batch
+        // stays one transaction, and the key's previous value is
+        // whichever of the two groups saw it (exactly one can, by the
+        // migration invariant).
         let slots = self.shards();
         let mut groups: Vec<Vec<BatchOp<V>>> = vec![Vec::new(); slots];
         // Where each op's previous value comes from:
@@ -428,10 +481,13 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             src: Option<(usize, usize)>,
         }
         let mut sources: Vec<OpSource> = Vec::with_capacity(ops.len());
+        // Overlays this batch must serialize with (indices into `migs`).
+        let mut locked: Vec<bool> = vec![false; migs.len()];
         for op in ops {
             let k = key_of(op);
-            if in_migration(k) {
-                let m = mig.as_ref().expect("in_migration implies overlay");
+            if let Some(i) = migs.iter().position(|m| (m.lo..=m.hi).contains(&k)) {
+                let m = &migs[i];
+                locked[i] = true;
                 groups[m.src].push(BatchOp::Remove(k));
                 let src = Some((m.src, groups[m.src].len() - 1));
                 groups[m.dst].push(op.clone());
@@ -450,6 +506,13 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 });
             }
         }
+        // Also serialize with any overlay whose destination this batch
+        // writes directly (conservative, as the single-overlay code did).
+        for (i, m) in migs.iter().enumerate() {
+            if !locked[i] && sources.iter().any(|s| s.slot == m.dst) {
+                locked[i] = true;
+            }
+        }
         {
             let slots_guard = self.slots_read();
             for (s, g) in groups.iter().enumerate() {
@@ -465,13 +528,18 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             self.collision_batches.fetch_add(1, Ordering::Relaxed);
         }
         // One multi-list transaction over every touched shard, regardless
-        // of key -> shard collisions. Batches touching a migrating range
-        // serialize against the chunk mover (see `put`). Lock order: the
-        // migration lock strictly before the slot-vector read lock.
-        let _l = mig
-            .as_ref()
-            .filter(|m| sources.iter().any(|s| s.src.is_some() || s.slot == m.dst))
-            .map(|m| m.write_lock.lock().unwrap_or_else(PoisonError::into_inner));
+        // of key -> shard collisions. Batches touching migrating ranges
+        // serialize against each chunk mover (see `put`), taking every
+        // involved overlay's lock in ascending key order — the one total
+        // order all multi-overlay writers share, so they cannot deadlock.
+        // Lock order: migration locks strictly before the slot-vector
+        // read lock.
+        let _locks: Vec<MutexGuard<'_, ()>> = migs
+            .iter()
+            .zip(&locked)
+            .filter(|(_, l)| **l)
+            .map(|(m, _)| m.write_lock.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
         let slots_guard = self.slots_read();
         let mut lists: Vec<&LeapListLt<V>> = Vec::new();
         let mut shard_ops: Vec<&[BatchOp<V>]> = Vec::new();
@@ -518,13 +586,15 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return Vec::new();
         }
         loop {
-            let stamp = self.router.overlay_stamp();
+            let stamp = self.router.overlay_stamp(lo, hi);
             let (lists, ranges, sort) = self.visit_plan(lo, hi);
             let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
             let per_shard = LeapListLt::range_query_group(&refs, &ranges);
-            if self.router.overlay_stamp() != stamp {
-                // A migration began or completed mid-plan: the visited
-                // list set may not have been exhaustive. Retry.
+            if self.router.overlay_stamp(lo, hi) != stamp {
+                // A migration overlapping [lo, hi] began or completed
+                // mid-plan: the visited list set may not have been
+                // exhaustive. Retry. (Disjoint migrations never trip
+                // this — their flips cannot move this range's keys.)
                 continue;
             }
             let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
@@ -546,11 +616,11 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return Vec::new();
         }
         loop {
-            let stamp = self.router.overlay_stamp();
+            let stamp = self.router.overlay_stamp(lo, hi);
             let (lists, ranges, sort) = self.visit_plan(lo, hi);
             let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
             let per_shard = LeapListLt::range_page_group(&refs, &ranges, limit);
-            if self.router.overlay_stamp() != stamp {
+            if self.router.overlay_stamp(lo, hi) != stamp {
                 continue;
             }
             let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
@@ -577,30 +647,30 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return 0;
         }
         loop {
-            let stamp = self.router.overlay_stamp();
+            let stamp = self.router.overlay_stamp(lo, hi);
             let (lists, ranges, _) = self.visit_plan(lo, hi);
             let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
             let counts = LeapListLt::count_range_group(&refs, &ranges);
-            if self.router.overlay_stamp() == stamp {
+            if self.router.overlay_stamp(lo, hi) == stamp {
                 return counts.iter().sum();
             }
         }
     }
 
     /// The shards a `[lo, hi]` query must visit — per the current table,
-    /// plus the destination of an overlapping in-flight migration (clipped
-    /// to the migrating sub-range) — with per-shard range arguments,
-    /// bumping each visited shard's range counter. The third component is
-    /// whether the caller must sort the merged result (hash interleaving
-    /// or an overlay, whose destination keys interleave with the source
-    /// interval's).
+    /// plus the destination of **every** overlapping in-flight migration
+    /// (clipped to its migrating sub-range) — with per-shard range
+    /// arguments, bumping each visited shard's range counter. The third
+    /// component is whether the caller must sort the merged result (hash
+    /// interleaving or an overlay, whose destination keys interleave with
+    /// the source interval's).
     fn visit_plan(&self, lo: u64, hi: u64) -> VisitPlan<V> {
         let mut plan: Vec<(usize, u64, u64)> = match self.router.mode() {
             Partitioning::Hash => (0..self.shards()).map(|s| (s, lo, hi)).collect(),
             Partitioning::Range => self.router.routing().overlapping(lo, hi),
         };
         let mut sort = self.router.mode() == Partitioning::Hash;
-        if let Some(m) = self.router.migration_state() {
+        for m in self.router.overlays_overlapping(lo, hi) {
             let (mlo, mhi) = (m.lo.max(lo), m.hi.min(hi));
             if mlo <= mhi {
                 plan.push((m.dst, mlo, mhi));
@@ -667,7 +737,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             stm: self.domain.stats(),
             collision_batches: self.collision_batches.load(Ordering::Relaxed),
             epoch: self.router.epoch(),
-            migration: self.router.migration(),
+            migrations: self.router.migrations(),
+            peak_concurrent_migrations: self.router.peak_concurrent_migrations(),
             migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
         }
     }
@@ -811,7 +882,7 @@ mod tests {
         assert_eq!(st.shards.iter().map(|s| s.keys).sum::<u64>(), 1);
         assert!(st.shards.iter().all(|s| s.owned));
         assert_eq!(st.epoch, 0);
-        assert!(st.migration.is_none());
+        assert!(st.migrations.is_empty());
         assert!(st.stm.total_commits() > 0, "ops commit through the domain");
         assert!(st.to_json().contains("\"stm\""));
     }

@@ -111,6 +111,109 @@ fn cursor_pages_stay_inside_subspace_across_straddling_overlay() {
     );
 }
 
+/// Two subspaces over **four** shards (two shards each), for scenarios
+/// that need two slot-disjoint migrations in flight at once.
+fn store4() -> LeapStore<u64> {
+    LeapStore::new(
+        StoreConfig::new(4, Partitioning::Range)
+            .with_key_space(Subspace::key_space(2))
+            .with_params(Params {
+                node_size: 4,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            })
+            .with_rebalancing(RebalancePolicy {
+                chunk: 2,
+                ..RebalancePolicy::default()
+            }),
+    )
+}
+
+/// TWO disjoint overlays in flight at once — one straddling the subspace
+/// prefix boundary (shard 1's top-of-subspace-0 keys merging into the
+/// shard that holds subspace 1's bottom), one splitting subspace 0's low
+/// shard — while paged cursors scan each subspace and a third cursor
+/// straddles everything. No page may leak a neighbour's key, every scan
+/// must tile exactly, mid-flight and after both drains complete.
+#[test]
+fn two_concurrent_overlays_vs_subspace_cursors() {
+    let store = store4();
+    let (a, b) = (Subspace::new(0), Subspace::new(1));
+    // Keys hugging the boundary from both sides, plus subspace 0's low
+    // end (shard 0), so both migrations have distinct keys to move.
+    let a_bottom: Vec<u64> = (0..10u64).map(|i| a.key(i)).collect();
+    let a_top: Vec<u64> = (0..10u64)
+        .map(|i| a.key(leap_store::MAX_PAYLOAD - 9 + i))
+        .collect();
+    let b_bottom: Vec<u64> = (0..10u64).map(|i| b.key(i)).collect();
+    for &k in a_bottom.iter().chain(&a_top).chain(&b_bottom) {
+        store.put(k, k);
+    }
+    let a_all: Vec<u64> = a_bottom.iter().chain(&a_top).copied().collect();
+
+    // Overlay 1: shard 1 (subspace 0's upper half-interval) merges into
+    // shard 2, whose list holds subspace 1's bottom — migrated keys
+    // interleave across the prefix boundary. Overlay 2: slot-disjoint
+    // split of shard 0 inside subspace 0's low end.
+    store.merge_shards(1, 2).expect("boundary merge begins");
+    store
+        .split_shard(0, a.key(5))
+        .expect("disjoint split begins");
+    assert_eq!(store.router().migrations().len(), 2, "both in flight");
+    // Two round-robin steps: one bounded chunk drained from EACH overlay,
+    // both still in flight afterwards.
+    assert!(matches!(
+        store.rebalance_step(),
+        RebalanceAction::Moved { .. }
+    ));
+    assert!(matches!(
+        store.rebalance_step(),
+        RebalanceAction::Moved { .. }
+    ));
+    let migs = store.router().migrations();
+    assert_eq!(migs.len(), 2, "chunked drains left both overlays live");
+    for m in &migs {
+        assert!(
+            m.moved > 0,
+            "round-robin drained overlay [{}, {}]",
+            m.lo,
+            m.hi
+        );
+    }
+
+    for page in [1usize, 3, 10, 64] {
+        assert_eq!(paged_subspace(&store, a, page), a_all, "subspace 0, {page}");
+        assert_eq!(
+            paged_subspace(&store, b, page),
+            b_bottom,
+            "subspace 1, {page}"
+        );
+    }
+    // A cursor straddling BOTH overlays and the boundary tiles exactly.
+    let straddle: Vec<u64> = store
+        .scan_pages(a.lo(), b.hi(), 7)
+        .flatten()
+        .map(|(k, _)| k)
+        .collect();
+    let mut want = a_all.clone();
+    want.extend(&b_bottom);
+    assert_eq!(straddle, want, "straddling scan sees each key exactly once");
+    assert_eq!(store.range(a.lo(), a.hi()).len(), a_all.len());
+    assert_eq!(store.range(b.lo(), b.hi()).len(), b_bottom.len());
+
+    // Drain both to completion: same story at rest.
+    store.rebalance_until_idle();
+    assert!(store.router().migrations().is_empty());
+    assert!(store.stats().peak_concurrent_migrations >= 2);
+    for page in [1usize, 3, 64] {
+        assert_eq!(paged_subspace(&store, a, page), a_all);
+        assert_eq!(paged_subspace(&store, b, page), b_bottom);
+    }
+    let ss = store.subspace_stats(&[a, b]);
+    assert_eq!((ss[0].keys, ss[1].keys), (20, 10));
+}
+
 /// The resume-key clamp at the boundary: a cursor whose page comes back
 /// full with its last key exactly on the subspace's final key must report
 /// exhaustion, not resume into the neighbouring subspace.
