@@ -79,9 +79,49 @@ fn bench_mode(c: &mut Criterion, label: &str, mode: Partitioning) {
     group.finish();
 }
 
+/// Instrumentation overhead check: the headline point op and the deepest
+/// collision batch, with the default-on obs (recorder + histograms
+/// recording) against a store built `with_obs(false)` (bare `Option`
+/// branch). The two medians per op are what the ≤5% overhead budget is
+/// judged on.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leapstore_obs");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, obs) in [("on", true), ("off", false)] {
+        let s = LeapStore::new(
+            StoreConfig::new(SHARDS, Partitioning::Range)
+                .with_key_space(PREFILL)
+                .with_obs(obs),
+        );
+        for k in 0..PREFILL {
+            s.put(k, k);
+        }
+        let stride = PREFILL / SHARDS as u64;
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new("get", label), |b| {
+            b.iter(|| {
+                k = (k + 7919) % PREFILL;
+                std::hint::black_box(s.get(k))
+            })
+        });
+        group.bench_function(BenchmarkId::new("multi_put_collide8", label), |b| {
+            b.iter(|| {
+                k = (k + 7919) % (stride - 8);
+                let entries: Vec<(u64, u64)> = (0..8u64).map(|i| (k + i, i)).collect();
+                std::hint::black_box(s.multi_put(&entries))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_leapstore(c: &mut Criterion) {
     bench_mode(c, "hash", Partitioning::Hash);
     bench_mode(c, "range", Partitioning::Range);
+    bench_obs_overhead(c);
 }
 
 criterion_group!(benches, bench_leapstore);

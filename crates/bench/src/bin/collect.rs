@@ -3,7 +3,7 @@
 //! history (format documented in the repository README).
 //!
 //! ```text
-//! collect [--label NAME] [--out FILE] [INPUT...]
+//! collect [--label NAME] [--out FILE] [--check] [--require KEY]... [INPUT...]
 //! ```
 //!
 //! Reads the given files (or stdin when none are given) and extracts:
@@ -18,63 +18,14 @@
 //! `BENCH_leapstore.json` in the current directory), creating the file
 //! when missing. The stats JSON objects are passed through verbatim; no
 //! JSON parser is needed on either side.
+//!
+//! `--check` is the CI schema gate: nothing is written; instead the run
+//! fails (exit 1) when the input carries a malformed `stats` line, no
+//! stats at all, or — with `--require KEY` (repeatable) — a stats object
+//! missing a required `"KEY":` field.
 
+use leap_bench::check::balanced_json_object;
 use std::io::Read;
-
-/// Whether `s` is one balanced JSON object: `{` ... `}` with every brace
-/// and bracket matched outside string literals and every string closed.
-/// Not a full JSON parser — but enough that a truncated or over-closed
-/// `stats` line (the only way this tool's pass-through splicing could
-/// corrupt the trajectory array) is refused instead of appended.
-fn balanced_json_object(s: &str) -> bool {
-    let mut depth: Vec<u8> = Vec::new();
-    let mut in_string = false;
-    let mut escaped = false;
-    let mut seen_any = false;
-    // char_indices: `i` must be a BYTE offset for the trailing-garbage
-    // slice below — a char count would split multibyte input.
-    for (i, c) in s.char_indices() {
-        if in_string {
-            match (escaped, c) {
-                (true, _) => escaped = false,
-                (false, '\\') => escaped = true,
-                (false, '"') => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' | '[' => {
-                if i == 0 && c != '{' {
-                    return false;
-                }
-                depth.push(c as u8);
-                seen_any = true;
-            }
-            '}' => {
-                if depth.pop() != Some(b'{') {
-                    return false;
-                }
-                // A closed top-level object must end the line.
-                if depth.is_empty() && !s[i + c.len_utf8()..].trim().is_empty() {
-                    return false;
-                }
-            }
-            ']' => {
-                if depth.pop() != Some(b'[') {
-                    return false;
-                }
-            }
-            _ => {
-                if depth.is_empty() {
-                    return false;
-                }
-            }
-        }
-    }
-    seen_any && depth.is_empty() && !in_string
-}
 
 /// One `stats <series> <json>` line. Malformed JSON (unbalanced braces,
 /// an unterminated string, trailing garbage) is refused: a bad line
@@ -154,17 +105,51 @@ fn splice_into_trajectory(existing: Option<&str>, entry: &str) -> String {
     format!("[\n  {entry}\n]\n")
 }
 
+/// The `--check` gate: every `stats` line well-formed, at least one
+/// present, and every required key in every stats object. Returns the
+/// failures, empty = pass.
+fn check_input(text: &str, require: &[String]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut stats = Vec::new();
+    for line in text.lines() {
+        if !line.starts_with("stats ") {
+            continue;
+        }
+        match parse_stats_line(line) {
+            Some(s) => stats.push(s),
+            None => failures.push(format!("malformed stats line: {line}")),
+        }
+    }
+    if stats.is_empty() {
+        failures.push("no stats lines found in input".to_string());
+    }
+    for (series, json) in &stats {
+        for key in require {
+            if !json.contains(&format!("\"{key}\":")) {
+                failures.push(format!("series '{series}' is missing required key '{key}'"));
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path = String::from("BENCH_leapstore.json");
     let mut inputs: Vec<String> = Vec::new();
+    let mut check = false;
+    let mut require: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--label" => label = it.next().unwrap_or_else(|| "run".into()),
             "--out" => out_path = it.next().unwrap_or(out_path),
+            "--check" => check = true,
+            "--require" => require.push(it.next().unwrap_or_default()),
             "--help" | "-h" => {
-                eprintln!("usage: collect [--label NAME] [--out FILE] [INPUT...]");
+                eprintln!(
+                    "usage: collect [--label NAME] [--out FILE] [--check] [--require KEY]... [INPUT...]"
+                );
                 return;
             }
             other => inputs.push(other.to_string()),
@@ -182,6 +167,17 @@ fn main() {
             text.push_str(&content);
             text.push('\n');
         }
+    }
+    if check {
+        let failures = check_input(&text, &require);
+        if failures.is_empty() {
+            eprintln!("collect: check passed ({} required keys)", require.len());
+            return;
+        }
+        for f in &failures {
+            eprintln!("collect: check failed: {f}");
+        }
+        std::process::exit(1);
     }
     let mut stats = Vec::new();
     let mut bench = Vec::new();
@@ -275,6 +271,23 @@ mod tests {
         assert_eq!(n, 20);
         assert!(parse_criterion_line("   1024       12          14").is_none());
         assert!(parse_criterion_line("# scale=quick duration=1s").is_none());
+    }
+
+    /// The CI gate: malformed stats lines, an empty panel, or a missing
+    /// required key each fail the check; a clean panel passes.
+    #[test]
+    fn check_mode_gates_on_shape_and_required_keys() {
+        let good = "== title ==\nstats A {\"store\":{\"epoch\":1},\"latency\":{\"p999_ns\":9}}\n\
+                    stats B {\"store\":null,\"latency\":{\"p999_ns\":3}}\n";
+        assert!(check_input(good, &[]).is_empty());
+        assert!(check_input(good, &["latency".into(), "p999_ns".into()]).is_empty());
+        let missing = check_input(good, &["op_latency".into()]);
+        assert_eq!(missing.len(), 2, "both series lack the key: {missing:?}");
+        assert!(missing[0].contains("op_latency"));
+        let broken = check_input("stats A {\"x\":1}}\n", &[]);
+        assert!(broken.iter().any(|f| f.contains("malformed")), "{broken:?}");
+        let empty = check_input("no stats here\n", &[]);
+        assert!(empty.iter().any(|f| f.contains("no stats")), "{empty:?}");
     }
 
     #[test]

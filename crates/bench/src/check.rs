@@ -1,0 +1,92 @@
+//! Schema checks shared by the `collect` bin and the figure tests: a
+//! structural validator for the pass-through `stats <series> <json>`
+//! lines, so a malformed snapshot is refused at emission time (figure
+//! tests), at collection time (`collect`), and in CI (`collect --check`)
+//! with one definition of "well-formed".
+
+/// Whether `s` is one balanced JSON object: `{` ... `}` with every brace
+/// and bracket matched outside string literals and every string closed.
+/// Not a full JSON parser — but enough that a truncated or over-closed
+/// `stats` line (the only way `collect`'s pass-through splicing could
+/// corrupt the trajectory array) is refused instead of appended.
+pub fn balanced_json_object(s: &str) -> bool {
+    let mut depth: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut seen_any = false;
+    // char_indices: `i` must be a BYTE offset for the trailing-garbage
+    // slice below — a char count would split multibyte input.
+    for (i, c) in s.char_indices() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                if i == 0 && c != '{' {
+                    return false;
+                }
+                depth.push(c as u8);
+                seen_any = true;
+            }
+            '}' => {
+                if depth.pop() != Some(b'{') {
+                    return false;
+                }
+                // A closed top-level object must end the line.
+                if depth.is_empty() && !s[i + c.len_utf8()..].trim().is_empty() {
+                    return false;
+                }
+            }
+            ']' => {
+                if depth.pop() != Some(b'[') {
+                    return false;
+                }
+            }
+            _ => {
+                if depth.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    seen_any && depth.is_empty() && !in_string
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_object_accepts_only_one_closed_object() {
+        assert!(balanced_json_object("{\"x\":1}"));
+        assert!(balanced_json_object("{}"));
+        assert!(balanced_json_object(
+            "{\"a\":{\"b\":[1,2,{}]},\"c\":\"}{\"}"
+        ));
+        assert!(balanced_json_object("{\"a\":\"esc\\\"}\"}"));
+        assert!(balanced_json_object("{\"label\":\"débit-日本\"}"));
+        assert!(
+            !balanced_json_object("[1,2]"),
+            "top level must be an object"
+        );
+        assert!(!balanced_json_object(""));
+        assert!(!balanced_json_object("{\"a\":1}}"), "extra closer");
+        assert!(!balanced_json_object("{{\"a\":1}"), "extra opener");
+        assert!(
+            !balanced_json_object("{\"a\":[1,2}"),
+            "bracket closed by brace"
+        );
+        assert!(!balanced_json_object("{\"a\":\"un}"), "unterminated string");
+        assert!(
+            !balanced_json_object("{\"a\":1} {\"b\":2}"),
+            "trailing second object"
+        );
+    }
+}

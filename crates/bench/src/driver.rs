@@ -113,6 +113,8 @@ pub struct LatencyReport {
     pub p95_ns: u64,
     /// 99th percentile.
     pub p99_ns: u64,
+    /// 99.9th percentile (the tail the event timeline explains).
+    pub p999_ns: u64,
     /// Arithmetic mean of the samples.
     pub mean_ns: u64,
     /// Number of latency samples taken.
@@ -123,8 +125,8 @@ impl std::fmt::Display for LatencyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "p50={}ns p95={}ns p99={}ns mean={}ns (n={})",
-            self.p50_ns, self.p95_ns, self.p99_ns, self.mean_ns, self.samples
+            "p50={}ns p95={}ns p99={}ns p99.9={}ns mean={}ns (n={})",
+            self.p50_ns, self.p95_ns, self.p99_ns, self.p999_ns, self.mean_ns, self.samples
         )
     }
 }
@@ -210,6 +212,7 @@ pub fn run_latency(target: &Arc<dyn BenchTarget>, wl: &Workload, cfg: &RunCfg) -
         p50_ns: pick(0.50),
         p95_ns: pick(0.95),
         p99_ns: pick(0.99),
+        p999_ns: pick(0.999),
         mean_ns: mean,
         samples: all.len(),
     }
@@ -287,7 +290,10 @@ mod tests {
         };
         let r = run_latency(&t, &wl, &cfg);
         assert!(r.samples > 10, "too few samples: {r}");
-        assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns, "{r}");
+        assert!(
+            r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns && r.p99_ns <= r.p999_ns,
+            "{r}"
+        );
         assert!(r.mean_ns > 0);
     }
 

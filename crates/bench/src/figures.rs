@@ -405,8 +405,8 @@ struct StatScenario {
 /// sweep **and** latency pass), sweep throughput over the scale's thread
 /// counts, snapshot the target's counters **before** the latency pass
 /// (so the recorded op counts and abort rate describe the sweep alone),
-/// then sample p50/p95/p99 per-op latency at the fixed thread count.
-/// Targets without a stats surface record `"store":null`.
+/// then sample p50/p95/p99/p99.9 per-op latency at the fixed thread
+/// count. Targets without a stats surface record `"store":null`.
 fn sweep_stat_scenarios(
     id: &'static str,
     title: String,
@@ -446,10 +446,21 @@ fn sweep_stat_scenarios(
         });
         stats.push((
             sc.label,
-            format!(
-                "{{\"store\":{store_json},\"latency\":{{\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"mean_ns\":{},\"samples\":{}}}}}",
-                lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.mean_ns, lat.samples
-            ),
+            leap_obs::Json::obj()
+                // The target's own snapshot, already rendered (or the
+                // literal `null` for targets without a stats surface).
+                .field("store", leap_obs::Json::raw(store_json))
+                .field(
+                    "latency",
+                    leap_obs::Json::obj()
+                        .field("p50_ns", leap_obs::Json::U64(lat.p50_ns))
+                        .field("p95_ns", leap_obs::Json::U64(lat.p95_ns))
+                        .field("p99_ns", leap_obs::Json::U64(lat.p99_ns))
+                        .field("p999_ns", leap_obs::Json::U64(lat.p999_ns))
+                        .field("mean_ns", leap_obs::Json::U64(lat.mean_ns))
+                        .field("samples", leap_obs::Json::U64(lat.samples as u64)),
+                )
+                .render(),
         ));
     }
     StoreFigure {
@@ -681,10 +692,15 @@ mod tests {
         }
         assert_eq!(f.stats.len(), 5);
         for (label, json) in &f.stats {
+            assert!(
+                crate::check::balanced_json_object(json),
+                "{label}: every emitted snapshot must pass the collect gate: {json}"
+            );
             assert!(json.contains("\"latency\":{"), "{label}: {json}");
             assert!(json.contains("\"p50_ns\":"), "{label}");
             assert!(json.contains("\"p95_ns\":"), "{label}");
             assert!(json.contains("\"p99_ns\":"), "{label}");
+            assert!(json.contains("\"p999_ns\":"), "{label}");
             if label.contains("raw") {
                 assert!(json.contains("\"store\":null"), "{label}: {json}");
             } else {
@@ -718,12 +734,22 @@ mod tests {
         }
         assert_eq!(f.stats.len(), 6);
         for (label, json) in &f.stats {
+            assert!(
+                crate::check::balanced_json_object(json),
+                "{label}: every emitted snapshot must pass the collect gate: {json}"
+            );
             assert!(json.contains("\"store\":{"), "{label}: {json}");
             assert!(json.contains("\"shards\":["), "{label}: {json}");
             assert!(json.contains("abort_rate"), "{label}");
+            assert!(
+                json.contains("\"conflict_read_aborts\":"),
+                "{label}: abort-cause breakdown rides along: {json}"
+            );
+            assert!(json.contains("\"op_latency\":{"), "{label}: {json}");
             assert!(json.contains("\"latency\":{"), "{label}: {json}");
             assert!(json.contains("\"p50_ns\":"), "{label}");
             assert!(json.contains("\"p99_ns\":"), "{label}");
+            assert!(json.contains("\"p999_ns\":"), "{label}");
         }
         let table = f.to_table();
         assert!(table.contains("stats Store-hash {"));

@@ -12,6 +12,7 @@
 
 #![deny(missing_docs)]
 
+pub mod check;
 pub mod driver;
 pub mod figures;
 pub mod rng;

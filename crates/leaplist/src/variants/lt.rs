@@ -15,6 +15,16 @@ use leap_ebr::pin;
 use leap_stm::{Backoff, StmDomain, TxResult, Txn};
 use std::sync::Arc;
 
+/// Reports one committed retry loop (attempts = snoozes + the successful
+/// try) to the domain's recorder, if one is attached. The disabled path is
+/// a single relaxed load.
+#[inline]
+fn record_commit(domain: &StmDomain, backoff: &Backoff) {
+    if let Some(rec) = domain.recorder() {
+        rec.record_attempts(u64::from(backoff.attempts()) + 1);
+    }
+}
+
 /// A Leap-List synchronized with the paper's Locking-Transactions scheme.
 ///
 /// This is the headline structure: linearizable `update` / `remove` /
@@ -261,6 +271,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 Ok(())
             })();
             if acquired.is_ok() && tx.commit().is_ok() {
+                record_commit(&self.domain, &backoff);
                 // Release-and-update: wire every chain, retire old nodes.
                 let mut out = Vec::with_capacity(plans.len());
                 for mut plan in plans {
@@ -451,6 +462,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 .collect();
             if let Ok(per_list) = collected {
                 if tx.commit().is_ok() {
+                    record_commit(&first.domain, &backoff);
                     return per_list
                         .into_iter()
                         .zip(starts.iter())
@@ -517,6 +529,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             })();
             if let Ok(r) = found {
                 if tx.commit().is_ok() {
+                    record_commit(&self.domain, &backoff);
                     return r;
                 }
             } else {
@@ -581,6 +594,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             })();
             if let Ok(r) = found {
                 if tx.commit().is_ok() {
+                    record_commit(&self.domain, &backoff);
                     return r;
                 }
             } else {

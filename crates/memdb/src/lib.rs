@@ -53,6 +53,7 @@
 
 mod db;
 mod error;
+mod obs;
 mod query;
 mod row;
 mod schema;
@@ -61,6 +62,7 @@ mod table;
 
 pub use db::Db;
 pub use error::DbError;
+pub use obs::{TableObs, TableObsSnapshot};
 pub use query::Query;
 pub use row::{Row, RowId};
 pub use schema::Schema;

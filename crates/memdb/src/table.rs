@@ -31,6 +31,7 @@
 //! of one subspace inside that same single transaction, so no scan can
 //! ever observe the row absent from, or doubled in, an index.
 
+use crate::obs::{TableObs, TableOp};
 use crate::storage::{Backend, IndexOp, TableStorage};
 use crate::{DbError, Row, RowId, Schema};
 use leap_store::{LeapStore, Subspace, SubspaceStats};
@@ -60,6 +61,8 @@ pub struct Table {
     next_row: AtomicU64,
     /// Per-row mutation serialization (delete / update_column).
     stripes: Vec<Mutex<()>>,
+    /// Per-op-kind latency histograms (see [`crate::TableObs`]).
+    obs: TableObs,
 }
 
 impl Table {
@@ -100,7 +103,18 @@ impl Table {
             slot_of_column,
             next_row: AtomicU64::new(1),
             stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
+            obs: TableObs::new(),
         }
+    }
+
+    /// The table's op-latency instruments: one histogram per op kind
+    /// (insert, delete, get, update, scan, scan_page, count), living in a
+    /// [`leap_obs::Registry`] scrapeable as JSON or Prometheus text. On
+    /// the sharded backend these table-level series complement the
+    /// store-level ones from [`Table::store`]'s
+    /// [`LeapStore::stats`](LeapStore::stats).
+    pub fn obs(&self) -> &TableObs {
+        &self.obs
     }
 
     /// The table's schema.
@@ -143,7 +157,9 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.storage.count(0, 0, self.max_row_id())
+        self.obs.timed(TableOp::Count, || {
+            self.storage.count(0, 0, self.max_row_id())
+        })
     }
 
     /// Whether the table has no rows.
@@ -192,7 +208,9 @@ impl Table {
         let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
         assert!(id.0 < self.max_row_id(), "row id space exhausted");
         let row = Row::new(values);
-        self.storage.apply(&self.write_ops(id, &row));
+        self.obs.timed(TableOp::Insert, || {
+            self.storage.apply(&self.write_ops(id, &row))
+        });
         Ok(id)
     }
 
@@ -221,7 +239,7 @@ impl Table {
     /// [`DbError::NoSuchRow`] if the row does not exist.
     pub fn delete(&self, id: RowId) -> Result<Row, DbError> {
         let _guard = self.stripe(id).lock();
-        self.delete_locked(id)
+        self.obs.timed(TableOp::Delete, || self.delete_locked(id))
     }
 
     fn delete_locked(&self, id: RowId) -> Result<Row, DbError> {
@@ -243,7 +261,8 @@ impl Table {
 
     /// Point lookup by row id (linearizable, transaction-free).
     pub fn get(&self, id: RowId) -> Option<Row> {
-        self.storage.lookup(0, id.0)
+        self.obs
+            .timed(TableOp::Get, || self.storage.lookup(0, id.0))
     }
 
     /// Sets one column of an existing row and returns the updated row.
@@ -268,25 +287,27 @@ impl Table {
             });
         }
         let _guard = self.stripe(id).lock();
-        let old = self.storage.lookup(0, id.0).ok_or(DbError::NoSuchRow(id))?;
-        let new_row = old.with_column(col, value);
-        let mut ops = self.write_ops(id, &new_row);
-        if self.schema.is_indexed(col) {
-            let slot = self.slot_of_column[col].expect("indexed column has a slot");
-            let old_key = self.composite(old.get(col).expect("stored rows match arity"), id.0);
-            let new_key = self.composite(value, id.0);
-            if old_key != new_key {
-                // The entry moves between keys of ONE subspace; the
-                // remove rides in the same atomic batch. (`write_ops`
-                // already put the new key.)
-                ops.push(IndexOp::Remove {
-                    subspace: slot,
-                    key: old_key,
-                });
+        self.obs.timed(TableOp::Update, || {
+            let old = self.storage.lookup(0, id.0).ok_or(DbError::NoSuchRow(id))?;
+            let new_row = old.with_column(col, value);
+            let mut ops = self.write_ops(id, &new_row);
+            if self.schema.is_indexed(col) {
+                let slot = self.slot_of_column[col].expect("indexed column has a slot");
+                let old_key = self.composite(old.get(col).expect("stored rows match arity"), id.0);
+                let new_key = self.composite(value, id.0);
+                if old_key != new_key {
+                    // The entry moves between keys of ONE subspace; the
+                    // remove rides in the same atomic batch. (`write_ops`
+                    // already put the new key.)
+                    ops.push(IndexOp::Remove {
+                        subspace: slot,
+                        key: old_key,
+                    });
+                }
             }
-        }
-        self.storage.apply(&ops);
-        Ok(new_row)
+            self.storage.apply(&ops);
+            Ok(new_row)
+        })
     }
 
     /// Linearizable range scan over the index on `column`: every row with
@@ -302,8 +323,8 @@ impl Table {
     pub fn scan_by(&self, column: &str, lo: u64, hi: u64) -> Result<Vec<(RowId, Row)>, DbError> {
         let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
         Ok(self
-            .storage
-            .scan(slot, lo_key, hi_key)
+            .obs
+            .timed(TableOp::Scan, || self.storage.scan(slot, lo_key, hi_key))
             .into_iter()
             .map(|(k, row)| (RowId(k & self.max_row_id()), row))
             .collect())
@@ -379,7 +400,9 @@ impl Table {
     /// As for [`Table::scan_by`].
     pub fn count_by(&self, column: &str, lo: u64, hi: u64) -> Result<usize, DbError> {
         let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
-        Ok(self.storage.count(slot, lo_key, hi_key))
+        Ok(self
+            .obs
+            .timed(TableOp::Count, || self.storage.count(slot, lo_key, hi_key)))
     }
 
     /// Starts building a [`Query`](crate::Query) over this table.
@@ -399,8 +422,8 @@ impl Table {
 
     /// All rows, ordered by row id (consistent snapshot).
     pub fn scan_all(&self) -> Vec<(RowId, Row)> {
-        self.storage
-            .scan(0, 0, self.max_row_id())
+        self.obs
+            .timed(TableOp::Scan, || self.storage.scan(0, 0, self.max_row_id()))
             .into_iter()
             .map(|(k, row)| (RowId(k), row))
             .collect()
@@ -423,10 +446,11 @@ impl TableScan<'_> {
     /// returns an empty page.
     pub fn next_page(&mut self) -> Option<Vec<(RowId, Row)>> {
         let lo = self.next?;
-        let page = self
-            .table
-            .storage
-            .scan_page(self.subspace, lo, self.hi, self.page_size);
+        let page = self.table.obs.timed(TableOp::ScanPage, || {
+            self.table
+                .storage
+                .scan_page(self.subspace, lo, self.hi, self.page_size)
+        });
         self.next = match page.last() {
             Some(&(last, _)) if page.len() == self.page_size && last < self.hi => Some(last + 1),
             _ => None,
@@ -729,6 +753,54 @@ mod tests {
         assert_eq!(ss[2].keys, 20, "score index covers every row");
         assert!(ss.iter().all(|s| !s.shards.is_empty()));
         assert_eq!(store.len(), 60, "3 subspaces x 20 rows");
+    }
+
+    /// Each op kind feeds its own latency histogram, counts match the
+    /// calls made, and the snapshot renders through the shared JSON /
+    /// Prometheus emitters.
+    #[test]
+    fn op_histograms_track_every_surface() {
+        for (name, t) in backends() {
+            for i in 0..10u64 {
+                t.insert(&[i, i % 3, i]).unwrap();
+            }
+            let id = t.insert(&[99, 1, 1]).unwrap();
+            t.get(id).unwrap();
+            t.update_column(id, "score", 7).unwrap();
+            t.delete(id).unwrap();
+            t.scan_by("age", 0, 2).unwrap();
+            t.count_by("age", 0, 2).unwrap();
+            let pages: usize = t.scan_by_pages("age", 0, 2, 4).unwrap().count();
+            assert!(pages >= 1, "{name}");
+            let snap = t.obs().snapshot();
+            let count_of = |kind: &str| {
+                snap.op_latency
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .map(|(_, h)| h.count)
+                    .unwrap()
+            };
+            assert_eq!(count_of("insert"), 11, "{name}");
+            assert_eq!(count_of("get"), 1, "{name}");
+            assert_eq!(count_of("update"), 1, "{name}");
+            assert_eq!(count_of("delete"), 1, "{name}");
+            assert_eq!(count_of("scan"), 1, "{name}");
+            // next_page keeps probing until the range is exhausted, so
+            // the page count is a floor, not an exact match.
+            assert!(count_of("scan_page") >= pages as u64, "{name}");
+            assert!(count_of("count") >= 1, "{name}");
+            let json = t.obs().snapshot().to_json();
+            assert!(
+                json.contains("\"op_latency\":{\"insert\":{\"count\":11"),
+                "{name}: {json}"
+            );
+            assert!(json.contains("\"p999_ns\":"), "{name}: {json}");
+            let prom = t.obs().registry().to_prometheus();
+            assert!(
+                prom.contains("table_op_insert_ns_count 11"),
+                "{name}: {prom}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,554 @@
+//! A fixed-capacity, lock-free structured event timeline.
+//!
+//! The ring records [`Event`]s — small structured facts with a global
+//! sequence number and a monotonic timestamp — from any thread without
+//! blocking. Capacity is fixed at construction; on overflow the ring
+//! **drops the oldest events** and the loss is *never silent*: every
+//! [`RingSnapshot`] carries a monotone [`RingSnapshot::dropped`] counter
+//! (`total events published − capacity`, floored at zero), so a consumer
+//! can always tell how much of the timeline it missed.
+//!
+//! # Protocol
+//!
+//! Publishing claims a global ticket `t` with one `fetch_add` on `head`,
+//! then owns slot `t % capacity` via a per-slot sequence word: the slot
+//! is CASed from its previous state to `2t+1` ("ticket t writing"), the
+//! payload words are stored, and the sequence is released as `2t+2`
+//! ("ticket t complete"). A writer that finds the slot already claimed by
+//! a *newer* ticket abandons its write (its event is part of the dropped
+//! prefix by then); a writer that finds an *older* ticket mid-write spins
+//! for the handful of stores that write takes. All payload words are
+//! plain atomics, so even a misbehaving interleaving cannot produce
+//! undefined behavior — a reader validates the sequence word before and
+//! after reading the payload and discards torn slots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity: ample for full migration timelines (a reshard
+/// emits begin + one event per chunk + complete per migration) without
+/// drops, small enough to snapshot cheaply.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// Payload words per slot (the widest [`EventKind`] uses 5).
+const WORDS: usize = 5;
+
+/// What happened — the structured payload of one [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A shard migration was installed: `id` is the migration's unique
+    /// monotone id, moving `[lo, hi]` from slot `src` to slot `dst`.
+    MigrationBegin {
+        /// Unique monotone migration id.
+        id: u64,
+        /// Source shard slot.
+        src: u64,
+        /// Destination shard slot.
+        dst: u64,
+        /// First key of the migrated interval.
+        lo: u64,
+        /// Last key (inclusive) of the migrated interval.
+        hi: u64,
+    },
+    /// One drain chunk of migration `id` moved `moved` keys.
+    MigrationChunk {
+        /// Migration id the chunk belongs to.
+        id: u64,
+        /// Keys moved by this chunk.
+        moved: u64,
+    },
+    /// Migration `id` completed; the routing table now has version
+    /// `epoch`.
+    MigrationComplete {
+        /// Migration id that completed.
+        id: u64,
+        /// Routing epoch installed by the completion.
+        epoch: u64,
+    },
+    /// The routing epoch advanced to `epoch`.
+    EpochFlip {
+        /// The new routing epoch.
+        epoch: u64,
+    },
+    /// The rebalance policy decided to split shard `shard` (its weighted
+    /// load estimate at decision time rides along).
+    PolicySplit {
+        /// Shard slot being split.
+        shard: u64,
+        /// Weighted load (keys + op-rate term) that triggered the split.
+        load: u64,
+    },
+    /// The rebalance policy decided to merge two adjacent shards.
+    PolicyMerge {
+        /// Left (surviving) shard slot.
+        left: u64,
+        /// Right (drained) shard slot.
+        right: u64,
+    },
+    /// The batcher drained a combined batch of `ops` operations in
+    /// `drain_ns`, with its adaptive window at `window_ns`.
+    BatcherDrain {
+        /// Operations combined into the drain.
+        ops: u64,
+        /// Wall time of the drain in nanoseconds.
+        drain_ns: u64,
+        /// The adaptive wait-window after this drain, nanoseconds.
+        window_ns: u64,
+    },
+    /// A poisoned (panicking) op was isolated at `index` of its batch.
+    PoisonedOp {
+        /// Index of the poisoned op within the submitted batch.
+        index: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable lowercase name (JSON `"kind"` field / Prometheus label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MigrationBegin { .. } => "migration_begin",
+            EventKind::MigrationChunk { .. } => "migration_chunk",
+            EventKind::MigrationComplete { .. } => "migration_complete",
+            EventKind::EpochFlip { .. } => "epoch_flip",
+            EventKind::PolicySplit { .. } => "policy_split",
+            EventKind::PolicyMerge { .. } => "policy_merge",
+            EventKind::BatcherDrain { .. } => "batcher_drain",
+            EventKind::PoisonedOp { .. } => "poisoned_op",
+        }
+    }
+
+    /// The kind's named payload fields, in declaration order.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            EventKind::MigrationBegin {
+                id,
+                src,
+                dst,
+                lo,
+                hi,
+            } => vec![
+                ("id", id),
+                ("src", src),
+                ("dst", dst),
+                ("lo", lo),
+                ("hi", hi),
+            ],
+            EventKind::MigrationChunk { id, moved } => vec![("id", id), ("moved", moved)],
+            EventKind::MigrationComplete { id, epoch } => vec![("id", id), ("epoch", epoch)],
+            EventKind::EpochFlip { epoch } => vec![("epoch", epoch)],
+            EventKind::PolicySplit { shard, load } => vec![("shard", shard), ("load", load)],
+            EventKind::PolicyMerge { left, right } => vec![("left", left), ("right", right)],
+            EventKind::BatcherDrain {
+                ops,
+                drain_ns,
+                window_ns,
+            } => vec![
+                ("ops", ops),
+                ("drain_ns", drain_ns),
+                ("window_ns", window_ns),
+            ],
+            EventKind::PoisonedOp { index } => vec![("index", index)],
+        }
+    }
+
+    fn encode(&self) -> (u64, [u64; WORDS]) {
+        let mut w = [0u64; WORDS];
+        let tag = match *self {
+            EventKind::MigrationBegin {
+                id,
+                src,
+                dst,
+                lo,
+                hi,
+            } => {
+                w = [id, src, dst, lo, hi];
+                0
+            }
+            EventKind::MigrationChunk { id, moved } => {
+                w[0] = id;
+                w[1] = moved;
+                1
+            }
+            EventKind::MigrationComplete { id, epoch } => {
+                w[0] = id;
+                w[1] = epoch;
+                2
+            }
+            EventKind::EpochFlip { epoch } => {
+                w[0] = epoch;
+                3
+            }
+            EventKind::PolicySplit { shard, load } => {
+                w[0] = shard;
+                w[1] = load;
+                4
+            }
+            EventKind::PolicyMerge { left, right } => {
+                w[0] = left;
+                w[1] = right;
+                5
+            }
+            EventKind::BatcherDrain {
+                ops,
+                drain_ns,
+                window_ns,
+            } => {
+                w = [ops, drain_ns, window_ns, 0, 0];
+                6
+            }
+            EventKind::PoisonedOp { index } => {
+                w[0] = index;
+                7
+            }
+        };
+        (tag, w)
+    }
+
+    fn decode(tag: u64, w: [u64; WORDS]) -> Option<EventKind> {
+        Some(match tag {
+            0 => EventKind::MigrationBegin {
+                id: w[0],
+                src: w[1],
+                dst: w[2],
+                lo: w[3],
+                hi: w[4],
+            },
+            1 => EventKind::MigrationChunk {
+                id: w[0],
+                moved: w[1],
+            },
+            2 => EventKind::MigrationComplete {
+                id: w[0],
+                epoch: w[1],
+            },
+            3 => EventKind::EpochFlip { epoch: w[0] },
+            4 => EventKind::PolicySplit {
+                shard: w[0],
+                load: w[1],
+            },
+            5 => EventKind::PolicyMerge {
+                left: w[0],
+                right: w[1],
+            },
+            6 => EventKind::BatcherDrain {
+                ops: w[0],
+                drain_ns: w[1],
+                window_ns: w[2],
+            },
+            7 => EventKind::PoisonedOp { index: w[0] },
+            _ => return None,
+        })
+    }
+}
+
+/// One published timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global publication sequence number (0-based, gap-free across the
+    /// ring's lifetime; snapshots list surviving events in `seq` order).
+    pub seq: u64,
+    /// Nanoseconds since the ring was created (monotonic clock).
+    pub at_ns: u64,
+    /// The structured payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event as a JSON object:
+    /// `{"seq":..,"at_ns":..,"kind":"..",<payload fields>}`.
+    pub fn to_json(&self) -> crate::Json {
+        let mut obj = crate::Json::obj()
+            .field("seq", crate::Json::U64(self.seq))
+            .field("at_ns", crate::Json::U64(self.at_ns))
+            .field("kind", crate::Json::str(self.kind.name()));
+        for (k, v) in self.kind.fields() {
+            obj = obj.field(k, crate::Json::U64(v));
+        }
+        obj
+    }
+}
+
+/// A point-in-time view of the ring: surviving events in sequence order,
+/// plus the monotone drop counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Surviving events, oldest first (strictly increasing `seq`).
+    pub events: Vec<Event>,
+    /// Events dropped since creation (total published − capacity, floored
+    /// at zero). Monotone: it never decreases between snapshots.
+    pub dropped: u64,
+    /// The ring's fixed capacity.
+    pub capacity: usize,
+}
+
+impl RingSnapshot {
+    /// The snapshot as the registry's standard JSON timeline object:
+    /// `{"capacity":..,"dropped":..,"events":[..]}`.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj()
+            .field("capacity", crate::Json::U64(self.capacity as u64))
+            .field("dropped", crate::Json::U64(self.dropped))
+            .field(
+                "events",
+                crate::Json::Arr(self.events.iter().map(Event::to_json).collect()),
+            )
+    }
+}
+
+struct Slot {
+    /// `2t+1` = ticket `t` writing, `2t+2` = ticket `t` complete,
+    /// `0` = never written.
+    seq: AtomicU64,
+    at_ns: AtomicU64,
+    tag: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+/// The fixed-capacity event ring (see module docs for the protocol and
+/// the drop-oldest overflow contract).
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    origin: Instant,
+}
+
+impl EventRing {
+    /// A ring holding the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an event ring must hold at least one event");
+        EventRing {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    at_ns: AtomicU64::new(0),
+                    tag: AtomicU64::new(0),
+                    words: Default::default(),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// A ring of [`DEFAULT_RING_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        EventRing::new(DEFAULT_RING_CAPACITY)
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever published (dropped ones included).
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overflow so far: monotone, `published − capacity`
+    /// floored at zero.
+    pub fn dropped(&self) -> u64 {
+        self.published().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Publishes one event; returns its sequence number. Never blocks on
+    /// readers; on overflow the oldest event is overwritten.
+    pub fn push(&self, kind: EventKind) -> u64 {
+        let at_ns = self.origin.elapsed().as_nanos() as u64;
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let busy = 2 * ticket + 1;
+        let done = busy + 1;
+        let mut cur = slot.seq.load(Ordering::Acquire);
+        loop {
+            if cur >= busy {
+                // A newer ticket owns this slot: our event is already part
+                // of the dropped prefix — abandon the write.
+                return ticket;
+            }
+            if cur & 1 == 1 {
+                // An older ticket is mid-write (a handful of stores): wait
+                // it out rather than tearing its payload.
+                std::hint::spin_loop();
+                cur = slot.seq.load(Ordering::Acquire);
+                continue;
+            }
+            match slot
+                .seq
+                .compare_exchange_weak(cur, busy, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        let (tag, words) = kind.encode();
+        slot.at_ns.store(at_ns, Ordering::Relaxed);
+        slot.tag.store(tag, Ordering::Relaxed);
+        for (dst, w) in slot.words.iter().zip(words) {
+            dst.store(w, Ordering::Relaxed);
+        }
+        slot.seq.store(done, Ordering::Release);
+        ticket
+    }
+
+    /// A point-in-time snapshot: surviving events in sequence order plus
+    /// the monotone dropped counter. Slots mid-write at snapshot time are
+    /// skipped (they will appear in the next snapshot).
+    pub fn snapshot(&self) -> RingSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let lo = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - lo) as usize);
+        for ticket in lo..head {
+            let slot = &self.slots[(ticket % cap) as usize];
+            let done = 2 * ticket + 2;
+            if slot.seq.load(Ordering::Acquire) != done {
+                continue; // mid-write, or already overwritten by a newer ticket
+            }
+            let at_ns = slot.at_ns.load(Ordering::Relaxed);
+            let tag = slot.tag.load(Ordering::Relaxed);
+            let mut words = [0u64; WORDS];
+            for (dst, w) in words.iter_mut().zip(&slot.words) {
+                *dst = w.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != done {
+                continue; // torn by a concurrent overwrite — discard
+            }
+            if let Some(kind) = EventKind::decode(tag, words) {
+                events.push(Event {
+                    seq: ticket,
+                    at_ns,
+                    kind,
+                });
+            }
+        }
+        RingSnapshot {
+            events,
+            dropped: head.saturating_sub(cap),
+            capacity: self.slots.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity())
+            .field("published", &self.published())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_round_trip_every_kind() {
+        let kinds = [
+            EventKind::MigrationBegin {
+                id: 1,
+                src: 2,
+                dst: 3,
+                lo: 4,
+                hi: 5,
+            },
+            EventKind::MigrationChunk { id: 1, moved: 128 },
+            EventKind::MigrationComplete { id: 1, epoch: 9 },
+            EventKind::EpochFlip { epoch: 9 },
+            EventKind::PolicySplit { shard: 0, load: 77 },
+            EventKind::PolicyMerge { left: 1, right: 2 },
+            EventKind::BatcherDrain {
+                ops: 8,
+                drain_ns: 1000,
+                window_ns: 500,
+            },
+            EventKind::PoisonedOp { index: 3 },
+        ];
+        let ring = EventRing::new(16);
+        for k in kinds {
+            ring.push(k);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), kinds.len());
+        for (i, (e, k)) in snap.events.iter().zip(kinds).enumerate() {
+            assert_eq!(e.seq, i as u64, "gap-free sequence");
+            assert_eq!(e.kind, k, "payload survives encode/decode");
+            assert_eq!(e.kind.fields().len(), k.fields().len());
+        }
+        // Timestamps are monotone non-decreasing in sequence order.
+        for w in snap.events.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+    }
+
+    /// Satellite: overflow drops the OLDEST events and says so — the
+    /// `dropped` counter is exact and monotone, never silent.
+    #[test]
+    fn overflow_drops_oldest_with_monotone_counter() {
+        let ring = EventRing::new(4);
+        for epoch in 0..10u64 {
+            ring.push(EventKind::EpochFlip { epoch });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 6, "10 published - capacity 4");
+        assert_eq!(snap.capacity, 4);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "the newest survive, oldest drop");
+        for e in &snap.events {
+            assert_eq!(e.kind, EventKind::EpochFlip { epoch: e.seq });
+        }
+        // More pushes: dropped only grows.
+        ring.push(EventKind::EpochFlip { epoch: 10 });
+        assert_eq!(ring.snapshot().dropped, 7);
+        assert_eq!(ring.dropped(), 7);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_tear_events() {
+        let ring = Arc::new(EventRing::new(8)); // tiny: constant overflow
+        let threads = 4u64;
+        let per = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        // Payload redundantly encodes the writer, so a torn
+                        // event would decode to an inconsistent pair.
+                        ring.push(EventKind::MigrationChunk {
+                            id: t * 1_000_000 + i,
+                            moved: t * 1_000_000 + i,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = ring.snapshot();
+        assert_eq!(ring.published(), threads * per);
+        assert_eq!(snap.dropped, threads * per - 8);
+        let mut prev = None;
+        for e in &snap.events {
+            match e.kind {
+                EventKind::MigrationChunk { id, moved } => {
+                    assert_eq!(id, moved, "torn payload detected");
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+            if let Some(p) = prev {
+                assert!(e.seq > p, "snapshot must be in sequence order");
+            }
+            prev = Some(e.seq);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! Values are bucketed by order of magnitude (base 2) with
+//! `2^SUB_BITS = 32` linear sub-buckets per octave, so every bucket's
+//! width is below ~3.2% of the values it holds. Recording is one atomic
+//! fetch-add; quantiles come from a snapshot by exact nearest-rank walk
+//! over the buckets, so a reported quantile is the **upper bound** of the
+//! bucket containing the exact rank — within one bucket width of the
+//! exact quantile, and clamped to the recorded maximum (the histogram
+//! keeps a `fetch_max` of the raw values).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket resolution per octave (as a power of two).
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total buckets needed to cover all of `u64`.
+/// Indices `0..2*SUB` are exact (one value per bucket); each further
+/// octave adds `SUB` buckets, up to the octave of `u64::MAX`.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) << SUB_BITS;
+
+/// Bucket index for a value: monotone in `v`, exact below `2*SUB`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUB {
+        return v as usize;
+    }
+    let top = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let shift = top - SUB_BITS;
+    let sub = ((v >> shift) - SUB) as usize;
+    (((top - SUB_BITS + 1) as usize) << SUB_BITS) | sub
+}
+
+/// Inclusive value range `[lo, hi]` covered by bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i < (2 * SUB) as usize {
+        return (i as u64, i as u64);
+    }
+    let octave = (i >> SUB_BITS) as u32; // >= 2
+    let sub = (i as u64) & (SUB - 1);
+    let shift = octave - 1;
+    let lo = (SUB + sub) << shift;
+    (lo, lo + ((1u64 << shift) - 1))
+}
+
+/// A concurrent log-linear histogram of `u64` samples (latencies in
+/// nanoseconds, retry counts, sizes — any non-negative measure).
+///
+/// ```
+/// let h = leap_obs::Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 100);
+/// assert_eq!(s.max, 100);
+/// assert_eq!(s.quantile_permille(500), 50);
+/// ```
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh empty histogram (~15 KiB of buckets).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts for quantile queries.
+    /// (Concurrent recording keeps running; the snapshot is internally
+    /// consistent enough for monitoring: `count >= sum of buckets` races
+    /// are reconciled by re-deriving `count` from the copied buckets.)
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A consistent view of a [`Histogram`] for quantile queries and
+/// rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`HistSnapshot::nonzero_buckets`]
+    /// for the value ranges).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wraps only after ~2^64 total nanoseconds).
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (zero samples).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Nearest-rank quantile at `pm` per-mille (`500` = p50, `990` = p99,
+    /// `999` = p99.9). Returns 0 on an empty snapshot. The result is the
+    /// upper bound of the bucket holding the exact rank, clamped to the
+    /// recorded max — always within one bucket width above the exact
+    /// quantile.
+    pub fn quantile_permille(&self, pm: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * pm).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_range(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile_permille(500)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile_permille(950)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile_permille(999)
+    }
+
+    /// Mean of the samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The snapshot as the registry's standard JSON latency object:
+    /// `{"count","p50_ns","p95_ns","p99_ns","p999_ns","max_ns","mean_ns"}`.
+    pub fn to_json_ns(&self) -> crate::Json {
+        crate::Json::obj()
+            .field("count", crate::Json::U64(self.count))
+            .field("p50_ns", crate::Json::U64(self.p50()))
+            .field("p95_ns", crate::Json::U64(self.p95()))
+            .field("p99_ns", crate::Json::U64(self.p99()))
+            .field("p999_ns", crate::Json::U64(self.p999()))
+            .field("max_ns", crate::Json::U64(self.max))
+            .field("mean_ns", crate::Json::U64(self.mean()))
+    }
+
+    /// The snapshot as a Prometheus histogram block: `# TYPE` line,
+    /// cumulative `_bucket{le=..}` series over the non-empty buckets plus
+    /// `+Inf`, and `_sum`/`_count`.
+    pub fn to_prometheus(&self, name: &str) -> String {
+        let mut out = format!("# TYPE {name} histogram\n");
+        let mut cum = 0u64;
+        for (le, count) in self.nonzero_buckets() {
+            cum += count;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.count));
+        out.push_str(&format!(
+            "{name}_sum {}\n{name}_count {}\n",
+            self.sum, self.count
+        ));
+        out
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs, in value
+    /// order — the shape Prometheus' cumulative `le` buckets are built
+    /// from.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_range(i).1, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn buckets_are_monotone_and_tile_u64() {
+        // Exhaustive over the exact region, spot checks beyond.
+        for v in 0..(4 * SUB) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+        let mut vs: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        vs.sort_unstable();
+        let mut prev = 0;
+        for v in vs {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+            assert!(i >= prev, "bucket index must be monotone in v");
+            prev = i;
+        }
+        let top = bucket_index(u64::MAX);
+        assert!(top < BUCKETS, "u64::MAX fits: {top} < {BUCKETS}");
+        assert_eq!(bucket_range(top).1, u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 17, 63] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.max, 63);
+        assert_eq!(s.quantile_permille(500), 5);
+        assert_eq!(s.quantile_permille(1000), 63);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.max, 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Satellite: log-linear quantiles are within one bucket width of
+        /// the exact quantile, for arbitrary u64 samples and all the
+        /// quantiles the registry reports.
+        #[test]
+        fn quantiles_within_one_bucket_width_of_exact(
+            samples in prop::collection::vec(any::<u64>(), 1..400),
+            pm in 1u64..=1000,
+        ) {
+            let h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            let approx = snap.quantile_permille(pm);
+
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = (sorted.len() as u64 * pm).div_ceil(1000).max(1);
+            let exact = sorted[rank as usize - 1];
+
+            let (lo, hi) = bucket_range(bucket_index(exact));
+            let width = hi - lo;
+            prop_assert!(
+                approx >= exact && approx - exact <= width,
+                "pm={} exact={} approx={} bucket=[{},{}]",
+                pm, exact, approx, lo, hi
+            );
+        }
+    }
+
+    /// Satellite: concurrent recording loses nothing — N threads x M
+    /// samples leave exactly N*M counted, with the per-bucket totals
+    /// matching a sequential recording of the same multiset.
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let threads = 8u64;
+        let per = 5_000u64;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        // Deterministic multiset independent of thread id.
+                        h.record((i * 2654435761) % 1_000_000);
+                        let _ = t;
+                    }
+                })
+            })
+            .collect();
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        let concurrent = h.snapshot();
+        assert_eq!(concurrent.count, threads * per);
+
+        let seq = Histogram::new();
+        for _ in 0..threads {
+            for i in 0..per {
+                seq.record((i * 2654435761) % 1_000_000);
+            }
+        }
+        let sequential = seq.snapshot();
+        assert_eq!(concurrent.buckets, sequential.buckets);
+        assert_eq!(concurrent.sum, sequential.sum);
+        assert_eq!(concurrent.max, sequential.max);
+    }
+}

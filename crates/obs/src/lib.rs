@@ -1,0 +1,46 @@
+//! leap-obs: the observability substrate for the Leap-List stack.
+//!
+//! A dependency-free, lock-free metrics core shared by every crate in the
+//! workspace:
+//!
+//! * [`Counter`] / [`Gauge`] — cache-line-striped atomic counters for
+//!   hot-path event counting without cross-core bouncing.
+//! * [`Histogram`] — log-linear (HDR-style) latency histograms: fixed
+//!   memory, lock-free concurrent recording, exact-rank
+//!   p50/p95/p99/p99.9/max within one bucket width of the true quantile.
+//! * [`SlidingQuantile`] — a small fixed-window nearest-rank quantile
+//!   (the `Batcher`'s 64-drain p99 window).
+//! * [`EventRing`] — a fixed-capacity structured timeline of
+//!   [`Event`]s (migration begin/chunk/complete, epoch flips, batcher
+//!   drains, policy decisions, poisoned ops). Overflow drops the
+//!   **oldest** events and exposes a monotone `dropped` counter in every
+//!   snapshot: loss is always visible, never silent.
+//! * [`Json`] — a serde-free JSON tree with unit-tested escaping, so the
+//!   stack has exactly one JSON emitter instead of per-crate format
+//!   strings.
+//! * [`Registry`] — names the instruments above and renders one coherent
+//!   snapshot as JSON ([`Registry::snapshot_json`]) or Prometheus text
+//!   exposition ([`Registry::to_prometheus`]).
+//!
+//! Recording never blocks: counters and histograms are plain atomic
+//! fetch-adds; the event ring claims slots with a per-slot sequence
+//! protocol (writers to *different* slots never interact, and a reader
+//! never blocks a writer). Registration and snapshotting take a mutex —
+//! they are off the hot path by construction.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counter;
+mod events;
+mod hist;
+mod json;
+mod registry;
+mod window;
+
+pub use counter::{Counter, Gauge};
+pub use events::{Event, EventKind, EventRing, RingSnapshot, DEFAULT_RING_CAPACITY};
+pub use hist::{HistSnapshot, Histogram};
+pub use json::Json;
+pub use registry::Registry;
+pub use window::SlidingQuantile;

@@ -1,0 +1,232 @@
+//! The instrument registry: names counters, gauges, histograms and event
+//! rings, and renders one coherent snapshot as JSON or Prometheus text.
+//!
+//! Registration (`counter()` / `histogram()` / …) takes a mutex and is
+//! get-or-create by name — call it at setup, hold the returned `Arc`, and
+//! record through the `Arc` on the hot path (lock-free). Snapshotting
+//! walks the registry under the same mutexes; it never blocks recorders.
+
+use crate::counter::{Counter, Gauge};
+use crate::events::EventRing;
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::DEFAULT_RING_CAPACITY;
+use std::sync::{Arc, Mutex};
+
+/// A named collection of instruments (see module docs).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    hists: Mutex<Vec<(String, Arc<Histogram>)>>,
+    rings: Mutex<Vec<(String, Arc<EventRing>)>>,
+}
+
+fn get_or_insert<T>(
+    list: &Mutex<Vec<(String, Arc<T>)>>,
+    name: &str,
+    mk: impl FnOnce() -> T,
+) -> Arc<T> {
+    let mut list = list.lock().expect("registry poisoned");
+    if let Some((_, v)) = list.iter().find(|(n, _)| n == name) {
+        return v.clone();
+    }
+    let v = Arc::new(mk());
+    list.push((name.to_string(), v.clone()));
+    v
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::new)
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::new)
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.hists, name, Histogram::new)
+    }
+
+    /// The event ring named `name` (created with `capacity` on first use;
+    /// an existing ring keeps its original capacity).
+    pub fn ring(&self, name: &str, capacity: usize) -> Arc<EventRing> {
+        get_or_insert(&self.rings, name, || EventRing::new(capacity))
+    }
+
+    /// The event ring named `name` at [`DEFAULT_RING_CAPACITY`].
+    pub fn default_ring(&self, name: &str) -> Arc<EventRing> {
+        self.ring(name, DEFAULT_RING_CAPACITY)
+    }
+
+    /// One coherent snapshot of every instrument as a JSON tree:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..},"events":{..}}`.
+    /// Histograms carry count/mean/max and the standard quantiles (`_ns`
+    /// keys — the stack records latencies in nanoseconds); event entries
+    /// carry `capacity`, the monotone `dropped` counter and the surviving
+    /// timeline.
+    pub fn snapshot_json(&self) -> Json {
+        let counters: Vec<(String, Json)> = self
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), Json::U64(c.get())))
+            .collect();
+        let gauges: Vec<(String, Json)> = self
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), Json::I64(g.get())))
+            .collect();
+        let hists: Vec<(String, Json)> = self
+            .hists
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot().to_json_ns()))
+            .collect();
+        let rings: Vec<(String, Json)> = self
+            .rings
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, r)| (n.clone(), r.snapshot().to_json()))
+            .collect();
+        Json::obj()
+            .field("counters", Json::Obj(counters))
+            .field("gauges", Json::Obj(gauges))
+            .field("histograms", Json::Obj(hists))
+            .field("events", Json::Obj(rings))
+    }
+
+    /// The snapshot in Prometheus text exposition format: counters and
+    /// gauges as single samples, histograms as cumulative `_bucket{le=..}`
+    /// series (non-empty buckets only) plus `_sum`/`_count`, and each
+    /// event ring's monotone loss accounting as `_published`/`_dropped`
+    /// counters (the timeline itself is a JSON-side concept).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.lock().expect("registry poisoned").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
+        }
+        for (name, h) in self.hists.lock().expect("registry poisoned").iter() {
+            out.push_str(&h.snapshot().to_prometheus(&sanitize(name)));
+        }
+        for (name, r) in self.rings.lock().expect("registry poisoned").iter() {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE {n}_published counter\n{n}_published {}\n",
+                r.published()
+            ));
+            out.push_str(&format!(
+                "# TYPE {n}_dropped counter\n{n}_dropped {}\n",
+                r.dropped()
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`; everything else becomes `_`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    #[test]
+    fn registration_is_get_or_create_by_name() {
+        let r = Registry::new();
+        let a = r.counter("ops");
+        let b = r.counter("ops");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(2);
+        b.inc();
+        assert_eq!(r.counter("ops").get(), 3);
+        let h1 = r.histogram("lat");
+        let h2 = r.histogram("lat");
+        assert!(Arc::ptr_eq(&h1, &h2));
+        let ring = r.ring("timeline", 4);
+        assert!(Arc::ptr_eq(&ring, &r.ring("timeline", 999)));
+        assert_eq!(r.ring("timeline", 999).capacity(), 4, "first capacity wins");
+    }
+
+    #[test]
+    fn snapshot_json_carries_every_instrument() {
+        let r = Registry::new();
+        r.counter("store.gets").add(5);
+        r.gauge("inflight").set(-2);
+        let h = r.histogram("get_ns");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        r.ring("timeline", 8)
+            .push(EventKind::EpochFlip { epoch: 3 });
+        let json = r.snapshot_json().render();
+        assert!(json.contains("\"store.gets\":5"), "{json}");
+        assert!(json.contains("\"inflight\":-2"), "{json}");
+        assert!(json.contains("\"p999_ns\":"), "{json}");
+        assert!(json.contains("\"max_ns\":30"), "{json}");
+        assert!(json.contains("\"kind\":\"epoch_flip\""), "{json}");
+        assert!(json.contains("\"dropped\":0"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let r = Registry::new();
+        r.counter("store.gets").add(5);
+        r.gauge("inflight").set(7);
+        let h = r.histogram("get-ns");
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        r.ring("timeline", 8)
+            .push(EventKind::EpochFlip { epoch: 1 });
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE store_gets counter\nstore_gets 5\n"));
+        assert!(text.contains("# TYPE inflight gauge\ninflight 7\n"));
+        assert!(text.contains("# TYPE get_ns histogram\n"));
+        assert!(text.contains("get_ns_bucket{le=\"+Inf\"} 100\n"));
+        assert!(text.contains("get_ns_sum 5050\nget_ns_count 100\n"));
+        assert!(text.contains("timeline_published 1\n"));
+        assert!(text.contains("timeline_dropped 0\n"));
+        // Cumulative buckets are non-decreasing.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            if line.contains("+Inf") {
+                continue;
+            }
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "{line}");
+            prev = v;
+        }
+    }
+}

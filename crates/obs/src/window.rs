@@ -1,0 +1,135 @@
+//! A small fixed-capacity sliding window with nearest-rank quantiles.
+//!
+//! Unlike [`crate::Histogram`] (unbounded history, bucketed), a
+//! [`SlidingQuantile`] answers "what was the p99 over the last N
+//! observations?" **exactly**, by keeping the last N raw samples in a
+//! ring. It is meant for low-rate series — the `Batcher` records one
+//! sample per *drain*, not per operation — so a mutex around the ring is
+//! cheap and keeps the quantile math trivially exact.
+
+use std::sync::Mutex;
+
+/// A sliding window of the last `capacity` samples with exact
+/// nearest-rank quantiles over the window.
+///
+/// ```
+/// let w = leap_obs::SlidingQuantile::new(64);
+/// for v in 1..=100u64 {
+///     w.record(v);
+/// }
+/// // Window holds 37..=100; nearest-rank p50 over those 64 samples.
+/// assert_eq!(w.quantile_permille(500), 68);
+/// assert_eq!(w.quantile_permille(990), 100);
+/// ```
+#[derive(Debug)]
+pub struct SlidingQuantile {
+    capacity: usize,
+    /// `(ring, next_slot)` — the ring overwrites oldest-first once full.
+    inner: Mutex<(Vec<u64>, usize)>,
+}
+
+impl SlidingQuantile {
+    /// A window over the last `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a window must hold at least one sample");
+        SlidingQuantile {
+            capacity,
+            inner: Mutex::new((Vec::with_capacity(capacity), 0)),
+        }
+    }
+
+    /// Records one sample, evicting the oldest when the window is full.
+    pub fn record(&self, v: u64) {
+        let mut inner = self.inner.lock().expect("window poisoned");
+        let (ring, next) = &mut *inner;
+        if ring.len() < self.capacity {
+            ring.push(v);
+        } else {
+            ring[*next] = v;
+        }
+        *next = (*next + 1) % self.capacity;
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("window poisoned").0.len()
+    }
+
+    /// Whether no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact nearest-rank quantile over the current window (`990` = p99);
+    /// 0 when empty. For `n` samples the rank is `ceil(n * pm / 1000)` —
+    /// the same convention the store's original drain-window `p99()`
+    /// used, so `quantile_permille(990)` over `1..=100` is 99, and over a
+    /// two-sample window it is the larger sample.
+    pub fn quantile_permille(&self, pm: u64) -> u64 {
+        let inner = self.inner.lock().expect("window poisoned");
+        let ring = &inner.0;
+        if ring.is_empty() {
+            return 0;
+        }
+        let mut sorted = ring.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() as u64 * pm).div_ceil(1000).max(1) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    /// The window's p99 (`quantile_permille(990)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ported from the store's original ad-hoc `p99()` over the drain
+    /// window: identical nearest-rank results on its edge cases.
+    #[test]
+    fn nearest_rank_edge_cases() {
+        let empty = SlidingQuantile::new(64);
+        assert_eq!(empty.p99(), 0);
+        assert!(empty.is_empty());
+
+        let one = SlidingQuantile::new(64);
+        one.record(7);
+        assert_eq!(one.p99(), 7, "a single sample is every percentile");
+
+        let hundred = SlidingQuantile::new(128);
+        for v in 1..=100 {
+            hundred.record(v);
+        }
+        assert_eq!(hundred.p99(), 99, "nearest-rank, not max");
+
+        let two = SlidingQuantile::new(64);
+        two.record(5);
+        two.record(1000);
+        assert_eq!(two.p99(), 1000, "small windows take the top sample");
+
+        let exact = SlidingQuantile::new(64);
+        for v in 1..=64 {
+            exact.record(v);
+        }
+        assert_eq!(exact.p99(), 64, "64 samples: rank 64");
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let w = SlidingQuantile::new(4);
+        for v in [100, 200, 300, 400, 1, 2] {
+            w.record(v);
+        }
+        // Window is now [1, 2, 300, 400].
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantile_permille(500), 2);
+        assert_eq!(w.quantile_permille(1000), 400);
+    }
+}

@@ -1,8 +1,10 @@
 //! Transactional domains: the global version clock and the orec table.
 
+use crate::recorder::StmRecorder;
 use crate::stats::Stats;
 use crate::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Default log2 of the ownership-record table size (2^16 orecs = 512 KiB).
 pub const DEFAULT_OREC_BITS: u32 = 16;
@@ -59,6 +61,9 @@ pub struct StmDomain {
     shift: u32,
     mode: Mode,
     pub(crate) stats: Stats,
+    /// Optional observability hooks; absent = zero-cost disabled path
+    /// (one relaxed load on the retry loop's commit).
+    recorder: OnceLock<StmRecorder>,
 }
 
 impl StmDomain {
@@ -84,7 +89,22 @@ impl StmDomain {
             shift: 64 - orec_bits,
             mode,
             stats: Stats::default(),
+            recorder: OnceLock::new(),
         }
+    }
+
+    /// Attaches observability hooks (at most once per domain). Returns
+    /// `false` — and leaves the existing recorder in place — if one was
+    /// already attached.
+    pub fn set_recorder(&self, recorder: StmRecorder) -> bool {
+        self.recorder.set(recorder).is_ok()
+    }
+
+    /// The attached recorder, if any. Costs one relaxed atomic load when
+    /// none is attached — the entire disabled-path overhead.
+    #[inline]
+    pub fn recorder(&self) -> Option<&StmRecorder> {
+        self.recorder.get()
     }
 
     /// The domain's commit mode.

@@ -59,6 +59,7 @@
 compile_error!("leap-stm requires a 64-bit target (word == u64)");
 
 mod domain;
+mod recorder;
 mod retry;
 mod stats;
 mod tagged;
@@ -67,6 +68,7 @@ mod txn;
 mod word;
 
 pub use domain::{Mode, StmDomain, DEFAULT_OREC_BITS};
+pub use recorder::StmRecorder;
 pub use retry::{atomically, Backoff};
 pub use stats::StatsSnapshot;
 pub use tagged::TaggedPtr;

@@ -1,0 +1,58 @@
+//! Optional observability hooks: zero-cost when disabled.
+//!
+//! A [`StmRecorder`] is attached to a domain once
+//! ([`StmDomain::set_recorder`](crate::StmDomain::set_recorder)) and
+//! feeds `leap-obs` instruments from the retry loop. When no recorder is
+//! attached the hot path pays exactly one relaxed atomic load (the
+//! `OnceLock` presence check) — no timing calls, no allocation.
+
+use leap_obs::Histogram;
+use std::sync::Arc;
+
+/// Observability hooks for one [`StmDomain`](crate::StmDomain).
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::{atomically, StmDomain, StmRecorder, TVar};
+/// use std::sync::Arc;
+///
+/// let d = StmDomain::new();
+/// let retries = Arc::new(leap_obs::Histogram::new());
+/// assert!(d.set_recorder(StmRecorder::new(retries.clone())));
+/// let v = TVar::new(0u64);
+/// atomically(&d, |tx| {
+///     let x = tx.read(&v)?;
+///     tx.write(&v, x + 1)
+/// });
+/// let s = retries.snapshot();
+/// assert_eq!(s.count, 1, "one successful transaction");
+/// assert_eq!(s.max, 1, "committed on the first attempt");
+/// ```
+#[derive(Debug, Clone)]
+pub struct StmRecorder {
+    /// Attempts per successful [`atomically`](crate::atomically) call
+    /// (1 = committed first try; n = n−1 aborted attempts before it).
+    retries: Arc<Histogram>,
+}
+
+impl StmRecorder {
+    /// A recorder feeding the given retry-count histogram.
+    pub fn new(retries: Arc<Histogram>) -> Self {
+        StmRecorder { retries }
+    }
+
+    /// The retry-count histogram.
+    pub fn retries(&self) -> &Arc<Histogram> {
+        &self.retries
+    }
+
+    /// Records one successful transaction that took `attempts` tries.
+    /// Public so structures running their own retry loops over raw
+    /// [`Txn`](crate::Txn)s (rather than [`atomically`](crate::atomically))
+    /// can report through the same histogram.
+    #[inline]
+    pub fn record_attempts(&self, attempts: u64) {
+        self.retries.record(attempts);
+    }
+}

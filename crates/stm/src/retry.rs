@@ -83,6 +83,10 @@ pub fn atomically<'d, R>(
         match body(&mut tx) {
             Ok(r) => {
                 if tx.commit().is_ok() {
+                    if let Some(rec) = domain.recorder() {
+                        // attempts() counts snoozes = failed tries.
+                        rec.record_attempts(u64::from(backoff.attempts()) + 1);
+                    }
                     return r;
                 }
             }
@@ -147,5 +151,48 @@ mod tests {
         });
         assert!(calls >= 2);
         assert_eq!(v.naked_load(), 1);
+    }
+
+    #[test]
+    fn recorder_sees_per_txn_attempt_counts() {
+        use crate::StmRecorder;
+        use std::sync::Arc;
+
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let retries = Arc::new(leap_obs::Histogram::new());
+        assert!(d.set_recorder(StmRecorder::new(retries.clone())));
+        assert!(
+            !d.set_recorder(StmRecorder::new(retries.clone())),
+            "second attach is refused"
+        );
+
+        let v = TVar::new(0u64);
+        // First-try success.
+        atomically(&d, |tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1)
+        });
+        // One forced retry: a blocker holds v's orec on the first attempt.
+        let mut blocker = Some({
+            let mut t = Txn::begin(&d);
+            t.write(&v, 99).unwrap();
+            t
+        });
+        let mut calls = 0;
+        atomically(&d, |tx| {
+            calls += 1;
+            if calls == 1 {
+                tx.write(&v, 1)
+            } else {
+                if let Some(b) = blocker.take() {
+                    drop(b);
+                }
+                tx.write(&v, 1)
+            }
+        });
+        let s = retries.snapshot();
+        assert_eq!(s.count, 2, "two successful transactions recorded");
+        assert_eq!(s.quantile_permille(1), 1, "one committed first try");
+        assert!(s.max >= 2, "the other needed at least one retry: {}", s.max);
     }
 }

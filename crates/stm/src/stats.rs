@@ -6,16 +6,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct Stats {
     pub(crate) commits: AtomicU64,
     pub(crate) read_only_commits: AtomicU64,
-    pub(crate) conflict_aborts: AtomicU64,
+    /// Conflicts detected while the body ran (a read/write/extension hit
+    /// a locked or too-new ownership record).
+    pub(crate) conflict_read_aborts: AtomicU64,
+    /// Conflicts detected at commit time (write-lock acquisition or final
+    /// read-set validation failed).
+    pub(crate) conflict_commit_aborts: AtomicU64,
     pub(crate) explicit_aborts: AtomicU64,
 }
 
 impl Stats {
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let conflict_read = self.conflict_read_aborts.load(Ordering::Relaxed);
+        let conflict_commit = self.conflict_commit_aborts.load(Ordering::Relaxed);
         StatsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),
             read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
-            conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
+            conflict_aborts: conflict_read + conflict_commit,
+            conflict_read_aborts: conflict_read,
+            conflict_commit_aborts: conflict_commit,
             explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
         }
     }
@@ -32,8 +41,17 @@ pub struct StatsSnapshot {
     pub commits: u64,
     /// Transactions that committed without writing.
     pub read_only_commits: u64,
-    /// Aborts caused by conflicts (locked or too-new ownership records).
+    /// Aborts caused by conflicts (locked or too-new ownership records) —
+    /// always the sum of [`StatsSnapshot::conflict_read_aborts`] and
+    /// [`StatsSnapshot::conflict_commit_aborts`].
     pub conflict_aborts: u64,
+    /// Conflict aborts detected **while the body ran**: a read, an
+    /// in-place write, or a snapshot extension found an ownership record
+    /// locked or newer than the read version.
+    pub conflict_read_aborts: u64,
+    /// Conflict aborts detected **at commit**: write-lock acquisition or
+    /// the final read-set validation failed.
+    pub conflict_commit_aborts: u64,
     /// Aborts requested by the program (`tx_abort` in the paper's
     /// pseudocode, e.g. a COP validation failure).
     pub explicit_aborts: u64,
@@ -55,11 +73,13 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "commits={} (ro={}) aborts={} (conflict={}, explicit={})",
+            "commits={} (ro={}) aborts={} (conflict={} [read={}, commit={}], explicit={})",
             self.total_commits(),
             self.read_only_commits,
             self.total_aborts(),
             self.conflict_aborts,
+            self.conflict_read_aborts,
+            self.conflict_commit_aborts,
             self.explicit_aborts
         )
     }
@@ -75,10 +95,24 @@ mod tests {
             commits: 3,
             read_only_commits: 2,
             conflict_aborts: 4,
+            conflict_read_aborts: 3,
+            conflict_commit_aborts: 1,
             explicit_aborts: 1,
         };
         assert_eq!(s.total_commits(), 5);
         assert_eq!(s.total_aborts(), 5);
         assert!(format!("{s}").contains("commits=5"));
+        assert!(format!("{s}").contains("read=3, commit=1"));
+    }
+
+    #[test]
+    fn internal_counters_split_conflict_causes() {
+        let raw = Stats::default();
+        raw.conflict_read_aborts.store(7, Ordering::Relaxed);
+        raw.conflict_commit_aborts.store(2, Ordering::Relaxed);
+        let s = raw.snapshot();
+        assert_eq!(s.conflict_aborts, 9, "public sum stays backward-compatible");
+        assert_eq!(s.conflict_read_aborts, 7);
+        assert_eq!(s.conflict_commit_aborts, 2);
     }
 }

@@ -92,6 +92,10 @@ pub struct Txn<'d> {
     completed: bool,
     explicit: bool,
     poisoned: bool,
+    /// Whether the (non-explicit) failure was detected at commit time
+    /// (lock acquisition / final validation) rather than while the body
+    /// ran — drives the conflict-cause attribution in [`Stats`].
+    commit_conflict: bool,
 }
 
 impl<'d> Txn<'d> {
@@ -107,6 +111,7 @@ impl<'d> Txn<'d> {
             completed: false,
             explicit: false,
             poisoned: false,
+            commit_conflict: false,
         }
     }
 
@@ -325,6 +330,7 @@ impl<'d> Txn<'d> {
                     for &(oj, old) in &locks[..acquired] {
                         self.domain.orec_restore(oj, old);
                     }
+                    self.commit_conflict = true;
                     self.record_abort();
                     return Err(Abort::Conflict);
                 }
@@ -336,6 +342,7 @@ impl<'d> Txn<'d> {
             for &(oi, old) in &locks {
                 self.domain.orec_restore(oi, old);
             }
+            self.commit_conflict = true;
             self.record_abort();
             return Err(Abort::Conflict);
         }
@@ -367,6 +374,7 @@ impl<'d> Txn<'d> {
         mine.sort_unstable_by_key(|(oi, _)| *oi);
         if self.rv + 1 != wv && !self.validate_reads(&mine) {
             self.rollback_wt();
+            self.commit_conflict = true;
             self.record_abort();
             return Err(Abort::Conflict);
         }
@@ -395,8 +403,13 @@ impl<'d> Txn<'d> {
         self.completed = true;
         let ctr = if self.explicit {
             &self.domain.stats.explicit_aborts
+        } else if self.commit_conflict {
+            &self.domain.stats.conflict_commit_aborts
         } else {
-            &self.domain.stats.conflict_aborts
+            // Encounter-time: a read/write/extension conflicted (or the
+            // transaction was dropped uncommitted, which is accounted the
+            // same way — the body never reached commit).
+            &self.domain.stats.conflict_read_aborts
         };
         ctr.fetch_add(1, Ordering::Relaxed);
     }
@@ -613,6 +626,62 @@ mod tests {
             let total: u64 = vars.iter().map(|v| v.naked_load()).sum();
             assert_eq!(total, 64, "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn conflict_causes_are_attributed_read_vs_commit() {
+        for d in both_modes() {
+            let v = TVar::new(0u64);
+
+            // Encounter-time conflict: reading a var whose orec another
+            // live transaction holds (WT) or whose orec advanced past the
+            // snapshot mid-read is detected inside the body.
+            let mut t1 = Txn::begin(&d);
+            let _ = t1.read(&v).unwrap();
+            let mut t2 = Txn::begin(&d);
+            let x = t2.read(&v).unwrap();
+            t2.write(&v, x + 1).unwrap();
+            t2.commit().unwrap();
+            // t1's snapshot is stale; its write-then-commit must abort.
+            // In WT mode the conflict surfaces at the write (encounter
+            // time); in WB mode at commit validation.
+            let r = t1.write(&v, 99).and_then(|_| t1.commit());
+            assert_eq!(r, Err(Abort::Conflict), "mode {:?}", d.mode());
+
+            let s = d.stats();
+            assert_eq!(
+                s.conflict_aborts,
+                s.conflict_read_aborts + s.conflict_commit_aborts,
+                "mode {:?}: sum invariant",
+                d.mode()
+            );
+            assert_eq!(s.conflict_aborts, 1, "mode {:?}", d.mode());
+            match d.mode() {
+                Mode::WriteBack => assert_eq!(
+                    s.conflict_commit_aborts, 1,
+                    "WB detects stale reads at commit validation"
+                ),
+                Mode::WriteThrough => assert_eq!(
+                    s.conflict_read_aborts, 1,
+                    "WT detects the stale snapshot at the write"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn encounter_conflicts_count_as_read_aborts() {
+        let d = StmDomain::with_config(Mode::WriteThrough, 10);
+        let v = TVar::new(0u64);
+        let mut t1 = Txn::begin(&d);
+        t1.write(&v, 1).unwrap();
+        let mut t2 = Txn::begin(&d);
+        assert_eq!(t2.read(&v), Err(Abort::Conflict), "orec is locked");
+        drop(t2);
+        let s = d.stats();
+        assert_eq!(s.conflict_read_aborts, 1);
+        assert_eq!(s.conflict_commit_aborts, 0);
+        t1.commit().unwrap();
     }
 
     #[test]

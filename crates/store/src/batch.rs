@@ -21,6 +21,7 @@
 //! exposes the p99 drain latency over a sliding window of recent drains.
 
 use crate::store::LeapStore;
+use leap_obs::{EventKind, SlidingQuantile};
 use leaplist::BatchOp;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -52,19 +53,6 @@ fn next_window(cur: u64, batch: usize, drain_ns: u64, prev_drain_ns: u64) -> u64
     } else {
         cur.saturating_mul(2).clamp(WINDOW_BASE_NS, WINDOW_MAX_NS)
     }
-}
-
-/// p99 over the recorded drain latencies (0 when none recorded):
-/// nearest-rank, i.e. the smallest value with at least 99% of samples at
-/// or below it — for small sample counts this is the maximum, never an
-/// underestimate of the tail.
-fn p99(lats: &[u64]) -> u64 {
-    if lats.is_empty() {
-        return 0;
-    }
-    let mut sorted = lats.to_vec();
-    sorted.sort_unstable();
-    sorted[(sorted.len() * 99).div_ceil(100) - 1]
 }
 
 /// Panic payload re-raised to the submitter of an op that poisoned a
@@ -181,9 +169,9 @@ pub struct Batcher<V> {
     max_batch: AtomicU64,
     /// Latency of the most recent drain (the doubling guard's baseline).
     prev_drain_ns: AtomicU64,
-    /// Sliding window of recent drain latencies (ring buffer + write
-    /// cursor); only the combiner writes, so the lock is uncontended.
-    drain_lats: Mutex<(Vec<u64>, usize)>,
+    /// Sliding window of the last [`LAT_WINDOW`] drain latencies; only the
+    /// combiner writes, so its lock is uncontended.
+    drain_lats: SlidingQuantile,
 }
 
 impl<V: Clone + Send + Sync + 'static> Batcher<V> {
@@ -199,7 +187,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             ops: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
             prev_drain_ns: AtomicU64::new(0),
-            drain_lats: Mutex::new((Vec::with_capacity(LAT_WINDOW), 0)),
+            drain_lats: SlidingQuantile::new(LAT_WINDOW),
         }
     }
 
@@ -230,19 +218,12 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
 
     /// Coalescing counters.
     pub fn stats(&self) -> BatcherStats {
-        let p99_ns = {
-            let lats = self
-                .drain_lats
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            p99(&lats.0)
-        };
         BatcherStats {
             batches: self.batches.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
             max_batch: self.max_batch.load(Ordering::Relaxed),
             window_ns: self.window_ns.load(Ordering::Relaxed),
-            p99_ns,
+            p99_ns: self.drain_lats.p99(),
         }
     }
 
@@ -250,17 +231,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
     /// previous-drain baseline.
     fn record_drain(&self, drain_ns: u64) {
         self.prev_drain_ns.store(drain_ns, Ordering::Relaxed);
-        let mut lats = self
-            .drain_lats
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let cursor = lats.1;
-        if lats.0.len() < LAT_WINDOW {
-            lats.0.push(drain_ns);
-        } else {
-            lats.0[cursor % LAT_WINDOW] = drain_ns;
-        }
-        lats.1 = cursor.wrapping_add(1);
+        self.drain_lats.record(drain_ns);
     }
 
     fn submit(&self, op: BatchOp<V>) -> Option<V> {
@@ -336,6 +307,9 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             let poisoned = probe
                 && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.op.clone()))
                     .map_err(|payload| {
+                        self.store.emit(EventKind::PoisonedOp {
+                            index: index as u64,
+                        });
                         let poisoned = PoisonedOp { index, payload };
                         if Arc::ptr_eq(&p.slot, &slot) {
                             own_poison = Some(poisoned);
@@ -373,6 +347,11 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 Ordering::Relaxed,
             );
             self.record_drain(drain_ns);
+            self.store.emit(EventKind::BatcherDrain {
+                ops: ops.len() as u64,
+                drain_ns,
+                window_ns: window,
+            });
             self.batches.fetch_add(1, Ordering::Relaxed);
             self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
             self.max_batch
@@ -472,34 +451,28 @@ mod tests {
     }
 
     #[test]
-    fn p99_percentile_over_recent_drains() {
-        assert_eq!(p99(&[]), 0);
-        assert_eq!(p99(&[7]), 7);
-        let lats: Vec<u64> = (1..=100).collect();
-        assert_eq!(p99(&lats), 99, "nearest rank: ceil(0.99 × 100) = 99th");
-        assert_eq!(
-            p99(&[5, 1_000]),
-            1_000,
-            "few samples: the tail is the maximum, never underestimated"
-        );
-        assert_eq!(p99(&(1..=64).collect::<Vec<u64>>()), 64);
-    }
-
-    #[test]
     fn stats_expose_drain_p99() {
         let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
             2,
             Partitioning::Hash,
         )));
-        let b = Batcher::new(store);
+        let b = Batcher::new(store.clone());
         assert_eq!(b.stats().p99_ns, 0, "no drains yet");
-        for k in 0..20u64 {
+        for k in 0..100u64 {
             b.put(k, k);
         }
         assert!(b.stats().p99_ns > 0, "drains recorded a latency");
-        // The ring stays bounded.
-        let lats = b.drain_lats.lock().unwrap();
-        assert!(lats.0.len() <= LAT_WINDOW);
+        // The sliding window stays bounded at LAT_WINDOW drains.
+        assert!(b.drain_lats.len() <= LAT_WINDOW);
+        assert_eq!(b.drain_lats.len(), 64, "100 drains, last 64 kept");
+        // Every drain also landed on the store's event timeline.
+        let snap = store.obs().expect("obs on by default").events().snapshot();
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::BatcherDrain { ops: 1, .. })),
+            "solo drains appear in the timeline"
+        );
     }
 
     #[test]

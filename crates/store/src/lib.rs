@@ -34,8 +34,13 @@
 //!   from many threads into grouped multi-list transactions, with a
 //!   latency-aware adaptive window.
 //! * **Observability** — [`LeapStore::stats`] exposes per-shard op and
-//!   key counters, routing epoch and migration progress, plus the shared
-//!   domain's commit/abort counters ([`leap_stm::StatsSnapshot`]).
+//!   key counters, routing epoch and migration progress, the shared
+//!   domain's commit/abort counters with **abort-cause attribution**
+//!   ([`leap_stm::StatsSnapshot`]), per-op-kind latency histograms, the
+//!   per-transaction retry histogram and a structured migration/drain
+//!   event timeline ([`StoreObs`], on by default) — renderable as JSON
+//!   ([`StoreStats::to_json`]) or Prometheus text
+//!   ([`StoreStats::to_prometheus`]).
 //!
 //! # Quickstart
 //!
@@ -56,6 +61,7 @@
 
 mod batch;
 mod cursor;
+mod obs;
 mod rebalance;
 mod router;
 mod stats;
@@ -64,6 +70,7 @@ mod subspace;
 
 pub use batch::{Batcher, BatcherStats, PoisonedOp};
 pub use cursor::{Cursor, DEFAULT_PAGE_SIZE};
+pub use obs::{ObsSnapshot, StoreObs, GET_SAMPLE_PERIOD};
 pub use rebalance::{RebalanceAction, RebalanceError, RebalancePolicy, Rebalancer};
 pub use router::{MigrationView, Partitioning, Router, RoutingEpoch};
 pub use stats::{ShardStats, StoreStats};

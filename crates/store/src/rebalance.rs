@@ -40,6 +40,7 @@
 
 use crate::router::Partitioning;
 use crate::store::LeapStore;
+use leap_obs::EventKind;
 use leaplist::{BatchOp, LeapListLt};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, PoisonError};
@@ -260,7 +261,16 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         }
         let dst = self.allocate_slot();
         match self.router().begin_migration(shard, dst, at) {
-            Ok(_) => Ok(dst),
+            Ok(m) => {
+                self.emit(EventKind::MigrationBegin {
+                    id: m.id,
+                    src: m.src as u64,
+                    dst: m.dst as u64,
+                    lo: m.lo,
+                    hi: m.hi,
+                });
+                Ok(dst)
+            }
             Err(e) => {
                 // The freshly allocated slot owns nothing and is empty:
                 // park it for reuse.
@@ -296,7 +306,15 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .router()
             .shard_interval(src)
             .ok_or(RebalanceError::NothingToMove)?;
-        self.router().begin_migration(src, dst, lo).map(|_| ())
+        let m = self.router().begin_migration(src, dst, lo)?;
+        self.emit(EventKind::MigrationBegin {
+            id: m.id,
+            src: m.src as u64,
+            dst: m.dst as u64,
+            lo: m.lo,
+            hi: m.hi,
+        });
+        Ok(())
     }
 
     /// Advances resharding by one bounded action and reports it:
@@ -373,6 +391,11 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 recent.push_front((pair, done));
                 recent.truncate(8);
             }
+            // Both events while still under the step lock, so every
+            // migration's timeline reads begin -> chunks -> complete with
+            // the epoch flip adjacent to its completion.
+            self.emit(EventKind::MigrationComplete { id: m.id, epoch });
+            self.emit(EventKind::EpochFlip { epoch });
             return RebalanceAction::Completed { epoch };
         }
         // One transaction: the page leaves src and lands in dst, so a
@@ -387,6 +410,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         let last = page.last().expect("non-empty page").0;
         m.frontier.store(last + 1, Ordering::Relaxed);
         m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
+        self.emit(EventKind::MigrationChunk {
+            id: m.id,
+            moved: page.len() as u64,
+        });
         RebalanceAction::Moved {
             src: m.src,
             dst: m.dst,
@@ -432,6 +459,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     if let Some(&(median, _)) = page.last() {
                         let at = (median + 1).clamp(lo + 1, hi);
                         if let Ok(dst) = self.split_locked(s, at) {
+                            self.emit(EventKind::PolicySplit {
+                                shard: s as u64,
+                                load: score(&(s, lo, hi, keys)) as u64,
+                            });
                             return Some(RebalanceAction::SplitStarted { shard: s, at, dst });
                         }
                     }
@@ -472,6 +503,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     (w[1].0, w[0].0)
                 };
                 if self.merge_locked(src, dst).is_ok() {
+                    self.emit(EventKind::PolicyMerge {
+                        left: dst as u64,
+                        right: src as u64,
+                    });
                     return Some(RebalanceAction::MergeStarted { src, dst });
                 }
             }

@@ -2,8 +2,16 @@
 //! per-shard key counts and interval ownership (the signals the rebalancer
 //! acts on), routing-epoch and migration progress, plus the transaction
 //! commit/abort counters re-exported from the shared `leap_stm` domain.
+//!
+//! Rendered through the `leap_obs` JSON emitter ([`StoreStats::to_json`])
+//! or as Prometheus text ([`StoreStats::to_prometheus`]); when the store's
+//! observability instruments are enabled the snapshot additionally carries
+//! per-op-kind latency histograms, the per-transaction retry histogram and
+//! the migration/drain event timeline.
 
+use crate::obs::ObsSnapshot;
 use crate::router::MigrationView;
+use leap_obs::Json;
 use leap_stm::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -96,6 +104,9 @@ pub struct StoreStats {
     pub peak_concurrent_migrations: u64,
     /// Migrations (splits and merges) completed since construction.
     pub migrations_completed: u64,
+    /// Instrument snapshot (latency histograms, retry histogram, event
+    /// timeline) when the store was built with observability enabled.
+    pub obs: Option<ObsSnapshot>,
 }
 
 impl StoreStats {
@@ -152,34 +163,131 @@ impl StoreStats {
         self.migrations.len()
     }
 
+    /// The snapshot as a `leap_obs` JSON tree — see
+    /// [`StoreStats::to_json`] for the field contract.
+    pub fn to_json_value(&self) -> Json {
+        let shards: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("shard", Json::U64(s.shard as u64))
+                    .field("gets", Json::U64(s.gets))
+                    .field("puts", Json::U64(s.puts))
+                    .field("deletes", Json::U64(s.deletes))
+                    .field("ranges", Json::U64(s.ranges))
+                    .field("batch_parts", Json::U64(s.batch_parts))
+                    .field("keys", Json::U64(s.keys))
+                    .field("owned", Json::Bool(s.owned))
+            })
+            .collect();
+        let stm = Json::obj()
+            .field("commits", Json::U64(self.stm.commits))
+            .field("read_only_commits", Json::U64(self.stm.read_only_commits))
+            .field("conflict_aborts", Json::U64(self.stm.conflict_aborts))
+            .field("explicit_aborts", Json::U64(self.stm.explicit_aborts))
+            .field(
+                "conflict_read_aborts",
+                Json::U64(self.stm.conflict_read_aborts),
+            )
+            .field(
+                "conflict_commit_aborts",
+                Json::U64(self.stm.conflict_commit_aborts),
+            );
+        let mut out = Json::obj()
+            .field("shards", Json::Arr(shards))
+            .field("stm", stm)
+            .field("collision_batches", Json::U64(self.collision_batches))
+            .field("abort_rate", Json::fixed(self.abort_rate(), 6))
+            .field("epoch", Json::U64(self.epoch))
+            .field("migrations_completed", Json::U64(self.migrations_completed))
+            .field(
+                "concurrent_migrations",
+                Json::U64(self.concurrent_migrations() as u64),
+            )
+            .field(
+                "peak_concurrent_migrations",
+                Json::U64(self.peak_concurrent_migrations),
+            )
+            .field("key_spread", Json::U64(self.key_spread()))
+            .field("key_spread_ratio", Json::fixed(self.key_spread_ratio(), 4));
+        if let Some(obs) = &self.obs {
+            out = out
+                .field("op_latency", obs.op_latency_json())
+                .field("txn_retries", obs.txn_retries.to_json_ns())
+                .field("events", obs.events.to_json());
+        }
+        out
+    }
+
     /// Renders one `{...}` JSON object per line, machine-parseable for the
-    /// benchmark harness's `BENCH_*.json` outputs.
+    /// benchmark harness's `BENCH_*.json` outputs. The legacy keys (shard
+    /// counters, stm commits/aborts, rates, migration progress) keep their
+    /// historical order and formatting; stores with observability enabled
+    /// append `op_latency` (per-op-kind latency histograms), `txn_retries`
+    /// (attempts per committed transaction) and `events` (the
+    /// migration/drain timeline).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"shards\":[");
-        for (i, s) in self.shards.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        self.to_json_value().render()
+    }
+
+    /// The snapshot in Prometheus text exposition format: per-shard op
+    /// counters as labelled series, the domain's commit/abort counters
+    /// with abort-cause labels, migration/epoch gauges, and (when
+    /// observability is enabled) one histogram block per op kind plus the
+    /// retry histogram and the event ring's loss accounting.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (metric, pick) in [
+            (
+                "store_shard_gets",
+                (|s: &ShardStats| s.gets) as fn(&ShardStats) -> u64,
+            ),
+            ("store_shard_puts", |s| s.puts),
+            ("store_shard_deletes", |s| s.deletes),
+            ("store_shard_ranges", |s| s.ranges),
+            ("store_shard_batch_parts", |s| s.batch_parts),
+            ("store_shard_keys", |s| s.keys),
+        ] {
+            out.push_str(&format!("# TYPE {metric} gauge\n"));
+            for s in &self.shards {
+                out.push_str(&format!("{metric}{{shard=\"{}\"}} {}\n", s.shard, pick(s)));
             }
-            out.push_str(&format!(
-                "{{\"shard\":{},\"gets\":{},\"puts\":{},\"deletes\":{},\"ranges\":{},\"batch_parts\":{},\"keys\":{},\"owned\":{}}}",
-                s.shard, s.gets, s.puts, s.deletes, s.ranges, s.batch_parts, s.keys, s.owned
-            ));
         }
         out.push_str(&format!(
-            "],\"stm\":{{\"commits\":{},\"read_only_commits\":{},\"conflict_aborts\":{},\"explicit_aborts\":{}}},\"collision_batches\":{},\"abort_rate\":{:.6},\"epoch\":{},\"migrations_completed\":{},\"concurrent_migrations\":{},\"peak_concurrent_migrations\":{},\"key_spread\":{},\"key_spread_ratio\":{:.4}}}",
-            self.stm.commits,
-            self.stm.read_only_commits,
-            self.stm.conflict_aborts,
-            self.stm.explicit_aborts,
-            self.collision_batches,
-            self.abort_rate(),
-            self.epoch,
-            self.migrations_completed,
-            self.concurrent_migrations(),
-            self.peak_concurrent_migrations,
-            self.key_spread(),
-            self.key_spread_ratio(),
+            "# TYPE stm_commits counter\nstm_commits{{kind=\"write\"}} {}\nstm_commits{{kind=\"read_only\"}} {}\n",
+            self.stm.commits, self.stm.read_only_commits
         ));
+        out.push_str(&format!(
+            "# TYPE stm_aborts counter\nstm_aborts{{cause=\"conflict_read\"}} {}\nstm_aborts{{cause=\"conflict_commit\"}} {}\nstm_aborts{{cause=\"explicit\"}} {}\n",
+            self.stm.conflict_read_aborts, self.stm.conflict_commit_aborts, self.stm.explicit_aborts
+        ));
+        out.push_str(&format!(
+            "# TYPE store_epoch gauge\nstore_epoch {}\n",
+            self.epoch
+        ));
+        out.push_str(&format!(
+            "# TYPE store_migrations_completed counter\nstore_migrations_completed {}\n",
+            self.migrations_completed
+        ));
+        out.push_str(&format!(
+            "# TYPE store_migrations_in_flight gauge\nstore_migrations_in_flight {}\n",
+            self.concurrent_migrations()
+        ));
+        if let Some(obs) = &self.obs {
+            for (kind, snap) in &obs.op_latency {
+                out.push_str(&snap.to_prometheus(&format!("store_op_{kind}_ns")));
+            }
+            out.push_str(&obs.txn_retries.to_prometheus("stm_txn_retries"));
+            out.push_str(&format!(
+                "# TYPE store_events_published counter\nstore_events_published {}\n",
+                obs.events.dropped + obs.events.events.len() as u64
+            ));
+            out.push_str(&format!(
+                "# TYPE store_events_dropped counter\nstore_events_dropped {}\n",
+                obs.events.dropped
+            ));
+        }
         out
     }
 }
@@ -256,6 +364,8 @@ mod tests {
                 commits: 8,
                 read_only_commits: 2,
                 conflict_aborts: 4,
+                conflict_read_aborts: 3,
+                conflict_commit_aborts: 1,
                 explicit_aborts: 1,
             },
             collision_batches: 7,
@@ -278,6 +388,7 @@ mod tests {
             ],
             peak_concurrent_migrations: 2,
             migrations_completed: 3,
+            obs: None,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
         assert!((stats.abort_rate() - 0.5).abs() < 1e-9);
@@ -299,6 +410,17 @@ mod tests {
         assert!(json.contains("\"peak_concurrent_migrations\":2"));
         assert!(json.contains("\"key_spread\":30"));
         assert!(json.contains("\"key_spread_ratio\":1.6000"));
+        assert!(json.contains("\"abort_rate\":0.500000"));
+        assert!(
+            json.contains(
+                "\"explicit_aborts\":1,\"conflict_read_aborts\":3,\"conflict_commit_aborts\":1"
+            ),
+            "cause breakdown appends after the legacy stm keys: {json}"
+        );
+        assert!(
+            !json.contains("\"op_latency\""),
+            "no obs snapshot, no obs keys"
+        );
         assert_eq!(StoreStats::default().abort_rate(), 0.0);
         assert_eq!(StoreStats::default().key_spread(), 0);
         let text = format!("{stats}");
@@ -367,5 +489,64 @@ mod tests {
         };
         assert!((merged.key_spread_ratio() - 1.5).abs() < 1e-9);
         assert!(merged.key_spread_ratio().is_finite());
+    }
+
+    /// A live store's snapshot carries the instrument keys and both render
+    /// targets agree on the headline numbers.
+    #[test]
+    fn obs_backed_snapshot_renders_json_and_prometheus() {
+        use crate::router::Partitioning;
+        use crate::store::StoreConfig;
+        let store: crate::LeapStore<u64> =
+            crate::LeapStore::new(StoreConfig::new(2, Partitioning::Hash));
+        for k in 0..50u64 {
+            store.put(k, k);
+        }
+        assert_eq!(store.len(), 50);
+        let stats = store.stats();
+        let obs = stats.obs.as_ref().expect("obs on by default");
+        assert!(
+            obs.op_latency
+                .iter()
+                .any(|(k, s)| *k == "put" && s.count == 50),
+            "every put recorded a latency sample"
+        );
+        assert!(
+            obs.txn_retries.count >= 50,
+            "the recorder saw every committed transaction"
+        );
+        let json = stats.to_json();
+        assert!(
+            json.contains("\"op_latency\":{\"get\":{\"count\":"),
+            "{json}"
+        );
+        assert!(json.contains("\"txn_retries\":{\"count\":"), "{json}");
+        assert!(json.contains("\"events\":{\"capacity\":"), "{json}");
+        assert!(json.contains("\"p999_ns\":"), "{json}");
+        let prom = stats.to_prometheus();
+        assert!(prom.contains("# TYPE store_shard_puts gauge\n"), "{prom}");
+        assert!(prom.contains("stm_commits{kind=\"write\"} "), "{prom}");
+        assert!(
+            prom.contains("stm_aborts{cause=\"conflict_read\"} "),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE store_op_put_ns histogram\n"),
+            "{prom}"
+        );
+        assert!(prom.contains("store_op_put_ns_count 50\n"), "{prom}");
+        assert!(
+            prom.contains("# TYPE stm_txn_retries histogram\n"),
+            "{prom}"
+        );
+        assert!(prom.contains("store_events_dropped 0\n"), "{prom}");
+        // A store built without obs renders neither instrument block.
+        let plain: crate::LeapStore<u64> =
+            crate::LeapStore::new(StoreConfig::new(2, Partitioning::Hash).with_obs(false));
+        plain.put(1, 1);
+        let pstats = plain.stats();
+        assert!(pstats.obs.is_none());
+        assert!(!pstats.to_json().contains("op_latency"));
+        assert!(!pstats.to_prometheus().contains("store_op_put_ns"));
     }
 }

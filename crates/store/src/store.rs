@@ -6,14 +6,16 @@
 //! key sub-ranges between shards in bounded cross-list transactions while
 //! readers and writers proceed (see `rebalance.rs` for the protocol).
 
+use crate::obs::{OpKind, StoreObs};
 use crate::rebalance::RebalancePolicy;
 use crate::router::{Partitioning, Router, WriteRoute};
 use crate::stats::{ShardCounters, ShardStats, StoreStats};
-use leap_stm::StmDomain;
+use leap_stm::{StmDomain, StmRecorder};
 use leaplist::{BatchOp, LeapListLt, Params};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 
 /// Construction parameters for a [`LeapStore`].
 #[derive(Debug, Clone)]
@@ -32,6 +34,14 @@ pub struct StoreConfig {
     /// Policy driving [`LeapStore::rebalance_step`] (chunk size, split and
     /// merge thresholds).
     pub rebalance: RebalancePolicy,
+    /// Whether the store carries observability instruments ([`StoreObs`]:
+    /// per-op latency histograms, the STM retry histogram and the event
+    /// timeline). On by default; when off the hot paths' only overhead is
+    /// one `Option` branch.
+    pub obs: bool,
+    /// Capacity of the event timeline ring (drop-oldest on overflow, with
+    /// a monotone dropped counter — never silent).
+    pub obs_ring_capacity: usize,
 }
 
 impl Default for StoreConfig {
@@ -42,6 +52,8 @@ impl Default for StoreConfig {
             key_space: u64::MAX,
             params: Params::default(),
             rebalance: RebalancePolicy::default(),
+            obs: true,
+            obs_ring_capacity: leap_obs::DEFAULT_RING_CAPACITY,
         }
     }
 }
@@ -73,6 +85,20 @@ impl StoreConfig {
     /// or by a [`crate::Rebalancer`] thread.
     pub fn with_rebalancing(mut self, rebalance: RebalancePolicy) -> Self {
         self.rebalance = rebalance;
+        self
+    }
+
+    /// Enables or disables observability instruments (default: enabled).
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the event-timeline ring capacity (default
+    /// [`leap_obs::DEFAULT_RING_CAPACITY`]). Tiny capacities are useful in
+    /// tests that exercise the drop-oldest overflow contract.
+    pub fn with_obs_ring_capacity(mut self, capacity: usize) -> Self {
+        self.obs_ring_capacity = capacity;
         self
     }
 }
@@ -163,6 +189,10 @@ pub struct LeapStore<V> {
     /// single transaction.
     collision_batches: AtomicU64,
     pub(crate) migrations_completed: AtomicU64,
+    /// Observability instruments ([`StoreConfig::obs`], on by default):
+    /// per-op latency histograms, the STM retry histogram and the
+    /// migration/drain event timeline.
+    obs: Option<Arc<StoreObs>>,
 }
 
 impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
@@ -196,6 +226,15 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .list
             .domain()
             .clone();
+        let obs = config.obs.then(|| {
+            let obs = Arc::new(StoreObs::new(config.obs_ring_capacity));
+            // The domain reports attempts-per-commit straight into the
+            // store's retry histogram. A domain records to at most one
+            // recorder for its lifetime; only the first store sharing a
+            // domain wires one (set_recorder is first-wins).
+            domain.set_recorder(StmRecorder::new(obs.txn_retries.clone()));
+            obs
+        });
         LeapStore {
             slots: RwLock::new(slots),
             router,
@@ -209,6 +248,36 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             op_census: Mutex::new((Vec::new(), Vec::new())),
             collision_batches: AtomicU64::new(0),
             migrations_completed: AtomicU64::new(0),
+            obs,
+        }
+    }
+
+    /// The store's observability instruments, if enabled
+    /// ([`StoreConfig::obs`]). The registry behind it renders the full
+    /// series set as JSON or Prometheus text.
+    pub fn obs(&self) -> Option<&Arc<StoreObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Appends one event to the timeline when observability is on.
+    #[inline]
+    pub(crate) fn emit(&self, kind: leap_obs::EventKind) {
+        if let Some(obs) = &self.obs {
+            obs.events().push(kind);
+        }
+    }
+
+    /// Times `f` into the `kind` histogram when observability is on.
+    #[inline]
+    fn timed<T>(&self, kind: OpKind, f: impl FnOnce() -> T) -> T {
+        match &self.obs {
+            Some(obs) => {
+                let start = Instant::now();
+                let r = f();
+                obs.record_op(kind, start.elapsed().as_nanos() as u64);
+                r
+            }
+            None => f(),
         }
     }
 
@@ -311,6 +380,20 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn get(&self, key: u64) -> Option<V> {
+        // Point gets are tens of nanoseconds; timing every one would
+        // dominate the op. Sample 1 in GET_SAMPLE_PERIOD per thread.
+        match &self.obs {
+            Some(obs) if crate::obs::sample_get() => {
+                let start = Instant::now();
+                let r = self.get_inner(key);
+                obs.record_op(OpKind::Get, start.elapsed().as_nanos() as u64);
+                r
+            }
+            _ => self.get_inner(key),
+        }
+    }
+
+    fn get_inner(&self, key: u64) -> Option<V> {
         loop {
             let stamp = self.router.overlay_stamp(key, key);
             let res = match self.router.overlay_for(key) {
@@ -342,6 +425,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn put(&self, key: u64, value: V) -> Option<V> {
+        self.timed(OpKind::Put, || self.put_inner(key, value))
+    }
+
+    fn put_inner(&self, key: u64, value: V) -> Option<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _w = self.router.enter_write();
         match self.router.write_route(key) {
@@ -375,6 +462,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn delete(&self, key: u64) -> Option<V> {
+        self.timed(OpKind::Delete, || self.delete_inner(key))
+    }
+
+    fn delete_inner(&self, key: u64) -> Option<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _w = self.router.enter_write();
         match self.router.write_route(key) {
@@ -434,6 +525,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if any key is `u64::MAX`.
     pub fn apply(&self, ops: &[BatchOp<V>]) -> Vec<Option<V>> {
+        self.timed(OpKind::Apply, || self.apply_inner(ops))
+    }
+
+    fn apply_inner(&self, ops: &[BatchOp<V>]) -> Vec<Option<V>> {
         if ops.is_empty() {
             return Vec::new();
         }
@@ -581,6 +676,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        self.timed(OpKind::Range, || self.range_inner(lo, hi))
+    }
+
+    fn range_inner(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
         assert!(hi < u64::MAX, "key u64::MAX is reserved");
         if lo > hi {
             return Vec::new();
@@ -610,6 +709,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// One bounded page of `[lo, hi]`: the first at-most-`limit` pairs, in
     /// one linearizable transaction. The engine under [`LeapStore::scan`].
     pub(crate) fn range_page_merged(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
+        self.timed(OpKind::ScanPage, || self.range_page_inner(lo, hi, limit))
+    }
+
+    fn range_page_inner(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
         assert!(hi < u64::MAX, "key u64::MAX is reserved");
         assert!(limit > 0, "a page must hold at least one pair");
         if lo > hi {
@@ -642,6 +745,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        self.timed(OpKind::Len, || self.count_range_inner(lo, hi))
+    }
+
+    fn count_range_inner(&self, lo: u64, hi: u64) -> usize {
         assert!(hi < u64::MAX, "key u64::MAX is reserved");
         if lo > hi {
             return 0;
@@ -740,6 +847,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             migrations: self.router.migrations(),
             peak_concurrent_migrations: self.router.peak_concurrent_migrations(),
             migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
+            obs: self.obs.as_ref().map(|o| o.snapshot()),
         }
     }
 }

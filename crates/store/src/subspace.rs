@@ -140,6 +140,21 @@ pub struct SubspaceStats {
     pub shards: Vec<usize>,
 }
 
+impl SubspaceStats {
+    /// The stats as a JSON object:
+    /// `{"tag":..,"keys":..,"shards":[..]}`.
+    pub fn to_json(&self) -> leap_obs::Json {
+        use leap_obs::Json;
+        Json::obj()
+            .field("tag", Json::U64(self.tag as u64))
+            .field("keys", Json::U64(self.keys as u64))
+            .field(
+                "shards",
+                Json::Arr(self.shards.iter().map(|&s| Json::U64(s as u64)).collect()),
+            )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +171,19 @@ mod tests {
         assert_eq!(b.range(5, u64::MAX), (b.key(5), b.hi()));
         assert_eq!(Subspace::key_space(3), 3 << PAYLOAD_BITS);
         assert!(Subspace::new(254).hi() < u64::MAX);
+    }
+
+    #[test]
+    fn stats_render_as_json() {
+        let stats = SubspaceStats {
+            tag: 2,
+            keys: 17,
+            shards: vec![0, 3],
+        };
+        assert_eq!(
+            stats.to_json().render(),
+            "{\"tag\":2,\"keys\":17,\"shards\":[0,3]}"
+        );
     }
 
     #[test]
