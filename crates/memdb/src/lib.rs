@@ -68,3 +68,7 @@ pub use row::{Row, RowId};
 pub use schema::Schema;
 pub use storage::Backend;
 pub use table::{Table, TableScan, MAX_INDEXED_VALUE};
+
+// Re-exported so bounded-retry callers ([`Table::insert_within`]) can
+// build policies without importing the stm crate directly.
+pub use leap_stm::RetryPolicy;

@@ -214,6 +214,39 @@ impl Table {
         Ok(id)
     }
 
+    /// [`Table::insert`] under a bounded retry budget: if the storage
+    /// transaction cannot commit within `policy` (attempt count and/or
+    /// deadline), the insert is abandoned with [`DbError::Timeout`]
+    /// instead of retrying forever — graceful degradation for callers
+    /// with their own latency contract. Nothing is written on timeout,
+    /// but the row id is consumed either way (ids are
+    /// allocation-ordered, not dense).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::WrongArity`], [`DbError::ValueOutOfRange`] or
+    /// [`DbError::Timeout`].
+    pub fn insert_within(
+        &self,
+        values: &[u64],
+        policy: leap_stm::RetryPolicy,
+    ) -> Result<RowId, DbError> {
+        self.check_row(values)?;
+        let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
+        assert!(id.0 < self.max_row_id(), "row id space exhausted");
+        let row = Row::new(values);
+        match leap_stm::with_retry_budget(policy, || {
+            self.obs.timed(TableOp::Insert, || {
+                self.storage.apply(&self.write_ops(id, &row))
+            })
+        }) {
+            Ok(()) => Ok(id),
+            Err(t) => Err(DbError::Timeout {
+                attempts: t.attempts,
+            }),
+        }
+    }
+
     /// The put batch writing `row` under `id` into every index.
     fn write_ops(&self, id: RowId, row: &Row) -> Vec<IndexOp> {
         let mut ops = Vec::with_capacity(1 + self.schema.indexed_columns().len());
@@ -511,6 +544,27 @@ mod tests {
             assert!(t.is_empty(), "{name}");
             assert_eq!(t.delete(id), Err(DbError::NoSuchRow(id)), "{name}");
         }
+    }
+
+    #[test]
+    fn insert_within_bounds_the_retry_budget() {
+        for (name, t) in backends() {
+            // An uncontended insert never exhausts even the tightest
+            // budget: the budget only ticks on commit retries.
+            let policy = leap_stm::RetryPolicy::default().max_attempts(1);
+            let id = t.insert_within(&[7, 30, 99], policy).unwrap();
+            assert_eq!(t.get(id).unwrap().columns(), &[7, 30, 99], "{name}");
+            // Validation still runs before the budget is even armed.
+            assert_eq!(
+                t.insert_within(&[1, 2], policy),
+                Err(DbError::WrongArity {
+                    expected: 3,
+                    got: 2
+                }),
+                "{name}"
+            );
+        }
+        assert!(DbError::Timeout { attempts: 4 }.to_string().contains('4'));
     }
 
     #[test]

@@ -301,7 +301,7 @@ fn history_sharded_table_with_background_rebalancer() {
     let store = table.store().expect("sharded backend").clone();
     let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
     run_workload(table.clone(), 3, 120, 80, |_| {});
-    rebalancer.stop();
+    rebalancer.stop().expect("rebalancer survived the run");
     assert!(
         store.router().migration().is_none(),
         "rebalancer stopped cleanly"

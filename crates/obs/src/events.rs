@@ -100,6 +100,37 @@ pub enum EventKind {
         /// Index of the poisoned op within the submitted batch.
         index: u64,
     },
+    /// Migration `id` was aborted: its overlay was removed without a
+    /// routing flip after `moved_back` keys were rolled back to the source
+    /// shard (zero when the abort drained the migration forward instead —
+    /// a `migration_complete` event accompanies it in that case).
+    MigrationAbort {
+        /// Migration id that was aborted.
+        id: u64,
+        /// Keys moved back from the destination to the source shard.
+        moved_back: u64,
+    },
+    /// A bounded retry loop gave up after `attempts` attempts and the op
+    /// surfaced a typed `Timeout` instead of spinning.
+    TxnDeadline {
+        /// Failed attempts made before the deadline/budget cut the op off.
+        attempts: u64,
+    },
+    /// Admission control shed `ops` operation(s) with the batcher queue at
+    /// depth `queued` (overflow, an injected drain fault, or a wedged
+    /// combiner) — the submitters got a typed `Overloaded` error.
+    Shed {
+        /// Operations shed.
+        ops: u64,
+        /// Queue depth observed when shedding.
+        queued: u64,
+    },
+    /// A background rebalancer step panicked and was contained; `panics`
+    /// is the worker's running panic count.
+    RebalancerPanic {
+        /// Total contained panics in this worker so far.
+        panics: u64,
+    },
 }
 
 impl EventKind {
@@ -114,6 +145,10 @@ impl EventKind {
             EventKind::PolicyMerge { .. } => "policy_merge",
             EventKind::BatcherDrain { .. } => "batcher_drain",
             EventKind::PoisonedOp { .. } => "poisoned_op",
+            EventKind::MigrationAbort { .. } => "migration_abort",
+            EventKind::TxnDeadline { .. } => "txn_deadline",
+            EventKind::Shed { .. } => "shed",
+            EventKind::RebalancerPanic { .. } => "rebalancer_panic",
         }
     }
 
@@ -148,6 +183,12 @@ impl EventKind {
                 ("window_ns", window_ns),
             ],
             EventKind::PoisonedOp { index } => vec![("index", index)],
+            EventKind::MigrationAbort { id, moved_back } => {
+                vec![("id", id), ("moved_back", moved_back)]
+            }
+            EventKind::TxnDeadline { attempts } => vec![("attempts", attempts)],
+            EventKind::Shed { ops, queued } => vec![("ops", ops), ("queued", queued)],
+            EventKind::RebalancerPanic { panics } => vec![("panics", panics)],
         }
     }
 
@@ -200,6 +241,24 @@ impl EventKind {
                 w[0] = index;
                 7
             }
+            EventKind::MigrationAbort { id, moved_back } => {
+                w[0] = id;
+                w[1] = moved_back;
+                8
+            }
+            EventKind::TxnDeadline { attempts } => {
+                w[0] = attempts;
+                9
+            }
+            EventKind::Shed { ops, queued } => {
+                w[0] = ops;
+                w[1] = queued;
+                10
+            }
+            EventKind::RebalancerPanic { panics } => {
+                w[0] = panics;
+                11
+            }
         };
         (tag, w)
     }
@@ -236,6 +295,16 @@ impl EventKind {
                 window_ns: w[2],
             },
             7 => EventKind::PoisonedOp { index: w[0] },
+            8 => EventKind::MigrationAbort {
+                id: w[0],
+                moved_back: w[1],
+            },
+            9 => EventKind::TxnDeadline { attempts: w[0] },
+            10 => EventKind::Shed {
+                ops: w[0],
+                queued: w[1],
+            },
+            11 => EventKind::RebalancerPanic { panics: w[0] },
             _ => return None,
         })
     }
@@ -470,6 +539,13 @@ mod tests {
                 window_ns: 500,
             },
             EventKind::PoisonedOp { index: 3 },
+            EventKind::MigrationAbort {
+                id: 4,
+                moved_back: 96,
+            },
+            EventKind::TxnDeadline { attempts: 64 },
+            EventKind::Shed { ops: 5, queued: 33 },
+            EventKind::RebalancerPanic { panics: 2 },
         ];
         let ring = EventRing::new(16);
         for k in kinds {

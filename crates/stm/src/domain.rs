@@ -4,7 +4,7 @@ use crate::recorder::StmRecorder;
 use crate::stats::Stats;
 use crate::StatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Default log2 of the ownership-record table size (2^16 orecs = 512 KiB).
 pub const DEFAULT_OREC_BITS: u32 = 16;
@@ -23,6 +23,25 @@ pub enum Mode {
     /// `ml_wt`). Naked readers may observe tentative data.
     WriteThrough,
 }
+
+/// Places inside the STM engine where an attached fault hook may force a
+/// failure (see [`StmDomain::set_fault_hook`]). The hook decides *whether*
+/// the visit fails; the engine decides what failing means:
+/// [`StmFaultPoint::Commit`] aborts the commit as a commit-time conflict,
+/// [`StmFaultPoint::Validate`] fails the commit-time read validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmFaultPoint {
+    /// Entry of [`Txn::commit`](crate::Txn::commit).
+    Commit,
+    /// Commit-time read-set validation (only reached when a concurrent
+    /// commit moved the clock, i.e. under real contention).
+    Validate,
+}
+
+/// A fault hook: returns `true` when the visited point should fail. Wired
+/// by the store layer to a `leap-fault` injector; this crate only defines
+/// the seam so it stays dependency-free.
+pub type StmFaultHook = Arc<dyn Fn(StmFaultPoint) -> bool + Send + Sync>;
 
 /// Ownership-record (versioned write-lock) encoding:
 /// bit 0 = locked, bits 1.. = version number.
@@ -64,6 +83,8 @@ pub struct StmDomain {
     /// Optional observability hooks; absent = zero-cost disabled path
     /// (one relaxed load on the retry loop's commit).
     recorder: OnceLock<StmRecorder>,
+    /// Optional fault-injection hook; absent = one relaxed load per commit.
+    fault_hook: OnceLock<StmFaultHook>,
 }
 
 impl StmDomain {
@@ -90,6 +111,7 @@ impl StmDomain {
             mode,
             stats: Stats::default(),
             recorder: OnceLock::new(),
+            fault_hook: OnceLock::new(),
         }
     }
 
@@ -105,6 +127,32 @@ impl StmDomain {
     #[inline]
     pub fn recorder(&self) -> Option<&StmRecorder> {
         self.recorder.get()
+    }
+
+    /// Attaches a fault-injection hook (at most once per domain). Returns
+    /// `false` — and leaves the existing hook in place — if one was already
+    /// attached. With no hook attached, every injection check is a single
+    /// relaxed load.
+    pub fn set_fault_hook(&self, hook: StmFaultHook) -> bool {
+        self.fault_hook.set(hook).is_ok()
+    }
+
+    /// Whether the attached fault hook (if any) wants `point` to fail.
+    #[inline]
+    pub(crate) fn fault_fires(&self, point: StmFaultPoint) -> bool {
+        match self.fault_hook.get() {
+            None => false,
+            Some(h) => h(point),
+        }
+    }
+
+    /// Counts one bounded-retry timeout against this domain. Called by
+    /// [`atomically_with`](crate::atomically_with) internally; public so
+    /// wrappers that bound hand-rolled retry loops through
+    /// [`with_retry_budget`](crate::with_retry_budget) can attribute their
+    /// timeouts to the domain they ran against.
+    pub fn record_timeout(&self) {
+        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The domain's commit mode.

@@ -22,6 +22,10 @@
 //!     tentative data — precisely the weak-isolation hazard that motivates
 //!     the paper's marked-pointer protocol.
 //! * [`atomically`] — a retry loop with bounded exponential backoff.
+//! * [`atomically_with`] / [`with_retry_budget`] — the same loops bounded
+//!   by a [`RetryPolicy`] (deadline and/or attempt budget), surfacing a
+//!   typed [`Timeout`] instead of spinning forever under pathological
+//!   contention.
 //!
 //! # Example: atomic transfer
 //!
@@ -67,9 +71,9 @@ mod tvar;
 mod txn;
 mod word;
 
-pub use domain::{Mode, StmDomain, DEFAULT_OREC_BITS};
+pub use domain::{Mode, StmDomain, StmFaultHook, StmFaultPoint, DEFAULT_OREC_BITS};
 pub use recorder::StmRecorder;
-pub use retry::{atomically, Backoff};
+pub use retry::{atomically, atomically_with, with_retry_budget, Backoff, RetryPolicy, Timeout};
 pub use stats::StatsSnapshot;
 pub use tagged::TaggedPtr;
 pub use tvar::TVar;

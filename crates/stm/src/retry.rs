@@ -1,7 +1,120 @@
-//! Retry loops and contention backoff.
+//! Retry loops, contention backoff, and bounded-retry budgets.
 
 use crate::domain::StmDomain;
 use crate::txn::{TxResult, Txn};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// Bounds for a retry loop: give up after a wall-clock deadline and/or a
+/// maximum number of attempts, whichever comes first. The default policy is
+/// unbounded (equivalent to [`atomically`]).
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::RetryPolicy;
+/// use std::time::Duration;
+/// let p = RetryPolicy::default()
+///     .max_attempts(100)
+///     .timeout(Duration::from_millis(5));
+/// assert!(!p.is_unbounded());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryPolicy {
+    max_attempts: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl RetryPolicy {
+    /// Gives up after `n` attempts (`n` is clamped to at least 1).
+    pub fn max_attempts(mut self, n: u64) -> Self {
+        self.max_attempts = Some(n.max(1));
+        self
+    }
+
+    /// Gives up once `deadline` passes.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Gives up `timeout` from now (convenience over [`RetryPolicy::deadline`]).
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Whether this policy never gives up.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_attempts.is_none() && self.deadline.is_none()
+    }
+
+    /// Whether a loop that has made `attempts` failed attempts should stop.
+    fn exhausted(&self, attempts: u64) -> bool {
+        self.max_attempts.is_some_and(|m| attempts >= m)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// A bounded retry loop gave up: the transaction kept aborting until the
+/// policy's deadline or attempt budget ran out. Carries how many attempts
+/// were made; the transactional state is unchanged (every attempt rolled
+/// back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout {
+    /// Failed attempts made before giving up.
+    pub attempts: u64,
+}
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transaction retry budget exhausted after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// Thread-local retry budget installed by [`with_retry_budget`] and ticked
+/// by [`Backoff::snooze`]: `deadline`/`attempts_left` mirror the policy,
+/// `used` counts snoozes taken under the budget.
+#[derive(Debug, Clone, Copy)]
+struct BudgetState {
+    deadline: Option<Instant>,
+    attempts_left: u64,
+    used: u64,
+}
+
+thread_local! {
+    static RETRY_BUDGET: Cell<Option<BudgetState>> = const { Cell::new(None) };
+}
+
+/// Unwind payload used to abandon a hand-rolled retry loop mid-flight. Not
+/// a panic in the error sense: [`with_retry_budget`] catches it (via
+/// `resume_unwind`, so the panic hook never runs) and turns it into a typed
+/// [`Timeout`].
+struct TimeoutUnwind(Timeout);
+
+/// Charges one retry against the installed budget, if any; unwinds with a
+/// [`TimeoutUnwind`] once the budget is spent.
+#[inline]
+fn budget_tick() {
+    RETRY_BUDGET.with(|cell| {
+        let Some(mut s) = cell.get() else { return };
+        s.used += 1;
+        let exhausted =
+            s.used >= s.attempts_left || s.deadline.is_some_and(|d| Instant::now() >= d);
+        if exhausted {
+            // Disarm before unwinding so backoffs run during cleanup (or
+            // in an outer scope after recovery) don't re-trigger.
+            cell.set(None);
+            std::panic::resume_unwind(Box::new(TimeoutUnwind(Timeout { attempts: s.used })));
+        }
+        cell.set(Some(s));
+    });
+}
 
 /// Bounded exponential backoff used between transaction attempts.
 ///
@@ -39,7 +152,12 @@ impl Backoff {
     }
 
     /// Waits an exponentially growing amount before the next attempt.
+    ///
+    /// Also charges one retry against the thread's installed
+    /// [`with_retry_budget`] scope, if any; when that budget is spent the
+    /// enclosing scope returns [`Timeout`] instead of retrying further.
     pub fn snooze(&mut self) {
+        budget_tick();
         let e = self.attempt.min(Self::CAP);
         if e <= Self::SPIN_LIMIT {
             for _ in 0..(1u32 << e) {
@@ -93,6 +211,112 @@ pub fn atomically<'d, R>(
             Err(_) => drop(tx),
         }
         backoff.snooze();
+    }
+}
+
+/// Like [`atomically`], but bounded: gives up with a typed [`Timeout`] once
+/// `policy`'s deadline passes or its attempt budget is spent, instead of
+/// retrying forever. Timeouts are counted in the domain's
+/// [`StatsSnapshot::timeouts`](crate::StatsSnapshot); every individual
+/// aborted attempt still shows up under the regular abort counters.
+///
+/// On `Err(Timeout)` the transactional state is untouched — each attempt
+/// rolled back before the loop gave up.
+///
+/// # Errors
+///
+/// [`Timeout`] when the policy is exhausted before a commit succeeds.
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::{atomically_with, RetryPolicy, StmDomain, TVar};
+/// let d = StmDomain::new();
+/// let v = TVar::new(0u64);
+/// // Uncontended: commits on the first attempt.
+/// let r = atomically_with(&d, RetryPolicy::default().max_attempts(3), |tx| {
+///     let x = tx.read(&v)?;
+///     tx.write(&v, x + 1)
+/// });
+/// assert!(r.is_ok());
+/// assert_eq!(v.naked_load(), 1);
+/// ```
+pub fn atomically_with<'d, R>(
+    domain: &'d StmDomain,
+    policy: RetryPolicy,
+    mut body: impl FnMut(&mut Txn<'d>) -> TxResult<R>,
+) -> Result<R, Timeout> {
+    let mut backoff = Backoff::new();
+    let mut attempts: u64 = 0;
+    loop {
+        attempts += 1;
+        let mut tx = Txn::begin(domain);
+        match body(&mut tx) {
+            Ok(r) => {
+                if tx.commit().is_ok() {
+                    if let Some(rec) = domain.recorder() {
+                        rec.record_attempts(attempts);
+                    }
+                    return Ok(r);
+                }
+            }
+            Err(_) => drop(tx),
+        }
+        if policy.exhausted(attempts) {
+            domain.record_timeout();
+            return Err(Timeout { attempts });
+        }
+        backoff.snooze();
+    }
+}
+
+/// Runs `f` with a thread-local retry budget installed: every
+/// [`Backoff::snooze`] on this thread (i.e. every failed transactional
+/// attempt, including those inside hand-rolled loops such as the Leap-List
+/// operations) charges the budget, and once it is spent the innermost
+/// `with_retry_budget` scope returns `Err(Timeout)` instead of letting the
+/// loop spin on.
+///
+/// This is how layers above bound operations whose retry loops they do not
+/// own: wrap the whole call. Interrupted attempts roll back through the
+/// normal [`Txn`] drop path, so the transactional state is unchanged on
+/// timeout. Scopes nest; each installs its own budget and restores the
+/// outer one on exit. An unbounded policy makes this a plain call.
+///
+/// The caller is responsible for attributing the timeout to a domain
+/// ([`StmDomain::record_timeout`]) if it wants it counted — this function
+/// cannot know which domain(s) `f` touched.
+///
+/// # Errors
+///
+/// [`Timeout`] when the budget ran out before `f` returned.
+///
+/// # Example
+///
+/// ```
+/// use leap_stm::{with_retry_budget, RetryPolicy};
+/// // Unbounded budget: just runs the closure.
+/// let out = with_retry_budget(RetryPolicy::default(), || 21 * 2);
+/// assert_eq!(out, Ok(42));
+/// ```
+pub fn with_retry_budget<R>(policy: RetryPolicy, f: impl FnOnce() -> R) -> Result<R, Timeout> {
+    if policy.is_unbounded() {
+        return Ok(f());
+    }
+    let state = BudgetState {
+        deadline: policy.deadline,
+        attempts_left: policy.max_attempts.unwrap_or(u64::MAX),
+        used: 0,
+    };
+    let prev = RETRY_BUDGET.with(|cell| cell.replace(Some(state)));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    RETRY_BUDGET.with(|cell| cell.set(prev));
+    match out {
+        Ok(r) => Ok(r),
+        Err(payload) => match payload.downcast::<TimeoutUnwind>() {
+            Ok(t) => Err(t.0),
+            Err(other) => std::panic::resume_unwind(other),
+        },
     }
 }
 
@@ -151,6 +375,105 @@ mod tests {
         });
         assert!(calls >= 2);
         assert_eq!(v.naked_load(), 1);
+    }
+
+    #[test]
+    fn atomically_with_times_out_on_a_never_committing_body() {
+        let d = StmDomain::new();
+        let v = TVar::new(0u64);
+        // The body always requests an explicit abort: no schedule commits.
+        let r: Result<(), Timeout> =
+            atomically_with(&d, RetryPolicy::default().max_attempts(7), |tx| {
+                let _ = tx.read(&v)?;
+                Err(tx.explicit_abort())
+            });
+        assert_eq!(r, Err(Timeout { attempts: 7 }));
+        assert_eq!(d.stats().timeouts, 1);
+        assert_eq!(d.stats().explicit_aborts, 7, "every attempt still counted");
+        assert_eq!(v.naked_load(), 0);
+    }
+
+    #[test]
+    fn atomically_with_deadline_fires_without_attempt_cap() {
+        let d = StmDomain::new();
+        let v = TVar::new(0u64);
+        let policy = RetryPolicy::default().timeout(std::time::Duration::from_millis(10));
+        let r: Result<(), Timeout> = atomically_with(&d, policy, |tx| {
+            let _ = tx.read(&v)?;
+            Err(tx.explicit_abort())
+        });
+        let t = r.expect_err("never-committing body must time out");
+        assert!(t.attempts >= 1);
+        assert_eq!(d.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn atomically_with_commits_normally_under_no_contention() {
+        let d = StmDomain::new();
+        let v = TVar::new(3u64);
+        let r = atomically_with(&d, RetryPolicy::default().max_attempts(1), |tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x * 2)?;
+            Ok(x)
+        });
+        assert_eq!(r, Ok(3));
+        assert_eq!(v.naked_load(), 6);
+        assert_eq!(d.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn retry_budget_bounds_a_hand_rolled_loop() {
+        let d = StmDomain::new();
+        let v = TVar::new(0u64);
+        // A hand-rolled loop in the style of the Leap-List operations that
+        // can never commit; the budget must cut it off.
+        let r = with_retry_budget(RetryPolicy::default().max_attempts(5), || loop {
+            let mut backoff = Backoff::new();
+            let mut tx = Txn::begin(&d);
+            let _ = tx.read(&v);
+            let _ = tx.explicit_abort();
+            drop(tx);
+            backoff.snooze();
+        });
+        let t = r.expect_err("the loop never commits");
+        assert_eq!(t.attempts, 5);
+        // State untouched; the thread's budget is disarmed again.
+        assert_eq!(v.naked_load(), 0);
+        let mut b = Backoff::new();
+        b.snooze();
+        assert_eq!(b.attempts(), 1, "no budget armed outside the scope");
+    }
+
+    #[test]
+    fn retry_budget_scopes_nest_and_restore() {
+        let inner = with_retry_budget(RetryPolicy::default().max_attempts(100), || {
+            with_retry_budget(RetryPolicy::default().max_attempts(2), || {
+                let mut b = Backoff::new();
+                loop {
+                    b.snooze();
+                }
+            })
+        });
+        // Inner scope timed out; outer scope survived and returned it.
+        assert_eq!(inner, Ok(Err(Timeout { attempts: 2 })));
+    }
+
+    #[test]
+    fn foreign_panics_pass_through_the_budget_scope() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = with_retry_budget(RetryPolicy::default().max_attempts(3), || {
+                panic!("not a timeout")
+            });
+        });
+        assert!(caught.is_err(), "real panics must not be swallowed");
+    }
+
+    #[test]
+    fn timeout_formats_and_is_an_error() {
+        let t = Timeout { attempts: 12 };
+        let msg = format!("{t}");
+        assert!(msg.contains("12 attempts"), "{msg}");
+        let _: &dyn std::error::Error = &t;
     }
 
     #[test]

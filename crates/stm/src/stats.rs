@@ -13,6 +13,9 @@ pub(crate) struct Stats {
     /// read-set validation failed).
     pub(crate) conflict_commit_aborts: AtomicU64,
     pub(crate) explicit_aborts: AtomicU64,
+    /// Bounded retry loops that gave up ([`crate::atomically_with`] /
+    /// [`crate::with_retry_budget`] returning `Timeout`).
+    pub(crate) timeouts: AtomicU64,
 }
 
 impl Stats {
@@ -26,6 +29,7 @@ impl Stats {
             conflict_read_aborts: conflict_read,
             conflict_commit_aborts: conflict_commit,
             explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -55,6 +59,11 @@ pub struct StatsSnapshot {
     /// Aborts requested by the program (`tx_abort` in the paper's
     /// pseudocode, e.g. a COP validation failure).
     pub explicit_aborts: u64,
+    /// Bounded retry loops that exhausted their deadline or attempt budget
+    /// and surfaced a typed [`Timeout`](crate::Timeout) instead of
+    /// spinning. Not an abort category: the individual attempts are already
+    /// counted under the abort counters above.
+    pub timeouts: u64,
 }
 
 impl StatsSnapshot {
@@ -73,14 +82,15 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "commits={} (ro={}) aborts={} (conflict={} [read={}, commit={}], explicit={})",
+            "commits={} (ro={}) aborts={} (conflict={} [read={}, commit={}], explicit={}) timeouts={}",
             self.total_commits(),
             self.read_only_commits,
             self.total_aborts(),
             self.conflict_aborts,
             self.conflict_read_aborts,
             self.conflict_commit_aborts,
-            self.explicit_aborts
+            self.explicit_aborts,
+            self.timeouts
         )
     }
 }
@@ -98,11 +108,13 @@ mod tests {
             conflict_read_aborts: 3,
             conflict_commit_aborts: 1,
             explicit_aborts: 1,
+            timeouts: 2,
         };
         assert_eq!(s.total_commits(), 5);
         assert_eq!(s.total_aborts(), 5);
         assert!(format!("{s}").contains("commits=5"));
         assert!(format!("{s}").contains("read=3, commit=1"));
+        assert!(format!("{s}").contains("timeouts=2"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Transactions: TL2-style write-back and GCC-TM-style write-through.
 
-use crate::domain::{orec_is_locked, orec_version, Mode, StmDomain};
+use crate::domain::{orec_is_locked, orec_version, Mode, StmDomain, StmFaultPoint};
 use crate::tvar::TVar;
 use crate::word::Word;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -266,6 +266,9 @@ impl<'d> Txn<'d> {
     /// for those we must validate the version as it was before we locked it
     /// (the lock itself does not vouch for the reads made earlier).
     fn validate_reads(&self, mine: &[(u32, u64)]) -> bool {
+        if self.domain.fault_fires(StmFaultPoint::Validate) {
+            return false;
+        }
         for &oi in &self.read_set {
             let o = self.domain.orec_load(oi);
             let version = if orec_is_locked(o) {
@@ -292,6 +295,12 @@ impl<'d> Txn<'d> {
     pub fn commit(mut self) -> Result<(), Abort> {
         if self.poisoned {
             // Drop impl performs the rollback and stats accounting.
+            return Err(Abort::Conflict);
+        }
+        if self.domain.fault_fires(StmFaultPoint::Commit) {
+            // Injected commit-time conflict: the Drop impl rolls back and
+            // attributes the abort like any other commit conflict.
+            self.commit_conflict = true;
             return Err(Abort::Conflict);
         }
         match self.domain.mode() {

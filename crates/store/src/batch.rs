@@ -20,12 +20,14 @@
 //! node) stops growing instead of compounding. [`BatcherStats::p99_ns`]
 //! exposes the p99 drain latency over a sliding window of recent drains.
 
+use crate::error::StoreError;
 use crate::store::LeapStore;
+use leap_fault::FaultPoint;
 use leap_obs::{EventKind, SlidingQuantile};
 use leaplist::BatchOp;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::time::{Duration, Instant};
 
 /// Smallest non-zero combining window.
@@ -85,6 +87,13 @@ enum Outcome<V> {
     /// The combiner panicked mid-`apply` (after the probe): the op's fate
     /// is unknown, so the waiting submitter re-raises.
     Aborted,
+    /// An injected drain fault dropped the whole batch before any apply:
+    /// the op was never attempted and the owner reports
+    /// [`StoreError::Overloaded`].
+    Shed {
+        /// Queue population observed when the drain was shed.
+        queued: usize,
+    },
 }
 
 /// One submitted op's result slot, filled by whichever thread combines it.
@@ -120,6 +129,10 @@ pub struct BatcherStats {
     /// p99 drain latency in nanoseconds over a sliding window of recent
     /// drains (0 until the first drain).
     pub p99_ns: u64,
+    /// Operations shed — refused at the admission gate or dropped by an
+    /// injected drain fault. Every shed op surfaced a typed
+    /// [`StoreError::Overloaded`] to its submitter.
+    pub shed: u64,
 }
 
 impl BatcherStats {
@@ -162,6 +175,16 @@ pub struct Batcher<V> {
     /// Approximate queue population, readable without the queue lock (the
     /// adaptive wait polls it).
     queue_len: AtomicUsize,
+    /// Admission bound: ops arriving while `queue_len` is at this depth
+    /// are refused with [`StoreError::Overloaded`] instead of enqueued
+    /// (`usize::MAX` = unbounded, the default).
+    max_depth: usize,
+    /// How long a submitter waits for the combiner lock before declaring
+    /// it wedged and withdrawing its op (`None` = wait forever, the
+    /// default).
+    wedge_timeout: Option<Duration>,
+    /// Ops shed (admission refusals plus injected drain drops).
+    shed: AtomicU64,
     combiner: Mutex<()>,
     window_ns: AtomicU64,
     batches: AtomicU64,
@@ -181,6 +204,9 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             store,
             queue: Mutex::new(Vec::new()),
             queue_len: AtomicUsize::new(0),
+            max_depth: usize::MAX,
+            wedge_timeout: None,
+            shed: AtomicU64::new(0),
             combiner: Mutex::new(()),
             window_ns: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -196,24 +222,82 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         &self.store
     }
 
+    /// Caps the admission queue at `max_depth` queued ops (clamped to at
+    /// least 1): an op arriving at a full queue is refused with
+    /// [`StoreError::Overloaded`] — shed at the door, never a silent
+    /// block behind a backlog that is not draining. Default: unbounded.
+    pub fn with_admission(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth.max(1);
+        self
+    }
+
+    /// Bounds how long a submitter waits for the combiner lock before
+    /// declaring the combiner wedged: past `timeout`, an op still in the
+    /// queue (not yet claimed by any combiner) is withdrawn and the
+    /// caller gets [`StoreError::CombinerWedged`]. An op a combiner has
+    /// already claimed is waited out — its fate is the batch's. Default:
+    /// wait forever.
+    pub fn with_wedge_timeout(mut self, timeout: Duration) -> Self {
+        self.wedge_timeout = Some(timeout);
+        self
+    }
+
     /// Inserts or updates `key -> value` (possibly batched with other
     /// threads' ops); returns the previous value.
     ///
     /// # Panics
     ///
-    /// Panics if `key == u64::MAX`, or with a [`PoisonedOp`] payload if
-    /// this op's `V: Clone` panicked inside a combined batch.
+    /// Panics if `key == u64::MAX`, with a [`PoisonedOp`] payload if
+    /// this op's `V: Clone` panicked inside a combined batch, or on
+    /// admission refusal / combiner wedge when the batcher was built
+    /// with [`Batcher::with_admission`] / [`Batcher::with_wedge_timeout`]
+    /// (use [`Batcher::try_put`] to handle degradation as a value).
     pub fn put(&self, key: u64, value: V) -> Option<V> {
-        self.submit(BatchOp::Update(key, value))
+        self.try_put(key, value)
+            .unwrap_or_else(|e| panic!("batcher op refused: {e}; use try_put to handle this"))
     }
 
     /// Removes `key` (possibly batched); returns its value if present.
     ///
     /// # Panics
     ///
-    /// Panics if `key == u64::MAX`.
+    /// Panics if `key == u64::MAX`; see [`Batcher::put`] for the
+    /// degradation panics.
     pub fn delete(&self, key: u64) -> Option<V> {
-        self.submit(BatchOp::Remove(key))
+        self.try_delete(key)
+            .unwrap_or_else(|e| panic!("batcher op refused: {e}; use try_delete to handle this"))
+    }
+
+    /// [`Batcher::put`] with graceful degradation: admission refusals,
+    /// injected drain sheds and combiner wedges come back as typed
+    /// errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Overloaded`] when the queue is at its admission
+    /// bound (or an injected fault shed the drain);
+    /// [`StoreError::CombinerWedged`] when the combiner lock stayed held
+    /// past the configured wedge timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX` (caller error, not degradation).
+    pub fn try_put(&self, key: u64, value: V) -> Result<Option<V>, StoreError> {
+        self.try_submit(BatchOp::Update(key, value))
+    }
+
+    /// [`Batcher::delete`] with graceful degradation; see
+    /// [`Batcher::try_put`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Batcher::try_put`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn try_delete(&self, key: u64) -> Result<Option<V>, StoreError> {
+        self.try_submit(BatchOp::Remove(key))
     }
 
     /// Coalescing counters.
@@ -224,6 +308,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             max_batch: self.max_batch.load(Ordering::Relaxed),
             window_ns: self.window_ns.load(Ordering::Relaxed),
             p99_ns: self.drain_lats.p99(),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -234,7 +319,57 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         self.drain_lats.record(drain_ns);
     }
 
-    fn submit(&self, op: BatchOp<V>) -> Option<V> {
+    /// Turns a filled outcome into the submitter's result — previous
+    /// value, typed shed error, or the re-raised poison/abort panic.
+    fn settle(&self, outcome: Outcome<V>) -> Result<Option<V>, StoreError> {
+        match outcome {
+            Outcome::Done(r) => Ok(r),
+            Outcome::Shed { queued } => Err(StoreError::Overloaded { queued }),
+            Outcome::Poisoned(p) => std::panic::panic_any(p),
+            Outcome::Aborted => {
+                panic!("a combining peer panicked mid-batch; this op's fate is unknown")
+            }
+        }
+    }
+
+    /// Acquires the combiner lock bounded by `timeout`: `Ok(Some(guard))`
+    /// on acquisition; `Ok(None)` when a combiner settled our slot while
+    /// we waited (no lock needed); `Err(CombinerWedged)` once the
+    /// deadline passes with the op still **unclaimed** in the queue —
+    /// the op is withdrawn under the queue lock first, so no later
+    /// combiner can apply it after the caller gave up. An op a combiner
+    /// already claimed is waited out: its slot will be filled, and
+    /// withdrawing would race the in-flight drain.
+    fn acquire_combiner_within(
+        &self,
+        slot: &Arc<Slot<V>>,
+        timeout: Duration,
+    ) -> Result<Option<MutexGuard<'_, ()>>, StoreError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.combiner.try_lock() {
+                Ok(g) => return Ok(Some(g)),
+                Err(TryLockError::Poisoned(p)) => return Ok(Some(p.into_inner())),
+                Err(TryLockError::WouldBlock) => {}
+            }
+            if lock_slot(slot).is_some() {
+                return Ok(None);
+            }
+            if Instant::now() >= deadline {
+                let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(pos) = q.iter().position(|p| Arc::ptr_eq(&p.slot, slot)) {
+                    q.remove(pos);
+                    drop(q);
+                    self.queue_len.fetch_sub(1, Ordering::Relaxed);
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(StoreError::CombinerWedged);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn try_submit(&self, op: BatchOp<V>) -> Result<Option<V>, StoreError> {
         // Validate before enqueueing: a documented caller error must panic
         // here, in the caller's frame, not inside a combiner that is
         // carrying other threads' ops (whose slots would never be filled).
@@ -243,6 +378,15 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             BatchOp::Remove(k) => *k,
         };
         assert!(key < u64::MAX, "key u64::MAX is reserved");
+        // Admission control: a full queue refuses the op at the door —
+        // the caller learns *now* that the batcher is not keeping up,
+        // instead of blocking behind a backlog that is not draining.
+        let queued = self.queue_len.load(Ordering::Relaxed);
+        if queued >= self.max_depth {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.store.note_shed(1, queued);
+            return Err(StoreError::Overloaded { queued });
+        }
         let slot = Arc::new(Slot {
             result: Mutex::new(None),
         });
@@ -256,19 +400,20 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         self.queue_len.fetch_add(1, Ordering::Relaxed);
         // While another thread holds the combiner lock it is (or soon will
         // be) draining the queue — ops pile up behind it and the next
-        // holder combines them all. Blocking here is the coalescing.
-        let _c = self
-            .combiner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match lock_slot(&slot).take() {
-            Some(Outcome::Done(r)) => return r, // a combiner carried our op
-            Some(Outcome::Poisoned(p)) => std::panic::panic_any(p),
-            Some(Outcome::Aborted) => {
-                panic!("a combining peer panicked mid-batch; this op's fate is unknown")
-            }
-            None => {}
+        // holder combines them all. Blocking here is the coalescing (bounded
+        // by the wedge timeout when one is configured).
+        let guard = match self.wedge_timeout {
+            None => Some(
+                self.combiner
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
+            Some(t) => self.acquire_combiner_within(&slot, t)?,
+        };
+        if let Some(outcome) = lock_slot(&slot).take() {
+            return self.settle(outcome); // a combiner carried our op
         }
+        let _c = guard.expect("unfilled slot implies the combiner lock is held");
         // Wait-a-little: when recent drains coalesced, give stragglers a
         // moment to enqueue before draining (see the module docs). The
         // wait yields rather than pure-spins: on the few-core hosts this
@@ -292,6 +437,28 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         debug_assert!(!drained.is_empty(), "our own op must still be queued");
         self.queue_len.fetch_sub(drained.len(), Ordering::Relaxed);
         let drain_size = drained.len();
+        // Injected drain fault: the whole batch is dropped before any
+        // apply — but never silently. Every carried peer's slot gets a
+        // typed Shed outcome and our own op reports Overloaded, so each
+        // submitter knows its op did not run.
+        if let Some(f) = self.store.faults() {
+            if f.should_fire(FaultPoint::BatcherDrain) {
+                let queued = self.queue_len.load(Ordering::Relaxed);
+                self.store.note_shed(drain_size as u64, queued);
+                self.shed.fetch_add(drain_size as u64, Ordering::Relaxed);
+                for p in &drained {
+                    if !Arc::ptr_eq(&p.slot, &slot) {
+                        *lock_slot(&p.slot) = Some(Outcome::Shed { queued });
+                    }
+                }
+                // No apply ran, so there is no latency signal; decay the
+                // window as if the combiner were alone.
+                let window = self.window_ns.load(Ordering::Relaxed);
+                self.window_ns
+                    .store(next_window(window, 1, 0, 0), Ordering::Relaxed);
+                return Err(StoreError::Overloaded { queued });
+            }
+        }
         // Probe every op's clone before combining a multi-op batch: a
         // panicking `V::Clone` (the only way `apply` can panic pre-commit
         // after up-front key validation) is caught here with its batch
@@ -373,7 +540,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         if let Some(poisoned) = own_poison {
             std::panic::panic_any(poisoned);
         }
-        own.expect("the drain carried our own op")
+        Ok(own.expect("the drain carried our own op"))
     }
 }
 
@@ -570,6 +737,215 @@ mod tests {
         let s = b.stats();
         assert_eq!(s.ops, 1, "only the healthy op counted");
         assert!(s.max_batch >= 1);
+    }
+
+    #[test]
+    fn admission_refuses_ops_at_the_bound() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Batcher::new(store.clone()).with_admission(1);
+        // Plant a queued op (as if its thread were parked on the combiner
+        // lock): the queue sits at the bound, so the next arrival is shed
+        // at the door instead of blocking behind it.
+        let parked = Arc::new(Slot {
+            result: Mutex::new(None),
+        });
+        b.queue.lock().unwrap().push(Pending {
+            op: BatchOp::Update(1, 10),
+            slot: parked.clone(),
+        });
+        b.queue_len.fetch_add(1, Ordering::Relaxed);
+        match b.try_put(2, 20) {
+            Err(StoreError::Overloaded { queued }) => assert_eq!(queued, 1),
+            other => panic!("expected an admission refusal, got {other:?}"),
+        }
+        assert_eq!(store.get(2), None, "the shed op never ran");
+        assert_eq!(b.stats().shed, 1);
+        assert_eq!(store.stats().shed_ops, 1, "shed surfaces in store stats");
+        // The infallible front-end panics with the typed error's message.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.put(2, 20)));
+        let payload = panicked.expect_err("put must refuse at the bound");
+        let msg = payload.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("overloaded"), "{msg}");
+        assert!(msg.contains("try_put"), "{msg}");
+        // Un-park the planted op: admission opens again.
+        b.queue.lock().unwrap().clear();
+        b.queue_len.fetch_sub(1, Ordering::Relaxed);
+        assert_eq!(b.try_put(2, 20).unwrap(), None);
+        assert_eq!(store.get(2), Some(20));
+        // Every shed op landed on the store's event timeline.
+        let snap = store.obs().expect("obs on by default").events().snapshot();
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Shed { ops: 1, queued: 1 })));
+    }
+
+    #[test]
+    fn wedged_combiner_times_out_with_a_typed_error() {
+        let store = Arc::new(LeapStore::<u64>::new(StoreConfig::new(
+            2,
+            Partitioning::Hash,
+        )));
+        let b = Arc::new(Batcher::new(store.clone()).with_wedge_timeout(Duration::from_millis(20)));
+        // Wedge the combiner: hold its lock so no drain can ever run.
+        let held = b.combiner.lock().unwrap();
+        let res = {
+            let b = b.clone();
+            std::thread::spawn(move || b.try_put(3, 30)).join().unwrap()
+        };
+        assert!(matches!(res, Err(StoreError::CombinerWedged)), "{res:?}");
+        // The op was withdrawn under the queue lock: no later combiner
+        // can apply it after its caller gave up.
+        assert_eq!(b.queue_len.load(Ordering::Relaxed), 0);
+        assert!(b.queue.lock().unwrap().is_empty());
+        assert_eq!(b.stats().shed, 1);
+        assert_eq!(store.get(3), None);
+        drop(held);
+        // Wedge gone: the same op goes through within the same timeout.
+        assert_eq!(b.try_put(3, 30).unwrap(), None);
+        assert_eq!(store.get(3), Some(30));
+    }
+
+    #[test]
+    fn injected_drain_fault_sheds_the_whole_batch() {
+        let plan = leap_fault::FaultPlan::new(11)
+            .always(FaultPoint::BatcherDrain)
+            .with_budget(FaultPoint::BatcherDrain, 1);
+        let store = Arc::new(LeapStore::<u64>::new(
+            StoreConfig::new(2, Partitioning::Hash).with_faults(plan),
+        ));
+        let b = Batcher::new(store.clone());
+        // Plant a peer so the shed batch carries more than our own op.
+        let peer = Arc::new(Slot {
+            result: Mutex::new(None),
+        });
+        b.queue.lock().unwrap().push(Pending {
+            op: BatchOp::Update(8, 80),
+            slot: peer.clone(),
+        });
+        b.queue_len.fetch_add(1, Ordering::Relaxed);
+        // The first drain hits the injected fault: nothing applies, and
+        // every submitter learns it — us via the typed error, the peer
+        // via its slot.
+        assert!(matches!(
+            b.try_put(4, 40),
+            Err(StoreError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            lock_slot(&peer).take(),
+            Some(Outcome::Shed { .. })
+        ));
+        assert_eq!(store.get(4), None);
+        assert_eq!(store.get(8), None);
+        assert_eq!(b.stats().shed, 2, "both carried ops count as shed");
+        assert_eq!(store.stats().shed_ops, 2);
+        // The budget is spent: the next drain applies normally.
+        assert_eq!(b.try_put(4, 40).unwrap(), None);
+        assert_eq!(store.get(4), Some(40));
+    }
+
+    /// A value whose shared clone counter detonates on exactly the
+    /// `fuse`-th clone (0 = never). Fuse 3 is calibrated to the combined
+    /// write path: clone 1 is the combiner's probe, clone 2 the batch
+    /// grouping, clone 3 the plan build inside `apply_batch_grouped` —
+    /// which runs *while the migration overlay's write lock is held*.
+    #[derive(Debug)]
+    struct StagedBomb {
+        clones: Arc<AtomicU64>,
+        fuse: u64,
+        val: u64,
+    }
+    impl StagedBomb {
+        fn healthy(val: u64) -> Self {
+            StagedBomb {
+                clones: Arc::new(AtomicU64::new(0)),
+                fuse: 0,
+                val,
+            }
+        }
+    }
+    impl Clone for StagedBomb {
+        fn clone(&self) -> Self {
+            let n = self.clones.fetch_add(1, Ordering::Relaxed) + 1;
+            assert!(
+                self.fuse == 0 || n != self.fuse,
+                "staged bomb detonated on clone {n}"
+            );
+            StagedBomb {
+                clones: self.clones.clone(),
+                fuse: self.fuse,
+                val: self.val,
+            }
+        }
+    }
+
+    /// Poisoned-op isolation during a *live migration*: a clone that
+    /// panics inside the grouped apply — after the probe, while the
+    /// drain holds the migration overlay's write lock — must release
+    /// the lock on unwind, report the peers, and leave the migration
+    /// fully completable.
+    #[test]
+    fn poisoned_op_mid_migration_releases_overlay_locks() {
+        use crate::rebalance::{RebalanceAction, RebalancePolicy};
+        let store = Arc::new(LeapStore::<StagedBomb>::new(
+            StoreConfig::new(2, Partitioning::Range)
+                .with_key_space(1_000)
+                .with_rebalancing(RebalancePolicy {
+                    chunk: 8,
+                    ..RebalancePolicy::default()
+                }),
+        ));
+        for k in 0..40u64 {
+            store.put(k, StagedBomb::healthy(k));
+        }
+        // Split [20, 499] away and move one chunk: the migration is live,
+        // its overlay routes in-range writes.
+        store.split_shard(0, 20).expect("valid split");
+        assert!(matches!(
+            store.rebalance_step(),
+            RebalanceAction::Moved { .. }
+        ));
+        let b = Arc::new(Batcher::new(store.clone()));
+        // A healthy peer op on a migrating key, parked in the queue.
+        let peer = Arc::new(Slot {
+            result: Mutex::new(None),
+        });
+        b.queue.lock().unwrap().push(Pending {
+            op: BatchOp::Update(25, StagedBomb::healthy(250)),
+            slot: peer.clone(),
+        });
+        b.queue_len.fetch_add(1, Ordering::Relaxed);
+        // The bomb targets a migrating key too: the grouped apply takes
+        // the overlay write lock, then detonates on the plan-build clone.
+        let bomb = StagedBomb {
+            clones: Arc::new(AtomicU64::new(0)),
+            fuse: 3,
+            val: 300,
+        };
+        let panicked = {
+            let b = b.clone();
+            std::thread::spawn(move || b.put(30, bomb)).join()
+        };
+        assert!(panicked.is_err(), "the armed clone must panic the drain");
+        // The peer was told its fate (mid-apply abort, not silence)...
+        assert!(matches!(lock_slot(&peer).take(), Some(Outcome::Aborted)));
+        // ...and the overlay write lock was released on unwind: in-range
+        // ops proceed, from this thread, without deadlock.
+        let prev = store.put(25, StagedBomb::healthy(251));
+        assert_eq!(prev.map(|v| v.val), Some(25), "peer's update never landed");
+        assert_eq!(store.get(25).map(|v| v.val), Some(251));
+        assert_eq!(store.get(30).map(|v| v.val), Some(30), "bomb never landed");
+        // The migration itself is still healthy and completes.
+        store.rebalance_until_idle();
+        assert!(store.router().migrations().is_empty());
+        assert!(store.router().epoch() >= 1);
+        for k in 0..40u64 {
+            let want = if k == 25 { 251 } else { k };
+            assert_eq!(store.get(k).map(|v| v.val), Some(want), "key {k}");
+        }
     }
 
     #[test]

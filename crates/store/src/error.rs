@@ -1,0 +1,78 @@
+//! The store's graceful-degradation error surface: typed errors returned
+//! by the bounded (`*_within`) operations and the admission-controlled
+//! [`crate::Batcher`] front-end, instead of unbounded retry loops or
+//! silent blocking.
+
+/// Why a store operation was refused or gave up instead of blocking or
+/// livelocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// The operation's [`leap_stm::RetryPolicy`] budget ran out before a
+    /// transaction committed (pathological contention or injected
+    /// faults). The store state is untouched by the failed attempt.
+    Timeout {
+        /// Transaction attempts consumed before giving up.
+        attempts: u64,
+    },
+    /// The batcher's admission queue was at its configured depth (or the
+    /// drain was shed under fault injection): the op was rejected at the
+    /// door rather than queued behind a backlog that is not draining.
+    Overloaded {
+        /// Queue population observed at rejection time.
+        queued: usize,
+    },
+    /// The batcher's combiner lock did not become available within the
+    /// configured wedge timeout and the op was still unclaimed in the
+    /// queue: the submitter withdrew it rather than blocking forever
+    /// behind a wedged combiner.
+    CombinerWedged,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Timeout { attempts } => {
+                write!(
+                    f,
+                    "transaction retry budget exhausted after {attempts} attempts"
+                )
+            }
+            StoreError::Overloaded { queued } => {
+                write!(f, "batcher overloaded ({queued} ops queued); op shed")
+            }
+            StoreError::CombinerWedged => {
+                f.write_str("batcher combiner wedged past the configured timeout; op withdrawn")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<leap_stm::Timeout> for StoreError {
+    fn from(t: leap_stm::Timeout) -> Self {
+        StoreError::Timeout {
+            attempts: t.attempts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_degradation() {
+        assert!(StoreError::Timeout { attempts: 9 }
+            .to_string()
+            .contains("9 attempts"));
+        assert!(StoreError::Overloaded { queued: 4 }
+            .to_string()
+            .contains("4 ops"));
+        assert!(StoreError::CombinerWedged.to_string().contains("wedged"));
+        let from: StoreError = leap_stm::Timeout { attempts: 3 }.into();
+        assert_eq!(from, StoreError::Timeout { attempts: 3 });
+        let dyn_err: &dyn std::error::Error = &StoreError::CombinerWedged;
+        assert!(dyn_err.source().is_none());
+    }
+}

@@ -32,7 +32,17 @@
 //!   huge scans without huge transactions, stable across resharding.
 //! * **Operation batching** — [`Batcher`] flat-combines single-key ops
 //!   from many threads into grouped multi-list transactions, with a
-//!   latency-aware adaptive window.
+//!   latency-aware adaptive window and **admission control**: a bounded
+//!   queue that sheds on overflow with a typed [`StoreError::Overloaded`],
+//!   never a silent block.
+//! * **Fault model & graceful degradation** — a deterministic, seeded
+//!   fault-injection subsystem ([`leap_fault`], zero-cost when unarmed)
+//!   drives the recovery machinery: migration abort / forward completion
+//!   ([`LeapStore::abort_migration`]) with a stuck-migration watchdog,
+//!   bounded-retry ops ([`LeapStore::put_within`] and friends) returning
+//!   typed [`StoreError::Timeout`]s instead of livelocking, and a
+//!   [`Rebalancer`] that records worker panics and reports its own death
+//!   ([`RebalancerDied`]) instead of swallowing it.
 //! * **Observability** — [`LeapStore::stats`] exposes per-shard op and
 //!   key counters, routing epoch and migration progress, the shared
 //!   domain's commit/abort counters with **abort-cause attribution**
@@ -61,6 +71,7 @@
 
 mod batch;
 mod cursor;
+mod error;
 mod obs;
 mod rebalance;
 mod router;
@@ -70,8 +81,11 @@ mod subspace;
 
 pub use batch::{Batcher, BatcherStats, PoisonedOp};
 pub use cursor::{Cursor, DEFAULT_PAGE_SIZE};
+pub use error::StoreError;
 pub use obs::{ObsSnapshot, StoreObs, GET_SAMPLE_PERIOD};
-pub use rebalance::{RebalanceAction, RebalanceError, RebalancePolicy, Rebalancer};
+pub use rebalance::{
+    AbortOutcome, RebalanceAction, RebalanceError, RebalancePolicy, Rebalancer, RebalancerDied,
+};
 pub use router::{MigrationView, Partitioning, Router, RoutingEpoch};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{LeapStore, StoreConfig};
@@ -80,3 +94,7 @@ pub use subspace::{Subspace, SubspaceStats, MAX_PAYLOAD, PAYLOAD_BITS, TAG_BITS}
 // Re-exported so store users can build mixed batches without importing
 // leaplist directly.
 pub use leaplist::BatchOp;
+// Re-exported so chaos tests can build fault plans and bounded-retry
+// policies without importing the leaf crates directly.
+pub use leap_fault::{FaultInjector, FaultPlan, FaultPoint};
+pub use leap_stm::RetryPolicy;

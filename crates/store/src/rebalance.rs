@@ -40,9 +40,11 @@
 
 use crate::router::Partitioning;
 use crate::store::LeapStore;
+use leap_fault::FaultPoint;
 use leap_obs::EventKind;
 use leaplist::{BatchOp, LeapListLt};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
@@ -68,6 +70,9 @@ pub enum RebalanceError {
     /// A [`RebalancePolicy`] field combination is rejected (see
     /// [`RebalancePolicy::validate`]); the message names the offence.
     InvalidPolicy(&'static str),
+    /// The referenced migration is not installed (wrong id, already
+    /// completed, or already aborted).
+    NoSuchMigration,
 }
 
 impl std::fmt::Display for RebalanceError {
@@ -80,6 +85,7 @@ impl std::fmt::Display for RebalanceError {
             RebalanceError::NonAdjacent => "destination interval not adjacent to the range",
             RebalanceError::NothingToMove => "source shard owns no interval",
             RebalanceError::InvalidPolicy(why) => return write!(f, "invalid policy: {why}"),
+            RebalanceError::NoSuchMigration => "no such in-flight migration",
         };
         f.write_str(msg)
     }
@@ -121,6 +127,14 @@ pub struct RebalancePolicy {
     /// [`LeapStore::merge_shards`] calls are not bounded by this — only
     /// by slot-disjointness.
     pub max_concurrent_migrations: usize,
+    /// Stuck-migration watchdog: once a migration's frontier has failed to
+    /// advance for this many consecutive drain steps (e.g. injected chunk
+    /// faults), [`LeapStore::rebalance_step`] force-resolves it —
+    /// completing it forward if its source range is already drained,
+    /// rolling it back otherwise — so a wedged migration can never pin its
+    /// slots (and [`RebalanceError::SlotBusy`]) forever. `0` disables the
+    /// watchdog.
+    pub watchdog_stalls: u32,
 }
 
 impl Default for RebalancePolicy {
@@ -133,6 +147,7 @@ impl Default for RebalancePolicy {
             max_shards: 64,
             op_weight: 0.25,
             max_concurrent_migrations: 4,
+            watchdog_stalls: 8,
         }
     }
 }
@@ -227,6 +242,43 @@ pub enum RebalanceAction {
     Completed {
         /// The new routing-table version.
         epoch: u64,
+    },
+    /// An injected fault dropped this step's chunk: nothing moved and the
+    /// migration's stall counter grew (the watchdog force-resolves it once
+    /// the counter crosses [`RebalancePolicy::watchdog_stalls`]).
+    ChunkFailed {
+        /// Migration source.
+        src: usize,
+        /// Migration destination.
+        dst: usize,
+        /// Consecutive no-progress steps so far.
+        stalls: u32,
+    },
+    /// The watchdog force-resolved a stuck migration by rolling it back
+    /// (forward completion reports [`RebalanceAction::Completed`] instead).
+    Aborted {
+        /// The aborted migration's id.
+        id: u64,
+        /// Keys swept from the destination back into the source.
+        moved_back: u64,
+    },
+}
+
+/// How [`LeapStore::abort_migration`] resolved a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortOutcome {
+    /// The source range was already drained, so the cheapest safe
+    /// resolution was forward: the migration completed and the routing
+    /// epoch flipped.
+    Completed {
+        /// The new routing-table version.
+        epoch: u64,
+    },
+    /// Destination keys were swept back into the source in bounded chunks
+    /// and the overlay removed; ownership never changed.
+    RolledBack {
+        /// Keys moved back from the destination.
+        moved_back: u64,
     },
 }
 
@@ -350,12 +402,42 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             return RebalanceAction::Idle;
         }
         let pick = self.rebalance_rr.fetch_add(1, Ordering::Relaxed) % inflight.len();
-        self.drain_step(&inflight[pick])
+        let m = &inflight[pick];
+        // Stuck-migration watchdog: a frontier that has not advanced for
+        // `watchdog_stalls` consecutive steps is force-resolved so its
+        // slots (and `SlotBusy`) cannot stay pinned forever.
+        let threshold = self.policy.watchdog_stalls;
+        if threshold > 0 && m.stalls.load(Ordering::Relaxed) >= threshold {
+            return match self.abort_locked(m) {
+                Ok(AbortOutcome::Completed { epoch }) => RebalanceAction::Completed { epoch },
+                Ok(AbortOutcome::RolledBack { moved_back }) => RebalanceAction::Aborted {
+                    id: m.id,
+                    moved_back,
+                },
+                // Unreachable while we hold the step lock (the overlay
+                // cannot vanish under us), but never panic the driver.
+                Err(_) => RebalanceAction::Idle,
+            };
+        }
+        self.drain_step(m)
     }
 
     /// One bounded drain action on migration `m`: move a chunk, or
     /// complete it when the range has drained.
     fn drain_step(&self, m: &Arc<crate::router::MigrationState>) -> RebalanceAction {
+        // Injected chunk fault: drop the step before touching any lock —
+        // the failure mode of a chunk mover that crashed mid-flight — and
+        // grow the stall counter the watchdog acts on.
+        if let Some(f) = self.faults.as_deref() {
+            if f.should_fire(FaultPoint::MigrationChunk) {
+                let stalls = m.stalls.fetch_add(1, Ordering::Relaxed) + 1;
+                return RebalanceAction::ChunkFailed {
+                    src: m.src,
+                    dst: m.dst,
+                    stalls,
+                };
+            }
+        }
         let (src, dst) = (self.list(m.src), self.list(m.dst));
         let chunk = self.policy.chunk.max(1);
         let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
@@ -367,36 +449,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             // stays empty after we release the lock; ownership can
             // flip safely.
             drop(guard);
-            let epoch = self.router().complete_migration(m);
-            let done = self.migrations_completed.fetch_add(1, Ordering::Relaxed) + 1;
-            if self.router().shard_interval(m.src).is_none() {
-                // The source emptied entirely: this was a merge; park the
-                // slot for the next split to reuse.
-                self.free_slots
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .push(m.src);
-            } else {
-                // The source kept its lower half: this was a split. Shield
-                // the fresh pair from immediate re-merging (hysteresis —
-                // see `policy_action`); the shield expires once other
-                // migrations complete, so a pair that later goes genuinely
-                // cold can still merge.
-                let pair = (m.src.min(m.dst), m.src.max(m.dst));
-                let mut recent = self
-                    .recent_splits
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
-                recent.retain(|(p, _)| *p != pair);
-                recent.push_front((pair, done));
-                recent.truncate(8);
-            }
-            // Both events while still under the step lock, so every
-            // migration's timeline reads begin -> chunks -> complete with
-            // the epoch flip adjacent to its completion.
-            self.emit(EventKind::MigrationComplete { id: m.id, epoch });
-            self.emit(EventKind::EpochFlip { epoch });
-            return RebalanceAction::Completed { epoch };
+            return self.complete_locked(m);
         }
         // One transaction: the page leaves src and lands in dst, so a
         // concurrent snapshot (which visits both lists in one
@@ -410,6 +463,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         let last = page.last().expect("non-empty page").0;
         m.frontier.store(last + 1, Ordering::Relaxed);
         m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
+        m.stalls.store(0, Ordering::Relaxed);
         self.emit(EventKind::MigrationChunk {
             id: m.id,
             moved: page.len() as u64,
@@ -419,6 +473,148 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             dst: m.dst,
             keys: page.len(),
         }
+    }
+
+    /// Completes migration `m` — flips ownership, recycles/shields slots,
+    /// emits the lifecycle events. Caller holds the step lock and has
+    /// verified the source range is drained. Shared by the drain driver
+    /// and forward-completing aborts.
+    fn complete_locked(&self, m: &Arc<crate::router::MigrationState>) -> RebalanceAction {
+        let epoch = match self.router().complete_migration(m) {
+            Ok(epoch) => epoch,
+            // Unreachable under the step lock (aborts serialize on it
+            // too, so the overlay cannot have been resolved by someone
+            // else), but a missing overlay must not panic the driver.
+            Err(_) => return RebalanceAction::Idle,
+        };
+        let done = self.migrations_completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.router().shard_interval(m.src).is_none() {
+            // The source emptied entirely: this was a merge; park the
+            // slot for the next split to reuse.
+            self.free_slots
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(m.src);
+        } else {
+            // The source kept its lower half: this was a split. Shield
+            // the fresh pair from immediate re-merging (hysteresis —
+            // see `policy_action`); the shield expires once other
+            // migrations complete, so a pair that later goes genuinely
+            // cold can still merge.
+            let pair = (m.src.min(m.dst), m.src.max(m.dst));
+            let mut recent = self
+                .recent_splits
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            recent.retain(|(p, _)| *p != pair);
+            recent.push_front((pair, done));
+            recent.truncate(8);
+        }
+        // Both events while still under the step lock, so every
+        // migration's timeline reads begin -> chunks -> complete with
+        // the epoch flip adjacent to its completion.
+        self.emit(EventKind::MigrationComplete { id: m.id, epoch });
+        self.emit(EventKind::EpochFlip { epoch });
+        RebalanceAction::Completed { epoch }
+    }
+
+    /// Resolves the in-flight migration `id` without requiring its drain
+    /// to finish: if the source range is already empty the migration
+    /// completes forward (cheapest safe resolution); otherwise every key
+    /// the drain copied into the destination is swept back into the
+    /// source in bounded chunks and the overlay is removed with **no**
+    /// ownership change — as if the migration had never begun. Reads and
+    /// writes proceed throughout, exactly as during a forward drain.
+    ///
+    /// This is the recovery path for cancelled or crashed migrations: a
+    /// partially-drained overlay never stays wedged, and the slots it
+    /// pinned (`SlotBusy`) are released either way.
+    ///
+    /// # Errors
+    ///
+    /// [`RebalanceError::NoSuchMigration`] if `id` is not an in-flight
+    /// migration (wrong id, already completed, or already aborted).
+    pub fn abort_migration(&self, id: u64) -> Result<AbortOutcome, RebalanceError> {
+        let _step = self
+            .step_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let m = self
+            .router()
+            .overlay_by_id(id)
+            .ok_or(RebalanceError::NoSuchMigration)?;
+        self.abort_locked(&m)
+    }
+
+    /// The abort body; caller holds the step lock.
+    fn abort_locked(
+        &self,
+        m: &Arc<crate::router::MigrationState>,
+    ) -> Result<AbortOutcome, RebalanceError> {
+        let (src, dst) = (self.list(m.src), self.list(m.dst));
+        {
+            let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+            if src.range_page(m.lo, m.hi, 1).is_empty() {
+                // The range already drained: completing forward is
+                // strictly cheaper than sweeping it all back, and equally
+                // final for the caller.
+                drop(guard);
+                return match self.complete_locked(m) {
+                    RebalanceAction::Completed { epoch } => Ok(AbortOutcome::Completed { epoch }),
+                    _ => Err(RebalanceError::NoSuchMigration),
+                };
+            }
+            // Flip the overlay into the aborting state while holding the
+            // write lock: every in-range writer serializes on this lock,
+            // so any write that landed in dst happens-before the sweep
+            // below, and every later write routes source-ward again (see
+            // `put_inner`). The flipped overlay stamp invalidates
+            // concurrent stamped range reads.
+            m.aborting.store(true, Ordering::Release);
+        }
+        // Sweep dst's copy of [lo, hi] back into src in bounded chunks,
+        // holding the write lock only per chunk. A writer interleaving
+        // between chunks removes its key from dst (aborting direction),
+        // so a swept page can never clobber a newer source value.
+        let chunk = self.policy.chunk.max(1);
+        let mut cursor = m.lo;
+        let mut moved_back = 0u64;
+        loop {
+            let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+            let page = dst.range_page(cursor, m.hi, chunk);
+            let Some(&(last, _)) = page.last() else {
+                drop(guard);
+                break;
+            };
+            let rm: Vec<BatchOp<V>> = page.iter().map(|(k, _)| BatchOp::Remove(*k)).collect();
+            let ins: Vec<BatchOp<V>> = page
+                .iter()
+                .map(|(k, v)| BatchOp::Update(*k, v.clone()))
+                .collect();
+            LeapListLt::apply_batch_grouped(&[&*dst, &*src], &[&rm, &ins]);
+            moved_back += page.len() as u64;
+            drop(guard);
+            if last == m.hi {
+                break;
+            }
+            cursor = last + 1;
+        }
+        self.router().cancel_migration(m)?;
+        if self.router().shard_interval(m.dst).is_none() {
+            // The destination owned nothing but the aborted range (a
+            // fresh split target): it is empty again after the sweep, so
+            // park it for the next split instead of leaking the slot.
+            self.free_slots
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(m.dst);
+        }
+        self.aborted_migrations.fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::MigrationAbort {
+            id: m.id,
+            moved_back,
+        });
+        Ok(AbortOutcome::RolledBack { moved_back })
     }
 
     /// Consults the policy for a new migration to start, skipping shards
@@ -530,10 +726,41 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     }
 }
 
+/// The [`Rebalancer`] worker thread died: it recorded
+/// [`RebalancerDied::panics`] panics and gave up after too many in a row
+/// (or the thread could not be joined). The store itself is intact —
+/// rebalancing simply stopped being driven; spawn a fresh rebalancer or
+/// drive [`LeapStore::rebalance_step`] directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalancerDied {
+    /// Worker panics recorded before the thread gave up.
+    pub panics: u64,
+}
+
+impl std::fmt::Display for RebalancerDied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rebalancer worker died after {} recorded panic(s)",
+            self.panics
+        )
+    }
+}
+
+impl std::error::Error for RebalancerDied {}
+
 /// A background thread driving [`LeapStore::rebalance_step`]: sleeps
 /// `interval` whenever the store reports [`RebalanceAction::Idle`],
 /// otherwise steps again immediately. Stopped (and joined) explicitly via
 /// [`Rebalancer::stop`] or implicitly on drop.
+///
+/// Each step runs under `catch_unwind`: a panicking step is **recorded**
+/// (an [`EventKind::RebalancerPanic`] event plus the [`Rebalancer::panics`]
+/// counter) rather than silently killing the thread, and the worker keeps
+/// driving. Only after [`Rebalancer::MAX_CONSECUTIVE_PANICS`] panics with
+/// no successful step in between does the worker declare itself dead —
+/// surfaced as `Err(RebalancerDied)` from [`Rebalancer::stop`] and by
+/// [`Rebalancer::is_dead`], never swallowed.
 ///
 /// # Example
 ///
@@ -547,48 +774,112 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
 /// ));
 /// let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
 /// store.put(5, 50);
-/// let steps = rebalancer.stop();
+/// let steps = rebalancer.stop().expect("worker healthy");
 /// assert_eq!(store.get(5), Some(50));
 /// assert!(steps < u64::MAX);
 /// ```
 pub struct Rebalancer {
     stop: Arc<AtomicBool>,
+    died: Arc<AtomicBool>,
+    panics: Arc<AtomicU64>,
     handle: Option<std::thread::JoinHandle<u64>>,
 }
 
+/// Quiet unwind payload for injected `RebalancerTick` faults: thrown with
+/// `resume_unwind` so the panic hook (and its stderr backtrace) is
+/// bypassed — deterministic chaos runs stay readable.
+struct InjectedTickFault;
+
 impl Rebalancer {
+    /// Consecutive panicking steps after which the worker stops retrying
+    /// and declares itself dead. Deliberately small: a step that panics
+    /// this many times in a row is deterministic breakage, not a race.
+    pub const MAX_CONSECUTIVE_PANICS: u32 = 8;
+
     /// Spawns the driver thread over `store`.
     pub fn spawn<V: Clone + Send + Sync + 'static>(
         store: Arc<LeapStore<V>>,
         interval: Duration,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
-        let flag = stop.clone();
+        let died = Arc::new(AtomicBool::new(false));
+        let panics = Arc::new(AtomicU64::new(0));
+        let (flag, dead, count) = (stop.clone(), died.clone(), panics.clone());
         let handle = std::thread::spawn(move || {
             let mut actions = 0u64;
+            let mut consecutive = 0u32;
             while !flag.load(Ordering::Relaxed) {
-                match store.rebalance_step() {
-                    RebalanceAction::Idle => std::thread::sleep(interval),
-                    _ => actions += 1,
+                let step = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(f) = store.faults.as_deref() {
+                        if f.should_fire(FaultPoint::RebalancerTick) {
+                            std::panic::resume_unwind(Box::new(InjectedTickFault));
+                        }
+                    }
+                    store.rebalance_step()
+                }));
+                match step {
+                    Ok(RebalanceAction::Idle) => {
+                        consecutive = 0;
+                        std::thread::sleep(interval);
+                    }
+                    Ok(_) => {
+                        consecutive = 0;
+                        actions += 1;
+                    }
+                    Err(_) => {
+                        let total = count.fetch_add(1, Ordering::Relaxed) + 1;
+                        store.emit(EventKind::RebalancerPanic { panics: total });
+                        consecutive += 1;
+                        if consecutive >= Rebalancer::MAX_CONSECUTIVE_PANICS {
+                            dead.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
                 }
             }
             actions
         });
         Rebalancer {
             stop,
+            died,
+            panics,
             handle: Some(handle),
         }
     }
 
+    /// Worker panics recorded so far (injected tick faults plus real
+    /// panics out of `rebalance_step`).
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Whether the worker has given up after
+    /// [`Rebalancer::MAX_CONSECUTIVE_PANICS`] consecutive panics.
+    pub fn is_dead(&self) -> bool {
+        self.died.load(Ordering::Acquire)
+    }
+
     /// Signals the thread and joins it; returns how many non-idle actions
-    /// (chunks moved, splits/merges started, completions) it performed.
-    pub fn stop(mut self) -> u64 {
+    /// (chunks moved, splits/merges started, completions, aborts) it
+    /// performed.
+    ///
+    /// # Errors
+    ///
+    /// [`RebalancerDied`] if the worker declared itself dead (too many
+    /// consecutive panics) or could not be joined cleanly — a worker
+    /// death is never swallowed into a fake action count.
+    pub fn stop(mut self) -> Result<u64, RebalancerDied> {
         self.stop.store(true, Ordering::Relaxed);
-        self.handle
+        let joined = self
+            .handle
             .take()
             .expect("handle present until stop/drop")
-            .join()
-            .expect("rebalancer thread panicked")
+            .join();
+        let panics = self.panics.load(Ordering::Relaxed);
+        if self.died.load(Ordering::Acquire) {
+            return Err(RebalancerDied { panics });
+        }
+        joined.map_err(|_| RebalancerDied { panics })
     }
 }
 
@@ -857,6 +1148,7 @@ mod tests {
                     max_shards: 64,
                     op_weight: 0.0,
                     max_concurrent_migrations: 4,
+                    watchdog_stalls: 8,
                 }),
         );
         // Everything on shard 0, nothing on shard 1: shard 0's count sits
@@ -881,6 +1173,175 @@ mod tests {
         assert_eq!(store.range(0, 999).len(), 128);
     }
 
+    /// The abort headline: a mid-drain migration rolls back completely —
+    /// the destination is swept empty, ownership never flips, and the
+    /// visible map equals the model *including* writes that raced the
+    /// migration into the destination.
+    #[test]
+    fn abort_rolls_back_a_mid_drain_migration() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2));
+        for k in 0..100u64 {
+            store.put(k, k * 7);
+        }
+        store.split_shard(0, 50).expect("valid split");
+        let id = store.router().migration().unwrap().id;
+        // Move one chunk, then edit on both sides of the frontier so the
+        // sweep has migrated, overwritten and fresh values to restore.
+        assert!(matches!(
+            store.rebalance_step(),
+            RebalanceAction::Moved { .. }
+        ));
+        assert_eq!(store.put(60, 601), Some(60 * 7), "mid-migration rewrite");
+        assert_eq!(store.put(450, 5), None, "fresh in-range key");
+        assert_eq!(store.delete(55), Some(55 * 7));
+        match store.abort_migration(id) {
+            Ok(AbortOutcome::RolledBack { moved_back }) => {
+                assert!(moved_back > 0, "the moved chunk must sweep back")
+            }
+            other => panic!("expected a rollback, got {other:?}"),
+        }
+        // No table flip, overlay gone, destination fully swept.
+        assert_eq!(store.router().epoch(), 0);
+        assert!(store.router().migration().is_none());
+        assert!(store.shard(2).is_empty(), "destination swept empty");
+        assert_eq!(store.router().shard_of(300), 0);
+        // Model equivalence, mid-migration edits included.
+        let mut model: std::collections::BTreeMap<u64, u64> =
+            (0..100u64).map(|k| (k, k * 7)).collect();
+        model.insert(60, 601);
+        model.insert(450, 5);
+        model.remove(&55);
+        assert_eq!(store.range(0, 999), model.into_iter().collect::<Vec<_>>());
+        let st = store.stats();
+        assert_eq!(st.aborted_migrations, 1);
+        assert_eq!(st.migrations_completed, 0);
+        assert!(matches!(
+            store.abort_migration(id),
+            Err(RebalanceError::NoSuchMigration)
+        ));
+        // The abort is on the event timeline with its rollback size.
+        let snap = store.obs().expect("obs on by default").snapshot();
+        assert!(snap
+            .events
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MigrationAbort { id: i, .. } if i == id)));
+        // The same range is immediately re-splittable and drains clean.
+        store.split_shard(0, 50).expect("slots free after abort");
+        loop {
+            match store.rebalance_step() {
+                RebalanceAction::Completed { .. } => break,
+                RebalanceAction::Moved { .. } => {}
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        assert_eq!(store.router().shard_of(300), 2);
+        assert_eq!(store.len(), 100);
+    }
+
+    /// Aborting a migration whose range already drained (here: vacuously,
+    /// the range holds no keys) resolves *forward* — completing is
+    /// strictly cheaper than sweeping and equally final for the caller.
+    #[test]
+    fn abort_forward_completes_a_drained_migration() {
+        let store: LeapStore<u64> = LeapStore::new(cfg(2));
+        for k in 0..40u64 {
+            store.put(k, k);
+        }
+        // [400, 499] holds no keys: nothing to drain, nothing to sweep.
+        store.split_shard(0, 400).expect("valid split");
+        let id = store.router().migration().unwrap().id;
+        match store.abort_migration(id) {
+            Ok(AbortOutcome::Completed { epoch }) => assert_eq!(epoch, 1),
+            other => panic!("expected forward completion, got {other:?}"),
+        }
+        assert_eq!(store.router().epoch(), 1);
+        assert_eq!(store.router().shard_of(450), 2, "ownership flipped");
+        let st = store.stats();
+        assert_eq!(st.aborted_migrations, 0, "a completion, not an abort");
+        assert_eq!(st.migrations_completed, 1);
+        assert!(matches!(
+            store.abort_migration(77),
+            Err(RebalanceError::NoSuchMigration)
+        ));
+    }
+
+    /// The stuck-migration watchdog: when every chunk fails (here by
+    /// injection), the stall counter climbs to the policy threshold and
+    /// the next step force-resolves the migration by abort instead of
+    /// retrying forever.
+    #[test]
+    fn watchdog_force_aborts_a_stuck_migration() {
+        let plan = leap_fault::FaultPlan::new(42).always(FaultPoint::MigrationChunk);
+        let store: LeapStore<u64> =
+            LeapStore::new(cfg(2).with_faults(plan).with_rebalancing(RebalancePolicy {
+                chunk: 16,
+                watchdog_stalls: 3,
+                ..RebalancePolicy::default()
+            }));
+        for k in 0..80u64 {
+            store.put(k, k + 1);
+        }
+        store.split_shard(0, 40).expect("valid split");
+        // Every chunk fails by injection: each step reports the stall...
+        for expect in 1..=3u32 {
+            match store.rebalance_step() {
+                RebalanceAction::ChunkFailed {
+                    src: 0,
+                    dst: 2,
+                    stalls,
+                } => assert_eq!(stalls, expect),
+                other => panic!("expected an injected chunk failure, got {other:?}"),
+            }
+        }
+        // ...and once stalls reach the threshold, the watchdog aborts.
+        match store.rebalance_step() {
+            RebalanceAction::Aborted { moved_back, .. } => {
+                assert_eq!(moved_back, 0, "no chunk ever moved")
+            }
+            other => panic!("expected a watchdog abort, got {other:?}"),
+        }
+        assert!(store.router().migration().is_none());
+        assert_eq!(store.router().epoch(), 0);
+        assert_eq!(store.stats().aborted_migrations, 1);
+        assert_eq!(store.len(), 80, "no keys lost to the stuck migration");
+        assert_eq!(store.get(60), Some(61));
+    }
+
+    /// Worker-death containment: a rebalancer whose every tick panics
+    /// (injected) records the panics, declares itself dead after the
+    /// consecutive-panic cap, and surfaces that out of `stop()` as a
+    /// typed error — while the store itself stays fully usable.
+    #[test]
+    fn rebalancer_reports_its_own_death() {
+        let plan = leap_fault::FaultPlan::new(7).always(FaultPoint::RebalancerTick);
+        let store: Arc<LeapStore<u64>> = Arc::new(LeapStore::new(cfg(2).with_faults(plan)));
+        let reb = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !reb.is_dead() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(reb.is_dead(), "the worker must declare its own death");
+        assert!(reb.panics() >= u64::from(Rebalancer::MAX_CONSECUTIVE_PANICS));
+        let err = reb.stop().expect_err("death must surface out of stop()");
+        assert!(err.panics >= u64::from(Rebalancer::MAX_CONSECUTIVE_PANICS));
+        assert!(err.to_string().contains("died"), "{err}");
+        // The store outlives its dead driver: ops and manual rebalancing
+        // still work (the tick fault only arms the worker thread's path).
+        store.put(10, 1);
+        assert_eq!(store.get(10), Some(1));
+        let panics_seen = store
+            .obs()
+            .expect("obs on by default")
+            .snapshot()
+            .events
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RebalancerPanic { .. }))
+            .count();
+        assert!(panics_seen > 0, "panics must land on the event timeline");
+    }
+
     /// Op-rate awareness: a shard that is read-hot but key-light must
     /// split once its op rate dominates, even though its key count alone
     /// never crosses the threshold.
@@ -903,6 +1364,7 @@ mod tests {
                     max_shards: 8,
                     op_weight: 1.0,
                     max_concurrent_migrations: 1,
+                    watchdog_stalls: 8,
                 }),
         );
         // Perfectly even key placement: 16 keys per shard.

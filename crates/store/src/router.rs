@@ -20,7 +20,7 @@
 //! forces a retry.
 
 use crate::rebalance::RebalanceError;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Completed-range log entries the router keeps before coalescing the two
@@ -190,11 +190,25 @@ pub struct MigrationState {
     /// transaction, which must not interleave (a chunk move committing a
     /// stale value over a racing write would lose the write).
     pub(crate) write_lock: Mutex<()>,
+    /// Set (under `write_lock`) when the migration is being rolled back:
+    /// in-range writes then land in `src` (clearing any `dst` copy) and
+    /// lookups consult destination-then-source, mirroring the reversed
+    /// drain direction. Participates in the overlay stamp, so a flip
+    /// forces concurrent stamped reads to retry.
+    pub(crate) aborting: AtomicBool,
+    /// Consecutive drain steps that failed to advance the frontier (e.g.
+    /// injected chunk faults); reset by every successful chunk. The
+    /// rebalance watchdog force-resolves the migration once this crosses
+    /// [`crate::RebalancePolicy::watchdog_stalls`].
+    pub(crate) stalls: AtomicU32,
 }
 
 /// A read-only snapshot of an in-flight migration (stats, tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationView {
+    /// Migration id — the handle [`crate::LeapStore::abort_migration`]
+    /// takes.
+    pub id: u64,
     /// Source slot.
     pub src: usize,
     /// Destination slot.
@@ -390,6 +404,7 @@ impl Router {
         self.overlay_states()
             .iter()
             .map(|m| MigrationView {
+                id: m.id,
                 src: m.src,
                 dst: m.dst,
                 lo: m.lo,
@@ -526,7 +541,10 @@ impl Router {
                 .inflight
                 .iter()
                 .filter(|m| m.lo <= hi && lo <= m.hi)
-                .map(|m| m.id)
+                // The aborting bit rides along: reversing a migration's
+                // drain direction mid-read must invalidate the stamp just
+                // like the overlay appearing or vanishing would.
+                .map(|m| (m.id << 1) | m.aborting.load(Ordering::Acquire) as u64)
                 .collect(),
             completed: set.completed_overlapping(lo, hi),
         }
@@ -603,6 +621,8 @@ impl Router {
             frontier: AtomicU64::new(lo),
             moved: AtomicU64::new(0),
             write_lock: Mutex::new(()),
+            aborting: AtomicBool::new(false),
+            stalls: AtomicU32::new(0),
         });
         let at = set.inflight.partition_point(|o| o.lo < lo);
         set.inflight.insert(at, m.clone());
@@ -610,11 +630,29 @@ impl Router {
         Ok(m)
     }
 
+    /// The in-flight overlay with migration id `id`, if any.
+    pub(crate) fn overlay_by_id(&self, id: u64) -> Option<Arc<MigrationState>> {
+        self.overlays_read()
+            .inflight
+            .iter()
+            .find(|m| m.id == id)
+            .cloned()
+    }
+
     /// Installs the post-migration table (epoch + 1), removes `m` from
     /// the overlay set and logs its range in the completion log. The
     /// caller must have fully drained `[m.lo, m.hi]` out of the source
     /// list first. Returns the new epoch.
-    pub(crate) fn complete_migration(&self, m: &Arc<MigrationState>) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`RebalanceError::NoSuchMigration`] if `m` is no longer installed —
+    /// e.g. a concurrent [`Router::cancel_migration`] already removed it.
+    /// The table is untouched in that case.
+    pub(crate) fn complete_migration(
+        &self,
+        m: &Arc<MigrationState>,
+    ) -> Result<u64, RebalanceError> {
         // Exclusive gate: writes that routed under the overlay have
         // committed before ownership flips; later writes route directly
         // to the destination.
@@ -630,7 +668,7 @@ impl Router {
             .inflight
             .iter()
             .position(|cur| Arc::ptr_eq(cur, m))
-            .expect("only an installed migration can complete");
+            .ok_or(RebalanceError::NoSuchMigration)?;
         set.inflight.remove(at);
         set.log_completion(m.lo, m.hi);
         let mut table = self
@@ -640,7 +678,38 @@ impl Router {
         let next = table.transferred(m.lo, m.hi, m.src, m.dst);
         let epoch = next.epoch;
         *table = Arc::new(next);
-        epoch
+        Ok(epoch)
+    }
+
+    /// Removes `m` from the overlay set **without** flipping the routing
+    /// table: ownership of `[m.lo, m.hi]` stays with `m.src`. The caller
+    /// (the store's migration abort) must have moved every in-range key
+    /// back into the source list first. The removal changes the overlay
+    /// stamp of any read overlapping the range, forcing those reads to
+    /// retry against the restored single-list placement.
+    ///
+    /// # Errors
+    ///
+    /// [`RebalanceError::NoSuchMigration`] if `m` is not installed.
+    pub(crate) fn cancel_migration(&self, m: &Arc<MigrationState>) -> Result<(), RebalanceError> {
+        // Exclusive gate, like completion: in-flight writes that routed
+        // under the overlay commit before it vanishes, and later writes
+        // route directly to the (unchanged) table owner.
+        let _g = self
+            .gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut set = self
+            .overlays
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let at = set
+            .inflight
+            .iter()
+            .position(|cur| Arc::ptr_eq(cur, m))
+            .ok_or(RebalanceError::NoSuchMigration)?;
+        set.inflight.remove(at);
+        Ok(())
     }
 }
 
@@ -718,7 +787,7 @@ mod tests {
         assert_eq!((m.lo, m.hi), (250, 499));
         assert_eq!(r.shard_of(300), 0, "ownership flips only at completion");
         assert!(r.migration().is_some());
-        assert_eq!(r.complete_migration(&m), 1);
+        assert_eq!(r.complete_migration(&m).unwrap(), 1);
         assert_eq!(r.shard_of(300), 2);
         assert_eq!(r.shard_of(200), 0);
         assert_eq!(r.shard_of(700), 1);
@@ -726,7 +795,7 @@ mod tests {
         assert!(r.migration().is_none());
         // Merge slot 2 back into slot 0 (adjacent on the left).
         let m = r.begin_migration(2, 0, 250).expect("valid merge");
-        assert_eq!(r.complete_migration(&m), 2);
+        assert_eq!(r.complete_migration(&m).unwrap(), 2);
         assert_eq!(r.shard_of(300), 0);
         assert_eq!(r.shard_interval(2), None, "slot 2 owns nothing now");
         assert_eq!(
@@ -767,8 +836,8 @@ mod tests {
         let m2 = r.begin_migration(2, 3, 600).expect("disjoint migration");
         assert_eq!(r.migrations().len(), 2);
         assert_eq!(r.peak_concurrent_migrations(), 2);
-        r.complete_migration(&m);
-        r.complete_migration(&m2);
+        r.complete_migration(&m).unwrap();
+        r.complete_migration(&m2).unwrap();
         assert_eq!(r.shard_of(150), 1);
         assert_eq!(r.shard_of(650), 3);
         let rh = Router::new(Partitioning::Hash, 4, 1000);
@@ -790,22 +859,62 @@ mod tests {
         // A-range stamp must not move.
         let b = r.begin_migration(2, 3, 600).expect("overlay B [600,749]");
         assert_eq!(r.overlay_stamp(120, 200), before, "B began: no move");
-        r.complete_migration(&b);
+        r.complete_migration(&b).unwrap();
         assert_eq!(r.overlay_stamp(120, 200), before, "B completed: no move");
         // A stamp straddling B's range does see both events.
         assert_ne!(r.overlay_stamp(120, 700), r.overlay_stamp(120, 200));
         // Completing A moves the A-range stamp (overlay gone AND the
         // completion log now overlaps).
-        r.complete_migration(&a);
+        r.complete_migration(&a).unwrap();
         let after = r.overlay_stamp(120, 200);
         assert_ne!(after, before);
         // Re-beginning an identical-looking migration yields a fresh id:
         // no ABA back to any earlier stamp.
         let a2 = r.begin_migration(1, 0, 100).expect("merge back");
-        r.complete_migration(&a2);
+        r.complete_migration(&a2).unwrap();
         let a3 = r.begin_migration(0, 1, 100).expect("same shape as A");
         assert_ne!(r.overlay_stamp(120, 200), before);
-        r.complete_migration(&a3);
+        r.complete_migration(&a3).unwrap();
+    }
+
+    /// Cancellation semantics: the overlay vanishes but ownership never
+    /// flips — and the aborting bit moves the stamp *before* removal, so
+    /// a read that raced the abort is forced to retry.
+    #[test]
+    fn cancel_removes_the_overlay_without_flipping_the_table() {
+        let r = Router::new(Partitioning::Range, 2, 1000);
+        let s = r.add_slot();
+        let m = r.begin_migration(0, s, 250).expect("valid split");
+        assert!(r.overlay_by_id(m.id).is_some());
+        let clean = r.overlay_stamp(250, 499);
+        // Flagging the overlay as aborting flips the stamp's low bit even
+        // before removal: mid-abort stamped reads can't validate.
+        m.aborting.store(true, Ordering::Release);
+        let aborting = r.overlay_stamp(250, 499);
+        assert_ne!(aborting, clean);
+        r.cancel_migration(&m).expect("installed overlay cancels");
+        assert_eq!(r.epoch(), 0, "cancel must not flip the routing table");
+        assert_eq!(r.shard_of(300), 0, "ownership stays with the source");
+        assert!(r.migration().is_none());
+        assert!(r.overlay_by_id(m.id).is_none());
+        let gone = r.overlay_stamp(250, 499);
+        assert!(gone != clean && gone != aborting, "removal moves the stamp");
+        // Gone means gone: double-cancel and complete-after-cancel both
+        // report NoSuchMigration, and the table stays untouched.
+        assert!(matches!(
+            r.cancel_migration(&m),
+            Err(RebalanceError::NoSuchMigration)
+        ));
+        assert!(matches!(
+            r.complete_migration(&m),
+            Err(RebalanceError::NoSuchMigration)
+        ));
+        assert_eq!(r.epoch(), 0);
+        // The slots are immediately reusable, under a fresh id (no ABA).
+        let m2 = r.begin_migration(0, s, 250).expect("slots free again");
+        assert_ne!(m2.id, m.id);
+        assert_eq!(r.complete_migration(&m2).unwrap(), 1);
+        assert_eq!(r.shard_of(300), s);
     }
 
     #[test]

@@ -104,6 +104,14 @@ pub struct StoreStats {
     pub peak_concurrent_migrations: u64,
     /// Migrations (splits and merges) completed since construction.
     pub migrations_completed: u64,
+    /// Migrations resolved by rollback — an explicit
+    /// [`crate::LeapStore::abort_migration`] call or the stuck-migration
+    /// watchdog — rather than by completing forward.
+    pub aborted_migrations: u64,
+    /// Operations refused by batcher admission control or dropped by an
+    /// injected drain fault; each surfaced to its caller as
+    /// [`crate::StoreError::Overloaded`].
+    pub shed_ops: u64,
     /// Instrument snapshot (latency histograms, retry histogram, event
     /// timeline) when the store was built with observability enabled.
     pub obs: Option<ObsSnapshot>,
@@ -193,7 +201,8 @@ impl StoreStats {
             .field(
                 "conflict_commit_aborts",
                 Json::U64(self.stm.conflict_commit_aborts),
-            );
+            )
+            .field("timeouts", Json::U64(self.stm.timeouts));
         let mut out = Json::obj()
             .field("shards", Json::Arr(shards))
             .field("stm", stm)
@@ -210,7 +219,9 @@ impl StoreStats {
                 Json::U64(self.peak_concurrent_migrations),
             )
             .field("key_spread", Json::U64(self.key_spread()))
-            .field("key_spread_ratio", Json::fixed(self.key_spread_ratio(), 4));
+            .field("key_spread_ratio", Json::fixed(self.key_spread_ratio(), 4))
+            .field("aborted_migrations", Json::U64(self.aborted_migrations))
+            .field("shed_ops", Json::U64(self.shed_ops));
         if let Some(obs) = &self.obs {
             out = out
                 .field("op_latency", obs.op_latency_json())
@@ -274,6 +285,18 @@ impl StoreStats {
             "# TYPE store_migrations_in_flight gauge\nstore_migrations_in_flight {}\n",
             self.concurrent_migrations()
         ));
+        out.push_str(&format!(
+            "# TYPE store_migrations_aborted counter\nstore_migrations_aborted {}\n",
+            self.aborted_migrations
+        ));
+        out.push_str(&format!(
+            "# TYPE store_shed_ops counter\nstore_shed_ops {}\n",
+            self.shed_ops
+        ));
+        out.push_str(&format!(
+            "# TYPE stm_timeouts counter\nstm_timeouts {}\n",
+            self.stm.timeouts
+        ));
         if let Some(obs) = &self.obs {
             for (kind, snap) in &obs.op_latency {
                 out.push_str(&snap.to_prometheus(&format!("store_op_{kind}_ns")));
@@ -315,7 +338,7 @@ impl std::fmt::Display for StoreStats {
         }
         write!(
             f,
-            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} (in flight {}, peak {}) | key_spread={} ({:.2}x mean)",
+            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} (in flight {}, peak {}, aborted {}) | shed_ops={} | key_spread={} ({:.2}x mean)",
             self.stm,
             self.collision_batches,
             self.abort_rate(),
@@ -323,6 +346,8 @@ impl std::fmt::Display for StoreStats {
             self.migrations_completed,
             self.concurrent_migrations(),
             self.peak_concurrent_migrations,
+            self.aborted_migrations,
+            self.shed_ops,
             self.key_spread(),
             self.key_spread_ratio(),
         )
@@ -367,11 +392,13 @@ mod tests {
                 conflict_read_aborts: 3,
                 conflict_commit_aborts: 1,
                 explicit_aborts: 1,
+                timeouts: 2,
             },
             collision_batches: 7,
             epoch: 3,
             migrations: vec![
                 MigrationView {
+                    id: 1,
                     src: 0,
                     dst: 2,
                     lo: 100,
@@ -379,6 +406,7 @@ mod tests {
                     moved: 12,
                 },
                 MigrationView {
+                    id: 2,
                     src: 1,
                     dst: 3,
                     lo: 600,
@@ -388,6 +416,8 @@ mod tests {
             ],
             peak_concurrent_migrations: 2,
             migrations_completed: 3,
+            aborted_migrations: 1,
+            shed_ops: 6,
             obs: None,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
@@ -410,6 +440,9 @@ mod tests {
         assert!(json.contains("\"peak_concurrent_migrations\":2"));
         assert!(json.contains("\"key_spread\":30"));
         assert!(json.contains("\"key_spread_ratio\":1.6000"));
+        assert!(json.contains("\"aborted_migrations\":1"));
+        assert!(json.contains("\"shed_ops\":6"));
+        assert!(json.contains("\"timeouts\":2"));
         assert!(json.contains("\"abort_rate\":0.500000"));
         assert!(
             json.contains(

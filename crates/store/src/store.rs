@@ -6,11 +6,13 @@
 //! key sub-ranges between shards in bounded cross-list transactions while
 //! readers and writers proceed (see `rebalance.rs` for the protocol).
 
+use crate::error::StoreError;
 use crate::obs::{OpKind, StoreObs};
 use crate::rebalance::RebalancePolicy;
 use crate::router::{Partitioning, Router, WriteRoute};
 use crate::stats::{ShardCounters, ShardStats, StoreStats};
-use leap_stm::{StmDomain, StmRecorder};
+use leap_fault::{FaultInjector, FaultPlan, FaultPoint};
+use leap_stm::{RetryPolicy, StmDomain, StmFaultPoint, StmRecorder};
 use leaplist::{BatchOp, LeapListLt, Params};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -42,6 +44,12 @@ pub struct StoreConfig {
     /// Capacity of the event timeline ring (drop-oldest on overflow, with
     /// a monotone dropped counter — never silent).
     pub obs_ring_capacity: usize,
+    /// Deterministic fault-injection schedule ([`leap_fault::FaultPlan`]),
+    /// `None` in production. When set, the store builds one
+    /// [`FaultInjector`] shared by every injection point (STM
+    /// commit/validate, migration chunks, batcher drains, rebalancer
+    /// ticks); when unset the hot paths carry only an `Option` branch.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +62,7 @@ impl Default for StoreConfig {
             rebalance: RebalancePolicy::default(),
             obs: true,
             obs_ring_capacity: leap_obs::DEFAULT_RING_CAPACITY,
+            faults: None,
         }
     }
 }
@@ -99,6 +108,14 @@ impl StoreConfig {
     /// tests that exercise the drop-oldest overflow contract.
     pub fn with_obs_ring_capacity(mut self, capacity: usize) -> Self {
         self.obs_ring_capacity = capacity;
+        self
+    }
+
+    /// Arms deterministic fault injection with `plan` (chaos tests only;
+    /// see [`leap_fault`]). The same seed always yields the same fire
+    /// schedule at every injection point.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -189,6 +206,16 @@ pub struct LeapStore<V> {
     /// single transaction.
     collision_batches: AtomicU64,
     pub(crate) migrations_completed: AtomicU64,
+    /// Migrations resolved by rollback ([`LeapStore::abort_migration`] or
+    /// the stuck-migration watchdog) rather than by completing forward.
+    pub(crate) aborted_migrations: AtomicU64,
+    /// Operations refused by batcher admission control or dropped by an
+    /// injected drain fault (each one surfaced to its caller as
+    /// [`StoreError::Overloaded`], never silently).
+    pub(crate) shed_ops: AtomicU64,
+    /// Deterministic fault injector shared by every injection point;
+    /// `None` (a single branch on the hot paths) in production.
+    pub(crate) faults: Option<Arc<FaultInjector>>,
     /// Observability instruments ([`StoreConfig::obs`], on by default):
     /// per-op latency histograms, the STM retry histogram and the
     /// migration/drain event timeline.
@@ -235,6 +262,18 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             domain.set_recorder(StmRecorder::new(obs.txn_retries.clone()));
             obs
         });
+        let faults = config.faults.map(|plan| Arc::new(FaultInjector::new(plan)));
+        if let Some(f) = &faults {
+            // Route the domain's STM fault points through the shared
+            // injector so one seeded plan drives every layer.
+            // set_fault_hook is first-wins, like set_recorder: only the
+            // first store sharing a domain arms it.
+            let hook = f.clone();
+            domain.set_fault_hook(Arc::new(move |point| match point {
+                StmFaultPoint::Commit => hook.should_fire(FaultPoint::StmCommit),
+                StmFaultPoint::Validate => hook.should_fire(FaultPoint::StmValidate),
+            }));
+        }
         LeapStore {
             slots: RwLock::new(slots),
             router,
@@ -248,8 +287,18 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             op_census: Mutex::new((Vec::new(), Vec::new())),
             collision_batches: AtomicU64::new(0),
             migrations_completed: AtomicU64::new(0),
+            aborted_migrations: AtomicU64::new(0),
+            shed_ops: AtomicU64::new(0),
+            faults,
             obs,
         }
+    }
+
+    /// The fault injector, when the store was built
+    /// [`StoreConfig::with_faults`] — chaos tests read per-point
+    /// visit/fire tallies off it.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// The store's observability instruments, if enabled
@@ -265,6 +314,16 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if let Some(obs) = &self.obs {
             obs.events().push(kind);
         }
+    }
+
+    /// Records `ops` operations shed by batcher admission control (or an
+    /// injected drain fault) against the store's counter and timeline.
+    pub(crate) fn note_shed(&self, ops: u64, queued: usize) {
+        self.shed_ops.fetch_add(ops, Ordering::Relaxed);
+        self.emit(leap_obs::EventKind::Shed {
+            ops,
+            queued: queued as u64,
+        });
     }
 
     /// Times `f` into the `kind` histogram when observability is on.
@@ -403,10 +462,20 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                         ShardCounters::bump(&slots[m.src].counters.gets);
                         (slots[m.src].list.clone(), slots[m.dst].list.clone())
                     };
-                    // Keys only move src -> dst, atomically: a src miss
-                    // means "absent or already in dst", and the dst lookup
-                    // happens after, so a present key is always found.
-                    src.lookup(key).or_else(|| dst.lookup(key))
+                    // Keys move atomically in one direction: src -> dst
+                    // while draining, dst -> src while a rollback sweeps
+                    // them back. Probing the from-side first means a miss
+                    // there reads "absent or already moved", and the
+                    // to-side lookup happens after — so a present key is
+                    // always found. A direction flip mid-lookup changes
+                    // the overlay stamp (the aborting bit is part of it),
+                    // which the caller's stamp re-check turns into a
+                    // retry.
+                    if m.aborting.load(Ordering::Acquire) {
+                        dst.lookup(key).or_else(|| src.lookup(key))
+                    } else {
+                        src.lookup(key).or_else(|| dst.lookup(key))
+                    }
                 }
                 None => {
                     let s = self.router.shard_of(key);
@@ -441,17 +510,26 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     ShardCounters::bump(&slots[m.src].counters.puts);
                     (slots[m.src].list.clone(), slots[m.dst].list.clone())
                 };
-                // One cross-list transaction removes any source copy and
-                // writes the destination: the key's single home is dst
-                // from here on, and the chunk mover (which holds the same
-                // lock) can never clobber this write with a stale value.
+                // One cross-list transaction removes the from-side copy
+                // and writes the to-side: the key has a single home from
+                // here on, and the chunk mover / rollback sweeper (which
+                // holds the same lock) can never clobber this write with a
+                // stale value. The direction follows the overlay's state —
+                // dst-ward while draining, src-ward while a rollback is
+                // sweeping keys back — checked under the lock, which is
+                // exactly where the aborting flag flips.
                 let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
                 let rm = [BatchOp::Remove(key)];
                 let up = [BatchOp::Update(key, value)];
-                let mut res = LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &up]);
-                let dst_prev = res[1].pop().expect("one op in dst group");
-                let src_prev = res[0].pop().expect("one op in src group");
-                src_prev.or(dst_prev)
+                let (from, to) = if m.aborting.load(Ordering::Acquire) {
+                    (&*dst, &*src)
+                } else {
+                    (&*src, &*dst)
+                };
+                let mut res = LeapListLt::apply_batch_grouped(&[from, to], &[&rm, &up]);
+                let to_prev = res[1].pop().expect("one op in to group");
+                let from_prev = res[0].pop().expect("one op in from group");
+                from_prev.or(to_prev)
             }
         }
     }
@@ -478,6 +556,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     ShardCounters::bump(&slots[m.src].counters.deletes);
                     (slots[m.src].list.clone(), slots[m.dst].list.clone())
                 };
+                // Deletes are direction-agnostic: removing the key from
+                // both lists in one transaction is correct whether the
+                // overlay is draining or rolling back (at most one list
+                // holds it, by the migration invariant).
                 let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
                 let rm = [BatchOp::Remove(key)];
                 let mut res = LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &rm]);
@@ -532,16 +614,36 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if ops.is_empty() {
             return Vec::new();
         }
-        let key_of = |op: &BatchOp<V>| match op {
-            BatchOp::Update(k, _) => *k,
-            BatchOp::Remove(k) => *k,
-        };
         // Validate every key before touching any shard, so a documented
         // caller error cannot panic with part of the batch planned.
         for op in ops {
-            assert!(key_of(op) < u64::MAX, "key u64::MAX is reserved");
+            assert!(Self::key_of(op) < u64::MAX, "key u64::MAX is reserved");
         }
         let _w = self.router.enter_write();
+        // The overlay *set* is stable while we hold the writer gate, but
+        // an overlay's drain direction can flip (a rollback setting its
+        // aborting flag) between planning and locking; `try_apply`
+        // detects the flip after acquiring the locks and asks for a
+        // replan. At most one retry per concurrent abort — the flag only
+        // ever flips once per migration.
+        loop {
+            if let Some(res) = self.try_apply(ops) {
+                return res;
+            }
+        }
+    }
+
+    fn key_of(op: &BatchOp<V>) -> u64 {
+        match op {
+            BatchOp::Update(k, _) => *k,
+            BatchOp::Remove(k) => *k,
+        }
+    }
+
+    /// One planning-and-commit attempt for `apply_inner`; returns `None`
+    /// when an overlay's drain direction flipped between planning and
+    /// locking (the plan's group directions are stale — replan).
+    fn try_apply(&self, ops: &[BatchOp<V>]) -> Option<Vec<Option<V>>> {
         // The overlay set, sorted by lo (disjoint ranges, so at most one
         // can cover any key).
         let migs = self.router.overlay_states();
@@ -549,27 +651,34 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         // Single-op batches (the Batcher's uncontended hot path) route
         // straight to their shard: no grouping vectors.
         if let [op] = ops {
-            if overlay_of(key_of(op)).is_none() {
-                let shard = self.router.shard_of(key_of(op));
+            if overlay_of(Self::key_of(op)).is_none() {
+                let shard = self.router.shard_of(Self::key_of(op));
                 let list = self.routed(shard, |c| {
                     c.batch_parts.fetch_add(1, Ordering::Relaxed);
                 });
-                return vec![match op {
+                return Some(vec![match op {
                     BatchOp::Update(k, v) => list.update(*k, v.clone()),
                     BatchOp::Remove(k) => list.remove(*k),
-                }];
+                }]);
             }
         }
+        // Each overlay's drain direction at planning time; re-checked
+        // under the locks below.
+        let flags: Vec<bool> = migs
+            .iter()
+            .map(|m| m.aborting.load(Ordering::Acquire))
+            .collect();
         // Group ops per shard slot, preserving input order within each
-        // group. A migrating key contributes a Remove to its overlay's
-        // source group and its op to the destination group: the batch
-        // stays one transaction, and the key's previous value is
-        // whichever of the two groups saw it (exactly one can, by the
-        // migration invariant).
+        // group. A migrating key contributes a Remove to the overlay's
+        // from-side group (source while draining, destination while
+        // rolling back) and its op to the to-side group: the batch stays
+        // one transaction, and the key's previous value is whichever of
+        // the two groups saw it (exactly one can, by the migration
+        // invariant).
         let slots = self.shards();
         let mut groups: Vec<Vec<BatchOp<V>>> = vec![Vec::new(); slots];
         // Where each op's previous value comes from:
-        // (slot, index) plus, for migrating keys, the source-remove slot.
+        // (slot, index) plus, for migrating keys, the from-side remove.
         struct OpSource {
             slot: usize,
             idx: usize,
@@ -579,16 +688,21 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         // Overlays this batch must serialize with (indices into `migs`).
         let mut locked: Vec<bool> = vec![false; migs.len()];
         for op in ops {
-            let k = key_of(op);
+            let k = Self::key_of(op);
             if let Some(i) = migs.iter().position(|m| (m.lo..=m.hi).contains(&k)) {
                 let m = &migs[i];
                 locked[i] = true;
-                groups[m.src].push(BatchOp::Remove(k));
-                let src = Some((m.src, groups[m.src].len() - 1));
-                groups[m.dst].push(op.clone());
+                let (from, to) = if flags[i] {
+                    (m.dst, m.src)
+                } else {
+                    (m.src, m.dst)
+                };
+                groups[from].push(BatchOp::Remove(k));
+                let src = Some((from, groups[from].len() - 1));
+                groups[to].push(op.clone());
                 sources.push(OpSource {
-                    slot: m.dst,
-                    idx: groups[m.dst].len() - 1,
+                    slot: to,
+                    idx: groups[to].len() - 1,
                     src,
                 });
             } else {
@@ -608,6 +722,30 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 locked[i] = true;
             }
         }
+        // One multi-list transaction over every touched shard, regardless
+        // of key -> shard collisions. Batches touching migrating ranges
+        // serialize against each chunk mover (see `put`), taking every
+        // involved overlay's lock in ascending key order — the one total
+        // order all multi-overlay writers share, so they cannot deadlock.
+        // Lock order: migration locks strictly before the slot-vector
+        // read lock.
+        let _locks: Vec<MutexGuard<'_, ()>> = migs
+            .iter()
+            .zip(&locked)
+            .filter(|(_, l)| **l)
+            .map(|(m, _)| m.write_lock.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        // The aborting flag only flips while holding the overlay's write
+        // lock, so this check (now that we hold the locks) is exact: a
+        // stale direction means the groups above point the wrong way.
+        if migs
+            .iter()
+            .zip(&flags)
+            .zip(&locked)
+            .any(|((m, f), l)| *l && m.aborting.load(Ordering::Acquire) != *f)
+        {
+            return None;
+        }
         {
             let slots_guard = self.slots_read();
             for (s, g) in groups.iter().enumerate() {
@@ -622,19 +760,6 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if groups.iter().any(|g| g.len() >= 2) {
             self.collision_batches.fetch_add(1, Ordering::Relaxed);
         }
-        // One multi-list transaction over every touched shard, regardless
-        // of key -> shard collisions. Batches touching migrating ranges
-        // serialize against each chunk mover (see `put`), taking every
-        // involved overlay's lock in ascending key order — the one total
-        // order all multi-overlay writers share, so they cannot deadlock.
-        // Lock order: migration locks strictly before the slot-vector
-        // read lock.
-        let _locks: Vec<MutexGuard<'_, ()>> = migs
-            .iter()
-            .zip(&locked)
-            .filter(|(_, l)| **l)
-            .map(|(m, _)| m.write_lock.lock().unwrap_or_else(PoisonError::into_inner))
-            .collect();
         let slots_guard = self.slots_read();
         let mut lists: Vec<&LeapListLt<V>> = Vec::new();
         let mut shard_ops: Vec<&[BatchOp<V>]> = Vec::new();
@@ -648,21 +773,125 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             }
         }
         let results = LeapListLt::apply_batch_grouped(&lists, &shard_ops);
-        sources
-            .iter()
-            .map(|src| {
-                let own =
-                    results[results_of[src.slot].expect("op slot has a group")][src.idx].clone();
-                match src.src {
-                    None => own,
-                    Some((s, i)) => {
-                        let removed =
-                            results[results_of[s].expect("src slot has a group")][i].clone();
-                        removed.or(own)
+        Some(
+            sources
+                .iter()
+                .map(|src| {
+                    let own = results[results_of[src.slot].expect("op slot has a group")][src.idx]
+                        .clone();
+                    match src.src {
+                        None => own,
+                        Some((s, i)) => {
+                            let removed =
+                                results[results_of[s].expect("src slot has a group")][i].clone();
+                            removed.or(own)
+                        }
                     }
-                }
-            })
-            .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Runs `f` under a thread-local STM retry budget
+    /// ([`leap_stm::with_retry_budget`]); on exhaustion records the
+    /// timeout (domain counter + [`leap_obs::EventKind::TxnDeadline`])
+    /// and surfaces [`StoreError::Timeout`]. The store is unchanged by
+    /// the failed attempt — every aborted transaction rolled back.
+    fn bounded<R>(&self, policy: RetryPolicy, f: impl FnOnce() -> R) -> Result<R, StoreError> {
+        match leap_stm::with_retry_budget(policy, f) {
+            Ok(r) => Ok(r),
+            Err(t) => {
+                self.domain.record_timeout();
+                self.emit(leap_obs::EventKind::TxnDeadline {
+                    attempts: t.attempts,
+                });
+                Err(t.into())
+            }
+        }
+    }
+
+    /// [`LeapStore::get`] under a bounded retry budget: gives up with
+    /// [`StoreError::Timeout`] instead of retrying forever when the
+    /// domain cannot commit (pathological contention, injected faults).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] once `policy` is exhausted.
+    pub fn get_within(&self, key: u64, policy: RetryPolicy) -> Result<Option<V>, StoreError> {
+        self.bounded(policy, || self.get(key))
+    }
+
+    /// [`LeapStore::put`] under a bounded retry budget — graceful
+    /// degradation instead of livelock: the caller gets a typed
+    /// [`StoreError::Timeout`] and the store is untouched by the failed
+    /// attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] once `policy` is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn put_within(
+        &self,
+        key: u64,
+        value: V,
+        policy: RetryPolicy,
+    ) -> Result<Option<V>, StoreError> {
+        self.bounded(policy, || self.put(key, value))
+    }
+
+    /// [`LeapStore::delete`] under a bounded retry budget; see
+    /// [`LeapStore::put_within`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] once `policy` is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX`.
+    pub fn delete_within(&self, key: u64, policy: RetryPolicy) -> Result<Option<V>, StoreError> {
+        self.bounded(policy, || self.delete(key))
+    }
+
+    /// [`LeapStore::range`] under a bounded retry budget; see
+    /// [`LeapStore::put_within`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] once `policy` is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi == u64::MAX`.
+    pub fn range_within(
+        &self,
+        lo: u64,
+        hi: u64,
+        policy: RetryPolicy,
+    ) -> Result<Vec<(u64, V)>, StoreError> {
+        self.bounded(policy, || self.range(lo, hi))
+    }
+
+    /// [`LeapStore::apply`] under a bounded retry budget; see
+    /// [`LeapStore::put_within`]. The batch either commits whole or not
+    /// at all — a timeout never applies a prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] once `policy` is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key is `u64::MAX`.
+    pub fn apply_within(
+        &self,
+        ops: &[BatchOp<V>],
+        policy: RetryPolicy,
+    ) -> Result<Vec<Option<V>>, StoreError> {
+        self.bounded(policy, || self.apply(ops))
     }
 
     /// Linearizable cross-shard range query: all pairs with keys in
@@ -847,6 +1076,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             migrations: self.router.migrations(),
             peak_concurrent_migrations: self.router.peak_concurrent_migrations(),
             migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
+            aborted_migrations: self.aborted_migrations.load(Ordering::Relaxed),
+            shed_ops: self.shed_ops.load(Ordering::Relaxed),
             obs: self.obs.as_ref().map(|o| o.snapshot()),
         }
     }

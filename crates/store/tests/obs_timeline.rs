@@ -5,9 +5,7 @@
 
 use leap_obs::EventKind;
 use leap_stm::{TVar, Txn};
-use leap_store::{
-    Batcher, LeapStore, Partitioning, RebalancePolicy, Rebalancer, StoreConfig,
-};
+use leap_store::{Batcher, LeapStore, Partitioning, RebalancePolicy, Rebalancer, StoreConfig};
 use leaplist::Params;
 use std::sync::Arc;
 use std::time::Duration;
@@ -151,7 +149,7 @@ fn tiny_ring_drops_oldest_with_monotone_counter() {
         );
         last_dropped = snap.dropped;
     }
-    rebalancer.stop();
+    rebalancer.stop().expect("rebalancer survived the run");
     let snap = obs.events().snapshot();
     assert!(
         snap.dropped > 0,

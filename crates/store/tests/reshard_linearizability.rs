@@ -381,6 +381,11 @@ fn two_concurrent_migrations_vs_straddling_cursor() {
             RebalanceAction::Moved { .. } => std::thread::sleep(Duration::from_millis(1)),
             RebalanceAction::SplitStarted { .. } | RebalanceAction::MergeStarted { .. } => {}
             RebalanceAction::Idle => panic!("idle with migrations outstanding"),
+            // No fault plan is armed, so a drain can neither fail nor
+            // trip the watchdog.
+            RebalanceAction::ChunkFailed { .. } | RebalanceAction::Aborted { .. } => {
+                panic!("chunk failure without an armed fault plan")
+            }
         }
     }
     stop.store(true, Ordering::Relaxed);
@@ -438,7 +443,7 @@ fn background_rebalancer_balances_skewed_load() {
     for w in workers {
         w.join().unwrap();
     }
-    let actions = rebalancer.stop();
+    let actions = rebalancer.stop().expect("rebalancer survived the run");
     let history = rec.history();
     check(&history, &initial)
         .unwrap_or_else(|v| panic!("rebalancer history is not serializable:\n{v}"));

@@ -75,7 +75,7 @@ fn main() {
         assert_eq!(thirties, expect_thirties, "scan racing the rebalancer");
         snapshots += 1;
     }
-    let actions = rebalancer.stop();
+    let actions = rebalancer.stop().expect("rebalancer survived the run");
     println!("\nrebalancer: {actions} actions, {snapshots} racing snapshots checked");
 
     println!("\nper-subspace placement after rebalancing:");
