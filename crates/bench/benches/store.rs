@@ -118,10 +118,51 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Tracing overhead check: default head sampling (1/32 gets elected,
+/// every put spanned) against a store with no tracer at all. The get
+/// row exercises the sampled-only span election, the put row the
+/// always-on span begin + phase noting — the ≤5% trace budget is judged
+/// on these medians.
+fn bench_trace_overhead(c: &mut Criterion) {
+    // Longer windows than the sibling groups: the on/off delta under
+    // judgment here is a few percent, below what 600ms windows resolve
+    // on a noisy host.
+    let mut group = c.benchmark_group("leapstore_trace");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for (label, traced) in [("on", true), ("off", false)] {
+        let mut config = StoreConfig::new(SHARDS, Partitioning::Range).with_key_space(PREFILL);
+        if traced {
+            config = config.with_tracing(leap_obs::TraceConfig::default());
+        }
+        let s: LeapStore<u64> = LeapStore::new(config);
+        for k in 0..PREFILL {
+            s.put(k, k);
+        }
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new("get", label), |b| {
+            b.iter(|| {
+                k = (k + 7919) % PREFILL;
+                std::hint::black_box(s.get(k))
+            })
+        });
+        group.bench_function(BenchmarkId::new("put", label), |b| {
+            b.iter(|| {
+                k = (k + 7919) % PREFILL;
+                std::hint::black_box(s.put(k, k))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_leapstore(c: &mut Criterion) {
     bench_mode(c, "hash", Partitioning::Hash);
     bench_mode(c, "range", Partitioning::Range);
     bench_obs_overhead(c);
+    bench_trace_overhead(c);
 }
 
 criterion_group!(benches, bench_leapstore);

@@ -3,7 +3,8 @@
 //! history (format documented in the repository README).
 //!
 //! ```text
-//! collect [--label NAME] [--out FILE] [--check] [--require KEY]... [INPUT...]
+//! collect [--label NAME] [--out FILE] [--check] [--require KEY]...
+//!         [--gate BASELINE.json [--max-regress PCT]] [INPUT...]
 //! ```
 //!
 //! Reads the given files (or stdin when none are given) and extracts:
@@ -23,6 +24,15 @@
 //! fails (exit 1) when the input carries a malformed `stats` line, no
 //! stats at all, or — with `--require KEY` (repeatable) — a stats object
 //! missing a required `"KEY":` field.
+//!
+//! `--gate BASELINE.json` is the CI SLO regression gate: nothing is
+//! written; the fresh panel's gated series (per-op `p99_ns`/`p999_ns`,
+//! txn retries, and the degradation counters `shed_ops`, `timeouts`,
+//! `aborted_migrations`) are compared against the most recent trajectory
+//! entry carrying the same series. Exit 1 when any series degrades by
+//! more than `--max-regress PCT` (default 100) above its noise floor,
+//! exit 2 when nothing at all was comparable; series the baseline does
+//! not know yet are skipped with a note.
 
 use leap_bench::check::balanced_json_object;
 use std::io::Read;
@@ -133,12 +143,214 @@ fn check_input(text: &str, require: &[String]) -> Vec<String> {
     failures
 }
 
+// --- SLO regression gate -------------------------------------------------
+//
+// The trajectory file is only ever written by this tool, so a full JSON
+// parser is overkill — but the gate must still read *into* the pass-through
+// stats objects. The extractor below walks balanced values (depth-tracked,
+// string-aware), which is exactly enough to chain `"key":` lookups.
+
+/// Byte length of the JSON value starting at `s[0]` — the prefix up to
+/// the first top-level `,`/`}`/`]` outside any braces or string.
+fn value_end(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    let (mut depth, mut in_str, mut esc) = (0u64, false, false);
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                in_str = false;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                if depth == 0 {
+                    return i; // the enclosing container closes: scalar ended
+                }
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            b',' if depth == 0 => return i,
+            _ => {}
+        }
+    }
+    s.len()
+}
+
+/// The value of top-level `"key"` inside a JSON object, as a text slice.
+fn object_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let mut rest = json.trim().strip_prefix('{')?.trim_start();
+    let needle = format!("\"{key}\"");
+    while !rest.starts_with('}') && !rest.is_empty() {
+        let klen = value_end(rest);
+        let k = &rest[..klen];
+        rest = rest[klen..].trim_start().strip_prefix(':')?.trim_start();
+        let vlen = value_end(rest);
+        if k == needle {
+            return Some(&rest[..vlen]);
+        }
+        rest = rest[vlen..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    None
+}
+
+/// A numeric field at a `/`-separated object path, e.g.
+/// `store/op_latency/put/p99_ns`.
+fn path_number(json: &str, path: &str) -> Option<f64> {
+    let mut v = json;
+    for key in path.split('/') {
+        v = object_field(v, key)?;
+    }
+    v.trim().parse().ok()
+}
+
+/// Top-level entries of a JSON array (the trajectory file), in order.
+fn array_entries(trajectory: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let Some(mut rest) = trajectory.trim().strip_prefix('[') else {
+        return out;
+    };
+    rest = rest.trim_start();
+    while !rest.starts_with(']') && !rest.is_empty() {
+        let vlen = value_end(rest);
+        out.push(&rest[..vlen]);
+        rest = rest[vlen..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    out
+}
+
+/// Per-op latency quantiles under SLO watch. A tail measured below the
+/// floor is noise (quick-scale runs put whole-op p99s well above it when
+/// something is actually wrong), so the gate only fires above it.
+const GATED_OPS: [&str; 7] = ["get", "put", "delete", "apply", "range", "scan_page", "len"];
+const GATED_QUANTILES: [&str; 2] = ["p99_ns", "p999_ns"];
+const LATENCY_FLOOR_NS: f64 = 100_000.0;
+/// Degradation counters: a handful of sheds or timeouts is normal chaos;
+/// the gate watches for them growing past the floor.
+const GATED_COUNTERS: [&str; 3] = [
+    "store/shed_ops",
+    "store/stm/timeouts",
+    "store/aborted_migrations",
+];
+const COUNTER_FLOOR: f64 = 20.0;
+/// Retry-count histogram: values are attempt counts, not nanoseconds.
+const RETRY_FLOOR: f64 = 8.0;
+
+/// One gated value: where it lives, the noise floor under which it never
+/// fires, and (for quantiles) the sibling sample-count path plus the
+/// minimum count that makes the quantile meaningful — the p999 of a few
+/// hundred samples is just the max, and one scheduler blip would flake
+/// the gate.
+struct GatedPath {
+    path: String,
+    floor: f64,
+    count_path: Option<String>,
+    min_count: f64,
+}
+
+/// Everything the gate inspects per figure series.
+fn gated_paths() -> Vec<GatedPath> {
+    let mut paths = Vec::new();
+    for op in GATED_OPS {
+        for (q, min_count) in GATED_QUANTILES.iter().zip([100.0, 1000.0]) {
+            paths.push(GatedPath {
+                path: format!("store/op_latency/{op}/{q}"),
+                floor: LATENCY_FLOOR_NS,
+                count_path: Some(format!("store/op_latency/{op}/count")),
+                min_count,
+            });
+        }
+    }
+    paths.push(GatedPath {
+        path: "store/txn_retries/p99_ns".to_string(),
+        floor: RETRY_FLOOR,
+        count_path: Some("store/txn_retries/count".to_string()),
+        min_count: 100.0,
+    });
+    for c in GATED_COUNTERS {
+        paths.push(GatedPath {
+            path: c.to_string(),
+            floor: COUNTER_FLOOR,
+            count_path: None,
+            min_count: 0.0,
+        });
+    }
+    paths
+}
+
+/// Compares the fresh panel's stats series against the most recent
+/// trajectory entry carrying each series. Returns
+/// `(regressions, notes, compared-pair count)`.
+fn gate_run(
+    current: &[(String, String)],
+    baseline: &str,
+    max_regress_pct: f64,
+) -> (Vec<String>, Vec<String>, usize) {
+    let entries = array_entries(baseline);
+    let mut regressions = Vec::new();
+    let mut notes = Vec::new();
+    let mut compared = 0usize;
+    for (series, json) in current {
+        // Baseline: newest entry that knows this series at all.
+        let base = entries
+            .iter()
+            .rev()
+            .find_map(|e| object_field(e, "figures").and_then(|f| object_field(f, series)));
+        let Some(base) = base else {
+            notes.push(format!("series '{series}' has no baseline yet — skipped"));
+            continue;
+        };
+        for g in gated_paths() {
+            let path = &g.path;
+            let Some(new) = path_number(json, path) else {
+                continue; // series without this surface (e.g. "store":null)
+            };
+            let Some(old) = path_number(base, path) else {
+                notes.push(format!("{series}:{path} missing from baseline — skipped"));
+                continue;
+            };
+            // Quantile of an undersampled histogram (on either side) is
+            // just the max of a handful of ops: not gateable.
+            if let Some(cp) = &g.count_path {
+                let enough = |side: &str| path_number(side, cp).is_some_and(|c| c >= g.min_count);
+                if !enough(json) || !enough(base) {
+                    continue;
+                }
+            }
+            compared += 1;
+            let allowed = old * (1.0 + max_regress_pct / 100.0);
+            if new > allowed && new > g.floor {
+                regressions.push(format!(
+                    "{series}:{path} regressed {old} -> {new} \
+                     (allowed {allowed:.0} at +{max_regress_pct}%)"
+                ));
+            }
+        }
+    }
+    (regressions, notes, compared)
+}
+
 fn main() {
     let mut label = String::from("run");
     let mut out_path = String::from("BENCH_leapstore.json");
     let mut inputs: Vec<String> = Vec::new();
     let mut check = false;
     let mut require: Vec<String> = Vec::new();
+    let mut gate: Option<String> = None;
+    let mut max_regress = 100.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,9 +358,18 @@ fn main() {
             "--out" => out_path = it.next().unwrap_or(out_path),
             "--check" => check = true,
             "--require" => require.push(it.next().unwrap_or_default()),
+            "--gate" => gate = it.next(),
+            "--max-regress" => {
+                let raw = it.next().unwrap_or_default();
+                max_regress = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("collect: bad --max-regress '{raw}' (want a percentage)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: collect [--label NAME] [--out FILE] [--check] [--require KEY]... [INPUT...]"
+                    "usage: collect [--label NAME] [--out FILE] [--check] [--require KEY]... \
+                     [--gate BASELINE.json [--max-regress PCT]] [INPUT...]"
                 );
                 return;
             }
@@ -176,6 +397,33 @@ fn main() {
         }
         for f in &failures {
             eprintln!("collect: check failed: {f}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(baseline_path) = gate {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let current: Vec<(String, String)> = text.lines().filter_map(parse_stats_line).collect();
+        let (regressions, notes, compared) = gate_run(&current, &baseline, max_regress);
+        for n in &notes {
+            eprintln!("collect: gate note: {n}");
+        }
+        if compared == 0 {
+            eprintln!(
+                "collect: gate failed: nothing comparable between the panel \
+                 ({} series) and {baseline_path}",
+                current.len()
+            );
+            std::process::exit(2);
+        }
+        if regressions.is_empty() {
+            eprintln!(
+                "collect: gate passed ({compared} series values within +{max_regress}% of {baseline_path})"
+            );
+            return;
+        }
+        for r in &regressions {
+            eprintln!("collect: gate failed: {r}");
         }
         std::process::exit(1);
     }
@@ -288,6 +536,99 @@ mod tests {
         assert!(broken.iter().any(|f| f.contains("malformed")), "{broken:?}");
         let empty = check_input("no stats here\n", &[]);
         assert!(empty.iter().any(|f| f.contains("no stats")), "{empty:?}");
+    }
+
+    /// The extractor behind the gate: balanced-value walking must survive
+    /// nesting, strings with braces, and scalar terminators.
+    #[test]
+    fn path_extraction_reads_nested_fields() {
+        let json = r#"{"a":{"b":{"c":42,"s":"},{"},"d":[1,{"x":2}]},"e":7.5}"#;
+        assert_eq!(path_number(json, "a/b/c"), Some(42.0));
+        assert_eq!(path_number(json, "e"), Some(7.5));
+        assert_eq!(path_number(json, "a/b/missing"), None);
+        assert_eq!(path_number(json, "a/d"), None, "arrays are not numbers");
+        assert_eq!(
+            object_field(json, "a").and_then(|a| object_field(a, "d")),
+            Some("[1,{\"x\":2}]")
+        );
+        let arr = r#"[ {"label":"one","n":1} , {"label":"two","n":2} ]"#;
+        let entries = array_entries(arr);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(path_number(entries[1], "n"), Some(2.0));
+        assert!(array_entries("not an array").is_empty());
+    }
+
+    /// The SLO gate: a p99 blow-up past the threshold and floor fails, a
+    /// within-budget wiggle passes, a sub-floor jump is ignored as noise,
+    /// series the baseline lacks are skipped with a note, and a baseline
+    /// sharing nothing at all is reported as zero comparisons.
+    #[test]
+    fn gate_flags_regressions_and_skips_unknown_series() {
+        let baseline = r#"[
+          {"label":"old","figures":{"Store-hash":{"store":{"op_latency":{"put":{"count":5000,"p99_ns":30000,"p999_ns":100000}},"txn_retries":{"count":5000,"p99_ns":2},"shed_ops":0,"stm":{"timeouts":1}},"latency":{"p99_ns":1}}},"criterion":{}}
+        ]"#;
+        let series = |put: &str, shed: u64| {
+            vec![(
+                "Store-hash".to_string(),
+                format!(
+                    "{{\"store\":{{\"op_latency\":{{\"put\":{put}}},\
+                     \"txn_retries\":{{\"count\":5000,\"p99_ns\":2}},\"shed_ops\":{shed},\
+                     \"stm\":{{\"timeouts\":1}}}},\"latency\":{{\"p99_ns\":1}}}}"
+                ),
+            )]
+        };
+        let ok = series("{\"count\":5000,\"p99_ns\":35000,\"p999_ns\":110000}", 2);
+        let (reg, _, compared) = gate_run(&ok, baseline, 100.0);
+        assert!(reg.is_empty(), "within budget: {reg:?}");
+        assert!(compared >= 5, "put quantiles + retries + counters compared");
+
+        // p999 regresses 10x — caught, and the message names the path.
+        let bad = series("{\"count\":5000,\"p99_ns\":30000,\"p999_ns\":1000000}", 0);
+        let (reg, _, _) = gate_run(&bad, baseline, 100.0);
+        assert_eq!(reg.len(), 1, "{reg:?}");
+        assert!(reg[0].contains("op_latency/put/p999_ns"), "{}", reg[0]);
+
+        // The same blow-up on an undersampled histogram is the max of a
+        // handful of ops — one scheduler blip, not a regression.
+        let undersampled = series("{\"count\":40,\"p99_ns\":30000,\"p999_ns\":9000000}", 0);
+        let (reg, _, _) = gate_run(&undersampled, baseline, 100.0);
+        assert!(reg.is_empty(), "low-count quantiles must not gate: {reg:?}");
+
+        // A 10x jump that stays under the noise floor is not a regression.
+        let noisy = series("{\"count\":5000,\"p99_ns\":90000,\"p999_ns\":100000}", 19);
+        let (reg, _, _) = gate_run(&noisy, baseline, 100.0);
+        assert!(reg.is_empty(), "sub-floor noise must not fire: {reg:?}");
+
+        // Unknown series: skipped with a note, not failed.
+        let new_series = vec![("Store-brandnew".to_string(), "{\"store\":null}".to_string())];
+        let (reg, notes, compared) = gate_run(&new_series, baseline, 100.0);
+        assert!(reg.is_empty());
+        assert_eq!(compared, 0);
+        assert!(notes.iter().any(|n| n.contains("no baseline")), "{notes:?}");
+
+        // Counters past the floor and threshold fire too.
+        let shedding = series("{\"count\":5000,\"p99_ns\":30000,\"p999_ns\":100000}", 500);
+        let (reg, _, _) = gate_run(&shedding, baseline, 100.0);
+        assert_eq!(reg.len(), 1, "{reg:?}");
+        assert!(reg[0].contains("shed_ops"), "{}", reg[0]);
+    }
+
+    /// The gate picks the newest trajectory entry that actually carries
+    /// the series — older runs with the series still anchor it after a
+    /// run that lacked it entirely.
+    #[test]
+    fn gate_baseline_is_newest_entry_with_the_series() {
+        let baseline = r#"[
+          {"label":"older","figures":{"Store-hash":{"store":{"op_latency":{"put":{"count":5000,"p99_ns":1000,"p999_ns":1000}}},"latency":{}}},"criterion":{}},
+          {"label":"newer","figures":{"Other":{"latency":{}}},"criterion":{}}
+        ]"#;
+        let current = vec![(
+            "Store-hash".to_string(),
+            r#"{"store":{"op_latency":{"put":{"count":5000,"p99_ns":900000,"p999_ns":900}}},"latency":{}}"#.to_string(),
+        )];
+        let (reg, _, compared) = gate_run(&current, baseline, 100.0);
+        assert_eq!(compared, 2, "both quantiles found in the older entry");
+        assert_eq!(reg.len(), 1, "p99 10x over the older anchor: {reg:?}");
     }
 
     #[test]

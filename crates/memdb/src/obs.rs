@@ -63,9 +63,12 @@ impl TableObs {
         &self.registry
     }
 
-    /// Times `f` and records the sample under `op`.
+    /// Times `f` and records the sample under `op`. The op kind also
+    /// rides as the leap-trace op-context label, so any store span begun
+    /// under `f` carries which table op drove it.
     #[inline]
     pub(crate) fn timed<T>(&self, op: TableOp, f: impl FnOnce() -> T) -> T {
+        let _ctx = leap_obs::trace::op_context(OP_KINDS[op as usize].0);
         let start = Instant::now();
         let r = f();
         self.ops[op as usize].record(start.elapsed().as_nanos() as u64);

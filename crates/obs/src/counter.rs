@@ -45,10 +45,16 @@ impl Counter {
         }
     }
 
-    /// Adds `n`.
+    /// Adds `n`. The stripe saturates at `u64::MAX` instead of wrapping,
+    /// so sustained runs can never report a counter going backwards.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.stripes[stripe_of()].0.fetch_add(n, Ordering::Relaxed);
+        let _ =
+            self.stripes[stripe_of()]
+                .0
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                    Some(s.saturating_add(n))
+                });
     }
 
     /// Adds one.
@@ -57,12 +63,12 @@ impl Counter {
         self.add(1);
     }
 
-    /// Current total (sum over stripes).
+    /// Current total (saturating sum over stripes).
     pub fn get(&self) -> u64 {
         self.stripes
             .iter()
             .map(|s| s.0.load(Ordering::Relaxed))
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 }
 
@@ -133,6 +139,20 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), threads * per);
+    }
+
+    /// Satellite: near-`u64::MAX` additions saturate — the counter pins
+    /// at `u64::MAX` and never wraps backwards.
+    #[test]
+    fn counter_saturates_at_max_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        let before = c.get();
+        c.add(u64::MAX);
+        c.add(5);
+        let after = c.get();
+        assert!(after >= before, "saturating add is monotone");
+        assert_eq!(after, u64::MAX);
     }
 
     #[test]

@@ -75,12 +75,21 @@ impl Histogram {
         }
     }
 
-    /// Records one sample. Lock-free; safe from any thread.
+    /// Records one sample. Lock-free; safe from any thread. The running
+    /// sum saturates at `u64::MAX` instead of wrapping, so a minutes-long
+    /// run recording large nanosecond totals degrades to a pinned mean
+    /// rather than a nonsense one.
     #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        // fetch_add cannot saturate; a CAS loop can. The closure always
+        // returns Some, so this never fails.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -132,7 +141,7 @@ pub struct HistSnapshot {
     pub buckets: Vec<u64>,
     /// Total samples.
     pub count: u64,
-    /// Sum of all samples (wraps only after ~2^64 total nanoseconds).
+    /// Sum of all samples (saturates at `u64::MAX`; never wraps).
     pub sum: u64,
     /// Largest sample recorded.
     pub max: u64,
@@ -323,6 +332,27 @@ mod tests {
                 pm, exact, approx, lo, hi
             );
         }
+    }
+
+    /// Satellite: near-`u64::MAX` samples neither panic nor wrap — the
+    /// running sum pins at `u64::MAX` and quantiles stay sane.
+    #[test]
+    fn near_max_samples_saturate_the_sum_without_panicking() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX / 2);
+        h.record(7);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile_permille(1000), u64::MAX);
+        assert!(s.mean() <= u64::MAX / 4 + 1, "mean derived from pinned sum");
+        // Prometheus rendering of the saturated snapshot stays well-formed.
+        let prom = s.to_prometheus("t");
+        assert!(prom.contains(&format!("t_sum {}\n", u64::MAX)));
+        assert!(prom.contains("t_count 4\n"));
     }
 
     /// Satellite: concurrent recording loses nothing — N threads x M

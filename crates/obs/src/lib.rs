@@ -21,6 +21,10 @@
 //! * [`Registry`] — names the instruments above and renders one coherent
 //!   snapshot as JSON ([`Registry::snapshot_json`]) or Prometheus text
 //!   exposition ([`Registry::to_prometheus`]).
+//! * [`trace`] — leap-trace: per-op causal spans (queue/combine/commit
+//!   phases, STM abort causes per attempt, migration-interference marks)
+//!   with head sampling plus tail capture, exported as Chrome trace-event
+//!   JSON.
 //!
 //! Recording never blocks: counters and histograms are plain atomic
 //! fetch-adds; the event ring claims slots with a per-slot sequence
@@ -36,6 +40,7 @@ mod events;
 mod hist;
 mod json;
 mod registry;
+pub mod trace;
 mod window;
 
 pub use counter::{Counter, Gauge};
@@ -43,4 +48,8 @@ pub use events::{Event, EventKind, EventRing, RingSnapshot, DEFAULT_RING_CAPACIT
 pub use hist::{HistSnapshot, Histogram};
 pub use json::Json;
 pub use registry::Registry;
+pub use trace::{
+    AbortCause, OpClass, OpOutcome, Span, SpanGuard, SpanRing, SpanSnapshot, TraceConfig, Tracer,
+    DEFAULT_SPAN_RING_CAPACITY,
+};
 pub use window::SlidingQuantile;

@@ -1,0 +1,1303 @@
+//! leap-trace: per-operation causal spans for the store stack.
+//!
+//! Aggregate histograms (PR 6) say *that* an op took 9 ms; a span says
+//! *where* the time went. Each traced op carries one [`Span`]: a trace
+//! id, the op kind and key/shard, nanosecond-stamped phases (queue wait
+//! vs combine vs commit inside the `Batcher`), per-attempt STM retry
+//! annotations (the abort cause of every aborted attempt, reusing the
+//! read/commit/explicit attribution), and migration-interference marks
+//! (which overlay id forced a stamp retry, how long the per-migration
+//! write lock was waited on and held).
+//!
+//! # Sampling and tail capture
+//!
+//! Spans are **head-sampled** at a configurable 1-in-N per-thread rate
+//! (the same knob as the store's sampled `get` histogram) **plus
+//! tail-captured**: when tracing is armed every op is measured, and any
+//! op slower than the configured SLO threshold — or ending in a typed
+//! failure (timeout, shed, migration abort) — is always retained, so the
+//! p99 spikes self-document. Arming follows the same
+//! zero-cost-when-absent pattern as `StmRecorder`/`FaultPlan`: with no
+//! tracer configured the hot paths carry a single `Option` branch, and
+//! the cross-crate annotation hooks ([`note_abort`] and friends) are one
+//! thread-local check when no span is active.
+//!
+//! # Storage and export
+//!
+//! Retained spans land in a fixed-capacity [`SpanRing`] with the event
+//! ring's drop-oldest slot protocol and an exact monotone `dropped`
+//! counter — loss is visible, never silent. A [`SpanSnapshot`] exports as
+//! plain JSON ([`SpanSnapshot::to_json`]), as Chrome trace-event JSON
+//! loadable in Perfetto ([`SpanSnapshot::to_chrome_trace`]), or — per
+//! span — as a text breakdown for test assertions ([`Span::render_text`]).
+//!
+//! # Propagation
+//!
+//! The active span lives in a thread-local: the store begins it at the
+//! public op boundary, and the layers below (batcher, STM engine,
+//! migration write path) annotate it through free functions without any
+//! dependency on the store — the same direction of travel as the STM
+//! retry budget. Only the **outermost** op on a thread owns a span;
+//! nested begins (e.g. the combiner's own `apply` inside a batched
+//! submit) are inert, so a batch span absorbs its inner STM annotations.
+
+use crate::json::Json;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default capacity of a [`SpanRing`].
+pub const DEFAULT_SPAN_RING_CAPACITY: usize = 512;
+
+/// Payload words per span slot (the fixed wire encoding of one span).
+const SPAN_WORDS: usize = 16;
+
+/// Most abort causes encoded positionally in the per-attempt sequence;
+/// later aborts still count in the per-cause totals.
+const CAUSE_SEQ_CAP: u32 = 16;
+
+/// Why one STM attempt aborted — the per-attempt annotation
+/// [`note_abort`] records, mirroring the domain's abort attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// Encounter-time conflict (a read/write/extension saw a locked or
+    /// newer orec).
+    ConflictRead,
+    /// Commit-time conflict (read-set validation failed at commit).
+    ConflictCommit,
+    /// The transaction body requested the abort.
+    Explicit,
+    /// A bounded retry budget expired mid-attempt.
+    Timeout,
+}
+
+impl AbortCause {
+    /// Stable wire code (1-based; 0 means "no abort" in the sequence).
+    fn code(self) -> u64 {
+        match self {
+            AbortCause::ConflictRead => 1,
+            AbortCause::ConflictCommit => 2,
+            AbortCause::Explicit => 3,
+            AbortCause::Timeout => 4,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<AbortCause> {
+        match code {
+            1 => Some(AbortCause::ConflictRead),
+            2 => Some(AbortCause::ConflictCommit),
+            3 => Some(AbortCause::Explicit),
+            4 => Some(AbortCause::Timeout),
+            _ => None,
+        }
+    }
+
+    /// Human-readable cause name (matches the stats snapshot's abort
+    /// attribution vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortCause::ConflictRead => "conflict_read",
+            AbortCause::ConflictCommit => "conflict_commit",
+            AbortCause::Explicit => "explicit",
+            AbortCause::Timeout => "timeout",
+        }
+    }
+}
+
+/// What kind of operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Point lookup.
+    Get,
+    /// Single-key insert/update.
+    Put,
+    /// Single-key removal.
+    Delete,
+    /// Cross-shard batch.
+    Apply,
+    /// Cross-shard range query.
+    Range,
+    /// One bounded scan page.
+    ScanPage,
+    /// Transactional key count.
+    Len,
+    /// A batcher submission (queue → combine → grouped apply).
+    Batch,
+    /// A migration lifecycle span (emitted by the rebalance layer).
+    Migration,
+}
+
+impl OpClass {
+    fn code(self) -> u64 {
+        match self {
+            OpClass::Get => 0,
+            OpClass::Put => 1,
+            OpClass::Delete => 2,
+            OpClass::Apply => 3,
+            OpClass::Range => 4,
+            OpClass::ScanPage => 5,
+            OpClass::Len => 6,
+            OpClass::Batch => 7,
+            OpClass::Migration => 8,
+        }
+    }
+
+    fn name_of(code: u64) -> &'static str {
+        match code {
+            0 => "get",
+            1 => "put",
+            2 => "delete",
+            3 => "apply",
+            4 => "range",
+            5 => "scan_page",
+            6 => "len",
+            7 => "batch",
+            8 => "migration",
+            _ => "unknown",
+        }
+    }
+}
+
+/// How a traced op ended. Anything other than [`OpOutcome::Ok`] is always
+/// retained, independent of sampling and the SLO threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The op completed normally.
+    Ok,
+    /// A bounded retry budget expired (`StoreError::Timeout`).
+    Timeout,
+    /// Admission control or an injected drain fault shed the op
+    /// (`StoreError::Overloaded`).
+    Overloaded,
+    /// The op's value poisoned a combined batch.
+    Poisoned,
+    /// A combining peer died mid-batch; the op's fate is unknown.
+    Aborted,
+    /// The combiner lock stayed held past the wedge timeout.
+    Wedged,
+    /// A migration resolved by rollback rather than completing.
+    MigrationAbort,
+}
+
+impl OpOutcome {
+    fn code(self) -> u64 {
+        match self {
+            OpOutcome::Ok => 0,
+            OpOutcome::Timeout => 1,
+            OpOutcome::Overloaded => 2,
+            OpOutcome::Poisoned => 3,
+            OpOutcome::Aborted => 4,
+            OpOutcome::Wedged => 5,
+            OpOutcome::MigrationAbort => 6,
+        }
+    }
+
+    fn name_of(code: u64) -> &'static str {
+        match code {
+            0 => "ok",
+            1 => "timeout",
+            2 => "overloaded",
+            3 => "poisoned",
+            4 => "aborted",
+            5 => "wedged",
+            6 => "migration_abort",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Construction parameters for a [`Tracer`] (the store threads this
+/// through its own config).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Head-sampling period: trace 1 in `sample_period` ops per thread
+    /// (`1` = every op, `0` = head sampling off — tail capture still
+    /// applies). `None` inherits the embedding layer's sampling knob
+    /// (the store's `sample_period`).
+    pub sample_period: Option<u32>,
+    /// Tail-capture SLO threshold: any op slower than this many
+    /// nanoseconds is always retained, sampled or not.
+    pub slo_ns: u64,
+    /// Span ring capacity (drop-oldest on overflow, exact `dropped`
+    /// counter).
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_period: None,
+            slo_ns: 1_000_000,
+            ring_capacity: DEFAULT_SPAN_RING_CAPACITY,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Sets the head-sampling period (see [`TraceConfig::sample_period`]).
+    pub fn with_sample_period(mut self, period: u32) -> Self {
+        self.sample_period = Some(period);
+        self
+    }
+
+    /// Sets the tail-capture SLO threshold in nanoseconds.
+    pub fn with_slo_ns(mut self, slo_ns: u64) -> Self {
+        self.slo_ns = slo_ns;
+        self
+    }
+
+    /// Sets the span ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+}
+
+/// The thread-local span under construction. Only the outermost traced
+/// op on a thread owns one; annotation hooks mutate it lock-free.
+struct ActiveSpan {
+    trace_id: u64,
+    kind: u64,
+    ctx: [u64; 2],
+    key: u64,
+    shard: u32,
+    start: Instant,
+    sampled: bool,
+    retries: u32,
+    cause_seq: u64,
+    cause_counts: [u32; 4],
+    stamp_retries: u32,
+    overlay: u64,
+    lock_wait_ns: u64,
+    lock_hold_ns: u64,
+    queue_ns: u64,
+    combine_ns: u64,
+    commit_ns: u64,
+    outcome: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveSpan>> = const { RefCell::new(None) };
+    /// Per-thread head-sampling tick (shared across tracers, like the
+    /// store's get-sampling tick).
+    static TRACE_TICK: Cell<u32> = const { Cell::new(0) };
+    /// The 16-byte op-context label ([`op_context`]) the next begun span
+    /// inherits — how a memdb `Table` op rides the store span under it.
+    static CTX: Cell<[u64; 2]> = const { Cell::new([0; 2]) };
+}
+
+/// Whether the current thread has an active span (cheap: one
+/// thread-local check). Lets hot paths skip `Instant::now` bookkeeping
+/// that only feeds annotations.
+#[inline]
+pub fn in_span() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Encodes up to 16 bytes of `name` into the fixed context words
+/// (little-endian, NUL-padded).
+fn encode_ctx(name: &str) -> [u64; 2] {
+    let mut bytes = [0u8; 16];
+    for (dst, src) in bytes.iter_mut().zip(name.bytes()) {
+        *dst = src;
+    }
+    [
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+    ]
+}
+
+fn decode_ctx(ctx: [u64; 2]) -> String {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&ctx[0].to_le_bytes());
+    bytes[8..].copy_from_slice(&ctx[1].to_le_bytes());
+    let len = bytes.iter().position(|&b| b == 0).unwrap_or(16);
+    String::from_utf8_lossy(&bytes[..len]).into_owned()
+}
+
+/// Restores the previous op-context label on drop (see [`op_context`]).
+pub struct CtxGuard {
+    prev: [u64; 2],
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Labels the *next* span begun on this thread with `name` (first 16
+/// bytes) until the guard drops — the hook a higher layer (memdb's
+/// `Table`) uses to make its op kind ride the store span executing it.
+pub fn op_context(name: &str) -> CtxGuard {
+    let prev = CTX.with(|c| c.replace(encode_ctx(name)));
+    CtxGuard { prev }
+}
+
+/// Records one aborted STM attempt against the active span, if any.
+/// Called by the STM engine's abort-attribution chokepoint, so every
+/// retry of a traced op annotates its cause in attempt order.
+#[inline]
+pub fn note_abort(cause: AbortCause) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            if s.retries < CAUSE_SEQ_CAP {
+                s.cause_seq |= cause.code() << (4 * s.retries);
+            }
+            s.retries = s.retries.saturating_add(1);
+            let i = (cause.code() - 1) as usize;
+            s.cause_counts[i] = s.cause_counts[i].saturating_add(1);
+        }
+    });
+}
+
+/// Records that a migration overlay's stamp changed mid-read and forced
+/// the op to retry its plan; `overlay` is the interfering migration's id
+/// (0 when the overlay had already completed and only the stamp remains).
+#[inline]
+pub fn note_stamp_retry(overlay: u64) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.stamp_retries = s.stamp_retries.saturating_add(1);
+            if overlay != 0 {
+                s.overlay = overlay;
+            }
+        }
+    });
+}
+
+/// Records a migration write-lock acquisition on the op's write path:
+/// the overlay id, how long the lock was waited for, and how long it was
+/// held.
+#[inline]
+pub fn note_overlay_lock(overlay: u64, wait_ns: u64, hold_ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.overlay = overlay;
+            s.lock_wait_ns = s.lock_wait_ns.saturating_add(wait_ns);
+            s.lock_hold_ns = s.lock_hold_ns.saturating_add(hold_ns);
+        }
+    });
+}
+
+/// Adds `ns` to the span's commit phase (time inside the shard
+/// transaction, including its retries).
+#[inline]
+pub fn note_commit_phase(ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.commit_ns = s.commit_ns.saturating_add(ns);
+        }
+    });
+}
+
+/// Sets the span's batcher phase breakdown: queue wait (enqueue to drain
+/// pickup), combine (pickup to the grouped apply), commit (the grouped
+/// apply itself).
+#[inline]
+pub fn note_batch_phases(queue_ns: u64, combine_ns: u64, commit_ns: u64) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.queue_ns = queue_ns;
+            s.combine_ns = combine_ns;
+            s.commit_ns = commit_ns;
+        }
+    });
+}
+
+/// Marks the active span's outcome (typed failures are always retained).
+#[inline]
+pub fn note_outcome(outcome: OpOutcome) {
+    ACTIVE.with(|a| {
+        if let Some(s) = a.borrow_mut().as_mut() {
+            s.outcome = outcome.code();
+        }
+    });
+}
+
+/// Ends the active span on drop: measures the total, applies the
+/// retention rule (head-sampled, over-SLO, or failed) and publishes to
+/// the ring. Inert when the thread already had a span (nested op) —
+/// the outermost guard owns it.
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+}
+
+impl SpanGuard<'_> {
+    /// A guard that does nothing on drop (tracing off, or nested op).
+    pub fn inactive() -> Self {
+        SpanGuard { tracer: None }
+    }
+
+    /// Whether this guard owns the thread's active span.
+    pub fn is_active(&self) -> bool {
+        self.tracer.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer {
+            if let Some(span) = ACTIVE.with(|a| a.borrow_mut().take()) {
+                t.finish(span);
+            }
+        }
+    }
+}
+
+/// One slot of the span ring; same per-slot sequence protocol as the
+/// event ring (`2t+1` = writing, `2t+2` = complete, `0` = never).
+struct SpanSlot {
+    seq: AtomicU64,
+    words: [AtomicU64; SPAN_WORDS],
+}
+
+/// Fixed-capacity drop-oldest span store with an exact monotone
+/// `dropped` counter. Writers to different slots never interact, and a
+/// snapshot never blocks a writer.
+pub struct SpanRing {
+    slots: Box<[SpanSlot]>,
+    head: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring retaining the last `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a span ring must hold at least one span");
+        SpanRing {
+            slots: (0..capacity)
+                .map(|_| SpanSlot {
+                    seq: AtomicU64::new(0),
+                    words: Default::default(),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever published (dropped ones included).
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Spans lost to overflow: monotone, `published − capacity` floored
+    /// at zero.
+    pub fn dropped(&self) -> u64 {
+        self.published().saturating_sub(self.capacity() as u64)
+    }
+
+    fn push(&self, words: [u64; SPAN_WORDS]) -> u64 {
+        let ticket = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let busy = 2 * ticket + 1;
+        let done = busy + 1;
+        let mut cur = slot.seq.load(Ordering::Acquire);
+        loop {
+            if cur >= busy {
+                // A newer ticket owns the slot: this span is part of the
+                // dropped prefix already.
+                return ticket;
+            }
+            if cur & 1 == 1 {
+                std::hint::spin_loop();
+                cur = slot.seq.load(Ordering::Acquire);
+                continue;
+            }
+            match slot
+                .seq
+                .compare_exchange_weak(cur, busy, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        for (dst, w) in slot.words.iter().zip(words) {
+            dst.store(w, Ordering::Relaxed);
+        }
+        slot.seq.store(done, Ordering::Release);
+        ticket
+    }
+
+    /// Surviving spans oldest-first, plus the exact dropped counter.
+    /// Slots mid-write are skipped (they appear in the next snapshot).
+    pub fn snapshot(&self) -> SpanSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let lo = head.saturating_sub(cap);
+        let mut spans = Vec::with_capacity((head - lo) as usize);
+        for ticket in lo..head {
+            let slot = &self.slots[(ticket % cap) as usize];
+            let done = 2 * ticket + 2;
+            if slot.seq.load(Ordering::Acquire) != done {
+                continue;
+            }
+            let mut words = [0u64; SPAN_WORDS];
+            for (dst, w) in words.iter_mut().zip(&slot.words) {
+                *dst = w.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != done {
+                continue; // torn by a concurrent overwrite
+            }
+            spans.push(Span::decode(ticket, words));
+        }
+        SpanSnapshot {
+            spans,
+            dropped: head.saturating_sub(cap),
+            capacity: self.slots.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity())
+            .field("published", &self.published())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// The armed span layer: owns the ring, the sampling/SLO knobs and the
+/// trace-id source. One per store; absent entirely when tracing is off.
+pub struct Tracer {
+    ring: SpanRing,
+    sample_period: u32,
+    slo_ns: u64,
+    next_id: AtomicU64,
+    origin: Instant,
+}
+
+impl Tracer {
+    /// A tracer head-sampling 1 in `sample_period` ops per thread
+    /// (`0` = head sampling off), tail-capturing ops slower than
+    /// `slo_ns`, retaining the last `capacity` spans.
+    pub fn new(sample_period: u32, slo_ns: u64, capacity: usize) -> Self {
+        Tracer {
+            ring: SpanRing::new(capacity),
+            sample_period,
+            slo_ns,
+            next_id: AtomicU64::new(1),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Builds from a [`TraceConfig`], inheriting `default_period` when
+    /// the config leaves the sampling period unset.
+    pub fn from_config(cfg: &TraceConfig, default_period: u32) -> Self {
+        Tracer::new(
+            cfg.sample_period.unwrap_or(default_period),
+            cfg.slo_ns,
+            cfg.ring_capacity,
+        )
+    }
+
+    /// The tail-capture SLO threshold in nanoseconds.
+    pub fn slo_ns(&self) -> u64 {
+        self.slo_ns
+    }
+
+    /// The head-sampling period (0 = head sampling off).
+    pub fn sample_period(&self) -> u32 {
+        self.sample_period
+    }
+
+    /// The span ring (tests and exporters read it directly).
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// A point-in-time copy of the retained spans.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        self.ring.snapshot()
+    }
+
+    /// Whether this thread's head-sampling tick elects the next op.
+    fn head_sampled(&self) -> bool {
+        if self.sample_period == 0 {
+            return false;
+        }
+        TRACE_TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v % self.sample_period == 0
+        })
+    }
+
+    /// Begins a span for an op of `kind` on `key`/`shard`. Every op is
+    /// measured while tracing is armed (tail capture needs the total);
+    /// retention is decided when the guard drops. Returns an inert guard
+    /// when this thread already runs a traced op — the outermost span
+    /// absorbs nested annotations.
+    pub fn begin(&self, kind: OpClass, key: u64, shard: u32) -> SpanGuard<'_> {
+        if in_span() {
+            // Don't consume a sampling tick for a nested (inert) begin.
+            return SpanGuard::inactive();
+        }
+        let sampled = self.head_sampled();
+        self.begin_with(kind, key, shard, sampled)
+    }
+
+    /// Like [`Tracer::begin`] for a caller that already ran a shared
+    /// sampling tick and elected this op: the span is marked head-sampled
+    /// without consuming this tracer's own tick (the store's `get` path,
+    /// which pre-thins ops before paying for any timing at all).
+    pub fn begin_elected(&self, kind: OpClass, key: u64, shard: u32) -> SpanGuard<'_> {
+        self.begin_with(kind, key, shard, true)
+    }
+
+    fn begin_with(&self, kind: OpClass, key: u64, shard: u32, sampled: bool) -> SpanGuard<'_> {
+        if in_span() {
+            return SpanGuard::inactive();
+        }
+        let span = ActiveSpan {
+            trace_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            kind: kind.code(),
+            ctx: CTX.with(Cell::get),
+            key,
+            shard,
+            start: Instant::now(),
+            sampled,
+            retries: 0,
+            cause_seq: 0,
+            cause_counts: [0; 4],
+            stamp_retries: 0,
+            overlay: 0,
+            lock_wait_ns: 0,
+            lock_hold_ns: 0,
+            queue_ns: 0,
+            combine_ns: 0,
+            commit_ns: 0,
+            outcome: 0,
+        };
+        ACTIVE.with(|a| *a.borrow_mut() = Some(span));
+        SpanGuard { tracer: Some(self) }
+    }
+
+    /// Publishes a synthetic failure span that never ran as a traced op —
+    /// the rebalance layer reports migration aborts this way. Always
+    /// retained (failures bypass sampling).
+    pub fn emit_failure(
+        &self,
+        kind: OpClass,
+        outcome: OpOutcome,
+        key: u64,
+        shard: u32,
+        overlay: u64,
+    ) {
+        let words = SpanEncoder {
+            trace_id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            kind: kind.code(),
+            outcome: outcome.code(),
+            sampled: false,
+            tail: false,
+            key,
+            shard,
+            start_ns: self.origin.elapsed().as_nanos() as u64,
+            total_ns: 0,
+            queue_ns: 0,
+            combine_ns: 0,
+            commit_ns: 0,
+            retries: 0,
+            stamp_retries: 0,
+            cause_seq: 0,
+            cause_counts: [0; 4],
+            overlay,
+            lock_wait_ns: 0,
+            lock_hold_ns: 0,
+            ctx: [0; 2],
+        }
+        .encode();
+        self.ring.push(words);
+    }
+
+    /// Finishes `span`: total time, retention rule, publish.
+    fn finish(&self, span: ActiveSpan) {
+        let total_ns = span.start.elapsed().as_nanos() as u64;
+        let tail = total_ns >= self.slo_ns;
+        if !(span.sampled || tail || span.outcome != 0) {
+            return;
+        }
+        let start_ns = span.start.saturating_duration_since(self.origin).as_nanos() as u64;
+        let words = SpanEncoder {
+            trace_id: span.trace_id,
+            kind: span.kind,
+            outcome: span.outcome,
+            sampled: span.sampled,
+            tail,
+            key: span.key,
+            shard: span.shard,
+            start_ns,
+            total_ns,
+            queue_ns: span.queue_ns,
+            combine_ns: span.combine_ns,
+            commit_ns: span.commit_ns,
+            retries: span.retries,
+            stamp_retries: span.stamp_retries,
+            cause_seq: span.cause_seq,
+            cause_counts: span.cause_counts,
+            overlay: span.overlay,
+            lock_wait_ns: span.lock_wait_ns,
+            lock_hold_ns: span.lock_hold_ns,
+            ctx: span.ctx,
+        }
+        .encode();
+        self.ring.push(words);
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("sample_period", &self.sample_period)
+            .field("slo_ns", &self.slo_ns)
+            .field("ring", &self.ring)
+            .finish()
+    }
+}
+
+/// The full field set one span encodes to / decodes from.
+struct SpanEncoder {
+    trace_id: u64,
+    kind: u64,
+    outcome: u64,
+    sampled: bool,
+    tail: bool,
+    key: u64,
+    shard: u32,
+    start_ns: u64,
+    total_ns: u64,
+    queue_ns: u64,
+    combine_ns: u64,
+    commit_ns: u64,
+    retries: u32,
+    stamp_retries: u32,
+    cause_seq: u64,
+    cause_counts: [u32; 4],
+    overlay: u64,
+    lock_wait_ns: u64,
+    lock_hold_ns: u64,
+    ctx: [u64; 2],
+}
+
+impl SpanEncoder {
+    fn encode(self) -> [u64; SPAN_WORDS] {
+        let flags = u64::from(self.sampled) | (u64::from(self.tail) << 1);
+        let meta = (self.kind & 0xff)
+            | ((self.outcome & 0xff) << 8)
+            | ((flags & 0xff) << 16)
+            | ((self.shard as u64) << 32);
+        let counts = self
+            .cause_counts
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &c)| {
+                acc | ((u64::from(c.min(0xffff))) << (16 * i))
+            });
+        [
+            self.trace_id,
+            meta,
+            self.key,
+            self.start_ns,
+            self.total_ns,
+            self.queue_ns,
+            self.combine_ns,
+            self.commit_ns,
+            u64::from(self.retries) | (u64::from(self.stamp_retries) << 32),
+            self.cause_seq,
+            counts,
+            self.overlay,
+            self.lock_wait_ns,
+            self.lock_hold_ns,
+            self.ctx[0],
+            self.ctx[1],
+        ]
+    }
+}
+
+/// One retained span, decoded from the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Ring sequence number (monotone publication order).
+    pub seq: u64,
+    /// Unique trace id within the tracer.
+    pub trace_id: u64,
+    /// Op kind name (`get`, `put`, …, `batch`, `migration`).
+    pub kind: &'static str,
+    /// Outcome name (`ok`, `timeout`, `overloaded`, …).
+    pub outcome: &'static str,
+    /// Whether head sampling elected this span.
+    pub sampled: bool,
+    /// Whether the op breached the SLO threshold (tail capture).
+    pub tail: bool,
+    /// The op's key (first key for batches; range start for scans).
+    pub key: u64,
+    /// The routed shard at span start.
+    pub shard: u32,
+    /// Span start, nanoseconds since the tracer's origin.
+    pub start_ns: u64,
+    /// Total measured latency in nanoseconds.
+    pub total_ns: u64,
+    /// Batcher queue-wait phase (enqueue → drain pickup).
+    pub queue_ns: u64,
+    /// Batcher combine phase (pickup → grouped apply).
+    pub combine_ns: u64,
+    /// Commit phase: the grouped apply for batches, the shard
+    /// transaction (including retries) for direct ops.
+    pub commit_ns: u64,
+    /// Aborted STM attempts under this span.
+    pub retries: u32,
+    /// Overlay-stamp retries the op's read plan suffered.
+    pub stamp_retries: u32,
+    /// Per-attempt abort causes, first [`CAUSE_SEQ_CAP`] attempts in
+    /// order.
+    pub causes: Vec<AbortCause>,
+    /// Total aborts by cause: `[conflict_read, conflict_commit,
+    /// explicit, timeout]`.
+    pub cause_counts: [u32; 4],
+    /// Last interfering migration overlay id (0 = none).
+    pub overlay: u64,
+    /// Time spent waiting on a migration write lock.
+    pub lock_wait_ns: u64,
+    /// Time spent holding a migration write lock.
+    pub lock_hold_ns: u64,
+    /// Op-context label from the embedding layer (e.g. the memdb table
+    /// op riding this store span), empty when none.
+    pub ctx: String,
+}
+
+impl Span {
+    fn decode(seq: u64, w: [u64; SPAN_WORDS]) -> Span {
+        let meta = w[1];
+        let retries = (w[8] & 0xffff_ffff) as u32;
+        let mut causes = Vec::new();
+        for i in 0..retries.min(CAUSE_SEQ_CAP) {
+            if let Some(c) = AbortCause::from_code((w[9] >> (4 * i)) & 0xf) {
+                causes.push(c);
+            }
+        }
+        let mut cause_counts = [0u32; 4];
+        for (i, c) in cause_counts.iter_mut().enumerate() {
+            *c = ((w[10] >> (16 * i)) & 0xffff) as u32;
+        }
+        Span {
+            seq,
+            trace_id: w[0],
+            kind: OpClass::name_of(meta & 0xff),
+            outcome: OpOutcome::name_of((meta >> 8) & 0xff),
+            sampled: (meta >> 16) & 1 == 1,
+            tail: (meta >> 17) & 1 == 1,
+            key: w[2],
+            shard: (meta >> 32) as u32,
+            start_ns: w[3],
+            total_ns: w[4],
+            queue_ns: w[5],
+            combine_ns: w[6],
+            commit_ns: w[7],
+            retries,
+            stamp_retries: (w[8] >> 32) as u32,
+            causes,
+            cause_counts,
+            overlay: w[11],
+            lock_wait_ns: w[12],
+            lock_hold_ns: w[13],
+            ctx: decode_ctx([w[14], w[15]]),
+        }
+    }
+
+    /// Unattributed remainder: total minus the known phases (floored at
+    /// zero) — routing, lock waits, plan retries. The three phases plus
+    /// this always sum to [`Span::total_ns`].
+    pub fn other_ns(&self) -> u64 {
+        self.total_ns
+            .saturating_sub(self.queue_ns)
+            .saturating_sub(self.combine_ns)
+            .saturating_sub(self.commit_ns)
+    }
+
+    /// The span as one JSON object (the `spans` array entry format).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .field("trace_id", Json::U64(self.trace_id))
+            .field("kind", Json::str(self.kind))
+            .field("outcome", Json::str(self.outcome))
+            .field("sampled", Json::Bool(self.sampled))
+            .field("tail", Json::Bool(self.tail))
+            .field("key", Json::U64(self.key))
+            .field("shard", Json::U64(u64::from(self.shard)))
+            .field("start_ns", Json::U64(self.start_ns))
+            .field("total_ns", Json::U64(self.total_ns))
+            .field(
+                "phases",
+                Json::obj()
+                    .field("queue_ns", Json::U64(self.queue_ns))
+                    .field("combine_ns", Json::U64(self.combine_ns))
+                    .field("commit_ns", Json::U64(self.commit_ns))
+                    .field("other_ns", Json::U64(self.other_ns())),
+            )
+            .field(
+                "stm",
+                Json::obj()
+                    .field("retries", Json::U64(u64::from(self.retries)))
+                    .field(
+                        "causes",
+                        Json::Arr(self.causes.iter().map(|c| Json::str(c.name())).collect()),
+                    ),
+            )
+            .field(
+                "migration",
+                Json::obj()
+                    .field("overlay", Json::U64(self.overlay))
+                    .field("stamp_retries", Json::U64(u64::from(self.stamp_retries)))
+                    .field("lock_wait_ns", Json::U64(self.lock_wait_ns))
+                    .field("lock_hold_ns", Json::U64(self.lock_hold_ns)),
+            );
+        if !self.ctx.is_empty() {
+            obj = obj.field("ctx", Json::str(&self.ctx));
+        }
+        obj
+    }
+
+    /// A multi-line text breakdown of the span — the per-trace renderer
+    /// tests assert against.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "trace {} {} key={} shard={} outcome={} total={}ns{}{}",
+            self.trace_id,
+            self.kind,
+            self.key,
+            self.shard,
+            self.outcome,
+            self.total_ns,
+            if self.sampled { " sampled" } else { "" },
+            if self.tail { " tail" } else { "" },
+        );
+        if !self.ctx.is_empty() {
+            out.push_str(&format!(" ctx={}", self.ctx));
+        }
+        out.push_str(&format!(
+            "\n  phases: queue={}ns combine={}ns commit={}ns other={}ns",
+            self.queue_ns,
+            self.combine_ns,
+            self.commit_ns,
+            self.other_ns()
+        ));
+        if self.retries > 0 {
+            let names: Vec<&str> = self.causes.iter().map(|c| c.name()).collect();
+            let tail = self.retries.saturating_sub(self.causes.len() as u32);
+            out.push_str(&format!(
+                "\n  stm: retries={} causes=[{}]{}",
+                self.retries,
+                names.join(", "),
+                if tail > 0 {
+                    format!(" +{tail} more")
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        if self.overlay != 0 || self.stamp_retries > 0 {
+            out.push_str(&format!(
+                "\n  migration: overlay={} stamp_retries={} lock_wait={}ns lock_hold={}ns",
+                self.overlay, self.stamp_retries, self.lock_wait_ns, self.lock_hold_ns
+            ));
+        }
+        out
+    }
+}
+
+/// A point-in-time view of the span ring.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Surviving spans, oldest first.
+    pub spans: Vec<Span>,
+    /// Spans dropped to overflow (exact, monotone).
+    pub dropped: u64,
+    /// The ring's fixed capacity.
+    pub capacity: usize,
+}
+
+impl SpanSnapshot {
+    /// The snapshot as `{"capacity":..,"dropped":..,"spans":[..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("capacity", Json::U64(self.capacity as u64))
+            .field("dropped", Json::U64(self.dropped))
+            .field(
+                "spans",
+                Json::Arr(self.spans.iter().map(Span::to_json).collect()),
+            )
+    }
+
+    /// The snapshot as Chrome trace-event JSON (the `traceEvents` array
+    /// format Perfetto and `chrome://tracing` load): one complete
+    /// (`"ph":"X"`) event per span on its shard's track, with child
+    /// slices for each nonzero phase and the annotations in `args`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        for s in &self.spans {
+            let us = |ns: u64| Json::fixed(ns as f64 / 1000.0, 3);
+            let mut args = Json::obj()
+                .field("trace_id", Json::U64(s.trace_id))
+                .field("key", Json::U64(s.key))
+                .field("outcome", Json::str(s.outcome))
+                .field("retries", Json::U64(u64::from(s.retries)))
+                .field(
+                    "causes",
+                    Json::Arr(s.causes.iter().map(|c| Json::str(c.name())).collect()),
+                )
+                .field("overlay", Json::U64(s.overlay))
+                .field("stamp_retries", Json::U64(u64::from(s.stamp_retries)));
+            if !s.ctx.is_empty() {
+                args = args.field("ctx", Json::str(&s.ctx));
+            }
+            events.push(
+                Json::obj()
+                    .field("name", Json::str(s.kind))
+                    .field("cat", Json::str("leapstore"))
+                    .field("ph", Json::str("X"))
+                    .field("ts", us(s.start_ns))
+                    .field("dur", us(s.total_ns.max(1)))
+                    .field("pid", Json::U64(1))
+                    .field("tid", Json::U64(u64::from(s.shard)))
+                    .field("args", args),
+            );
+            // Child slices: the phase decomposition laid back-to-back
+            // under the op slice.
+            let mut at = s.start_ns;
+            for (name, ns) in [
+                ("queue_wait", s.queue_ns),
+                ("combine", s.combine_ns),
+                ("commit", s.commit_ns),
+            ] {
+                if ns == 0 {
+                    continue;
+                }
+                events.push(
+                    Json::obj()
+                        .field("name", Json::str(name))
+                        .field("cat", Json::str("leapstore_phase"))
+                        .field("ph", Json::str("X"))
+                        .field("ts", us(at))
+                        .field("dur", us(ns))
+                        .field("pid", Json::U64(1))
+                        .field("tid", Json::U64(u64::from(s.shard))),
+                );
+                at = at.saturating_add(ns);
+            }
+        }
+        Json::obj()
+            .field("traceEvents", Json::Arr(events))
+            .field("displayTimeUnit", Json::str("ns"))
+            .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_active() {
+        // Tests on one thread: make sure no span leaks between them.
+        ACTIVE.with(|a| *a.borrow_mut() = None);
+        CTX.with(|c| c.set([0; 2]));
+        TRACE_TICK.with(|t| t.set(0));
+    }
+
+    #[test]
+    fn head_sampling_rate_one_records_every_op_and_zero_none() {
+        drain_active();
+        let every = Tracer::new(1, u64::MAX, 16);
+        for k in 0..5 {
+            let _g = every.begin(OpClass::Put, k, 0);
+        }
+        assert_eq!(every.snapshot().spans.len(), 5, "period 1 = every op");
+
+        drain_active();
+        let never = Tracer::new(0, u64::MAX, 16);
+        for k in 0..5 {
+            let _g = never.begin(OpClass::Put, k, 0);
+        }
+        assert_eq!(
+            never.snapshot().spans.len(),
+            0,
+            "period 0 = head sampling off, nothing under SLO"
+        );
+    }
+
+    #[test]
+    fn tail_capture_retains_unsampled_slow_ops() {
+        drain_active();
+        // SLO 0: every measured op breaches it, sampled or not.
+        let t = Tracer::new(0, 0, 16);
+        {
+            let _g = t.begin(OpClass::Range, 10, 2);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert!(s.tail && !s.sampled);
+        assert_eq!(s.kind, "range");
+        assert_eq!(s.key, 10);
+        assert_eq!(s.shard, 2);
+    }
+
+    #[test]
+    fn failures_always_retained_and_annotations_land() {
+        drain_active();
+        let t = Tracer::new(0, u64::MAX, 16);
+        {
+            let _g = t.begin(OpClass::Put, 7, 1);
+            note_abort(AbortCause::ConflictCommit);
+            note_abort(AbortCause::ConflictCommit);
+            note_abort(AbortCause::ConflictRead);
+            note_stamp_retry(3);
+            note_overlay_lock(3, 50, 900);
+            note_commit_phase(1_000);
+            note_outcome(OpOutcome::Timeout);
+            // The noted phases must fit inside the measured total for the
+            // sum invariant below to be meaningful.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 1, "failed op retained despite sampling");
+        let s = &snap.spans[0];
+        assert_eq!(s.outcome, "timeout");
+        assert_eq!(s.retries, 3);
+        assert_eq!(
+            s.causes,
+            vec![
+                AbortCause::ConflictCommit,
+                AbortCause::ConflictCommit,
+                AbortCause::ConflictRead
+            ]
+        );
+        assert_eq!(s.cause_counts, [1, 2, 0, 0]);
+        assert_eq!(s.overlay, 3);
+        assert_eq!(s.stamp_retries, 1);
+        assert_eq!((s.lock_wait_ns, s.lock_hold_ns), (50, 900));
+        assert_eq!(s.commit_ns, 1_000);
+        assert_eq!(
+            s.queue_ns + s.combine_ns + s.commit_ns + s.other_ns(),
+            s.total_ns,
+            "phases always sum to the measured total"
+        );
+        let text = s.render_text();
+        assert!(text.contains("outcome=timeout"), "{text}");
+        assert!(
+            text.contains("causes=[conflict_commit, conflict_commit, conflict_read]"),
+            "{text}"
+        );
+        assert!(text.contains("overlay=3"), "{text}");
+    }
+
+    #[test]
+    fn nested_begin_is_inert_and_outer_span_absorbs_annotations() {
+        drain_active();
+        let t = Tracer::new(1, u64::MAX, 16);
+        {
+            let _outer = t.begin(OpClass::Batch, 1, 0);
+            {
+                let inner = t.begin(OpClass::Apply, 2, 0);
+                assert!(!inner.is_active());
+                note_abort(AbortCause::Explicit);
+            }
+            // The inner guard dropping must not have closed the outer span.
+            assert!(in_span());
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].kind, "batch");
+        assert_eq!(snap.spans[0].retries, 1);
+        assert_eq!(snap.spans[0].causes, vec![AbortCause::Explicit]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_with_exact_counter() {
+        drain_active();
+        let t = Tracer::new(1, u64::MAX, 4);
+        for k in 0..10 {
+            let _g = t.begin(OpClass::Get, k, 0);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.dropped, 6, "published 10 into capacity 4");
+        assert_eq!(snap.capacity, 4);
+        let keys: Vec<u64> = snap.spans.iter().map(|s| s.key).collect();
+        assert_eq!(keys, vec![6, 7, 8, 9], "survivors are the newest, in order");
+    }
+
+    #[test]
+    fn op_context_rides_the_span_and_restores() {
+        drain_active();
+        let t = Tracer::new(1, u64::MAX, 4);
+        {
+            let _c = op_context("scan_page");
+            let _g = t.begin(OpClass::Range, 5, 0);
+        }
+        {
+            let _g = t.begin(OpClass::Get, 6, 0);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.spans[0].ctx, "scan_page");
+        assert_eq!(snap.spans[1].ctx, "", "context guard restored on drop");
+        let text = snap.spans[0].render_text();
+        assert!(text.contains("ctx=scan_page"), "{text}");
+    }
+
+    #[test]
+    fn batch_phases_and_chrome_export() {
+        drain_active();
+        let t = Tracer::new(1, u64::MAX, 4);
+        {
+            let _g = t.begin(OpClass::Batch, 42, 3);
+            note_batch_phases(100, 20, 300);
+        }
+        let snap = t.snapshot();
+        let s = &snap.spans[0];
+        assert_eq!((s.queue_ns, s.combine_ns, s.commit_ns), (100, 20, 300));
+        let chrome = snap.to_chrome_trace();
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"batch\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"queue_wait\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"combine\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"commit\""), "{chrome}");
+        // Also valid as the plain JSON snapshot.
+        let json = snap.to_json().render();
+        assert!(json.contains("\"queue_ns\":100"), "{json}");
+    }
+
+    #[test]
+    fn emit_failure_publishes_migration_abort_span() {
+        drain_active();
+        let t = Tracer::new(0, u64::MAX, 4);
+        t.emit_failure(OpClass::Migration, OpOutcome::MigrationAbort, 500, 1, 9);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!(s.kind, "migration");
+        assert_eq!(s.outcome, "migration_abort");
+        assert_eq!(s.overlay, 9);
+    }
+
+    #[test]
+    fn annotations_without_a_span_are_noops() {
+        drain_active();
+        note_abort(AbortCause::Timeout);
+        note_stamp_retry(1);
+        note_overlay_lock(1, 1, 1);
+        note_batch_phases(1, 1, 1);
+        note_commit_phase(1);
+        note_outcome(OpOutcome::Overloaded);
+        assert!(!in_span());
+    }
+}

@@ -153,6 +153,7 @@ impl StmDomain {
     /// timeouts to the domain they ran against.
     pub fn record_timeout(&self) {
         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        leap_obs::trace::note_abort(leap_obs::trace::AbortCause::Timeout);
     }
 
     /// The domain's commit mode.

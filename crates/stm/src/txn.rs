@@ -410,17 +410,29 @@ impl<'d> Txn<'d> {
 
     fn record_abort(&mut self) {
         self.completed = true;
-        let ctr = if self.explicit {
-            &self.domain.stats.explicit_aborts
+        let (ctr, cause) = if self.explicit {
+            (
+                &self.domain.stats.explicit_aborts,
+                leap_obs::trace::AbortCause::Explicit,
+            )
         } else if self.commit_conflict {
-            &self.domain.stats.conflict_commit_aborts
+            (
+                &self.domain.stats.conflict_commit_aborts,
+                leap_obs::trace::AbortCause::ConflictCommit,
+            )
         } else {
             // Encounter-time: a read/write/extension conflicted (or the
             // transaction was dropped uncommitted, which is accounted the
             // same way — the body never reached commit).
-            &self.domain.stats.conflict_read_aborts
+            (
+                &self.domain.stats.conflict_read_aborts,
+                leap_obs::trace::AbortCause::ConflictRead,
+            )
         };
         ctr.fetch_add(1, Ordering::Relaxed);
+        // Same attribution feeds the active leap-trace span, if one is
+        // open on this thread (a no-op otherwise).
+        leap_obs::trace::note_abort(cause);
     }
 }
 

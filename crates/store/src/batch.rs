@@ -99,11 +99,31 @@ enum Outcome<V> {
 /// One submitted op's result slot, filled by whichever thread combines it.
 struct Slot<V> {
     result: Mutex<Option<Outcome<V>>>,
+    /// Leap-trace phase breakdown (ns), written by the combiner before it
+    /// settles the outcome: time queued, time combining (probe), time in
+    /// the grouped apply. The result mutex orders these relaxed writes
+    /// for the waiter reading them back.
+    queue_ns: AtomicU64,
+    combine_ns: AtomicU64,
+    commit_ns: AtomicU64,
+}
+
+impl<V> Slot<V> {
+    fn empty() -> Self {
+        Slot {
+            result: Mutex::new(None),
+            queue_ns: AtomicU64::new(0),
+            combine_ns: AtomicU64::new(0),
+            commit_ns: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Pending<V> {
     op: BatchOp<V>,
     slot: Arc<Slot<V>>,
+    /// When the op entered the queue — the start of its queue-wait phase.
+    enqueued: Instant,
 }
 
 /// Locks a slot, recovering from poison (a panicking peer must not wedge
@@ -324,9 +344,16 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
     fn settle(&self, outcome: Outcome<V>) -> Result<Option<V>, StoreError> {
         match outcome {
             Outcome::Done(r) => Ok(r),
-            Outcome::Shed { queued } => Err(StoreError::Overloaded { queued }),
-            Outcome::Poisoned(p) => std::panic::panic_any(p),
+            Outcome::Shed { queued } => {
+                leap_obs::trace::note_outcome(leap_obs::OpOutcome::Overloaded);
+                Err(StoreError::Overloaded { queued })
+            }
+            Outcome::Poisoned(p) => {
+                leap_obs::trace::note_outcome(leap_obs::OpOutcome::Poisoned);
+                std::panic::panic_any(p)
+            }
             Outcome::Aborted => {
+                leap_obs::trace::note_outcome(leap_obs::OpOutcome::Aborted);
                 panic!("a combining peer panicked mid-batch; this op's fate is unknown")
             }
         }
@@ -362,6 +389,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                     drop(q);
                     self.queue_len.fetch_sub(1, Ordering::Relaxed);
                     self.shed.fetch_add(1, Ordering::Relaxed);
+                    leap_obs::trace::note_outcome(leap_obs::OpOutcome::Wedged);
                     return Err(StoreError::CombinerWedged);
                 }
             }
@@ -378,6 +406,10 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             BatchOp::Remove(k) => *k,
         };
         assert!(key < u64::MAX, "key u64::MAX is reserved");
+        // The whole submission is one traced op: queue wait, combining and
+        // the grouped apply all land in this span's phase breakdown (the
+        // combiner's inner `store.apply` begin is nested, hence inert).
+        let _span = self.store.span_keyed(leap_obs::OpClass::Batch, key);
         // Admission control: a full queue refuses the op at the door —
         // the caller learns *now* that the batcher is not keeping up,
         // instead of blocking behind a backlog that is not draining.
@@ -385,17 +417,17 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         if queued >= self.max_depth {
             self.shed.fetch_add(1, Ordering::Relaxed);
             self.store.note_shed(1, queued);
+            leap_obs::trace::note_outcome(leap_obs::OpOutcome::Overloaded);
             return Err(StoreError::Overloaded { queued });
         }
-        let slot = Arc::new(Slot {
-            result: Mutex::new(None),
-        });
+        let slot = Arc::new(Slot::empty());
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(Pending {
                 op,
                 slot: slot.clone(),
+                enqueued: Instant::now(),
             });
         self.queue_len.fetch_add(1, Ordering::Relaxed);
         // While another thread holds the combiner lock it is (or soon will
@@ -411,7 +443,14 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             Some(t) => self.acquire_combiner_within(&slot, t)?,
         };
         if let Some(outcome) = lock_slot(&slot).take() {
-            return self.settle(outcome); // a combiner carried our op
+            // A combiner carried our op; it wrote the phase breakdown into
+            // the slot before settling (the mutex above orders the reads).
+            leap_obs::trace::note_batch_phases(
+                slot.queue_ns.load(Ordering::Relaxed),
+                slot.combine_ns.load(Ordering::Relaxed),
+                slot.commit_ns.load(Ordering::Relaxed),
+            );
+            return self.settle(outcome);
         }
         let _c = guard.expect("unfilled slot implies the combiner lock is held");
         // Wait-a-little: when recent drains coalesced, give stragglers a
@@ -437,6 +476,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         debug_assert!(!drained.is_empty(), "our own op must still be queued");
         self.queue_len.fetch_sub(drained.len(), Ordering::Relaxed);
         let drain_size = drained.len();
+        // Every drained op's queue-wait phase ends here.
+        let pickup = Instant::now();
         // Injected drain fault: the whole batch is dropped before any
         // apply — but never silently. Every carried peer's slot gets a
         // typed Shed outcome and our own op reports Overloaded, so each
@@ -448,6 +489,10 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 self.shed.fetch_add(drain_size as u64, Ordering::Relaxed);
                 for p in &drained {
                     if !Arc::ptr_eq(&p.slot, &slot) {
+                        p.slot.queue_ns.store(
+                            pickup.saturating_duration_since(p.enqueued).as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
                         *lock_slot(&p.slot) = Some(Outcome::Shed { queued });
                     }
                 }
@@ -456,6 +501,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 let window = self.window_ns.load(Ordering::Relaxed);
                 self.window_ns
                     .store(next_window(window, 1, 0, 0), Ordering::Relaxed);
+                leap_obs::trace::note_outcome(leap_obs::OpOutcome::Overloaded);
                 return Err(StoreError::Overloaded { queued });
             }
         }
@@ -469,6 +515,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         let probe = drained.len() > 1;
         let mut ops: Vec<BatchOp<V>> = Vec::with_capacity(drained.len());
         let mut slots: Vec<Arc<Slot<V>>> = Vec::with_capacity(drained.len());
+        let mut enqueues: Vec<Instant> = Vec::with_capacity(drained.len());
         let mut own_poison: Option<PoisonedOp> = None;
         for (index, p) in drained.into_iter().enumerate() {
             let poisoned = probe
@@ -488,6 +535,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             if !poisoned {
                 ops.push(p.op);
                 slots.push(p.slot);
+                enqueues.push(p.enqueued);
             }
         }
         let mut own = None;
@@ -523,10 +571,20 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
             self.max_batch
                 .fetch_max(ops.len() as u64, Ordering::Relaxed);
-            for (p, r) in slots.into_iter().zip(results) {
+            // Phase breakdown shared by every op in the batch: combine is
+            // the probe (pickup -> apply), commit is the grouped apply;
+            // queue wait is per-op. Peers get theirs via the slot, our own
+            // op annotates the open span directly.
+            let combine_ns = drain_started.saturating_duration_since(pickup).as_nanos() as u64;
+            for ((p, r), enq) in slots.into_iter().zip(results).zip(enqueues) {
+                let queue_ns = pickup.saturating_duration_since(enq).as_nanos() as u64;
                 if Arc::ptr_eq(&p, &slot) {
+                    leap_obs::trace::note_batch_phases(queue_ns, combine_ns, drain_ns);
                     own = Some(r);
                 } else {
+                    p.queue_ns.store(queue_ns, Ordering::Relaxed);
+                    p.combine_ns.store(combine_ns, Ordering::Relaxed);
+                    p.commit_ns.store(drain_ns, Ordering::Relaxed);
                     *lock_slot(&p) = Some(Outcome::Done(r));
                 }
             }
@@ -711,12 +769,11 @@ mod tests {
         // Plant a peer's armed op directly in the queue (as if a thread
         // had enqueued it and were waiting on the combiner lock), then
         // combine via a healthy own op: the drain carries both.
-        let peer_slot = Arc::new(Slot {
-            result: Mutex::new(None),
-        });
+        let peer_slot = Arc::new(Slot::empty());
         b.queue.lock().unwrap().push(Pending {
             op: BatchOp::Update(9, Bomb(90, true)),
             slot: peer_slot.clone(),
+            enqueued: Instant::now(),
         });
         b.queue_len.fetch_add(1, Ordering::Relaxed);
         assert_eq!(b.put(5, Bomb(50, false)), None, "healthy op lands");
@@ -749,12 +806,11 @@ mod tests {
         // Plant a queued op (as if its thread were parked on the combiner
         // lock): the queue sits at the bound, so the next arrival is shed
         // at the door instead of blocking behind it.
-        let parked = Arc::new(Slot {
-            result: Mutex::new(None),
-        });
+        let parked = Arc::new(Slot::empty());
         b.queue.lock().unwrap().push(Pending {
             op: BatchOp::Update(1, 10),
             slot: parked.clone(),
+            enqueued: Instant::now(),
         });
         b.queue_len.fetch_add(1, Ordering::Relaxed);
         match b.try_put(2, 20) {
@@ -819,12 +875,11 @@ mod tests {
         ));
         let b = Batcher::new(store.clone());
         // Plant a peer so the shed batch carries more than our own op.
-        let peer = Arc::new(Slot {
-            result: Mutex::new(None),
-        });
+        let peer = Arc::new(Slot::empty());
         b.queue.lock().unwrap().push(Pending {
             op: BatchOp::Update(8, 80),
             slot: peer.clone(),
+            enqueued: Instant::now(),
         });
         b.queue_len.fetch_add(1, Ordering::Relaxed);
         // The first drain hits the injected fault: nothing applies, and
@@ -910,12 +965,11 @@ mod tests {
         ));
         let b = Arc::new(Batcher::new(store.clone()));
         // A healthy peer op on a migrating key, parked in the queue.
-        let peer = Arc::new(Slot {
-            result: Mutex::new(None),
-        });
+        let peer = Arc::new(Slot::empty());
         b.queue.lock().unwrap().push(Pending {
             op: BatchOp::Update(25, StagedBomb::healthy(250)),
             slot: peer.clone(),
+            enqueued: Instant::now(),
         });
         b.queue_len.fetch_add(1, Ordering::Relaxed);
         // The bomb targets a migrating key too: the grouped apply takes

@@ -11,11 +11,15 @@
 //!
 //! Point lookups run in well under 100 ns, so timing every one of them
 //! (two `Instant::now` calls, ~40 ns) would dominate the op itself.
-//! [`sample_get`] therefore thins the get path to one timed call in
-//! [`GET_SAMPLE_PERIOD`] via a thread-local tick; the histogram still
-//! converges on the true distribution while the mean overhead stays in
-//! the low single-percent range. Every other op kind is microsecond-scale
-//! (each commits at least one transaction) and records every sample.
+//! [`sample_get`] therefore thins the get path to one timed call per
+//! period via a thread-local tick; the histogram still converges on the
+//! true distribution while the mean overhead stays in the low
+//! single-percent range. The period is configurable
+//! ([`crate::StoreConfig::with_sample_period`], default
+//! [`GET_SAMPLE_PERIOD`]; `1` = every op, `0` = never) and doubles as the
+//! leap-trace head-sampling rate. Every other op kind is
+//! microsecond-scale (each commits at least one transaction) and records
+//! every sample.
 //!
 //! # Series names
 //!
@@ -29,7 +33,8 @@ use leap_obs::{EventRing, HistSnapshot, Histogram, Json, Registry, RingSnapshot}
 use std::cell::Cell;
 use std::sync::Arc;
 
-/// One get in this many is timed (see the module docs).
+/// Default get-sampling period: one get in this many is timed (see the
+/// module docs).
 pub const GET_SAMPLE_PERIOD: u32 = 32;
 
 thread_local! {
@@ -37,13 +42,16 @@ thread_local! {
 }
 
 /// Whether this call of the get path should be timed: true once per
-/// [`GET_SAMPLE_PERIOD`] calls on each thread.
+/// `period` calls on each thread (`1` = always, `0` = never).
 #[inline]
-pub(crate) fn sample_get() -> bool {
+pub(crate) fn sample_get(period: u32) -> bool {
+    if period == 0 {
+        return false;
+    }
     GET_TICK.with(|t| {
         let v = t.get().wrapping_add(1);
         t.set(v);
-        v % GET_SAMPLE_PERIOD == 0
+        v % period == 0
     })
 }
 
@@ -163,9 +171,19 @@ mod tests {
     #[test]
     fn sampling_ticks_once_per_period() {
         let hits = (0..(GET_SAMPLE_PERIOD * 3))
-            .filter(|_| sample_get())
+            .filter(|_| sample_get(GET_SAMPLE_PERIOD))
             .count();
         assert_eq!(hits, 3, "one sample per period per thread");
+    }
+
+    /// Satellite: the sampling knob's extremes — period 1 records every
+    /// op, period 0 records none.
+    #[test]
+    fn sampling_rate_one_records_every_op_and_zero_none() {
+        let every = (0..100).filter(|_| sample_get(1)).count();
+        assert_eq!(every, 100, "period 1 = every op");
+        let none = (0..100).filter(|_| sample_get(0)).count();
+        assert_eq!(none, 0, "period 0 = no ops, and no tick consumed");
     }
 
     #[test]

@@ -614,6 +614,18 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             id: m.id,
             moved_back,
         });
+        // The abort also lands in the trace ring as an always-retained
+        // failure span naming the overlay, so a latency investigation sees
+        // the rollback next to the ops it interfered with.
+        if let Some(t) = self.tracer() {
+            t.emit_failure(
+                leap_obs::OpClass::Migration,
+                leap_obs::OpOutcome::MigrationAbort,
+                m.lo,
+                m.src as u32,
+                m.id,
+            );
+        }
         Ok(AbortOutcome::RolledBack { moved_back })
     }
 

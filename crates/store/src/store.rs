@@ -44,6 +44,18 @@ pub struct StoreConfig {
     /// Capacity of the event timeline ring (drop-oldest on overflow, with
     /// a monotone dropped counter — never silent).
     pub obs_ring_capacity: usize,
+    /// Per-thread sampling period shared by the `get` latency histogram
+    /// and leap-trace head sampling: 1 op in `sample_period` is elected
+    /// (`1` = every op, `0` = never). Default
+    /// [`crate::obs::GET_SAMPLE_PERIOD`].
+    pub sample_period: u32,
+    /// Arms leap-trace per-op spans ([`leap_obs::TraceConfig`]): phase
+    /// breakdowns, STM abort causes per attempt and
+    /// migration-interference marks, head-sampled at `sample_period`
+    /// (unless the config overrides it) plus tail capture above the SLO
+    /// threshold. `None` (the default) keeps tracing entirely off the hot
+    /// paths.
+    pub trace: Option<leap_obs::TraceConfig>,
     /// Deterministic fault-injection schedule ([`leap_fault::FaultPlan`]),
     /// `None` in production. When set, the store builds one
     /// [`FaultInjector`] shared by every injection point (STM
@@ -62,6 +74,8 @@ impl Default for StoreConfig {
             rebalance: RebalancePolicy::default(),
             obs: true,
             obs_ring_capacity: leap_obs::DEFAULT_RING_CAPACITY,
+            sample_period: crate::obs::GET_SAMPLE_PERIOD,
+            trace: None,
             faults: None,
         }
     }
@@ -108,6 +122,20 @@ impl StoreConfig {
     /// tests that exercise the drop-oldest overflow contract.
     pub fn with_obs_ring_capacity(mut self, capacity: usize) -> Self {
         self.obs_ring_capacity = capacity;
+        self
+    }
+
+    /// Sets the shared sampling period for the `get` latency histogram
+    /// and trace head sampling (`1` = every op, `0` = never; default
+    /// [`crate::obs::GET_SAMPLE_PERIOD`]).
+    pub fn with_sample_period(mut self, period: u32) -> Self {
+        self.sample_period = period;
+        self
+    }
+
+    /// Arms leap-trace per-op spans (see [`StoreConfig::trace`]).
+    pub fn with_tracing(mut self, trace: leap_obs::TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -220,6 +248,12 @@ pub struct LeapStore<V> {
     /// per-op latency histograms, the STM retry histogram and the
     /// migration/drain event timeline.
     obs: Option<Arc<StoreObs>>,
+    /// Shared `get`-histogram / trace head-sampling period
+    /// ([`StoreConfig::sample_period`]).
+    sample_period: u32,
+    /// leap-trace span layer ([`StoreConfig::trace`]); `None` keeps every
+    /// op boundary at one `Option` branch.
+    tracer: Option<Arc<leap_obs::Tracer>>,
 }
 
 impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
@@ -262,6 +296,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             domain.set_recorder(StmRecorder::new(obs.txn_retries.clone()));
             obs
         });
+        let tracer = config
+            .trace
+            .as_ref()
+            .map(|t| Arc::new(leap_obs::Tracer::from_config(t, config.sample_period)));
         let faults = config.faults.map(|plan| Arc::new(FaultInjector::new(plan)));
         if let Some(f) = &faults {
             // Route the domain's STM fault points through the shared
@@ -291,6 +329,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             shed_ops: AtomicU64::new(0),
             faults,
             obs,
+            sample_period: config.sample_period,
+            tracer,
         }
     }
 
@@ -306,6 +346,25 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// series set as JSON or Prometheus text.
     pub fn obs(&self) -> Option<&Arc<StoreObs>> {
         self.obs.as_ref()
+    }
+
+    /// The leap-trace span layer, if armed ([`StoreConfig::with_tracing`]).
+    /// Snapshot it for the retained spans, their Chrome trace-event export
+    /// and the drop counter.
+    pub fn tracer(&self) -> Option<&Arc<leap_obs::Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Begins a leap-trace span for a public op when tracing is armed; the
+    /// returned guard measures, applies the retention rule and publishes
+    /// on drop. Declare it before doing any work so it brackets the whole
+    /// op. The routed shard is only computed when a tracer is armed.
+    #[inline]
+    pub(crate) fn span_keyed(&self, kind: leap_obs::OpClass, key: u64) -> leap_obs::SpanGuard<'_> {
+        match &self.tracer {
+            Some(t) => t.begin(kind, key, self.router.shard_of(key) as u32),
+            None => leap_obs::SpanGuard::inactive(),
+        }
     }
 
     /// Appends one event to the timeline when observability is on.
@@ -343,6 +402,21 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// The router (placement inspection: epochs, intervals, migrations).
     pub fn router(&self) -> &Router {
         &self.router
+    }
+
+    /// Times `f` into the active leap-trace span's commit phase — the
+    /// shard transaction(s) an op runs, retries included. One
+    /// thread-local check when no span is active.
+    #[inline]
+    fn commit_phase<T>(f: impl FnOnce() -> T) -> T {
+        if leap_obs::trace::in_span() {
+            let start = Instant::now();
+            let r = f();
+            leap_obs::trace::note_commit_phase(start.elapsed().as_nanos() as u64);
+            r
+        } else {
+            f()
+        }
     }
 
     /// Number of shard slots (including any emptied by merges and not yet
@@ -440,9 +514,21 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// Panics if `key == u64::MAX`.
     pub fn get(&self, key: u64) -> Option<V> {
         // Point gets are tens of nanoseconds; timing every one would
-        // dominate the op. Sample 1 in GET_SAMPLE_PERIOD per thread.
+        // dominate the op. Sample 1 in `sample_period` per thread — and
+        // only a sampled get begins a trace span (the span's own two
+        // `Instant` reads would otherwise blow the overhead budget at
+        // point-get scale); the shared tick already elected it, so the
+        // span is marked head-sampled directly.
         match &self.obs {
-            Some(obs) if crate::obs::sample_get() => {
+            Some(obs) if crate::obs::sample_get(self.sample_period) => {
+                let _span = match &self.tracer {
+                    Some(t) => t.begin_elected(
+                        leap_obs::OpClass::Get,
+                        key,
+                        self.router.shard_of(key) as u32,
+                    ),
+                    None => leap_obs::SpanGuard::inactive(),
+                };
                 let start = Instant::now();
                 let r = self.get_inner(key);
                 obs.record_op(OpKind::Get, start.elapsed().as_nanos() as u64);
@@ -455,8 +541,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     fn get_inner(&self, key: u64) -> Option<V> {
         loop {
             let stamp = self.router.overlay_stamp(key, key);
+            let mut overlay_id = 0;
             let res = match self.router.overlay_for(key) {
                 Some(m) => {
+                    overlay_id = m.id;
                     let (src, dst) = {
                         let slots = self.slots_read();
                         ShardCounters::bump(&slots[m.src].counters.gets);
@@ -485,6 +573,9 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             if res.is_some() || self.router.overlay_stamp(key, key) == stamp {
                 return res;
             }
+            // The overlay set changed under the lookup: annotate which
+            // migration forced the retry before going around again.
+            leap_obs::trace::note_stamp_retry(overlay_id);
         }
     }
 
@@ -494,6 +585,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn put(&self, key: u64, value: V) -> Option<V> {
+        let _span = self.span_keyed(leap_obs::OpClass::Put, key);
         self.timed(OpKind::Put, || self.put_inner(key, value))
     }
 
@@ -501,9 +593,16 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _w = self.router.enter_write();
         match self.router.write_route(key) {
-            WriteRoute::Direct(s) => self
-                .routed(s, |c| ShardCounters::bump(&c.puts))
-                .update(key, value),
+            WriteRoute::Direct(s) => {
+                // No commit_phase here: a direct put is one transaction
+                // with no queue/combine/lock around it, so the phase
+                // would re-measure what the span total already says —
+                // two clock reads on the hottest write path for nothing.
+                // Phases are timed where they genuinely diverge (batched
+                // and migrating ops).
+                let list = self.routed(s, |c| ShardCounters::bump(&c.puts));
+                list.update(key, value)
+            }
             WriteRoute::Migrating(m) => {
                 let (src, dst) = {
                     let slots = self.slots_read();
@@ -518,7 +617,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 // dst-ward while draining, src-ward while a rollback is
                 // sweeping keys back — checked under the lock, which is
                 // exactly where the aborting flag flips.
+                let traced = leap_obs::trace::in_span();
+                let lock_requested = traced.then(Instant::now);
                 let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let lock_acquired = traced.then(Instant::now);
                 let rm = [BatchOp::Remove(key)];
                 let up = [BatchOp::Update(key, value)];
                 let (from, to) = if m.aborting.load(Ordering::Acquire) {
@@ -526,9 +628,18 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 } else {
                     (&*src, &*dst)
                 };
-                let mut res = LeapListLt::apply_batch_grouped(&[from, to], &[&rm, &up]);
+                let mut res = Self::commit_phase(|| {
+                    LeapListLt::apply_batch_grouped(&[from, to], &[&rm, &up])
+                });
                 let to_prev = res[1].pop().expect("one op in to group");
                 let from_prev = res[0].pop().expect("one op in from group");
+                if let (Some(req), Some(acq)) = (lock_requested, lock_acquired) {
+                    leap_obs::trace::note_overlay_lock(
+                        m.id,
+                        acq.saturating_duration_since(req).as_nanos() as u64,
+                        acq.elapsed().as_nanos() as u64,
+                    );
+                }
                 from_prev.or(to_prev)
             }
         }
@@ -540,6 +651,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn delete(&self, key: u64) -> Option<V> {
+        let _span = self.span_keyed(leap_obs::OpClass::Delete, key);
         self.timed(OpKind::Delete, || self.delete_inner(key))
     }
 
@@ -547,9 +659,11 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _w = self.router.enter_write();
         match self.router.write_route(key) {
-            WriteRoute::Direct(s) => self
-                .routed(s, |c| ShardCounters::bump(&c.deletes))
-                .remove(key),
+            WriteRoute::Direct(s) => {
+                // Unphased for the same reason as the direct put arm.
+                let list = self.routed(s, |c| ShardCounters::bump(&c.deletes));
+                list.remove(key)
+            }
             WriteRoute::Migrating(m) => {
                 let (src, dst) = {
                     let slots = self.slots_read();
@@ -560,11 +674,23 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 // both lists in one transaction is correct whether the
                 // overlay is draining or rolling back (at most one list
                 // holds it, by the migration invariant).
+                let traced = leap_obs::trace::in_span();
+                let lock_requested = traced.then(Instant::now);
                 let _l = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let lock_acquired = traced.then(Instant::now);
                 let rm = [BatchOp::Remove(key)];
-                let mut res = LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &rm]);
+                let mut res = Self::commit_phase(|| {
+                    LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &rm])
+                });
                 let dst_prev = res[1].pop().expect("one op in dst group");
                 let src_prev = res[0].pop().expect("one op in src group");
+                if let (Some(req), Some(acq)) = (lock_requested, lock_acquired) {
+                    leap_obs::trace::note_overlay_lock(
+                        m.id,
+                        acq.saturating_duration_since(req).as_nanos() as u64,
+                        acq.elapsed().as_nanos() as u64,
+                    );
+                }
                 src_prev.or(dst_prev)
             }
         }
@@ -607,6 +733,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if any key is `u64::MAX`.
     pub fn apply(&self, ops: &[BatchOp<V>]) -> Vec<Option<V>> {
+        let _span = self.span_keyed(
+            leap_obs::OpClass::Apply,
+            ops.first().map(Self::key_of).unwrap_or(0),
+        );
         self.timed(OpKind::Apply, || self.apply_inner(ops))
     }
 
@@ -805,6 +935,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 self.emit(leap_obs::EventKind::TxnDeadline {
                     attempts: t.attempts,
                 });
+                // The *_within wrappers own the op's span (the inner op's
+                // begin was nested, hence inert), so the timeout marks an
+                // open span and the failure is always retained.
+                leap_obs::trace::note_outcome(leap_obs::OpOutcome::Timeout);
                 Err(t.into())
             }
         }
@@ -818,6 +952,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// [`StoreError::Timeout`] once `policy` is exhausted.
     pub fn get_within(&self, key: u64, policy: RetryPolicy) -> Result<Option<V>, StoreError> {
+        let _span = self.span_keyed(leap_obs::OpClass::Get, key);
         self.bounded(policy, || self.get(key))
     }
 
@@ -839,6 +974,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         value: V,
         policy: RetryPolicy,
     ) -> Result<Option<V>, StoreError> {
+        let _span = self.span_keyed(leap_obs::OpClass::Put, key);
         self.bounded(policy, || self.put(key, value))
     }
 
@@ -853,6 +989,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `key == u64::MAX`.
     pub fn delete_within(&self, key: u64, policy: RetryPolicy) -> Result<Option<V>, StoreError> {
+        let _span = self.span_keyed(leap_obs::OpClass::Delete, key);
         self.bounded(policy, || self.delete(key))
     }
 
@@ -872,6 +1009,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         hi: u64,
         policy: RetryPolicy,
     ) -> Result<Vec<(u64, V)>, StoreError> {
+        let _span = self.span_keyed(leap_obs::OpClass::Range, lo);
         self.bounded(policy, || self.range(lo, hi))
     }
 
@@ -891,6 +1029,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         ops: &[BatchOp<V>],
         policy: RetryPolicy,
     ) -> Result<Vec<Option<V>>, StoreError> {
+        let _span = self.span_keyed(
+            leap_obs::OpClass::Apply,
+            ops.first().map(Self::key_of).unwrap_or(0),
+        );
         self.bounded(policy, || self.apply(ops))
     }
 
@@ -905,6 +1047,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
+        let _span = self.span_keyed(leap_obs::OpClass::Range, lo);
         self.timed(OpKind::Range, || self.range_inner(lo, hi))
     }
 
@@ -923,6 +1066,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 // mid-plan: the visited list set may not have been
                 // exhaustive. Retry. (Disjoint migrations never trip
                 // this — their flips cannot move this range's keys.)
+                leap_obs::trace::note_stamp_retry(0);
                 continue;
             }
             let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
@@ -938,6 +1082,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// One bounded page of `[lo, hi]`: the first at-most-`limit` pairs, in
     /// one linearizable transaction. The engine under [`LeapStore::scan`].
     pub(crate) fn range_page_merged(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
+        let _span = self.span_keyed(leap_obs::OpClass::ScanPage, lo);
         self.timed(OpKind::ScanPage, || self.range_page_inner(lo, hi, limit))
     }
 
@@ -953,6 +1098,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             let refs: Vec<&LeapListLt<V>> = lists.iter().map(|l| &**l).collect();
             let per_shard = LeapListLt::range_page_group(&refs, &ranges, limit);
             if self.router.overlay_stamp(lo, hi) != stamp {
+                leap_obs::trace::note_stamp_retry(0);
                 continue;
             }
             let mut merged: Vec<(u64, V)> = per_shard.into_iter().flatten().collect();
@@ -974,6 +1120,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     ///
     /// Panics if `hi == u64::MAX`.
     pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        let _span = self.span_keyed(leap_obs::OpClass::Len, lo);
         self.timed(OpKind::Len, || self.count_range_inner(lo, hi))
     }
 
@@ -990,6 +1137,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             if self.router.overlay_stamp(lo, hi) == stamp {
                 return counts.iter().sum();
             }
+            leap_obs::trace::note_stamp_retry(0);
         }
     }
 

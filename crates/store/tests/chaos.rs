@@ -10,6 +10,7 @@
 //! every assertion message carries the seed, and
 //! `CHAOS_SEED=<n>[,<n>...]` overrides the built-in seed list.
 
+use leap_obs::{AbortCause, TraceConfig};
 use leap_store::{
     AbortOutcome, Batcher, FaultPlan, FaultPoint, LeapStore, Partitioning, RebalanceAction,
     RebalancePolicy, Rebalancer, RetryPolicy, StoreConfig, StoreError,
@@ -369,6 +370,84 @@ fn dead_rebalancer_is_reported_and_manual_convergence_still_works() {
         for k in 0..512u64 {
             assert_eq!(store.get(k), Some(k + 1), "seed {seed}: key {k}");
         }
+    }
+}
+
+/// Tracing under chaos: with head sampling off and an SLO no op can
+/// exceed, the only retention path left is the failure arm of tail
+/// capture — and every typed failure the fault plan can produce
+/// (bounded-retry timeout, injected drain shed, explicit migration
+/// abort) must land in the span ring with a matching cause annotation.
+#[test]
+fn typed_failures_are_always_retained_as_spans() {
+    for seed in seeds() {
+        let plan = FaultPlan::new(seed)
+            .always(FaultPoint::StmCommit)
+            .with_budget(FaultPoint::StmCommit, 6)
+            .always(FaultPoint::BatcherDrain)
+            .with_budget(FaultPoint::BatcherDrain, 1);
+        let store: Arc<LeapStore<u64>> = Arc::new(LeapStore::new(
+            StoreConfig::new(2, Partitioning::Range)
+                .with_key_space(KEY_SPACE)
+                .with_faults(plan)
+                .with_tracing(
+                    TraceConfig::default()
+                        .with_slo_ns(u64::MAX)
+                        .with_sample_period(0),
+                ),
+        ));
+        // Timeout: the first four commits in the store's life are failed
+        // by injection, exhausting the bounded put's attempt budget.
+        match store.put_within(5, 50, RetryPolicy::default().max_attempts(4)) {
+            Err(StoreError::Timeout { .. }) => {}
+            other => panic!("seed {seed}: expected Timeout, got {other:?}"),
+        }
+        // Overloaded: the first batcher drain drops its batch by injection.
+        let batcher = Batcher::new(store.clone());
+        match batcher.try_put(8, 80) {
+            Err(StoreError::Overloaded { .. }) => {}
+            other => panic!("seed {seed}: expected injected shed, got {other:?}"),
+        }
+        // Migration abort: a live overlay over populated keys (so the
+        // abort rolls back instead of completing forward), never stepped.
+        for k in 600..640u64 {
+            store.put(k, k);
+        }
+        store.split_shard(0, 600).expect("split");
+        let m = store.router().migration().expect("overlay is live");
+        match store.abort_migration(m.id) {
+            Ok(AbortOutcome::RolledBack { .. }) => {}
+            other => panic!("seed {seed}: expected rollback, got {other:?}"),
+        }
+
+        let spans = store.tracer().expect("tracing armed").snapshot().spans;
+        let timeout = spans
+            .iter()
+            .find(|s| s.outcome == "timeout")
+            .unwrap_or_else(|| panic!("seed {seed}: timeout span not retained"));
+        assert_eq!(timeout.kind, "put");
+        assert!(
+            timeout.causes.contains(&AbortCause::Timeout),
+            "seed {seed}: deadline cause unattributed: {:?}",
+            timeout.causes
+        );
+        let shed = spans
+            .iter()
+            .find(|s| s.outcome == "overloaded")
+            .unwrap_or_else(|| panic!("seed {seed}: shed span not retained"));
+        assert_eq!((shed.kind, shed.key), ("batch", 8), "seed {seed}");
+        let abort = spans
+            .iter()
+            .find(|s| s.outcome == "migration_abort")
+            .unwrap_or_else(|| panic!("seed {seed}: abort span not retained"));
+        assert_eq!(abort.kind, "migration", "seed {seed}");
+        assert_eq!(abort.overlay, m.id, "seed {seed}: wrong overlay named");
+        // Retention really was failure-driven: nothing was head-sampled
+        // and nothing crossed the (unreachable) SLO.
+        assert!(
+            spans.iter().all(|s| !s.sampled && !s.tail),
+            "seed {seed}: unexpected sampled/tail span"
+        );
     }
 }
 
