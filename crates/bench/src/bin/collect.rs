@@ -235,7 +235,16 @@ fn array_entries(trajectory: &str) -> Vec<&str> {
 /// Per-op latency quantiles under SLO watch. A tail measured below the
 /// floor is noise (quick-scale runs put whole-op p99s well above it when
 /// something is actually wrong), so the gate only fires above it.
-const GATED_OPS: [&str; 7] = ["get", "put", "delete", "apply", "range", "scan_page", "len"];
+const GATED_OPS: [&str; 8] = [
+    "get",
+    "put",
+    "delete",
+    "apply",
+    "range",
+    "scan_page",
+    "len",
+    "snapshot_page",
+];
 const GATED_QUANTILES: [&str; 2] = ["p99_ns", "p999_ns"];
 const LATENCY_FLOOR_NS: f64 = 100_000.0;
 /// Degradation counters: a handful of sheds or timeouts is normal chaos;

@@ -5,7 +5,8 @@
 use crate::driver::{run_throughput, RunCfg};
 use crate::scale::Scale;
 use crate::target::{
-    make_memdb_target, make_reshard_store_target, make_store_target, make_target, Algo, BenchTarget,
+    make_memdb_target, make_reshard_store_target, make_snapshot_store_target, make_store_target,
+    make_target, Algo, BenchTarget,
 };
 use crate::workload::{Mix, Workload};
 use leap_store::Partitioning;
@@ -481,18 +482,31 @@ fn sweep_stat_scenarios(
 /// on range partitioning: nearly every transaction piles its keys onto
 /// one shard, the multi-op chain-rebuild path), plus `Store-reshard`
 /// (zipfian load on range partitioning **with a background rebalancer**
-/// splitting the hot shard and merging cold pairs mid-measurement). Each
-/// series additionally captures p50/p95/p99 per-op latency at the fixed
-/// thread count.
+/// splitting the hot shard and merging cold pairs mid-measurement), plus
+/// `Store-scan-snapshot` (a write-heavy zipfian mix with doubled scan
+/// spans where every range query is a **pinned-timestamp paged scan**
+/// through the version bundles, racing the same background rebalancer —
+/// the series whose flat scan tail the SLO gate watches). Each series
+/// additionally captures p50/p95/p99 per-op latency at the fixed thread
+/// count.
 pub fn leapstore(scale: &Scale) -> StoreFigure {
     let shards = 4;
     let key_space = scale.elements.max(2);
     let mix = Mix::store_mixed();
-    let scenarios: [(&'static str, Partitioning, Workload, bool); 6] = [
+    // Write-heavy with a large scan share and doubled spans: long pinned
+    // scans must hold their snapshot while most threads commit against it.
+    let long_scans = {
+        let mut w = Workload::zipfian(Mix::new(10, 30, 60), key_space, 0.99);
+        w.span_min *= 2;
+        w.span_max *= 2;
+        w
+    };
+    let scenarios: [(&'static str, Partitioning, Workload, bool, bool); 7] = [
         (
             "Store-hash",
             Partitioning::Hash,
             Workload::paper(mix, key_space),
+            false,
             false,
         ),
         (
@@ -500,11 +514,13 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             Partitioning::Range,
             Workload::paper(mix, key_space),
             false,
+            false,
         ),
         (
             "Store-hash-zipf",
             Partitioning::Hash,
             Workload::zipfian(mix, key_space, 0.99),
+            false,
             false,
         ),
         (
@@ -512,11 +528,13 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             Partitioning::Range,
             Workload::zipfian(mix, key_space, 0.99),
             false,
+            false,
         ),
         (
             "Store-collide",
             Partitioning::Range,
             Workload::colliding(mix, key_space),
+            false,
             false,
         ),
         (
@@ -524,13 +542,23 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
             Partitioning::Range,
             Workload::zipfian(mix, key_space, 0.99),
             true,
+            false,
+        ),
+        (
+            "Store-scan-snapshot",
+            Partitioning::Range,
+            long_scans,
+            true,
+            true,
         ),
     ];
     let scenarios = scenarios
         .into_iter()
-        .map(|(label, mode, workload, reshard)| StatScenario {
+        .map(|(label, mode, workload, reshard, snapshot)| StatScenario {
             label,
-            target: if reshard {
+            target: if snapshot {
+                make_snapshot_store_target(shards, key_space, paper_params())
+            } else if reshard {
                 make_reshard_store_target(shards, key_space, paper_params())
             } else {
                 make_store_target(shards, mode, key_space, paper_params())
@@ -543,7 +571,7 @@ pub fn leapstore(scale: &Scale) -> StoreFigure {
         "leapstore",
         format!(
             "LeapStore store_mixed (40% get, 10% range, 50% multi-shard txn), \
-             {shards} shards, {} elements, uniform/zipf/collide/reshard ({})",
+             {shards} shards, {} elements, uniform/zipf/collide/reshard/snapshot ({})",
             scale.elements, scale.name
         ),
         scenarios,
@@ -724,15 +752,15 @@ mod tests {
         let f = leapstore(&tiny());
         assert_eq!(
             f.figure.series.len(),
-            6,
-            "hash/range × uniform/zipf plus collide plus reshard"
+            7,
+            "hash/range × uniform/zipf plus collide plus reshard plus snapshot"
         );
         for s in &f.figure.series {
             for (_, ops) in &s.points {
                 assert!(*ops > 0.0, "{} produced zero throughput", s.label);
             }
         }
-        assert_eq!(f.stats.len(), 6);
+        assert_eq!(f.stats.len(), 7);
         for (label, json) in &f.stats {
             assert!(
                 crate::check::balanced_json_object(json),
@@ -757,6 +785,7 @@ mod tests {
         assert!(table.contains("stats Store-hash-zipf {"));
         assert!(table.contains("stats Store-collide {"));
         assert!(table.contains("stats Store-reshard {"));
+        assert!(table.contains("stats Store-scan-snapshot {"));
         let (_, reshard_json) = f
             .stats
             .iter()
@@ -776,5 +805,22 @@ mod tests {
             "reshard stats report the peak migration concurrency: {reshard_json}"
         );
         assert!(reshard_json.contains("\"key_spread_ratio\":"));
+        let (_, snap_json) = f
+            .stats
+            .iter()
+            .find(|(l, _)| *l == "Store-scan-snapshot")
+            .expect("snapshot-scan series present");
+        assert!(
+            !snap_json.contains("\"snapshot_scans\":0,"),
+            "the series actually pinned snapshots: {snap_json}"
+        );
+        assert!(
+            snap_json.contains("\"bundle_depth\":"),
+            "version-bundle depth rides along for the collect gate: {snap_json}"
+        );
+        assert!(
+            snap_json.contains("\"snapshot_page\":{"),
+            "pinned pages are timed per-op (the gated scan tail): {snap_json}"
+        );
     }
 }

@@ -201,6 +201,10 @@ impl BenchTarget for SkipTmTarget {
 struct StoreTarget {
     store: LeapStore<u64>,
     shards: usize,
+    /// Route range queries through the pinned-timestamp paged scan
+    /// (`scan_snapshot_pages`) instead of the transactional `range`, so
+    /// the series measures the version-bundle read path.
+    snapshot_scans: bool,
 }
 
 impl BenchTarget for StoreTarget {
@@ -226,7 +230,16 @@ impl BenchTarget for StoreTarget {
         self.store.get(key).is_some()
     }
     fn range_query(&self, _list: usize, lo: u64, hi: u64) -> usize {
-        self.store.range(lo, hi).len()
+        if self.snapshot_scans {
+            // Pin once, then page at the pinned timestamp: no retries
+            // against concurrent commits, even mid-migration.
+            self.store
+                .scan_snapshot_pages(lo, hi, 128)
+                .map(|page| page.len())
+                .sum()
+        } else {
+            self.store.range(lo, hi).len()
+        }
     }
     fn stats_json(&self) -> Option<String> {
         Some(self.store.stats().to_json())
@@ -386,6 +399,7 @@ pub fn make_store_target(
                 .with_params(params),
         ),
         shards,
+        snapshot_scans: false,
     })
 }
 
@@ -416,6 +430,39 @@ pub fn make_reshard_store_target(
                 }),
         ),
         shards,
+        snapshot_scans: false,
+    })
+}
+
+/// Builds the `Store-scan-snapshot` target: the same hot-shard layout and
+/// aggressive rebalancing policy as [`make_reshard_store_target`], but
+/// every range query runs as a **snapshot-isolated paged scan** —
+/// `scan_snapshot_pages` pins the commit timestamp on the first page and
+/// serves every later page from the version bundles at that instant. The
+/// series demonstrates that long scans neither retry against concurrent
+/// commits nor abort across in-flight migrations: scan tails stay flat
+/// while the write mix and the background rebalancer run.
+pub fn make_snapshot_store_target(
+    shards: usize,
+    key_space: u64,
+    params: Params,
+) -> Arc<dyn BenchTarget> {
+    Arc::new(StoreTarget {
+        store: LeapStore::new(
+            StoreConfig::new(shards, Partitioning::Range)
+                .with_key_space(key_space.saturating_mul(shards as u64))
+                .with_params(params)
+                .with_rebalancing(RebalancePolicy {
+                    chunk: 256,
+                    split_ratio: 1.5,
+                    merge_ratio: 0.4,
+                    min_split_keys: 128,
+                    max_shards: 32,
+                    ..RebalancePolicy::default()
+                }),
+        ),
+        shards,
+        snapshot_scans: true,
     })
 }
 
@@ -445,6 +492,7 @@ pub fn make_target(algo: Algo, lists: usize, params: Params) -> Arc<dyn BenchTar
         Algo::LeapStore => Arc::new(StoreTarget {
             store: LeapStore::new(StoreConfig::new(lists, Partitioning::Hash).with_params(params)),
             shards: lists,
+            snapshot_scans: false,
         }),
     }
 }
@@ -517,5 +565,32 @@ mod tests {
             "all four shards reported: {json}"
         );
         assert!(json.contains("abort_rate"));
+    }
+
+    #[test]
+    fn snapshot_store_target_scans_at_a_pinned_timestamp() {
+        let t = make_snapshot_store_target(
+            4,
+            1_000,
+            Params {
+                node_size: 8,
+                max_level: 6,
+                use_trie: true,
+                ..Params::default()
+            },
+        );
+        t.prefill(300);
+        assert_eq!(t.range_query(0, 0, 999), 300, "paged snapshot scan");
+        t.update(&[50, 60], &[1, 2]);
+        let json = t.stats_json().expect("store target has stats");
+        assert!(
+            json.contains("\"snapshot_scans\":1"),
+            "range queries ride the snapshot path: {json}"
+        );
+        assert!(json.contains("\"bundle_depth\":"), "{json}");
+        assert!(
+            json.contains("\"snapshot_page\":{"),
+            "snapshot pages are timed per-op: {json}"
+        );
     }
 }

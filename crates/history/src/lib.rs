@@ -30,6 +30,24 @@
 //! that encoding; plain stores use [`Op::Put`]/[`Op::Get`]/[`Op::Range`]/
 //! [`Op::Batch`].
 //!
+//! # Snapshot isolation
+//!
+//! The stack's pinned-timestamp scans (`LeapStore::scan_snapshot`,
+//! `Table::scan_by_snapshot`) claim more than per-page consistency: the
+//! **whole multi-page scan** observes one instant. [`check_snapshot_isolation`]
+//! verifies that claim from a recorded run. Each scan is recorded as ONE
+//! event via [`Session::snapshot_scan`] — invocation stamped before the
+//! timestamp is pinned, response after the last page, result the merged
+//! pages plus the pinned timestamp. The checker then requires (a) a
+//! serialization in which every scan is one **atomic** range read — a
+//! paged scan whose pages mixed two instants has no such serialization —
+//! where writes respect real time strictly and a scan may only trail it
+//! (the pin can lag a just-responded write while an earlier commit is
+//! still wiring: SI, not strict serializability, on the read path),
+//! (b) pinned timestamps that never run backwards across real time, and
+//! (c) identical results from scans that pinned the same timestamp over
+//! the same range.
+//!
 //! # Example
 //!
 //! ```
@@ -138,6 +156,23 @@ pub enum Op {
         lo: u64,
         /// Highest matching field value (inclusive).
         hi: u64,
+    },
+    /// A whole multi-page snapshot-isolated scan of `[lo, hi]`, collapsed
+    /// to one event: the response is the merged pages, which must all
+    /// have read the database at the one pinned commit timestamp `ts`.
+    /// Replays exactly like [`Op::Range`], except the search may place it
+    /// **before its invocation**: a pinned snapshot is allowed to trail
+    /// writes that committed with a higher timestamp while an earlier
+    /// commit was still wiring — snapshot isolation, not strict
+    /// serializability, on the read path. `ts` additionally feeds the
+    /// axioms of [`check_snapshot_isolation`].
+    SnapshotScan {
+        /// Lowest key scanned.
+        lo: u64,
+        /// Highest key scanned (inclusive).
+        hi: u64,
+        /// The commit timestamp the scan pinned.
+        ts: u64,
     },
 }
 
@@ -303,6 +338,23 @@ impl Session {
         new
     }
 
+    /// Runs and records a whole snapshot-isolated paged scan as ONE
+    /// event: the closure pins the timestamp, drives **every** page, and
+    /// returns `(pinned ts, merged pages)`; the invocation stamp
+    /// precedes the pin and the response stamp follows the last page.
+    /// Returns the pinned timestamp.
+    pub fn snapshot_scan(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        f: impl FnOnce() -> (u64, Vec<(u64, u64)>),
+    ) -> u64 {
+        let inv = self.invoke();
+        let (ts, snap) = f();
+        self.resolve(inv, Op::SnapshotScan { lo, hi, ts }, Ret::Snapshot(snap));
+        ts
+    }
+
     /// Runs and records a secondary-index scan: all pairs whose `field`
     /// lies in `[lo, hi]`, ordered by `(field value, key)`.
     pub fn field_range(
@@ -358,6 +410,24 @@ pub enum Violation {
         /// States explored.
         states: usize,
     },
+    /// Two snapshot scans' pinned timestamps contradict real time: the
+    /// first finished before the second began yet pinned a **later**
+    /// timestamp — the snapshot clock ran backwards.
+    SnapshotRegression {
+        /// The scan that finished first.
+        earlier: Box<Event>,
+        /// The later scan, which pinned the smaller timestamp.
+        later: Box<Event>,
+    },
+    /// Two snapshot scans pinned the **same** timestamp over the same
+    /// range but observed different states — the pinned instant is not a
+    /// single consistent cut.
+    SnapshotDivergence {
+        /// One of the scans.
+        a: Box<Event>,
+        /// The other.
+        b: Box<Event>,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -379,6 +449,19 @@ impl std::fmt::Display for Violation {
             }
             Violation::BudgetExhausted { states } => {
                 write!(f, "checker state budget exhausted after {states} states")
+            }
+            Violation::SnapshotRegression { earlier, later } => {
+                writeln!(f, "snapshot timestamps ran backwards across real time:")?;
+                writeln!(f, "  [{}..{}] {:?}", earlier.inv, earlier.res, earlier.op)?;
+                write!(f, "  [{}..{}] {:?}", later.inv, later.res, later.op)
+            }
+            Violation::SnapshotDivergence { a, b } => {
+                writeln!(
+                    f,
+                    "equal-timestamp snapshot scans observed different states:"
+                )?;
+                writeln!(f, "  [{}..{}] {:?} -> {:?}", a.inv, a.res, a.op, a.ret)?;
+                write!(f, "  [{}..{}] {:?} -> {:?}", b.inv, b.res, b.op, b.ret)
             }
         }
     }
@@ -409,7 +492,8 @@ fn replay(op: &Op, ret: &Ret, model: &mut BTreeMap<u64, u64>) -> Option<Vec<(u64
             model.remove(k);
             Some(vec![(*k, old)])
         }
-        (Op::Range(lo, hi), Ret::Snapshot(snap)) => {
+        (Op::Range(lo, hi), Ret::Snapshot(snap))
+        | (Op::SnapshotScan { lo, hi, .. }, Ret::Snapshot(snap)) => {
             let mut want = model.range(lo..=hi).map(|(&k, &v)| (k, v));
             let mut got = snap.iter().copied();
             loop {
@@ -491,6 +575,75 @@ fn restore(model: &mut BTreeMap<u64, u64>, k: u64, old: Option<u64>) {
 /// [`Violation::BudgetExhausted`] when the search grew too large.
 pub fn check(history: &History, initial: &BTreeMap<u64, u64>) -> Result<CheckReport, Violation> {
     check_bounded(history, initial, DEFAULT_STATE_BUDGET)
+}
+
+/// Checks the stack's **snapshot-isolation** claims over a history of
+/// writers racing whole multi-page scans recorded via
+/// [`Session::snapshot_scan`] (see the crate docs):
+///
+/// 1. **Scan atomicity** — the history must serialize with every scan as
+///    one atomic range read, writes strictly real-time-ordered, scans
+///    allowed to read slightly in the past (delegates to [`check`]; a
+///    scan whose pages mixed two instants has no serialization).
+/// 2. **Pin monotonicity** — a scan that responded before another was
+///    invoked must pin a timestamp no later than the other's.
+/// 3. **Pin determinism** — scans that pinned the same timestamp must
+///    agree exactly on the intersection of their ranges.
+///
+/// # Errors
+///
+/// [`Violation::SnapshotRegression`] / [`Violation::SnapshotDivergence`]
+/// on a timestamp-axiom breach, otherwise as for [`check`].
+pub fn check_snapshot_isolation(
+    history: &History,
+    initial: &BTreeMap<u64, u64>,
+) -> Result<CheckReport, Violation> {
+    let scans: Vec<&Event> = history
+        .sessions
+        .iter()
+        .flatten()
+        .filter(|e| matches!(e.op, Op::SnapshotScan { .. }))
+        .collect();
+    fn parts(e: &Event) -> (u64, u64, u64, &Vec<(u64, u64)>) {
+        match (&e.op, &e.ret) {
+            (&Op::SnapshotScan { lo, hi, ts }, Ret::Snapshot(snap)) => (lo, hi, ts, snap),
+            _ => unreachable!("filtered to snapshot scans"),
+        }
+    }
+    for (i, &a) in scans.iter().enumerate() {
+        let (alo, ahi, ats, asnap) = parts(a);
+        for &b in &scans[i + 1..] {
+            let (blo, bhi, bts, bsnap) = parts(b);
+            if a.res < b.inv && ats > bts {
+                return Err(Violation::SnapshotRegression {
+                    earlier: Box::new(a.clone()),
+                    later: Box::new(b.clone()),
+                });
+            }
+            if b.res < a.inv && bts > ats {
+                return Err(Violation::SnapshotRegression {
+                    earlier: Box::new(b.clone()),
+                    later: Box::new(a.clone()),
+                });
+            }
+            let (ilo, ihi) = (alo.max(blo), ahi.min(bhi));
+            if ats == bts && ilo <= ihi {
+                let clip = |snap: &[(u64, u64)]| -> Vec<(u64, u64)> {
+                    snap.iter()
+                        .copied()
+                        .filter(|&(k, _)| (ilo..=ihi).contains(&k))
+                        .collect()
+                };
+                if clip(asnap) != clip(bsnap) {
+                    return Err(Violation::SnapshotDivergence {
+                        a: Box::new(a.clone()),
+                        b: Box::new(b.clone()),
+                    });
+                }
+            }
+        }
+    }
+    check(history, initial)
 }
 
 /// [`check`] with an explicit state budget.
@@ -611,7 +764,13 @@ impl Search<'_> {
             let Some(e) = self.sessions[i].get(self.heads[i]) else {
                 continue;
             };
-            if e.inv > min_res {
+            // A snapshot scan's read point is its PIN, which may trail a
+            // write that responded just before the scan was invoked (the
+            // pin excludes commits above a still-wiring transaction), so
+            // a scan may linearize before its invocation. Every other op
+            // respects real time strictly.
+            let stale_ok = matches!(e.op, Op::SnapshotScan { .. });
+            if !stale_ok && e.inv > min_res {
                 continue; // Blocked behind a pending response.
             }
             let Some(undo) = replay(&e.op, &e.ret, &mut self.model) else {
@@ -879,5 +1038,193 @@ mod tests {
             "memoization failed: {} states",
             report.states
         );
+    }
+
+    #[test]
+    fn snapshot_scan_records_and_serializes_atomically() {
+        let map = Mutex::new(BTreeMap::from([(1u64, 10u64), (2, 20)]));
+        let rec = Recorder::new();
+        let mut s = rec.session();
+        let ts = s.snapshot_scan(0, 9, || {
+            (
+                7,
+                map.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect(),
+            )
+        });
+        assert_eq!(ts, 7);
+        s.put(3, 30, || map.lock().unwrap().insert(3, 30));
+        s.snapshot_scan(0, 9, || {
+            (
+                9,
+                map.lock().unwrap().iter().map(|(&k, &v)| (k, v)).collect(),
+            )
+        });
+        drop(s);
+        let init = BTreeMap::from([(1, 10), (2, 20)]);
+        let report = check_snapshot_isolation(&rec.history(), &init).expect("valid SI history");
+        assert_eq!(report.events, 3);
+    }
+
+    #[test]
+    fn torn_snapshot_scan_is_rejected() {
+        // A batch replaces keys 1 and 2 atomically; the scan's merged
+        // pages mixed the old value of 2 with the new value of 1 — the
+        // exact tear pinned-timestamp scans exist to rule out.
+        let h = History {
+            sessions: vec![
+                vec![ev(
+                    Op::Batch(vec![(1, Some(11)), (2, Some(22))]),
+                    Ret::Values(vec![Some(10), Some(20)]),
+                    0,
+                    5,
+                )],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 3,
+                    },
+                    Ret::Snapshot(vec![(1, 11), (2, 20)]),
+                    1,
+                    4,
+                )],
+            ],
+        };
+        let init = BTreeMap::from([(1, 10), (2, 20)]);
+        assert!(matches!(
+            check_snapshot_isolation(&h, &init),
+            Err(Violation::NotSerializable { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_scan_may_read_slightly_in_the_past() {
+        // The put RESPONDED before the scan was invoked, yet the scan
+        // missed it. As a plain Range that is a stale read; a pinned
+        // snapshot is allowed to trail (its pin excludes commits above a
+        // still-wiring transaction).
+        let put = ev(Op::Put(1, 10), Ret::Value(None), 0, 1);
+        let h = History {
+            sessions: vec![
+                vec![put.clone()],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 0,
+                    },
+                    Ret::Snapshot(Vec::new()),
+                    2,
+                    3,
+                )],
+            ],
+        };
+        check_snapshot_isolation(&h, &BTreeMap::new()).expect("SI permits the trailing pin");
+        let h = History {
+            sessions: vec![
+                vec![put],
+                vec![ev(Op::Range(0, 9), Ret::Snapshot(Vec::new()), 2, 3)],
+            ],
+        };
+        assert!(matches!(
+            check(&h, &BTreeMap::new()),
+            Err(Violation::NotSerializable { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_timestamp_regression_is_rejected() {
+        // Both scans read the empty map consistently (plain check would
+        // pass), but the second scan — strictly later in real time —
+        // pinned a SMALLER timestamp: the snapshot clock ran backwards.
+        let h = History {
+            sessions: vec![vec![
+                ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 7,
+                    },
+                    Ret::Snapshot(Vec::new()),
+                    0,
+                    1,
+                ),
+                ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 3,
+                    },
+                    Ret::Snapshot(Vec::new()),
+                    2,
+                    3,
+                ),
+            ]],
+        };
+        let err = check_snapshot_isolation(&h, &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, Violation::SnapshotRegression { .. }), "{err}");
+        assert!(err.to_string().contains("ran backwards"), "{err}");
+    }
+
+    #[test]
+    fn equal_timestamp_snapshot_divergence_is_rejected() {
+        // Two scans pinned the SAME timestamp; each result alone is
+        // explainable (a put overlaps both), but one instant cannot hold
+        // both states — they must agree on the ranges' intersection.
+        let h = History {
+            sessions: vec![
+                vec![ev(Op::Put(1, 2), Ret::Value(Some(1)), 0, 20)],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 5,
+                    },
+                    Ret::Snapshot(vec![(1, 1)]),
+                    1,
+                    4,
+                )],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 1,
+                        hi: 15,
+                        ts: 5,
+                    },
+                    Ret::Snapshot(vec![(1, 2)]),
+                    2,
+                    6,
+                )],
+            ],
+        };
+        let init = BTreeMap::from([(1, 1)]);
+        let err = check_snapshot_isolation(&h, &init).unwrap_err();
+        assert!(matches!(err, Violation::SnapshotDivergence { .. }), "{err}");
+        // Disjoint ranges at one timestamp never conflict.
+        let h = History {
+            sessions: vec![
+                vec![ev(Op::Put(1, 2), Ret::Value(Some(1)), 0, 20)],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 0,
+                        hi: 9,
+                        ts: 5,
+                    },
+                    Ret::Snapshot(vec![(1, 1)]),
+                    1,
+                    4,
+                )],
+                vec![ev(
+                    Op::SnapshotScan {
+                        lo: 10,
+                        hi: 15,
+                        ts: 5,
+                    },
+                    Ret::Snapshot(Vec::new()),
+                    2,
+                    6,
+                )],
+            ],
+        };
+        check_snapshot_isolation(&h, &init).expect("disjoint ranges cannot diverge");
     }
 }

@@ -54,6 +54,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod api;
+mod bundle;
 mod node;
 mod params;
 mod plan;
@@ -66,7 +67,7 @@ pub use api::{BatchOp, RangeMap};
 pub use params::{Params, Traversal};
 pub use trie::{binary_search_index, Trie};
 pub use variants::cop::LeapListCop;
-pub use variants::lt::LeapListLt;
+pub use variants::lt::{LeapListLt, ListSnapshot};
 pub use variants::rwlock::LeapListRwlock;
 pub use variants::tm::LeapListTm;
 

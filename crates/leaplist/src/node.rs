@@ -7,10 +7,12 @@
 //! (split) freshly built nodes, which is what makes range queries cheap —
 //! a consistent set of node pointers *is* a consistent set of keys.
 
+use crate::bundle::Bundle;
 use crate::params::Params;
 use crate::trie::Trie;
 use leap_stm::{TPtr, TVar, TaggedPtr};
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Hard cap on tower heights (the paper's experiments use 10).
 pub const MAX_LEVEL_CAP: usize = 32;
@@ -47,6 +49,13 @@ pub(crate) struct Node<V> {
     pub data: Box<[(u64, V)]>,
     /// Immutable index: internal key -> position in `data`.
     pub trie: Trie,
+    /// Commit timestamp that published this node; `u64::MAX` until the
+    /// publishing commit's post-commit stamping (sentinels are seeded 0).
+    pub created_ts: AtomicU64,
+    /// Commit timestamp that unlinked this node; `u64::MAX` while live.
+    pub retired_ts: AtomicU64,
+    /// Timestamped version history of `next[0]` (see `bundle.rs`).
+    pub bundle: Bundle<V>,
 }
 
 impl<V> Node<V> {
@@ -63,7 +72,17 @@ impl<V> Node<V> {
             next: (0..level).map(|_| TVar::new(TaggedPtr::null())).collect(),
             data: data.into_boxed_slice(),
             trie: Trie::build(&keys),
+            created_ts: AtomicU64::new(u64::MAX),
+            retired_ts: AtomicU64::new(u64::MAX),
+            bundle: Bundle::new(),
         }))
+    }
+
+    /// Whether this node is on the snapshot chain at timestamp `ts`:
+    /// published at-or-before `ts` and not yet retired at `ts`.
+    pub fn visible_at(&self, ts: u64) -> bool {
+        self.created_ts.load(Ordering::Acquire) <= ts
+            && ts < self.retired_ts.load(Ordering::Acquire)
     }
 
     /// Number of key-value pairs stored.

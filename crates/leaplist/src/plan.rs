@@ -44,7 +44,8 @@
 //! lesson. The transaction (`validate_segment` / `mark_segment` in
 //! `variants::common`) only re-validates each segment's window, marks the
 //! frozen pointers and kills the dying nodes; the pointer surgery
-//! (`wire::wire_segment`) runs after commit as plain atomic stores.
+//! (`wire::wire_chain` + `wire::publish_segment`) runs after commit as
+//! plain atomic stores.
 
 use crate::node::{build_remove, build_update, free_node, random_level, Node};
 use crate::raw::{RawLeapList, SearchWindow};

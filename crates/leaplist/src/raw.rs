@@ -71,6 +71,17 @@ impl<V> RawLeapList<V> {
             }
             (*head).live.naked_store(true);
             (*tail).live.naked_store(true);
+            // Seed the sentinels at timestamp 0 so every snapshot — however
+            // old its pin — can start at the head and resolve its way to
+            // the tail. (The head is never replaced; a replaced tail's
+            // successor gets stamped like any other node.)
+            (*head)
+                .created_ts
+                .store(0, std::sync::atomic::Ordering::Release);
+            (*tail)
+                .created_ts
+                .store(0, std::sync::atomic::Ordering::Release);
+            (*head).bundle.seed(0, tail);
         }
         let slr_domain = match params.traversal {
             crate::params::Traversal::MarkCheck => None,

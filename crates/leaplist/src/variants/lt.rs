@@ -46,6 +46,13 @@ fn record_commit(domain: &StmDomain, backoff: &Backoff) {
 pub struct LeapListLt<V> {
     raw: RawLeapList<V>,
     domain: Arc<StmDomain>,
+    /// High-water mark of the level-0 bundle depth observed by this list's
+    /// commits (diagnostics: bounded by commits-per-pin-lifetime + 1).
+    bundle_depth: std::sync::atomic::AtomicU64,
+    /// Retired nodes parked until no snapshot pin can still resolve onto
+    /// them (see [`crate::bundle::Limbo`]): plain EBR deferral is not
+    /// enough for nodes a bundle walk can reach back in time.
+    limbo: crate::bundle::Limbo<V>,
 }
 
 impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
@@ -60,6 +67,8 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         LeapListLt {
             raw: RawLeapList::with_slr_domain(params, Some(domain.clone())),
             domain,
+            bundle_depth: std::sync::atomic::AtomicU64::new(1),
+            limbo: crate::bundle::Limbo::new(),
         }
     }
 
@@ -270,24 +279,58 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 }
                 Ok(())
             })();
-            if acquired.is_ok() && tx.commit().is_ok() {
-                record_commit(&self.domain, &backoff);
-                // Release-and-update: wire every chain, retire old nodes.
-                let mut out = Vec::with_capacity(plans.len());
-                for mut plan in plans {
-                    for seg in &plan.segments {
-                        unsafe {
-                            crate::wire::wire_segment(seg);
-                            for &o in &seg.old {
-                                guard.defer_drop_box(o);
+            // Register as wiring *before* the commit can bump the clock:
+            // while the ticket is live, no snapshot can pin a timestamp
+            // at-or-past this commit's `wv`, so the post-commit pointer
+            // surgery and bundle stamping below are invisible to every
+            // pinnable snapshot. The ticket drops on every exit path.
+            let ticket = self.domain.begin_wiring();
+            if acquired.is_ok() {
+                if let Ok(wv) = tx.commit_stamped() {
+                    record_commit(&self.domain, &backoff);
+                    let bound = self.domain.prune_bound();
+                    // Release-and-update: wire every chain, stamp version
+                    // bundles, collect the dying runs for parking.
+                    let mut out = Vec::with_capacity(plans.len());
+                    let mut retired: Vec<Vec<*mut _>> = Vec::with_capacity(plans.len());
+                    for (plan, list) in plans.into_iter().zip(lists.iter()) {
+                        let mut plan = plan;
+                        let mut depth = 0u64;
+                        let mut dying = Vec::new();
+                        for seg in &plan.segments {
+                            unsafe {
+                                // Wire the chain internals, stamp bundles
+                                // while the level-0 lease is still held,
+                                // then publish (swing + live).
+                                crate::wire::wire_chain(seg);
+                                depth =
+                                    depth
+                                        .max(crate::bundle::stamp_segment(seg, wv, bound, &guard)
+                                            as u64);
+                                crate::wire::publish_segment(seg);
                             }
+                            dying.extend_from_slice(&seg.old);
                         }
+                        plan.mark_published();
+                        retired.push(dying);
+                        list.bundle_depth
+                            .fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+                        out.push(std::mem::take(&mut plan.results));
                     }
-                    plan.mark_published();
-                    out.push(std::mem::take(&mut plan.results));
+                    drop(ticket);
+                    // Retire the dying nodes only now, with a bound read
+                    // after the wiring window closed: a snapshot pinned at
+                    // `ts < wv` may still resolve bundles onto them, so
+                    // they park in the limbo until the prune bound passes
+                    // `wv`, and only then enter the EBR queue.
+                    let drain_bound = self.domain.prune_bound();
+                    for (list, dying) in lists.iter().zip(retired) {
+                        unsafe { list.limbo.park_and_drain(wv, dying, drain_bound, &guard) };
+                    }
+                    return out;
                 }
-                return out;
             }
+            drop(ticket);
             drop(plans); // frees the unpublished replacement chains
             backoff.snooze();
         }
@@ -479,6 +522,88 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         }
     }
 
+    /// Pins a snapshot of every list sharing this list's domain: the
+    /// returned handle carries a snapshot timestamp (the newest fully
+    /// wired commit) and, while live, keeps every version visible at it
+    /// traversable — bundle pruning and node reclamation both respect it.
+    ///
+    /// See [`ListSnapshot`] for the read API and the cost of holding one.
+    pub fn pin_snapshot(&self) -> ListSnapshot {
+        ListSnapshot::pin(&self.domain)
+    }
+
+    /// Up to `limit` pairs with keys in `[lo, hi]`, ascending, **as of the
+    /// snapshot's timestamp** — a transaction-free, retry-free bundle walk
+    /// that concurrent commits can never abort or skew. Pages taken from
+    /// one [`ListSnapshot`] (over any lists of its domain) are mutually
+    /// consistent: they all observe exactly the commits at-or-before its
+    /// timestamp.
+    ///
+    /// The caller resumes from `last_key + 1`; a short page means the
+    /// range is exhausted *at the snapshot* (the live list may differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was pinned on a different domain, if
+    /// `hi == u64::MAX`, or if `limit` is zero.
+    pub fn snapshot_page(
+        &self,
+        snap: &ListSnapshot,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        self.snapshot_page_into(snap, lo, hi, limit, &mut out);
+        out
+    }
+
+    /// As [`LeapListLt::snapshot_page`], appending into `out` (at most
+    /// `limit` pairs) — the allocation-reusing form a store's cross-shard
+    /// page merge wants.
+    ///
+    /// # Panics
+    ///
+    /// As for [`LeapListLt::snapshot_page`].
+    pub fn snapshot_page_into(
+        &self,
+        snap: &ListSnapshot,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        out: &mut Vec<(u64, V)>,
+    ) {
+        assert!(
+            snap.pin.pinned_on(&self.domain),
+            "snapshot was pinned on a different StmDomain"
+        );
+        assert!(hi < u64::MAX, "key u64::MAX is reserved");
+        assert!(limit > 0, "a page must hold at least one pair");
+        if lo > hi {
+            return;
+        }
+        // SAFETY: `snap` pinned its epoch guard before its timestamp (see
+        // `ListSnapshot::pin`), and its SnapshotPin keeps the prune bound
+        // at-or-below `ts` — exactly `snapshot_collect`'s contract.
+        unsafe {
+            crate::bundle::snapshot_collect(
+                &self.raw,
+                snap.ts(),
+                internal_key(lo),
+                internal_key(hi),
+                limit,
+                out,
+            );
+        }
+    }
+
+    /// High-water mark of this list's level-0 version-bundle depth (1 for
+    /// a list that never committed under a live snapshot pin; grows with
+    /// commits-per-pin-lifetime and shrinks back via pruning on append).
+    pub fn max_bundle_depth(&self) -> u64 {
+        self.bundle_depth.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Whether `key` is present (linearizable, transaction-free).
     ///
     /// # Panics
@@ -624,6 +749,47 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             self.raw.for_each_node(|n| sizes.push(n.count()));
         }
         sizes
+    }
+}
+
+/// A pinned, multi-list snapshot over one [`StmDomain`]: every
+/// [`LeapListLt::snapshot_page`] taken through it — across any lists of
+/// the domain — observes exactly the commits at-or-before
+/// [`ListSnapshot::ts`], the newest fully wired commit at pin time.
+///
+/// **Cost of holding one:** while the snapshot is live, (a) version
+/// bundles retain one entry per covered commit (bounded memory per write),
+/// and (b) the embedded epoch guard holds back node reclamation
+/// process-wide. Drop it as soon as the scan finishes. The handle embeds
+/// a thread-local epoch guard and is therefore neither `Send` nor `Sync`.
+pub struct ListSnapshot {
+    /// Epoch guard — pinned FIRST, so any node retired after the
+    /// timestamp below was chosen is reclamation-protected.
+    _guard: leap_ebr::Guard,
+    pin: leap_stm::SnapshotPin,
+}
+
+impl ListSnapshot {
+    /// Pins a snapshot of every list sharing `domain`. The guard is
+    /// pinned before the timestamp is chosen — the order the safety of
+    /// every subsequent bundle walk rests on.
+    pub fn pin(domain: &Arc<StmDomain>) -> ListSnapshot {
+        let guard = pin();
+        let pin = domain.pin_snapshot();
+        ListSnapshot { _guard: guard, pin }
+    }
+
+    /// The pinned snapshot timestamp.
+    pub fn ts(&self) -> u64 {
+        self.pin.ts()
+    }
+}
+
+impl std::fmt::Debug for ListSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListSnapshot")
+            .field("ts", &self.ts())
+            .finish()
     }
 }
 
@@ -937,6 +1103,164 @@ mod tests {
     fn max_key_is_rejected() {
         let l: LeapListLt<u64> = LeapListLt::new(small());
         l.update(u64::MAX, 0);
+    }
+
+    #[test]
+    fn snapshot_page_ignores_later_commits() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..40u64 {
+            l.update(k, k);
+        }
+        let snap = l.pin_snapshot();
+        // Writes after the pin: overwrite, insert, remove.
+        l.update(5, 999);
+        l.update(1000, 1);
+        l.remove(7);
+        assert_eq!(l.lookup(5), Some(999));
+        let page = l.snapshot_page(&snap, 0, 2000, 1000);
+        assert_eq!(
+            page,
+            (0..40u64).map(|k| (k, k)).collect::<Vec<_>>(),
+            "snapshot must show the pre-pin state exactly"
+        );
+        drop(snap);
+        // A fresh snapshot sees the new state.
+        let snap2 = l.pin_snapshot();
+        let page2 = l.snapshot_page(&snap2, 0, 2000, 1000);
+        assert_eq!(page2.len(), 40, "40 - removed 7 + inserted 1000");
+        assert!(page2.contains(&(5, 999)) && page2.contains(&(1000, 1)));
+        assert!(!page2.iter().any(|&(k, _)| k == 7));
+    }
+
+    #[test]
+    fn snapshot_pages_tile_while_writers_race() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..100u64 {
+            l.update(k * 2, k);
+        }
+        let snap = l.pin_snapshot();
+        let expected: Vec<(u64, u64)> = (0..100u64).map(|k| (k * 2, k)).collect();
+        let mut collected = Vec::new();
+        let mut lo = 0u64;
+        let mut step = 0u64;
+        loop {
+            let page = l.snapshot_page(&snap, lo, 198, 7);
+            // Interleave destructive writes between pages — including
+            // deleting the exact key the next resume starts beyond.
+            l.remove(step * 14);
+            l.update(step * 14 + 1, 12345);
+            if page.is_empty() {
+                break;
+            }
+            assert!(page.len() <= 7);
+            lo = page.last().expect("non-empty").0 + 1;
+            collected.extend(page);
+            step += 1;
+        }
+        assert_eq!(collected, expected, "pages must tile the pinned state");
+    }
+
+    #[test]
+    fn snapshot_resume_key_survives_boundary_deletion() {
+        // Satellite regression: the page boundary falls exactly on a node
+        // whose keys are deleted (node replaced) after the pin. The resume
+        // must continue from the snapshot-visible chain, not the live one.
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..16u64 {
+            l.update(k, k * 10);
+        }
+        let snap = l.pin_snapshot();
+        // First page of 4 ends at key 3; now delete keys 3..=6 — the
+        // boundary key and everything the next page should start with —
+        // and overwrite key 7, replacing those nodes on the live chain.
+        let page1 = l.snapshot_page(&snap, 0, 15, 4);
+        assert_eq!(page1, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+        for k in 3..=6u64 {
+            l.remove(k);
+        }
+        l.update(7, 777);
+        let page2 = l.snapshot_page(&snap, 4, 15, 4);
+        assert_eq!(
+            page2,
+            vec![(4, 40), (5, 50), (6, 60), (7, 70)],
+            "resume must read the snapshot-visible versions"
+        );
+        // The live list disagrees, proving the pages came from bundles.
+        assert_eq!(l.lookup(4), None);
+        assert_eq!(l.lookup(7), Some(777));
+    }
+
+    #[test]
+    fn snapshot_sees_empty_prefix_of_later_inserts() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        let snap = l.pin_snapshot();
+        for k in 0..20u64 {
+            l.update(k, k);
+        }
+        assert_eq!(l.snapshot_page(&snap, 0, 100, 50), vec![]);
+        let snap2 = l.pin_snapshot();
+        assert_eq!(l.snapshot_page(&snap2, 0, 100, 50).len(), 20);
+    }
+
+    #[test]
+    fn snapshot_spans_lists_of_one_domain() {
+        let lists = LeapListLt::<u64>::group(2, small());
+        lists[0].update(1, 10);
+        lists[1].update(2, 20);
+        let snap = lists[0].pin_snapshot();
+        lists[0].update(3, 30);
+        lists[1].update(4, 40);
+        assert_eq!(lists[0].snapshot_page(&snap, 0, 100, 10), vec![(1, 10)]);
+        assert_eq!(lists[1].snapshot_page(&snap, 0, 100, 10), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn retired_nodes_park_until_snapshot_pins_release() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        for k in 0..64u64 {
+            l.update(k, k);
+        }
+        let snap = l.pin_snapshot();
+        let before = l.snapshot_page(&snap, 0, 1_000, 1_000);
+        assert_eq!(before.len(), 64);
+        // Node-replacing churn while the pin is live: every dying run must
+        // park in the limbo, not enter the EBR queue — the pinned bundle
+        // walk below can still resolve onto those nodes, and EBR's grace
+        // period alone would free them two epoch advances later.
+        for k in 0..64u64 {
+            l.update(k, k + 1_000);
+        }
+        assert!(l.limbo.parked() > 0, "dying nodes parked under a live pin");
+        assert_eq!(l.snapshot_page(&snap, 0, 1_000, 1_000), before);
+        drop(snap);
+        // The next commit reads a bound past every parked timestamp and
+        // drains the lot, its own dying run included.
+        l.update(999, 1);
+        assert_eq!(l.limbo.parked(), 0, "pin released: limbo drains");
+    }
+
+    #[test]
+    fn bundle_depth_bounded_without_pins() {
+        let l: LeapListLt<u64> = LeapListLt::new(small());
+        // Hammer one key: without a live pin, pruning on append keeps the
+        // chain at the visible version plus the fresh one.
+        for i in 0..500u64 {
+            l.update(7, i);
+        }
+        assert!(
+            l.max_bundle_depth() <= 4,
+            "unpinned bundles must stay shallow, got {}",
+            l.max_bundle_depth()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different StmDomain")]
+    fn snapshot_rejects_foreign_domain() {
+        let a: LeapListLt<u64> = LeapListLt::new(small());
+        let b: LeapListLt<u64> = LeapListLt::new(small());
+        let snap = a.pin_snapshot();
+        b.snapshot_page(&snap, 0, 1, 1);
     }
 
     #[test]

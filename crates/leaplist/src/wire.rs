@@ -62,22 +62,29 @@ pub(crate) unsafe fn wire_update<V>(plan: &UpdatePlan<V>) {
     plan.mark_published();
 }
 
-/// Wires a multi-op segment's replacement chain: the k-op generalization
-/// of [`wire_update`] (split) and [`wire_remove`] (merge). The dying run
-/// and the predecessor window were marked by the committed transaction, so
-/// every store below runs under the marked-pointer lease.
+/// Phase 1 of segment wiring — the k-op generalization of
+/// [`wire_update`] (split) and [`wire_remove`] (merge): the replacement
+/// chain's internal and exit pointers. The chain stays unpublished (no
+/// shared pointer leads to it), so the stores are exclusive.
 ///
-/// Level-`i` layout after wiring: `pa[i]` points at the first chain node
-/// taller than `i`; each chain node points at the next taller-than-`i`
-/// chain node, and the last one exits to the segment's old external
-/// successor — read from the frozen dying nodes below the old chain's
-/// height, and from the validated window (`na[i]`) above it.
+/// Level-`i` layout after wiring: each chain node points at the next
+/// taller-than-`i` chain node, and the last one exits to the segment's
+/// old external successor — read from the frozen dying nodes below the
+/// old chain's height, and from the validated window (`na[i]`) above it.
+/// The predecessor swing (`pa[i]` → first taller-than-`i` chain node)
+/// happens in phase 2, [`publish_segment`] — version-bundle stamping
+/// slots in between, because bundle appends are only safe while the
+/// level-0 window pointer is still marked (the lease), and the publish
+/// swing is precisely what ends it.
 ///
 /// # Safety
 ///
-/// Must only be called once, after the segment's LT transaction committed,
-/// while holding the epoch guard used for the plan.
-pub(crate) unsafe fn wire_segment<V>(seg: &ChainSegment<V>) {
+/// Must only be called once, after the segment's LT transaction
+/// committed, while holding the epoch guard used for the plan. The
+/// dying run and the predecessor window were marked by the committed
+/// transaction, so every store below runs under the marked-pointer
+/// lease.
+pub(crate) unsafe fn wire_chain<V>(seg: &ChainSegment<V>) {
     // SAFETY: segment pointers valid under the caller's guard; the dying
     // nodes' outgoing pointers are frozen (marked), so naked reads are
     // stable.
@@ -98,10 +105,24 @@ pub(crate) unsafe fn wire_segment<V>(seg: &ChainSegment<V>) {
                 cn.next[i].naked_store(ptr);
             }
         }
-        // Swing the predecessors; this is what publishes the chain. The
-        // swing target is `pa_wire[i]` — the window's `pa[i]` unless the
-        // plan substituted an earlier same-commit segment's replacement
-        // node for it (already wired: segments wire in key order).
+    }
+}
+
+/// Phase 2 of segment wiring: swing the predecessors and raise the `live`
+/// flags — this is what publishes the chain, and what releases the
+/// marked-pointer lease on the level-0 window. Any bundle stamping for
+/// the segment must have completed before this call.
+///
+/// The swing target is `pa_wire[i]` — the window's `pa[i]` unless the
+/// plan substituted an earlier same-commit segment's replacement node for
+/// it (already wired: segments wire in key order).
+///
+/// # Safety
+///
+/// As for [`wire_chain`], which must already have run for `seg`.
+pub(crate) unsafe fn publish_segment<V>(seg: &ChainSegment<V>) {
+    // SAFETY: as for `wire_chain`.
+    unsafe {
         for i in 0..seg.wire_height {
             let first = seg
                 .new

@@ -23,6 +23,12 @@
 //! through the store's `Cursor`, and a `leap_store::Rebalancer` can
 //! split index-heavy shards while the table serves traffic.
 //!
+//! Long scans that must stay coherent across pages use
+//! [`Table::scan_by_snapshot`]: the scan pins the commit timestamp once
+//! and serves every page from the indexes' version bundles at that
+//! instant — one consistent multi-page snapshot that never blocks or
+//! aborts concurrent writers (on either backend, even mid-resharding).
+//!
 //! # Example
 //!
 //! ```
@@ -67,7 +73,7 @@ pub use query::Query;
 pub use row::{Row, RowId};
 pub use schema::Schema;
 pub use storage::Backend;
-pub use table::{Table, TableScan, MAX_INDEXED_VALUE};
+pub use table::{Table, TableScan, TableSnapshotScan, MAX_INDEXED_VALUE};
 
 // Re-exported so bounded-retry callers ([`Table::insert_within`]) can
 // build policies without importing the stm crate directly.

@@ -11,7 +11,8 @@
 //!
 //! `table_op_insert_ns`, `table_op_delete_ns`, `table_op_get_ns`,
 //! `table_op_update_ns`, `table_op_scan_ns`, `table_op_scan_page_ns`,
-//! `table_op_count_ns`.
+//! `table_op_count_ns`, `table_op_snapshot_page_ns` (pinned-timestamp
+//! pages served by [`crate::TableSnapshotScan`]).
 
 use leap_obs::{HistSnapshot, Histogram, Json, Registry};
 use std::sync::Arc;
@@ -19,7 +20,7 @@ use std::time::Instant;
 
 /// The op-kind order every snapshot reports, paired with each kind's
 /// registry series name.
-const OP_KINDS: [(&str, &str); 7] = [
+const OP_KINDS: [(&str, &str); 8] = [
     ("insert", "table_op_insert_ns"),
     ("delete", "table_op_delete_ns"),
     ("get", "table_op_get_ns"),
@@ -27,6 +28,7 @@ const OP_KINDS: [(&str, &str); 7] = [
     ("scan", "table_op_scan_ns"),
     ("scan_page", "table_op_scan_page_ns"),
     ("count", "table_op_count_ns"),
+    ("snapshot_page", "table_op_snapshot_page_ns"),
 ];
 
 /// Index into [`TableObs`]'s histogram set (kept in [`OP_KINDS`] order).
@@ -39,6 +41,7 @@ pub(crate) enum TableOp {
     Scan = 4,
     ScanPage = 5,
     Count = 6,
+    SnapshotPage = 7,
 }
 
 /// A table's instrument set: one latency histogram per op kind (see the
@@ -47,7 +50,7 @@ pub(crate) enum TableOp {
 pub struct TableObs {
     registry: Arc<Registry>,
     /// Per-op-kind latency histograms, in [`OP_KINDS`] order.
-    ops: [Arc<Histogram>; 7],
+    ops: [Arc<Histogram>; 8],
 }
 
 impl TableObs {
@@ -90,8 +93,8 @@ impl TableObs {
 /// A point-in-time copy of a table's op-latency histograms.
 #[derive(Debug, Clone)]
 pub struct TableObsSnapshot {
-    /// Per-op-kind latency snapshots, in a fixed kind order
-    /// (insert, delete, get, update, scan, scan_page, count).
+    /// Per-op-kind latency snapshots, in a fixed kind order (insert,
+    /// delete, get, update, scan, scan_page, count, snapshot_page).
     pub op_latency: Vec<(&'static str, HistSnapshot)>,
 }
 
@@ -125,6 +128,7 @@ mod tests {
         let obs = TableObs::new();
         obs.timed(TableOp::Insert, || std::hint::black_box(1 + 1));
         obs.timed(TableOp::Count, || std::hint::black_box(2 + 2));
+        obs.timed(TableOp::SnapshotPage, || std::hint::black_box(3 + 3));
         let snap = obs.snapshot();
         let kinds: Vec<&str> = snap.op_latency.iter().map(|(k, _)| *k).collect();
         assert_eq!(
@@ -136,11 +140,13 @@ mod tests {
                 "update",
                 "scan",
                 "scan_page",
-                "count"
+                "count",
+                "snapshot_page"
             ]
         );
         assert_eq!(snap.op_latency[0].1.count, 1);
         assert_eq!(snap.op_latency[6].1.count, 1);
+        assert_eq!(snap.op_latency[7].1.count, 1);
         let json = snap.to_json();
         assert!(
             json.starts_with("{\"op_latency\":{\"insert\":{\"count\":1"),

@@ -16,7 +16,14 @@
 //!   the primary shard and every affected index shard, **even while a
 //!   migration is resharding the very keys it touches**. Index scans run
 //!   over the subspace's key interval; the paged variant routes through
-//!   [`LeapStore::scan`]'s `Cursor`.
+//!   [`LeapStore::scan`]'s `Cursor`, and the snapshot-isolated variant
+//!   through [`LeapStore::scan_snapshot`]'s `SnapshotCursor`.
+//!
+//! Both backends additionally serve **snapshot-isolated paged scans**
+//! ([`TableStorage::snapshot_pages`]): the commit timestamp is pinned
+//! once when the scan starts, and every page reads the index's version
+//! bundles exactly as of that instant — retry-free under concurrent
+//! commits, and (sharded) under in-flight migrations.
 //!
 //! The two backends pack composite index keys differently —
 //! [`TableStorage::key_bits`] reports how many bits the backend grants
@@ -24,8 +31,10 @@
 //! 64-bit key; the sharded store: 28/28 under the 8-bit subspace tag).
 
 use crate::Row;
-use leap_store::{BatchOp, LeapStore, Partitioning, RebalancePolicy, StoreConfig, Subspace};
-use leaplist::{LeapListLt, Params};
+use leap_store::{
+    BatchOp, LeapStore, Partitioning, RebalancePolicy, SnapshotCursor, StoreConfig, Subspace,
+};
+use leaplist::{LeapListLt, ListSnapshot, Params};
 use std::sync::Arc;
 
 /// One component of an atomic index-maintenance batch.
@@ -84,11 +93,90 @@ pub(crate) trait TableStorage: Send + Sync {
     /// snapshot, no row clones).
     fn count(&self, subspace: usize, lo: u64, hi: u64) -> usize;
 
+    /// A **snapshot-isolated** paged scan of `[lo, hi]` in one subspace:
+    /// the global commit timestamp is pinned here, once, and every page —
+    /// first and last alike — reads the subspace exactly as of that
+    /// instant from the lists' version bundles, untouched by commits that
+    /// land (or, on the sharded backend, migrations that move keys) while
+    /// the scan is parked between pages. The engine under
+    /// [`crate::Table::scan_by_snapshot`].
+    fn snapshot_pages<'a>(
+        &'a self,
+        subspace: usize,
+        lo: u64,
+        hi: u64,
+        page_size: usize,
+    ) -> Box<dyn SnapshotPages + 'a>;
+
     /// The backing [`LeapStore`], when this backend is sharded — the
     /// handle tests, benches and operators use to drive resharding and
     /// read store/subspace statistics.
     fn store(&self) -> Option<&Arc<LeapStore<Row>>> {
         None
+    }
+}
+
+/// One subspace's snapshot-isolated paged scan, pinned to one commit
+/// timestamp (see [`TableStorage::snapshot_pages`]). Holds an epoch guard
+/// and a timestamp pin for its whole lifetime, so drop it promptly.
+pub(crate) trait SnapshotPages {
+    /// The pinned commit timestamp every page of this scan reads at.
+    fn ts(&self) -> u64;
+
+    /// The next page — at most the construction-time page size, ascending
+    /// — or `None` when the range is exhausted. Never an empty page.
+    fn next_page(&mut self) -> Option<Vec<(u64, Row)>>;
+}
+
+/// [`SnapshotPages`] over one raw list: a pinned [`ListSnapshot`] plus a
+/// resume key; each page is one transaction-free bundle walk.
+struct RawSnapshotPages<'a> {
+    list: &'a LeapListLt<Row>,
+    snap: ListSnapshot,
+    hi: u64,
+    next: Option<u64>,
+    page_size: usize,
+}
+
+impl SnapshotPages for RawSnapshotPages<'_> {
+    fn ts(&self) -> u64 {
+        self.snap.ts()
+    }
+
+    fn next_page(&mut self) -> Option<Vec<(u64, Row)>> {
+        let lo = self.next?;
+        let page = self
+            .list
+            .snapshot_page(&self.snap, lo, self.hi, self.page_size);
+        self.next = match page.last() {
+            // A full page may have more behind it; a short one proves the
+            // snapshot holds nothing further in range.
+            Some(&(last, _)) if page.len() == self.page_size && last < self.hi => Some(last + 1),
+            _ => None,
+        };
+        (!page.is_empty()).then_some(page)
+    }
+}
+
+/// [`SnapshotPages`] over the sharded store: the store's
+/// [`SnapshotCursor`] (which pins once and merges shard pages itself),
+/// with the subspace tag stripped off each key.
+struct ShardedSnapshotPages<'a> {
+    cursor: SnapshotCursor<'a, Row>,
+    ss: Subspace,
+}
+
+impl SnapshotPages for ShardedSnapshotPages<'_> {
+    fn ts(&self) -> u64 {
+        self.cursor.ts()
+    }
+
+    fn next_page(&mut self) -> Option<Vec<(u64, Row)>> {
+        self.cursor.next_page().map(|page| {
+            page.into_iter()
+                .map(|(k, row)| (self.ss.payload(k), row))
+                .collect()
+        })
     }
 }
 
@@ -146,6 +234,23 @@ impl TableStorage for RawListStorage {
 
     fn count(&self, subspace: usize, lo: u64, hi: u64) -> usize {
         LeapListLt::count_range_group(&[&self.lists[subspace]], &[(lo, hi)])[0]
+    }
+
+    fn snapshot_pages<'a>(
+        &'a self,
+        subspace: usize,
+        lo: u64,
+        hi: u64,
+        page_size: usize,
+    ) -> Box<dyn SnapshotPages + 'a> {
+        let list = &self.lists[subspace];
+        Box::new(RawSnapshotPages {
+            snap: list.pin_snapshot(),
+            list,
+            hi,
+            next: (lo <= hi).then_some(lo),
+            page_size,
+        })
     }
 }
 
@@ -237,6 +342,22 @@ impl TableStorage for ShardedStorage {
     fn count(&self, subspace: usize, lo: u64, hi: u64) -> usize {
         let ss = self.tags[subspace];
         self.store.count_range(ss.key(lo), ss.key(hi))
+    }
+
+    fn snapshot_pages<'a>(
+        &'a self,
+        subspace: usize,
+        lo: u64,
+        hi: u64,
+        page_size: usize,
+    ) -> Box<dyn SnapshotPages + 'a> {
+        let ss = self.tags[subspace];
+        Box::new(ShardedSnapshotPages {
+            cursor: self
+                .store
+                .scan_snapshot_pages(ss.key(lo), ss.key(hi), page_size),
+            ss,
+        })
     }
 
     fn store(&self) -> Option<&Arc<LeapStore<Row>>> {

@@ -32,7 +32,7 @@
 //! ever observe the row absent from, or doubled in, an index.
 
 use crate::obs::{TableObs, TableOp};
-use crate::storage::{Backend, IndexOp, TableStorage};
+use crate::storage::{Backend, IndexOp, SnapshotPages, TableStorage};
 use crate::{DbError, Row, RowId, Schema};
 use leap_store::{LeapStore, Subspace, SubspaceStats};
 use leaplist::Params;
@@ -367,9 +367,11 @@ impl Table {
     /// linearizable transaction of at most `page_size` rows with a resume
     /// key (on the sharded backend this routes through
     /// [`LeapStore::scan`]'s `Cursor`). Between pages the table runs
-    /// free — the usual cursor contract: each page is internally
-    /// consistent, the scan as a whole is not one snapshot (use
-    /// [`Table::scan_by`] for that).
+    /// free, so each page is internally consistent but different pages
+    /// may observe different instants. When the whole multi-page scan
+    /// must be one snapshot, use [`Table::scan_by_snapshot`] — same
+    /// paging, one pinned timestamp — or [`Table::scan_by`] for a single
+    /// whole-range transaction.
     ///
     /// # Errors
     ///
@@ -393,6 +395,46 @@ impl Table {
             hi: hi_key,
             next: Some(lo_key),
             page_size,
+        })
+    }
+
+    /// A **snapshot-isolated** paged scan over the index on `column`:
+    /// this call pins the global commit timestamp once, and **every**
+    /// page of the returned [`TableSnapshotScan`] reads the index exactly
+    /// as of that instant — rows inserted, deleted, or moved between
+    /// index buckets while the scan is parked between pages are
+    /// invisible, and writers are never blocked or retried against. The
+    /// pages come from the index lists' version bundles (the MVCC-lite
+    /// layer), so the read is transaction-free; on the sharded backend
+    /// consistency also holds across in-flight shard migrations.
+    ///
+    /// Ordering and paging match [`Table::scan_by_pages`]: at most
+    /// `page_size` rows per page, ordered by `(column value, row id)`
+    /// across the whole scan.
+    ///
+    /// The scan holds a timestamp pin (bounding version-bundle pruning)
+    /// and an epoch guard for its whole lifetime — drop it promptly
+    /// rather than parking it for minutes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Table::scan_by`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn scan_by_snapshot(
+        &self,
+        column: &str,
+        lo: u64,
+        hi: u64,
+        page_size: usize,
+    ) -> Result<TableSnapshotScan<'_>, DbError> {
+        assert!(page_size > 0, "a page must hold at least one row");
+        let (slot, lo_key, hi_key) = self.index_range(column, lo, hi)?;
+        Ok(TableSnapshotScan {
+            pages: self.storage.snapshot_pages(slot, lo_key, hi_key, page_size),
+            table: self,
         })
     }
 
@@ -497,6 +539,45 @@ impl TableScan<'_> {
 }
 
 impl Iterator for TableScan<'_> {
+    type Item = Vec<(RowId, Row)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_page()
+    }
+}
+
+/// A snapshot-isolated paged index scan (see [`Table::scan_by_snapshot`]):
+/// iterates pages of `(row id, row)` ordered by `(column value, row id)`,
+/// **every** page read at the one commit timestamp pinned when the scan
+/// was created.
+pub struct TableSnapshotScan<'t> {
+    table: &'t Table,
+    pages: Box<dyn SnapshotPages + 't>,
+}
+
+impl TableSnapshotScan<'_> {
+    /// The pinned commit timestamp every page of this scan reads at.
+    pub fn ts(&self) -> u64 {
+        self.pages.ts()
+    }
+
+    /// The next page, or `None` when the index range (as of the pinned
+    /// timestamp) is exhausted. Never returns an empty page.
+    pub fn next_page(&mut self) -> Option<Vec<(RowId, Row)>> {
+        let pages = &mut self.pages;
+        let page = self
+            .table
+            .obs
+            .timed(TableOp::SnapshotPage, || pages.next_page())?;
+        Some(
+            page.into_iter()
+                .map(|(k, row)| (RowId(k & self.table.max_row_id()), row))
+                .collect(),
+        )
+    }
+}
+
+impl Iterator for TableSnapshotScan<'_> {
     type Item = Vec<(RowId, Row)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -718,6 +799,126 @@ mod tests {
             }
             assert!(t.scan_by_pages("user", 0, 1, 4).is_err(), "{name}");
         }
+    }
+
+    /// Tentpole: the whole multi-page snapshot scan observes ONE instant
+    /// — rows inserted, deleted, or moved between index buckets after the
+    /// timestamp was pinned stay invisible to every later page, on both
+    /// backends.
+    #[test]
+    fn snapshot_scan_is_isolated_from_later_writes() {
+        for (name, t) in backends() {
+            for i in 0..30u64 {
+                t.insert(&[i, i % 10, i]).unwrap();
+            }
+            let before = t.scan_by("age", 0, 9).unwrap();
+            let mut scan = t.scan_by_snapshot("age", 0, 9, 7).unwrap();
+            let first = scan.next_page().unwrap();
+            assert_eq!(first.len(), 7, "{name}");
+            // Churn after the pin: a new row, a bucket move, a delete.
+            t.insert(&[99, 5, 5]).unwrap();
+            t.update_column(before[0].0, "age", 9).unwrap();
+            t.delete(before[1].0).unwrap();
+            let mut seen = first;
+            while let Some(page) = scan.next_page() {
+                assert!(page.len() <= 7, "{name}");
+                seen.extend(page);
+            }
+            assert_eq!(seen, before, "{name}: the whole scan is one snapshot");
+            // A fresh scan pins a new timestamp and observes the churn.
+            let now: Vec<_> = t
+                .scan_by_snapshot("age", 0, 9, 64)
+                .unwrap()
+                .flatten()
+                .collect();
+            assert_eq!(now, t.scan_by("age", 0, 9).unwrap(), "{name}");
+        }
+    }
+
+    /// Snapshot pages tile the index exactly like a one-shot scan at any
+    /// page size, the pinned timestamp is monotone across scans, and the
+    /// usual index-resolution errors apply.
+    #[test]
+    fn snapshot_scan_reports_ts_and_tiles_the_index() {
+        for (name, t) in backends() {
+            for i in 0..40u64 {
+                t.insert(&[i, i % 8, i]).unwrap();
+            }
+            let whole = t.scan_by("age", 2, 5).unwrap();
+            let mut last_ts = 0;
+            for page_size in [1usize, 3, 64] {
+                let mut scan = t.scan_by_snapshot("age", 2, 5, page_size).unwrap();
+                assert!(scan.ts() >= last_ts, "{name}: the pin is monotone");
+                last_ts = scan.ts();
+                let mut seen = Vec::new();
+                while let Some(page) = scan.next_page() {
+                    assert!(!page.is_empty() && page.len() <= page_size, "{name}");
+                    seen.extend(page);
+                }
+                assert_eq!(seen, whole, "{name} page_size {page_size}");
+            }
+            assert!(t.scan_by_snapshot("user", 0, 1, 4).is_err(), "{name}");
+            assert!(
+                matches!(
+                    t.scan_by_snapshot("age", t.max_indexed_value() + 1, u64::MAX, 4),
+                    Err(DbError::ValueOutOfRange { .. })
+                ),
+                "{name}"
+            );
+            // An empty range still pins a timestamp, yields no pages.
+            let mut empty = t.scan_by_snapshot("score", 1000, 2000, 4).unwrap();
+            assert!(empty.ts() > 0, "{name}");
+            assert!(empty.next_page().is_none(), "{name}");
+            // The snapshot pages fed their own latency histogram.
+            let snap = t.obs().snapshot();
+            let count = snap
+                .op_latency
+                .iter()
+                .find(|(k, _)| *k == "snapshot_page")
+                .map(|(_, h)| h.count)
+                .unwrap();
+            assert!(count >= 3, "{name}: {count}");
+        }
+    }
+
+    /// Sharded backend: the snapshot scan stays coherent while the store
+    /// splits and drains the scanned index's shard between pages.
+    #[test]
+    fn sharded_snapshot_scan_survives_resharding() {
+        let t = Table::sharded(people_schema());
+        for i in 0..60u64 {
+            t.insert(&[i, i % 4, i]).unwrap();
+        }
+        let before = t.scan_by("score", 0, 59).unwrap();
+        let mut scan = t.scan_by_snapshot("score", 0, 59, 10).unwrap();
+        let first = scan.next_page().unwrap();
+
+        // Split the score subspace's shard (subspace tag 2, one shard per
+        // subspace initially) in the middle of its key range and drain
+        // the migration while the scan is parked, then overwrite every
+        // row so the moved keys also carry post-pin versions.
+        let store = t.store().unwrap();
+        let ss = leap_store::Subspace::new(2);
+        let shard = t.subspace_stats().unwrap()[2].shards[0];
+        store.split_shard(shard, ss.key(30 << 28)).unwrap();
+        store.rebalance_until_idle();
+        for (id, _) in &before {
+            t.update_column(*id, "user", 7777).unwrap();
+        }
+
+        let mut seen = first;
+        while let Some(page) = scan.next_page() {
+            seen.extend(page);
+        }
+        assert_eq!(seen, before, "snapshot holds across the migration");
+        // A fresh scan sees the rewritten rows on the new shard layout.
+        let now: Vec<_> = t
+            .scan_by_snapshot("score", 0, 59, 16)
+            .unwrap()
+            .flatten()
+            .collect();
+        assert!(now.iter().all(|(_, row)| row.get(0) == Some(7777)));
+        assert_eq!(now.len(), before.len());
     }
 
     #[test]

@@ -9,6 +9,72 @@ use std::sync::{Arc, OnceLock};
 /// Default log2 of the ownership-record table size (2^16 orecs = 512 KiB).
 pub const DEFAULT_OREC_BITS: u32 = 16;
 
+/// Capacity of the wiring and snapshot-pin registries. Bounded by the
+/// number of threads concurrently inside post-commit wiring (or holding a
+/// snapshot pin), so a fixed array sized well past any realistic thread
+/// count never blocks in practice; a full registry spins until a slot
+/// frees.
+const REGISTRY_SLOTS: usize = 128;
+
+/// Registry slot value meaning "free".
+const SLOT_FREE: u64 = u64::MAX;
+
+/// A fixed array of timestamp slots with CAS acquisition. Used twice: the
+/// *wiring* registry (writers publish the clock value they sampled before
+/// commit, for the duration of their post-commit wiring) and the
+/// *snapshot-pin* registry (readers publish their pinned timestamp for the
+/// duration of a snapshot scan).
+struct SlotRegistry {
+    slots: Box<[AtomicU64]>,
+}
+
+impl SlotRegistry {
+    fn new() -> Self {
+        SlotRegistry {
+            slots: (0..REGISTRY_SLOTS)
+                .map(|_| AtomicU64::new(SLOT_FREE))
+                .collect(),
+        }
+    }
+
+    /// Claims a free slot and stores `value` (SeqCst — see the ordering
+    /// proof on [`StmDomain::snapshot_ts`]). Spins while the registry is
+    /// full.
+    fn acquire(&self, value: u64) -> usize {
+        debug_assert_ne!(value, SLOT_FREE, "SLOT_FREE is reserved");
+        loop {
+            for (i, s) in self.slots.iter().enumerate() {
+                if s.load(Ordering::Relaxed) == SLOT_FREE
+                    && s.compare_exchange(SLOT_FREE, value, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return i;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Overwrites an owned slot's value.
+    fn set(&self, idx: usize, value: u64) {
+        debug_assert_ne!(value, SLOT_FREE, "SLOT_FREE is reserved");
+        self.slots[idx].store(value, Ordering::SeqCst);
+    }
+
+    fn release(&self, idx: usize) {
+        self.slots[idx].store(SLOT_FREE, Ordering::SeqCst);
+    }
+
+    /// The smallest occupied slot value, if any slot is occupied.
+    fn min_occupied(&self) -> Option<u64> {
+        let mut min = SLOT_FREE;
+        for s in &self.slots {
+            min = min.min(s.load(Ordering::SeqCst));
+        }
+        (min != SLOT_FREE).then_some(min)
+    }
+}
+
 /// Commit strategy for transactions in a domain.
 ///
 /// See the crate docs for the behavioural difference; the Leap-List paper's
@@ -85,6 +151,12 @@ pub struct StmDomain {
     recorder: OnceLock<StmRecorder>,
     /// Optional fault-injection hook; absent = one relaxed load per commit.
     fault_hook: OnceLock<StmFaultHook>,
+    /// Writers mid-wiring: each slot holds the clock value the writer
+    /// sampled *before* its commit bumped the clock, so every occupied
+    /// slot is strictly below that writer's commit timestamp.
+    wiring: SlotRegistry,
+    /// Active snapshot pins: each slot holds a reader's pinned timestamp.
+    pins: SlotRegistry,
 }
 
 impl StmDomain {
@@ -112,6 +184,8 @@ impl StmDomain {
             stats: Stats::default(),
             recorder: OnceLock::new(),
             fault_hook: OnceLock::new(),
+            wiring: SlotRegistry::new(),
+            pins: SlotRegistry::new(),
         }
     }
 
@@ -178,7 +252,83 @@ impl StmDomain {
 
     #[inline]
     pub(crate) fn clock_bump(&self) -> u64 {
-        self.clock.fetch_add(1, Ordering::AcqRel) + 1
+        // SeqCst (not just AcqRel): the snapshot watermark's correctness
+        // argument places the bump in the single total order together with
+        // the wiring-slot stores and the reader's clock-then-slots loads —
+        // see `snapshot_ts`.
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Registers this thread as *wiring*: about to commit a transaction
+    /// whose structural effects (naked pointer swings, version-bundle
+    /// stamps) are published after the commit itself. Call **before**
+    /// [`Txn::commit`](crate::Txn::commit); drop the ticket only after
+    /// every post-commit store is done. While the ticket is live,
+    /// [`StmDomain::snapshot_ts`] stays below the commit's timestamp, so
+    /// no snapshot reader can observe the half-wired state.
+    pub fn begin_wiring(&self) -> WiringTicket<'_> {
+        let idx = self.wiring.acquire(self.clock());
+        WiringTicket { domain: self, idx }
+    }
+
+    /// The newest timestamp at which every commit is **fully wired**: the
+    /// clock, held back below the commit timestamp of any writer still
+    /// inside its post-commit wiring window.
+    ///
+    /// Correctness hinges on the load order — clock **first**, wiring
+    /// slots second, all SeqCst. Suppose a writer W with commit timestamp
+    /// `wv ≤ ts` were still wiring when this returned `ts`. W stored its
+    /// slot (holding `c`, the clock it sampled before commit, so
+    /// `c < wv`) before bumping the clock; the bump precedes our clock
+    /// load (we observed `wv`); the clock load precedes our slot scan. In
+    /// the SeqCst total order W's slot store therefore precedes our scan,
+    /// so we saw the slot occupied and returned `ts ≤ c < wv` — a
+    /// contradiction. (The reverse order — slots first — admits a racing
+    /// writer that registers and commits between the two loads and is
+    /// unsound.) The returned value is monotone non-decreasing.
+    pub fn snapshot_ts(&self) -> u64 {
+        let clk = self.clock();
+        match self.wiring.min_occupied() {
+            Some(c) => clk.min(c),
+            None => clk,
+        }
+    }
+
+    /// Pins a snapshot timestamp for the lifetime of the returned guard:
+    /// version-bundle pruning and retired-node reclamation will preserve
+    /// everything visible at the pin's timestamp (and newer) until the pin
+    /// drops. The timestamp is [`StmDomain::snapshot_ts`], sampled after
+    /// the pin is registered so a concurrent pruner can never slip past
+    /// it (the slot transiently holds 0 — maximally conservative — until
+    /// the real timestamp replaces it).
+    pub fn pin_snapshot(self: &Arc<Self>) -> SnapshotPin {
+        let idx = self.pins.acquire(0);
+        let ts = self.snapshot_ts();
+        self.pins.set(idx, ts);
+        SnapshotPin {
+            domain: self.clone(),
+            idx,
+            ts,
+        }
+    }
+
+    /// The oldest timestamp any live [`SnapshotPin`] holds, if any.
+    pub fn oldest_pinned(&self) -> Option<u64> {
+        self.pins.min_occupied()
+    }
+
+    /// The bound below which superseded versions are unreachable: no live
+    /// pin — and, by monotonicity of [`StmDomain::snapshot_ts`], no
+    /// *future* pin — can carry a timestamp below it. Version-bundle
+    /// pruning keeps the newest entry at-or-below this bound plus
+    /// everything above it; retired nodes whose retirement timestamp is
+    /// at-or-below it are invisible to every present and future snapshot.
+    pub fn prune_bound(&self) -> u64 {
+        let ts = self.snapshot_ts();
+        match self.oldest_pinned() {
+            Some(p) => p.min(ts),
+            None => ts,
+        }
     }
 
     /// Maps a variable address to its orec index (Fibonacci hashing on the
@@ -219,6 +369,66 @@ impl StmDomain {
     /// Number of ownership records (for diagnostics).
     pub fn orec_count(&self) -> usize {
         self.orecs.len()
+    }
+}
+
+/// RAII registration in the wiring registry ([`StmDomain::begin_wiring`]):
+/// while live, [`StmDomain::snapshot_ts`] cannot advance to (or past) the
+/// commit timestamp of the transaction committed under it. Dropping it —
+/// on the success path after the last post-commit store, or implicitly on
+/// an abort path — releases the watermark.
+#[must_use = "dropping the ticket immediately un-fences the wiring window"]
+pub struct WiringTicket<'d> {
+    domain: &'d StmDomain,
+    idx: usize,
+}
+
+impl Drop for WiringTicket<'_> {
+    fn drop(&mut self) {
+        self.domain.wiring.release(self.idx);
+    }
+}
+
+impl std::fmt::Debug for WiringTicket<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WiringTicket")
+            .field("idx", &self.idx)
+            .finish()
+    }
+}
+
+/// An owned snapshot pin ([`StmDomain::pin_snapshot`]): carries the pinned
+/// timestamp and, while live, prevents reclamation of any version visible
+/// at it. Holds the domain alive; dropping releases the pin.
+#[must_use = "the snapshot is only protected while the pin is held"]
+pub struct SnapshotPin {
+    domain: Arc<StmDomain>,
+    idx: usize,
+    ts: u64,
+}
+
+impl SnapshotPin {
+    /// The pinned snapshot timestamp.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+
+    /// Whether this pin was taken on `domain` (callers that mix domains
+    /// can assert a pin matches the structure they traverse).
+    pub fn pinned_on(&self, domain: &StmDomain) -> bool {
+        std::ptr::eq(&*self.domain, domain)
+    }
+}
+
+impl Drop for SnapshotPin {
+    fn drop(&mut self) {
+        self.domain.pins.release(self.idx);
+    }
+}
+
+impl std::fmt::Debug for SnapshotPin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotPin").field("ts", &self.ts).finish()
     }
 }
 
@@ -298,5 +508,82 @@ mod tests {
     #[should_panic(expected = "orec_bits")]
     fn rejects_zero_orec_bits() {
         let _ = StmDomain::with_config(Mode::WriteBack, 0);
+    }
+
+    #[test]
+    fn wiring_ticket_holds_snapshot_ts_below_commit() {
+        let d = StmDomain::new();
+        // No writers wiring: the watermark is the clock.
+        assert_eq!(d.snapshot_ts(), d.clock());
+        let ticket = d.begin_wiring();
+        let before = d.clock();
+        let wv = d.clock_bump(); // "commit"
+        assert_eq!(wv, before + 1);
+        // Mid-wiring: the watermark stays strictly below wv.
+        assert!(d.snapshot_ts() < wv);
+        assert_eq!(d.snapshot_ts(), before);
+        drop(ticket);
+        assert_eq!(d.snapshot_ts(), wv);
+    }
+
+    #[test]
+    fn snapshot_ts_is_min_over_concurrent_wirers() {
+        let d = StmDomain::new();
+        let t1 = d.begin_wiring(); // holds clock=0
+        d.clock_bump();
+        let t2 = d.begin_wiring(); // holds clock=1
+        d.clock_bump();
+        assert_eq!(d.snapshot_ts(), 0);
+        drop(t1);
+        assert_eq!(d.snapshot_ts(), 1);
+        drop(t2);
+        assert_eq!(d.snapshot_ts(), 2);
+    }
+
+    #[test]
+    fn snapshot_pin_sets_prune_bound() {
+        let d = Arc::new(StmDomain::new());
+        d.clock_bump();
+        d.clock_bump();
+        assert_eq!(d.oldest_pinned(), None);
+        assert_eq!(d.prune_bound(), 2);
+        let pin = d.pin_snapshot();
+        assert_eq!(pin.ts(), 2);
+        assert!(pin.pinned_on(&d));
+        d.clock_bump();
+        // The pin holds the bound back even as the clock moves on.
+        assert_eq!(d.prune_bound(), 2);
+        let pin2 = d.pin_snapshot();
+        assert_eq!(pin2.ts(), 3);
+        drop(pin);
+        assert_eq!(d.prune_bound(), 3);
+        drop(pin2);
+        assert_eq!(d.prune_bound(), 3);
+        assert_eq!(d.oldest_pinned(), None);
+    }
+
+    #[test]
+    fn pin_under_wiring_sees_held_back_ts() {
+        let d = Arc::new(StmDomain::new());
+        let ticket = d.begin_wiring();
+        let wv = d.clock_bump();
+        let pin = d.pin_snapshot();
+        assert!(pin.ts() < wv, "a pin taken mid-wiring must not see wv");
+        drop(ticket);
+        let pin2 = d.pin_snapshot();
+        assert_eq!(pin2.ts(), wv);
+        // prune_bound respects the older pin.
+        assert_eq!(d.prune_bound(), pin.ts());
+    }
+
+    #[test]
+    fn registry_slots_recycle() {
+        let d = StmDomain::new();
+        // Far more acquire/release cycles than slots: indexes recycle.
+        for _ in 0..1000 {
+            let t = d.begin_wiring();
+            drop(t);
+        }
+        assert_eq!(d.snapshot_ts(), d.clock());
     }
 }

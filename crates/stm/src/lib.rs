@@ -71,7 +71,9 @@ mod tvar;
 mod txn;
 mod word;
 
-pub use domain::{Mode, StmDomain, StmFaultHook, StmFaultPoint, DEFAULT_OREC_BITS};
+pub use domain::{
+    Mode, SnapshotPin, StmDomain, StmFaultHook, StmFaultPoint, WiringTicket, DEFAULT_OREC_BITS,
+};
 pub use recorder::StmRecorder;
 pub use retry::{atomically, atomically_with, with_retry_budget, Backoff, RetryPolicy, Timeout};
 pub use stats::StatsSnapshot;

@@ -292,7 +292,21 @@ impl<'d> Txn<'d> {
     ///
     /// [`Abort::Conflict`] if commit-time locking or read validation fails;
     /// the transaction is rolled back and all its effects discarded.
-    pub fn commit(mut self) -> Result<(), Abort> {
+    pub fn commit(self) -> Result<(), Abort> {
+        self.commit_stamped().map(|_| ())
+    }
+
+    /// Attempts to commit and returns the commit timestamp: the global
+    /// clock value this commit installed (the version its write stripes
+    /// were released at). A read-only transaction performs no clock bump
+    /// and returns its read snapshot instead — the newest timestamp its
+    /// reads are consistent at. Version-bundle stamping uses the returned
+    /// value to tag the structures the commit published.
+    ///
+    /// # Errors
+    ///
+    /// [`Abort::Conflict`] exactly as [`Txn::commit`].
+    pub fn commit_stamped(mut self) -> Result<u64, Abort> {
         if self.poisoned {
             // Drop impl performs the rollback and stats accounting.
             return Err(Abort::Conflict);
@@ -309,14 +323,14 @@ impl<'d> Txn<'d> {
         }
     }
 
-    fn commit_wb(&mut self) -> Result<(), Abort> {
+    fn commit_wb(&mut self) -> Result<u64, Abort> {
         if self.write_set.is_empty() {
             self.completed = true;
             self.domain
                 .stats
                 .read_only_commits
                 .fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            return Ok(self.rv);
         }
         // Lock the write stripes in sorted order (deadlock avoidance with
         // bounded spinning as a safety net).
@@ -366,17 +380,17 @@ impl<'d> Txn<'d> {
         }
         self.completed = true;
         self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(wv)
     }
 
-    fn commit_wt(&mut self) -> Result<(), Abort> {
+    fn commit_wt(&mut self) -> Result<u64, Abort> {
         if self.wt_locks.is_empty() {
             self.completed = true;
             self.domain
                 .stats
                 .read_only_commits
                 .fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+            return Ok(self.rv);
         }
         let wv = self.domain.clock_bump();
         let mut mine: Vec<(u32, u64)> = self.wt_locks.iter().map(|l| (l.orec, l.old)).collect();
@@ -394,7 +408,7 @@ impl<'d> Txn<'d> {
         self.undo.clear();
         self.completed = true;
         self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(wv)
     }
 
     /// Undoes in-place writes (reverse order) and restores orec words.
@@ -597,6 +611,28 @@ mod tests {
             drop(tx);
             assert_eq!(v.naked_load(), 0, "mode {:?}", d.mode());
             assert_eq!(d.stats().explicit_aborts, 1);
+        }
+    }
+
+    #[test]
+    fn commit_stamped_returns_the_installed_version() {
+        for d in both_modes() {
+            let v = TVar::new(0u64);
+            let mut tx = Txn::begin(&d);
+            tx.write(&v, 1).unwrap();
+            let wv = tx.commit_stamped().unwrap();
+            assert_eq!(wv, d.clock(), "mode {:?}", d.mode());
+            // A second writing commit gets a strictly newer stamp.
+            let mut tx = Txn::begin(&d);
+            tx.write(&v, 2).unwrap();
+            let wv2 = tx.commit_stamped().unwrap();
+            assert!(wv2 > wv);
+            // Read-only commits return the read snapshot without bumping.
+            let clock = d.clock();
+            let mut tx = Txn::begin(&d);
+            assert_eq!(tx.read(&v).unwrap(), 2);
+            assert_eq!(tx.commit_stamped().unwrap(), clock);
+            assert_eq!(d.clock(), clock);
         }
     }
 

@@ -1,0 +1,171 @@
+//! An exact interval tree over completed-migration ranges, replacing the
+//! bounded coalescing log the router used to keep.
+//!
+//! The old log capped itself at 32 entries and, on overflow, merged the
+//! two closest entries **across the gap between them** — conservative for
+//! stamp validity (a merge can only widen coverage), but after enough
+//! disjoint migrations the merged spans swallowed the gaps: a read over a
+//! never-migrated range would see its stamp's `completed` component move
+//! whenever an unrelated completion landed, and retry for nothing.
+//!
+//! This tree stores the ranges exactly. Intervals are kept **pairwise
+//! disjoint** by construction: a new completion (which always carries the
+//! newest sequence number) overwrites the overlapped parts of older
+//! entries and the survivors are re-inserted as clipped fragments, each
+//! keeping its own sequence number. Disjointness makes the ordered map a
+//! true interval tree — sorted by `lo`, the `hi` endpoints are strictly
+//! increasing too, so a stabbing query walks backward from the last entry
+//! starting at-or-before the probe's `hi` and stops at the first entry
+//! ending below the probe's `lo`: `O(log n + k)` for `k` overlaps, with
+//! no false positives, ever.
+
+use std::collections::BTreeMap;
+
+/// Disjoint `[lo, hi] -> seq` intervals with last-writer-wins insertion
+/// and an exact max-seq stabbing query. Sequence numbers must be inserted
+/// in strictly increasing order (the router's completion counter).
+#[derive(Debug, Default)]
+pub(crate) struct CompletionTree {
+    /// `lo -> (hi, seq)`; invariant: keys ascend, intervals are pairwise
+    /// disjoint, so `hi` values ascend with the keys.
+    map: BTreeMap<u64, (u64, u64)>,
+}
+
+impl CompletionTree {
+    /// Records that `[lo, hi]` completed with sequence number `seq`,
+    /// which must exceed every previously inserted sequence number. Older
+    /// entries overlapped by the new range are clipped to their
+    /// non-overlapping fragments (keeping their own seq).
+    pub(crate) fn insert(&mut self, lo: u64, hi: u64, seq: u64) {
+        debug_assert!(lo <= hi);
+        debug_assert!(
+            self.map.values().all(|&(_, s)| s < seq),
+            "completion sequence numbers are monotone"
+        );
+        // Disjoint + sorted: the overlapped entries are a contiguous run
+        // ending at the last entry with key <= hi.
+        let overlapped: Vec<u64> = self
+            .map
+            .range(..=hi)
+            .rev()
+            .take_while(|&(_, &(chi, _))| chi >= lo)
+            .map(|(&clo, _)| clo)
+            .collect();
+        for clo in overlapped {
+            let (chi, cseq) = self.map.remove(&clo).expect("key just enumerated");
+            if clo < lo {
+                self.map.insert(clo, (lo - 1, cseq));
+            }
+            if chi > hi {
+                self.map.insert(hi + 1, (chi, cseq));
+            }
+        }
+        self.map.insert(lo, (hi, seq));
+    }
+
+    /// The newest sequence number among intervals overlapping `[lo, hi]`
+    /// (0 if none does). Exact: a range no completion ever covered
+    /// returns 0 no matter how many disjoint completions are stored.
+    pub(crate) fn max_seq_overlapping(&self, lo: u64, hi: u64) -> u64 {
+        let mut best = 0;
+        for (_, &(chi, seq)) in self.map.range(..=hi).rev() {
+            if chi < lo {
+                // Disjointness: every earlier entry ends even lower.
+                break;
+            }
+            best = best.max(seq);
+        }
+        best
+    }
+
+    /// Number of stored (fragment) intervals.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The stored intervals as `(lo, hi, seq)`, ascending.
+    #[cfg(test)]
+    pub(crate) fn intervals(&self) -> Vec<(u64, u64, u64)> {
+        self.map
+            .iter()
+            .map(|(&lo, &(hi, seq))| (lo, hi, seq))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_inserts_stay_exact() {
+        let mut t = CompletionTree::default();
+        for i in 0..200u64 {
+            t.insert(i * 10, i * 10 + 5, i + 1);
+        }
+        assert_eq!(t.len(), 200, "no coalescing, no cap");
+        // Every stored range answers with its own seq...
+        assert_eq!(t.max_seq_overlapping(40, 45), 5);
+        assert_eq!(t.max_seq_overlapping(1990, 1995), 200);
+        // ...and every gap answers 0 — the property the capped log lost.
+        for i in 0..199u64 {
+            assert_eq!(t.max_seq_overlapping(i * 10 + 6, i * 10 + 9), 0);
+        }
+        assert_eq!(t.max_seq_overlapping(5_000, 6_000), 0);
+    }
+
+    #[test]
+    fn overlaps_clip_older_entries() {
+        let mut t = CompletionTree::default();
+        t.insert(10, 19, 1);
+        t.insert(30, 39, 2);
+        // Covers the right half of the first and the left half of the
+        // second: both survive as clipped fragments with their own seq.
+        t.insert(15, 34, 3);
+        assert_eq!(t.intervals(), vec![(10, 14, 1), (15, 34, 3), (35, 39, 2)]);
+        assert_eq!(t.max_seq_overlapping(10, 12), 1);
+        assert_eq!(t.max_seq_overlapping(12, 16), 3);
+        assert_eq!(t.max_seq_overlapping(36, 40), 2);
+        assert_eq!(t.max_seq_overlapping(40, 100), 0);
+        // A middle overwrite splits one entry into three.
+        t.insert(20, 25, 4);
+        assert_eq!(
+            t.intervals(),
+            vec![
+                (10, 14, 1),
+                (15, 19, 3),
+                (20, 25, 4),
+                (26, 34, 3),
+                (35, 39, 2)
+            ]
+        );
+        // Full cover swallows everything.
+        t.insert(0, 100, 5);
+        assert_eq!(t.intervals(), vec![(0, 100, 5)]);
+        assert_eq!(t.max_seq_overlapping(50, 60), 5);
+    }
+
+    #[test]
+    fn adjacency_does_not_merge() {
+        let mut t = CompletionTree::default();
+        t.insert(10, 19, 1);
+        t.insert(20, 29, 2);
+        assert_eq!(t.len(), 2, "adjacent ranges keep distinct seqs");
+        assert_eq!(t.max_seq_overlapping(19, 20), 2);
+        assert_eq!(t.max_seq_overlapping(15, 18), 1);
+    }
+
+    #[test]
+    fn endpoint_extremes_are_safe() {
+        let mut t = CompletionTree::default();
+        t.insert(0, u64::MAX - 1, 1);
+        t.insert(5, 9, 2);
+        assert_eq!(
+            t.intervals(),
+            vec![(0, 4, 1), (5, 9, 2), (10, u64::MAX - 1, 1)]
+        );
+        assert_eq!(t.max_seq_overlapping(0, 0), 1);
+        assert_eq!(t.max_seq_overlapping(u64::MAX - 1, u64::MAX - 1), 1);
+    }
+}

@@ -30,6 +30,11 @@
 //! * **Paged scans** — [`LeapStore::scan`] returns a [`Cursor`] yielding
 //!   bounded pages, each one linearizable transaction with a resume key:
 //!   huge scans without huge transactions, stable across resharding.
+//! * **Snapshot-isolated scans** — [`LeapStore::scan_snapshot`] returns a
+//!   [`SnapshotCursor`] that pins the global commit timestamp once and
+//!   serves **every** page from the shards' version bundles at that
+//!   timestamp: the whole multi-page scan is one consistent snapshot,
+//!   retry-free under concurrent commits and in-flight migrations.
 //! * **Operation batching** — [`Batcher`] flat-combines single-key ops
 //!   from many threads into grouped multi-list transactions, with a
 //!   latency-aware adaptive window and **admission control**: a bounded
@@ -72,6 +77,7 @@
 mod batch;
 mod cursor;
 mod error;
+mod interval;
 mod obs;
 mod rebalance;
 mod router;
@@ -80,7 +86,7 @@ mod store;
 mod subspace;
 
 pub use batch::{Batcher, BatcherStats, PoisonedOp};
-pub use cursor::{Cursor, DEFAULT_PAGE_SIZE};
+pub use cursor::{Cursor, SnapshotCursor, DEFAULT_PAGE_SIZE};
 pub use error::StoreError;
 pub use obs::{ObsSnapshot, StoreObs, GET_SAMPLE_PERIOD};
 pub use rebalance::{

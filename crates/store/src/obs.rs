@@ -25,9 +25,11 @@
 //!
 //! Histograms: `store_op_get_ns`, `store_op_put_ns`, `store_op_delete_ns`,
 //! `store_op_apply_ns`, `store_op_range_ns`, `store_op_scan_page_ns`,
-//! `store_op_len_ns` (the `count_range`/`len` snapshot count walks) and
-//! `stm_txn_retries` (attempts per committed transaction, via
-//! [`leap_stm::StmRecorder`]). Event ring: `store_events`.
+//! `store_op_len_ns` (the `count_range`/`len` snapshot count walks),
+//! `store_op_snapshot_page_ns` (pinned-timestamp pages served by
+//! [`crate::SnapshotCursor`]) and `stm_txn_retries` (attempts per
+//! committed transaction, via [`leap_stm::StmRecorder`]). Event ring:
+//! `store_events`.
 
 use leap_obs::{EventRing, HistSnapshot, Histogram, Json, Registry, RingSnapshot};
 use std::cell::Cell;
@@ -57,7 +59,7 @@ pub(crate) fn sample_get(period: u32) -> bool {
 
 /// The op-kind order every snapshot reports, paired with each kind's
 /// registry series name.
-const OP_KINDS: [(&str, &str); 7] = [
+const OP_KINDS: [(&str, &str); 8] = [
     ("get", "store_op_get_ns"),
     ("put", "store_op_put_ns"),
     ("delete", "store_op_delete_ns"),
@@ -65,6 +67,7 @@ const OP_KINDS: [(&str, &str); 7] = [
     ("range", "store_op_range_ns"),
     ("scan_page", "store_op_scan_page_ns"),
     ("len", "store_op_len_ns"),
+    ("snapshot_page", "store_op_snapshot_page_ns"),
 ];
 
 /// The store's instrument set (see the module docs for the series names).
@@ -74,7 +77,7 @@ const OP_KINDS: [(&str, &str); 7] = [
 pub struct StoreObs {
     registry: Arc<Registry>,
     /// Per-op-kind latency histograms, in [`OP_KINDS`] order.
-    ops: [Arc<Histogram>; 7],
+    ops: [Arc<Histogram>; 8],
     /// Attempts per committed transaction (1 = first try), recorded by
     /// the domain's [`leap_stm::StmRecorder`].
     pub(crate) txn_retries: Arc<Histogram>,
@@ -92,6 +95,7 @@ pub(crate) enum OpKind {
     Range = 4,
     ScanPage = 5,
     Len = 6,
+    SnapshotPage = 7,
 }
 
 impl StoreObs {
@@ -143,7 +147,7 @@ impl StoreObs {
 #[derive(Debug, Clone)]
 pub struct ObsSnapshot {
     /// Per-op-kind latency snapshots, in a fixed kind order
-    /// (get, put, delete, apply, range, scan_page, len).
+    /// (get, put, delete, apply, range, scan_page, len, snapshot_page).
     pub op_latency: Vec<(&'static str, HistSnapshot)>,
     /// Attempts per committed transaction.
     pub txn_retries: HistSnapshot,
@@ -191,14 +195,25 @@ mod tests {
         let obs = StoreObs::new(16);
         obs.record_op(OpKind::Get, 100);
         obs.record_op(OpKind::Len, 5_000);
+        obs.record_op(OpKind::SnapshotPage, 7_000);
         let snap = obs.snapshot();
         let kinds: Vec<&str> = snap.op_latency.iter().map(|(k, _)| *k).collect();
         assert_eq!(
             kinds,
-            vec!["get", "put", "delete", "apply", "range", "scan_page", "len"]
+            vec![
+                "get",
+                "put",
+                "delete",
+                "apply",
+                "range",
+                "scan_page",
+                "len",
+                "snapshot_page"
+            ]
         );
         assert_eq!(snap.op_latency[0].1.count, 1);
         assert_eq!(snap.op_latency[6].1.max, 5_000);
+        assert_eq!(snap.op_latency[7].1.max, 7_000);
         let json = snap.op_latency_json().render();
         assert!(json.contains("\"get\":{\"count\":1"), "{json}");
         // The registry carries the same series under their public names.

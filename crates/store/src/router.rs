@@ -19,14 +19,10 @@
 //! a migration of some other key range beginning or completing never
 //! forces a retry.
 
+use crate::interval::CompletionTree;
 use crate::rebalance::RebalanceError;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-
-/// Completed-range log entries the router keeps before coalescing the two
-/// closest ones. Bounds stamp cost and memory; coalescing is conservative
-/// (it can only cause a spurious retry, never a missed one).
-const COMPLETED_LOG_CAP: usize = 32;
 
 /// How the keyspace is partitioned across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,10 +235,12 @@ pub(crate) enum WriteRoute {
 /// * `overlays` — the unique ids of in-flight migrations overlapping the
 ///   range. Ids are never reused, so "the same overlay set" really means
 ///   the same overlays (no ABA through complete-then-identical-rebegin).
-/// * `completed` — the newest completion sequence number among logged
-///   completed migrations overlapping the range. Completions only append
-///   with increasing sequence numbers, so any overlapping completion
-///   between the two stamps raises it.
+/// * `completed` — the newest completion sequence number among completed
+///   migrations overlapping the range, answered exactly by the router's
+///   completion interval tree. Completions only insert with increasing
+///   sequence numbers, so any overlapping completion between the two
+///   stamps raises it — and a completion elsewhere never moves it (the
+///   tree never widens a stored range).
 ///
 /// A migration of a *disjoint* range changes neither component — its
 /// begin/complete bumps the global epoch but cannot change where the
@@ -261,10 +259,9 @@ struct OverlaySet {
     /// In-flight migrations, sorted by `lo`; pairwise disjoint ranges and
     /// pairwise disjoint `{src, dst}` slot sets.
     inflight: Vec<Arc<MigrationState>>,
-    /// Disjoint `(lo, hi, seq)` ranges of completed migrations, sorted by
-    /// `lo`; overlapping or adjacent entries coalesce to the newest seq
-    /// (conservative — see [`OverlayStamp`]).
-    completed: Vec<(u64, u64, u64)>,
+    /// Completed migration ranges, stored exactly (no cap, no
+    /// gap-spanning coalescing) — see [`CompletionTree`].
+    completed: CompletionTree,
     /// Monotone id source for new migrations.
     next_id: u64,
     /// Monotone completion sequence (1 for the first completion).
@@ -274,45 +271,16 @@ struct OverlaySet {
 }
 
 impl OverlaySet {
-    /// Records a completed migration's range, coalescing overlapping or
-    /// adjacent entries to the new (maximal) sequence number and bounding
-    /// the log by merging the two closest entries when it overflows.
+    /// Records a completed migration's range in the interval tree under
+    /// the next completion sequence number.
     fn log_completion(&mut self, lo: u64, hi: u64) {
         self.completed_seq += 1;
-        let seq = self.completed_seq;
-        let (mut lo, mut hi) = (lo, hi);
-        self.completed.retain(|&(clo, chi, _)| {
-            // Adjacency (saturating: hi == u64::MAX-1 at most) merges too,
-            // keeping neighbouring completions as one entry.
-            let overlaps = clo <= hi.saturating_add(1) && lo <= chi.saturating_add(1);
-            if overlaps {
-                lo = lo.min(clo);
-                hi = hi.max(chi);
-            }
-            !overlaps
-        });
-        let at = self.completed.partition_point(|&(clo, _, _)| clo < lo);
-        self.completed.insert(at, (lo, hi, seq));
-        if self.completed.len() > COMPLETED_LOG_CAP {
-            // Merge the pair with the smallest gap, spanning the gap with
-            // the newer seq — still conservative.
-            let i = (0..self.completed.len() - 1)
-                .min_by_key(|&i| self.completed[i + 1].0 - self.completed[i].1)
-                .expect("len > 1");
-            let (alo, _, aseq) = self.completed[i];
-            let (_, bhi, bseq) = self.completed.remove(i + 1);
-            self.completed[i] = (alo, bhi, aseq.max(bseq));
-        }
+        self.completed.insert(lo, hi, self.completed_seq);
     }
 
     /// The newest completion sequence overlapping `[lo, hi]` (0 if none).
     fn completed_overlapping(&self, lo: u64, hi: u64) -> u64 {
-        self.completed
-            .iter()
-            .filter(|&&(clo, chi, _)| clo <= hi && lo <= chi)
-            .map(|&(_, _, seq)| seq)
-            .max()
-            .unwrap_or(0)
+        self.completed.max_seq_overlapping(lo, hi)
     }
 }
 
@@ -917,25 +885,71 @@ mod tests {
         assert_eq!(r.shard_of(300), s);
     }
 
+    /// The completion log is an exact interval tree: overlapping
+    /// completions overwrite (newest seq wins on the overlap), while
+    /// ranges no completion ever covered always answer 0 — there is no
+    /// cap whose overflow used to smear entries across the gaps.
     #[test]
-    fn completion_log_coalesces_and_stays_bounded() {
+    fn completion_log_is_exact_and_unbounded() {
         let mut set = OverlaySet::default();
         set.log_completion(10, 19);
         set.log_completion(30, 39);
-        assert_eq!(set.completed.len(), 2);
-        // Adjacent on the left entry: coalesces, keeps the newest seq.
         set.log_completion(20, 25);
-        assert_eq!(set.completed, vec![(10, 25, 3), (30, 39, 2)]);
         assert_eq!(set.completed_overlapping(0, 9), 0);
+        assert_eq!(set.completed_overlapping(12, 14), 1);
         assert_eq!(set.completed_overlapping(25, 28), 3);
-        // Overflow merges the closest pair instead of growing.
-        for i in 0..2 * COMPLETED_LOG_CAP as u64 {
-            set.log_completion(1000 + 10 * i, 1005 + 10 * i);
+        assert_eq!(set.completed_overlapping(26, 29), 0, "the gap stays a gap");
+        assert_eq!(set.completed_overlapping(30, 100), 2);
+        // A later completion covering part of an old range wins there,
+        // and only there.
+        set.log_completion(35, 50);
+        assert_eq!(set.completed_overlapping(30, 34), 2);
+        assert_eq!(set.completed_overlapping(36, 60), 4);
+        // Monotone: the newest logged seq is always reachable.
+        assert_eq!(
+            set.completed_overlapping(0, u64::MAX - 1),
+            set.completed_seq
+        );
+    }
+
+    /// Regression (ROADMAP carry-over): with the old 32-entry coalescing
+    /// log, 100+ disjoint completed migrations overflowed the cap and the
+    /// closest-gap merges swallowed the gaps between them — a read over a
+    /// never-migrated range then saw its stamp move on every unrelated
+    /// completion and retried for nothing. The interval tree keeps every
+    /// range exact: stamps outside all migrated ranges never move.
+    #[test]
+    fn disjoint_completions_never_move_disjoint_stamps() {
+        let r = Router::new(Partitioning::Range, 4, 1000);
+        // A read range no migration will ever touch.
+        let quiet_before = r.overlay_stamp(900, 950);
+        let mut set = OverlaySet::default();
+        for i in 0..150u64 {
+            set.log_completion(1_000 + 20 * i, 1_009 + 20 * i);
         }
-        assert!(set.completed.len() <= COMPLETED_LOG_CAP);
-        // Monotone: every logged seq survives as some entry's max.
-        let newest = set.completed.iter().map(|&(_, _, s)| s).max().unwrap();
-        assert_eq!(newest, set.completed_seq);
+        // Every migrated range answers its own completion...
+        assert_eq!(set.completed_overlapping(1_000, 1_009), 1);
+        assert_eq!(set.completed_overlapping(1_000 + 20 * 149, 2_000_000), 150);
+        // ...and every gap between them answers 0: a read outside every
+        // migrated range is untouched by all 150 completions.
+        for i in 0..149u64 {
+            assert_eq!(
+                set.completed_overlapping(1_010 + 20 * i, 1_019 + 20 * i),
+                0,
+                "gap {i} must stay clean after 150 disjoint completions"
+            );
+        }
+        // End-to-end through the router: complete two real migrations on
+        // disjoint ranges; the quiet range's stamp never moves.
+        let m = r.begin_migration(0, 1, 100).expect("suffix migration");
+        let m2 = r.begin_migration(2, 3, 600).expect("disjoint migration");
+        r.complete_migration(&m).unwrap();
+        r.complete_migration(&m2).unwrap();
+        assert_eq!(
+            r.overlay_stamp(900, 950),
+            quiet_before,
+            "completions on [100,249] and [600,749] must not stamp [900,950]"
+        );
     }
 
     #[test]

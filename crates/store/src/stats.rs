@@ -112,6 +112,14 @@ pub struct StoreStats {
     /// injected drain fault; each surfaced to its caller as
     /// [`crate::StoreError::Overloaded`].
     pub shed_ops: u64,
+    /// Snapshot-isolated scans started ([`crate::LeapStore::scan_snapshot`]
+    /// cursors pinned) since construction.
+    pub snapshot_scans: u64,
+    /// High-water mark of any shard's level-0 version-bundle depth: 1 when
+    /// no commit ever ran under a live snapshot pin; bounded by
+    /// commits-per-pin-lifetime (bundles prune back on append once the
+    /// pin drops).
+    pub bundle_depth: u64,
     /// Instrument snapshot (latency histograms, retry histogram, event
     /// timeline) when the store was built with observability enabled.
     pub obs: Option<ObsSnapshot>,
@@ -221,7 +229,9 @@ impl StoreStats {
             .field("key_spread", Json::U64(self.key_spread()))
             .field("key_spread_ratio", Json::fixed(self.key_spread_ratio(), 4))
             .field("aborted_migrations", Json::U64(self.aborted_migrations))
-            .field("shed_ops", Json::U64(self.shed_ops));
+            .field("shed_ops", Json::U64(self.shed_ops))
+            .field("snapshot_scans", Json::U64(self.snapshot_scans))
+            .field("bundle_depth", Json::U64(self.bundle_depth));
         if let Some(obs) = &self.obs {
             out = out
                 .field("op_latency", obs.op_latency_json())
@@ -294,6 +304,14 @@ impl StoreStats {
             self.shed_ops
         ));
         out.push_str(&format!(
+            "# TYPE store_snapshot_scans counter\nstore_snapshot_scans {}\n",
+            self.snapshot_scans
+        ));
+        out.push_str(&format!(
+            "# TYPE store_bundle_depth gauge\nstore_bundle_depth {}\n",
+            self.bundle_depth
+        ));
+        out.push_str(&format!(
             "# TYPE stm_timeouts counter\nstm_timeouts {}\n",
             self.stm.timeouts
         ));
@@ -338,7 +356,7 @@ impl std::fmt::Display for StoreStats {
         }
         write!(
             f,
-            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} (in flight {}, peak {}, aborted {}) | shed_ops={} | key_spread={} ({:.2}x mean)",
+            "stm: {} | collision_batches={} | abort_rate={:.4} | epoch={} | migrations={} (in flight {}, peak {}, aborted {}) | shed_ops={} | key_spread={} ({:.2}x mean) | snapshot_scans={} (bundle_depth {})",
             self.stm,
             self.collision_batches,
             self.abort_rate(),
@@ -350,6 +368,8 @@ impl std::fmt::Display for StoreStats {
             self.shed_ops,
             self.key_spread(),
             self.key_spread_ratio(),
+            self.snapshot_scans,
+            self.bundle_depth,
         )
     }
 }
@@ -418,6 +438,8 @@ mod tests {
             migrations_completed: 3,
             aborted_migrations: 1,
             shed_ops: 6,
+            snapshot_scans: 5,
+            bundle_depth: 4,
             obs: None,
         };
         assert_eq!(stats.shards[0].total_ops(), 15);
@@ -442,6 +464,8 @@ mod tests {
         assert!(json.contains("\"key_spread_ratio\":1.6000"));
         assert!(json.contains("\"aborted_migrations\":1"));
         assert!(json.contains("\"shed_ops\":6"));
+        assert!(json.contains("\"snapshot_scans\":5"));
+        assert!(json.contains("\"bundle_depth\":4"));
         assert!(json.contains("\"timeouts\":2"));
         assert!(json.contains("\"abort_rate\":0.500000"));
         assert!(
@@ -462,6 +486,7 @@ mod tests {
         assert!(text.contains("migrating [100, 199] shard 0 -> 2"));
         assert!(text.contains("migrating [600, 699] shard 1 -> 3"));
         assert!(text.contains("key_spread=30"));
+        assert!(text.contains("snapshot_scans=5 (bundle_depth 4)"));
     }
 
     /// The division path of the relative spread: every degenerate census
@@ -573,6 +598,8 @@ mod tests {
             "{prom}"
         );
         assert!(prom.contains("store_events_dropped 0\n"), "{prom}");
+        assert!(prom.contains("store_snapshot_scans 0\n"), "{prom}");
+        assert!(prom.contains("# TYPE store_bundle_depth gauge\n"), "{prom}");
         // A store built without obs renders neither instrument block.
         let plain: crate::LeapStore<u64> =
             crate::LeapStore::new(StoreConfig::new(2, Partitioning::Hash).with_obs(false));

@@ -151,7 +151,7 @@ impl StoreConfig {
 /// One multi-shard read plan: the lists to visit in one snapshot
 /// transaction, their (clipped) per-list key ranges, and whether the
 /// merged result needs sorting.
-type VisitPlan<V> = (Vec<Arc<LeapListLt<V>>>, Vec<(u64, u64)>, bool);
+pub(crate) type VisitPlan<V> = (Vec<Arc<LeapListLt<V>>>, Vec<(u64, u64)>, bool);
 
 /// One shard slot: the Leap-List and its op counters, kept side by side
 /// so the hot paths reach both with a single lock acquisition.
@@ -176,6 +176,10 @@ struct ShardSlot<V> {
 /// * [`LeapStore::scan`] — a paged cursor over a range: each page is one
 ///   bounded linearizable transaction with a resume key, so scanning a
 ///   million keys never materializes them in one transaction.
+/// * [`LeapStore::scan_snapshot`] — a paged cursor whose every page reads
+///   at **one** pinned commit timestamp via the shards' version bundles:
+///   the whole scan is one consistent snapshot, and pages never retry
+///   against concurrent commits or migrations.
 /// * [`LeapStore::split_shard`] / [`LeapStore::merge_shards`] /
 ///   [`LeapStore::rebalance_step`] — online shard migration (range
 ///   partitioning), driven deterministically or by a background
@@ -241,6 +245,9 @@ pub struct LeapStore<V> {
     /// injected drain fault (each one surfaced to its caller as
     /// [`StoreError::Overloaded`], never silently).
     pub(crate) shed_ops: AtomicU64,
+    /// Snapshot-isolated scans started ([`LeapStore::scan_snapshot`]
+    /// cursors pinned).
+    pub(crate) snapshot_scans: AtomicU64,
     /// Deterministic fault injector shared by every injection point;
     /// `None` (a single branch on the hot paths) in production.
     pub(crate) faults: Option<Arc<FaultInjector>>,
@@ -327,6 +334,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             migrations_completed: AtomicU64::new(0),
             aborted_migrations: AtomicU64::new(0),
             shed_ops: AtomicU64::new(0),
+            snapshot_scans: AtomicU64::new(0),
             faults,
             obs,
             sample_period: config.sample_period,
@@ -1172,6 +1180,53 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         (lists, ranges, sort)
     }
 
+    /// Pins a snapshot timestamp and captures the `[lo, hi]` visit plan
+    /// that goes with it — the one-time setup behind
+    /// [`LeapStore::scan_snapshot`]. Every later page reads the captured
+    /// lists at the pinned timestamp with **no** stamp checks: commits
+    /// and migrations after the pin carry larger write versions and are
+    /// invisible by construction.
+    ///
+    /// The stamp bracket here is the only race window: a migration
+    /// overlapping `[lo, hi]` completing between the pin and the plan
+    /// capture could install a table that routes the migrated range only
+    /// to its destination, while moves committed *after* the pinned
+    /// timestamp are still only visible on the source side. Equal stamps
+    /// prove no overlapping migration began or completed inside the
+    /// bracket, which rules that out:
+    ///
+    /// * completed before the bracket — every move's wiring finished
+    ///   before the pin, so the moved keys are visible in the destination
+    ///   at the pinned timestamp, and the plan routes there;
+    /// * in flight across the bracket — the plan carries both sides, and
+    ///   each key is visible on exactly one of them at any timestamp
+    ///   (moves are single cross-list commits);
+    /// * begun after the bracket — its moves are newer than the pin, so
+    ///   the source (still in the captured plan) shows every key.
+    pub(crate) fn pinned_snapshot_plan(
+        &self,
+        lo: u64,
+        hi: u64,
+    ) -> (leaplist::ListSnapshot, VisitPlan<V>) {
+        loop {
+            let stamp = self.router.overlay_stamp(lo, hi);
+            let snap = leaplist::ListSnapshot::pin(&self.domain);
+            let plan = self.visit_plan(lo, hi);
+            if self.router.overlay_stamp(lo, hi) == stamp {
+                self.snapshot_scans.fetch_add(1, Ordering::Relaxed);
+                return (snap, plan);
+            }
+            leap_obs::trace::note_stamp_retry(0);
+        }
+    }
+
+    /// Times one snapshot page into the `snapshot_page` histogram (the
+    /// cursor calls this; the plan and timestamp are already captured).
+    pub(crate) fn timed_snapshot_page<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _span = self.span_keyed(leap_obs::OpClass::ScanPage, 0);
+        self.timed(OpKind::SnapshotPage, f)
+    }
+
     /// Number of keys, from one consistent snapshot (routed through the
     /// count-only transactional walk — no value clones).
     pub fn len(&self) -> usize {
@@ -1226,6 +1281,12 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
             aborted_migrations: self.aborted_migrations.load(Ordering::Relaxed),
             shed_ops: self.shed_ops.load(Ordering::Relaxed),
+            snapshot_scans: self.snapshot_scans.load(Ordering::Relaxed),
+            bundle_depth: slots_guard
+                .iter()
+                .map(|slot| slot.list.max_bundle_depth())
+                .max()
+                .unwrap_or(1),
             obs: self.obs.as_ref().map(|o| o.snapshot()),
         }
     }

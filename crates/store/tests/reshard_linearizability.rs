@@ -16,10 +16,15 @@
 //! transaction, so each page is recorded as a `Range` over the interval
 //! it proves.
 //!
+//! Pinned-timestamp scans (`scan_snapshot`) map differently: the WHOLE
+//! multi-page scan is one `SnapshotScan` event carrying its pinned
+//! timestamp, and `check_snapshot_isolation` demands the merged pages
+//! reflect a single instant with monotone pins across real time.
+//!
 //! Structural rebalance effects (epochs advancing, the key-count spread
 //! narrowing) stay asserted directly.
 
-use leap_history::{check, Op, Recorder, Ret, Session};
+use leap_history::{check, check_snapshot_isolation, Op, Recorder, Ret, Session};
 use leap_store::{
     LeapStore, Partitioning, RebalanceAction, RebalancePolicy, Rebalancer, StoreConfig,
 };
@@ -186,6 +191,36 @@ fn cursor_reader(
                 None => break,
             }
         }
+    }
+}
+
+/// A pinned-snapshot reader: each whole multi-page `scan_snapshot` is
+/// recorded as ONE `SnapshotScan` event — pin, drive every page, merge —
+/// so the checker demands the pages jointly reflect a single instant.
+fn snapshot_reader(
+    store: Arc<LeapStore<u64>>,
+    mut session: Session,
+    stop: Arc<AtomicBool>,
+    t: u64,
+    min_scans: usize,
+    max_scans: usize,
+) {
+    let mut x = 0x9E6D_7A2C_3F8B_0142u64.wrapping_mul(t + 5) | 1;
+    for i in 0..max_scans {
+        if i >= min_scans && stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let lo = xorshift(&mut x) % (KEY_SPACE - 1_000);
+        let hi = lo + 999;
+        session.snapshot_scan(lo, hi, || {
+            let mut cursor = store.scan_snapshot_pages(lo, hi, 128);
+            let ts = cursor.ts();
+            let mut merged = Vec::new();
+            while let Some(page) = cursor.next_page() {
+                merged.extend(page);
+            }
+            (ts, merged)
+        });
     }
 }
 
@@ -453,4 +488,54 @@ fn background_rebalancer_balances_skewed_load() {
         "policy never split the hot shard (actions: {actions})"
     );
     assert!(st.key_spread() < spread_before);
+}
+
+/// Tentpole acceptance: whole multi-page `scan_snapshot`s race
+/// put/delete/batch writers AND a background [`Rebalancer`]'s
+/// policy-driven migrations. The recorded history must satisfy snapshot
+/// isolation — every scan one atomic read of its pinned instant,
+/// timestamps never running backwards, equal-timestamp scans agreeing —
+/// while the writers themselves stay strictly serializable.
+#[test]
+fn snapshot_scans_race_writers_and_background_rebalancer() {
+    let (store, initial) = build_store(128, true);
+    let rec = Recorder::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let rebalancer = Rebalancer::spawn(store.clone(), Duration::from_millis(1));
+    let mut workers = Vec::new();
+    for t in 0..2u64 {
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || writer(s, ses, st, t, 40, 150)));
+    }
+    for t in 0..2u64 {
+        let (s, ses, st) = (store.clone(), rec.session(), stop.clone());
+        workers.push(std::thread::spawn(move || {
+            snapshot_reader(s, ses, st, t, 6, 30)
+        }));
+    }
+    // Give the rebalancer time to split the hot shard at least once, so
+    // scans demonstrably span policy-driven migrations.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while store.stats().migrations_completed == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    rebalancer.stop().expect("rebalancer survived the run");
+    let history = rec.history();
+    check_snapshot_isolation(&history, &initial)
+        .unwrap_or_else(|v| panic!("snapshot-scan history violates snapshot isolation:\n{v}"));
+    let st = store.stats();
+    assert!(
+        st.snapshot_scans >= 12,
+        "both readers ran their minimum scans: {}",
+        st.snapshot_scans
+    );
+    assert!(
+        st.bundle_depth >= 2,
+        "writers deepened the version bundles: {}",
+        st.bundle_depth
+    );
 }
