@@ -39,6 +39,7 @@ impl Inner {
 impl Drop for Inner {
     fn drop(&mut self) {
         // No handles remain (they hold Arcs), so everything is reclaimable.
+        // INVARIANT: no code path panics while holding this lock.
         let orphans = std::mem::take(self.orphans.get_mut().unwrap());
         for (_, d) in orphans {
             d.call();

@@ -91,6 +91,7 @@ mod tests {
         {
             let g = h.pin();
             let ptr = Box::into_raw(Box::new(Counted(drops.clone())));
+            // SAFETY: `ptr` was never shared; the deferral is its only owner.
             unsafe { g.defer_drop_box(ptr) };
         }
         h.advance_until_quiescent();

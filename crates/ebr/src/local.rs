@@ -125,6 +125,7 @@ impl Drop for LocalInner {
             self.collector
                 .orphans
                 .lock()
+                // INVARIANT: no code path panics while holding this lock.
                 .expect("orphan list poisoned")
                 .extend(garbage);
         }
@@ -159,6 +160,8 @@ impl LocalHandle {
         // The registry leaks participant records, so extending the reference
         // to 'static is sound: the referent is never deallocated.
         let participant: &'static Participant =
+            // SAFETY: registry records are intentionally leaked (never
+            // freed), so extending the reference to 'static is sound.
             unsafe { &*(collector.registry.acquire() as *const Participant) };
         LocalHandle {
             inner: Rc::new(LocalInner {
@@ -206,6 +209,8 @@ impl LocalHandle {
                 return;
             }
         }
+        // INVARIANT: diagnostic API — documented to panic when a foreign
+        // pin blocks the epoch; deadlocking silently would hide the bug.
         panic!("epoch cannot advance: another participant is pinned");
     }
 }

@@ -25,6 +25,8 @@ impl Participant {
 
     /// Marks this participant as pinned at `epoch`.
     pub(crate) fn set_pinned(&self, epoch: u64) {
+        // ORDERING: the SeqCst fence right below globally orders this store
+        // against other threads' epoch reads; Relaxed is enough here.
         self.state.store((epoch << 1) | 1, Ordering::Relaxed);
         // Make the pin visible before any subsequent structure loads, and
         // order it against epoch reads by other threads (SC fence pairing
@@ -34,6 +36,8 @@ impl Participant {
 
     /// Marks this participant as no longer pinned.
     pub(crate) fn set_unpinned(&self) {
+        // ORDERING: only this thread writes its own state; the Release
+        // store below publishes the cleared active bit.
         let epoch = self.state.load(Ordering::Relaxed) >> 1;
         self.state.store(epoch << 1, Ordering::Release);
     }
@@ -46,6 +50,7 @@ impl Participant {
 
     /// Releases ownership so another thread may adopt this record.
     pub(crate) fn release(&self) {
+        // ORDERING: debug-only self-read of a thread-local state word.
         debug_assert_eq!(self.state.load(Ordering::Relaxed) & 1, 0);
         self.owned.store(false, Ordering::Release);
     }
@@ -76,8 +81,11 @@ impl Registry {
         // Try to adopt an abandoned record first.
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: records are pushed once and never freed (leaked).
             let p = unsafe { &*cur };
             if p.owned
+                // ORDERING: the failure load carries no data we act on;
+                // success is AcqRel, pairing with `release()`.
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
@@ -90,6 +98,8 @@ impl Registry {
         let boxed = Box::leak(Box::new(Participant::new()));
         let mut head = self.head.load(Ordering::Acquire);
         loop {
+            // ORDERING: the AcqRel CAS below publishes `next` together with
+            // the new head.
             boxed.next.store(head, Ordering::Relaxed);
             match self.head.compare_exchange_weak(
                 head,
@@ -111,6 +121,7 @@ impl Registry {
         std::sync::atomic::fence(Ordering::SeqCst);
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
+            // SAFETY: records are pushed once and never freed (leaked).
             let p = unsafe { &*cur };
             if p.owned.load(Ordering::Acquire) {
                 let (active, epoch) = p.load_state();
@@ -148,6 +159,7 @@ mod tests {
     fn registry_reuses_released_records() {
         let reg = Registry::new();
         let a = reg.acquire() as *const Participant;
+        // SAFETY: `a` points at a leaked, never-freed registry record.
         unsafe { (*a).release() };
         let b = reg.acquire() as *const Participant;
         assert_eq!(a, b, "released record should be adopted");

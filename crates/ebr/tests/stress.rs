@@ -55,9 +55,13 @@ fn swap_and_retire_under_load() {
                     }));
                     allocs.fetch_add(1, Ordering::SeqCst);
                     let old = slot.swap(fresh, Ordering::AcqRel);
+                    // SAFETY: the swap unlinked `old`; the grace period
+                    // covers pinned readers.
                     unsafe { guard.defer_drop_box(old) };
                 } else {
                     // Reader: the payload must still be intact while pinned.
+                    // SAFETY: the pin precedes the load, so the payload
+                    // cannot be reclaimed while we hold `p`.
                     let p = unsafe { &*slot.load(Ordering::Acquire) };
                     assert_eq!(p.canary, CANARY, "reader observed freed payload");
                     std::hint::black_box(p.value);
@@ -72,6 +76,7 @@ fn swap_and_retire_under_load() {
     // Drain all garbage, then free the final payload.
     let local = collector.register();
     local.advance_until_quiescent();
+    // SAFETY: all threads joined; the final payload is exclusively ours.
     drop(unsafe { Box::from_raw(slot.load(Ordering::Acquire)) });
 
     assert_eq!(

@@ -215,6 +215,9 @@ impl FaultInjector {
         if rate == 0 {
             return false;
         }
+        // ORDERING: per-point visit ticket; the RMW keeps tickets unique
+        // and the deterministic hash below only needs *a* ticket, not a
+        // globally ordered one.
         let n = self.visits[i].fetch_add(1, Ordering::Relaxed);
         let h = splitmix64(
             self.plan.seed.wrapping_mul(0xA076_1D64_78BD_642F)
@@ -227,6 +230,9 @@ impl FaultInjector {
         // Charge the fire against the budget; once spent, the schedule goes
         // quiet (the counter never records more fires than the budget).
         let budget = self.plan.budgets[i];
+        // ORDERING: the budget is enforced by the CAS itself (never more
+        // successful increments than `budget`); no other data is published
+        // on a fire, so Relaxed everywhere suffices.
         let mut cur = self.fires[i].load(Ordering::Relaxed);
         loop {
             if cur >= budget {
@@ -235,7 +241,9 @@ impl FaultInjector {
             match self.fires[i].compare_exchange_weak(
                 cur,
                 cur + 1,
+                // ORDERING: as above — counting RMW, no publication.
                 Ordering::Relaxed,
+                // ORDERING: failure value just reseeds the loop.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return true,
@@ -248,13 +256,16 @@ impl FaultInjector {
     pub fn stats(&self, point: FaultPoint) -> PointStats {
         let i = point as usize;
         PointStats {
+            // ORDERING: diagnostic counter read; staleness is acceptable.
             visits: self.visits[i].load(Ordering::Relaxed),
+            // ORDERING: as above — diagnostic counter read.
             fires: self.fires[i].load(Ordering::Relaxed),
         }
     }
 
     /// Total fires at `point` so far.
     pub fn fires(&self, point: FaultPoint) -> u64 {
+        // ORDERING: diagnostic counter read; staleness is acceptable.
         self.fires[point as usize].load(Ordering::Relaxed)
     }
 

@@ -85,6 +85,8 @@ impl<V> Bundle<V> {
     /// snapshot readers (its `created_ts` store has not been ordered
     /// before any pinnable timestamp — see the wiring watermark).
     pub(crate) fn seed(&self, ts: u64, ptr: *mut Node<V>) {
+        // ORDERING: debug-only sanity read under exclusive access; no
+        // publication depends on it.
         debug_assert!(self.head.load(Ordering::Relaxed).is_null());
         self.head.store(
             BundleEntry::alloc(ts, ptr, std::ptr::null_mut()),
@@ -115,11 +117,15 @@ impl<V> Bundle<V> {
         V: 'static,
     {
         let head = self.head.load(Ordering::Acquire);
-        // SAFETY: entries are freed only through the guard's epoch.
+        // SAFETY: entries are freed only through the guard's epoch, so the
+        // non-null head (and its fields) stay valid for all three reads
+        // below.
         let (next, replaced) = if !head.is_null() && unsafe { (*head).ts } == ts {
             // Same-commit replacement: skip the stale head.
+            // SAFETY: same non-null guard-protected head as above.
             (unsafe { (*head).next.load(Ordering::Acquire) }, Some(head))
         } else {
+            // SAFETY: same guard-protected head; null short-circuits.
             debug_assert!(head.is_null() || unsafe { (*head).ts } < ts);
             (head, None)
         };
@@ -143,15 +149,21 @@ impl<V> Bundle<V> {
             if nxt.is_null() {
                 return depth;
             }
+            // SAFETY: `cur` is reachable, hence live under the guard.
             if unsafe { (*cur).ts } <= bound {
                 // `cur` is the newest entry at-or-below the bound: nothing
                 // older is visible to any present or future pin.
+                // SAFETY: `cur` is live; cutting here only hides entries no
+                // pin can resolve onto.
                 unsafe { (*cur).next.store(std::ptr::null_mut(), Ordering::Release) };
                 let mut dead = nxt;
                 while !dead.is_null() {
-                    // SAFETY: the cut tail is unreachable from the chain;
-                    // in-flight readers are covered by the deferral.
+                    // SAFETY: the cut tail is unreachable from the chain but
+                    // not yet freed; in-flight readers are covered by the
+                    // deferral.
                     let dn = unsafe { (*dead).next.load(Ordering::Acquire) };
+                    // SAFETY: `dead` was just unlinked; the epoch deferral
+                    // covers readers that still hold it.
                     unsafe { guard.defer_drop_box(dead) };
                     dead = dn;
                 }
@@ -204,6 +216,8 @@ impl<V> Drop for Bundle<V> {
         // or unlinked and past its grace period).
         let mut cur = *self.head.get_mut();
         while !cur.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; every chain
+            // entry is owned by this bundle and freed exactly once here.
             let mut e = unsafe { Box::from_raw(cur) };
             cur = *e.next.get_mut();
         }
@@ -240,6 +254,7 @@ pub(crate) struct Limbo<V> {
 // SAFETY: the limbo owns unlinked nodes outright; parking and draining
 // move raw pointers whose referents no other structure mutates.
 unsafe impl<V: Send> Send for Limbo<V> {}
+// SAFETY: all shared state sits behind the internal mutex.
 unsafe impl<V: Send> Sync for Limbo<V> {}
 
 impl<V> Limbo<V> {
@@ -268,6 +283,7 @@ impl<V> Limbo<V> {
     ) where
         V: Send + 'static,
     {
+        // INVARIANT: no code path panics while holding this lock.
         let mut parked = self.parked.lock().expect("limbo poisoned");
         parked.extend(retired.into_iter().map(|n| (wv, n)));
         let mut i = 0;
@@ -295,6 +311,7 @@ impl<V> Drop for Limbo<V> {
     fn drop(&mut self) {
         // Exclusive access: the owning list is being dropped, so no
         // snapshot over it can still be live.
+        // INVARIANT: no code path panics while holding this lock.
         for &(_, node) in self.parked.get_mut().expect("limbo poisoned").iter() {
             // SAFETY: parked nodes are unlinked and owned by the limbo.
             unsafe { crate::node::free_node(node) };
@@ -330,7 +347,7 @@ pub(crate) unsafe fn stamp_segment<V: 'static>(
     bound: u64,
     guard: &Guard,
 ) -> usize {
-    // SAFETY throughout: segment pointers are valid under the caller's
+    // SAFETY: (whole block) segment pointers are valid under the caller's
     // guard; the dying nodes' links are frozen (marked), the new chain is
     // unpublished (exclusive), and the predecessor's bundle is covered by
     // the still-held wiring lease (see above).
@@ -386,6 +403,7 @@ pub(crate) unsafe fn snapshot_collect<V: Clone>(
         // A live predecessor created at-or-before `ts` is on the snapshot
         // chain: live-now means no commit with wv <= ts retired it (the
         // watermark orders completed wirings before pinnable timestamps).
+        // SAFETY: `pa` came from a search under the caller's guard.
         if unsafe { &*pa }.created_ts.load(Ordering::Acquire) <= ts {
             cur = pa;
             break;
@@ -433,6 +451,7 @@ mod tests {
         let b: Bundle<u64> = Bundle::new();
         let (n1, n2, n3) = (node(1), node(2), node(3));
         b.seed(2, n1);
+        // SAFETY: single-threaded test; this path owns every node and entry.
         unsafe {
             assert_eq!(b.append(5, n2, 0, &g), 2);
             assert_eq!(b.append(9, n3, 0, &g), 3);
@@ -455,6 +474,7 @@ mod tests {
         let b: Bundle<u64> = Bundle::new();
         let (n1, n2, n3) = (node(1), node(2), node(3));
         b.seed(3, n1);
+        // SAFETY: single-threaded test; this path owns every node and entry.
         unsafe {
             assert_eq!(b.append(7, n2, 0, &g), 2);
             // A later same-commit segment re-swings the link.
@@ -473,6 +493,7 @@ mod tests {
         let b: Bundle<u64> = Bundle::new();
         let nodes: Vec<_> = (0..6).map(node).collect();
         b.seed(10, nodes[0]);
+        // SAFETY: single-threaded test; this path owns every node and entry.
         unsafe {
             b.append(20, nodes[1], 0, &g);
             b.append(30, nodes[2], 0, &g);

@@ -115,6 +115,12 @@ impl<V> Node<V> {
 /// `ptr` must come from [`Node::alloc`] and be unreachable by other threads
 /// (never published, or unlinked and past its grace period).
 pub(crate) unsafe fn free_node<V>(ptr: *mut Node<V>) {
+    // SAFETY: contract forwarded from this fn's `# Safety` section — `ptr`
+    // is a `Node::alloc` box no other thread can reach.
+    // lint:allow(reclamation-discipline): this is the single dealloc
+    // primitive; every *published* node reaches it only via the
+    // Limbo/prune_bound path in bundle.rs (or EBR grace), and unpublished
+    // plan nodes are caller-owned by the `# Safety` contract.
     drop(unsafe { Box::from_raw(ptr) });
 }
 
@@ -164,6 +170,9 @@ pub(crate) fn build_update<V: Clone, R: Rng + ?Sized>(
         let mid = data.len() / 2;
         let upper = data.split_off(mid);
         let lower = data;
+        // INVARIANT: a split fires only at count == node_size, and
+        // `Params::validate` rejects node_size < 2, so len >= 2 and the
+        // lower half holds mid = len/2 >= 1 keys.
         let lower_high = lower.last().expect("split halves are non-empty").0;
         let l0 = random_level(params.max_level, rng);
         let l1 = n.level;
@@ -216,6 +225,8 @@ pub(crate) fn build_remove<V: Clone>(
     data.extend(n0.data.iter().filter(|(k, _)| *k != ik).cloned());
     let old_value = n0.data[pos].1.clone();
     let (high, level) = if merge {
+        // INVARIANT: the plan layer sets `merge` only after locating (and
+        // locking) the successor it passes as `n1` (plan.rs absorb path).
         let n1 = n1.expect("merge requires a successor");
         data.extend(n1.data.iter().cloned());
         (n1.high, n0.level.max(n1.level))
@@ -255,17 +266,33 @@ mod tests {
         Node::alloc(high, level, data)
     }
 
+    /// Borrow a test-owned node. Centralizes the one safety argument every
+    /// test here relies on instead of repeating it per deref.
+    fn node_ref<'a>(p: *mut Node<u64>) -> &'a Node<u64> {
+        // SAFETY: nodes in this module come from `Node::alloc` and are never
+        // wired into a list, so the pointer is exclusively owned by the test
+        // thread and stays valid until its explicit `free` below.
+        unsafe { &*p }
+    }
+
+    fn free(p: *mut Node<u64>) {
+        // SAFETY: same exclusive-ownership argument as `node_ref`; every
+        // test frees each pointer exactly once, at the end, after its last
+        // borrow died.
+        unsafe { free_node(p) }
+    }
+
     #[test]
     fn alloc_and_index() {
         let p = Params::default();
         let n = mk_node(&[5, 9, 12], 3, 100);
-        let node = unsafe { &*n };
+        let node = node_ref(n);
         assert_eq!(node.count(), 3);
         assert_eq!(node.index_of(9, &p), Some(1));
         assert_eq!(node.index_of(10, &p), None);
         assert_eq!(node.trie_index_of(12), Some(2));
         assert!(!node.live.naked_load());
-        unsafe { free_node(n) };
+        free(n);
     }
 
     #[test]
@@ -277,10 +304,10 @@ mod tests {
         let mut rng = rand::thread_rng();
         let n = mk_node(&[2, 4, 6], 2, 100);
         // Insert new key.
-        let b = build_update(unsafe { &*n }, 5, 50, &p, &mut rng);
+        let b = build_update(node_ref(n), 5, 50, &p, &mut rng);
         assert!(b.n1.is_none());
         assert_eq!(b.old_value, None);
-        let n0 = unsafe { &*b.n0 };
+        let n0 = node_ref(b.n0);
         assert_eq!(
             n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
             vec![2, 4, 5, 6]
@@ -290,13 +317,11 @@ mod tests {
         // Replace existing key.
         let b2 = build_update(n0, 4, 999, &p, &mut rng);
         assert_eq!(b2.old_value, Some(40));
-        let n02 = unsafe { &*b2.n0 };
+        let n02 = node_ref(b2.n0);
         assert_eq!(n02.data[1], (4, 999));
-        unsafe {
-            free_node(n);
-            free_node(b.n0);
-            free_node(b2.n0);
-        }
+        free(n);
+        free(b.n0);
+        free(b2.n0);
     }
 
     #[test]
@@ -308,9 +333,9 @@ mod tests {
         };
         let mut rng = rand::thread_rng();
         let n = mk_node(&[10, 20, 30, 40], 3, 1000);
-        let b = build_update(unsafe { &*n }, 25, 1, &p, &mut rng);
-        let n0 = unsafe { &*b.n0 };
-        let n1 = unsafe { &*b.n1.expect("full node must split") };
+        let b = build_update(node_ref(n), 25, 1, &p, &mut rng);
+        let n0 = node_ref(b.n0);
+        let n1 = node_ref(b.n1.expect("full node must split"));
         // 5 keys split 2/3.
         assert_eq!(
             n0.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
@@ -324,71 +349,63 @@ mod tests {
         assert_eq!(n1.high, 1000, "upper keeps the old high");
         assert_eq!(n1.level, 3, "upper keeps the old level");
         assert_eq!(b.max_height, n0.level.max(3));
-        unsafe {
-            free_node(n);
-            free_node(b.n0);
-            free_node(b.n1.unwrap());
-        }
+        free(n);
+        free(b.n0);
+        free(b.n1.unwrap());
     }
 
     #[test]
     fn build_remove_without_merge() {
         let n = mk_node(&[1, 2, 3], 2, 50);
-        let b = build_remove(unsafe { &*n }, None, 2, false).expect("present");
+        let b = build_remove(node_ref(n), None, 2, false).expect("present");
         assert_eq!(b.old_value, 20);
-        let nn = unsafe { &*b.n_new };
+        let nn = node_ref(b.n_new);
         assert_eq!(
             nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
             vec![1, 3]
         );
         assert_eq!(nn.high, 50);
         assert_eq!(nn.level, 2);
-        unsafe {
-            free_node(n);
-            free_node(b.n_new);
-        }
+        free(n);
+        free(b.n_new);
     }
 
     #[test]
     fn build_remove_merges_with_successor() {
         let a = mk_node(&[1, 2], 2, 10);
         let b_ = mk_node(&[15, 18], 4, 20);
-        let r = build_remove(unsafe { &*a }, Some(unsafe { &*b_ }), 1, true).unwrap();
-        let nn = unsafe { &*r.n_new };
+        let r = build_remove(node_ref(a), Some(node_ref(b_)), 1, true).unwrap();
+        let nn = node_ref(r.n_new);
         assert_eq!(
             nn.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
             vec![2, 15, 18]
         );
         assert_eq!(nn.high, 20, "merged node takes the successor's high");
         assert_eq!(nn.level, 4, "merged node takes the max level");
-        unsafe {
-            free_node(a);
-            free_node(b_);
-            free_node(r.n_new);
-        }
+        free(a);
+        free(b_);
+        free(r.n_new);
     }
 
     #[test]
     fn build_remove_missing_key_is_none() {
         let n = mk_node(&[1, 2, 3], 2, 50);
-        assert!(build_remove(unsafe { &*n }, None, 7, false).is_none());
-        unsafe { free_node(n) };
+        assert!(build_remove(node_ref(n), None, 7, false).is_none());
+        free(n);
     }
 
     #[test]
     fn build_remove_last_key_leaves_empty_node() {
         let n = mk_node(&[4], 1, 50);
-        let b = build_remove(unsafe { &*n }, None, 4, false).unwrap();
-        let nn = unsafe { &*b.n_new };
+        let b = build_remove(node_ref(n), None, 4, false).unwrap();
+        let nn = node_ref(b.n_new);
         assert_eq!(
             nn.count(),
             0,
             "empty nodes are legal (like the initial tail)"
         );
-        unsafe {
-            free_node(n);
-            free_node(b.n_new);
-        }
+        free(n);
+        free(b.n_new);
     }
 
     #[test]

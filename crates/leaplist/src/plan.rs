@@ -101,10 +101,11 @@ pub(crate) unsafe fn plan_update<V: Clone>(
     ik: u64,
     value: V,
 ) -> UpdatePlan<V> {
+    // SAFETY: caller holds the epoch guard (this fn's `# Safety` contract).
     let w = unsafe { raw.search_predecessors(ik) };
     let n = w.target();
-    // SAFETY: `n` observed live by the search; guard keeps it allocated.
     let b = build_update(
+        // SAFETY: `n` observed live by the search; guard keeps it allocated.
         unsafe { &*n },
         ik,
         value,
@@ -168,6 +169,8 @@ pub(crate) unsafe fn plan_remove<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Opt
             // `search_predecessors`).
             std::thread::yield_now();
         }
+        // SAFETY: caller holds the epoch guard (this fn's `# Safety`
+        // contract).
         let w = unsafe { raw.search_predecessors(ik) };
         let n0 = w.target();
         // SAFETY: observed live; guard held.
@@ -194,6 +197,8 @@ pub(crate) unsafe fn plan_remove<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Opt
         if !n0_ref.live.naked_load() {
             continue;
         }
+        // SAFETY: `n1` is the unmarked committed successor read above,
+        // non-null when `merge`; the guard keeps it allocated.
         if merge && !unsafe { &*n1 }.live.naked_load() {
             continue;
         }
@@ -302,6 +307,7 @@ impl<V> Drop for MultiUpdatePlan<V> {
 unsafe fn plan_single<V: Clone>(raw: &RawLeapList<V>, op: &ListOp<'_, V>) -> MultiUpdatePlan<V> {
     match op {
         ListOp::Put(ik, v) => {
+            // SAFETY: forwards this fn's own guard contract.
             let p = unsafe { plan_update(raw, *ik, (*v).clone()) };
             // The segment takes ownership of the freshly built nodes.
             p.mark_published();
@@ -328,6 +334,7 @@ unsafe fn plan_single<V: Clone>(raw: &RawLeapList<V>, op: &ListOp<'_, V>) -> Mul
                 published: Cell::new(false),
             }
         }
+        // SAFETY: forwards this fn's own guard contract.
         ListOp::Del(ik) => match unsafe { plan_remove(raw, *ik) } {
             None => MultiUpdatePlan {
                 segments: Vec::new(),
@@ -369,12 +376,16 @@ unsafe fn plan_single<V: Clone>(raw: &RawLeapList<V>, op: &ListOp<'_, V>) -> Mul
 /// owns the segment's level-`i` exit after wiring, and therefore the
 /// substitution target for a later segment swinging at that level.
 fn last_new_above<V>(seg: &ChainSegment<V>, i: usize) -> *mut Node<V> {
-    *seg.new
+    let taller = seg
+        .new
         .iter()
         .rev()
-        // SAFETY (deref): plan-owned unpublished node, immutable level.
-        .find(|&&c| unsafe { &*c }.level > i)
-        .expect("a taller chain node exists below wire_height")
+        // SAFETY: deref of a plan-owned unpublished node; `level` is
+        // immutable after alloc.
+        .find(|&&c| unsafe { &*c }.level > i);
+    // INVARIANT: callers pass i < wire_height == max(new levels), so a
+    // strictly taller chain node always exists.
+    *taller.expect("a taller chain node exists below wire_height")
 }
 
 /// An affected-node run still under construction.
@@ -391,6 +402,8 @@ struct SegDraft<V> {
 
 impl<V> SegDraft<V> {
     fn wire_height(&self) -> usize {
+        // INVARIANT: `plan_shape` always pushes at least one level before
+        // this is read.
         *self.levels.iter().max().expect("chains are non-empty")
     }
 }
@@ -407,11 +420,14 @@ fn plan_shape<V, R: rand::Rng + ?Sized>(
     max_level: usize,
     rng: &mut R,
 ) -> Vec<usize> {
-    // SAFETY contract inherited from plan_multi: nodes guard-protected.
     let old_max = nodes
         .iter()
+        // SAFETY: nodes are guard-protected (plan_multi contract) and
+        // `level` is immutable after alloc.
         .map(|&o| unsafe { &*o }.level)
         .max()
+        // INVARIANT: segment drafts are created around one node and only
+        // ever grow.
         .expect("segments are non-empty");
     let r = if count <= node_size {
         1
@@ -443,6 +459,7 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
     // One op per list is the hottest case by far (every `update`/`remove`
     // and most Batcher traffic): skip the grouping machinery entirely.
     if let [op] = ops {
+        // SAFETY: forwards this fn's own guard contract.
         return unsafe { plan_single(raw, op) };
     }
     let mut retries = 0u32;
@@ -461,6 +478,8 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
         let mut key_node: Vec<(u64, *mut Node<V>)> = Vec::with_capacity(keys.len());
         let mut segs: Vec<SegDraft<V>> = Vec::new();
         for &ik in &keys {
+            // SAFETY: caller holds the epoch guard (this fn's `# Safety`
+            // contract).
             let w = unsafe { raw.search_predecessors(ik) };
             let n = w.target();
             // SAFETY: observed live by the search; guard keeps it allocated.
@@ -471,10 +490,13 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
             // 2. Segment: extend the last run when this key lands in the
             //    same node or in its immediate level-0 successor.
             if let Some(s) = segs.last_mut() {
+                // INVARIANT: drafts are pushed with one node and never
+                // emptied.
                 let last = *s.nodes.last().expect("runs are non-empty");
                 if last == n {
                     continue;
                 }
+                // SAFETY: `last` was observed live under the guard above.
                 let nxt = unsafe { &*last }.next[0].naked_load();
                 if nxt.is_marked() {
                     continue 'retry;
@@ -497,6 +519,9 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
             .map(|op| {
                 let i = key_node
                     .binary_search_by_key(&op.ik(), |(k, _)| *k)
+                    // INVARIANT: `keys` is the sorted dedup of every op key
+                    // and the locate loop pushed one entry per key (or
+                    // retried).
                     .expect("every op key was located");
                 key_node[i].1
             })
@@ -524,6 +549,8 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
                 let slot = match present.iter().position(|(k, _)| *k == ik) {
                     Some(i) => i,
                     None => {
+                        // SAFETY: affected node observed live under the
+                        // guard; `data` is immutable.
                         let here = unsafe { &*n }
                             .data
                             .binary_search_by_key(&ik, |(k, _)| *k)
@@ -549,11 +576,15 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
                 }
             }
             if shrank {
+                // INVARIANT: drafts are pushed with one node and never
+                // emptied.
                 let last = *s.nodes.last().expect("segments are non-empty");
                 // SAFETY: guard-protected pointers.
                 let nxt = unsafe { &*last }.next[0].naked_load();
                 if !nxt.is_marked() && !nxt.as_ptr().is_null() {
                     let succ = nxt.as_ptr();
+                    // SAFETY: unmarked committed non-null pointer read under
+                    // the guard.
                     let succ_ref = unsafe { &*succ };
                     if succ_ref.live.naked_load()
                         && count + succ_ref.count() <= raw.params.node_size
@@ -593,9 +624,9 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
         results.resize_with(ops.len(), || None);
         let mut segments: Vec<ChainSegment<V>> = Vec::with_capacity(segs.len());
         for sd in segs {
-            // SAFETY: guard-protected node pointers; data arrays immutable.
             let mut data: Vec<(u64, V)> = Vec::with_capacity(sd.count);
             for &o in &sd.nodes {
+                // SAFETY: guard-protected node pointer; `data` is immutable.
                 data.extend(unsafe { &*o }.data.iter().cloned());
             }
             // Apply this segment's ops in batch input order so duplicate
@@ -641,8 +672,10 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
                 continue 'retry;
             }
             let r = sd.levels.len();
-            // SAFETY: guard-protected; `level`/`high` immutable.
+            // INVARIANT: `plan_shape` always pushes at least one level.
             let old_max = *sd.levels.last().expect("chains are non-empty");
+            // SAFETY: guard-protected node; `high` is immutable.
+            // INVARIANT: drafts are pushed with one node and never emptied.
             let last_high = unsafe { &**sd.nodes.last().expect("non-empty") }.high;
             let wire_height = sd.wire_height();
             let mut new_nodes = Vec::with_capacity(r);
@@ -666,6 +699,8 @@ pub(crate) unsafe fn plan_multi<V: Clone>(
                         // pointer and tail chains stay full-height.
                         last_high
                     } else {
+                        // INVARIANT: r = ceil(total/K) <= total, so every
+                        // chunk receives base = total/r >= 1 keys.
                         chunk.last().expect("non-last chunks are non-empty").0
                     };
                     new_nodes.push(Node::alloc(high, level, chunk));
@@ -731,13 +766,39 @@ mod tests {
         })
     }
 
+    // These tests are single-threaded, so nothing can retire a node while a
+    // plan borrows it: the epoch-guard contract on the plan_* entry points
+    // is vacuously satisfied, and plan-owned nodes live until the plan
+    // drops. The helpers centralize that argument.
+
+    fn plan_update_t<V: Clone>(l: &RawLeapList<V>, ik: u64, v: V) -> UpdatePlan<V> {
+        // SAFETY: single-threaded test; see the module comment above.
+        unsafe { plan_update(l, ik, v) }
+    }
+
+    fn plan_remove_t<V: Clone>(l: &RawLeapList<V>, ik: u64) -> Option<RemovePlan<V>> {
+        // SAFETY: single-threaded test; see the module comment above.
+        unsafe { plan_remove(l, ik) }
+    }
+
+    fn plan_multi_t<V: Clone>(l: &RawLeapList<V>, ops: &[ListOp<'_, V>]) -> MultiUpdatePlan<V> {
+        // SAFETY: single-threaded test; see the module comment above.
+        unsafe { plan_multi(l, ops) }
+    }
+
+    fn nref<'a, V>(p: *mut Node<V>) -> &'a Node<V> {
+        // SAFETY: test nodes are plan-owned and unpublished; the plan (and
+        // the list itself) outlive every reference the tests take.
+        unsafe { &*p }
+    }
+
     #[test]
     fn plan_update_on_empty_list_targets_tail() {
         let l = raw();
-        let p = unsafe { plan_update(&l, 100, 7u64) };
+        let p = plan_update_t(&l, 100, 7u64);
         assert!(!p.split);
         assert_eq!(p.old_value, None);
-        let n0 = unsafe { &*p.n0 };
+        let n0 = nref(p.n0);
         assert_eq!(n0.high, u64::MAX, "replacement of the tail keeps +inf");
         assert_eq!(n0.data.to_vec(), vec![(100, 7)]);
         // Dropping the unpublished plan must free n0 (checked by miri/asan
@@ -747,7 +808,7 @@ mod tests {
     #[test]
     fn plan_remove_absent_key_is_none() {
         let l = raw();
-        assert!(unsafe { plan_remove(&l, 55) }.is_none());
+        assert!(plan_remove_t(&l, 55).is_none());
     }
 
     #[test]
@@ -770,7 +831,7 @@ mod tests {
             ..Params::default()
         });
         {
-            let p = unsafe { plan_update(&l, 9, D(Arc::new(()), drops.clone())) };
+            let p = plan_update_t(&l, 9, D(Arc::new(()), drops.clone()));
             drop(p);
         }
         // The original value plus any clones inside the discarded node.
@@ -785,13 +846,13 @@ mod tests {
             ListOp::Put(30, &3),
             ListOp::Put(20, &2),
         ];
-        let p = unsafe { plan_multi(&l, &ops) };
+        let p = plan_multi_t(&l, &ops);
         assert_eq!(p.results, vec![None, None, None]);
         assert_eq!(p.segments.len(), 1, "empty list: everything hits the tail");
         let seg = &p.segments[0];
         assert_eq!(seg.old.len(), 1);
         assert_eq!(seg.new.len(), 1, "3 keys fit one K=4 node");
-        let n = unsafe { &*seg.new[0] };
+        let n = nref(seg.new[0]);
         assert_eq!(
             n.data.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
             vec![10, 20, 30],
@@ -811,9 +872,9 @@ mod tests {
             ListOp::Del(5),
             ListOp::Put(5, &v[2]),
         ];
-        let p = unsafe { plan_multi(&l, &ops) };
+        let p = plan_multi_t(&l, &ops);
         assert_eq!(p.results, vec![None, Some(7), Some(8), None]);
-        let n = unsafe { &*p.segments[0].new[0] };
+        let n = nref(p.segments[0].new[0]);
         assert_eq!(n.data.to_vec(), vec![(5, 9)], "last op wins");
     }
 
@@ -821,7 +882,7 @@ mod tests {
     fn plan_multi_absent_removes_touch_nothing() {
         let l = raw();
         let ops: [ListOp<u64>; 2] = [ListOp::Del(4), ListOp::Del(9)];
-        let p = unsafe { plan_multi(&l, &ops) };
+        let p = plan_multi_t(&l, &ops);
         assert!(p.segments.is_empty(), "no change, no replacement");
         assert_eq!(p.results, vec![None, None]);
     }
@@ -833,14 +894,14 @@ mod tests {
         let ops: Vec<ListOp<u64>> = (0..10)
             .map(|i| ListOp::Put(i * 2 + 1, &vals[i as usize]))
             .collect();
-        let p = unsafe { plan_multi(&l, &ops) };
+        let p = plan_multi_t(&l, &ops);
         assert_eq!(p.segments.len(), 1);
         let seg = &p.segments[0];
         assert_eq!(seg.new.len(), 3, "10 keys / K=4 -> 3 nodes");
         let mut collected = Vec::new();
         let mut prev_high = 0u64;
         for (j, &c) in seg.new.iter().enumerate() {
-            let n = unsafe { &*c };
+            let n = nref(c);
             assert!(n.count() <= 4, "chunk exceeds K");
             assert!(n.count() >= 3, "chunks are balanced");
             for (k, _) in n.data.iter() {
@@ -882,7 +943,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, v)| ListOp::Put(i as u64 + 1, v))
                 .collect();
-            let p = unsafe { plan_multi(&l, &ops) };
+            let p = plan_multi_t(&l, &ops);
             assert!(!p.segments.is_empty());
             drop(p);
         }

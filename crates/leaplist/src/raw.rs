@@ -44,6 +44,7 @@ pub(crate) struct RawLeapList<V> {
 // (TVar) pointers; all shared mutation goes through those atomics and the
 // variant-level synchronization protocols.
 unsafe impl<V: Send + Sync> Send for RawLeapList<V> {}
+// SAFETY: as above — shared access is mediated by the same atomics.
 unsafe impl<V: Send + Sync> Sync for RawLeapList<V> {}
 
 impl<V> RawLeapList<V> {
@@ -65,6 +66,8 @@ impl<V> RawLeapList<V> {
         params.validate();
         let head = Node::alloc(0, params.max_level, Vec::new());
         let tail = Node::alloc(u64::MAX, params.max_level, Vec::new());
+        // SAFETY: both sentinels were just allocated and are unpublished;
+        // this constructor has exclusive access.
         unsafe {
             for i in 0..params.max_level {
                 (*head).next[i].naked_store(TaggedPtr::new(tail));
@@ -142,6 +145,7 @@ impl<V> RawLeapList<V> {
                     if !unsafe { &*n }.live.naked_load() {
                         continue 'retry;
                     }
+                    // SAFETY: same pointer, observed live just above.
                     if unsafe { &*n }.high >= ik {
                         x_next = n;
                         break;
@@ -186,7 +190,11 @@ impl<V> Drop for RawLeapList<V> {
         // (unlinked) nodes are owned by the EBR deferral queues.
         let mut cur = self.head;
         while !cur.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; every level-0
+            // linked node is owned by the list.
             let next = unsafe { &*cur }.next[0].naked_load().as_ptr();
+            // SAFETY: `cur` was unlinked from nothing — the whole list dies
+            // here, and each node is freed exactly once.
             unsafe { free_node(cur) };
             cur = next;
         }
@@ -210,6 +218,7 @@ mod tests {
     fn empty_list_has_two_sentinels() {
         let l: RawLeapList<u64> = RawLeapList::new(params());
         let mut highs = Vec::new();
+        // SAFETY: single-threaded test; no concurrent mutation.
         unsafe { l.for_each_node(|n| highs.push(n.high)) };
         assert_eq!(highs, vec![0, u64::MAX]);
         assert_eq!(l.len_unsynced(), 0);
@@ -218,10 +227,12 @@ mod tests {
     #[test]
     fn search_on_empty_list_returns_tail_at_every_level() {
         let l: RawLeapList<u64> = RawLeapList::new(params());
+        // SAFETY: single-threaded test; nothing reclaims nodes.
         let w = unsafe { l.search_predecessors(500) };
         let head = l.head();
         for i in 0..4 {
             assert_eq!(w.pa[i], head);
+            // SAFETY: sentinel nodes live as long as the list.
             assert_eq!(unsafe { &*w.na[i] }.high, u64::MAX);
         }
         assert_eq!(w.target(), w.na[0]);
@@ -232,6 +243,8 @@ mod tests {
         // Hand-build head -> A(high=10,l2) -> tail and search beyond A.
         let l: RawLeapList<u64> = RawLeapList::new(params());
         let head = l.head();
+        // SAFETY: single-threaded test; the hand-built nodes are owned by
+        // the list (freed by its drop) and nothing reclaims concurrently.
         unsafe {
             let tail = (*head).next[0].naked_load().as_ptr();
             let a = Node::alloc(10, 2, vec![(5, 50u64)]);

@@ -232,6 +232,8 @@ pub(crate) unsafe fn validate_segment<'t, V: 'static>(
                 *olds
                     .iter()
                     .find(|&&o| (*o).level > i)
+                    // INVARIANT: i < old_max and old_max is max over the
+                    // old run's levels, so a witness node exists.
                     .expect("old_max is the maximum old level")
             } else {
                 seg.w.na[i]
@@ -274,6 +276,8 @@ pub(crate) unsafe fn mark_segment<'t, V: 'static>(
         for &op in &seg.old {
             let o = &*op;
             for i in 0..o.level {
+                // INVARIANT: `validate_segment` pushed exactly one value
+                // per old-node level in this same iteration order.
                 let val = flat.next().expect("one validated value per level");
                 tx.write(&o.next[i], val.marked())?;
             }
@@ -394,6 +398,7 @@ pub(crate) unsafe fn wire_remove_tx<'t, V: 'static>(
 ///
 /// Caller holds an epoch guard.
 pub(crate) unsafe fn cop_lookup<V: Clone>(raw: &RawLeapList<V>, ik: u64) -> Option<V> {
+    // SAFETY: caller holds the epoch guard (this fn's `# Safety` contract).
     let w = unsafe { raw.search_predecessors(ik) };
     // SAFETY: observed live under the guard; contents immutable.
     let n = unsafe { &*w.target() };

@@ -77,6 +77,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     pub fn update(&self, key: u64, value: V) -> Option<V> {
         Self::update_batch(&[self], &[key], std::slice::from_ref(&value))
             .pop()
+            // INVARIANT: one input list produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -88,6 +89,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     pub fn remove(&self, key: u64) -> Option<V> {
         Self::remove_batch(&[self], &[key])
             .pop()
+            // INVARIANT: one input list produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -100,6 +102,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     pub fn update_batch(lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
         assert_eq!(lists.len(), keys.len());
         assert_eq!(keys.len(), values.len());
+        // INVARIANT: documented panic — an empty batch is a caller bug.
         let first = lists.first().expect("batch must be non-empty");
         first.check_batch(lists, keys);
         let guard = pin();
@@ -108,12 +111,16 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
             let plans: Vec<UpdatePlan<V>> = lists
                 .iter()
                 .zip(keys.iter().zip(values.iter()))
+                // SAFETY: `guard` pins the epoch for the whole attempt.
                 .map(|(l, (k, v))| unsafe { plan_update(&l.raw, internal_key(*k), v.clone()) })
                 .collect();
             let mut tx = Txn::begin(&first.domain);
             let done: TxResult<()> = (|| {
                 for plan in &plans {
+                    // SAFETY: plan pointers are protected by `guard`.
                     let v = unsafe { common::validate_update(&mut tx, plan) }?;
+                    // SAFETY: plan nodes are unpublished (exclusive); window
+                    // nodes validated by this transaction.
                     unsafe { common::wire_update_tx(&mut tx, plan, &v.n_next) }?;
                 }
                 Ok(())
@@ -122,6 +129,12 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
                 let mut out = Vec::with_capacity(plans.len());
                 for plan in &plans {
                     plan.mark_published();
+                    // SAFETY: the committed swing unlinked `plan.n`; the
+                    // grace period covers in-flight readers.
+                    // lint:allow(reclamation-discipline): the COP variant has no version
+                    // bundles and no snapshot pins — every reader reaches nodes through
+                    // the live structure only, so the plain EBR grace period is the full
+                    // safety argument.
                     unsafe { guard.defer_drop_box(plan.n) };
                     out.push(plan.old_value.clone());
                 }
@@ -139,6 +152,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     /// As for [`LeapListCop::update_batch`].
     pub fn remove_batch(lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
         assert_eq!(lists.len(), keys.len());
+        // INVARIANT: documented panic — an empty batch is a caller bug.
         let first = lists.first().expect("batch must be non-empty");
         first.check_batch(lists, keys);
         let guard = pin();
@@ -147,12 +161,16 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
             let plans: Vec<Option<RemovePlan<V>>> = lists
                 .iter()
                 .zip(keys.iter())
+                // SAFETY: `guard` pins the epoch for the whole attempt.
                 .map(|(l, k)| unsafe { plan_remove(&l.raw, internal_key(*k)) })
                 .collect();
             let mut tx = Txn::begin(&first.domain);
             let done: TxResult<()> = (|| {
                 for plan in plans.iter().flatten() {
+                    // SAFETY: plan pointers are protected by `guard`.
                     let v = unsafe { common::validate_remove(&mut tx, plan) }?;
+                    // SAFETY: plan nodes are unpublished (exclusive); window
+                    // nodes validated by this transaction.
                     unsafe { common::wire_remove_tx(&mut tx, plan, &v.n0_next, &v.n1_next) }?;
                 }
                 Ok(())
@@ -164,11 +182,16 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
                         None => out.push(None),
                         Some(p) => {
                             p.mark_published();
-                            unsafe {
-                                guard.defer_drop_box(p.n0);
-                                if p.merge {
-                                    guard.defer_drop_box(p.n1);
-                                }
+                            // SAFETY: the committed swing unlinked `n0`; the
+                            // grace period covers in-flight readers.
+                            // lint:allow(reclamation-discipline): COP has no snapshot
+                            // readers (no bundles, no pins); plain EBR suffices.
+                            unsafe { guard.defer_drop_box(p.n0) };
+                            if p.merge {
+                                // SAFETY: the merge swing unlinked `n1` too.
+                                // lint:allow(reclamation-discipline): as above — COP has
+                                // no snapshot readers, plain EBR suffices.
+                                unsafe { guard.defer_drop_box(p.n1) };
                             }
                             out.push(Some(p.old_value.clone()));
                         }
@@ -208,6 +231,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
     pub fn lookup(&self, key: u64) -> Option<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _guard = pin();
+        // SAFETY: `_guard` pins the epoch for the whole lookup.
         unsafe { common::cop_lookup(&self.raw, internal_key(key)) }
     }
 
@@ -225,11 +249,15 @@ impl<V: Clone + Send + Sync + 'static> LeapListCop<V> {
         let _guard = pin();
         let mut backoff = Backoff::new();
         loop {
+            // SAFETY: `_guard` pins the epoch for the whole attempt.
             let w = unsafe { self.raw.search_predecessors(ilo) };
             let mut tx = Txn::begin(&self.domain);
+            // SAFETY: validated collect under `_guard`.
             let nodes = unsafe { common::collect_range(&mut tx, w.target(), ihi) };
             if let Ok(nodes) = nodes {
                 if tx.commit().is_ok() {
+                    // SAFETY: nodes captured by validated reads, still under
+                    // `_guard`; `data` is immutable.
                     return unsafe { common::extract_pairs(&nodes, ilo, ihi) };
                 }
             } else {

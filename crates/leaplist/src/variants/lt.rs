@@ -100,8 +100,10 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         let ops = [BatchOp::Update(key, value)];
         self.apply_grouped_on(&[self], &[&ops])
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one list yields one result")
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one op yields one result")
     }
 
@@ -114,8 +116,10 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         let ops = [BatchOp::Remove(key)];
         self.apply_grouped_on(&[self], &[&ops])
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one list yields one result")
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one op yields one result")
     }
 
@@ -192,6 +196,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         let groups: Vec<&[BatchOp<V>]> = ops.iter().map(std::slice::from_ref).collect();
         Self::apply_batch_grouped(lists, &groups)
             .into_iter()
+            // INVARIANT: `from_ref` groups hold exactly one op each.
             .map(|mut r| r.pop().expect("one op per list yields one result"))
             .collect()
     }
@@ -219,6 +224,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     /// is `u64::MAX`, lists do not share one domain, or the same list
     /// appears twice.
     pub fn apply_batch_grouped(lists: &[&Self], ops: &[&[BatchOp<V>]]) -> Vec<Vec<Option<V>>> {
+        // INVARIANT: documented panic — an empty batch is a caller bug.
         let first = lists.first().expect("batch must be non-empty");
         first.apply_grouped_on(lists, ops)
     }
@@ -254,6 +260,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             let plans: Vec<MultiUpdatePlan<V>> = lists
                 .iter()
                 .zip(groups.iter())
+                // SAFETY: `guard` pins the epoch for this whole loop body.
                 .map(|(l, g)| unsafe { plan_multi(&l.raw, g) })
                 .collect();
             // LT: one transaction validates and acquires every segment of
@@ -267,13 +274,17 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 let mut validated = Vec::new();
                 for plan in &plans {
                     for seg in &plan.segments {
+                        // SAFETY: plan pointers are protected by `guard`.
                         validated.push(unsafe { common::validate_segment(&mut tx, seg) }?);
                     }
                 }
                 let mut v = validated.iter();
                 for plan in &plans {
                     for seg in &plan.segments {
+                        // INVARIANT: the first pass pushed one entry per
+                        // segment in the same iteration order.
                         let vs = v.next().expect("one validation per segment");
+                        // SAFETY: plan pointers are protected by `guard`.
                         unsafe { common::mark_segment(&mut tx, seg, vs) }?;
                     }
                 }
@@ -298,6 +309,10 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                         let mut depth = 0u64;
                         let mut dying = Vec::new();
                         for seg in &plan.segments {
+                            // SAFETY: the committed transaction owns every
+                            // marked window, `guard` protects the plan's
+                            // pointers, and the live wiring ticket hides
+                            // the intermediate states from snapshots.
                             unsafe {
                                 // Wire the chain internals, stamp bundles
                                 // while the level-0 lease is still held,
@@ -314,6 +329,8 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                         plan.mark_published();
                         retired.push(dying);
                         list.bundle_depth
+                            // ORDERING: monotonic stat counter; readers
+                            // only need an eventual high-water mark.
                             .fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
                         out.push(std::mem::take(&mut plan.results));
                     }
@@ -325,6 +342,10 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                     // `wv`, and only then enter the EBR queue.
                     let drain_bound = self.domain.prune_bound();
                     for (list, dying) in lists.iter().zip(retired) {
+                        // SAFETY: `dying` nodes were unlinked by the
+                        // publish swings above and stamped `retired_ts ==
+                        // wv`; `drain_bound` was read after the ticket
+                        // dropped (wiring window closed).
                         unsafe { list.limbo.park_and_drain(wv, dying, drain_bound, &guard) };
                     }
                     return out;
@@ -345,6 +366,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     pub fn lookup(&self, key: u64) -> Option<V> {
         assert!(key < u64::MAX, "key u64::MAX is reserved");
         let _guard = pin();
+        // SAFETY: `_guard` pins the epoch for the whole lookup.
         unsafe { common::cop_lookup(&self.raw, internal_key(key)) }
     }
 
@@ -360,6 +382,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     pub fn range_query(&self, lo: u64, hi: u64) -> Vec<(u64, V)> {
         Self::range_query_group(&[self], &[(lo, hi)])
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -380,12 +403,13 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     /// Panics if the slices differ in length, the group is empty, any
     /// `hi == u64::MAX`, or the lists do not share one domain.
     pub fn range_query_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<Vec<(u64, V)>> {
-        // SAFETY (closures): node pointers are guard-protected by
-        // `group_snapshot` for both closures' whole calls.
         Self::group_snapshot(
             lists,
             ranges,
+            // SAFETY: node pointers are guard-protected by `group_snapshot`
+            // for the closure's whole call.
             |tx, start, _ilo, ihi| unsafe { common::collect_range(tx, start, ihi) },
+            // SAFETY: as above; `extract` only sees nodes `collect` captured.
             |nodes, ilo, ihi| unsafe { common::extract_pairs(&nodes, ilo, ihi) },
         )
     }
@@ -408,14 +432,16 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         limit: usize,
     ) -> Vec<Vec<(u64, V)>> {
         assert!(limit > 0, "a page must hold at least one pair");
-        // SAFETY (closures): as for `range_query_group`.
         Self::group_snapshot(
             lists,
             ranges,
+            // SAFETY: node pointers are guard-protected by `group_snapshot`
+            // for the closure's whole call.
             |tx, start, ilo, ihi| unsafe {
                 common::collect_range_bounded(tx, start, ilo, ihi, limit)
             },
             |nodes, ilo, ihi| {
+                // SAFETY: as above; only nodes `collect` captured.
                 let mut pairs = unsafe { common::extract_pairs(&nodes, ilo, ihi) };
                 pairs.truncate(limit);
                 pairs
@@ -433,6 +459,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     pub fn range_page(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, V)> {
         Self::range_page_group(&[self], &[(lo, hi)], limit)
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -444,10 +471,11 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     ///
     /// As for [`LeapListLt::range_query_group`].
     pub fn count_range_group(lists: &[&Self], ranges: &[(u64, u64)]) -> Vec<usize> {
-        // SAFETY (closure): as for `range_query_group`.
         Self::group_snapshot(
             lists,
             ranges,
+            // SAFETY: node pointers are guard-protected by `group_snapshot`
+            // for the closure's whole call.
             |tx, start, ilo, ihi| unsafe { common::count_range_tx(tx, start, ilo, ihi) },
             |count, _, _| count,
         )
@@ -467,6 +495,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         extract: impl Fn(C, u64, u64) -> R,
     ) -> Vec<R> {
         assert_eq!(lists.len(), ranges.len());
+        // INVARIANT: documented panic — an empty group is a caller bug.
         let first = lists.first().expect("group must be non-empty");
         for l in lists {
             assert!(
@@ -489,6 +518,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                         return None;
                     }
                     let (ilo, ihi) = (internal_key(lo), internal_key(hi));
+                    // SAFETY: `_guard` pins the epoch for the whole loop.
                     let w = unsafe { l.raw.search_predecessors(ilo) };
                     Some((w.target(), ilo, ihi))
                 })
@@ -601,6 +631,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     /// a list that never committed under a live snapshot pin; grows with
     /// commits-per-pin-lifetime and shrinks back via pruning on append).
     pub fn max_bundle_depth(&self) -> u64 {
+        // ORDERING: diagnostic high-water read; no publication rides on it.
         self.bundle_depth.load(std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -622,6 +653,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
     pub fn count_range(&self, lo: u64, hi: u64) -> usize {
         Self::count_range_group(&[self], &[(lo, hi)])
             .pop()
+            // INVARIANT: one input list/op produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -632,6 +664,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
         let _guard = pin();
         let mut backoff = Backoff::new();
         loop {
+            // SAFETY: `_guard` pins the epoch for the whole iteration.
             let w = unsafe { self.raw.search_predecessors(1) };
             let mut tx = Txn::begin(&self.domain);
             let found: leap_stm::TxResult<Option<(u64, V)>> = (|| {
@@ -680,6 +713,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
             // node with high < MAX. Its keys (or an earlier node's, if
             // it is empty) are the largest — but emptiness forces a
             // restart from the head for simplicity.
+            // SAFETY: `_guard` pins the epoch for the whole iteration.
             let w = unsafe { self.raw.search_predecessors(u64::MAX) };
             let mut tx = Txn::begin(&self.domain);
             let found: leap_stm::TxResult<Option<(u64, V)>> = (|| {
@@ -687,6 +721,8 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 // is non-empty; otherwise its predecessor does. Validate
                 // both nodes and their adjacency so the answer is a
                 // consistent snapshot.
+                // SAFETY: search result under `_guard`; liveness is
+                // validated transactionally right below.
                 let tail = unsafe { &*w.target() };
                 if !tx.read(&tail.live)? {
                     return Err(tx.explicit_abort());
@@ -694,6 +730,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 if let Some((k, v)) = tail.data.last() {
                     return Ok(Some((crate::node::public_key(*k), v.clone())));
                 }
+                // SAFETY: predecessor-window node under `_guard`.
                 let prev = unsafe { &*w.pa[0] };
                 if !tx.read(&prev.live)? {
                     return Err(tx.explicit_abort());
@@ -707,10 +744,13 @@ impl<V: Clone + Send + Sync + 'static> LeapListLt<V> {
                 }
                 // Both trailing nodes empty: fall back to a full snapshot
                 // scan (rare — only after removals emptied the tail region).
+                // SAFETY: fallback search under `_guard`.
                 let head_w = unsafe { self.raw.search_predecessors(1) };
+                // SAFETY: validated collect, also under `_guard`.
                 let nodes = unsafe { common::collect_range(&mut tx, head_w.target(), u64::MAX) }?;
                 for &n in nodes.iter().rev() {
-                    // SAFETY: under guard; immutable data.
+                    // SAFETY: node captured by the validated collect above,
+                    // still under `_guard`; `data` is immutable.
                     if let Some((k, v)) = unsafe { &*n }.data.last() {
                         return Ok(Some((crate::node::public_key(*k), v.clone())));
                     }

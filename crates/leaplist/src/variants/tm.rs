@@ -86,6 +86,8 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                 let nxt: TaggedPtr<Node<V>> = tx.read(unsafe { &(*x).next[i] })?;
                 let n = nxt.as_ptr();
                 debug_assert!(!n.is_null(), "levels terminate at the tail");
+                // SAFETY: non-null validated successor, guard-protected;
+                // `high` is immutable.
                 if unsafe { &*n }.high >= ik {
                     w.pa[i] = x;
                     w.na[i] = n;
@@ -105,6 +107,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
     pub fn update(&self, key: u64, value: V) -> Option<V> {
         Self::update_batch(&[self], &[key], std::slice::from_ref(&value))
             .pop()
+            // INVARIANT: one input list produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -116,6 +119,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
     pub fn remove(&self, key: u64) -> Option<V> {
         Self::remove_batch(&[self], &[key])
             .pop()
+            // INVARIANT: one input list produces exactly one result entry.
             .expect("one list yields one result")
     }
 
@@ -131,6 +135,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
     pub fn update_batch(lists: &[&Self], keys: &[u64], values: &[V]) -> Vec<Option<V>> {
         assert_eq!(lists.len(), keys.len());
         assert_eq!(keys.len(), values.len());
+        // INVARIANT: documented panic — an empty batch is a caller bug.
         let first = lists.first().expect("batch must be non-empty");
         first.check_batch(lists, keys);
         let guard = pin();
@@ -142,11 +147,12 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                 let mut out = Vec::with_capacity(lists.len());
                 for ((l, k), v) in lists.iter().zip(keys.iter()).zip(values.iter()) {
                     let ik = internal_key(*k);
+                    // SAFETY: `guard` pins the epoch for the whole attempt.
                     let w = unsafe { Self::search_tx(&l.raw, &mut tx, ik) }?;
                     let n = w.target();
-                    // SAFETY: reached through validated reads, under guard;
-                    // data is immutable.
                     let b = build_update(
+                        // SAFETY: reached through validated reads, under
+                        // guard; data is immutable.
                         unsafe { &*n },
                         ik,
                         v.clone(),
@@ -164,9 +170,14 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                         published: Cell::new(false),
                     };
                     let mut n_next = [TaggedPtr::null(); MAX_LEVEL_CAP];
+                    // SAFETY: `n` stays guard-protected; `level` is
+                    // immutable and bounds the live `next` array.
                     for i in 0..unsafe { &*n }.level {
+                        // SAFETY: i < n.level indexes in-bounds TVars.
                         n_next[i] = tx.read(unsafe { &(*n).next[i] })?;
                     }
+                    // SAFETY: plan nodes are unpublished (exclusive) and
+                    // window nodes validated by this transaction.
                     unsafe { common::wire_update_tx(&mut tx, &plan, &n_next) }?;
                     out.push(b.old_value);
                     plans.push(plan);
@@ -178,6 +189,12 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                     if tx.commit().is_ok() {
                         for plan in &plans {
                             plan.mark_published();
+                            // SAFETY: the committed swing unlinked `plan.n`;
+                            // the grace period covers in-flight readers.
+                            // lint:allow(reclamation-discipline): the TM variant has no version
+                            // bundles and no snapshot pins — every reader reaches nodes through
+                            // the live transactional structure only, so the plain EBR grace
+                            // period is the full safety argument.
                             unsafe { guard.defer_drop_box(plan.n) };
                         }
                         return out;
@@ -200,6 +217,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
     #[allow(clippy::needless_range_loop)]
     pub fn remove_batch(lists: &[&Self], keys: &[u64]) -> Vec<Option<V>> {
         assert_eq!(lists.len(), keys.len());
+        // INVARIANT: documented panic — an empty batch is a caller bug.
         let first = lists.first().expect("batch must be non-empty");
         first.check_batch(lists, keys);
         let guard = pin();
@@ -211,6 +229,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                 let mut out = Vec::with_capacity(lists.len());
                 for (l, k) in lists.iter().zip(keys.iter()) {
                     let ik = internal_key(*k);
+                    // SAFETY: `guard` pins the epoch for the whole attempt.
                     let w = unsafe { Self::search_tx(&l.raw, &mut tx, ik) }?;
                     let n0 = w.target();
                     // SAFETY: as in update_batch.
@@ -223,9 +242,13 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                     let s: TaggedPtr<Node<V>> = tx.read(&n0_ref.next[0])?;
                     let n1 = s.as_ptr();
                     let merge = !n1.is_null()
+                        // SAFETY: `n1` null-checked first; a validated
+                        // non-null successor is guard-protected.
                         && n0_ref.count() + unsafe { &*n1 }.count() <= l.raw.params.node_size;
+                    // SAFETY: `merge` implies `n1` is non-null (see above).
                     let n1_opt = if merge { Some(unsafe { &*n1 }) } else { None };
                     let b = build_remove(n0_ref, n1_opt, ik, merge)
+                        // INVARIANT: the binary search above found `ik`.
                         .expect("key present per the search above");
                     let plan = RemovePlan {
                         w,
@@ -242,10 +265,15 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                     }
                     let mut n1_next = [TaggedPtr::null(); MAX_LEVEL_CAP];
                     if merge {
+                        // SAFETY: `merge` implies non-null `n1`, guard-
+                        // protected; `level` bounds the live `next` array.
                         for i in 0..unsafe { &*n1 }.level {
+                            // SAFETY: i < n1.level indexes in-bounds TVars.
                             n1_next[i] = tx.read(unsafe { &(*n1).next[i] })?;
                         }
                     }
+                    // SAFETY: plan nodes are unpublished (exclusive) and
+                    // window nodes validated by this transaction.
                     unsafe { common::wire_remove_tx(&mut tx, &plan, &n0_next, &n1_next) }?;
                     out.push(Some(b.old_value));
                     plans.push(Some(plan));
@@ -257,11 +285,18 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
                     if tx.commit().is_ok() {
                         for plan in plans.iter().flatten() {
                             plan.mark_published();
-                            unsafe {
-                                guard.defer_drop_box(plan.n0);
-                                if plan.merge {
-                                    guard.defer_drop_box(plan.n1);
-                                }
+                            // SAFETY: the committed swing unlinked `n0`;
+                            // the grace period covers in-flight readers.
+                            // lint:allow(reclamation-discipline): the TM variant has no version
+                            // bundles and no snapshot pins — every reader reaches nodes through
+                            // the live transactional structure only, so the plain EBR grace
+                            // period is the full safety argument.
+                            unsafe { guard.defer_drop_box(plan.n0) };
+                            if plan.merge {
+                                // SAFETY: the merge swing unlinked `n1` too.
+                                // lint:allow(reclamation-discipline): as above — TM has no
+                                // snapshot readers, plain EBR suffices.
+                                unsafe { guard.defer_drop_box(plan.n1) };
                             }
                         }
                         return out;
@@ -306,6 +341,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<Option<V>> = (|| {
+                // SAFETY: `_guard` pins the epoch for the whole attempt.
                 let w = unsafe { Self::search_tx(&self.raw, &mut tx, ik) }?;
                 // SAFETY: under guard; data immutable.
                 let n = unsafe { &*w.target() };
@@ -340,6 +376,7 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<Vec<*mut Node<V>>> = (|| {
+                // SAFETY: `_guard` pins the epoch for the whole attempt.
                 let w = unsafe { Self::search_tx(&self.raw, &mut tx, ilo) }?;
                 let mut nodes = Vec::new();
                 let mut n = w.target();
@@ -356,6 +393,8 @@ impl<V: Clone + Send + Sync + 'static> LeapListTm<V> {
             })();
             if let Ok(nodes) = body {
                 if tx.commit().is_ok() {
+                    // SAFETY: nodes captured by validated reads, still under
+                    // `_guard`; `data` is immutable.
                     return unsafe { common::extract_pairs(&nodes, ilo, ihi) };
                 }
             } else {

@@ -128,6 +128,8 @@ pub(crate) unsafe fn publish_segment<V>(seg: &ChainSegment<V>) {
                 .new
                 .iter()
                 .find(|&&d| (*d).level > i)
+                // INVARIANT: i < wire_height == max level over the chain,
+                // so a witness node exists.
                 .expect("wire_height is the chain's maximum level");
             (*seg.pa_wire[i]).next[i].naked_store(TaggedPtr::new(*first));
         }

@@ -1,0 +1,19 @@
+//! leap-lint: workspace-aware static analysis for the Leap-List stack.
+//!
+//! The invariants this project's correctness rests on — SAFETY arguments on
+//! unsafe publication/reclamation code, deliberate atomic orderings, the
+//! panic audit, the metric/event/fault-point name registry, and the PR 9
+//! lesson that plain EBR cannot reclaim what a pinned bundle walk can still
+//! reach — used to live in comments and reviewer memory. This crate machine-
+//! checks them. See [`lints::LINTS`] for the pass list and the README's
+//! `## Static analysis` section for the annotation grammar and suppression
+//! policy (`// lint:allow(<name>): reason`).
+//!
+//! Run it as `cargo run -p leap-lint` (add `--json` for machine-readable
+//! output); CI runs the full pass plus a seeded-violation self-test.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;

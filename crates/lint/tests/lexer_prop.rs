@@ -1,0 +1,165 @@
+//! Property tests for the lint lexer: whatever the source shape, tokens
+//! and comments must land where the adjacency engine expects them — a
+//! misclassified `unsafe` inside a string would seed false findings, a
+//! missed one inside real code would hide real ones.
+//!
+//! The vendored proptest shim has no regex string strategies, so strings
+//! are built from integer strategies mapped through small alphabets.
+
+use leap_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fuzz alphabet biased toward lexer state machinery: quotes, comment
+/// openers/closers, escapes, raw-string hashes, newlines.
+const FUZZ: &[char] = &[
+    'a', 'b', 'z', '_', '0', '9', ' ', '\n', '"', '\'', '/', '*', '#', 'r', 'b', '\\', '{', '}',
+    '(', ')', ';', ':', '.', '!', '=', '<', '>',
+];
+
+fn fuzz_src() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..200).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| FUZZ[b as usize % FUZZ.len()])
+            .collect()
+    })
+}
+
+/// A lowercase identifier, `len` in 1..=8.
+fn word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..8)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+/// The lexer's idea of "the word appears as code" — an `Ident` token with
+/// exactly that text.
+fn has_ident(src: &str, word: &str) -> bool {
+    lex(src)
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == word)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Never panics, whatever characters arrive (unterminated strings,
+    /// stray quotes, half a block comment — broken trees must still scan).
+    #[test]
+    fn lex_total(src in fuzz_src()) {
+        let _ = lex(&src);
+    }
+
+    /// Line numbers are 1-based, within the file, and nondecreasing in
+    /// source order for tokens and comments alike (the adjacency engine
+    /// reasons line-by-line).
+    #[test]
+    fn lines_monotone(src in fuzz_src()) {
+        let f = lex(&src);
+        // `\n`-count + 1, not `lines()`: an unterminated block comment
+        // swallowing a trailing newline legitimately ends on the EOF line.
+        let total = src.matches('\n').count() as u32 + 1;
+        let mut prev = 1;
+        for t in &f.tokens {
+            prop_assert!(t.line >= prev && t.line <= total);
+            prev = t.line;
+        }
+        let mut prev = 1;
+        for c in &f.comments {
+            prop_assert!(c.line >= prev && c.line <= c.end_line && c.end_line <= total);
+            prev = c.line;
+        }
+    }
+
+    /// `unsafe` inside any string literal flavor is data, not code, and
+    /// raw strings only close on a quote with matching hashes — the inner
+    /// `"` and `//` stay inside the literal.
+    #[test]
+    fn unsafe_in_strings_is_data(hashes in 1usize..4, pad in word()) {
+        let h = "#".repeat(hashes);
+        let src = format!(
+            "let a = \"{pad} unsafe {pad}\";\nlet b = r{h}\"unsafe // \" inner quote\"{h};\nlet c = b\"unsafe\";"
+        );
+        let f = lex(&src);
+        prop_assert!(!f.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "unsafe"));
+        prop_assert!(f.comments.is_empty());
+        prop_assert!(f.tokens.iter().filter(|t| t.kind == TokKind::Str).count() >= 3);
+    }
+
+    /// `unsafe` inside line or (arbitrarily nested) block comments is
+    /// comment text, and code resumes correctly after the comment closes.
+    #[test]
+    fn unsafe_in_comments_is_text(depth in 1usize..5, tail in word()) {
+        let open = "/*".repeat(depth);
+        let close = "*/".repeat(depth);
+        let src = format!("// unsafe here\n{open} unsafe {close} fn {tail}() {{}}");
+        let f = lex(&src);
+        prop_assert!(!has_ident(&src, "unsafe"));
+        // The code after the nested comment still lexes.
+        prop_assert!(f.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == tail));
+        prop_assert_eq!(f.comments.len(), 2);
+    }
+
+    /// A block comment one level deeper than its closers never closes; an
+    /// exactly balanced one does.
+    #[test]
+    fn nesting_balance(depth in 1usize..5) {
+        let src = |open: usize, close: usize| {
+            format!("{} x {} after", "/*".repeat(open), "*/".repeat(close))
+        };
+        prop_assert!(!has_ident(&src(depth + 1, depth), "after")); // runs to EOF
+        prop_assert!(has_ident(&src(depth, depth), "after"));
+    }
+
+    /// Char and byte literals holding `"`, `/` or an escaped `'` don't
+    /// derail string or comment state; `'a` stays a lifetime, not an
+    /// unterminated char literal.
+    #[test]
+    fn char_literals_and_lifetimes(name in word()) {
+        let src = format!("let q: &'{name} u8 = f('\"', '/', b'\\'', \"s\");");
+        let f = lex(&src);
+        prop_assert!(f.comments.is_empty());
+        let lifetimes: Vec<String> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert_eq!(lifetimes, vec![name]);
+        prop_assert_eq!(f.tokens.iter().filter(|t| t.kind == TokKind::Char).count(), 3);
+        prop_assert_eq!(f.tokens.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    /// Trailing-comment detection: the same comment text is `trailing`
+    /// exactly when a token precedes it on its line.
+    #[test]
+    fn trailing_flag(w in word()) {
+        let f = lex(&format!("let x = 1; // ORDERING: {w}\n// ORDERING: {w}\nlet y = 2;"));
+        prop_assert_eq!(f.comments.len(), 2);
+        prop_assert!(f.comments[0].trailing);
+        prop_assert!(!f.comments[1].trailing);
+    }
+
+    /// Numbers absorb suffixes and hex/underscore bodies but split on `..`
+    /// so ranges stay three tokens.
+    #[test]
+    fn number_shapes(a in 0u64..1000, b in 0u64..1000) {
+        let f = lex(&format!("for i in {a}..{b} {{}} let x = 0xFF_u64;"));
+        let nums: Vec<String> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        prop_assert_eq!(nums, vec![a.to_string(), b.to_string(), "0xFF_u64".to_string()]);
+    }
+
+    /// Raw identifiers lex to their unprefixed text (`r#async` → `async`),
+    /// and are not mistaken for raw strings.
+    #[test]
+    fn raw_identifiers(w in word()) {
+        let f = lex(&format!("let r#{w} = 1;"));
+        prop_assert!(f.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == w));
+        prop_assert!(f.tokens.iter().all(|t| t.kind != TokKind::Str));
+    }
+}

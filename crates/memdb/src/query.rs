@@ -179,6 +179,8 @@ impl<'t> Query<'t> {
         Ok(self
             .rows()?
             .iter()
+            // INVARIANT: every stored row passed the arity check on insert,
+            // and `resolve` proved `col` is within that arity.
             .map(|(_, r)| r.get(col).expect("arity checked on insert"))
             .fold(0u64, u64::wrapping_add))
     }
@@ -190,6 +192,7 @@ impl<'t> Query<'t> {
     /// As for [`Query::sum`].
     pub fn min(self, column: &str) -> Result<Option<u64>, DbError> {
         let col = self.table.schema().resolve(column)?;
+        // INVARIANT: arity checked on insert; `col` resolved against it.
         Ok(self.rows()?.iter().map(|(_, r)| r.get(col).unwrap()).min())
     }
 
@@ -200,6 +203,7 @@ impl<'t> Query<'t> {
     /// As for [`Query::sum`].
     pub fn max(self, column: &str) -> Result<Option<u64>, DbError> {
         let col = self.table.schema().resolve(column)?;
+        // INVARIANT: arity checked on insert; `col` resolved against it.
         Ok(self.rows()?.iter().map(|(_, r)| r.get(col).unwrap()).max())
     }
 }

@@ -45,6 +45,8 @@ impl Schema {
     pub fn with_index(mut self, column: &str) -> Self {
         let i = self
             .column_index(column)
+            // INVARIANT: documented builder panic — a typo'd index column
+            // must fail at schema definition, not at first query.
             .unwrap_or_else(|| panic!("unknown column '{column}'"));
         self.indexed[i] = true;
         self

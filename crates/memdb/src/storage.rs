@@ -274,6 +274,8 @@ impl ShardedStorage {
         rebalance: RebalancePolicy,
     ) -> Self {
         let tags: Vec<Subspace> = (0..subspaces)
+            // INVARIANT: the table layer derives `subspaces` from the schema,
+            // whose column count is validated to fit a u8 tag.
             .map(|t| Subspace::new(u8::try_from(t).expect("at most 255 subspaces")))
             .collect();
         let store = LeapStore::new(

@@ -205,6 +205,8 @@ impl Table {
         self.check_row(values)?;
         // Strictly below the mask: the very last id would make the top
         // index composite collide with the reserved key u64::MAX.
+        // ORDERING: row-id allocator; uniqueness comes from the RMW, and the
+        // id is published to readers by the storage commit, not by this add.
         let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
         assert!(id.0 < self.max_row_id(), "row id space exhausted");
         let row = Row::new(values);
@@ -232,6 +234,8 @@ impl Table {
         policy: leap_stm::RetryPolicy,
     ) -> Result<RowId, DbError> {
         self.check_row(values)?;
+        // ORDERING: row-id allocator; uniqueness comes from the RMW, and the
+        // id is published to readers by the storage commit, not by this add.
         let id = RowId(self.next_row.fetch_add(1, Ordering::Relaxed));
         assert!(id.0 < self.max_row_id(), "row id space exhausted");
         let row = Row::new(values);
@@ -257,7 +261,10 @@ impl Table {
         });
         for col in self.schema.indexed_columns() {
             ops.push(IndexOp::Put {
+                // INVARIANT: the constructor assigned a slot to every
+                // indexed column of the schema.
                 subspace: self.slot_of_column[col].expect("indexed column has a slot"),
+                // INVARIANT: callers validate arity before building ops.
                 key: self.composite(row.get(col).expect("arity checked"), id.0),
                 row: row.clone(),
             });
@@ -284,7 +291,10 @@ impl Table {
         });
         for col in self.schema.indexed_columns() {
             ops.push(IndexOp::Remove {
+                // INVARIANT: the constructor assigned a slot to every
+                // indexed column of the schema.
                 subspace: self.slot_of_column[col].expect("indexed column has a slot"),
+                // INVARIANT: stored rows passed the arity check on insert.
                 key: self.composite(row.get(col).expect("stored rows match arity"), id.0),
             });
         }
@@ -325,7 +335,10 @@ impl Table {
             let new_row = old.with_column(col, value);
             let mut ops = self.write_ops(id, &new_row);
             if self.schema.is_indexed(col) {
+                // INVARIANT: the constructor assigned a slot to every
+                // indexed column; `is_indexed(col)` held just above.
                 let slot = self.slot_of_column[col].expect("indexed column has a slot");
+                // INVARIANT: stored rows passed the arity check on insert.
                 let old_key = self.composite(old.get(col).expect("stored rows match arity"), id.0);
                 let new_key = self.composite(value, id.0);
                 if old_key != new_key {
@@ -449,6 +462,8 @@ impl Table {
     /// `[x, u64::MAX]` keep meaning "everything at or above x".
     fn index_range(&self, column: &str, lo: u64, hi: u64) -> Result<(usize, u64, u64), DbError> {
         let col = self.schema.resolve_indexed(column)?;
+        // INVARIANT: `resolve_indexed` proved the column is indexed, and
+        // the constructor assigned every indexed column a slot.
         let slot = self.slot_of_column[col].expect("indexed column has a slot");
         if lo > self.max_indexed_value() {
             return Err(DbError::ValueOutOfRange {

@@ -20,6 +20,8 @@ struct PaddedU64(AtomicU64);
 fn stripe_of() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
+        // ORDERING: round-robin ticket; uniqueness comes from the RMW,
+        // not from ordering.
         static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed);
     }
     STRIPE.with(|s| *s) & (STRIPES - 1)
@@ -49,12 +51,13 @@ impl Counter {
     /// so sustained runs can never report a counter going backwards.
     #[inline]
     pub fn add(&self, n: u64) {
-        let _ =
-            self.stripes[stripe_of()]
-                .0
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
-                    Some(s.saturating_add(n))
-                });
+        let _ = self.stripes[stripe_of()]
+            .0
+            // ORDERING: monotone stat stripe; readers sum stripes and
+            // only need an eventually-consistent total.
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(n))
+            });
     }
 
     /// Adds one.
@@ -67,6 +70,8 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.stripes
             .iter()
+            // ORDERING: eventually-consistent stat read; no publication
+            // rides on the per-stripe values.
             .map(|s| s.0.load(Ordering::Relaxed))
             .fold(0u64, u64::saturating_add)
     }
@@ -100,17 +105,20 @@ impl Gauge {
     /// Sets the gauge.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ORDERING: diagnostic gauge; no publication rides on it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
+        // ORDERING: diagnostic gauge; the RMW keeps deltas exact.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // ORDERING: diagnostic gauge read; staleness is acceptable.
         self.value.load(Ordering::Relaxed)
     }
 }

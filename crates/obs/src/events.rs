@@ -455,9 +455,14 @@ impl EventRing {
             }
         }
         let (tag, words) = kind.encode();
+        // ORDERING: payload writes are Relaxed; the Release store of `seq`
+        // below publishes them, and readers re-check `seq` (Acquire) after
+        // reading to discard torn slots.
         slot.at_ns.store(at_ns, Ordering::Relaxed);
+        // ORDERING: as above — published by the `seq` Release store.
         slot.tag.store(tag, Ordering::Relaxed);
         for (dst, w) in slot.words.iter().zip(words) {
+            // ORDERING: as above — published by the `seq` Release store.
             dst.store(w, Ordering::Relaxed);
         }
         slot.seq.store(done, Ordering::Release);
@@ -478,10 +483,15 @@ impl EventRing {
             if slot.seq.load(Ordering::Acquire) != done {
                 continue; // mid-write, or already overwritten by a newer ticket
             }
+            // ORDERING: the `seq` Acquire load above ordered the writer's
+            // payload before these reads; the re-check below discards
+            // anything torn by a concurrent overwrite.
             let at_ns = slot.at_ns.load(Ordering::Relaxed);
+            // ORDERING: as above — seqlock-style validated read.
             let tag = slot.tag.load(Ordering::Relaxed);
             let mut words = [0u64; WORDS];
             for (dst, w) in words.iter_mut().zip(&slot.words) {
+                // ORDERING: as above — seqlock-style validated read.
                 *dst = w.load(Ordering::Relaxed);
             }
             if slot.seq.load(Ordering::Acquire) != done {

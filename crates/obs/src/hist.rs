@@ -81,20 +81,26 @@ impl Histogram {
     /// rather than a nonsense one.
     #[inline]
     pub fn record(&self, v: u64) {
+        // ORDERING: monotone histogram cells; snapshot readers tolerate
+        // racing increments (they re-derive count from the buckets).
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: as above — monotone stat cell.
         self.count.fetch_add(1, Ordering::Relaxed);
         // fetch_add cannot saturate; a CAS loop can. The closure always
         // returns Some, so this never fails.
         let _ = self
             .sum
+            // ORDERING: as above — monotone stat cell.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
                 Some(s.saturating_add(v))
             });
+        // ORDERING: eventual high-water mark; readers tolerate lag.
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Total samples recorded so far.
     pub fn count(&self) -> u64 {
+        // ORDERING: eventually-consistent stat read.
         self.count.load(Ordering::Relaxed)
     }
 
@@ -106,13 +112,17 @@ impl Histogram {
         let buckets: Vec<u64> = self
             .buckets
             .iter()
+            // ORDERING: monitoring snapshot; per-cell staleness is fine
+            // and `count` is re-derived from the copied buckets.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let count = buckets.iter().sum();
         HistSnapshot {
             buckets,
             count,
+            // ORDERING: as above — monitoring snapshot read.
             sum: self.sum.load(Ordering::Relaxed),
+            // ORDERING: as above — monitoring snapshot read.
             max: self.max.load(Ordering::Relaxed),
         }
     }

@@ -52,6 +52,8 @@ impl Json {
     pub fn field(mut self, key: &str, value: Json) -> Json {
         match &mut self {
             Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            // INVARIANT: documented panic — `field()` on a non-object is a
+            // builder misuse at the call site.
             other => panic!("field() on non-object {other:?}"),
         }
         self

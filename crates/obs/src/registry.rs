@@ -27,6 +27,7 @@ fn get_or_insert<T>(
     name: &str,
     mk: impl FnOnce() -> T,
 ) -> Arc<T> {
+    // INVARIANT: no code path panics while holding a registry lock.
     let mut list = list.lock().expect("registry poisoned");
     if let Some((_, v)) = list.iter().find(|(n, _)| n == name) {
         return v.clone();
@@ -78,6 +79,7 @@ impl Registry {
         let counters: Vec<(String, Json)> = self
             .counters
             .lock()
+            // INVARIANT: no code path panics while holding a registry lock.
             .expect("registry poisoned")
             .iter()
             .map(|(n, c)| (n.clone(), Json::U64(c.get())))
@@ -85,6 +87,7 @@ impl Registry {
         let gauges: Vec<(String, Json)> = self
             .gauges
             .lock()
+            // INVARIANT: no code path panics while holding a registry lock.
             .expect("registry poisoned")
             .iter()
             .map(|(n, g)| (n.clone(), Json::I64(g.get())))
@@ -92,6 +95,7 @@ impl Registry {
         let hists: Vec<(String, Json)> = self
             .hists
             .lock()
+            // INVARIANT: no code path panics while holding a registry lock.
             .expect("registry poisoned")
             .iter()
             .map(|(n, h)| (n.clone(), h.snapshot().to_json_ns()))
@@ -99,6 +103,7 @@ impl Registry {
         let rings: Vec<(String, Json)> = self
             .rings
             .lock()
+            // INVARIANT: no code path panics while holding a registry lock.
             .expect("registry poisoned")
             .iter()
             .map(|(n, r)| (n.clone(), r.snapshot().to_json()))
@@ -117,17 +122,21 @@ impl Registry {
     /// counters (the timeline itself is a JSON-side concept).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        // INVARIANT: no code path panics while holding a registry lock.
         for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
             let n = sanitize(name);
             out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.get()));
         }
+        // INVARIANT: no code path panics while holding a registry lock.
         for (name, g) in self.gauges.lock().expect("registry poisoned").iter() {
             let n = sanitize(name);
             out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.get()));
         }
+        // INVARIANT: no code path panics while holding a registry lock.
         for (name, h) in self.hists.lock().expect("registry poisoned").iter() {
             out.push_str(&h.snapshot().to_prometheus(&sanitize(name)));
         }
+        // INVARIANT: no code path panics while holding a registry lock.
         for (name, r) in self.rings.lock().expect("registry poisoned").iter() {
             let n = sanitize(name);
             out.push_str(&format!(

@@ -302,7 +302,9 @@ fn encode_ctx(name: &str) -> [u64; 2] {
         *dst = src;
     }
     [
+        // INVARIANT: a 16-byte array always splits into two 8-byte halves.
         u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+        // INVARIANT: as above — the slice is exactly 8 bytes.
         u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
     ]
 }
@@ -521,6 +523,8 @@ impl SpanRing {
             }
         }
         for (dst, w) in slot.words.iter().zip(words) {
+            // ORDERING: payload write published by the `seq` Release store
+            // below; readers re-validate `seq` after reading.
             dst.store(w, Ordering::Relaxed);
         }
         slot.seq.store(done, Ordering::Release);
@@ -542,6 +546,8 @@ impl SpanRing {
             }
             let mut words = [0u64; SPAN_WORDS];
             for (dst, w) in words.iter_mut().zip(&slot.words) {
+                // ORDERING: the `seq` Acquire load above ordered the
+                // writer's payload; the re-check below discards torn reads.
                 *dst = w.load(Ordering::Relaxed);
             }
             if slot.seq.load(Ordering::Acquire) != done {
@@ -660,6 +666,7 @@ impl Tracer {
             return SpanGuard::inactive();
         }
         let span = ActiveSpan {
+            // ORDERING: id allocator; uniqueness comes from the RMW.
             trace_id: self.next_id.fetch_add(1, Ordering::Relaxed),
             kind: kind.code(),
             ctx: CTX.with(Cell::get),
@@ -695,6 +702,7 @@ impl Tracer {
         overlay: u64,
     ) {
         let words = SpanEncoder {
+            // ORDERING: id allocator; uniqueness comes from the RMW.
             trace_id: self.next_id.fetch_add(1, Ordering::Relaxed),
             kind: kind.code(),
             outcome: outcome.code(),

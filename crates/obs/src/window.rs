@@ -44,6 +44,7 @@ impl SlidingQuantile {
 
     /// Records one sample, evicting the oldest when the window is full.
     pub fn record(&self, v: u64) {
+        // INVARIANT: no code path panics while holding the window lock.
         let mut inner = self.inner.lock().expect("window poisoned");
         let (ring, next) = &mut *inner;
         if ring.len() < self.capacity {
@@ -56,6 +57,7 @@ impl SlidingQuantile {
 
     /// Samples currently in the window.
     pub fn len(&self) -> usize {
+        // INVARIANT: no code path panics while holding the window lock.
         self.inner.lock().expect("window poisoned").0.len()
     }
 
@@ -70,6 +72,7 @@ impl SlidingQuantile {
     /// used, so `quantile_permille(990)` over `1..=100` is 99, and over a
     /// two-sample window it is the larger sample.
     pub fn quantile_permille(&self, pm: u64) -> u64 {
+        // INVARIANT: no code path panics while holding the window lock.
         let inner = self.inner.lock().expect("window poisoned");
         let ring = &inner.0;
         if ring.is_empty() {

@@ -129,6 +129,8 @@ impl CasSkipList {
                     if succ.is_marked() {
                         // c is logically deleted at this level: snip it.
                         let clean = TaggedPtr::new(succ.as_ptr());
+                        // SAFETY: `pred` stays guard-protected (head or a
+                        // node observed reachable above).
                         match unsafe { &*pred }.next[l].naked_compare_exchange(curr, clean) {
                             Ok(_) => {
                                 curr = clean;
@@ -137,6 +139,7 @@ impl CasSkipList {
                             Err(_) => continue 'retry,
                         }
                     }
+                    // SAFETY: `c` guard-protected; `key` is immutable.
                     if unsafe { &*c }.key < key {
                         pred = c;
                         curr = succ;
@@ -148,6 +151,7 @@ impl CasSkipList {
                 succs[l] = curr;
             }
             let f = succs[0];
+            // SAFETY: non-null level-0 successor found under the guard.
             return if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
                 Some(f.as_ptr())
             } else {
@@ -165,6 +169,7 @@ impl CasSkipList {
         let mut succs = [TaggedPtr::null(); MAX_LEVEL];
         let mut rng = rand::thread_rng();
         loop {
+            // SAFETY: `guard` pins the epoch for the whole loop body.
             if let Some(n) = unsafe { self.find(key, &mut preds, &mut succs) } {
                 // SAFETY: returned under our guard.
                 let node = unsafe { &*n };
@@ -181,24 +186,32 @@ impl CasSkipList {
                 nxt.naked_store(succs[l]);
             }
             let node_ptr = Box::into_raw(node);
+            // SAFETY: `preds[0]` was filled by `find` under `guard`.
             let linked = unsafe { &*preds[0] }.next[0]
                 .naked_compare_exchange(succs[0], TaggedPtr::new(node_ptr))
                 .is_ok();
             if !linked {
-                // Not yet published: safe to free directly.
+                // SAFETY: the CAS failed, so `node_ptr` was never
+                // published; this thread still owns it exclusively.
                 drop(unsafe { Box::from_raw(node_ptr) });
                 continue;
             }
+            // SAFETY: `node_ptr` is our freshly level-0-linked node and
+            // `guard` is still held.
             unsafe { self.link_upper_levels(node_ptr, top, &mut preds, &mut succs) };
             // Reclamation handshake (see module docs): if a remover beat us
             // to the terminal state, the final unlink and retirement are
             // ours.
+            // SAFETY: published node, guard-protected.
             let node = unsafe { &*node_ptr };
             if node
                 .state
                 .compare_exchange(INSERTING, DONE, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
+                // SAFETY: the remover set DELETED and skipped retirement
+                // (module-docs handshake): the unlinking find runs under
+                // `guard`, and retirement happens exactly once, here.
                 unsafe {
                     self.find(key, &mut preds, &mut succs);
                     guard.defer_drop_box(node_ptr);
@@ -221,6 +234,7 @@ impl CasSkipList {
         preds: &mut [*const Node; MAX_LEVEL],
         succs: &mut [TaggedPtr<Node>; MAX_LEVEL],
     ) {
+        // SAFETY: `node` is the caller's linked node (fn contract).
         let node_ref = unsafe { &*node };
         'levels: for l in 1..top {
             loop {
@@ -240,6 +254,8 @@ impl CasSkipList {
                         continue;
                     }
                 }
+                // SAFETY: `preds[l]` was filled by `find` under the
+                // caller's guard.
                 if unsafe { &*preds[l] }.next[l]
                     .naked_compare_exchange(succs[l], TaggedPtr::new(node))
                     .is_ok()
@@ -247,6 +263,7 @@ impl CasSkipList {
                     break;
                 }
                 // The predecessor moved: recompute the insertion window.
+                // SAFETY: caller's guard covers the re-run search.
                 let f = unsafe { self.find(node_ref.key, preds, succs) };
                 if f != Some(node) {
                     // The node vanished (removed) or was superseded.
@@ -264,6 +281,7 @@ impl CasSkipList {
         let guard = pin();
         let mut preds = [std::ptr::null(); MAX_LEVEL];
         let mut succs = [TaggedPtr::null(); MAX_LEVEL];
+        // SAFETY: `guard` pins the epoch for the whole removal.
         let n = unsafe { self.find(key, &mut preds, &mut succs) }?;
         // SAFETY: under guard.
         let node = unsafe { &*n };
@@ -292,6 +310,9 @@ impl CasSkipList {
                 // inserter is still running it may re-link the node, so it
                 // must be the one to retire it (after its own find).
                 let prev = node.state.swap(DELETED, Ordering::AcqRel);
+                // SAFETY: the unlinking find runs under `guard`; `n` is
+                // retired only when the inserter already reached DONE (the
+                // module-docs handshake), so exactly one party frees it.
                 unsafe {
                     self.find(key, &mut preds, &mut succs);
                     if prev == DONE {
@@ -311,11 +332,15 @@ impl CasSkipList {
             // SAFETY: nodes reachable under the guard; marked pointers are
             // stripped, which is fine for a read-only traversal.
             let mut curr = unsafe { &*pred }.next[l].naked_load().as_ptr();
+            // SAFETY: every node on the walk was reachable under the guard;
+            // `key` is immutable.
             while !curr.is_null() && unsafe { &*curr }.key < key {
                 pred = curr;
+                // SAFETY: `curr` is non-null and guard-protected.
                 curr = unsafe { &*curr }.next[l].naked_load().as_ptr();
             }
             if !curr.is_null() {
+                // SAFETY: non-null node reached under the guard.
                 let c = unsafe { &*curr };
                 if c.key == key {
                     if c.is_deleted() {
@@ -337,14 +362,20 @@ impl CasSkipList {
         let mut out = Vec::new();
         let mut pred: *const Node = &*self.head;
         for l in (0..self.max_level).rev() {
+            // SAFETY: `pred` is head or a node reached under the guard.
             let mut curr = unsafe { &*pred }.next[l].naked_load().as_ptr();
+            // SAFETY: nodes on the walk are guard-protected; `key` is
+            // immutable.
             while !curr.is_null() && unsafe { &*curr }.key < lo {
                 pred = curr;
+                // SAFETY: `curr` is non-null and guard-protected.
                 curr = unsafe { &*curr }.next[l].naked_load().as_ptr();
             }
         }
+        // SAFETY: `pred` is guard-protected (see the descent above).
         let mut curr = unsafe { &*pred }.next[0].naked_load().as_ptr();
         while !curr.is_null() {
+            // SAFETY: non-null node reached under the guard.
             let c = unsafe { &*curr };
             if c.key > hi {
                 break;
@@ -363,6 +394,7 @@ impl CasSkipList {
         let mut n = 0;
         let mut curr = self.head.next[0].naked_load().as_ptr();
         while !curr.is_null() {
+            // SAFETY: non-null node reached under `_guard`.
             let c = unsafe { &*curr };
             if !c.is_deleted() {
                 n += 1;
@@ -390,7 +422,10 @@ impl Drop for CasSkipList {
         // Unlinked nodes are owned by the EBR queues.
         let mut curr = self.head.next[0].naked_load().as_ptr();
         while !curr.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; linked nodes are
+            // owned by the list.
             let next = unsafe { &*curr }.next[0].naked_load().as_ptr();
+            // SAFETY: each linked node is freed exactly once here.
             drop(unsafe { Box::from_raw(curr) });
             curr = next;
         }

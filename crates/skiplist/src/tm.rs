@@ -95,15 +95,20 @@ impl TmSkipList {
             // SAFETY: pred reachable under guard; the transaction validates
             // every pointer read at commit.
             let mut curr: TaggedPtr<Node> =
+                // SAFETY: same guard-protected `pred` as the comment above.
                 tx.read(unsafe { &*(&(*pred).next[l] as *const TVar<TaggedPtr<Node>>) })?;
+            // SAFETY: non-null validated successors, guard-protected; `key`
+            // is immutable.
             while !curr.is_null() && unsafe { &*curr.as_ptr() }.key < key {
                 pred = curr.as_ptr();
+                // SAFETY: `pred` was just observed reachable under the guard.
                 curr = tx.read(unsafe { &*(&(*pred).next[l] as *const TVar<TaggedPtr<Node>>) })?;
             }
             preds[l] = pred;
             succs[l] = curr;
         }
         let f = succs[0];
+        // SAFETY: non-null level-0 successor found under the guard.
         Ok(if !f.is_null() && unsafe { &*f.as_ptr() }.key == key {
             Some(f.as_ptr())
         } else {
@@ -122,6 +127,7 @@ impl TmSkipList {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<InsertOutcome> = (|| {
+                // SAFETY: `_guard` pins the epoch for the whole attempt.
                 match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
                     Some(n) => {
                         // SAFETY: node alive under guard.
@@ -140,9 +146,13 @@ impl TmSkipList {
                         // lock-step; an iterator rewrite obscures that.
                         #[allow(clippy::needless_range_loop)]
                         for l in 0..top {
+                            // SAFETY: `preds[l]` was filled by the search
+                            // under the guard.
                             let slot = unsafe { &(*preds[l]).next[l] };
                             if let Err(e) = tx.write(slot, TaggedPtr::new(node_ptr)) {
-                                // Not published; reclaim immediately.
+                                // SAFETY: the write failed pre-commit, so
+                                // the node was never published; this thread
+                                // still owns it exclusively.
                                 drop(unsafe { Box::from_raw(node_ptr) });
                                 return Err(e);
                             }
@@ -158,7 +168,8 @@ impl TmSkipList {
                         (true, InsertOutcome::Updated) => return false,
                         (true, InsertOutcome::Linked(_)) => return true,
                         (false, InsertOutcome::Linked(p)) => {
-                            // Commit failed: the node was never visible.
+                            // SAFETY: commit failed, so the node was never
+                            // visible; this thread still owns it.
                             drop(unsafe { Box::from_raw(p) });
                         }
                         (false, InsertOutcome::Updated) => {}
@@ -179,6 +190,7 @@ impl TmSkipList {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<Option<(u64, *mut Node)>> = (|| {
+                // SAFETY: `guard` pins the epoch for the whole attempt.
                 match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
                     None => Ok(None),
                     Some(n) => {
@@ -188,6 +200,8 @@ impl TmSkipList {
                         for l in 0..node.next.len() {
                             debug_assert_eq!(succs[l].as_ptr(), n, "tm list links all levels");
                             let after = tx.read(&node.next[l])?;
+                            // SAFETY: `preds[l]` was filled by the search
+                            // under the guard.
                             tx.write(unsafe { &(*preds[l]).next[l] }, after)?;
                         }
                         Ok(Some((value, n)))
@@ -198,7 +212,8 @@ impl TmSkipList {
                 Ok(res) => {
                     if tx.commit().is_ok() {
                         return res.map(|(value, n)| {
-                            // Unreachable as of commit; retire via EBR.
+                            // SAFETY: the committed writes unlinked `n` at
+                            // every level; the grace period covers readers.
                             unsafe { guard.defer_drop_box(n) };
                             value
                         });
@@ -219,8 +234,10 @@ impl TmSkipList {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<Option<u64>> =
+                // SAFETY: `_guard` pins the epoch for the whole attempt.
                 (|| match unsafe { self.search(&mut tx, key, &mut preds, &mut succs) }? {
                     None => Ok(None),
+                    // SAFETY: found node alive under the guard.
                     Some(n) => Ok(Some(tx.read(unsafe { &(*n).value })?)),
                 })();
             if let Ok(v) = body {
@@ -245,6 +262,7 @@ impl TmSkipList {
         loop {
             let mut tx = Txn::begin(&self.domain);
             let body: TxResult<Vec<(u64, u64)>> = (|| {
+                // SAFETY: `_guard` pins the epoch for the whole attempt.
                 unsafe { self.search(&mut tx, lo, &mut preds, &mut succs) }?;
                 let mut out = Vec::new();
                 let mut curr = succs[0];
@@ -291,7 +309,10 @@ impl Drop for TmSkipList {
     fn drop(&mut self) {
         let mut curr = self.head.next[0].naked_load().as_ptr();
         while !curr.is_null() {
+            // SAFETY: `&mut self` proves exclusive access; linked nodes are
+            // owned by the list.
             let next = unsafe { &*curr }.next[0].naked_load().as_ptr();
+            // SAFETY: each linked node is freed exactly once here.
             drop(unsafe { Box::from_raw(curr) });
             curr = next;
         }

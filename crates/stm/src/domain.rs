@@ -44,7 +44,11 @@ impl SlotRegistry {
         debug_assert_ne!(value, SLOT_FREE, "SLOT_FREE is reserved");
         loop {
             for (i, s) in self.slots.iter().enumerate() {
+                // ORDERING: the Relaxed load is an optimistic filter and the
+                // CAS failure value is discarded; the SeqCst success is the
+                // claim the snapshot_ts proof relies on.
                 if s.load(Ordering::Relaxed) == SLOT_FREE
+                    // ORDERING: the CAS failure value is discarded (scan moves on).
                     && s.compare_exchange(SLOT_FREE, value, Ordering::SeqCst, Ordering::Relaxed)
                         .is_ok()
                 {
@@ -226,6 +230,7 @@ impl StmDomain {
     /// [`with_retry_budget`](crate::with_retry_budget) can attribute their
     /// timeouts to the domain they ran against.
     pub fn record_timeout(&self) {
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
         leap_obs::trace::note_abort(leap_obs::trace::AbortCause::Timeout);
     }
@@ -349,6 +354,8 @@ impl StmDomain {
     pub(crate) fn orec_try_lock(&self, idx: u32, expected: u64) -> bool {
         debug_assert!(!orec_is_locked(expected));
         self.orecs[idx as usize]
+            // ORDERING: the failure value is discarded (caller just retries
+            // or aborts); success is AcqRel, pairing with `orec_unlock_to`.
             .compare_exchange(expected, expected | 1, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
     }

@@ -20,16 +20,19 @@ pub(crate) struct Stats {
 
 impl Stats {
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        let conflict_read = self.conflict_read_aborts.load(Ordering::Relaxed);
-        let conflict_commit = self.conflict_commit_aborts.load(Ordering::Relaxed);
+        // ORDERING: monotonic stat counters; a snapshot only needs
+        // eventually-consistent values, no publication rides on them.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let conflict_read = ld(&self.conflict_read_aborts);
+        let conflict_commit = ld(&self.conflict_commit_aborts);
         StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            read_only_commits: self.read_only_commits.load(Ordering::Relaxed),
+            commits: ld(&self.commits),
+            read_only_commits: ld(&self.read_only_commits),
             conflict_aborts: conflict_read + conflict_commit,
             conflict_read_aborts: conflict_read,
             conflict_commit_aborts: conflict_commit,
-            explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
+            explicit_aborts: ld(&self.explicit_aborts),
+            timeouts: ld(&self.timeouts),
         }
     }
 }

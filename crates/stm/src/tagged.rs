@@ -147,6 +147,7 @@ mod tests {
         assert!(p.marked().is_marked());
         assert_eq!(p.marked().unmarked(), p);
         assert_eq!(p.marked().as_ptr(), b);
+        // SAFETY: the test owns `b`; freed exactly once.
         drop(unsafe { Box::from_raw(b) });
     }
 
@@ -164,6 +165,7 @@ mod tests {
         let p = TaggedPtr::new(b);
         assert_ne!(p, p.marked());
         assert_eq!(p, p.marked().unmarked());
+        // SAFETY: the test owns `b`; freed exactly once.
         drop(unsafe { Box::from_raw(b) });
     }
 }

@@ -132,6 +132,7 @@ mod tests {
         v.naked_store(v.naked_load().marked());
         assert!(v.naked_load().is_marked());
         assert_eq!(v.naked_load().as_ptr(), node);
+        // SAFETY: the test owns `node`; freed exactly once.
         drop(unsafe { Box::from_raw(node) });
     }
 

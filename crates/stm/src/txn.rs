@@ -235,6 +235,8 @@ impl<'d> Txn<'d> {
                 }
                 self.undo.push(UndoEntry {
                     cell: &var.cell,
+                    // ORDERING: we hold this stripe's orec lock, so the cell
+                    // cannot change under us; a plain read suffices.
                     old: var.cell.load(Ordering::Relaxed),
                 });
                 var.cell.store(value.to_word(), Ordering::Release);
@@ -329,6 +331,7 @@ impl<'d> Txn<'d> {
             self.domain
                 .stats
                 .read_only_commits
+                // ORDERING: monotonic stat counter; no publication rides on it.
                 .fetch_add(1, Ordering::Relaxed);
             return Ok(self.rv);
         }
@@ -379,6 +382,7 @@ impl<'d> Txn<'d> {
             self.domain.orec_unlock_to(oi, wv);
         }
         self.completed = true;
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(wv)
     }
@@ -389,6 +393,7 @@ impl<'d> Txn<'d> {
             self.domain
                 .stats
                 .read_only_commits
+                // ORDERING: monotonic stat counter; no publication rides on it.
                 .fetch_add(1, Ordering::Relaxed);
             return Ok(self.rv);
         }
@@ -407,6 +412,7 @@ impl<'d> Txn<'d> {
         self.wt_locks.clear();
         self.undo.clear();
         self.completed = true;
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.domain.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(wv)
     }
@@ -443,6 +449,7 @@ impl<'d> Txn<'d> {
                 leap_obs::trace::AbortCause::ConflictRead,
             )
         };
+        // ORDERING: monotonic stat counter; no publication rides on it.
         ctr.fetch_add(1, Ordering::Relaxed);
         // Same attribution feeds the active leap-trace span, if one is
         // open on this thread (a no-op otherwise).

@@ -123,6 +123,7 @@ mod tests {
         let x = Box::into_raw(Box::new(5i32));
         let y = <*mut i32 as Word>::from_word(x.to_word());
         assert_eq!(x, y);
+        // SAFETY: the test owns `x`; freed exactly once.
         drop(unsafe { Box::from_raw(x) });
     }
 }

@@ -274,6 +274,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
     /// (use [`Batcher::try_put`] to handle degradation as a value).
     pub fn put(&self, key: u64, value: V) -> Option<V> {
         self.try_put(key, value)
+            // INVARIANT: documented panic — degradation surfaces here by
+            // contract; `try_put` is the non-panicking form.
             .unwrap_or_else(|e| panic!("batcher op refused: {e}; use try_put to handle this"))
     }
 
@@ -285,6 +287,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
     /// degradation panics.
     pub fn delete(&self, key: u64) -> Option<V> {
         self.try_delete(key)
+            // INVARIANT: documented panic — degradation surfaces here by
+            // contract; `try_delete` is the non-panicking form.
             .unwrap_or_else(|e| panic!("batcher op refused: {e}; use try_delete to handle this"))
     }
 
@@ -322,19 +326,24 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
 
     /// Coalescing counters.
     pub fn stats(&self) -> BatcherStats {
+        // ORDERING: monotonic stat counters (window_ns is a tuning knob);
+        // readers only need eventually-consistent values.
+        let ld = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
         BatcherStats {
-            batches: self.batches.load(Ordering::Relaxed),
-            ops: self.ops.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed),
-            window_ns: self.window_ns.load(Ordering::Relaxed),
+            batches: ld(&self.batches),
+            ops: ld(&self.ops),
+            max_batch: ld(&self.max_batch),
+            window_ns: ld(&self.window_ns),
             p99_ns: self.drain_lats.p99(),
-            shed: self.shed.load(Ordering::Relaxed),
+            shed: ld(&self.shed),
         }
     }
 
     /// Records one drain's latency into the sliding window and the
     /// previous-drain baseline.
     fn record_drain(&self, drain_ns: u64) {
+        // ORDERING: read only by the next combiner; the combiner mutex
+        // orders the hand-off.
         self.prev_drain_ns.store(drain_ns, Ordering::Relaxed);
         self.drain_lats.record(drain_ns);
     }
@@ -354,6 +363,8 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             }
             Outcome::Aborted => {
                 leap_obs::trace::note_outcome(leap_obs::OpOutcome::Aborted);
+                // INVARIANT: documented panic propagation — the combiner
+                // aborted under us and re-raised; we cannot report a result.
                 panic!("a combining peer panicked mid-batch; this op's fate is unknown")
             }
         }
@@ -387,7 +398,9 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 if let Some(pos) = q.iter().position(|p| Arc::ptr_eq(&p.slot, slot)) {
                     q.remove(pos);
                     drop(q);
+                    // ORDERING: approximate depth counter for admission only.
                     self.queue_len.fetch_sub(1, Ordering::Relaxed);
+                    // ORDERING: monotonic stat counter; no publication rides on it.
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     leap_obs::trace::note_outcome(leap_obs::OpOutcome::Wedged);
                     return Err(StoreError::CombinerWedged);
@@ -413,8 +426,11 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         // Admission control: a full queue refuses the op at the door —
         // the caller learns *now* that the batcher is not keeping up,
         // instead of blocking behind a backlog that is not draining.
+        // ORDERING: admission is advisory — a slightly stale depth only
+        // shifts the refusal point by a few ops.
         let queued = self.queue_len.load(Ordering::Relaxed);
         if queued >= self.max_depth {
+            // ORDERING: monotonic stat counter; no publication rides on it.
             self.shed.fetch_add(1, Ordering::Relaxed);
             self.store.note_shed(1, queued);
             leap_obs::trace::note_outcome(leap_obs::OpOutcome::Overloaded);
@@ -429,6 +445,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 slot: slot.clone(),
                 enqueued: Instant::now(),
             });
+        // ORDERING: approximate depth counter for admission only.
         self.queue_len.fetch_add(1, Ordering::Relaxed);
         // While another thread holds the combiner lock it is (or soon will
         // be) draining the queue — ops pile up behind it and the next
@@ -446,21 +463,29 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             // A combiner carried our op; it wrote the phase breakdown into
             // the slot before settling (the mutex above orders the reads).
             leap_obs::trace::note_batch_phases(
+                // ORDERING: the slot-mutex acquire above ordered this write.
                 slot.queue_ns.load(Ordering::Relaxed),
+                // ORDERING: as above — ordered by the slot mutex.
                 slot.combine_ns.load(Ordering::Relaxed),
+                // ORDERING: as above — ordered by the slot mutex.
                 slot.commit_ns.load(Ordering::Relaxed),
             );
             return self.settle(outcome);
         }
+        // INVARIANT: a `None` guard means a combiner settled our slot, and
+        // we just observed the slot empty under its mutex.
         let _c = guard.expect("unfilled slot implies the combiner lock is held");
         // Wait-a-little: when recent drains coalesced, give stragglers a
         // moment to enqueue before draining (see the module docs). The
         // wait yields rather than pure-spins: on the few-core hosts this
         // window exists for, the stragglers need this CPU to enqueue at
         // all.
+        // ORDERING: tuning knob owned by the combiner lock we hold.
         let window = self.window_ns.load(Ordering::Relaxed);
         if window > 0 {
             let deadline = Instant::now() + Duration::from_nanos(window);
+            // ORDERING: approximate depth probe; stragglers we miss are
+            // simply carried by the next drain.
             while self.queue_len.load(Ordering::Relaxed) < COALESCE_CAP && Instant::now() < deadline
             {
                 std::thread::yield_now();
@@ -474,6 +499,7 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             std::mem::take(&mut *q)
         };
         debug_assert!(!drained.is_empty(), "our own op must still be queued");
+        // ORDERING: approximate depth counter for admission only.
         self.queue_len.fetch_sub(drained.len(), Ordering::Relaxed);
         let drain_size = drained.len();
         // Every drained op's queue-wait phase ends here.
@@ -484,13 +510,16 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
         // submitter knows its op did not run.
         if let Some(f) = self.store.faults() {
             if f.should_fire(FaultPoint::BatcherDrain) {
+                // ORDERING: diagnostic depth for the error payload.
                 let queued = self.queue_len.load(Ordering::Relaxed);
                 self.store.note_shed(drain_size as u64, queued);
+                // ORDERING: monotonic stat counter; no publication rides on it.
                 self.shed.fetch_add(drain_size as u64, Ordering::Relaxed);
                 for p in &drained {
                     if !Arc::ptr_eq(&p.slot, &slot) {
                         p.slot.queue_ns.store(
                             pickup.saturating_duration_since(p.enqueued).as_nanos() as u64,
+                            // ORDERING: the slot mutex below publishes it.
                             Ordering::Relaxed,
                         );
                         *lock_slot(&p.slot) = Some(Outcome::Shed { queued });
@@ -498,8 +527,10 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 }
                 // No apply ran, so there is no latency signal; decay the
                 // window as if the combiner were alone.
+                // ORDERING: tuning knob owned by the combiner lock we hold.
                 let window = self.window_ns.load(Ordering::Relaxed);
                 self.window_ns
+                    // ORDERING: as above — combiner-lock owned.
                     .store(next_window(window, 1, 0, 0), Ordering::Relaxed);
                 leap_obs::trace::note_outcome(leap_obs::OpOutcome::Overloaded);
                 return Err(StoreError::Overloaded { queued });
@@ -556,9 +587,11 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             // slower than the previous one holds the window instead of
             // doubling it (see `next_window`).
             let drain_ns = drain_started.elapsed().as_nanos() as u64;
+            // ORDERING: baseline handed over under the combiner lock.
             let prev_ns = self.prev_drain_ns.load(Ordering::Relaxed);
             self.window_ns.store(
                 next_window(window, drain_size, drain_ns, prev_ns),
+                // ORDERING: tuning knob owned by the combiner lock we hold.
                 Ordering::Relaxed,
             );
             self.record_drain(drain_ns);
@@ -567,9 +600,12 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                 drain_ns,
                 window_ns: window,
             });
+            // ORDERING: monotonic stat counter; no publication rides on it.
             self.batches.fetch_add(1, Ordering::Relaxed);
+            // ORDERING: monotonic stat counter; no publication rides on it.
             self.ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
             self.max_batch
+                // ORDERING: eventual high-water mark; readers tolerate lag.
                 .fetch_max(ops.len() as u64, Ordering::Relaxed);
             // Phase breakdown shared by every op in the batch: combine is
             // the probe (pickup -> apply), commit is the grouped apply;
@@ -582,8 +618,11 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
                     leap_obs::trace::note_batch_phases(queue_ns, combine_ns, drain_ns);
                     own = Some(r);
                 } else {
+                    // ORDERING: the slot mutex below publishes this write.
                     p.queue_ns.store(queue_ns, Ordering::Relaxed);
+                    // ORDERING: as above — published by the slot mutex.
                     p.combine_ns.store(combine_ns, Ordering::Relaxed);
+                    // ORDERING: as above — published by the slot mutex.
                     p.commit_ns.store(drain_ns, Ordering::Relaxed);
                     *lock_slot(&p) = Some(Outcome::Done(r));
                 }
@@ -593,11 +632,14 @@ impl<V: Clone + Send + Sync + 'static> Batcher<V> {
             // Every drained op was poisoned: no apply ran, so there is no
             // latency signal; decay as if the combiner were alone.
             self.window_ns
+                // ORDERING: tuning knob owned by the combiner lock we hold.
                 .store(next_window(window, 1, 0, 0), Ordering::Relaxed);
         }
         if let Some(poisoned) = own_poison {
             std::panic::panic_any(poisoned);
         }
+        // INVARIANT: our op is withdrawn from the queue only on the error
+        // paths above; otherwise it is in `ops` and `apply` returned for it.
         Ok(own.expect("the drain carried our own op"))
     }
 }

@@ -52,6 +52,8 @@ impl CompletionTree {
             .map(|(&clo, _)| clo)
             .collect();
         for clo in overlapped {
+            // INVARIANT: `clo` came out of `self.map` in the scan above and
+            // nothing removed it since (we hold `&mut self`).
             let (chi, cseq) = self.map.remove(&clo).expect("key just enumerated");
             if clo < lo {
                 self.map.insert(clo, (lo - 1, cseq));

@@ -401,12 +401,15 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         if inflight.is_empty() {
             return RebalanceAction::Idle;
         }
+        // ORDERING: round-robin cursor; any interleaving is a fair pick.
         let pick = self.rebalance_rr.fetch_add(1, Ordering::Relaxed) % inflight.len();
         let m = &inflight[pick];
         // Stuck-migration watchdog: a frontier that has not advanced for
         // `watchdog_stalls` consecutive steps is force-resolved so its
         // slots (and `SlotBusy`) cannot stay pinned forever.
         let threshold = self.policy.watchdog_stalls;
+        // ORDERING: stall counter read under the step lock that also
+        // guards every write to it.
         if threshold > 0 && m.stalls.load(Ordering::Relaxed) >= threshold {
             return match self.abort_locked(m) {
                 Ok(AbortOutcome::Completed { epoch }) => RebalanceAction::Completed { epoch },
@@ -430,6 +433,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         // grow the stall counter the watchdog acts on.
         if let Some(f) = self.faults.as_deref() {
             if f.should_fire(FaultPoint::MigrationChunk) {
+                // ORDERING: written under the step lock (our caller holds it).
                 let stalls = m.stalls.fetch_add(1, Ordering::Relaxed) + 1;
                 return RebalanceAction::ChunkFailed {
                     src: m.src,
@@ -441,6 +445,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         let (src, dst) = (self.list(m.src), self.list(m.dst));
         let chunk = self.policy.chunk.max(1);
         let guard = m.write_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        // ORDERING: the frontier only moves under `write_lock`, held here.
         let frontier = m.frontier.load(Ordering::Relaxed);
         let page = src.range_page(frontier, m.hi, chunk);
         if page.is_empty() {
@@ -460,9 +465,14 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .map(|(k, v)| BatchOp::Update(*k, v.clone()))
             .collect();
         LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &ins]);
+        // INVARIANT: the empty-page case returned above.
         let last = page.last().expect("non-empty page").0;
+        // ORDERING: frontier/moved/stalls are all written under `write_lock`
+        // (held), and readers take the same lock or tolerate staleness.
         m.frontier.store(last + 1, Ordering::Relaxed);
+        // ORDERING: monotonic stat counter; no publication rides on it.
         m.moved.fetch_add(page.len() as u64, Ordering::Relaxed);
+        // ORDERING: reset under the step/write locks that guard it.
         m.stalls.store(0, Ordering::Relaxed);
         self.emit(EventKind::MigrationChunk {
             id: m.id,
@@ -487,6 +497,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             // else), but a missing overlay must not panic the driver.
             Err(_) => return RebalanceAction::Idle,
         };
+        // ORDERING: monotonic stat counter; no publication rides on it.
         let done = self.migrations_completed.fetch_add(1, Ordering::Relaxed) + 1;
         if self.router().shard_interval(m.src).is_none() {
             // The source emptied entirely: this was a merge; park the
@@ -609,6 +620,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 .unwrap_or_else(PoisonError::into_inner)
                 .push(m.dst);
         }
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.aborted_migrations.fetch_add(1, Ordering::Relaxed);
         self.emit(EventKind::MigrationAbort {
             id: m.id,
@@ -683,6 +695,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
         // "Just" means no two other migrations have completed since, so
         // the shield cannot starve a pair that later goes cold for good.
         if loads.len() >= 2 {
+            // ORDERING: hysteresis heuristic; a stale count only delays a merge.
             let done = self.migrations_completed.load(Ordering::Relaxed);
             let recent: Vec<(usize, usize)> = self
                 .recent_splits
@@ -820,6 +833,7 @@ impl Rebalancer {
         let handle = std::thread::spawn(move || {
             let mut actions = 0u64;
             let mut consecutive = 0u32;
+            // ORDERING: stop flag; the join in `stop`/`drop` is the sync point.
             while !flag.load(Ordering::Relaxed) {
                 let step = catch_unwind(AssertUnwindSafe(|| {
                     if let Some(f) = store.faults.as_deref() {
@@ -839,6 +853,7 @@ impl Rebalancer {
                         actions += 1;
                     }
                     Err(_) => {
+                        // ORDERING: monotonic stat counter; no publication rides on it.
                         let total = count.fetch_add(1, Ordering::Relaxed) + 1;
                         store.emit(EventKind::RebalancerPanic { panics: total });
                         consecutive += 1;
@@ -862,6 +877,7 @@ impl Rebalancer {
     /// Worker panics recorded so far (injected tick faults plus real
     /// panics out of `rebalance_step`).
     pub fn panics(&self) -> u64 {
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.panics.load(Ordering::Relaxed)
     }
 
@@ -881,12 +897,17 @@ impl Rebalancer {
     /// consecutive panics) or could not be joined cleanly — a worker
     /// death is never swallowed into a fake action count.
     pub fn stop(mut self) -> Result<u64, RebalancerDied> {
+        // ORDERING: the worker only polls this flag; `join` below is the
+        // synchronization point for everything it did.
         self.stop.store(true, Ordering::Relaxed);
         let joined = self
             .handle
             .take()
+            // INVARIANT: only `stop` (consuming self) and `drop` take the
+            // handle, and `stop` cannot run after either.
             .expect("handle present until stop/drop")
             .join();
+        // ORDERING: monotonic stat counter; no publication rides on it.
         let panics = self.panics.load(Ordering::Relaxed);
         if self.died.load(Ordering::Acquire) {
             return Err(RebalancerDied { panics });
@@ -897,6 +918,7 @@ impl Rebalancer {
 
 impl Drop for Rebalancer {
     fn drop(&mut self) {
+        // ORDERING: stop flag; `join` below synchronizes with the worker.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

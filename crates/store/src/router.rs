@@ -377,6 +377,7 @@ impl Router {
                 dst: m.dst,
                 lo: m.lo,
                 hi: m.hi,
+                // ORDERING: progress gauge; staleness only lags the report.
                 moved: m.moved.load(Ordering::Relaxed),
             })
             .collect()

@@ -29,17 +29,21 @@ pub(crate) struct ShardCounters {
 
 impl ShardCounters {
     pub(crate) fn bump(counter: &AtomicU64) {
+        // ORDERING: monotonic stat counter; no publication rides on it.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self, shard: usize, keys: u64, owned: bool) -> ShardStats {
+        // ORDERING: monotonic stat counters; a snapshot only needs
+        // eventually-consistent values.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ShardStats {
             shard,
-            gets: self.gets.load(Ordering::Relaxed),
-            puts: self.puts.load(Ordering::Relaxed),
-            deletes: self.deletes.load(Ordering::Relaxed),
-            ranges: self.ranges.load(Ordering::Relaxed),
-            batch_parts: self.batch_parts.load(Ordering::Relaxed),
+            gets: ld(&self.gets),
+            puts: ld(&self.puts),
+            deletes: ld(&self.deletes),
+            ranges: ld(&self.ranges),
+            batch_parts: ld(&self.batch_parts),
             keys,
             owned,
         }
@@ -170,6 +174,7 @@ impl StoreStats {
         if owned.is_empty() || total == 0 {
             return 1.0;
         }
+        // INVARIANT: the empty case returned 1.0 just above.
         let max = *owned.iter().max().expect("non-empty") as f64;
         max / (total as f64 / owned.len() as f64)
     }

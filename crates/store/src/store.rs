@@ -276,6 +276,8 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// [`LeapStore::rebalance_until_idle`] later.
     pub fn new(config: StoreConfig) -> Self {
         if let Err(e) = config.rebalance.validate() {
+            // INVARIANT: documented constructor panic — a thrash-prone
+            // policy must fail loudly at build time, not livelock later.
             panic!("rejected rebalance policy: {e}");
         }
         // The router owns the shard-count validation; build it first so a
@@ -290,6 +292,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             .collect();
         let domain = slots
             .first()
+            // INVARIANT: Router::new panicked on shards == 0 above.
             .expect("router rejected shards == 0 above")
             .list
             .domain()
@@ -386,6 +389,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
     /// Records `ops` operations shed by batcher admission control (or an
     /// injected drain fault) against the store's counter and timeline.
     pub(crate) fn note_shed(&self, ops: u64, queued: usize) {
+        // ORDERING: monotonic stat counter; no publication rides on it.
         self.shed_ops.fetch_add(ops, Ordering::Relaxed);
         self.emit(leap_obs::EventKind::Shed {
             ops,
@@ -639,7 +643,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 let mut res = Self::commit_phase(|| {
                     LeapListLt::apply_batch_grouped(&[from, to], &[&rm, &up])
                 });
+                // INVARIANT: each group above holds exactly one op, and
+                // apply_batch_grouped returns one result per op.
                 let to_prev = res[1].pop().expect("one op in to group");
+                // INVARIANT: as above — one op, one result.
                 let from_prev = res[0].pop().expect("one op in from group");
                 if let (Some(req), Some(acq)) = (lock_requested, lock_acquired) {
                     leap_obs::trace::note_overlay_lock(
@@ -690,7 +697,10 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 let mut res = Self::commit_phase(|| {
                     LeapListLt::apply_batch_grouped(&[&*src, &*dst], &[&rm, &rm])
                 });
+                // INVARIANT: each group above holds exactly one op, and
+                // apply_batch_grouped returns one result per op.
                 let dst_prev = res[1].pop().expect("one op in dst group");
+                // INVARIANT: as above — one op, one result.
                 let src_prev = res[0].pop().expect("one op in src group");
                 if let (Some(req), Some(acq)) = (lock_requested, lock_acquired) {
                     leap_obs::trace::note_overlay_lock(
@@ -792,6 +802,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             if overlay_of(Self::key_of(op)).is_none() {
                 let shard = self.router.shard_of(Self::key_of(op));
                 let list = self.routed(shard, |c| {
+                    // ORDERING: monotonic stat counter; no publication rides on it.
                     c.batch_parts.fetch_add(1, Ordering::Relaxed);
                 });
                 return Some(vec![match op {
@@ -891,11 +902,13 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                     slots_guard[s]
                         .counters
                         .batch_parts
+                        // ORDERING: monotonic stat counter; no publication rides on it.
                         .fetch_add(g.len() as u64, Ordering::Relaxed);
                 }
             }
         }
         if groups.iter().any(|g| g.len() >= 2) {
+            // ORDERING: monotonic stat counter; no publication rides on it.
             self.collision_batches.fetch_add(1, Ordering::Relaxed);
         }
         let slots_guard = self.slots_read();
@@ -915,13 +928,17 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             sources
                 .iter()
                 .map(|src| {
+                    // INVARIANT: every op source was assigned a group when
+                    // the plan was built; `results_of` mirrors that plan.
                     let own = results[results_of[src.slot].expect("op slot has a group")][src.idx]
                         .clone();
                     match src.src {
                         None => own,
                         Some((s, i)) => {
-                            let removed =
-                                results[results_of[s].expect("src slot has a group")][i].clone();
+                            // INVARIANT: as above — the migration source
+                            // slot was planned into a group too.
+                            let g = results_of[s].expect("src slot has a group");
+                            let removed = results[g][i].clone();
                             removed.or(own)
                         }
                     }
@@ -1213,6 +1230,7 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
             let snap = leaplist::ListSnapshot::pin(&self.domain);
             let plan = self.visit_plan(lo, hi);
             if self.router.overlay_stamp(lo, hi) == stamp {
+                // ORDERING: monotonic stat counter; no publication rides on it.
                 self.snapshot_scans.fetch_add(1, Ordering::Relaxed);
                 return (snap, plan);
             }
@@ -1271,17 +1289,20 @@ impl<V: Clone + Send + Sync + 'static> LeapStore<V> {
                 slot.counters.snapshot(s, slot.list.len() as u64, owned)
             })
             .collect();
+        // ORDERING: monotonic stat counters; a snapshot only needs
+        // eventually-consistent values.
+        let ld = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
         StoreStats {
             shards,
             stm: self.domain.stats(),
-            collision_batches: self.collision_batches.load(Ordering::Relaxed),
+            collision_batches: ld(&self.collision_batches),
             epoch: self.router.epoch(),
             migrations: self.router.migrations(),
             peak_concurrent_migrations: self.router.peak_concurrent_migrations(),
-            migrations_completed: self.migrations_completed.load(Ordering::Relaxed),
-            aborted_migrations: self.aborted_migrations.load(Ordering::Relaxed),
-            shed_ops: self.shed_ops.load(Ordering::Relaxed),
-            snapshot_scans: self.snapshot_scans.load(Ordering::Relaxed),
+            migrations_completed: ld(&self.migrations_completed),
+            aborted_migrations: ld(&self.aborted_migrations),
+            shed_ops: ld(&self.shed_ops),
+            snapshot_scans: ld(&self.snapshot_scans),
             bundle_depth: slots_guard
                 .iter()
                 .map(|slot| slot.list.max_bundle_depth())
